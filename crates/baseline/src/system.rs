@@ -1,0 +1,841 @@
+//! The end-to-end CIDR-extended baseline system (paper §2.3, Figure 2).
+//!
+//! Write path: client data is DMAed NIC → host memory, the software
+//! unique-chunk predictor scans the buffer, the batch scheduler ships
+//! *all* chunks host → FPGA, the FPGA hashes everything and compresses the
+//! predicted uniques, results bounce back to host memory, the software
+//! table-cache (B+ tree indexed, CPU driven) validates the predictions,
+//! and validated compressed uniques are staged in host memory into 4-MB
+//! containers written to the data SSDs. Every hop bounces through host
+//! DRAM — which is exactly the bottleneck Figures 4 and 5 expose.
+
+use crate::predictor::{PredictorStats, UniquePredictor};
+use bytes::Bytes;
+use fidr_cache::{BPlusTree, CacheStats, TableCache};
+use fidr_chunk::{Lba, Pba, Pbn};
+use fidr_compress::CompressedChunk;
+use fidr_hash::Fingerprint;
+use fidr_hwsim::{ops, CostParams, CpuTask, Ledger, MemPath, PcieLink};
+use fidr_ssd::{DataSsdArray, QueueLocation, TableSsd};
+use fidr_tables::{
+    ContainerBuilder, ContainerLiveness, GcReport, HashPbnStore, LbaPbaTable, PbnLocation,
+    ReductionStats, Snapshot, BUCKET_BYTES,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Configuration of a baseline instance.
+#[derive(Debug, Clone)]
+pub struct BaselineConfig {
+    /// Host-DRAM table-cache capacity in 4-KB lines.
+    pub cache_lines: usize,
+    /// Buckets in the Hash-PBN table on the table SSDs.
+    pub table_buckets: u64,
+    /// Container flush threshold in bytes.
+    pub container_threshold: usize,
+    /// Predictor Bloom-filter size in bits.
+    pub predictor_bits: usize,
+    /// Data SSDs in the array.
+    pub data_ssds: u32,
+    /// Calibrated per-operation costs.
+    pub cost: CostParams,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            cache_lines: 4096,
+            table_buckets: 1 << 17,
+            container_threshold: 4 << 20,
+            predictor_bits: 1 << 22,
+            data_ssds: 2,
+            cost: CostParams::default(),
+        }
+    }
+}
+
+/// Errors surfaced by the baseline system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SystemError {
+    /// A write chunk was not exactly 4 KB.
+    BadChunkSize(usize),
+    /// The Hash-PBN bucket for this fingerprint is full.
+    TableFull,
+    /// Read of an address that was never written.
+    NotMapped(Lba),
+    /// The data SSDs returned an unreadable region.
+    Corrupt(String),
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::BadChunkSize(n) => write!(f, "chunk of {n} bytes; expected 4096"),
+            SystemError::TableFull => write!(f, "hash-PBN bucket full; grow the table"),
+            SystemError::NotMapped(lba) => write!(f, "read of unmapped {lba}"),
+            SystemError::Corrupt(e) => write!(f, "data SSD corruption: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+/// The baseline data-reduction server.
+///
+/// # Examples
+///
+/// ```
+/// use fidr_baseline::{BaselineConfig, BaselineSystem};
+/// use fidr_chunk::Lba;
+/// use bytes::Bytes;
+///
+/// let mut sys = BaselineSystem::new(BaselineConfig::default());
+/// let data = Bytes::from(vec![7u8; 4096]);
+/// sys.write(Lba(1), data.clone())?;
+/// assert_eq!(sys.read(Lba(1))?, data.to_vec());
+/// # Ok::<(), fidr_baseline::SystemError>(())
+/// ```
+#[derive(Debug)]
+pub struct BaselineSystem {
+    cfg: BaselineConfig,
+    predictor: UniquePredictor,
+    cache: TableCache<BPlusTree>,
+    table_ssd: TableSsd,
+    data_ssd: DataSsdArray,
+    lba_map: LbaPbaTable,
+    builder: ContainerBuilder,
+    /// Raw chunk data of the still-open container, readable before seal
+    /// (staged in host memory, as the baseline builds containers there).
+    staging: HashMap<u32, Vec<u8>>,
+    next_pbn: u64,
+    next_container: u64,
+    /// Fingerprint of each live unique chunk (for Hash-PBN deletion).
+    pbn_fp: HashMap<Pbn, Fingerprint>,
+    /// PBNs ever appended to each container.
+    container_pbns: HashMap<u64, Vec<Pbn>>,
+    liveness: ContainerLiveness,
+    /// PBNs awaiting collection.
+    dead: Vec<Pbn>,
+    ledger: Ledger,
+    stats: ReductionStats,
+}
+
+impl BaselineSystem {
+    /// Builds a baseline server from `cfg`.
+    pub fn new(cfg: BaselineConfig) -> Self {
+        let table_ssd = TableSsd::new(cfg.table_buckets, QueueLocation::HostMemory);
+        BaselineSystem {
+            predictor: UniquePredictor::new(cfg.predictor_bits),
+            cache: TableCache::new(cfg.cache_lines, BPlusTree::new()),
+            table_ssd,
+            data_ssd: DataSsdArray::new(cfg.data_ssds),
+            lba_map: LbaPbaTable::new(),
+            builder: ContainerBuilder::new(0, cfg.container_threshold),
+            staging: HashMap::new(),
+            next_pbn: 0,
+            next_container: 0,
+            pbn_fp: HashMap::new(),
+            container_pbns: HashMap::new(),
+            liveness: ContainerLiveness::new(),
+            dead: Vec::new(),
+            ledger: Ledger::new(),
+            stats: ReductionStats::default(),
+            cfg,
+        }
+    }
+
+    /// Resource ledger accumulated so far.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Data-reduction outcomes so far.
+    pub fn stats(&self) -> ReductionStats {
+        self.stats
+    }
+
+    /// Table-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Predictor accuracy counters.
+    pub fn predictor_stats(&self) -> PredictorStats {
+        self.predictor.stats()
+    }
+
+    /// Bytes stored on the data SSDs so far (sealed containers).
+    pub fn stored_bytes(&self) -> u64 {
+        self.data_ssd.stored_bytes()
+    }
+
+    /// Handles one 4-KB client write (Figure 2a).
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::BadChunkSize`] for non-4-KB chunks and
+    /// [`SystemError::TableFull`] on Hash-PBN bucket overflow.
+    pub fn write(&mut self, lba: Lba, data: Bytes) -> Result<(), SystemError> {
+        if data.len() != BUCKET_BYTES {
+            return Err(SystemError::BadChunkSize(data.len()));
+        }
+        let len = data.len() as u64;
+        let cost = self.cfg.cost;
+        self.ledger.add_client_write_bytes(len);
+        self.stats.write_chunks += 1;
+        self.stats.raw_bytes += len;
+
+        // 1. NIC DMAs the request into a host-memory buffer.
+        ops::dma_to_host(&mut self.ledger, PcieLink::NicHost, MemPath::NicBuffering, len);
+        self.ledger
+            .charge_cpu(CpuTask::NicDriver, cost.nic_driver_cycles_per_chunk);
+
+        // 2. The unique-chunk predictor scans the buffered data.
+        ops::cpu_touch(&mut self.ledger, MemPath::UniquePrediction, len);
+        self.ledger
+            .charge_cpu(CpuTask::UniquePrediction, cost.predictor_cycles_per_chunk);
+        let predicted_unique = self.predictor.predict_unique(&data);
+
+        // 3. Batch scheduling groups chunks for the FPGA.
+        self.ledger
+            .charge_cpu(CpuTask::BatchScheduling, cost.batch_sched_cycles_per_chunk);
+
+        // 4. Every chunk crosses host memory → FPGA.
+        ops::dma_from_host(
+            &mut self.ledger,
+            PcieLink::HostCompression,
+            MemPath::FpgaStaging,
+            len,
+        );
+
+        // FPGA work: hash everything; compress the predicted uniques.
+        let fingerprint = Fingerprint::of(&data);
+        let mut compressed = predicted_unique.then(|| CompressedChunk::compress(&data));
+
+        // 5. Hashes (and compressed uniques) come back to host memory.
+        let returned = 32 + compressed.as_ref().map_or(0, |c| c.stored_len() as u64);
+        ops::dma_to_host(
+            &mut self.ledger,
+            PcieLink::HostCompression,
+            MemPath::FpgaStaging,
+            returned,
+        );
+
+        // 6. Software table-cache lookup validates the prediction.
+        let (existing, line) = self.table_lookup(fingerprint)?;
+        let actually_unique = existing.is_none();
+        self.predictor.validate(predicted_unique, actually_unique);
+
+        let pbn = if let Some(pbn) = existing {
+            self.stats.duplicate_chunks += 1;
+            // A mispredicted "unique" wasted the compression work and the
+            // PCIe/memory round trip already charged above.
+            pbn
+        } else {
+            self.stats.unique_chunks += 1;
+            let chunk = match compressed.take() {
+                Some(c) => c,
+                None => {
+                    // Misprediction: a second FPGA round trip compresses
+                    // the chunk the predictor wrongly called a duplicate.
+                    ops::dma_from_host(
+                        &mut self.ledger,
+                        PcieLink::HostCompression,
+                        MemPath::FpgaStaging,
+                        len,
+                    );
+                    self.ledger.charge_cpu(
+                        CpuTask::BatchScheduling,
+                        cost.batch_sched_cycles_per_chunk,
+                    );
+                    let c = CompressedChunk::compress(&data);
+                    ops::dma_to_host(
+                        &mut self.ledger,
+                        PcieLink::HostCompression,
+                        MemPath::FpgaStaging,
+                        c.stored_len() as u64,
+                    );
+                    c
+                }
+            };
+            self.predictor.observe(&data);
+            let pbn = Pbn(self.next_pbn);
+            self.next_pbn += 1;
+
+            // Insert the new entry into the cached bucket (dirty line).
+            self.cache
+                .bucket_mut(line)
+                .insert(fingerprint, pbn)
+                .map_err(|_| SystemError::TableFull)?;
+            self.ledger
+                .charge_cpu(CpuTask::TreeIndexing, self.cfg.cost.tree_update_cycles);
+
+            // Stage the compressed chunk into the open container.
+            self.stats.stored_bytes += chunk.stored_len() as u64;
+            let slot = self.builder.append(&chunk);
+            self.staging.insert(slot.offset, data.to_vec());
+            self.lba_map.record_pbn(
+                pbn,
+                PbnLocation {
+                    container: self.builder.id(),
+                    offset: slot.offset,
+                    compressed_len: slot.compressed_len,
+                },
+            );
+            self.pbn_fp.insert(pbn, fingerprint);
+            self.container_pbns
+                .entry(self.builder.id())
+                .or_default()
+                .push(pbn);
+            self.liveness.record_append(self.builder.id());
+            if self.builder.is_full() {
+                self.seal_container();
+            }
+            pbn
+        };
+
+        self.map_lba(lba, pbn);
+        self.ledger
+            .charge_cpu(CpuTask::LbaMap, cost.lba_map_cycles);
+        self.ledger
+            .charge_cpu(CpuTask::Other, cost.misc_cycles_per_chunk);
+        Ok(())
+    }
+
+    /// Points `lba` at `pbn`, queueing orphaned chunks for collection and
+    /// resurrecting dead-but-uncollected chunks a duplicate re-references.
+    fn map_lba(&mut self, lba: Lba, pbn: Pbn) {
+        let resurrecting = self.lba_map.refcount(pbn) == 0 && self.dead.contains(&pbn);
+        if resurrecting {
+            let loc = self.lba_map.location(pbn).expect("queued dead PBN is located");
+            self.liveness.record_revive(loc.container);
+            self.dead.retain(|&d| d != pbn);
+        }
+        if let Some(dead) = self.lba_map.map_write(lba, pbn) {
+            if let Some(loc) = self.lba_map.location(dead) {
+                self.liveness.record_dead(loc.container);
+            }
+            self.dead.push(dead);
+        }
+    }
+
+    /// Garbage collection for the baseline: the same two phases as FIDR's
+    /// collector, but every survivor rewrite bounces through host memory
+    /// (SSD → host → FPGA → host → SSD) under CPU control — GC pressure is
+    /// part of why the host-centric design scales poorly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates data-SSD decode failures.
+    pub fn collect_garbage(&mut self, live_threshold: f64) -> Result<GcReport, SystemError> {
+        let cost = self.cfg.cost;
+        let mut report = GcReport::default();
+
+        for pbn in std::mem::take(&mut self.dead) {
+            if self.lba_map.refcount(pbn) > 0 {
+                continue;
+            }
+            let fp = self
+                .pbn_fp
+                .remove(&pbn)
+                .expect("dead PBN has a fingerprint on record");
+            self.lba_map.reclaim(pbn);
+            let (_, line) = self.table_lookup(fp)?;
+            self.cache.bucket_mut(line).remove(&fp);
+            self.ledger
+                .charge_cpu(CpuTask::TreeIndexing, cost.tree_update_cycles);
+            report.reclaimed_pbns += 1;
+        }
+
+        for container in self.liveness.sparse_containers(live_threshold) {
+            if container == self.builder.id() {
+                continue;
+            }
+            let pbns = self.container_pbns.remove(&container).unwrap_or_default();
+            for pbn in pbns {
+                if self.lba_map.refcount(pbn) == 0 {
+                    continue;
+                }
+                let loc = self.lba_map.location(pbn).expect("live PBN located");
+                if loc.container != container {
+                    continue;
+                }
+                let data = self.fetch_chunk(Pba {
+                    container: loc.container,
+                    offset: loc.offset,
+                    compressed_len: loc.compressed_len,
+                })?;
+                let io_bytes = loc.compressed_len as u64 + 4;
+                // SSD → host memory, host → FPGA for recompression, back.
+                ops::dma_to_host(
+                    &mut self.ledger,
+                    PcieLink::HostDataSsd,
+                    MemPath::DataSsdStaging,
+                    io_bytes,
+                );
+                self.ledger
+                    .charge_cpu(CpuTask::DataSsdStack, cost.data_ssd_io_cycles);
+                self.ledger.data_ssd_read_bytes += io_bytes;
+                ops::dma_from_host(
+                    &mut self.ledger,
+                    PcieLink::HostCompression,
+                    MemPath::FpgaStaging,
+                    data.len() as u64,
+                );
+                let compressed = CompressedChunk::compress(&data);
+                ops::dma_to_host(
+                    &mut self.ledger,
+                    PcieLink::HostCompression,
+                    MemPath::FpgaStaging,
+                    compressed.stored_len() as u64,
+                );
+
+                let slot = self.builder.append(&compressed);
+                self.staging.insert(slot.offset, data);
+                self.lba_map.relocate(
+                    pbn,
+                    PbnLocation {
+                        container: self.builder.id(),
+                        offset: slot.offset,
+                        compressed_len: slot.compressed_len,
+                    },
+                );
+                self.container_pbns
+                    .entry(self.builder.id())
+                    .or_default()
+                    .push(pbn);
+                self.liveness.record_append(self.builder.id());
+                report.moved_chunks += 1;
+                if self.builder.is_full() {
+                    self.seal_container();
+                }
+            }
+            if let Some(freed) = self.data_ssd.remove_container(container) {
+                report.freed_bytes += freed;
+            }
+            self.liveness.remove(container);
+            report.compacted_containers += 1;
+        }
+        Ok(report)
+    }
+
+    /// Dead chunks queued for the next collection pass.
+    pub fn pending_dead_chunks(&self) -> usize {
+        self.dead.len()
+    }
+
+    /// Splits a multi-chunk client write into 4-KB chunks and writes
+    /// each; returns the chunk count.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::BadChunkSize`] if the request is empty or ragged,
+    /// plus anything [`write`](BaselineSystem::write) returns.
+    pub fn write_request(&mut self, start: Lba, data: Bytes) -> Result<usize, SystemError> {
+        let len = data.len();
+        let chunks = fidr_chunk::FixedChunker::default()
+            .split(start, data)
+            .map_err(|_| SystemError::BadChunkSize(len))?;
+        let n = chunks.len();
+        for chunk in chunks {
+            self.write(chunk.lba, chunk.data)?;
+        }
+        Ok(n)
+    }
+
+    /// Reads `chunks` consecutive blocks starting at `start` and returns
+    /// their concatenated contents.
+    ///
+    /// # Errors
+    ///
+    /// Anything [`read`](BaselineSystem::read) returns for any block.
+    pub fn read_range(&mut self, start: Lba, chunks: usize) -> Result<Vec<u8>, SystemError> {
+        let mut out = Vec::with_capacity(chunks * BUCKET_BYTES);
+        for i in 0..chunks as u64 {
+            out.extend(self.read(Lba(start.0 + i))?);
+        }
+        Ok(out)
+    }
+
+    /// Handles one 4-KB client read (Figure 2b) and returns the data.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::NotMapped`] for never-written addresses and
+    /// [`SystemError::Corrupt`] if the SSD region fails to decode.
+    pub fn read(&mut self, lba: Lba) -> Result<Vec<u8>, SystemError> {
+        let cost = self.cfg.cost;
+        self.ledger.add_client_read_bytes(BUCKET_BYTES as u64);
+        self.stats.read_chunks += 1;
+
+        // NIC forwards the LBA to the host; software resolves the PBA and
+        // schedules the chunk into a decompression batch.
+        self.ledger
+            .charge_cpu(CpuTask::NicDriver, cost.nic_driver_cycles_per_chunk);
+        self.ledger.charge_cpu(CpuTask::LbaMap, cost.lba_map_cycles);
+        self.ledger
+            .charge_cpu(CpuTask::BatchScheduling, cost.batch_sched_cycles_per_chunk);
+        self.ledger
+            .charge_cpu(CpuTask::Other, cost.misc_cycles_per_chunk);
+        let pba = self.lba_map.lookup(lba).ok_or(SystemError::NotMapped(lba))?;
+
+        let data = self.fetch_chunk(pba)?;
+
+        // Compressed data SSD -> host memory.
+        let io_bytes = pba.compressed_len as u64 + 4;
+        ops::dma_to_host(
+            &mut self.ledger,
+            PcieLink::HostDataSsd,
+            MemPath::DataSsdStaging,
+            io_bytes,
+        );
+        self.ledger
+            .charge_cpu(CpuTask::DataSsdStack, cost.data_ssd_io_cycles);
+        self.ledger.data_ssd_read_bytes += io_bytes;
+
+        // Host memory -> FPGA for decompression, decompressed data back.
+        ops::dma_from_host(
+            &mut self.ledger,
+            PcieLink::HostCompression,
+            MemPath::FpgaStaging,
+            io_bytes,
+        );
+        ops::dma_to_host(
+            &mut self.ledger,
+            PcieLink::HostCompression,
+            MemPath::FpgaStaging,
+            data.len() as u64,
+        );
+
+        // NIC picks the decompressed data up from host memory.
+        ops::dma_from_host(
+            &mut self.ledger,
+            PcieLink::NicHost,
+            MemPath::NicBuffering,
+            data.len() as u64,
+        );
+        self.ledger
+            .charge_cpu(CpuTask::NicDriver, cost.nic_driver_cycles_per_chunk);
+        Ok(data)
+    }
+
+    /// Seals any open container and flushes dirty table-cache lines.
+    pub fn flush(&mut self) {
+        if !self.builder.is_empty() {
+            self.seal_container();
+        }
+        self.cache.flush_all(&mut self.table_ssd);
+    }
+
+    /// Captures all durable state for persistence (flushes first). The
+    /// snapshot format is shared with the FIDR system, so a volume can be
+    /// checkpointed under one architecture and restored under the other.
+    pub fn checkpoint(&mut self) -> Snapshot {
+        self.flush();
+        let store = self.table_ssd.store();
+        let mut table_buckets = Vec::new();
+        for idx in 0..store.num_buckets() {
+            let bucket = store.bucket(idx);
+            if !bucket.is_empty() {
+                table_buckets.push((idx, bucket.clone()));
+            }
+        }
+        Snapshot {
+            num_buckets: store.num_buckets(),
+            table_buckets,
+            lbas: self.lba_map.lba_entries().collect(),
+            pbns: self.lba_map.pbn_entries().collect(),
+            containers: self.data_ssd.containers().cloned().collect(),
+            next_pbn: self.next_pbn,
+            next_container: self.next_container,
+            pbn_fp: self.pbn_fp.iter().map(|(&p, &f)| (p, f)).collect(),
+            liveness: self.liveness.entries().collect(),
+            dead: self.dead.clone(),
+        }
+    }
+
+    /// Rebuilds a baseline server from a [`Snapshot`] (restart recovery).
+    /// The snapshot's table geometry overrides `cfg.table_buckets`.
+    pub fn restore(cfg: BaselineConfig, snapshot: Snapshot) -> Self {
+        let cfg = BaselineConfig {
+            table_buckets: snapshot.num_buckets,
+            ..cfg
+        };
+        let mut sys = BaselineSystem::new(cfg);
+
+        let mut store = HashPbnStore::new(snapshot.num_buckets);
+        for (idx, bucket) in snapshot.table_buckets {
+            store.write_bucket(idx, bucket);
+        }
+        sys.table_ssd = TableSsd::from_store(store, QueueLocation::HostMemory);
+
+        for container in snapshot.containers {
+            sys.data_ssd.load_container(container);
+        }
+        sys.lba_map = LbaPbaTable::from_entries(snapshot.lbas, snapshot.pbns);
+        sys.next_pbn = snapshot.next_pbn;
+        sys.next_container = snapshot.next_container;
+        sys.builder =
+            ContainerBuilder::new(snapshot.next_container, sys.cfg.container_threshold);
+        sys.pbn_fp = snapshot.pbn_fp.into_iter().collect();
+        sys.container_pbns.clear();
+        for (pbn, loc) in sys.lba_map.pbn_entries().collect::<Vec<_>>() {
+            sys.container_pbns
+                .entry(loc.container)
+                .or_default()
+                .push(pbn);
+        }
+        sys.liveness = ContainerLiveness::from_entries(snapshot.liveness);
+        sys.dead = snapshot.dead;
+        // The predictor is soft state: re-observing nothing is safe (it
+        // only mispredicts more until it re-learns).
+        sys
+    }
+
+    /// Fault injection for tests and demos: flips one stored bit on the
+    /// data SSDs. The next scrub (or read) of the affected chunk must
+    /// detect it. Returns `false` if the location does not exist.
+    pub fn inject_data_corruption(&mut self, container: u64, byte: usize) -> bool {
+        self.data_ssd.inject_corruption(container, byte)
+    }
+
+    /// Background integrity scrub (fsck): verifies every live chunk's
+    /// stored bytes against its recorded SHA-256 fingerprint. Returns the
+    /// number of chunks verified.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::Corrupt`] naming the first mismatching PBN.
+    pub fn verify_integrity(&mut self) -> Result<u64, SystemError> {
+        let live: Vec<(Pbn, PbnLocation)> = self
+            .lba_map
+            .pbn_entries()
+            .filter(|(pbn, _)| self.lba_map.refcount(*pbn) > 0)
+            .collect();
+        let mut verified = 0u64;
+        for (pbn, loc) in live {
+            let data = self.fetch_chunk(Pba {
+                container: loc.container,
+                offset: loc.offset,
+                compressed_len: loc.compressed_len,
+            })?;
+            let expect = self
+                .pbn_fp
+                .get(&pbn)
+                .ok_or_else(|| SystemError::Corrupt(format!("{pbn} missing fingerprint")))?;
+            if Fingerprint::of(&data) != *expect {
+                return Err(SystemError::Corrupt(format!(
+                    "{pbn} content does not match its fingerprint"
+                )));
+            }
+            verified += 1;
+        }
+        Ok(verified)
+    }
+
+    fn fetch_chunk(&mut self, pba: Pba) -> Result<Vec<u8>, SystemError> {
+        if pba.container == self.builder.id() {
+            return self
+                .staging
+                .get(&pba.offset)
+                .cloned()
+                .ok_or_else(|| SystemError::Corrupt("missing staged chunk".to_string()));
+        }
+        self.data_ssd
+            .read_chunk(pba)
+            .map_err(|e| SystemError::Corrupt(e.to_string()))
+    }
+
+    fn seal_container(&mut self) {
+        let threshold = self.cfg.container_threshold;
+        self.next_container += 1;
+        let full = std::mem::replace(
+            &mut self.builder,
+            ContainerBuilder::new(self.next_container, threshold),
+        );
+        self.staging.clear();
+        let bytes = full.len() as u64;
+
+        // Container bounces host memory → data SSD.
+        ops::dma_from_host(
+            &mut self.ledger,
+            PcieLink::HostDataSsd,
+            MemPath::DataSsdStaging,
+            bytes,
+        );
+        self.ledger
+            .charge_cpu(CpuTask::DataSsdStack, self.cfg.cost.data_ssd_io_cycles);
+        self.ledger.data_ssd_write_bytes += bytes;
+        self.stats.containers_sealed += 1;
+        self.data_ssd.write_container(full.seal());
+    }
+
+    /// Looks up `fingerprint` through the software-managed table cache,
+    /// charging the Table 2 cost categories, and returns the stored PBN
+    /// (if duplicate) plus the cache line holding the bucket.
+    fn table_lookup(
+        &mut self,
+        fingerprint: Fingerprint,
+    ) -> Result<(Option<Pbn>, u32), SystemError> {
+        let cost = self.cfg.cost;
+        let bucket_idx = fingerprint.bucket_index(self.table_ssd.num_buckets());
+
+        // B+ tree search on the CPU.
+        self.ledger
+            .charge_cpu(CpuTask::TreeIndexing, cost.tree_search_cycles);
+        let access = self.cache.access(bucket_idx, &mut self.table_ssd);
+
+        if !access.hit {
+            // Miss: bucket fetched table SSD → host memory by the CPU's
+            // NVMe stack; tree insert for the new line.
+            ops::dma_to_host(
+                &mut self.ledger,
+                PcieLink::HostTableSsd,
+                MemPath::TableCache,
+                BUCKET_BYTES as u64,
+            );
+            self.ledger
+                .charge_cpu(CpuTask::TableSsdStack, cost.table_ssd_io_cycles);
+            self.ledger.table_ssd_read_bytes += BUCKET_BYTES as u64;
+            self.ledger
+                .charge_cpu(CpuTask::TreeIndexing, cost.tree_update_cycles);
+
+            // Evictions: tree deletes, LRU work, dirty flushes.
+            for _ in 0..access.evicted {
+                self.ledger
+                    .charge_cpu(CpuTask::TreeIndexing, cost.tree_update_cycles);
+                self.ledger
+                    .charge_cpu(CpuTask::CacheReplacement, cost.lru_cycles);
+            }
+            for _ in 0..access.flushed {
+                ops::dma_from_host(
+                    &mut self.ledger,
+                    PcieLink::HostTableSsd,
+                    MemPath::TableCache,
+                    BUCKET_BYTES as u64,
+                );
+                self.ledger
+                    .charge_cpu(CpuTask::TableSsdStack, cost.table_ssd_io_cycles);
+                self.ledger.table_ssd_write_bytes += BUCKET_BYTES as u64;
+            }
+        }
+
+        // The CPU scans the cached bucket content for the fingerprint.
+        ops::cpu_touch(&mut self.ledger, MemPath::TableCache, BUCKET_BYTES as u64);
+        self.ledger
+            .charge_cpu(CpuTask::TableContentScan, cost.bucket_scan_cycles);
+        self.ledger
+            .charge_cpu(CpuTask::CacheReplacement, cost.lru_cycles);
+
+        let pbn = self.cache.bucket(access.line).lookup(&fingerprint);
+        Ok((pbn, access.line))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> BaselineSystem {
+        BaselineSystem::new(BaselineConfig {
+            cache_lines: 64,
+            table_buckets: 1 << 12,
+            container_threshold: 64 << 10,
+            ..BaselineConfig::default()
+        })
+    }
+
+    fn chunk(tag: u64) -> Bytes {
+        Bytes::from(fidr_compress::ContentGenerator::new(0.5).chunk(tag, 4096))
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut s = sys();
+        let data = chunk(1);
+        s.write(Lba(5), data.clone()).unwrap();
+        assert_eq!(s.read(Lba(5)).unwrap(), data.to_vec());
+    }
+
+    #[test]
+    fn duplicates_are_eliminated() {
+        let mut s = sys();
+        let data = chunk(9);
+        for lba in 0..10u64 {
+            s.write(Lba(lba), data.clone()).unwrap();
+        }
+        let st = s.stats();
+        assert_eq!(st.unique_chunks, 1);
+        assert_eq!(st.duplicate_chunks, 9);
+        assert!(st.stored_bytes < 4096);
+        // Every copy reads back the same content.
+        for lba in 0..10u64 {
+            assert_eq!(s.read(Lba(lba)).unwrap(), data.to_vec());
+        }
+    }
+
+    #[test]
+    fn overwrite_returns_newest() {
+        let mut s = sys();
+        s.write(Lba(1), chunk(1)).unwrap();
+        s.write(Lba(1), chunk(2)).unwrap();
+        assert_eq!(s.read(Lba(1)).unwrap(), chunk(2).to_vec());
+    }
+
+    #[test]
+    fn read_of_unwritten_errors() {
+        let mut s = sys();
+        assert!(matches!(s.read(Lba(77)), Err(SystemError::NotMapped(_))));
+    }
+
+    #[test]
+    fn bad_chunk_size_rejected() {
+        let mut s = sys();
+        assert!(matches!(
+            s.write(Lba(0), Bytes::from(vec![0u8; 100])),
+            Err(SystemError::BadChunkSize(100))
+        ));
+    }
+
+    #[test]
+    fn containers_seal_and_remain_readable() {
+        let mut s = sys();
+        let mut written = Vec::new();
+        for i in 0..64u64 {
+            let data = chunk(1000 + i);
+            s.write(Lba(i), data.clone()).unwrap();
+            written.push((Lba(i), data));
+        }
+        assert!(s.stats().containers_sealed >= 1);
+        for (lba, data) in written {
+            assert_eq!(s.read(lba).unwrap(), data.to_vec(), "{lba}");
+        }
+    }
+
+    #[test]
+    fn ledger_charges_every_category_on_writes() {
+        let mut s = sys();
+        for i in 0..300u64 {
+            s.write(Lba(i), chunk(i % 50)).unwrap();
+        }
+        let l = s.ledger();
+        assert!(l.mem_bytes(MemPath::NicBuffering) > 0);
+        assert!(l.mem_bytes(MemPath::UniquePrediction) > 0);
+        assert!(l.mem_bytes(MemPath::FpgaStaging) > 0);
+        assert!(l.mem_bytes(MemPath::TableCache) > 0);
+        assert!(l.cpu_cycles(CpuTask::UniquePrediction) > 0);
+        assert!(l.cpu_cycles(CpuTask::TreeIndexing) > 0);
+        // Memory traffic far exceeds client bytes — the §3.2 bottleneck.
+        assert!(l.mem_bytes_per_client_byte() > 3.0);
+    }
+
+    #[test]
+    fn dedup_ratio_tracks_content() {
+        let mut s = sys();
+        // 50% duplicates: two writes of each content.
+        for i in 0..200u64 {
+            s.write(Lba(i), chunk(i / 2)).unwrap();
+        }
+        assert!((s.stats().dedup_ratio() - 0.5).abs() < 0.01);
+    }
+}

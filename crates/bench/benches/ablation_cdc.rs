@@ -1,0 +1,95 @@
+//! Ablation: fixed 4-KB chunking vs content-defined chunking.
+//!
+//! The paper picks fixed small chunking for its low computational cost
+//! (§2.1.1) — variable chunking is what commercial backup systems use to
+//! survive *byte-shifted* duplicates. This ablation measures both on two
+//! streams: block-aligned duplicates (fixed chunking's home turf) and a
+//! re-uploaded stream with a few bytes inserted (CDC's home turf).
+
+use fidr::chunk::GearChunker;
+use fidr::hash::Fingerprint;
+use fidr_bench::{banner, ops};
+use std::collections::HashSet;
+
+fn noise(len: usize, seed: u64) -> Vec<u8> {
+    let mut s = seed | 1;
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 24) as u8
+        })
+        .collect()
+}
+
+fn fixed_dedup(streams: &[&[u8]]) -> f64 {
+    let mut seen: HashSet<Fingerprint> = HashSet::new();
+    let mut total = 0u64;
+    let mut dups = 0u64;
+    for stream in streams {
+        for chunk in stream.chunks(4096) {
+            total += 1;
+            if !seen.insert(Fingerprint::of(chunk)) {
+                dups += 1;
+            }
+        }
+    }
+    dups as f64 / total as f64
+}
+
+fn cdc_dedup(streams: &[&[u8]]) -> f64 {
+    let chunker = GearChunker::new(1024, 4096, 16384);
+    let mut seen: HashSet<Fingerprint> = HashSet::new();
+    let mut total = 0u64;
+    let mut dups = 0u64;
+    for stream in streams {
+        for cut in chunker.split(stream) {
+            total += 1;
+            if !seen.insert(Fingerprint::of(&stream[cut.start..cut.start + cut.len])) {
+                dups += 1;
+            }
+        }
+    }
+    dups as f64 / total as f64
+}
+
+fn main() {
+    banner(
+        "Ablation",
+        "fixed 4-KB vs content-defined chunking on shifted duplicates",
+    );
+    let len = (ops() * 256).max(1 << 20);
+    let base = noise(len, 42);
+
+    // Scenario A: the same stream re-written block-aligned.
+    let aligned = base.clone();
+    // Scenario B: the same stream re-uploaded with 7 bytes inserted near
+    // the front (the classic backup-delta case).
+    let mut shifted = base.clone();
+    for (i, b) in [1u8, 2, 3, 4, 5, 6, 7].iter().enumerate() {
+        shifted.insert(1000 + i * 3, *b);
+    }
+
+    println!(
+        "{:<34} {:>14} {:>14}",
+        "scenario", "fixed 4 KB", "CDC (gear)"
+    );
+    println!(
+        "{:<34} {:>13.1}% {:>13.1}%",
+        "aligned re-write",
+        fixed_dedup(&[&base, &aligned]) * 100.0,
+        cdc_dedup(&[&base, &aligned]) * 100.0,
+    );
+    println!(
+        "{:<34} {:>13.1}% {:>13.1}%",
+        "re-upload with 7 bytes inserted",
+        fixed_dedup(&[&base, &shifted]) * 100.0,
+        cdc_dedup(&[&base, &shifted]) * 100.0,
+    );
+    println!("\nfixed chunking collapses on byte-shifted data (every block after");
+    println!("the insertion changes), while CDC re-synchronizes within a few");
+    println!("chunks. Primary block storage is write-aligned, which is why the");
+    println!("paper (and this system) chooses fixed 4-KB chunking — but the CDC");
+    println!("path is here for object/backup-style front ends.");
+}

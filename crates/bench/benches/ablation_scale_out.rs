@@ -1,0 +1,46 @@
+//! Ablation: multi-socket scale-out.
+//!
+//! The paper evaluates per socket and argues sockets scale independently
+//! (§3.2). This bench stripes the Write-H client space across 1/2/4
+//! independent shards (sockets), runs them on real parallel threads, and
+//! reports both the aggregate projected throughput (which must scale
+//! linearly — each socket serves its own client population) and this
+//! process's functional wall-clock throughput (real SHA-256 + LZ work
+//! per second; scales with host cores, of which CI machines may have 1).
+
+use fidr::hwsim::PlatformSpec;
+use fidr::workload::WorkloadSpec;
+use fidr::{run_workload_sharded, RunConfig, SystemVariant};
+use fidr_bench::{banner, ops};
+
+fn main() {
+    banner("Ablation", "multi-socket scale-out (FIDR full, Write-H)");
+    let platform = PlatformSpec::default();
+    let n = ops();
+    println!(
+        "{:>8} {:>22} {:>24} {:>14}",
+        "sockets", "aggregate projected", "functional wall-clock", "scaling"
+    );
+    let mut single = 0.0;
+    for shards in [1usize, 2, 4] {
+        let report = run_workload_sharded(
+            SystemVariant::FidrFull,
+            WorkloadSpec::write_h(n),
+            RunConfig::default(),
+            shards,
+        );
+        let agg = report.aggregate_gbps(&platform);
+        if shards == 1 {
+            single = agg;
+        }
+        println!(
+            "{:>8} {:>17.1} GB/s {:>19.3} GB/s {:>13.2}x",
+            shards,
+            agg,
+            report.functional_gbps(),
+            agg / single,
+        );
+    }
+    println!("\nprojected capacity adds per socket (independent cores/memory/IO);");
+    println!("the functional number is this process really reducing data on N threads.");
+}

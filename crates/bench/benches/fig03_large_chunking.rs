@@ -1,0 +1,45 @@
+//! Figure 3: IO-request inflation under large chunking.
+//!
+//! Replays mail-server-like and webVM-like write traces through the
+//! deduplicating store at 4-KB vs larger chunk sizes with the paper's
+//! 4-MB request buffer, and reports total SSD IO normalized to 4-KB
+//! chunking. Paper headline: up to 17.5× more IO at 32-KB chunking.
+
+use fidr::chunk::replay_chunking;
+use fidr::workload::skeleton::{mail_trace, webvm_trace};
+use fidr_bench::{banner, ops};
+
+fn main() {
+    banner(
+        "Figure 3",
+        "IO increase from read-modify-write + dedup loss under large chunking",
+    );
+    let n = ops() * 4;
+    let buffer_blocks = 1024; // 4 MB of 4-KB blocks (§3.1)
+
+    for (name, trace) in [
+        ("Mail", mail_trace(n, 0xF1D0_0003)),
+        ("WebVM", webvm_trace(n, 0xF1D0_0003)),
+    ] {
+        println!("\ntrace: {name} ({n} block writes, 4 MB request buffer)");
+        println!(
+            "{:>10} {:>12} {:>12} {:>12} {:>14} {:>12}",
+            "chunking", "RMW reads", "writes", "total IO", "dedup ratio", "vs 4 KB"
+        );
+        let base = replay_chunking(&trace, 1, buffer_blocks);
+        for chunk_blocks in [1usize, 2, 4, 8] {
+            let r = replay_chunking(&trace, chunk_blocks, buffer_blocks);
+            println!(
+                "{:>8}KB {:>12} {:>12} {:>12} {:>13.1}% {:>11.1}x",
+                chunk_blocks * 4,
+                r.rmw_read_blocks,
+                r.write_blocks,
+                r.total_io_blocks(),
+                r.dedup_ratio() * 100.0,
+                r.total_io_blocks() as f64 / base.total_io_blocks() as f64,
+            );
+        }
+    }
+    println!("\npaper: mail trace reaches up to 17.5x IO at 32-KB chunking;");
+    println!("       large chunks also degrade duplicate detection (§3.1).");
+}

@@ -1,0 +1,52 @@
+//! Figure 4: the baseline's host-memory-bandwidth bottleneck.
+//!
+//! Runs the CIDR-extended baseline on the §3.2 profiling workloads,
+//! measures host-DRAM bytes per client byte, and projects the bandwidth
+//! demand across throughputs — including the paper's two measured points
+//! (5 and 6.9 GB/s) and the 75 GB/s target. Paper headline: 317 GB/s
+//! (write-only) and 269 GB/s (mixed) demanded at 75 GB/s versus the
+//! socket's 170 GB/s theoretical maximum.
+
+use fidr::hwsim::{PlatformSpec, Projection};
+use fidr::{run_workload, SystemVariant};
+use fidr_bench::{banner, ops, profile_mixed, profile_run_config, profile_write_only};
+
+fn main() {
+    banner(
+        "Figure 4",
+        "memory bandwidth demand of the HW-accelerated baseline",
+    );
+    let platform = PlatformSpec::default();
+    let specs = [profile_write_only(ops()), profile_mixed(ops())];
+
+    for spec in specs {
+        let name = spec.name.clone();
+        let report = run_workload(SystemVariant::Baseline, spec, profile_run_config());
+        println!(
+            "\nworkload: {name}\n  measured host-memory traffic: {:.2} bytes per client byte",
+            report.ledger.mem_bytes_per_client_byte()
+        );
+        println!(
+            "{:>18} {:>22} {:>12}",
+            "throughput", "memory BW needed", "feasible?"
+        );
+        for gbps in [5.0, 6.9, 25.0, 40.0, 47.0, 75.0] {
+            let need = Projection::mem_bw_needed(&report.ledger, gbps * 1e9);
+            println!(
+                "{:>13.1} GB/s {:>17.1} GB/s {:>12}",
+                gbps,
+                need / 1e9,
+                if need <= platform.mem_bw { "yes" } else { "NO" }
+            );
+        }
+        let cap = platform.mem_bw / report.ledger.mem_bytes_per_client_byte();
+        println!(
+            "  socket limit {} => baseline caps at {:.1} GB/s ({:.1}x below the 75 GB/s target)",
+            fidr_bench::gbps(platform.mem_bw),
+            cap / 1e9,
+            75e9 / cap
+        );
+    }
+    println!("\npaper: 317 GB/s (write-only) / 269 GB/s (mixed) at 75 GB/s;");
+    println!("       170 GB/s available => throughput limited to 40-47 GB/s (1.9x short).");
+}

@@ -1,0 +1,52 @@
+//! Figure 14: end-to-end throughput of the staged FIDR designs.
+//!
+//! Projects each workload × variant onto the 22-core socket (§7.5's
+//! method: measured CPU, memory bandwidth, and Cache HW-Engine
+//! throughput). Paper headlines: NIC offload + P2P alone gives up to
+//! 1.6×; the single-update HW cache can *regress* Write-L/M; concurrent
+//! updates lift the total to up to 3.3× (write-only) and 1.7 × (mixed).
+
+use fidr::hwsim::PlatformSpec;
+use fidr::workload::WorkloadSpec;
+use fidr::{run_workload, RunConfig, SystemVariant};
+use fidr_bench::{banner, ops};
+
+fn main() {
+    banner(
+        "Figure 14",
+        "achievable throughput per variant, normalized to the baseline",
+    );
+    let platform = PlatformSpec::default();
+    println!(
+        "{:<12} {:>20} {:>16} {:>18} {:>16} {:>10}",
+        "Workload",
+        "baseline",
+        "+NIC+P2P",
+        "+HW cache (1upd)",
+        "full (4upd)",
+        "speedup"
+    );
+    for spec in WorkloadSpec::table3(ops()) {
+        let name = spec.name.clone();
+        let gbps: Vec<f64> = SystemVariant::ALL
+            .iter()
+            .map(|&v| {
+                run_workload(v, spec.clone(), RunConfig::default()).achievable_gbps(&platform)
+            })
+            .collect();
+        println!(
+            "{:<12} {:>15.1} GB/s {:>11.1} GB/s {:>13.1} GB/s {:>11.1} GB/s {:>9.2}x",
+            name,
+            gbps[0],
+            gbps[1],
+            gbps[2],
+            gbps[3],
+            gbps[3] / gbps[0]
+        );
+        if gbps[2] < gbps[1] {
+            println!("             ^ single-update HW tree regresses this workload (paper §7.5)");
+        }
+    }
+    println!("\npaper: up to 3.3x on write-only, 1.7x on Read-Mixed; NIC+P2P alone");
+    println!("up to 1.6x; single-update HW cache lowers Write-L/Write-M.");
+}

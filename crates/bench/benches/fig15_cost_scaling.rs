@@ -1,0 +1,67 @@
+//! Figure 15: storage cost vs throughput at two capacities.
+//!
+//! Sweeps 25/50/75 GB/s at 100 TB and 500 TB effective capacity and
+//! reports cost per effective GB (lower is better) for no-reduction, the
+//! baseline (forced into partial reduction above its ~25 GB/s per-socket
+//! ceiling), and FIDR. Paper headline: FIDR saving moves only from 67 %
+//! (25 GB/s) to 58 % (75 GB/s) at 500 TB; the baseline's forced partial
+//! reduction blows its cost up at high throughput.
+
+use fidr::cost::{CostModel, Scenario};
+use fidr_bench::banner;
+
+/// Baseline per-socket throughput ceiling measured in Figure 14's runs.
+const BASELINE_CAP_GBPS: f64 = 25.0;
+/// Cores per GB/s measured on the two systems (Figure 12's runs).
+const BASELINE_CORES_PER_GBPS: f64 = 0.9;
+const FIDR_CORES_PER_GBPS: f64 = 0.29;
+
+fn main() {
+    banner(
+        "Figure 15",
+        "cost per effective GB vs throughput (lower is better)",
+    );
+    let model = CostModel::default();
+
+    for capacity_tb in [100.0, 500.0] {
+        let effective_gb = capacity_tb * 1000.0;
+        println!("\ntarget capacity: {capacity_tb:.0} TB effective");
+        println!(
+            "{:>12} {:>16} {:>18} {:>14} {:>14}",
+            "throughput", "no reduction", "baseline(partial)", "FIDR", "FIDR saving"
+        );
+        for gbps in [25.0, 50.0, 75.0] {
+            let fidr = model.fidr(Scenario {
+                effective_gb,
+                throughput_gbps: gbps,
+                reduction_factor: 4.0,
+                reduced_fraction: 1.0,
+                cores: FIDR_CORES_PER_GBPS * gbps,
+                cache_dram_gb: 100.0,
+            });
+            // Above its ceiling, the baseline reduces only what it can
+            // keep up with; the rest lands unreduced on flash.
+            let reduced_fraction = (BASELINE_CAP_GBPS / gbps).min(1.0);
+            let baseline = model.baseline(Scenario {
+                effective_gb,
+                throughput_gbps: gbps,
+                reduction_factor: 4.0,
+                reduced_fraction,
+                cores: (BASELINE_CORES_PER_GBPS * gbps * reduced_fraction).min(22.0),
+                cache_dram_gb: 100.0,
+            });
+            let none = model.no_reduction(effective_gb);
+            println!(
+                "{:>7.0} GB/s {:>13.3} $/GB {:>15.3} $/GB {:>11.3} $/GB {:>13.1}%",
+                gbps,
+                none.total() / effective_gb,
+                baseline.total() / effective_gb,
+                fidr.total() / effective_gb,
+                model.saving(&fidr, effective_gb) * 100.0,
+            );
+        }
+    }
+    println!("\npaper: FIDR saving 67% at 25 GB/s -> 58% at 75 GB/s (500 TB);");
+    println!("the baseline matches FIDR at low throughput but must do partial");
+    println!("reduction beyond ~25 GB/s per socket, inflating its cost.");
+}

@@ -1,0 +1,42 @@
+//! §7.6: request latency.
+//!
+//! Prints the stage-by-stage server-side latency of a batched 4-KB read
+//! under both datapaths, and the write commit latency. Paper headline:
+//! reads drop from 700 µs (baseline) to 490 µs (FIDR); write commit
+//! latency matches a no-reduction system thanks to the battery-backed
+//! NIC buffer.
+
+use fidr::core::LatencyModel;
+use fidr::ssd::SsdSpec;
+use fidr_bench::banner;
+
+fn print_model(name: &str, model: &LatencyModel) {
+    println!("\n{name}:");
+    for stage in &model.stages {
+        println!("  {:<44} {:>8.0} us", stage.name, stage.time.as_secs_f64() * 1e6);
+    }
+    println!(
+        "  {:<44} {:>8.0} us",
+        "TOTAL",
+        model.total().as_secs_f64() * 1e6
+    );
+}
+
+fn main() {
+    banner("§7.6", "server-side request latency (4-KB read in a batch)");
+    let ssd = SsdSpec::default();
+    let baseline = LatencyModel::baseline_read(&ssd);
+    let fidr = LatencyModel::fidr_read(&ssd);
+    print_model("baseline read (SSD -> host -> FPGA -> host -> NIC)", &baseline);
+    print_model("FIDR read (SSD -> FPGA -> NIC, P2P)", &fidr);
+    println!(
+        "\nread latency: {:.0} us -> {:.0} us ({:.0}% lower)   [paper: 700 -> 490 us, 30%]",
+        baseline.total().as_secs_f64() * 1e6,
+        fidr.total().as_secs_f64() * 1e6,
+        (1.0 - fidr.total().as_secs_f64() / baseline.total().as_secs_f64()) * 100.0
+    );
+    println!(
+        "write commit latency: {:.0} us (NIC battery-backed buffer ack; §7.6.1)",
+        LatencyModel::write_commit().total().as_secs_f64() * 1e6
+    );
+}

@@ -1,0 +1,153 @@
+//! Criterion micro-benchmarks for the substrate primitives: SHA-256,
+//! the LZ codec, fingerprint bucketing, the software B+ tree, the HW-tree
+//! model, and Hash-PBN bucket scans.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fidr::cache::{BPlusTree, HwTree, HwTreeConfig, PipelinedTree};
+use fidr::chunk::Pbn;
+use fidr::compress::{compress, decompress, ContentGenerator};
+use fidr::hash::{Fingerprint, Sha256};
+use fidr::tables::Bucket;
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    let chunk = ContentGenerator::new(0.5).chunk(1, 4096);
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("digest_4k", |b| {
+        b.iter(|| Sha256::digest(black_box(&chunk)))
+    });
+    g.finish();
+}
+
+fn bench_lzss(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lzss");
+    let chunk = ContentGenerator::new(0.5).chunk(2, 4096);
+    let packed = compress(&chunk);
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("compress_4k_r05", |b| b.iter(|| compress(black_box(&chunk))));
+    g.bench_function("compress_4k_r05_high", |b| {
+        b.iter(|| {
+            fidr::compress::compress_with_level(
+                black_box(&chunk),
+                fidr::compress::CompressionLevel::High,
+            )
+        })
+    });
+    g.bench_function("decompress_4k_r05", |b| {
+        b.iter(|| decompress(black_box(&packed), 4096).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_fingerprint(c: &mut Criterion) {
+    let chunk = ContentGenerator::new(0.5).chunk(3, 4096);
+    let fp = Fingerprint::of(&chunk);
+    c.bench_function("fingerprint_bucket_index", |b| {
+        b.iter(|| black_box(&fp).bucket_index(1 << 20))
+    });
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree");
+    let mut tree = BPlusTree::new();
+    for k in 0..100_000u64 {
+        tree.insert(k.wrapping_mul(0x9E37_79B9_7F4A_7C15), k as u32);
+    }
+    let mut i = 0u64;
+    g.bench_function("search_100k", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            tree.search(black_box(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        })
+    });
+    g.bench_function("insert_remove", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let k = i.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1;
+            tree.insert(k, 0);
+            tree.remove(k)
+        })
+    });
+    g.finish();
+}
+
+fn bench_pipelined_tree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipelined_tree");
+    let mut tree = PipelinedTree::new();
+    for k in 0..100_000u64 {
+        tree.insert(k.wrapping_mul(0x9E37_79B9_7F4A_7C15), k as u32);
+    }
+    let mut i = 0u64;
+    g.bench_function("search_100k", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            tree.search(black_box(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        })
+    });
+    g.bench_function("insert_remove", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let k = i.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1;
+            tree.insert(k, 0);
+            tree.remove(k)
+        })
+    });
+    g.finish();
+}
+
+fn bench_hwtree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hwtree_model");
+    let mut tree = HwTree::new(HwTreeConfig {
+        update_slots: 4,
+        ..HwTreeConfig::with_levels(14)
+    });
+    for k in 0..50_000u64 {
+        tree.insert(k.wrapping_mul(0x9E37_79B9_7F4A_7C15), k as u32);
+    }
+    let mut i = 0u64;
+    g.bench_function("search", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            tree.search(black_box(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        })
+    });
+    g.bench_function("speculative_update", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let k = i.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1;
+            tree.insert(k, 0);
+            tree.remove(k)
+        })
+    });
+    g.finish();
+}
+
+fn bench_bucket_scan(c: &mut Criterion) {
+    let mut bucket = Bucket::new();
+    let mut fps = Vec::new();
+    for i in 0..100u64 {
+        let fp = Fingerprint::of(&i.to_le_bytes());
+        bucket.insert(fp, Pbn(i)).unwrap();
+        fps.push(fp);
+    }
+    let mut i = 0usize;
+    c.bench_function("bucket_scan_100_entries", |b| {
+        b.iter(|| {
+            i = (i + 1) % fps.len();
+            bucket.lookup(black_box(&fps[i]))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_lzss,
+    bench_fingerprint,
+    bench_btree,
+    bench_pipelined_tree,
+    bench_hwtree,
+    bench_bucket_scan
+);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Table 5: Cache HW-Engine resources and estimated throughput.
+//!
+//! Columns: the measured prototype ("All": 9-level tree + in-engine table
+//! SSD controllers, 410-MB cache, 2 GB/s table SSDs, ~10 GB/s Write-M
+//! throughput), the same tree without table-SSD access (~80 GB/s), and
+//! the projected 14-level ~100-GB "large tree" (~64 GB/s, URAM-heavy).
+
+use fidr::cache::{HwTree, HwTreeConfig};
+use fidr::cost::{cache_engine_resources, vcu1525, CacheEngineConfig};
+use fidr::hwsim::PlatformSpec;
+use fidr_bench::{banner, ops};
+
+/// Write-M-like engine throughput at `levels` with 4 update slots.
+fn engine_gbps(levels: usize, n: u64) -> f64 {
+    let cfg = HwTreeConfig {
+        update_slots: 4,
+        ..HwTreeConfig::with_levels(levels)
+    };
+    let mut tree = HwTree::new(cfg);
+    let mut victims = 0u64;
+    for i in 0..n {
+        tree.search(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if i % 100 < 19 {
+            tree.insert(i.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1, 0);
+            tree.remove(victims.wrapping_mul(0x6A09_E667_F3BC_C909) | 1);
+            victims += 1;
+        }
+    }
+    tree.throughput_bytes_per_sec(4096, PlatformSpec::default().fpga_dram_bw) / 1e9
+}
+
+fn main() {
+    banner("Table 5", "Cache HW-Engine: size, throughput, FPGA resources");
+    let board = vcu1525();
+    let n = (ops() as u64 * 8).max(100_000);
+
+    // The "All" column gates on the 2 GB/s table SSD at Write-M's 19 %
+    // miss rate: 2 / 0.19 ≈ 10.5 GB/s of client traffic.
+    let table_ssd_bw = 2.0;
+    let gated = table_ssd_bw / 0.19;
+    let medium = engine_gbps(9, n);
+    let large = engine_gbps(14, n);
+
+    let configs = [
+        (
+            "All (proto, 9 lvl + SSD ctrl)",
+            CacheEngineConfig::prototype(),
+            "410 MB",
+            "8/1",
+            format!("{gated:.0} GB/s"),
+            "10 GB/s",
+        ),
+        (
+            "Medium tree (no SSD access)",
+            CacheEngineConfig {
+                with_table_ssd_ctrl: false,
+                ..CacheEngineConfig::prototype()
+            },
+            "410 MB",
+            "8/1",
+            format!("{medium:.0} GB/s"),
+            "80 GB/s",
+        ),
+        (
+            "Large tree (14 lvl, ~100 GB)",
+            CacheEngineConfig::large_tree(),
+            "99,645 MB",
+            "13/1",
+            format!("{large:.0} GB/s"),
+            "64 GB/s",
+        ),
+    ];
+
+    println!(
+        "{:<30} {:>11} {:>9} {:>12} {:>10} {:>9} {:>8} {:>7} {:>7}",
+        "Config", "cache size", "on/off", "est. tput", "paper", "LUTs", "FFs", "BRAM", "URAM"
+    );
+    for (name, cfg, size, levels, tput, paper) in configs {
+        let r = cache_engine_resources(cfg);
+        println!(
+            "{:<30} {:>11} {:>9} {:>12} {:>10} {:>7}K {:>6}K {:>7} {:>7}",
+            name,
+            size,
+            levels,
+            tput,
+            paper,
+            r.luts / 1000,
+            r.ffs / 1000,
+            r.brams,
+            r.urams,
+        );
+    }
+    let large_r = cache_engine_resources(CacheEngineConfig::large_tree());
+    println!(
+        "\nlarge-tree URAM utilization: {:.1}% of the VU9P (paper: 78.8%)",
+        large_r.urams as f64 / board.urams as f64 * 100.0
+    );
+    println!("paper resources: All 320K LUTs/218 BRAM; medium 316K/202; large 348K/390+756 URAM.");
+}

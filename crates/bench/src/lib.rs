@@ -1,0 +1,70 @@
+//! # fidr-bench
+//!
+//! Shared plumbing for the benchmark harness. Each `benches/*.rs` target
+//! regenerates one table or figure from the paper's evaluation; run them
+//! all with `cargo bench`, or one with `cargo bench --bench fig14_...`.
+//!
+//! Set `FIDR_BENCH_OPS` to change the per-run request count (default
+//! 15,000; the paper's traces are millions of IOs, but the measured
+//! quantities are per-byte ratios that converge quickly).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fidr::workload::WorkloadSpec;
+
+/// Requests per run (override with `FIDR_BENCH_OPS`).
+pub fn ops() -> usize {
+    std::env::var("FIDR_BENCH_OPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15_000)
+}
+
+/// The §3.2 profiling workload: write-only, dedup and compression both
+/// 50 %.
+pub fn profile_write_only(ops: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "Write-only (50% dedup, 50% comp)".to_string(),
+        dedup_ratio: 0.5,
+        dup_near_fraction: 1.0,
+        dup_window: 4_000,
+        ..WorkloadSpec::write_h(ops)
+    }
+}
+
+/// The §3.2 mixed workload: half reads, writes as in
+/// [`profile_write_only`].
+pub fn profile_mixed(ops: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "Mixed read/write (50% dedup, 50% comp)".to_string(),
+        read_fraction: 0.5,
+        ..profile_write_only(ops)
+    }
+}
+
+/// Run sizing for the §3.2 profiling experiments (Figures 4–5, Tables
+/// 1–2): the baseline is profiled with a table cache covering ~70 % of
+/// the touched buckets, mirroring the paper's profiling conditions where
+/// table-cache hits dominate (Table 2's component shares imply a ~10 %
+/// miss rate).
+pub fn profile_run_config() -> fidr::RunConfig {
+    fidr::RunConfig {
+        cache_lines: 1_844, // 90 % of the buckets: warm within a short run
+        table_buckets: 1 << 11,
+        ..fidr::RunConfig::default()
+    }
+}
+
+/// Prints a figure/table banner.
+pub fn banner(id: &str, caption: &str) {
+    println!();
+    println!("==============================================================");
+    println!("{id}: {caption}");
+    println!("==============================================================");
+}
+
+/// Formats bytes/s as GB/s.
+pub fn gbps(bytes_per_sec: f64) -> String {
+    format!("{:.1} GB/s", bytes_per_sec / 1e9)
+}

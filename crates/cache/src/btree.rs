@@ -1,0 +1,622 @@
+//! A from-scratch arena-allocated B+ tree mapping `u64` → `u32`.
+//!
+//! The CIDR-style baseline indexes its host-DRAM table cache with "an
+//! open-source high performing B+ tree … based on Intel PALM" (paper §7.1).
+//! This is that substrate: bucket index → cache-line mapping with insert,
+//! point lookup, and delete (with borrow/merge rebalancing). Every node
+//! touched is counted so the CPU-cost model can charge tree-indexing cycles
+//! proportionally to real work.
+
+const ORDER: usize = 16; // max keys per node; min is ORDER/2 for non-roots
+
+/// Operation counters for cost accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexOps {
+    /// Point lookups executed.
+    pub searches: u64,
+    /// Key inserts executed.
+    pub inserts: u64,
+    /// Key deletes executed.
+    pub deletes: u64,
+    /// Tree nodes visited across all operations.
+    pub nodes_visited: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Internal {
+        /// Separator keys; `children.len() == keys.len() + 1`.
+        keys: Vec<u64>,
+        children: Vec<usize>,
+    },
+    Leaf {
+        keys: Vec<u64>,
+        values: Vec<u32>,
+    },
+}
+
+impl Node {
+    fn key_count(&self) -> usize {
+        match self {
+            Node::Internal { keys, .. } => keys.len(),
+            Node::Leaf { keys, .. } => keys.len(),
+        }
+    }
+}
+
+/// Arena-allocated B+ tree with `u64` keys and `u32` values.
+///
+/// # Examples
+///
+/// ```
+/// use fidr_cache::BPlusTree;
+///
+/// let mut tree = BPlusTree::new();
+/// tree.insert(42, 7);
+/// assert_eq!(tree.search(42), Some(7));
+/// assert_eq!(tree.remove(42), Some(7));
+/// assert_eq!(tree.search(42), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BPlusTree {
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    root: usize,
+    len: usize,
+    ops: IndexOps,
+}
+
+impl Default for BPlusTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+enum InsertResult {
+    Done,
+    /// Child split: promote `key` with a new right sibling.
+    Split(u64, usize),
+    Replaced(u32),
+}
+
+impl BPlusTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        BPlusTree {
+            nodes: vec![Node::Leaf {
+                keys: Vec::new(),
+                values: Vec::new(),
+            }],
+            free: Vec::new(),
+            root: 0,
+            len: 0,
+            ops: IndexOps::default(),
+        }
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (1 for a lone leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut id = self.root;
+        while let Node::Internal { children, .. } = &self.nodes[id] {
+            id = children[0];
+            h += 1;
+        }
+        h
+    }
+
+    /// Live node count (tree-size metric for the cost model).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Cumulative operation counters.
+    pub fn ops(&self) -> IndexOps {
+        self.ops
+    }
+
+    /// Resets the operation counters (e.g. between measurement phases).
+    pub fn reset_ops(&mut self) {
+        self.ops = IndexOps::default();
+    }
+
+    fn alloc(&mut self, node: Node) -> usize {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id] = node;
+            id
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn release(&mut self, id: usize) {
+        self.free.push(id);
+    }
+
+    /// Point lookup.
+    pub fn search(&mut self, key: u64) -> Option<u32> {
+        self.ops.searches += 1;
+        let mut id = self.root;
+        loop {
+            self.ops.nodes_visited += 1;
+            match &self.nodes[id] {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|&k| k <= key);
+                    id = children[idx];
+                }
+                Node::Leaf { keys, values } => {
+                    return keys
+                        .binary_search(&key)
+                        .ok()
+                        .map(|i| values[i]);
+                }
+            }
+        }
+    }
+
+    /// Inserts `key` → `value`; returns the previous value if the key was
+    /// already present.
+    pub fn insert(&mut self, key: u64, value: u32) -> Option<u32> {
+        self.ops.inserts += 1;
+        match self.insert_rec(self.root, key, value) {
+            InsertResult::Done => {
+                self.len += 1;
+                None
+            }
+            InsertResult::Replaced(old) => Some(old),
+            InsertResult::Split(sep, right) => {
+                // Grow a new root.
+                let old_root = self.root;
+                let new_root = self.alloc(Node::Internal {
+                    keys: vec![sep],
+                    children: vec![old_root, right],
+                });
+                self.root = new_root;
+                self.len += 1;
+                None
+            }
+        }
+    }
+
+    fn insert_rec(&mut self, id: usize, key: u64, value: u32) -> InsertResult {
+        self.ops.nodes_visited += 1;
+        match &mut self.nodes[id] {
+            Node::Leaf { keys, values } => match keys.binary_search(&key) {
+                Ok(i) => {
+                    let old = values[i];
+                    values[i] = value;
+                    InsertResult::Replaced(old)
+                }
+                Err(i) => {
+                    keys.insert(i, key);
+                    values.insert(i, value);
+                    if keys.len() > ORDER {
+                        let mid = keys.len() / 2;
+                        let right_keys = keys.split_off(mid);
+                        let right_vals = values.split_off(mid);
+                        let sep = right_keys[0];
+                        let right = self.alloc(Node::Leaf {
+                            keys: right_keys,
+                            values: right_vals,
+                        });
+                        InsertResult::Split(sep, right)
+                    } else {
+                        InsertResult::Done
+                    }
+                }
+            },
+            Node::Internal { keys, .. } => {
+                let idx = keys.partition_point(|&k| k <= key);
+                let child = match &self.nodes[id] {
+                    Node::Internal { children, .. } => children[idx],
+                    Node::Leaf { .. } => unreachable!(),
+                };
+                match self.insert_rec(child, key, value) {
+                    InsertResult::Split(sep, right) => {
+                        let (keys, children) = match &mut self.nodes[id] {
+                            Node::Internal { keys, children } => (keys, children),
+                            Node::Leaf { .. } => unreachable!(),
+                        };
+                        keys.insert(idx, sep);
+                        children.insert(idx + 1, right);
+                        if keys.len() > ORDER {
+                            let mid = keys.len() / 2;
+                            // Promote keys[mid]; right gets keys[mid+1..].
+                            let right_keys = keys.split_off(mid + 1);
+                            let promoted = keys.pop().expect("mid key exists");
+                            let right_children = children.split_off(mid + 1);
+                            let right = self.alloc(Node::Internal {
+                                keys: right_keys,
+                                children: right_children,
+                            });
+                            InsertResult::Split(promoted, right)
+                        } else {
+                            InsertResult::Done
+                        }
+                    }
+                    other => other,
+                }
+            }
+        }
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: u64) -> Option<u32> {
+        self.ops.deletes += 1;
+        let removed = self.remove_rec(self.root, key);
+        if removed.is_some() {
+            self.len -= 1;
+            // Shrink the root if it lost all separators.
+            if let Node::Internal { keys, children } = &self.nodes[self.root] {
+                if keys.is_empty() {
+                    let only = children[0];
+                    let old_root = self.root;
+                    self.root = only;
+                    self.release(old_root);
+                }
+            }
+        }
+        removed
+    }
+
+    fn remove_rec(&mut self, id: usize, key: u64) -> Option<u32> {
+        self.ops.nodes_visited += 1;
+        match &mut self.nodes[id] {
+            Node::Leaf { keys, values } => match keys.binary_search(&key) {
+                Ok(i) => {
+                    keys.remove(i);
+                    Some(values.remove(i))
+                }
+                Err(_) => None,
+            },
+            Node::Internal { keys, .. } => {
+                let idx = keys.partition_point(|&k| k <= key);
+                let child = match &self.nodes[id] {
+                    Node::Internal { children, .. } => children[idx],
+                    Node::Leaf { .. } => unreachable!(),
+                };
+                let removed = self.remove_rec(child, key)?;
+                self.fix_underflow(id, idx);
+                Some(removed)
+            }
+        }
+    }
+
+    /// Rebalances `children[idx]` of internal node `id` if it underflowed.
+    fn fix_underflow(&mut self, id: usize, idx: usize) {
+        let min = ORDER / 2;
+        let (child, child_len) = match &self.nodes[id] {
+            Node::Internal { children, .. } => {
+                let c = children[idx];
+                (c, self.nodes[c].key_count())
+            }
+            Node::Leaf { .. } => unreachable!(),
+        };
+        if child_len >= min {
+            return;
+        }
+        let sibling_count = match &self.nodes[id] {
+            Node::Internal { children, .. } => children.len(),
+            Node::Leaf { .. } => unreachable!(),
+        };
+
+        // Prefer borrowing from the left sibling, then the right; merge as
+        // the last resort.
+        if idx > 0 {
+            let left = self.child_at(id, idx - 1);
+            if self.nodes[left].key_count() > min {
+                self.borrow_from_left(id, idx, left, child);
+                return;
+            }
+        }
+        if idx + 1 < sibling_count {
+            let right = self.child_at(id, idx + 1);
+            if self.nodes[right].key_count() > min {
+                self.borrow_from_right(id, idx, child, right);
+                return;
+            }
+        }
+        if idx > 0 {
+            let left = self.child_at(id, idx - 1);
+            self.merge(id, idx - 1, left, child);
+        } else if idx + 1 < sibling_count {
+            let right = self.child_at(id, idx + 1);
+            self.merge(id, idx, child, right);
+        }
+    }
+
+    fn child_at(&self, id: usize, idx: usize) -> usize {
+        match &self.nodes[id] {
+            Node::Internal { children, .. } => children[idx],
+            Node::Leaf { .. } => unreachable!(),
+        }
+    }
+
+    fn borrow_from_left(&mut self, parent: usize, idx: usize, left: usize, child: usize) {
+        self.ops.nodes_visited += 2;
+        let old_sep = self.parent_key(parent, idx - 1);
+        let (l, c) = index_two(&mut self.nodes, left, child);
+        match (l, c) {
+            (
+                Node::Leaf { keys: lk, values: lv },
+                Node::Leaf { keys: ck, values: cv },
+            ) => {
+                let k = lk.pop().expect("left has spare key");
+                let v = lv.pop().expect("left has spare value");
+                ck.insert(0, k);
+                cv.insert(0, v);
+                let sep = ck[0];
+                self.set_parent_key(parent, idx - 1, sep);
+            }
+            (
+                Node::Internal { keys: lk, children: lc },
+                Node::Internal { keys: ck, children: cc },
+            ) => {
+                let moved_child = lc.pop().expect("left has spare child");
+                let moved_key = lk.pop().expect("left has spare key");
+                ck.insert(0, old_sep);
+                cc.insert(0, moved_child);
+                self.set_parent_key(parent, idx - 1, moved_key);
+            }
+            _ => unreachable!("siblings at the same level share kind"),
+        }
+    }
+
+    fn borrow_from_right(&mut self, parent: usize, idx: usize, child: usize, right: usize) {
+        self.ops.nodes_visited += 2;
+        let old_sep = self.parent_key(parent, idx);
+        let (c, r) = index_two(&mut self.nodes, child, right);
+        match (c, r) {
+            (
+                Node::Leaf { keys: ck, values: cv },
+                Node::Leaf { keys: rk, values: rv },
+            ) => {
+                ck.push(rk.remove(0));
+                cv.push(rv.remove(0));
+                let sep = rk[0];
+                self.set_parent_key(parent, idx, sep);
+            }
+            (
+                Node::Internal { keys: ck, children: cc },
+                Node::Internal { keys: rk, children: rc },
+            ) => {
+                ck.push(old_sep);
+                cc.push(rc.remove(0));
+                let new_sep = rk.remove(0);
+                self.set_parent_key(parent, idx, new_sep);
+            }
+            _ => unreachable!("siblings at the same level share kind"),
+        }
+    }
+
+    /// Merges `children[left_idx + 1]` into `children[left_idx]`.
+    fn merge(&mut self, parent: usize, left_idx: usize, left: usize, right: usize) {
+        self.ops.nodes_visited += 2;
+        let sep = self.parent_key(parent, left_idx);
+        let right_node = std::mem::replace(
+            &mut self.nodes[right],
+            Node::Leaf {
+                keys: Vec::new(),
+                values: Vec::new(),
+            },
+        );
+        match (&mut self.nodes[left], right_node) {
+            (
+                Node::Leaf { keys: lk, values: lv },
+                Node::Leaf {
+                    keys: mut rk,
+                    values: mut rv,
+                },
+            ) => {
+                lk.append(&mut rk);
+                lv.append(&mut rv);
+            }
+            (
+                Node::Internal { keys: lk, children: lc },
+                Node::Internal {
+                    keys: mut rk,
+                    children: mut rc,
+                },
+            ) => {
+                lk.push(sep);
+                lk.append(&mut rk);
+                lc.append(&mut rc);
+            }
+            _ => unreachable!("siblings at the same level share kind"),
+        }
+        match &mut self.nodes[parent] {
+            Node::Internal { keys, children } => {
+                keys.remove(left_idx);
+                children.remove(left_idx + 1);
+            }
+            Node::Leaf { .. } => unreachable!(),
+        }
+        self.release(right);
+    }
+
+    fn parent_key(&self, parent: usize, idx: usize) -> u64 {
+        match &self.nodes[parent] {
+            Node::Internal { keys, .. } => keys[idx],
+            Node::Leaf { .. } => unreachable!(),
+        }
+    }
+
+    fn set_parent_key(&mut self, parent: usize, idx: usize, key: u64) {
+        match &mut self.nodes[parent] {
+            Node::Internal { keys, .. } => keys[idx] = key,
+            Node::Leaf { .. } => unreachable!(),
+        }
+    }
+
+    /// Checks structural invariants; used by tests.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        self.check_node(self.root, true, None, None);
+    }
+
+    fn check_node(&self, id: usize, is_root: bool, lo: Option<u64>, hi: Option<u64>) -> usize {
+        let check_bounds = |keys: &[u64]| {
+            for w in keys.windows(2) {
+                assert!(w[0] < w[1], "keys not strictly sorted");
+            }
+            if let Some(lo) = lo {
+                assert!(keys.iter().all(|&k| k >= lo), "key below subtree bound");
+            }
+            if let Some(hi) = hi {
+                assert!(keys.iter().all(|&k| k < hi), "key above subtree bound");
+            }
+        };
+        match &self.nodes[id] {
+            Node::Leaf { keys, values } => {
+                assert_eq!(keys.len(), values.len());
+                if !is_root {
+                    assert!(keys.len() >= ORDER / 2, "leaf underflow: {}", keys.len());
+                }
+                assert!(keys.len() <= ORDER + 1);
+                check_bounds(keys);
+                1
+            }
+            Node::Internal { keys, children } => {
+                assert_eq!(children.len(), keys.len() + 1);
+                if !is_root {
+                    assert!(keys.len() >= ORDER / 2, "internal underflow");
+                } else {
+                    assert!(!keys.is_empty(), "root internal without keys");
+                }
+                check_bounds(keys);
+                let mut depth = None;
+                for (i, &c) in children.iter().enumerate() {
+                    let clo = if i == 0 { lo } else { Some(keys[i - 1]) };
+                    let chi = if i == keys.len() { hi } else { Some(keys[i]) };
+                    let d = self.check_node(c, false, clo, chi);
+                    if let Some(prev) = depth {
+                        assert_eq!(prev, d, "unbalanced leaves");
+                    }
+                    depth = Some(d);
+                }
+                depth.expect("internal node has children") + 1
+            }
+        }
+    }
+}
+
+/// Borrows two distinct arena slots mutably.
+fn index_two(nodes: &mut [Node], a: usize, b: usize) -> (&mut Node, &mut Node) {
+    assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = nodes.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = nodes.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_search_small() {
+        let mut t = BPlusTree::new();
+        for k in [5u64, 1, 9, 3, 7] {
+            assert_eq!(t.insert(k, (k * 10) as u32), None);
+        }
+        for k in [5u64, 1, 9, 3, 7] {
+            assert_eq!(t.search(k), Some((k * 10) as u32));
+        }
+        assert_eq!(t.search(2), None);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut t = BPlusTree::new();
+        assert_eq!(t.insert(1, 10), None);
+        assert_eq!(t.insert(1, 20), Some(10));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.search(1), Some(20));
+    }
+
+    #[test]
+    fn grows_and_splits() {
+        let mut t = BPlusTree::new();
+        for k in 0..10_000u64 {
+            t.insert(k.wrapping_mul(0x9e3779b9) % 100_000, k as u32);
+        }
+        t.check_invariants();
+        assert!(t.height() >= 3, "height {}", t.height());
+    }
+
+    #[test]
+    fn delete_with_rebalance() {
+        let mut t = BPlusTree::new();
+        let keys: Vec<u64> = (0..2000).map(|k| k * 7 % 5000).collect();
+        for &k in &keys {
+            t.insert(k, k as u32);
+        }
+        t.check_invariants();
+        let mut removed = std::collections::HashSet::new();
+        for &k in keys.iter().step_by(2) {
+            if removed.insert(k) {
+                assert_eq!(t.remove(k), Some(k as u32), "remove {k}");
+            }
+            t.check_invariants();
+        }
+        for &k in &keys {
+            if removed.contains(&k) {
+                assert_eq!(t.search(k), None);
+            } else {
+                assert_eq!(t.search(k), Some(k as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn delete_everything_shrinks_to_empty() {
+        let mut t = BPlusTree::new();
+        for k in 0..1000u64 {
+            t.insert(k, k as u32);
+        }
+        for k in 0..1000u64 {
+            assert_eq!(t.remove(k), Some(k as u32));
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn remove_missing_returns_none() {
+        let mut t = BPlusTree::new();
+        t.insert(1, 1);
+        assert_eq!(t.remove(2), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ops_counters_track_work() {
+        let mut t = BPlusTree::new();
+        for k in 0..100u64 {
+            t.insert(k, k as u32);
+        }
+        t.reset_ops();
+        t.search(50);
+        t.remove(50);
+        let ops = t.ops();
+        assert_eq!(ops.searches, 1);
+        assert_eq!(ops.deletes, 1);
+        assert!(ops.nodes_visited >= 2);
+    }
+}

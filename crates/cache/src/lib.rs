@@ -1,0 +1,43 @@
+//! # fidr-cache
+//!
+//! Hash-PBN table caching for the FIDR reproduction — the subsystem behind
+//! Observation #4 and ideas (c) of the paper: caching metadata tables needs
+//! host-DRAM *capacity* for content but hardware help for *indexing*.
+//!
+//! * [`BPlusTree`] — from-scratch software index (the CIDR baseline's
+//!   PALM-style tree, §7.1);
+//! * [`HwTree`] — the FIDR Cache HW-Engine's pipelined FPGA tree with
+//!   speculative concurrent updates and crash/replay (§5.5.1, Figure 13);
+//! * [`LruList`] / [`FreeList`] — replacement machinery split between host
+//!   and engine (§5.5, §6.3);
+//! * [`TableCache`] — cache lines + dirty tracking over a pluggable
+//!   [`CacheIndex`].
+//!
+//! # Examples
+//!
+//! ```
+//! use fidr_cache::{HwTree, HwTreeConfig, TableCache};
+//! use fidr_ssd::{QueueLocation, TableSsd};
+//!
+//! let mut ssd = TableSsd::new(4096, QueueLocation::CacheEngine);
+//! let mut cache = TableCache::new(128, HwTree::new(HwTreeConfig::default()));
+//! let access = cache.access(99, &mut ssd);
+//! assert!(!access.hit);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod btree;
+mod hwtree;
+mod lru;
+mod pipelined;
+mod priority_lru;
+mod table_cache;
+
+pub use btree::{BPlusTree, IndexOps};
+pub use hwtree::{HwTree, HwTreeConfig, HwTreeStats};
+pub use lru::{FreeList, LruList};
+pub use pipelined::PipelinedTree;
+pub use priority_lru::{Priority, PriorityLruCache, TenantStats};
+pub use table_cache::{Access, CacheIndex, CacheStats, TableCache};

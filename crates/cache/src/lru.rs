@@ -1,0 +1,292 @@
+//! LRU recency list and free-list for table-cache lines.
+//!
+//! In FIDR's hybrid split, "the cache LRU list is also kept in the host
+//! side" (because the host scans cache content anyway), while the free list
+//! is "a circular buffer … in FPGA-board DRAM" consumed by the Cache
+//! HW-Engine (paper §5.5, §6.3). Both structures are O(1) per operation:
+//! the LRU is an intrusive doubly-linked list over line indices; the free
+//! list is a fixed-capacity ring.
+
+/// O(1) LRU recency list over cache-line indices `0..capacity`.
+///
+/// # Examples
+///
+/// ```
+/// use fidr_cache::LruList;
+///
+/// let mut lru = LruList::new(4);
+/// lru.push_hot(0);
+/// lru.push_hot(1);
+/// lru.touch(0);
+/// assert_eq!(lru.pop_coldest(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruList {
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    present: Vec<bool>,
+    head: u32, // most recently used
+    tail: u32, // least recently used
+    len: usize,
+}
+
+const NIL: u32 = u32::MAX;
+
+impl LruList {
+    /// Creates a list for `capacity` line indices.
+    pub fn new(capacity: usize) -> Self {
+        LruList {
+            prev: vec![NIL; capacity],
+            next: vec![NIL; capacity],
+            present: vec![false; capacity],
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Lines currently tracked.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no lines are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `line` as the most recently used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is already present or out of range.
+    pub fn push_hot(&mut self, line: u32) {
+        let i = line as usize;
+        assert!(!self.present[i], "line {line} already in LRU");
+        self.present[i] = true;
+        self.prev[i] = NIL;
+        self.next[i] = self.head;
+        if self.head != NIL {
+            self.prev[self.head as usize] = line;
+        }
+        self.head = line;
+        if self.tail == NIL {
+            self.tail = line;
+        }
+        self.len += 1;
+    }
+
+    /// Moves `line` to the most-recently-used position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is not present.
+    pub fn touch(&mut self, line: u32) {
+        assert!(self.present[line as usize], "touch of absent line {line}");
+        if self.head == line {
+            return;
+        }
+        self.unlink(line);
+        self.len += 1; // unlink decremented
+        self.present[line as usize] = true;
+        let i = line as usize;
+        self.prev[i] = NIL;
+        self.next[i] = self.head;
+        if self.head != NIL {
+            self.prev[self.head as usize] = line;
+        }
+        self.head = line;
+        if self.tail == NIL {
+            self.tail = line;
+        }
+    }
+
+    /// Removes and returns the least recently used line.
+    pub fn pop_coldest(&mut self) -> Option<u32> {
+        if self.tail == NIL {
+            return None;
+        }
+        let line = self.tail;
+        self.unlink(line);
+        Some(line)
+    }
+
+    /// Peeks the coldest `n` lines, coldest first, without removing them —
+    /// the batch FIDR ships to the HW-Engine for deletion (§5.5: "FIDR
+    /// HW-Engine periodically receives batches of top LRU list items").
+    pub fn coldest(&self, n: usize) -> Vec<u32> {
+        let mut out = Vec::with_capacity(n);
+        let mut cur = self.tail;
+        while cur != NIL && out.len() < n {
+            out.push(cur);
+            cur = self.prev[cur as usize];
+        }
+        out
+    }
+
+    /// Removes an arbitrary line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is not present.
+    pub fn remove(&mut self, line: u32) {
+        assert!(self.present[line as usize], "remove of absent line {line}");
+        self.unlink(line);
+    }
+
+    fn unlink(&mut self, line: u32) {
+        let i = line as usize;
+        let (p, n) = (self.prev[i], self.next[i]);
+        if p != NIL {
+            self.next[p as usize] = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.prev[n as usize] = p;
+        } else {
+            self.tail = p;
+        }
+        self.prev[i] = NIL;
+        self.next[i] = NIL;
+        self.present[i] = false;
+        self.len -= 1;
+    }
+}
+
+/// Fixed-capacity ring of free cache-line indices (the HW-Engine's
+/// FPGA-DRAM circular buffer, §6.3).
+#[derive(Debug, Clone)]
+pub struct FreeList {
+    ring: Vec<u32>,
+    head: usize,
+    tail: usize,
+    len: usize,
+}
+
+impl FreeList {
+    /// Creates a free list pre-loaded with all lines `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        FreeList {
+            ring: (0..capacity as u32).collect(),
+            head: 0,
+            tail: 0,
+            len: capacity,
+        }
+    }
+
+    /// Free lines available.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no free line is available.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Takes a free line.
+    pub fn allocate(&mut self) -> Option<u32> {
+        if self.len == 0 {
+            return None;
+        }
+        let line = self.ring[self.head];
+        self.head = (self.head + 1) % self.ring.len();
+        self.len -= 1;
+        Some(line)
+    }
+
+    /// Returns a line to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is already full.
+    pub fn release(&mut self, line: u32) {
+        assert!(self.len < self.ring.len(), "free list overflow");
+        self.ring[self.tail] = line;
+        self.tail = (self.tail + 1) % self.ring.len();
+        self.len += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut l = LruList::new(4);
+        for i in 0..4 {
+            l.push_hot(i);
+        }
+        l.touch(0); // order hot→cold: 0,3,2,1
+        assert_eq!(l.pop_coldest(), Some(1));
+        assert_eq!(l.pop_coldest(), Some(2));
+        assert_eq!(l.pop_coldest(), Some(3));
+        assert_eq!(l.pop_coldest(), Some(0));
+        assert_eq!(l.pop_coldest(), None);
+    }
+
+    #[test]
+    fn coldest_batch_preview() {
+        let mut l = LruList::new(5);
+        for i in 0..5 {
+            l.push_hot(i);
+        }
+        assert_eq!(l.coldest(3), vec![0, 1, 2]);
+        assert_eq!(l.len(), 5, "peek must not remove");
+    }
+
+    #[test]
+    fn remove_from_middle() {
+        let mut l = LruList::new(3);
+        for i in 0..3 {
+            l.push_hot(i);
+        }
+        l.remove(1);
+        assert_eq!(l.pop_coldest(), Some(0));
+        assert_eq!(l.pop_coldest(), Some(2));
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn touch_head_is_noop() {
+        let mut l = LruList::new(2);
+        l.push_hot(0);
+        l.push_hot(1);
+        l.touch(1);
+        assert_eq!(l.pop_coldest(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already in LRU")]
+    fn double_push_panics() {
+        let mut l = LruList::new(2);
+        l.push_hot(0);
+        l.push_hot(0);
+    }
+
+    #[test]
+    fn free_list_cycles() {
+        let mut f = FreeList::full(3);
+        assert_eq!(f.len(), 3);
+        let a = f.allocate().unwrap();
+        let b = f.allocate().unwrap();
+        f.release(a);
+        let c = f.allocate().unwrap();
+        let d = f.allocate().unwrap();
+        assert_eq!(d, a, "released line recycled in FIFO order");
+        assert!(f.allocate().is_none());
+        f.release(b);
+        f.release(c);
+        f.release(d);
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn free_list_overflow_panics() {
+        let mut f = FreeList::full(1);
+        f.release(0);
+    }
+}

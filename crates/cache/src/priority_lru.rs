@@ -1,0 +1,270 @@
+//! Prioritized LRU replacement for multi-tenant table caching (paper §8).
+//!
+//! "In multi-tenant environments … to address table cache contention,
+//! instead of a basic LRU replacement policy, we may use a prioritized LRU
+//! policy that considers each workload's locality." This policy partitions
+//! the recency order by tenant priority class: eviction victims come from
+//! the lowest-priority class that holds more than its guaranteed share,
+//! so a scan-heavy low-priority tenant cannot wash out a high-priority
+//! tenant's working set.
+
+use std::collections::HashMap;
+
+/// A tenant priority class; higher values evict later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Priority(pub u8);
+
+/// Per-tenant accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Hits for this tenant.
+    pub hits: u64,
+    /// Misses for this tenant.
+    pub misses: u64,
+    /// Lines this tenant currently holds.
+    pub resident: usize,
+}
+
+impl TenantStats {
+    /// Hit rate for this tenant.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    tenant: u32,
+    priority: Priority,
+    /// Monotonic access stamp; smaller = colder.
+    stamp: u64,
+}
+
+/// A prioritized-LRU cache directory mapping keys to tenant-tagged lines.
+///
+/// This models the replacement *policy* layer: keys are bucket indexes,
+/// the cached payloads live elsewhere (host DRAM). Guaranteed shares keep
+/// each priority class at least `guarantee` lines before it can be robbed.
+///
+/// # Examples
+///
+/// ```
+/// use fidr_cache::{Priority, PriorityLruCache};
+///
+/// let mut cache = PriorityLruCache::new(2, 1);
+/// cache.access(100, 0, Priority(2)); // high-priority tenant
+/// cache.access(200, 1, Priority(0)); // low-priority tenant
+/// cache.access(300, 1, Priority(0)); // evicts tenant 1's own line
+/// assert!(cache.contains(100));
+/// assert!(!cache.contains(200));
+/// ```
+#[derive(Debug)]
+pub struct PriorityLruCache {
+    capacity: usize,
+    guarantee: usize,
+    entries: HashMap<u64, Entry>,
+    tenants: HashMap<u32, TenantStats>,
+    clock: u64,
+}
+
+impl PriorityLruCache {
+    /// Creates a cache of `capacity` lines with a per-priority-class
+    /// guaranteed share of `guarantee` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, guarantee: usize) -> Self {
+        assert!(capacity > 0, "cache needs capacity");
+        PriorityLruCache {
+            capacity,
+            guarantee,
+            entries: HashMap::new(),
+            tenants: HashMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// Whether `key` is resident.
+    pub fn contains(&self, key: u64) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Lines resident.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Stats for one tenant.
+    pub fn tenant_stats(&self, tenant: u32) -> TenantStats {
+        self.tenants.get(&tenant).copied().unwrap_or_default()
+    }
+
+    /// Records `tenant` (at `priority`) accessing `key`; returns `true`
+    /// on a hit. On a miss the key is installed, evicting per policy.
+    pub fn access(&mut self, key: u64, tenant: u32, priority: Priority) -> bool {
+        self.clock += 1;
+        let stamp = self.clock;
+        let stats = self.tenants.entry(tenant).or_default();
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.stamp = stamp;
+            entry.tenant = tenant;
+            entry.priority = priority;
+            stats.hits += 1;
+            return true;
+        }
+        stats.misses += 1;
+        if self.entries.len() >= self.capacity {
+            self.evict_for(priority);
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                tenant,
+                priority,
+                stamp,
+            },
+        );
+        self.tenants.entry(tenant).or_default().resident += 1;
+        false
+    }
+
+    /// Picks and removes a victim: the coldest entry of the lowest
+    /// priority class holding more than its guarantee; if every class is
+    /// at/below guarantee, the coldest entry at or below the requester's
+    /// priority; as a last resort, the globally coldest entry.
+    fn evict_for(&mut self, requester: Priority) {
+        let victim_key = self
+            .victim_above_guarantee()
+            .or_else(|| self.coldest_at_or_below(requester))
+            .or_else(|| self.coldest_overall());
+        if let Some(key) = victim_key {
+            let entry = self.entries.remove(&key).expect("victim resident");
+            let stats = self
+                .tenants
+                .get_mut(&entry.tenant)
+                .expect("tenant tracked");
+            stats.resident -= 1;
+        }
+    }
+
+    fn class_sizes(&self) -> HashMap<Priority, usize> {
+        let mut sizes: HashMap<Priority, usize> = HashMap::new();
+        for e in self.entries.values() {
+            *sizes.entry(e.priority).or_default() += 1;
+        }
+        sizes
+    }
+
+    fn victim_above_guarantee(&self) -> Option<u64> {
+        let sizes = self.class_sizes();
+        let mut classes: Vec<Priority> = sizes
+            .iter()
+            .filter(|&(_, &n)| n > self.guarantee)
+            .map(|(&p, _)| p)
+            .collect();
+        classes.sort_unstable();
+        let class = *classes.first()?;
+        self.coldest_in_class(class)
+    }
+
+    fn coldest_in_class(&self, class: Priority) -> Option<u64> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.priority == class)
+            .min_by_key(|(_, e)| e.stamp)
+            .map(|(&k, _)| k)
+    }
+
+    fn coldest_at_or_below(&self, requester: Priority) -> Option<u64> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.priority <= requester)
+            .min_by_key(|(_, e)| e.stamp)
+            .map(|(&k, _)| k)
+    }
+
+    fn coldest_overall(&self) -> Option<u64> {
+        self.entries
+            .iter()
+            .min_by_key(|(_, e)| e.stamp)
+            .map(|(&k, _)| k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_lru_within_one_class() {
+        let mut c = PriorityLruCache::new(2, 0);
+        c.access(1, 0, Priority(1));
+        c.access(2, 0, Priority(1));
+        c.access(1, 0, Priority(1)); // refresh 1
+        c.access(3, 0, Priority(1)); // evicts 2
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert!(c.contains(3));
+    }
+
+    #[test]
+    fn low_priority_scan_cannot_evict_high_priority() {
+        let mut c = PriorityLruCache::new(4, 1);
+        // High-priority tenant warms two lines.
+        c.access(10, 0, Priority(3));
+        c.access(11, 0, Priority(3));
+        // Low-priority tenant scans 20 distinct keys.
+        for k in 100..120 {
+            c.access(k, 1, Priority(0));
+        }
+        assert!(c.contains(10), "high-priority line 10 must survive");
+        assert!(c.contains(11), "high-priority line 11 must survive");
+        // The scanner churned only its own share.
+        assert_eq!(c.tenant_stats(1).resident, 2);
+    }
+
+    #[test]
+    fn high_priority_can_take_from_low() {
+        let mut c = PriorityLruCache::new(2, 0);
+        c.access(1, 1, Priority(0));
+        c.access(2, 1, Priority(0));
+        c.access(3, 0, Priority(5)); // displaces a low-priority line
+        assert!(c.contains(3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn guarantee_protects_minimum_share() {
+        let mut c = PriorityLruCache::new(3, 1);
+        c.access(1, 1, Priority(0));
+        // High-priority fills the rest and keeps pushing.
+        for k in 10..20 {
+            c.access(k, 0, Priority(9));
+        }
+        // The low class kept its guaranteed single line.
+        assert!(c.contains(1), "guaranteed share violated");
+    }
+
+    #[test]
+    fn per_tenant_hit_rates() {
+        let mut c = PriorityLruCache::new(8, 0);
+        c.access(1, 7, Priority(1));
+        c.access(1, 7, Priority(1));
+        c.access(2, 7, Priority(1));
+        let s = c.tenant_stats(7);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,340 @@
+//! The host-DRAM Hash-PBN table cache.
+//!
+//! "The server caches only part of the table in DRAM and keeps the full
+//! table in separate SSDs" (paper §2.1.3). Cache lines are 4-KB buckets.
+//! The *index* (bucket index → line) is pluggable: the baseline uses the
+//! software B+ tree on the CPU, FIDR uses the Cache HW-Engine — exactly the
+//! split Observation #4 argues for. Content, LRU and dirty state stay in
+//! host memory in both systems.
+
+use crate::btree::BPlusTree;
+use crate::hwtree::HwTree;
+use crate::lru::{FreeList, LruList};
+use fidr_ssd::TableSsd;
+use fidr_tables::Bucket;
+
+/// Pluggable bucket-index for the table cache.
+///
+/// Implemented by the software [`BPlusTree`] (baseline) and the hardware
+/// [`HwTree`] (FIDR). The trait is object-safe so systems can hold a
+/// `Box<dyn CacheIndex>`.
+pub trait CacheIndex {
+    /// Finds the cache line holding `bucket`, if cached.
+    fn index_search(&mut self, bucket: u64) -> Option<u32>;
+    /// Records that `bucket` now lives at `line`.
+    fn index_insert(&mut self, bucket: u64, line: u32);
+    /// Forgets `bucket` (eviction), returning its old line.
+    fn index_remove(&mut self, bucket: u64) -> Option<u32>;
+}
+
+impl CacheIndex for BPlusTree {
+    fn index_search(&mut self, bucket: u64) -> Option<u32> {
+        self.search(bucket)
+    }
+    fn index_insert(&mut self, bucket: u64, line: u32) {
+        self.insert(bucket, line);
+    }
+    fn index_remove(&mut self, bucket: u64) -> Option<u32> {
+        self.remove(bucket)
+    }
+}
+
+impl CacheIndex for HwTree {
+    fn index_search(&mut self, bucket: u64) -> Option<u32> {
+        self.search(bucket)
+    }
+    fn index_insert(&mut self, bucket: u64, line: u32) {
+        self.insert(bucket, line);
+    }
+    fn index_remove(&mut self, bucket: u64) -> Option<u32> {
+        self.remove(bucket)
+    }
+}
+
+/// Counters for one cache run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Bucket accesses.
+    pub accesses: u64,
+    /// Accesses served from DRAM.
+    pub hits: u64,
+    /// Accesses that fetched from the table SSD.
+    pub misses: u64,
+    /// Lines evicted to make room.
+    pub evictions: u64,
+    /// Evicted lines that were dirty and flushed to the table SSD.
+    pub dirty_flushes: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over all accesses.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Result of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Cache line now holding the bucket.
+    pub line: u32,
+    /// Whether it was already cached.
+    pub hit: bool,
+    /// Lines evicted during this access's replacement work.
+    pub evicted: u32,
+    /// Dirty lines flushed during this access's eviction work.
+    pub flushed: u32,
+}
+
+/// The table cache: content lines + LRU + free list over a pluggable index.
+///
+/// # Examples
+///
+/// ```
+/// use fidr_cache::{BPlusTree, TableCache};
+/// use fidr_ssd::{QueueLocation, TableSsd};
+///
+/// let mut ssd = TableSsd::new(1024, QueueLocation::HostMemory);
+/// let mut cache = TableCache::new(16, BPlusTree::new());
+/// let first = cache.access(7, &mut ssd);
+/// assert!(!first.hit);
+/// let second = cache.access(7, &mut ssd);
+/// assert!(second.hit);
+/// ```
+#[derive(Debug)]
+pub struct TableCache<I> {
+    lines: Vec<Bucket>,
+    line_bucket: Vec<Option<u64>>,
+    dirty: Vec<bool>,
+    index: I,
+    lru: LruList,
+    free: FreeList,
+    stats: CacheStats,
+    evict_batch: usize,
+}
+
+impl<I: CacheIndex> TableCache<I> {
+    /// Creates a cache of `capacity` 4-KB lines over `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, index: I) -> Self {
+        assert!(capacity > 0, "cache needs at least one line");
+        TableCache {
+            lines: vec![Bucket::new(); capacity],
+            line_bucket: vec![None; capacity],
+            dirty: vec![false; capacity],
+            index,
+            lru: LruList::new(capacity),
+            free: FreeList::full(capacity),
+            stats: CacheStats::default(),
+            evict_batch: 8,
+        }
+    }
+
+    /// Cache capacity in lines.
+    pub fn capacity(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Borrow of the underlying index (e.g. to read HW-tree stats).
+    pub fn index(&self) -> &I {
+        &self.index
+    }
+
+    /// Mutable borrow of the underlying index.
+    pub fn index_mut(&mut self) -> &mut I {
+        &mut self.index
+    }
+
+    /// Ensures `bucket` is cached, fetching and evicting as needed, and
+    /// returns where it lives.
+    pub fn access(&mut self, bucket: u64, ssd: &mut TableSsd) -> Access {
+        self.stats.accesses += 1;
+        if let Some(line) = self.index.index_search(bucket) {
+            self.stats.hits += 1;
+            self.lru.touch(line);
+            return Access {
+                line,
+                hit: true,
+                evicted: 0,
+                flushed: 0,
+            };
+        }
+
+        self.stats.misses += 1;
+        let mut evicted = 0u32;
+        let mut flushed = 0u32;
+        // Keep the free list non-empty by evicting a small batch of the
+        // coldest lines (the HW-Engine's periodic deletions, §5.5).
+        if self.free.is_empty() {
+            for _ in 0..self.evict_batch {
+                let Some(victim) = self.lru.pop_coldest() else {
+                    break;
+                };
+                let victim_bucket = self.line_bucket[victim as usize]
+                    .expect("victim line holds a bucket");
+                self.index.index_remove(victim_bucket);
+                if self.dirty[victim as usize] {
+                    let content = std::mem::take(&mut self.lines[victim as usize]);
+                    ssd.flush_bucket(victim_bucket, content);
+                    self.dirty[victim as usize] = false;
+                    self.stats.dirty_flushes += 1;
+                    flushed += 1;
+                }
+                self.line_bucket[victim as usize] = None;
+                self.free.release(victim);
+                self.stats.evictions += 1;
+                evicted += 1;
+            }
+        }
+
+        let line = self.free.allocate().expect("eviction refilled free list");
+        self.lines[line as usize] = ssd.fetch_bucket(bucket);
+        self.line_bucket[line as usize] = Some(bucket);
+        self.dirty[line as usize] = false;
+        self.index.index_insert(bucket, line);
+        self.lru.push_hot(line);
+        Access {
+            line,
+            hit: false,
+            evicted,
+            flushed,
+        }
+    }
+
+    /// Read-only view of a cached bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` does not currently hold a bucket.
+    pub fn bucket(&self, line: u32) -> &Bucket {
+        assert!(
+            self.line_bucket[line as usize].is_some(),
+            "line {line} is empty"
+        );
+        &self.lines[line as usize]
+    }
+
+    /// Mutable view of a cached bucket; marks the line dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` does not currently hold a bucket.
+    pub fn bucket_mut(&mut self, line: u32) -> &mut Bucket {
+        assert!(
+            self.line_bucket[line as usize].is_some(),
+            "line {line} is empty"
+        );
+        self.dirty[line as usize] = true;
+        &mut self.lines[line as usize]
+    }
+
+    /// Writes every dirty line back to the table SSD (shutdown / barrier).
+    pub fn flush_all(&mut self, ssd: &mut TableSsd) {
+        for line in 0..self.lines.len() {
+            if self.dirty[line] {
+                let bucket_idx = self.line_bucket[line].expect("dirty line holds a bucket");
+                ssd.flush_bucket(bucket_idx, self.lines[line].clone());
+                self.dirty[line] = false;
+                self.stats.dirty_flushes += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fidr_chunk::Pbn;
+    use fidr_hash::Fingerprint;
+    use fidr_ssd::QueueLocation;
+
+    fn ssd(buckets: u64) -> TableSsd {
+        TableSsd::new(buckets, QueueLocation::HostMemory)
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let mut s = ssd(256);
+        let mut c = TableCache::new(4, BPlusTree::new());
+        assert!(!c.access(10, &mut s).hit);
+        assert!(c.access(10, &mut s).hit);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn eviction_batch_and_writeback() {
+        let mut s = ssd(256);
+        let mut c = TableCache::new(4, BPlusTree::new());
+        // Dirty a bucket, then evict it by filling the cache.
+        let a = c.access(1, &mut s);
+        let fp = Fingerprint::of(b"x");
+        c.bucket_mut(a.line).insert(fp, Pbn(9)).unwrap();
+        for b in 2..10u64 {
+            c.access(b, &mut s);
+        }
+        assert!(c.stats().evictions >= 1);
+        assert!(c.stats().dirty_flushes >= 1);
+        // Re-access bucket 1: the flushed content must come back.
+        let again = c.access(1, &mut s);
+        assert!(!again.hit);
+        assert_eq!(c.bucket(again.line).lookup(&fp), Some(Pbn(9)));
+    }
+
+    #[test]
+    fn flush_all_persists_dirty_lines() {
+        let mut s = ssd(64);
+        let mut c = TableCache::new(4, BPlusTree::new());
+        let acc = c.access(3, &mut s);
+        let fp = Fingerprint::of(b"y");
+        c.bucket_mut(acc.line).insert(fp, Pbn(1)).unwrap();
+        c.flush_all(&mut s);
+        assert_eq!(s.store().bucket(3).lookup(&fp), Some(Pbn(1)));
+    }
+
+    #[test]
+    fn works_with_hw_tree_index() {
+        let mut s = ssd(256);
+        let mut c = TableCache::new(8, crate::hwtree::HwTree::new(Default::default()));
+        for b in 0..32u64 {
+            c.access(b % 6, &mut s);
+        }
+        assert!(c.stats().hit_rate() > 0.0);
+        assert!(c.index().stats().searches >= 32);
+    }
+
+    #[test]
+    fn hit_rate_tracks_reuse() {
+        let mut s = ssd(1024);
+        let mut c = TableCache::new(64, BPlusTree::new());
+        // Working set of 32 buckets fits: after warmup everything hits.
+        for round in 0..10 {
+            for b in 0..32u64 {
+                let acc = c.access(b, &mut s);
+                if round > 0 {
+                    assert!(acc.hit, "round {round} bucket {b}");
+                }
+            }
+        }
+        assert!(c.stats().hit_rate() > 0.85);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn reading_empty_line_panics() {
+        let c: TableCache<BPlusTree> = TableCache::new(2, BPlusTree::new());
+        c.bucket(0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests: the B+ tree against a `BTreeMap` model, the HW tree's
+//! functional equivalence to the software tree, and table-cache coherence
+//! with the table SSD.
+
+use fidr_cache::{BPlusTree, HwTree, HwTreeConfig, PipelinedTree, TableCache};
+use fidr_chunk::Pbn;
+use fidr_hash::Fingerprint;
+use fidr_ssd::{QueueLocation, TableSsd};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u32),
+    Remove(u64),
+    Search(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Narrow key space (0..64) to provoke collisions, replacements and
+    // underflow rebalancing.
+    prop_oneof![
+        (0u64..64, any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0u64..64).prop_map(Op::Remove),
+        (0u64..64).prop_map(Op::Search),
+    ]
+}
+
+proptest! {
+    /// The B+ tree behaves exactly like BTreeMap and keeps its invariants.
+    #[test]
+    fn btree_matches_model(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        let mut tree = BPlusTree::new();
+        let mut model: BTreeMap<u64, u32> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(k, v), model.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(tree.remove(k), model.remove(&k));
+                }
+                Op::Search(k) => {
+                    prop_assert_eq!(tree.search(k), model.get(&k).copied());
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+            tree.check_invariants();
+        }
+    }
+
+    /// Wide-key workloads exercise deep trees.
+    #[test]
+    fn btree_wide_keys(keys in proptest::collection::vec(any::<u64>(), 1..600)) {
+        let mut tree = BPlusTree::new();
+        let mut model = BTreeMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            tree.insert(*k, i as u32);
+            model.insert(*k, i as u32);
+        }
+        tree.check_invariants();
+        for k in &keys {
+            prop_assert_eq!(tree.search(*k), model.get(k).copied());
+        }
+        for k in keys.iter().step_by(3) {
+            prop_assert_eq!(tree.remove(*k), model.remove(k));
+            tree.check_invariants();
+        }
+        prop_assert_eq!(tree.len(), model.len());
+    }
+
+    /// The top-down pipelined tree behaves exactly like BTreeMap and
+    /// keeps its invariants under any op sequence.
+    #[test]
+    fn pipelined_tree_matches_model(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        let mut tree = PipelinedTree::new();
+        let mut model: BTreeMap<u64, u32> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(k, v), model.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(tree.remove(k), model.remove(&k));
+                }
+                Op::Search(k) => {
+                    prop_assert_eq!(tree.search(k), model.get(&k).copied());
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+            tree.check_invariants();
+        }
+    }
+
+    /// Wide keys drive the pipelined tree deep.
+    #[test]
+    fn pipelined_tree_wide_keys(keys in proptest::collection::vec(any::<u64>(), 1..600)) {
+        let mut tree = PipelinedTree::new();
+        let mut model = BTreeMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            tree.insert(*k, i as u32);
+            model.insert(*k, i as u32);
+        }
+        tree.check_invariants();
+        for k in &keys {
+            prop_assert_eq!(tree.search(*k), model.get(k).copied());
+        }
+        for k in keys.iter().step_by(2) {
+            prop_assert_eq!(tree.remove(*k), model.remove(k));
+        }
+        tree.check_invariants();
+        prop_assert_eq!(tree.len(), model.len());
+    }
+
+    /// The HW tree gives identical answers to the software tree for any
+    /// op sequence (speculation must never change results).
+    #[test]
+    fn hwtree_functionally_equals_btree(ops in proptest::collection::vec(op_strategy(), 1..300),
+                                        slots in 1usize..5) {
+        let mut hw = HwTree::new(HwTreeConfig { update_slots: slots, ..HwTreeConfig::default() });
+        let mut sw = BPlusTree::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    hw.insert(k, v);
+                    sw.insert(k, v);
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(hw.remove(k), sw.remove(k));
+                }
+                Op::Search(k) => {
+                    prop_assert_eq!(hw.search(k), sw.search(k));
+                }
+            }
+        }
+    }
+
+    /// Whatever access pattern hits the cache, flush_all leaves the table
+    /// SSD holding every insert ever made.
+    #[test]
+    fn cache_writeback_preserves_inserts(buckets in proptest::collection::vec(0u64..64, 1..150),
+                                         capacity in 2usize..12) {
+        let mut ssd = TableSsd::new(64, QueueLocation::HostMemory);
+        let mut cache = TableCache::new(capacity, BPlusTree::new());
+        let mut inserted: Vec<(u64, Fingerprint, Pbn)> = Vec::new();
+        for (i, &b) in buckets.iter().enumerate() {
+            let access = cache.access(b, &mut ssd);
+            let fp = Fingerprint::of(&(i as u64).to_le_bytes());
+            let pbn = Pbn(i as u64);
+            if cache.bucket(access.line).lookup(&fp).is_none()
+                && !cache.bucket(access.line).is_full()
+            {
+                cache.bucket_mut(access.line).insert(fp, pbn).unwrap();
+                inserted.push((b, fp, pbn));
+            }
+        }
+        cache.flush_all(&mut ssd);
+        for (bucket, fp, pbn) in inserted {
+            prop_assert_eq!(ssd.store().bucket(bucket).lookup(&fp), Some(pbn));
+        }
+    }
+
+    /// Hit + miss always equals accesses, and misses equal SSD fetches.
+    #[test]
+    fn cache_stats_are_consistent(buckets in proptest::collection::vec(0u64..32, 1..200)) {
+        let mut ssd = TableSsd::new(32, QueueLocation::HostMemory);
+        let mut cache = TableCache::new(8, BPlusTree::new());
+        for &b in &buckets {
+            cache.access(b, &mut ssd);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        prop_assert_eq!(s.misses, ssd.stats().read_ios);
+        prop_assert_eq!(s.dirty_flushes, ssd.stats().write_ios);
+    }
+}

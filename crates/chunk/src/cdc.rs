@@ -1,0 +1,199 @@
+//! Content-defined chunking (gear hash), provided as an extension.
+//!
+//! The paper notes commercial systems use either "fixed sized small
+//! chunking" or "variable sized chunking" and picks fixed 4-KB for its low
+//! computational cost (§2.1.1). This module implements the variable-size
+//! alternative so the trade-off can be measured: a gear-based rolling hash
+//! declares a chunk boundary whenever the rolling value's low `mask_bits`
+//! bits are zero, with min/max clamps.
+
+use fidr_hash::fnv1a_u64;
+
+/// A variable-size chunk boundary produced by [`GearChunker::split`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CutPoint {
+    /// Byte offset where the chunk starts.
+    pub start: usize,
+    /// Chunk length in bytes.
+    pub len: usize,
+}
+
+/// Gear-hash content-defined chunker.
+///
+/// # Examples
+///
+/// ```
+/// use fidr_chunk::GearChunker;
+///
+/// let chunker = GearChunker::new(2048, 4096, 8192);
+/// let data = vec![0xabu8; 100_000];
+/// let cuts = chunker.split(&data);
+/// let total: usize = cuts.iter().map(|c| c.len).sum();
+/// assert_eq!(total, data.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GearChunker {
+    min_size: usize,
+    target_size: usize,
+    max_size: usize,
+    mask: u64,
+    gear: Box<[u64; 256]>,
+}
+
+impl GearChunker {
+    /// Creates a chunker with the given minimum, target (average) and
+    /// maximum chunk sizes in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min_size <= target_size <= max_size` and
+    /// `target_size` is a power of two.
+    pub fn new(min_size: usize, target_size: usize, max_size: usize) -> Self {
+        assert!(min_size > 0, "min_size must be non-zero");
+        assert!(
+            min_size <= target_size && target_size <= max_size,
+            "need min <= target <= max"
+        );
+        assert!(
+            target_size.is_power_of_two(),
+            "target_size must be a power of two"
+        );
+        let mut gear = Box::new([0u64; 256]);
+        for (i, g) in gear.iter_mut().enumerate() {
+            *g = fnv1a_u64(0x9e37_79b9 ^ i as u64);
+        }
+        GearChunker {
+            min_size,
+            target_size,
+            max_size,
+            mask: (target_size as u64 - 1) << 16,
+            gear,
+        }
+    }
+
+    /// The configured average chunk size.
+    pub fn target_size(&self) -> usize {
+        self.target_size
+    }
+
+    /// Splits `data` into content-defined chunks covering every byte.
+    pub fn split(&self, data: &[u8]) -> Vec<CutPoint> {
+        let mut cuts = Vec::new();
+        let mut start = 0usize;
+        while start < data.len() {
+            let len = self.next_cut(&data[start..]);
+            cuts.push(CutPoint { start, len });
+            start += len;
+        }
+        cuts
+    }
+
+    /// Length of the next chunk starting at `data[0]`.
+    fn next_cut(&self, data: &[u8]) -> usize {
+        let n = data.len();
+        if n <= self.min_size {
+            return n;
+        }
+        let limit = n.min(self.max_size);
+        let mut h: u64 = 0;
+        for (i, &b) in data[..limit].iter().enumerate() {
+            h = (h << 1).wrapping_add(self.gear[b as usize]);
+            if i >= self.min_size && (h & self.mask) == 0 {
+                return i + 1;
+            }
+        }
+        limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fidr_hash::Fingerprint;
+
+    fn noise(len: usize, seed: u64) -> Vec<u8> {
+        let mut s = seed | 1;
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 24) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn covers_all_bytes_in_order() {
+        let c = GearChunker::new(512, 2048, 8192);
+        let data = noise(100_000, 7);
+        let cuts = c.split(&data);
+        let mut expect = 0usize;
+        for cut in &cuts {
+            assert_eq!(cut.start, expect);
+            assert!(cut.len > 0);
+            expect += cut.len;
+        }
+        assert_eq!(expect, data.len());
+    }
+
+    #[test]
+    fn respects_min_max() {
+        let c = GearChunker::new(512, 2048, 8192);
+        let data = noise(200_000, 11);
+        let cuts = c.split(&data);
+        for cut in &cuts[..cuts.len() - 1] {
+            assert!(cut.len >= 512 && cut.len <= 8192, "len {}", cut.len);
+        }
+    }
+
+    #[test]
+    fn average_near_target() {
+        let c = GearChunker::new(256, 2048, 16384);
+        let data = noise(1_000_000, 13);
+        let cuts = c.split(&data);
+        let avg = data.len() as f64 / cuts.len() as f64;
+        assert!(
+            avg > 1024.0 && avg < 4096.0,
+            "average chunk {avg} not near 2048"
+        );
+    }
+
+    #[test]
+    fn insertion_shifts_limited_chunks() {
+        // The CDC selling point: a byte inserted early only reshapes nearby
+        // chunks; most chunk fingerprints survive.
+        let c = GearChunker::new(256, 1024, 4096);
+        let base = noise(200_000, 17);
+        let mut shifted = base.clone();
+        shifted.insert(1000, 0x55);
+
+        let fps = |d: &[u8]| -> Vec<Fingerprint> {
+            c.split(d)
+                .iter()
+                .map(|cut| Fingerprint::of(&d[cut.start..cut.start + cut.len]))
+                .collect()
+        };
+        let a = fps(&base);
+        let b = fps(&shifted);
+        let a_set: std::collections::HashSet<_> = a.iter().collect();
+        let survived = b.iter().filter(|f| a_set.contains(f)).count();
+        assert!(
+            survived as f64 / b.len() as f64 > 0.8,
+            "only {survived}/{} chunks survived",
+            b.len()
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = GearChunker::new(512, 2048, 8192);
+        assert!(c.split(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_target_panics() {
+        GearChunker::new(100, 3000, 8000);
+    }
+}

@@ -1,0 +1,169 @@
+//! Fixed-size chunking of client write requests.
+//!
+//! "Due to high computational overheads of variable sized chunking, we use
+//! fixed sized small (4-KB) chunking in this paper" (§2.1.1). The chunker
+//! splits an aligned client write into [`Chunk`]s, each carrying its LBA and
+//! payload; unaligned or ragged requests are reported as errors so callers
+//! can route them through a read-modify-write path.
+
+use crate::types::{Lba, CHUNK_SIZE};
+use bytes::Bytes;
+use std::fmt;
+
+/// One fixed-size chunk of a client write request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// The logical address this chunk is written to.
+    pub lba: Lba,
+    /// The chunk payload (`chunk_size` bytes).
+    pub data: Bytes,
+}
+
+/// Error returned for requests the fixed chunker cannot split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkingError {
+    /// Request length is not a multiple of the chunk size.
+    RaggedLength {
+        /// Bytes in the request.
+        len: usize,
+        /// Configured chunk size.
+        chunk_size: usize,
+    },
+    /// Request is empty.
+    Empty,
+}
+
+impl fmt::Display for ChunkingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChunkingError::RaggedLength { len, chunk_size } => write!(
+                f,
+                "request of {len} bytes is not a multiple of the {chunk_size}-byte chunk size"
+            ),
+            ChunkingError::Empty => write!(f, "empty write request"),
+        }
+    }
+}
+
+impl std::error::Error for ChunkingError {}
+
+/// Splits chunk-aligned client writes into fixed-size chunks.
+///
+/// # Examples
+///
+/// ```
+/// use fidr_chunk::{FixedChunker, Lba};
+///
+/// let chunker = FixedChunker::new(4096);
+/// let data = bytes::Bytes::from(vec![0u8; 8192]);
+/// let chunks = chunker.split(Lba(10), data)?;
+/// assert_eq!(chunks.len(), 2);
+/// assert_eq!(chunks[1].lba, Lba(11));
+/// # Ok::<(), fidr_chunk::ChunkingError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedChunker {
+    chunk_size: usize,
+}
+
+impl Default for FixedChunker {
+    fn default() -> Self {
+        FixedChunker::new(CHUNK_SIZE)
+    }
+}
+
+impl FixedChunker {
+    /// Creates a chunker with the given chunk size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    pub fn new(chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        FixedChunker { chunk_size }
+    }
+
+    /// The configured chunk size in bytes.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Splits `data` starting at logical block `start` into chunks.
+    ///
+    /// `start` is expressed in *this chunker's* block units. Splitting is
+    /// zero-copy: each chunk is a [`Bytes`] slice of the request buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`ChunkingError::Empty`] for empty requests and
+    /// [`ChunkingError::RaggedLength`] when the request is not a whole
+    /// number of chunks.
+    pub fn split(&self, start: Lba, data: Bytes) -> Result<Vec<Chunk>, ChunkingError> {
+        if data.is_empty() {
+            return Err(ChunkingError::Empty);
+        }
+        if !data.len().is_multiple_of(self.chunk_size) {
+            return Err(ChunkingError::RaggedLength {
+                len: data.len(),
+                chunk_size: self.chunk_size,
+            });
+        }
+        let n = data.len() / self.chunk_size;
+        let mut chunks = Vec::with_capacity(n);
+        for i in 0..n {
+            let slice = data.slice(i * self.chunk_size..(i + 1) * self.chunk_size);
+            chunks.push(Chunk {
+                lba: Lba(start.0 + i as u64),
+                data: slice,
+            });
+        }
+        Ok(chunks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_aligned_request() {
+        let c = FixedChunker::new(4096);
+        let data = Bytes::from(vec![1u8; 4096 * 3]);
+        let chunks = c.split(Lba(100), data).unwrap();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].lba, Lba(100));
+        assert_eq!(chunks[2].lba, Lba(102));
+        assert!(chunks.iter().all(|ch| ch.data.len() == 4096));
+    }
+
+    #[test]
+    fn rejects_ragged() {
+        let c = FixedChunker::default();
+        let err = c.split(Lba(0), Bytes::from(vec![0u8; 5000])).unwrap_err();
+        assert!(matches!(err, ChunkingError::RaggedLength { len: 5000, .. }));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let c = FixedChunker::default();
+        assert_eq!(
+            c.split(Lba(0), Bytes::new()).unwrap_err(),
+            ChunkingError::Empty
+        );
+    }
+
+    #[test]
+    fn zero_copy_slices_share_content() {
+        let c = FixedChunker::new(4);
+        let data = Bytes::from_static(b"aaaabbbb");
+        let chunks = c.split(Lba(0), data).unwrap();
+        assert_eq!(&chunks[0].data[..], b"aaaa");
+        assert_eq!(&chunks[1].data[..], b"bbbb");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_chunk_size_panics() {
+        FixedChunker::new(0);
+    }
+}

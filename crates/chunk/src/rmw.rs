@@ -1,0 +1,266 @@
+//! Read-modify-write analysis for large chunking (paper §3.1, Figure 3).
+//!
+//! With large (e.g. 32-KB) chunks, a stream of 4-KB client writes rarely
+//! covers a whole chunk, so the deduplication module must *fetch the missing
+//! 4-KB blocks from the SSDs, form the large chunk, deduplicate it, and — if
+//! unique — write the whole chunk back*. On the paper's mail and webVM
+//! traces this inflates IO by up to 17.5× and additionally degrades
+//! duplicate detection (a large chunk is a duplicate only if *all* its
+//! constituent blocks match). This module reproduces that simulation.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+use fidr_hash::fnv1a_u64;
+
+/// One trace record: a 4-KB block write with an abstract content identity.
+///
+/// Two writes with equal `content_id` carry identical bytes; the RMW
+/// analysis only needs identity, not payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockWrite {
+    /// 4-KB logical block address.
+    pub lba: u64,
+    /// Abstract content identity of the 4-KB payload.
+    pub content_id: u64,
+}
+
+/// Outcome of replaying a trace under a given chunking granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChunkingReport {
+    /// Chunking granularity in 4-KB blocks (1 = fine-grain, 8 = 32 KB).
+    pub chunk_blocks: usize,
+    /// 4-KB blocks read back from SSD to complete partial chunks.
+    pub rmw_read_blocks: u64,
+    /// 4-KB blocks written to SSD (whole chunks for unique data).
+    pub write_blocks: u64,
+    /// Chunks detected as duplicates (no write needed).
+    pub dedup_hits: u64,
+    /// Chunks that had to be written.
+    pub unique_chunks: u64,
+}
+
+impl ChunkingReport {
+    /// Total 4-KB-block IO traffic (reads + writes) to the data SSDs.
+    pub fn total_io_blocks(&self) -> u64 {
+        self.rmw_read_blocks + self.write_blocks
+    }
+
+    /// Fraction of chunk dedup lookups that hit.
+    pub fn dedup_ratio(&self) -> f64 {
+        let total = self.dedup_hits + self.unique_chunks;
+        if total == 0 {
+            0.0
+        } else {
+            self.dedup_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Content identity of a never-written (cold) block: unique per LBA.
+fn cold_content(lba: u64) -> u64 {
+    // Tag bit 63 so cold content can never collide with trace content ids
+    // (which the workload generator keeps in the low 62 bits).
+    fnv1a_u64(lba) | (1 << 63)
+}
+
+/// Replays `trace` through a deduplicating store with `chunk_blocks`-block
+/// chunking and a `buffer_blocks`-block request buffer (the paper uses a
+/// 4-MB buffer = 1024 blocks).
+///
+/// Returns the IO accounting of Figure 3. `chunk_blocks == 1` models the
+/// paper's fine-grain 4-KB chunking (no read-modify-write);
+/// `chunk_blocks == 8` models CIDR's 32-KB chunking.
+///
+/// # Panics
+///
+/// Panics if `chunk_blocks` or `buffer_blocks` is zero.
+pub fn replay_chunking(
+    trace: &[BlockWrite],
+    chunk_blocks: usize,
+    buffer_blocks: usize,
+) -> ChunkingReport {
+    assert!(chunk_blocks > 0, "chunk_blocks must be non-zero");
+    assert!(buffer_blocks > 0, "buffer_blocks must be non-zero");
+
+    let mut report = ChunkingReport {
+        chunk_blocks,
+        ..ChunkingReport::default()
+    };
+
+    // Store state: last written content per block, and the dedup index of
+    // chunk signatures already stored.
+    let mut block_content: HashMap<u64, u64> = HashMap::new();
+    let mut dedup_index: HashSet<u64> = HashSet::new();
+
+    for batch in trace.chunks(buffer_blocks) {
+        // Coalesce writes in the buffer: last write to an LBA wins, and the
+        // buffer supplies blocks without SSD reads.
+        let mut buffered: HashMap<u64, u64> = HashMap::with_capacity(batch.len());
+        let mut touched_chunks: Vec<u64> = Vec::new();
+        for w in batch {
+            if let Entry::Vacant(_) = buffered.entry(w.lba) {
+                // new LBA in buffer
+            }
+            buffered.insert(w.lba, w.content_id);
+            let cidx = w.lba / chunk_blocks as u64;
+            if !touched_chunks.contains(&cidx) {
+                touched_chunks.push(cidx);
+            }
+        }
+
+        for cidx in touched_chunks {
+            let base = cidx * chunk_blocks as u64;
+            // Assemble the chunk content: buffered blocks are free; other
+            // blocks are fetched from the SSD (read-modify-write traffic).
+            let mut sig: u64 = 0xcbf2_9ce4_8422_2325;
+            for off in 0..chunk_blocks as u64 {
+                let lba = base + off;
+                let content = if let Some(&c) = buffered.get(&lba) {
+                    c
+                } else {
+                    if chunk_blocks > 1 {
+                        report.rmw_read_blocks += 1;
+                    }
+                    *block_content.get(&lba).unwrap_or(&cold_content(lba))
+                };
+                sig ^= fnv1a_u64(content.wrapping_add(off));
+                sig = sig.wrapping_mul(0x100_0000_01b3);
+            }
+
+            if dedup_index.contains(&sig) {
+                report.dedup_hits += 1;
+            } else {
+                dedup_index.insert(sig);
+                report.unique_chunks += 1;
+                report.write_blocks += chunk_blocks as u64;
+            }
+
+            // Commit buffered blocks of this chunk to the store state.
+            for off in 0..chunk_blocks as u64 {
+                let lba = base + off;
+                if let Some(&c) = buffered.get(&lba) {
+                    block_content.insert(lba, c);
+                }
+            }
+        }
+    }
+
+    report
+}
+
+/// Convenience: IO amplification of `large` chunking relative to
+/// fine-grain 4-KB chunking on the same trace.
+pub fn io_amplification(trace: &[BlockWrite], large_chunk_blocks: usize) -> f64 {
+    let fine = replay_chunking(trace, 1, 1024);
+    let large = replay_chunking(trace, large_chunk_blocks, 1024);
+    large.total_io_blocks() as f64 / fine.total_io_blocks().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_trace(n: u64) -> Vec<BlockWrite> {
+        (0..n)
+            .map(|i| BlockWrite {
+                lba: i,
+                content_id: i + 1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fine_grain_has_no_rmw_reads() {
+        let r = replay_chunking(&seq_trace(4096), 1, 1024);
+        assert_eq!(r.rmw_read_blocks, 0);
+        assert_eq!(r.write_blocks, 4096);
+        assert_eq!(r.unique_chunks, 4096);
+    }
+
+    #[test]
+    fn sequential_full_chunks_have_no_rmw() {
+        // Fully covered 8-block chunks inside one buffer: no missing blocks.
+        let r = replay_chunking(&seq_trace(1024), 8, 1024);
+        assert_eq!(r.rmw_read_blocks, 0);
+        assert_eq!(r.write_blocks, 1024);
+    }
+
+    #[test]
+    fn sparse_writes_trigger_rmw() {
+        // One 4-KB write per 32-KB chunk: 7 blocks fetched per chunk.
+        let trace: Vec<BlockWrite> = (0..100)
+            .map(|i| BlockWrite {
+                lba: i * 8,
+                content_id: i + 1,
+            })
+            .collect();
+        let r = replay_chunking(&trace, 8, 1024);
+        assert_eq!(r.rmw_read_blocks, 700);
+        assert_eq!(r.write_blocks, 800);
+        // Amplification vs fine-grain (100 block writes): 15x.
+        assert!((io_amplification(&trace, 8) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_blocks_dedup_at_fine_grain() {
+        let mut trace = seq_trace(512);
+        // Re-write the same content at the same LBAs (e.g. a re-sync).
+        trace.extend(seq_trace(512));
+        let r = replay_chunking(&trace, 1, 256);
+        assert_eq!(r.dedup_hits, 512);
+        assert_eq!(r.unique_chunks, 512);
+    }
+
+    #[test]
+    fn large_chunking_degrades_dedup() {
+        // Duplicate content, but shifted misalignment within chunks breaks
+        // large-chunk signatures while fine-grain still matches content.
+        let a: Vec<BlockWrite> = (0..256)
+            .map(|i| BlockWrite {
+                lba: i,
+                content_id: 1000 + i,
+            })
+            .collect();
+        // Same contents written at lba+4 (misaligned by half a large chunk).
+        let b: Vec<BlockWrite> = (0..256)
+            .map(|i| BlockWrite {
+                lba: i + 4,
+                content_id: 1000 + i,
+            })
+            .collect();
+        let mut trace = a;
+        trace.extend(b);
+
+        let fine = replay_chunking(&trace, 1, 1024);
+        let large = replay_chunking(&trace, 8, 1024);
+        // Fine-grain: content-addressed, position-independent within our
+        // model? No — signature includes offset only within chunk, and for
+        // chunk_blocks=1 offset is always 0, so duplicates by content dedup.
+        assert!(fine.dedup_hits > 0);
+        assert_eq!(large.dedup_hits, 0, "misaligned dup must not dedup at 32K");
+    }
+
+    #[test]
+    fn buffer_coalesces_rewrites() {
+        // Two writes to the same LBA in one buffer: one chunk op.
+        let trace = vec![
+            BlockWrite {
+                lba: 0,
+                content_id: 1,
+            },
+            BlockWrite {
+                lba: 0,
+                content_id: 2,
+            },
+        ];
+        let r = replay_chunking(&trace, 1, 1024);
+        assert_eq!(r.unique_chunks + r.dedup_hits, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_chunk_blocks_panics() {
+        replay_chunking(&[], 0, 1);
+    }
+}

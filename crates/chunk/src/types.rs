@@ -1,0 +1,118 @@
+//! Address and size newtypes shared across the storage pipeline.
+//!
+//! The paper's metadata model (§2.1.3–§2.1.4) distinguishes three address
+//! spaces: the client's logical block address (LBA), the chunk physical
+//! block number (PBN, an index into the unique-chunk space), and the
+//! physical block address (PBA = container + offset) on the data SSDs.
+//! Newtypes keep them from being mixed up at compile time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The fine-grain chunk size the paper settles on (§3.1): 4 KB.
+pub const CHUNK_SIZE: usize = 4096;
+
+/// A client logical block address, in units of [`CHUNK_SIZE`] blocks.
+///
+/// # Examples
+///
+/// ```
+/// use fidr_chunk::Lba;
+///
+/// let lba = Lba(7);
+/// assert_eq!(lba.byte_offset(), 7 * 4096);
+/// assert_eq!(lba.next(), Lba(8));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Lba(pub u64);
+
+impl Lba {
+    /// Byte offset of this block in the client address space.
+    pub fn byte_offset(&self) -> u64 {
+        self.0 * CHUNK_SIZE as u64
+    }
+
+    /// The following block address.
+    pub fn next(&self) -> Lba {
+        Lba(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Lba {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LBA#{}", self.0)
+    }
+}
+
+/// A physical block number: the index of a unique chunk in the deduplicated
+/// store. The Hash-PBN table maps fingerprints to PBNs (§2.1.3, "6 bytes for
+/// PBN" — we use `u64` in memory and 6 bytes in the serialized entry).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Pbn(pub u64);
+
+impl Pbn {
+    /// Largest value representable in the 6-byte on-SSD encoding.
+    pub const MAX_ENCODABLE: u64 = (1 << 48) - 1;
+}
+
+impl fmt::Display for Pbn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PBN#{}", self.0)
+    }
+}
+
+/// A physical block address on the data SSDs: which container holds the
+/// compressed chunk, the byte offset inside it, and the compressed size
+/// (§2.1.4's PBN→PBA mapping entries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pba {
+    /// Container sequence number on the data SSDs.
+    pub container: u64,
+    /// Byte offset of the compressed chunk inside the container.
+    pub offset: u32,
+    /// Compressed size in bytes.
+    pub compressed_len: u32,
+}
+
+impl fmt::Display for Pba {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PBA(c{}+{}:{}B)",
+            self.container, self.offset, self.compressed_len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lba_arithmetic() {
+        assert_eq!(Lba(0).byte_offset(), 0);
+        assert_eq!(Lba(2).next(), Lba(3));
+        assert_eq!(Lba(1).byte_offset(), 4096);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Lba(5).to_string(), "LBA#5");
+        assert_eq!(Pbn(9).to_string(), "PBN#9");
+        let pba = Pba {
+            container: 1,
+            offset: 64,
+            compressed_len: 2048,
+        };
+        assert_eq!(pba.to_string(), "PBA(c1+64:2048B)");
+    }
+
+    #[test]
+    fn pbn_encodable_bound() {
+        assert_eq!(Pbn::MAX_ENCODABLE, 0xffff_ffff_ffff);
+    }
+}

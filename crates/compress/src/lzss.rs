@@ -1,0 +1,473 @@
+//! A from-scratch LZ77-family block codec.
+//!
+//! The FIDR Compression Engine and the CIDR baseline both run LZ-class
+//! lossless compression on FPGAs (paper §2.3, §6.1; CIDR builds on
+//! "Gzip on a chip"-style cores). This module is the functional stand-in:
+//! a byte-oriented block format in the LZ4 spirit — token byte with literal
+//! run length and match length nibbles, 2-byte little-endian match offsets,
+//! 255-continuation extension bytes — implemented with a hash-chain matcher.
+//!
+//! The format is self-terminating given the compressed length: the final
+//! sequence carries only literals.
+
+use std::fmt;
+
+/// Minimum match length worth encoding (a match costs 3 bytes: token share +
+/// 2-byte offset).
+const MIN_MATCH: usize = 4;
+/// Maximum backward distance the 2-byte offset can express.
+const MAX_OFFSET: usize = 65_535;
+/// Hash table size (log2) for the matcher.
+const HASH_BITS: u32 = 13;
+
+/// Error returned when decompression encounters a malformed stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecompressError {
+    detail: &'static str,
+}
+
+impl DecompressError {
+    fn new(detail: &'static str) -> Self {
+        DecompressError { detail }
+    }
+}
+
+impl fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed compressed stream: {}", self.detail)
+    }
+}
+
+impl std::error::Error for DecompressError {}
+
+fn hash4(window: &[u8]) -> usize {
+    let v = u32::from_le_bytes([window[0], window[1], window[2], window[3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compression effort level.
+///
+/// `Fast` models the throughput-oriented FPGA cores the paper deploys;
+/// `High` spends more matcher effort (deeper hash chains plus lazy
+/// matching) for a better ratio — the software-side trade-off an
+/// operator might pick for cold data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CompressionLevel {
+    /// Greedy matching, shallow chains (the default).
+    #[default]
+    Fast,
+    /// Lazy matching, deep chains; slower, smaller output.
+    High,
+}
+
+impl CompressionLevel {
+    fn chain_tries(self) -> u32 {
+        match self {
+            CompressionLevel::Fast => 16,
+            CompressionLevel::High => 96,
+        }
+    }
+
+    fn lazy(self) -> bool {
+        matches!(self, CompressionLevel::High)
+    }
+}
+
+/// Matcher state shared by both levels.
+struct Matcher {
+    /// head[h] = most recent position with hash h (+1, 0 = empty).
+    head: Vec<u32>,
+    /// prev[i % WINDOW] = previous position in this hash chain (+1).
+    prev: Vec<u32>,
+    tries: u32,
+}
+
+impl Matcher {
+    fn new(tries: u32) -> Self {
+        Matcher {
+            head: vec![0u32; 1 << HASH_BITS],
+            prev: vec![0u32; MAX_OFFSET + 1],
+            tries,
+        }
+    }
+
+    /// Indexes position `pos` and returns the best (offset, len) match.
+    fn insert_and_find(&mut self, input: &[u8], pos: usize) -> (usize, usize) {
+        let n = input.len();
+        let h = hash4(&input[pos..]);
+        let mut candidate = self.head[h] as usize;
+        self.head[h] = (pos + 1) as u32;
+        self.prev[pos % (MAX_OFFSET + 1)] = candidate as u32;
+
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        let mut tries = self.tries;
+        while candidate > 0 && tries > 0 {
+            let cand = candidate - 1;
+            // Double-indexing (lazy probes + sparse match indexing) can
+            // leave forward references in a chain; matches must point
+            // strictly backwards.
+            if cand >= pos {
+                candidate = self.prev[cand % (MAX_OFFSET + 1)] as usize;
+                tries -= 1;
+                continue;
+            }
+            if pos - cand > MAX_OFFSET {
+                break;
+            }
+            let max_len = n - pos;
+            let mut l = 0usize;
+            while l < max_len && input[cand + l] == input[pos + l] {
+                l += 1;
+            }
+            if l > best_len {
+                best_len = l;
+                best_off = pos - cand;
+                if l >= max_len {
+                    break;
+                }
+            }
+            candidate = self.prev[cand % (MAX_OFFSET + 1)] as usize;
+            tries -= 1;
+        }
+        (best_off, best_len)
+    }
+
+    /// Indexes a position without searching (inside emitted matches).
+    fn insert_only(&mut self, input: &[u8], pos: usize) {
+        let h = hash4(&input[pos..]);
+        self.prev[pos % (MAX_OFFSET + 1)] = self.head[h];
+        self.head[h] = (pos + 1) as u32;
+    }
+}
+
+/// Compresses `input` into the block format at the default (`Fast`)
+/// level.
+///
+/// The output of compressing an empty input is empty. Compression never
+/// fails; incompressible data expands by at most ~0.5 %.
+///
+/// # Examples
+///
+/// ```
+/// let data = b"abcabcabcabcabcabcabcabc".to_vec();
+/// let packed = fidr_compress::compress(&data);
+/// assert!(packed.len() < data.len());
+/// assert_eq!(fidr_compress::decompress(&packed, data.len()).unwrap(), data);
+/// ```
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    compress_with_level(input, CompressionLevel::Fast)
+}
+
+/// Compresses `input` at an explicit effort [`CompressionLevel`].
+pub fn compress_with_level(input: &[u8], level: CompressionLevel) -> Vec<u8> {
+    let n = input.len();
+    let mut out = Vec::with_capacity(n / 2 + 16);
+    if n == 0 {
+        return out;
+    }
+
+    let mut matcher = Matcher::new(level.chain_tries());
+    let mut pos = 0usize;
+    let mut literal_start = 0usize;
+
+    // Matches may not extend into the final MIN_MATCH bytes so the last
+    // sequence always ends in literals.
+    let match_limit = n.saturating_sub(MIN_MATCH);
+
+    while pos < match_limit {
+        let (mut best_off, mut best_len) = matcher.insert_and_find(input, pos);
+
+        // Lazy matching: if the next position yields a strictly longer
+        // match, emit this byte as a literal and take the later match.
+        if level.lazy() && best_len >= MIN_MATCH && pos + 1 < match_limit {
+            let (next_off, next_len) = matcher.insert_and_find(input, pos + 1);
+            // When deferring, `pos` advances onto the probed position,
+            // whose index entry insert_and_find already made; when not,
+            // the probe merely pre-indexed pos+1.
+            if next_len > best_len + 1 {
+                pos += 1;
+                best_off = next_off;
+                best_len = next_len;
+            }
+        }
+
+        if best_len >= MIN_MATCH {
+            // Trim so the stream always ends with at least MIN_MATCH
+            // literal bytes; truncated streams then fail decompression.
+            let room = n - pos;
+            if best_len > room.saturating_sub(MIN_MATCH) {
+                best_len = room.saturating_sub(MIN_MATCH);
+            }
+            if best_len >= MIN_MATCH {
+                emit_sequence(
+                    &mut out,
+                    &input[literal_start..pos],
+                    Some((best_off, best_len)),
+                );
+                // Index the skipped positions sparsely (every other byte) to
+                // keep compression fast on long matches.
+                let end = (pos + best_len).min(match_limit);
+                let mut p = pos + 1;
+                while p < end {
+                    matcher.insert_only(input, p);
+                    p += 2;
+                }
+                pos += best_len;
+                literal_start = pos;
+                continue;
+            }
+        }
+        pos += 1;
+    }
+
+    // Final literal-only sequence.
+    emit_sequence(&mut out, &input[literal_start..], None);
+    out
+}
+
+fn emit_length(out: &mut Vec<u8>, mut extra: usize) {
+    while extra >= 255 {
+        out.push(255);
+        extra -= 255;
+    }
+    out.push(extra as u8);
+}
+
+fn emit_sequence(out: &mut Vec<u8>, literals: &[u8], m: Option<(usize, usize)>) {
+    let lit_len = literals.len();
+    let lit_nibble = lit_len.min(15) as u8;
+    let (match_nibble, off, mlen) = match m {
+        Some((off, mlen)) => {
+            debug_assert!(mlen >= MIN_MATCH);
+            (((mlen - MIN_MATCH).min(15)) as u8, off, mlen)
+        }
+        None => (0, 0, 0),
+    };
+    out.push((lit_nibble << 4) | match_nibble);
+    if lit_len >= 15 {
+        emit_length(out, lit_len - 15);
+    }
+    out.extend_from_slice(literals);
+    if m.is_some() {
+        out.push((off & 0xff) as u8);
+        out.push((off >> 8) as u8);
+        if mlen - MIN_MATCH >= 15 {
+            emit_length(out, mlen - MIN_MATCH - 15);
+        }
+    }
+}
+
+/// Decompresses a block produced by [`compress`].
+///
+/// `expected_len` is the exact original length (the storage system records
+/// it in the PBN→PBA map, paper §2.1.4).
+///
+/// # Errors
+///
+/// Returns [`DecompressError`] if the stream is truncated, an offset points
+/// before the output start, or the output length disagrees with
+/// `expected_len`.
+pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>, DecompressError> {
+    let mut out = Vec::with_capacity(expected_len);
+    let mut p = 0usize;
+    let n = input.len();
+
+    if n == 0 {
+        return if expected_len == 0 {
+            Ok(out)
+        } else {
+            Err(DecompressError::new("empty stream for non-empty data"))
+        };
+    }
+
+    while p < n {
+        let token = input[p];
+        p += 1;
+        let mut lit_len = (token >> 4) as usize;
+        if lit_len == 15 {
+            loop {
+                let b = *input.get(p).ok_or(DecompressError::new("truncated literal length"))?;
+                p += 1;
+                lit_len += b as usize;
+                if b != 255 {
+                    break;
+                }
+            }
+        }
+        if p + lit_len > n {
+            return Err(DecompressError::new("literal run past end of stream"));
+        }
+        out.extend_from_slice(&input[p..p + lit_len]);
+        p += lit_len;
+
+        if p == n {
+            break; // final literal-only sequence
+        }
+
+        if p + 2 > n {
+            return Err(DecompressError::new("truncated match offset"));
+        }
+        let off = input[p] as usize | ((input[p + 1] as usize) << 8);
+        p += 2;
+        if off == 0 || off > out.len() {
+            return Err(DecompressError::new("match offset out of range"));
+        }
+        let mut mlen = (token & 0x0f) as usize + MIN_MATCH;
+        if mlen == 15 + MIN_MATCH {
+            loop {
+                let b = *input.get(p).ok_or(DecompressError::new("truncated match length"))?;
+                p += 1;
+                mlen += b as usize;
+                if b != 255 {
+                    break;
+                }
+            }
+        }
+        let start = out.len() - off;
+        for i in 0..mlen {
+            let b = out[start + i];
+            out.push(b);
+        }
+        if out.len() > expected_len {
+            return Err(DecompressError::new("output exceeds expected length"));
+        }
+    }
+
+    if out.len() != expected_len {
+        return Err(DecompressError::new("output shorter than expected length"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c, data.len()).expect("decompress");
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn empty() {
+        roundtrip(b"");
+    }
+
+    #[test]
+    fn tiny() {
+        roundtrip(b"a");
+        roundtrip(b"abc");
+        roundtrip(b"abcd");
+    }
+
+    #[test]
+    fn highly_repetitive_compresses_well() {
+        let data = vec![0x42u8; 4096];
+        let c = compress(&data);
+        assert!(c.len() < 100, "4 KB of one byte should pack tiny, got {}", c.len());
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn pattern_data() {
+        let data: Vec<u8> = (0..4096u32).map(|i| (i % 37) as u8).collect();
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 4);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn incompressible_random_bytes_expand_little() {
+        // xorshift-ish deterministic noise
+        let mut s = 0x12345678u64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s & 0xff) as u8
+            })
+            .collect();
+        let c = compress(&data);
+        assert!(c.len() <= data.len() + data.len() / 128 + 16);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn long_match_extension_lengths() {
+        // Force matches with length requiring several 255-extensions.
+        let mut data = b"0123456789abcdef".to_vec();
+        let rep = data.clone();
+        for _ in 0..200 {
+            data.extend_from_slice(&rep);
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn long_literal_runs() {
+        // >270 distinct bytes to force extended literal length encoding.
+        let data: Vec<u8> = (0u32..1000).map(|i| (i.wrapping_mul(179) >> 3) as u8).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn high_level_roundtrips_and_compresses_tighter() {
+        // Structured text-like data where lazy matching finds better cuts.
+        let mut data = Vec::new();
+        for i in 0..400u32 {
+            data.extend_from_slice(format!("record-{:04}: the quick brown fox;", i % 37).as_bytes());
+        }
+        let fast = compress_with_level(&data, CompressionLevel::Fast);
+        let high = compress_with_level(&data, CompressionLevel::High);
+        assert_eq!(decompress(&fast, data.len()).unwrap(), data);
+        assert_eq!(decompress(&high, data.len()).unwrap(), data);
+        assert!(
+            high.len() <= fast.len(),
+            "high effort must not lose: {} vs {}",
+            high.len(),
+            fast.len()
+        );
+    }
+
+    #[test]
+    fn high_level_roundtrips_random_and_repetitive() {
+        let mut s = 99u64;
+        let noise: Vec<u8> = (0..8192)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 30) as u8
+            })
+            .collect();
+        for data in [noise, vec![7u8; 8192], (0..8192u32).map(|i| (i % 5) as u8).collect()] {
+            let c = compress_with_level(&data, CompressionLevel::High);
+            assert_eq!(decompress(&c, data.len()).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let data = vec![7u8; 1024];
+        let c = compress(&data);
+        assert!(decompress(&c[..c.len() - 1], data.len()).is_err());
+    }
+
+    #[test]
+    fn wrong_expected_len_errors() {
+        let data = b"hello world hello world hello world".to_vec();
+        let c = compress(&data);
+        assert!(decompress(&c, data.len() + 1).is_err());
+        assert!(decompress(&c, data.len() - 1).is_err());
+    }
+
+    #[test]
+    fn corrupt_offset_errors() {
+        // Token demanding a match with offset beyond produced output.
+        let stream = [0x10, b'a', 0xff, 0xff, 0x00];
+        assert!(decompress(&stream, 100).is_err());
+    }
+}

@@ -1,0 +1,324 @@
+//! Pluggable table-cache backends for the FIDR system.
+//!
+//! Figures 12 and 14 evaluate FIDR in stages: NIC offload + P2P first with
+//! the *software* table cache still on the CPU, then with the Cache
+//! HW-Engine (single-update tree), then with concurrent updates. The
+//! [`CacheBackend`] enum carries those stages: it dispatches cache accesses
+//! to either the software B+ tree (charging tree-indexing and table-SSD
+//! stack cycles to the CPU, as in the baseline) or the HW-Engine (charging
+//! the FPGA pipeline instead — zero CPU for indexing and table-SSD IO,
+//! per §5.5/§6.1).
+
+use fidr_cache::{Access, BPlusTree, CacheStats, HwTree, HwTreeConfig, HwTreeStats, TableCache};
+use fidr_hwsim::{ops, CostParams, CpuTask, Ledger, MemPath, PcieLink};
+use fidr_ssd::TableSsd;
+use fidr_tables::{Bucket, BUCKET_BYTES};
+
+/// How the Hash-PBN cache index and replacement machinery are driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Software B+ tree on the host CPU (the Figure 14 "FIDR NIC+P2P"
+    /// stage keeps the baseline's table caching).
+    Software,
+    /// FIDR Cache HW-Engine with the given number of concurrent update
+    /// slots (1 = single-update tree; 4 = the full §5.5.1 optimization).
+    HwEngine {
+        /// Speculative update slots (1..=4 in the paper).
+        update_slots: usize,
+    },
+}
+
+/// The table cache behind one of the two backends.
+#[derive(Debug)]
+pub enum CacheBackend {
+    /// CPU-indexed cache.
+    Software(TableCache<BPlusTree>),
+    /// HW-Engine-indexed cache.
+    Hw(TableCache<HwTree>),
+}
+
+impl CacheBackend {
+    /// Builds a backend with `capacity` lines in the given mode.
+    ///
+    /// `hwtree_levels` sets the modelled pipeline depth of the HW tree:
+    /// experiments pass the PB-scale depth (14 levels for a ~100-GB
+    /// cache, §6.3) even when the functional line count is scaled down,
+    /// so that the engine's throughput ceiling reflects the target
+    /// deployment. Pass `None` to derive the depth from `capacity`.
+    pub fn new(mode: CacheMode, capacity: usize, hwtree_levels: Option<usize>) -> Self {
+        match mode {
+            CacheMode::Software => CacheBackend::Software(TableCache::new(capacity, BPlusTree::new())),
+            CacheMode::HwEngine { update_slots } => {
+                let base = match hwtree_levels {
+                    Some(levels) => HwTreeConfig::with_levels(levels),
+                    None => HwTreeConfig::for_cache_lines(capacity as u64),
+                };
+                let cfg = HwTreeConfig {
+                    update_slots,
+                    ..base
+                };
+                CacheBackend::Hw(TableCache::new(capacity, HwTree::new(cfg)))
+            }
+        }
+    }
+
+    /// The mode this backend runs in.
+    pub fn mode(&self) -> CacheMode {
+        match self {
+            CacheBackend::Software(_) => CacheMode::Software,
+            CacheBackend::Hw(c) => CacheMode::HwEngine {
+                update_slots: c.index().config().update_slots,
+            },
+        }
+    }
+
+    /// Cache hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        match self {
+            CacheBackend::Software(c) => c.stats(),
+            CacheBackend::Hw(c) => c.stats(),
+        }
+    }
+
+    /// HW-tree counters when the engine is in use.
+    pub fn hwtree_stats(&self) -> Option<HwTreeStats> {
+        match self {
+            CacheBackend::Software(_) => None,
+            CacheBackend::Hw(c) => Some(c.index().stats()),
+        }
+    }
+
+    /// Wall-clock seconds the engine spent on this run's requests at the
+    /// given FPGA-board DRAM bandwidth. `None` in software mode.
+    pub fn hwtree_elapsed_seconds(&self, fpga_dram_bw: f64) -> Option<f64> {
+        match self {
+            CacheBackend::Software(_) => None,
+            CacheBackend::Hw(c) => Some(c.index().elapsed_seconds(fpga_dram_bw)),
+        }
+    }
+
+    /// Accesses `bucket`, charging the mode-appropriate resources.
+    ///
+    /// In both modes the bucket *content* scan is host-side (DRAM traffic
+    /// plus scan cycles) and the LRU is host-side. Index and table-SSD
+    /// work costs CPU only in software mode.
+    pub fn access(
+        &mut self,
+        bucket: u64,
+        ssd: &mut TableSsd,
+        ledger: &mut Ledger,
+        cost: &CostParams,
+    ) -> Access {
+        let access = match self {
+            CacheBackend::Software(c) => c.access(bucket, ssd),
+            CacheBackend::Hw(c) => c.access(bucket, ssd),
+        };
+        match self {
+            CacheBackend::Software(_) => {
+                ledger.charge_cpu(CpuTask::TreeIndexing, cost.tree_search_cycles);
+                if !access.hit {
+                    // CPU-driven NVMe stack fetches the bucket into host
+                    // memory and updates the tree.
+                    ops::dma_to_host(
+                        ledger,
+                        PcieLink::HostTableSsd,
+                        MemPath::TableCache,
+                        BUCKET_BYTES as u64,
+                    );
+                    ledger.charge_cpu(CpuTask::TableSsdStack, cost.table_ssd_io_cycles);
+                    ledger.table_ssd_read_bytes += BUCKET_BYTES as u64;
+                    ledger.charge_cpu(CpuTask::TreeIndexing, cost.tree_update_cycles);
+                    for _ in 0..access.evicted {
+                        ledger.charge_cpu(CpuTask::TreeIndexing, cost.tree_update_cycles);
+                        ledger.charge_cpu(CpuTask::CacheReplacement, cost.lru_cycles);
+                    }
+                    for _ in 0..access.flushed {
+                        ops::dma_from_host(
+                            ledger,
+                            PcieLink::HostTableSsd,
+                            MemPath::TableCache,
+                            BUCKET_BYTES as u64,
+                        );
+                        ledger.charge_cpu(CpuTask::TableSsdStack, cost.table_ssd_io_cycles);
+                        ledger.table_ssd_write_bytes += BUCKET_BYTES as u64;
+                    }
+                }
+            }
+            CacheBackend::Hw(_) => {
+                // Bucket index batch to the engine and the line location
+                // back: 8 bytes each way (§5.6's 200 MB/s at 100 GB/s).
+                ledger.charge_pcie(PcieLink::HostCacheEngine, 16);
+                if !access.hit {
+                    // The engine's in-FPGA NVMe queues move the bucket
+                    // table SSD → host-memory cache content with no CPU.
+                    ledger.charge_pcie(PcieLink::CacheEngineTableSsd, BUCKET_BYTES as u64);
+                    ops::dma_to_host(
+                        ledger,
+                        PcieLink::HostTableSsd,
+                        MemPath::TableCache,
+                        BUCKET_BYTES as u64,
+                    );
+                    ledger.table_ssd_read_bytes += BUCKET_BYTES as u64;
+                    for _ in 0..access.flushed {
+                        ops::dma_from_host(
+                            ledger,
+                            PcieLink::HostTableSsd,
+                            MemPath::TableCache,
+                            BUCKET_BYTES as u64,
+                        );
+                        ledger.charge_pcie(PcieLink::CacheEngineTableSsd, BUCKET_BYTES as u64);
+                        ledger.table_ssd_write_bytes += BUCKET_BYTES as u64;
+                    }
+                }
+            }
+        }
+
+        // Host-side content scan + LRU in both modes (Observation #4's
+        // "best place to run: host").
+        ops::cpu_touch(ledger, MemPath::TableCache, BUCKET_BYTES as u64);
+        ledger.charge_cpu(CpuTask::TableContentScan, cost.bucket_scan_cycles);
+        ledger.charge_cpu(CpuTask::CacheReplacement, cost.lru_cycles);
+        access
+    }
+
+    /// Batch interface (Figure 8): the host ships a whole batch of bucket
+    /// indexes to the engine and receives cache-line locations back, then
+    /// scans each returned line for its fingerprint. The scan happens
+    /// per-line *as the location arrives* — a later miss in the same
+    /// batch may evict an earlier line, so deferring the scans would read
+    /// stale lines. Accounting matches `n` single accesses.
+    pub fn lookup_batch(
+        &mut self,
+        requests: &[(u64, fidr_hash::Fingerprint)],
+        ssd: &mut TableSsd,
+        ledger: &mut Ledger,
+        cost: &CostParams,
+    ) -> Vec<(Option<fidr_chunk::Pbn>, Access)> {
+        requests
+            .iter()
+            .map(|&(bucket, fp)| {
+                let access = self.access(bucket, ssd, ledger, cost);
+                let pbn = self.bucket(access.line).lookup(&fp);
+                (pbn, access)
+            })
+            .collect()
+    }
+
+    /// Like [`access`](CacheBackend::access) but for step 10's entry
+    /// *update*: the bucket is (usually) already resident from the dedup
+    /// lookup, so only the 38-byte entry write touches host memory — no
+    /// full-bucket rescan.
+    pub fn access_for_update(
+        &mut self,
+        bucket: u64,
+        ssd: &mut TableSsd,
+        ledger: &mut Ledger,
+        cost: &CostParams,
+    ) -> Access {
+        let access = match self {
+            CacheBackend::Software(c) => c.access(bucket, ssd),
+            CacheBackend::Hw(c) => c.access(bucket, ssd),
+        };
+        if !access.hit {
+            // Rare: the line was evicted between lookup and update.
+            match self {
+                CacheBackend::Software(_) => {
+                    ops::dma_to_host(
+                        ledger,
+                        PcieLink::HostTableSsd,
+                        MemPath::TableCache,
+                        BUCKET_BYTES as u64,
+                    );
+                    ledger.charge_cpu(CpuTask::TableSsdStack, cost.table_ssd_io_cycles);
+                    ledger.table_ssd_read_bytes += BUCKET_BYTES as u64;
+                }
+                CacheBackend::Hw(_) => {
+                    ledger.charge_pcie(PcieLink::CacheEngineTableSsd, BUCKET_BYTES as u64);
+                    ops::dma_to_host(
+                        ledger,
+                        PcieLink::HostTableSsd,
+                        MemPath::TableCache,
+                        BUCKET_BYTES as u64,
+                    );
+                    ledger.table_ssd_read_bytes += BUCKET_BYTES as u64;
+                }
+            }
+        }
+        // The 38-byte entry write plus LRU upkeep.
+        ops::cpu_touch(ledger, MemPath::TableCache, 38);
+        ledger.charge_cpu(CpuTask::CacheReplacement, cost.lru_cycles);
+        access
+    }
+
+    /// Read access to a cached bucket.
+    pub fn bucket(&self, line: u32) -> &Bucket {
+        match self {
+            CacheBackend::Software(c) => c.bucket(line),
+            CacheBackend::Hw(c) => c.bucket(line),
+        }
+    }
+
+    /// Mutable access (marks the line dirty).
+    pub fn bucket_mut(&mut self, line: u32) -> &mut Bucket {
+        match self {
+            CacheBackend::Software(c) => c.bucket_mut(line),
+            CacheBackend::Hw(c) => c.bucket_mut(line),
+        }
+    }
+
+    /// Flushes all dirty lines to the table SSD.
+    pub fn flush_all(&mut self, ssd: &mut TableSsd) {
+        match self {
+            CacheBackend::Software(c) => c.flush_all(ssd),
+            CacheBackend::Hw(c) => c.flush_all(ssd),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fidr_ssd::QueueLocation;
+
+    #[test]
+    fn software_mode_charges_cpu_for_indexing() {
+        let mut ssd = TableSsd::new(256, QueueLocation::HostMemory);
+        let mut ledger = Ledger::new();
+        let cost = CostParams::default();
+        let mut b = CacheBackend::new(CacheMode::Software, 8, None);
+        b.access(1, &mut ssd, &mut ledger, &cost);
+        assert!(ledger.cpu_cycles(CpuTask::TreeIndexing) > 0);
+        assert!(ledger.cpu_cycles(CpuTask::TableSsdStack) > 0);
+    }
+
+    #[test]
+    fn hw_mode_charges_no_indexing_cpu() {
+        let mut ssd = TableSsd::new(256, QueueLocation::CacheEngine);
+        let mut ledger = Ledger::new();
+        let cost = CostParams::default();
+        let mut b = CacheBackend::new(CacheMode::HwEngine { update_slots: 4 }, 8, None);
+        b.access(1, &mut ssd, &mut ledger, &cost);
+        assert_eq!(ledger.cpu_cycles(CpuTask::TreeIndexing), 0);
+        assert_eq!(ledger.cpu_cycles(CpuTask::TableSsdStack), 0);
+        // Content scan still costs host cycles and DRAM traffic.
+        assert!(ledger.cpu_cycles(CpuTask::TableContentScan) > 0);
+        assert!(ledger.mem_bytes(MemPath::TableCache) > 0);
+        assert!(b.hwtree_stats().unwrap().searches > 0);
+    }
+
+    #[test]
+    fn both_modes_agree_functionally() {
+        let mut ssd_a = TableSsd::new(64, QueueLocation::HostMemory);
+        let mut ssd_b = TableSsd::new(64, QueueLocation::CacheEngine);
+        let mut ledger = Ledger::new();
+        let cost = CostParams::default();
+        let mut sw = CacheBackend::new(CacheMode::Software, 4, None);
+        let mut hw = CacheBackend::new(CacheMode::HwEngine { update_slots: 2 }, 4, None);
+        for bucket in [1u64, 5, 1, 9, 33, 1, 5, 60, 9] {
+            let a = sw.access(bucket, &mut ssd_a, &mut ledger, &cost);
+            let b = hw.access(bucket, &mut ssd_b, &mut ledger, &cost);
+            assert_eq!(a.hit, b.hit, "bucket {bucket}");
+        }
+        assert_eq!(sw.stats().hits, hw.stats().hits);
+    }
+}

@@ -1,0 +1,1016 @@
+//! The end-to-end FIDR system (paper Figure 6).
+//!
+//! Write flow (steps 1–10): the NIC buffers the request in battery-backed
+//! NIC DRAM and acks immediately; in-NIC SHA cores hash buffered batches;
+//! only the hash values go to the host; the device manager drives the
+//! Cache HW-Engine (or the software cache, in staged variants) to locate
+//! buckets; the host scans cache content for duplicate status; the NIC's
+//! compression scheduler ships *unique chunks only* peer-to-peer to the
+//! Compression Engine; sealed containers move Compression Engine → data
+//! SSD peer-to-peer; the host updates metadata. Client data never touches
+//! host DRAM.
+//!
+//! Read flow (steps 1–8): the NIC serves buffered writes directly;
+//! otherwise the host resolves LBA→PBA and orchestrates data SSD →
+//! Decompression Engine → NIC transfers, again bypassing host memory.
+
+use crate::backend::{CacheBackend, CacheMode};
+use crate::hotcache::{HotCacheStats, HotReadCache};
+use bytes::Bytes;
+use fidr_cache::{CacheStats, HwTreeStats};
+use fidr_chunk::{Lba, Pba, Pbn};
+use fidr_compress::CompressedChunk;
+use fidr_hwsim::{ops, CostParams, CpuTask, Ledger, MemPath, PcieLink};
+use fidr_nic::{FidrNic, HashedChunk, NicStats};
+use fidr_ssd::{DataSsdArray, QueueLocation, TableSsd};
+use fidr_hash::Fingerprint;
+use fidr_tables::{
+    ContainerBuilder, ContainerLiveness, GcReport, LbaPbaTable, PbnLocation, ReductionStats,
+    BUCKET_BYTES,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Configuration of a FIDR instance.
+#[derive(Debug, Clone)]
+pub struct FidrConfig {
+    /// Host-DRAM table-cache capacity in 4-KB lines.
+    pub cache_lines: usize,
+    /// Buckets in the Hash-PBN table on the table SSDs.
+    pub table_buckets: u64,
+    /// Container flush threshold in bytes (4 MB in §5.3).
+    pub container_threshold: usize,
+    /// NIC buffer DRAM in bytes.
+    pub nic_buffer_bytes: u64,
+    /// Chunks the NIC accumulates before hashing a batch.
+    pub hash_batch: usize,
+    /// Parallel in-NIC SHA cores used per batch (§6.2 instantiates
+    /// several to sustain line rate; functional results are identical).
+    pub hash_engines: usize,
+    /// Table-cache drive mode (software vs HW-Engine; Figure 14 stages).
+    pub cache_mode: CacheMode,
+    /// Modelled HW-tree pipeline depth (None derives it from
+    /// `cache_lines`; experiments set the PB-scale 14).
+    pub hwtree_levels: Option<usize>,
+    /// Hot-block read cache capacity in chunks (0 = off) — the §8
+    /// extension for skewed read access.
+    pub hot_read_cache_chunks: usize,
+    /// Offload the data-SSD NVMe stack for reads to the FPGA as well —
+    /// the §7.5 future-work item (removes the residual read-path CPU).
+    pub read_stack_offload: bool,
+    /// Data SSDs in the array.
+    pub data_ssds: u32,
+    /// Calibrated per-operation costs.
+    pub cost: CostParams,
+}
+
+impl Default for FidrConfig {
+    fn default() -> Self {
+        FidrConfig {
+            cache_lines: 4096,
+            table_buckets: 1 << 17,
+            container_threshold: 4 << 20,
+            nic_buffer_bytes: 1 << 30,
+            hash_batch: 64,
+            hash_engines: 1,
+            cache_mode: CacheMode::HwEngine { update_slots: 4 },
+            hwtree_levels: None,
+            hot_read_cache_chunks: 0,
+            read_stack_offload: false,
+            data_ssds: 2,
+            cost: CostParams::default(),
+        }
+    }
+}
+
+/// Errors surfaced by the FIDR system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FidrError {
+    /// A write chunk was not exactly 4 KB.
+    BadChunkSize(usize),
+    /// The Hash-PBN bucket for this fingerprint is full.
+    TableFull,
+    /// Read of an address that was never written.
+    NotMapped(Lba),
+    /// The NIC buffer is out of battery-backed capacity.
+    NicBufferFull,
+    /// The data SSDs returned an unreadable region.
+    Corrupt(String),
+}
+
+impl fmt::Display for FidrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FidrError::BadChunkSize(n) => write!(f, "chunk of {n} bytes; expected 4096"),
+            FidrError::TableFull => write!(f, "hash-PBN bucket full; grow the table"),
+            FidrError::NotMapped(lba) => write!(f, "read of unmapped {lba}"),
+            FidrError::NicBufferFull => write!(f, "NIC buffer exhausted; backend too slow"),
+            FidrError::Corrupt(e) => write!(f, "data SSD corruption: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FidrError {}
+
+/// The FIDR data-reduction server.
+///
+/// # Examples
+///
+/// ```
+/// use fidr_core::{FidrConfig, FidrSystem};
+/// use fidr_chunk::Lba;
+/// use bytes::Bytes;
+///
+/// let mut sys = FidrSystem::new(FidrConfig::default());
+/// let data = Bytes::from(vec![42u8; 4096]);
+/// sys.write(Lba(0), data.clone())?;
+/// assert_eq!(sys.read(Lba(0))?, data.to_vec());
+/// # Ok::<(), fidr_core::FidrError>(())
+/// ```
+#[derive(Debug)]
+pub struct FidrSystem {
+    cfg: FidrConfig,
+    nic: FidrNic,
+    cache: CacheBackend,
+    table_ssd: TableSsd,
+    data_ssd: DataSsdArray,
+    lba_map: LbaPbaTable,
+    builder: ContainerBuilder,
+    /// Raw chunk data of the still-open container, resident in the
+    /// Compression Engine's DRAM until the container seals.
+    staging: HashMap<u32, Vec<u8>>,
+    next_pbn: u64,
+    next_container: u64,
+    /// Fingerprint of each live unique chunk (needed to delete its
+    /// Hash-PBN entry when the chunk dies).
+    pbn_fp: HashMap<Pbn, Fingerprint>,
+    /// PBNs ever appended to each container (filtered by refcount at
+    /// compaction time).
+    container_pbns: HashMap<u64, Vec<Pbn>>,
+    liveness: ContainerLiveness,
+    /// PBNs whose reference count dropped to zero, awaiting collection.
+    dead: Vec<Pbn>,
+    hot_cache: HotReadCache,
+    ledger: Ledger,
+    stats: ReductionStats,
+}
+
+impl FidrSystem {
+    /// Builds a FIDR server from `cfg`.
+    pub fn new(cfg: FidrConfig) -> Self {
+        let queue_location = match cfg.cache_mode {
+            CacheMode::Software => QueueLocation::HostMemory,
+            CacheMode::HwEngine { .. } => QueueLocation::CacheEngine,
+        };
+        FidrSystem {
+            nic: FidrNic::new(cfg.nic_buffer_bytes),
+            cache: CacheBackend::new(cfg.cache_mode, cfg.cache_lines, cfg.hwtree_levels),
+            table_ssd: TableSsd::new(cfg.table_buckets, queue_location),
+            data_ssd: DataSsdArray::new(cfg.data_ssds),
+            lba_map: LbaPbaTable::new(),
+            builder: ContainerBuilder::new(0, cfg.container_threshold),
+            staging: HashMap::new(),
+            next_pbn: 0,
+            next_container: 0,
+            pbn_fp: HashMap::new(),
+            container_pbns: HashMap::new(),
+            liveness: ContainerLiveness::new(),
+            dead: Vec::new(),
+            hot_cache: HotReadCache::new(cfg.hot_read_cache_chunks),
+            ledger: Ledger::new(),
+            stats: ReductionStats::default(),
+            cfg,
+        }
+    }
+
+    /// Resource ledger accumulated so far.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Data-reduction outcomes so far.
+    pub fn stats(&self) -> ReductionStats {
+        self.stats
+    }
+
+    /// Table-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Cache HW-Engine counters (None in software cache mode).
+    pub fn hwtree_stats(&self) -> Option<HwTreeStats> {
+        self.cache.hwtree_stats()
+    }
+
+    /// The Cache HW-Engine's client-throughput ceiling (bytes/s) for this
+    /// run — client bytes served over the engine's busy time — folded into
+    /// the §7.5 projection (None in software cache mode).
+    pub fn hwtree_throughput(&self, fpga_dram_bw: f64) -> Option<f64> {
+        let elapsed = self.cache.hwtree_elapsed_seconds(fpga_dram_bw)?;
+        if elapsed <= 0.0 {
+            return None;
+        }
+        Some(self.ledger.client_bytes() as f64 / elapsed)
+    }
+
+    /// NIC counters.
+    pub fn nic_stats(&self) -> NicStats {
+        self.nic.stats()
+    }
+
+    /// Bytes stored on the data SSDs so far (sealed containers).
+    pub fn stored_bytes(&self) -> u64 {
+        self.data_ssd.stored_bytes()
+    }
+
+    /// Accepts one 4-KB client write (Figure 6a step 1). The NIC buffers
+    /// and acks; the backend batch is processed once `hash_batch` chunks
+    /// accumulate.
+    ///
+    /// # Errors
+    ///
+    /// [`FidrError::BadChunkSize`], [`FidrError::NicBufferFull`], or a
+    /// propagated backend error once a batch processes.
+    pub fn write(&mut self, lba: Lba, data: Bytes) -> Result<(), FidrError> {
+        if data.len() != BUCKET_BYTES {
+            return Err(FidrError::BadChunkSize(data.len()));
+        }
+        let len = data.len() as u64;
+        if !self.nic.has_room(len) {
+            // Drain the backlog, then retry the admission check.
+            self.process_batch()?;
+            if !self.nic.has_room(len) {
+                return Err(FidrError::NicBufferFull);
+            }
+        }
+        self.ledger.add_client_write_bytes(len);
+        self.stats.write_chunks += 1;
+        self.stats.raw_bytes += len;
+        self.ledger.nic_dram_bytes += len;
+
+        // Step 1: in-NIC buffering; write completion acks immediately.
+        self.nic.accept_write(lba, data);
+
+        if self.nic.pending_len() >= self.cfg.hash_batch {
+            self.process_batch()?;
+        }
+        Ok(())
+    }
+
+    /// Splits a multi-chunk client write into 4-KB chunks (the chunking
+    /// component, §2.1.1) and writes each; returns the chunk count.
+    ///
+    /// # Errors
+    ///
+    /// [`FidrError::BadChunkSize`] if the request is empty or ragged,
+    /// plus anything [`write`](FidrSystem::write) returns.
+    pub fn write_request(&mut self, start: Lba, data: Bytes) -> Result<usize, FidrError> {
+        let len = data.len();
+        let chunks = fidr_chunk::FixedChunker::default()
+            .split(start, data)
+            .map_err(|_| FidrError::BadChunkSize(len))?;
+        let n = chunks.len();
+        for chunk in chunks {
+            self.write(chunk.lba, chunk.data)?;
+        }
+        Ok(n)
+    }
+
+    /// Reads `chunks` consecutive blocks starting at `start` and returns
+    /// their concatenated contents.
+    ///
+    /// # Errors
+    ///
+    /// Anything [`read`](FidrSystem::read) returns for any block.
+    pub fn read_range(&mut self, start: Lba, chunks: usize) -> Result<Vec<u8>, FidrError> {
+        let mut out = Vec::with_capacity(chunks * BUCKET_BYTES);
+        for i in 0..chunks as u64 {
+            out.extend(self.read(Lba(start.0 + i))?);
+        }
+        Ok(out)
+    }
+
+    /// Serves one 4-KB client read (Figure 6b).
+    ///
+    /// # Errors
+    ///
+    /// [`FidrError::NotMapped`] for never-written addresses and
+    /// [`FidrError::Corrupt`] if the SSD region fails to decode.
+    pub fn read(&mut self, lba: Lba) -> Result<Vec<u8>, FidrError> {
+        let cost = self.cfg.cost;
+        self.ledger.add_client_read_bytes(BUCKET_BYTES as u64);
+        self.stats.read_chunks += 1;
+
+        // Step 2: the LBA-lookup module checks the in-NIC write buffer.
+        if let Some(data) = self.nic.lookup_read(lba) {
+            return Ok(data.to_vec());
+        }
+
+        // Step 3–4: host resolves LBA → PBA.
+        self.ledger
+            .charge_cpu(CpuTask::NicDriver, cost.nic_driver_cycles_per_chunk);
+        self.ledger.charge_cpu(CpuTask::LbaMap, cost.lba_map_cycles);
+
+        // §8 extension: frequently read blocks served from host DRAM.
+        if let Some(hot) = self.hot_cache.get(lba) {
+            let data = hot.to_vec();
+            ops::dma_from_host(
+                &mut self.ledger,
+                PcieLink::NicHost,
+                MemPath::DataSsdStaging,
+                data.len() as u64,
+            );
+            return Ok(data);
+        }
+
+        let pba = self.lba_map.lookup(lba).ok_or(FidrError::NotMapped(lba))?;
+
+        let data = self.fetch_chunk(pba)?;
+        let io_bytes = pba.compressed_len as u64 + 4;
+
+        // Steps 5–7: data SSD → Decompression Engine → NIC, all P2P. The
+        // host only orchestrates — and with the §7.5 future-work offload,
+        // even the read-side NVMe stack leaves the CPU.
+        ops::p2p(
+            &mut self.ledger,
+            PcieLink::DataSsdDecompressionP2p,
+            io_bytes,
+        );
+        if !self.cfg.read_stack_offload {
+            self.ledger
+                .charge_cpu(CpuTask::DataSsdStack, cost.data_ssd_io_cycles);
+        }
+        self.ledger.data_ssd_read_bytes += io_bytes;
+        ops::p2p(
+            &mut self.ledger,
+            PcieLink::DecompressionNicP2p,
+            data.len() as u64,
+        );
+        if !self.hot_cache.is_disabled() {
+            // Admission copies the decompressed block into host DRAM.
+            ops::cpu_touch(&mut self.ledger, MemPath::DataSsdStaging, data.len() as u64);
+            self.hot_cache.offer(lba, data.clone());
+        }
+        Ok(data)
+    }
+
+    /// Hot-read-cache counters (inert unless enabled in the config).
+    pub fn hot_cache_stats(&self) -> HotCacheStats {
+        self.hot_cache.stats()
+    }
+
+    /// Drains the NIC, seals any open container and flushes the cache —
+    /// a clean shutdown barrier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors from the final batch.
+    pub fn flush(&mut self) -> Result<(), FidrError> {
+        while self.nic.pending_len() > 0 {
+            self.process_batch()?;
+        }
+        if !self.builder.is_empty() {
+            self.seal_container();
+        }
+        self.cache.flush_all(&mut self.table_ssd);
+        Ok(())
+    }
+
+    /// Processes one NIC hash batch through steps 2–10 of Figure 6a.
+    fn process_batch(&mut self) -> Result<(), FidrError> {
+        let cost = self.cfg.cost;
+        // Step 2: in-NIC hashing (no CPU, no host memory).
+        let batch = self
+            .nic
+            .take_hash_batch_with_engines(self.cfg.hash_batch, self.cfg.hash_engines);
+        if batch.is_empty() {
+            return Ok(());
+        }
+
+        // Hashes + LBAs to the device manager: 40 B per chunk.
+        let meta_bytes = batch.len() as u64 * 40;
+        ops::dma_to_host(
+            &mut self.ledger,
+            PcieLink::NicHost,
+            MemPath::NicBuffering,
+            meta_bytes,
+        );
+        self.ledger
+            .charge_cpu(CpuTask::NicDriver, cost.nic_driver_cycles_per_chunk);
+
+        // Steps 3–5: the device manager computes every chunk's bucket
+        // location, ships the whole batch to the cache engine (Figure 8's
+        // batch interface), and scans the returned lines for duplicate
+        // status — the host-software cost FIDR keeps (§5.2.4).
+        let num_buckets = self.table_ssd.num_buckets();
+        let requests: Vec<(u64, fidr_hash::Fingerprint)> = batch
+            .iter()
+            .map(|c| (c.fingerprint.bucket_index(num_buckets), c.fingerprint))
+            .collect();
+        for _ in &batch {
+            self.ledger.charge_cpu(
+                CpuTask::DeviceManager,
+                cost.device_manager_cycles_per_chunk,
+            );
+            self.ledger
+                .charge_cpu(CpuTask::Other, cost.misc_cycles_per_chunk);
+        }
+        let results =
+            self.cache
+                .lookup_batch(&requests, &mut self.table_ssd, &mut self.ledger, &cost);
+        let mut unique_flags = Vec::with_capacity(batch.len());
+        let mut resolved: Vec<Option<Pbn>> = Vec::with_capacity(batch.len());
+        for (pbn, _access) in results {
+            unique_flags.push(pbn.is_none());
+            resolved.push(pbn);
+        }
+
+        // Step 6: uniqueness flags return to the NIC (1 B per chunk).
+        ops::dma_from_host(
+            &mut self.ledger,
+            PcieLink::NicHost,
+            MemPath::NicBuffering,
+            batch.len() as u64,
+        );
+
+        // Step 7: the compression scheduler ships unique chunks NIC →
+        // Compression Engine peer-to-peer.
+        for (i, chunk) in batch.iter().enumerate() {
+            if unique_flags[i] {
+                ops::p2p(
+                    &mut self.ledger,
+                    PcieLink::NicCompressionP2p,
+                    chunk.data.len() as u64,
+                );
+            }
+        }
+
+        // Commit each chunk: duplicates update the LBA map; uniques
+        // compress, stage in engine DRAM, and gain table entries.
+        for (chunk, pbn) in batch.into_iter().zip(resolved) {
+            match pbn {
+                Some(pbn) => {
+                    self.stats.duplicate_chunks += 1;
+                    self.map_lba(chunk.lba, pbn);
+                    self.ledger.charge_cpu(CpuTask::LbaMap, cost.lba_map_cycles);
+                    self.nic.complete(chunk.lba);
+                }
+                None => {
+                    self.commit_unique(chunk)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Stores one unique chunk: compression in the engine, container
+    /// staging, metadata updates (steps 7–10).
+    fn commit_unique(&mut self, chunk: HashedChunk) -> Result<(), FidrError> {
+        let cost = self.cfg.cost;
+
+        // Step 10 begins with re-validation: an identical chunk earlier in
+        // this batch may have stored the content already (the flags were
+        // computed before any commit).
+        let bucket_idx = chunk
+            .fingerprint
+            .bucket_index(self.table_ssd.num_buckets());
+        let access = self.cache.access_for_update(
+            bucket_idx,
+            &mut self.table_ssd,
+            &mut self.ledger,
+            &cost,
+        );
+        if let Some(pbn) = self.cache.bucket(access.line).lookup(&chunk.fingerprint) {
+            self.stats.duplicate_chunks += 1;
+            self.map_lba(chunk.lba, pbn);
+            self.ledger.charge_cpu(CpuTask::LbaMap, cost.lba_map_cycles);
+            self.nic.complete(chunk.lba);
+            return Ok(());
+        }
+        self.stats.unique_chunks += 1;
+
+        // Compression happens inside the engine; output stays in engine
+        // DRAM until the container seals.
+        let compressed = CompressedChunk::compress(&chunk.data);
+        self.ledger.fpga_dram_bytes += compressed.stored_len() as u64;
+        self.stats.stored_bytes += compressed.stored_len() as u64;
+
+        let pbn = Pbn(self.next_pbn);
+        self.next_pbn += 1;
+
+        self.cache
+            .bucket_mut(access.line)
+            .insert(chunk.fingerprint, pbn)
+            .map_err(|_| FidrError::TableFull)?;
+
+        // Step 8: metadata (compressed size, LBA) to the host.
+        ops::dma_to_host(&mut self.ledger, PcieLink::HostCompression, MemPath::FpgaStaging, 16);
+
+        let slot = self.builder.append(&compressed);
+        self.staging.insert(slot.offset, chunk.data.to_vec());
+        self.lba_map.record_pbn(
+            pbn,
+            PbnLocation {
+                container: self.builder.id(),
+                offset: slot.offset,
+                compressed_len: slot.compressed_len,
+            },
+        );
+        self.pbn_fp.insert(pbn, chunk.fingerprint);
+        self.container_pbns
+            .entry(self.builder.id())
+            .or_default()
+            .push(pbn);
+        self.liveness.record_append(self.builder.id());
+        self.map_lba(chunk.lba, pbn);
+        self.ledger.charge_cpu(CpuTask::LbaMap, cost.lba_map_cycles);
+
+        if self.builder.is_full() {
+            self.seal_container();
+        }
+
+        // The NIC can release the buffered copy now that the backend has
+        // durably staged it.
+        self.nic.complete(chunk.lba);
+        Ok(())
+    }
+
+    /// Captures all durable state for persistence. Flushes first, so the
+    /// NIC buffer drains, the open container seals, and dirty cache lines
+    /// reach the table SSDs — everything in the snapshot is then "on
+    /// stable media".
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors from the flush.
+    pub fn checkpoint(&mut self) -> Result<crate::Snapshot, FidrError> {
+        self.flush()?;
+        let store = self.table_ssd.store();
+        let mut table_buckets = Vec::new();
+        for idx in 0..store.num_buckets() {
+            let bucket = store.bucket(idx);
+            if !bucket.is_empty() {
+                table_buckets.push((idx, bucket.clone()));
+            }
+        }
+        Ok(crate::Snapshot {
+            num_buckets: store.num_buckets(),
+            table_buckets,
+            lbas: self.lba_map.lba_entries().collect(),
+            pbns: self.lba_map.pbn_entries().collect(),
+            containers: self.data_ssd.containers().cloned().collect(),
+            next_pbn: self.next_pbn,
+            next_container: self.next_container,
+            pbn_fp: self.pbn_fp.iter().map(|(&p, &f)| (p, f)).collect(),
+            liveness: self.liveness.entries().collect(),
+            dead: self.dead.clone(),
+        })
+    }
+
+    /// Rebuilds a server from a [`crate::Snapshot`] (restart recovery).
+    /// The snapshot's table geometry overrides `cfg.table_buckets`; the
+    /// caches start cold.
+    pub fn restore(cfg: FidrConfig, snapshot: crate::Snapshot) -> Self {
+        use fidr_tables::HashPbnStore;
+        let cfg = FidrConfig {
+            table_buckets: snapshot.num_buckets,
+            ..cfg
+        };
+        let mut sys = FidrSystem::new(cfg);
+
+        let mut store = HashPbnStore::new(snapshot.num_buckets);
+        for (idx, bucket) in snapshot.table_buckets {
+            store.write_bucket(idx, bucket);
+        }
+        let queue_location = match sys.cfg.cache_mode {
+            CacheMode::Software => QueueLocation::HostMemory,
+            CacheMode::HwEngine { .. } => QueueLocation::CacheEngine,
+        };
+        sys.table_ssd = TableSsd::from_store(store, queue_location);
+
+        for container in snapshot.containers {
+            sys.data_ssd.load_container(container);
+        }
+        sys.lba_map = LbaPbaTable::from_entries(snapshot.lbas, snapshot.pbns);
+        sys.next_pbn = snapshot.next_pbn;
+        sys.next_container = snapshot.next_container;
+        sys.builder =
+            ContainerBuilder::new(snapshot.next_container, sys.cfg.container_threshold);
+        sys.pbn_fp = snapshot.pbn_fp.into_iter().collect();
+        sys.container_pbns.clear();
+        for (pbn, loc) in sys.lba_map.pbn_entries().collect::<Vec<_>>() {
+            sys.container_pbns
+                .entry(loc.container)
+                .or_default()
+                .push(pbn);
+        }
+        sys.liveness = ContainerLiveness::from_entries(snapshot.liveness);
+        sys.dead = snapshot.dead;
+        sys
+    }
+
+    /// Points `lba` at `pbn`, queueing any orphaned chunk for collection.
+    /// A duplicate hit on a dead-but-uncollected chunk resurrects it.
+    fn map_lba(&mut self, lba: Lba, pbn: Pbn) {
+        self.hot_cache.invalidate(lba);
+        let resurrecting = self.lba_map.refcount(pbn) == 0 && self.dead.contains(&pbn);
+        if resurrecting {
+            let loc = self.lba_map.location(pbn).expect("queued dead PBN is located");
+            self.liveness.record_revive(loc.container);
+            self.dead.retain(|&d| d != pbn);
+        }
+        if let Some(dead) = self.lba_map.map_write(lba, pbn) {
+            if let Some(loc) = self.lba_map.location(dead) {
+                self.liveness.record_dead(loc.container);
+            }
+            self.dead.push(dead);
+        }
+    }
+
+    /// Garbage collection: reclaims the metadata of dead chunks, then
+    /// compacts containers whose live fraction fell below
+    /// `live_threshold` by rewriting survivors into the open container
+    /// (data SSD → Compression Engine → back, all off-host) and dropping
+    /// the old container.
+    ///
+    /// The paper's evaluation never reaches steady-state overwrite churn,
+    /// so this is an extension — but any production deployment of an
+    /// append-only reduced store needs it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates data-SSD decode failures.
+    pub fn collect_garbage(&mut self, live_threshold: f64) -> Result<GcReport, FidrError> {
+        let cost = self.cfg.cost;
+        let mut report = GcReport::default();
+
+        // Phase 1: metadata reclamation for dead chunks.
+        for pbn in std::mem::take(&mut self.dead) {
+            if self.lba_map.refcount(pbn) > 0 {
+                continue; // resurrected after being queued
+            }
+            let fp = self
+                .pbn_fp
+                .remove(&pbn)
+                .expect("dead PBN has a fingerprint on record");
+            self.lba_map.reclaim(pbn);
+            let bucket_idx = fp.bucket_index(self.table_ssd.num_buckets());
+            let access = self.cache.access_for_update(
+                bucket_idx,
+                &mut self.table_ssd,
+                &mut self.ledger,
+                &cost,
+            );
+            self.cache.bucket_mut(access.line).remove(&fp);
+            report.reclaimed_pbns += 1;
+        }
+
+        // Phase 2: container compaction.
+        for container in self.liveness.sparse_containers(live_threshold) {
+            if container == self.builder.id() {
+                continue; // never compact the still-open container
+            }
+            let pbns = self.container_pbns.remove(&container).unwrap_or_default();
+            for pbn in pbns {
+                if self.lba_map.refcount(pbn) == 0 {
+                    continue;
+                }
+                let loc = self.lba_map.location(pbn).expect("live PBN located");
+                if loc.container != container {
+                    continue; // already moved by an earlier pass
+                }
+                // Survivor rewrite: SSD → Decompression → Compression →
+                // open container, orchestrated by the device manager.
+                let data = self.fetch_chunk(Pba {
+                    container: loc.container,
+                    offset: loc.offset,
+                    compressed_len: loc.compressed_len,
+                })?;
+                let io_bytes = loc.compressed_len as u64 + 4;
+                ops::p2p(
+                    &mut self.ledger,
+                    PcieLink::DataSsdDecompressionP2p,
+                    io_bytes,
+                );
+                self.ledger
+                    .charge_cpu(CpuTask::DataSsdStack, cost.data_ssd_io_cycles);
+                self.ledger.data_ssd_read_bytes += io_bytes;
+
+                let compressed = CompressedChunk::compress(&data);
+                self.ledger.fpga_dram_bytes += compressed.stored_len() as u64;
+                let slot = self.builder.append(&compressed);
+                self.staging.insert(slot.offset, data);
+                self.lba_map.relocate(
+                    pbn,
+                    PbnLocation {
+                        container: self.builder.id(),
+                        offset: slot.offset,
+                        compressed_len: slot.compressed_len,
+                    },
+                );
+                self.container_pbns
+                    .entry(self.builder.id())
+                    .or_default()
+                    .push(pbn);
+                self.liveness.record_append(self.builder.id());
+                report.moved_chunks += 1;
+                if self.builder.is_full() {
+                    self.seal_container();
+                }
+            }
+            if let Some(freed) = self.data_ssd.remove_container(container) {
+                report.freed_bytes += freed;
+            }
+            self.liveness.remove(container);
+            report.compacted_containers += 1;
+        }
+        Ok(report)
+    }
+
+    /// Dead chunks currently queued for the next collection pass.
+    pub fn pending_dead_chunks(&self) -> usize {
+        self.dead.len()
+    }
+
+    /// Fault injection for tests and demos: flips one stored bit on the
+    /// data SSDs. The next scrub (or read) of the affected chunk must
+    /// detect it. Returns `false` if the location does not exist.
+    pub fn inject_data_corruption(&mut self, container: u64, byte: usize) -> bool {
+        self.data_ssd.inject_corruption(container, byte)
+    }
+
+    /// Background integrity scrub (fsck): walks every live chunk, reads
+    /// it back through the normal datapath, recomputes its SHA-256 and
+    /// checks it against the Hash-PBN record. Returns the number of
+    /// chunks verified.
+    ///
+    /// # Errors
+    ///
+    /// [`FidrError::Corrupt`] naming the first PBN whose stored bytes no
+    /// longer match their recorded fingerprint.
+    pub fn verify_integrity(&mut self) -> Result<u64, FidrError> {
+        let live: Vec<(Pbn, PbnLocation)> = self
+            .lba_map
+            .pbn_entries()
+            .filter(|(pbn, _)| self.lba_map.refcount(*pbn) > 0)
+            .collect();
+        let mut verified = 0u64;
+        for (pbn, loc) in live {
+            let data = self.fetch_chunk(Pba {
+                container: loc.container,
+                offset: loc.offset,
+                compressed_len: loc.compressed_len,
+            })?;
+            let expect = self
+                .pbn_fp
+                .get(&pbn)
+                .ok_or_else(|| FidrError::Corrupt(format!("{pbn} missing fingerprint")))?;
+            if Fingerprint::of(&data) != *expect {
+                return Err(FidrError::Corrupt(format!(
+                    "{pbn} content does not match its fingerprint"
+                )));
+            }
+            verified += 1;
+        }
+        Ok(verified)
+    }
+
+    fn fetch_chunk(&mut self, pba: Pba) -> Result<Vec<u8>, FidrError> {
+        if pba.container == self.builder.id() {
+            return self
+                .staging
+                .get(&pba.offset)
+                .cloned()
+                .ok_or_else(|| FidrError::Corrupt("missing staged chunk".to_string()));
+        }
+        self.data_ssd
+            .read_chunk(pba)
+            .map_err(|e| FidrError::Corrupt(e.to_string()))
+    }
+
+    /// Step 9: the data SSD pulls the sealed container straight from the
+    /// Compression Engine's memory (P2P); the host only posts the NVMe
+    /// command.
+    fn seal_container(&mut self) {
+        let threshold = self.cfg.container_threshold;
+        self.next_container += 1;
+        let full = std::mem::replace(
+            &mut self.builder,
+            ContainerBuilder::new(self.next_container, threshold),
+        );
+        self.staging.clear();
+        let bytes = full.len() as u64;
+
+        ops::p2p(&mut self.ledger, PcieLink::CompressionDataSsdP2p, bytes);
+        self.ledger
+            .charge_cpu(CpuTask::DataSsdStack, self.cfg.cost.data_ssd_io_cycles);
+        self.ledger.data_ssd_write_bytes += bytes;
+        self.stats.containers_sealed += 1;
+        self.data_ssd.write_container(full.seal());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> FidrSystem {
+        FidrSystem::new(FidrConfig {
+            cache_lines: 64,
+            table_buckets: 1 << 12,
+            container_threshold: 64 << 10,
+            hash_batch: 8,
+            ..FidrConfig::default()
+        })
+    }
+
+    fn chunk(tag: u64) -> Bytes {
+        Bytes::from(fidr_compress::ContentGenerator::new(0.5).chunk(tag, 4096))
+    }
+
+    #[test]
+    fn write_read_roundtrip_via_nic_buffer() {
+        let mut s = sys();
+        let data = chunk(1);
+        s.write(Lba(5), data.clone()).unwrap();
+        // Unprocessed write must be readable (NIC buffer hit).
+        assert_eq!(s.read(Lba(5)).unwrap(), data.to_vec());
+        assert_eq!(s.nic_stats().read_buffer_hits, 1);
+    }
+
+    #[test]
+    fn write_read_roundtrip_after_flush() {
+        let mut s = sys();
+        let data = chunk(2);
+        s.write(Lba(9), data.clone()).unwrap();
+        s.flush().unwrap();
+        assert_eq!(s.read(Lba(9)).unwrap(), data.to_vec());
+    }
+
+    #[test]
+    fn duplicates_are_eliminated() {
+        let mut s = sys();
+        let data = chunk(7);
+        for lba in 0..32u64 {
+            s.write(Lba(lba), data.clone()).unwrap();
+        }
+        s.flush().unwrap();
+        let st = s.stats();
+        assert_eq!(st.unique_chunks, 1);
+        assert_eq!(st.duplicate_chunks, 31);
+        for lba in 0..32u64 {
+            assert_eq!(s.read(Lba(lba)).unwrap(), data.to_vec());
+        }
+    }
+
+    #[test]
+    fn client_data_never_touches_host_memory() {
+        let mut s = sys();
+        for i in 0..256u64 {
+            s.write(Lba(i), chunk(i)).unwrap();
+        }
+        s.flush().unwrap();
+        let l = s.ledger();
+        // Host memory sees only hashes/flags/metadata + table cache work —
+        // far below the client payload volume.
+        let payload = l.client_write_bytes();
+        assert!(l.mem_bytes(MemPath::FpgaStaging) < payload / 50);
+        assert!(l.mem_bytes(MemPath::NicBuffering) < payload / 50);
+        assert_eq!(l.mem_bytes(MemPath::UniquePrediction), 0);
+        assert_eq!(l.mem_bytes(MemPath::DataSsdStaging), 0);
+        // The payload went over P2P links instead.
+        assert!(l.pcie_bytes(PcieLink::NicCompressionP2p) > 0);
+        assert!(l.pcie_bytes(PcieLink::CompressionDataSsdP2p) > 0);
+    }
+
+    #[test]
+    fn no_predictor_and_no_tree_cpu_in_hw_mode() {
+        let mut s = sys();
+        for i in 0..128u64 {
+            s.write(Lba(i), chunk(i)).unwrap();
+        }
+        s.flush().unwrap();
+        let l = s.ledger();
+        assert_eq!(l.cpu_cycles(CpuTask::UniquePrediction), 0);
+        assert_eq!(l.cpu_cycles(CpuTask::BatchScheduling), 0);
+        assert_eq!(l.cpu_cycles(CpuTask::TreeIndexing), 0);
+        assert_eq!(l.cpu_cycles(CpuTask::TableSsdStack), 0);
+        assert!(l.cpu_cycles(CpuTask::TableContentScan) > 0);
+    }
+
+    #[test]
+    fn overwrite_returns_newest_across_batches() {
+        let mut s = sys();
+        s.write(Lba(1), chunk(1)).unwrap();
+        s.flush().unwrap();
+        s.write(Lba(1), chunk(2)).unwrap();
+        assert_eq!(s.read(Lba(1)).unwrap(), chunk(2).to_vec());
+        s.flush().unwrap();
+        assert_eq!(s.read(Lba(1)).unwrap(), chunk(2).to_vec());
+    }
+
+    #[test]
+    fn software_cache_mode_still_correct() {
+        let mut s = FidrSystem::new(FidrConfig {
+            cache_lines: 64,
+            table_buckets: 1 << 12,
+            container_threshold: 64 << 10,
+            hash_batch: 8,
+            cache_mode: CacheMode::Software,
+            ..FidrConfig::default()
+        });
+        for i in 0..64u64 {
+            s.write(Lba(i), chunk(i % 16)).unwrap();
+        }
+        s.flush().unwrap();
+        assert_eq!(s.stats().unique_chunks, 16);
+        assert!(s.ledger().cpu_cycles(CpuTask::TreeIndexing) > 0);
+        for i in 0..64u64 {
+            assert_eq!(s.read(Lba(i)).unwrap(), chunk(i % 16).to_vec());
+        }
+    }
+
+    #[test]
+    fn read_of_unwritten_errors() {
+        let mut s = sys();
+        assert!(matches!(s.read(Lba(1234)), Err(FidrError::NotMapped(_))));
+    }
+
+    #[test]
+    fn overwrites_queue_dead_chunks() {
+        let mut s = sys();
+        for i in 0..16u64 {
+            s.write(Lba(i), chunk(i)).unwrap();
+        }
+        s.flush().unwrap();
+        // Overwrite everything with fresh content: all old uniques die.
+        for i in 0..16u64 {
+            s.write(Lba(i), chunk(100 + i)).unwrap();
+        }
+        s.flush().unwrap();
+        assert_eq!(s.pending_dead_chunks(), 16);
+    }
+
+    #[test]
+    fn gc_reclaims_metadata_and_compacts_containers() {
+        let mut s = sys();
+        // Fill several containers, then kill most of their chunks.
+        for i in 0..128u64 {
+            s.write(Lba(i), chunk(i)).unwrap();
+        }
+        s.flush().unwrap();
+        let stored_before = s.stored_bytes();
+        for i in 0..112u64 {
+            s.write(Lba(i), chunk(1000 + i)).unwrap();
+        }
+        s.flush().unwrap();
+
+        let report = s.collect_garbage(0.5).unwrap();
+        assert_eq!(report.reclaimed_pbns, 112);
+        assert!(report.compacted_containers >= 1, "{report:?}");
+        assert!(report.freed_bytes > 0);
+        s.flush().unwrap();
+        assert!(
+            s.stored_bytes() < stored_before + s.stats().stored_bytes / 2,
+            "compaction should shrink the footprint"
+        );
+
+        // Every LBA still reads its newest content.
+        for i in 0..128u64 {
+            let want = if i < 112 { chunk(1000 + i) } else { chunk(i) };
+            assert_eq!(s.read(Lba(i)).unwrap(), want.to_vec(), "LBA {i}");
+        }
+    }
+
+    #[test]
+    fn gc_then_rewrite_of_same_content_dedups_again() {
+        let mut s = sys();
+        s.write(Lba(0), chunk(7)).unwrap();
+        s.flush().unwrap();
+        s.write(Lba(0), chunk(8)).unwrap(); // kills content 7
+        s.flush().unwrap();
+        s.collect_garbage(1.1).unwrap(); // collect everything sparse
+        // Rewriting content 7 must be a fresh unique (entry was removed).
+        s.write(Lba(1), chunk(7)).unwrap();
+        s.flush().unwrap();
+        assert_eq!(s.read(Lba(1)).unwrap(), chunk(7).to_vec());
+        assert_eq!(s.stats().unique_chunks, 3);
+    }
+
+    #[test]
+    fn resurrection_before_gc_is_safe() {
+        let mut s = sys();
+        s.write(Lba(0), chunk(5)).unwrap();
+        s.flush().unwrap();
+        s.write(Lba(0), chunk(6)).unwrap(); // content 5 dies
+        s.flush().unwrap();
+        assert_eq!(s.pending_dead_chunks(), 1);
+        s.write(Lba(1), chunk(5)).unwrap(); // content 5 resurrects via dedup
+        s.flush().unwrap();
+        assert_eq!(s.pending_dead_chunks(), 0);
+        let report = s.collect_garbage(1.1).unwrap();
+        assert_eq!(report.reclaimed_pbns, 0);
+        assert_eq!(s.read(Lba(1)).unwrap(), chunk(5).to_vec());
+    }
+}

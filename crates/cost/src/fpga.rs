@@ -1,0 +1,234 @@
+//! FPGA resource models for the FIDR hardware (paper Tables 4 and 5).
+//!
+//! Resource counts are composed from per-core constants fitted to the
+//! paper's reported totals on the VCU1525 (XCVU9P) board: the FIDR NIC's
+//! data-reduction support is dominated by SHA-256 cores plus buffering
+//! logic, and the Cache HW-Engine by per-level tree pipeline stages with
+//! URAM appearing only for the deep (14-level) configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Absolute resource counts of one module or board.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FpgaResources {
+    /// Look-up tables.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// Block RAMs (36 Kb).
+    pub brams: u64,
+    /// UltraRAMs (288 Kb).
+    pub urams: u64,
+}
+
+impl FpgaResources {
+    /// Element-wise sum.
+    pub fn plus(self, other: FpgaResources) -> FpgaResources {
+        FpgaResources {
+            luts: self.luts + other.luts,
+            ffs: self.ffs + other.ffs,
+            brams: self.brams + other.brams,
+            urams: self.urams + other.urams,
+        }
+    }
+
+    /// The binding utilization fraction against a board (the scarcest
+    /// resource decides how much of the board the module consumes).
+    pub fn utilization(&self, board: &FpgaResources) -> f64 {
+        let ratios = [
+            self.luts as f64 / board.luts as f64,
+            self.ffs as f64 / board.ffs as f64,
+            self.brams as f64 / board.brams as f64,
+            if board.urams == 0 {
+                0.0
+            } else {
+                self.urams as f64 / board.urams as f64
+            },
+        ];
+        ratios.into_iter().fold(0.0, f64::max)
+    }
+}
+
+/// The VCU1525's XCVU9P device (paper §6, Table 4/5 denominators).
+pub fn vcu1525() -> FpgaResources {
+    FpgaResources {
+        luts: 1_182_000,
+        ffs: 2_364_000,
+        brams: 2_160,
+        urams: 960,
+    }
+}
+
+/// Per-SHA-256-core cost, fitted so that the write-only/mixed delta in
+/// Table 4 (125 K vs 84 K LUTs over half the hash cores) is reproduced.
+const SHA_CORE: FpgaResources = FpgaResources {
+    luts: 5_125,
+    ffs: 5_125,
+    brams: 3,
+    urams: 0,
+};
+
+/// Fixed NIC-side data-reduction logic: buffer manager, compression
+/// scheduler, LBA lookup, DMA glue.
+const NIC_REDUCTION_BASE: FpgaResources = FpgaResources {
+    luts: 43_000,
+    ffs: 46_000,
+    brams: 51,
+    urams: 0,
+};
+
+/// Conventional NIC datapath: ethernet MACs, two 32-Gbps TCP offload
+/// engines, iSCSI-like protocol handling (Table 4's "Basic NIC + TCP
+/// Offload" row — implementable as fixed ASIC logic per §7.7.1).
+pub fn basic_nic() -> FpgaResources {
+    FpgaResources {
+        luts: 166_000,
+        ffs: 169_000,
+        brams: 1_024,
+        urams: 0,
+    }
+}
+
+/// FIDR NIC data-reduction support for a 64-Gbps NIC whose write share is
+/// `write_fraction` of traffic (1.0 = write-only, 0.5 = mixed). Hash cores
+/// scale with the written bytes that need fingerprinting.
+pub fn nic_reduction_support(write_fraction: f64) -> FpgaResources {
+    // 16 SHA-256 cores sustain 64 Gbps of hashing (4 Gbps/core).
+    let cores = (16.0 * write_fraction).ceil() as u64;
+    FpgaResources {
+        luts: NIC_REDUCTION_BASE.luts + cores * SHA_CORE.luts,
+        ffs: NIC_REDUCTION_BASE.ffs + cores * SHA_CORE.ffs,
+        brams: NIC_REDUCTION_BASE.brams + cores * SHA_CORE.brams,
+        urams: 0,
+    }
+}
+
+/// Whole FIDR NIC (Table 4's "Total" row).
+pub fn fidr_nic_total(write_fraction: f64) -> FpgaResources {
+    basic_nic().plus(nic_reduction_support(write_fraction))
+}
+
+/// Cache HW-Engine configuration knobs (Table 5 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheEngineConfig {
+    /// Tree pipeline levels (9 for the 410-MB cache, 14 for ~100 GB).
+    pub tree_levels: u32,
+    /// Levels held in on-chip memory (the rest use board DRAM).
+    pub onchip_levels: u32,
+    /// Whether the engine embeds the table-SSD NVMe controllers.
+    pub with_table_ssd_ctrl: bool,
+}
+
+impl CacheEngineConfig {
+    /// The prototype configuration measured in Table 5 column "All".
+    pub fn prototype() -> Self {
+        CacheEngineConfig {
+            tree_levels: 9,
+            onchip_levels: 8,
+            with_table_ssd_ctrl: true,
+        }
+    }
+
+    /// The projected PB-scale configuration ("Large tree" column):
+    /// 14 levels, 13 on-chip thanks to URAM, leaf on board DRAM.
+    pub fn large_tree() -> Self {
+        CacheEngineConfig {
+            tree_levels: 14,
+            onchip_levels: 13,
+            with_table_ssd_ctrl: false,
+        }
+    }
+}
+
+/// Cache HW-Engine resource usage (Table 5's FPGA-resource rows).
+pub fn cache_engine_resources(cfg: CacheEngineConfig) -> FpgaResources {
+    // Per-level pipeline stage: search/update logic plus node storage.
+    // Shallow levels fit in BRAM; levels beyond 9 store their (much
+    // larger) node arrays in URAM — the jump from 0 to 756 URAMs between
+    // Table 5's medium and large trees.
+    let base = FpgaResources {
+        luts: 280_000, // command generator, crash/replay, free list, DMA
+        ffs: 120_000,
+        brams: 130,
+        urams: 0,
+    };
+    let per_level_luts = 4_000u64;
+    let per_level_ffs = 1_600u64;
+    let mut r = FpgaResources {
+        luts: base.luts + u64::from(cfg.tree_levels) * per_level_luts,
+        ffs: base.ffs + u64::from(cfg.tree_levels) * per_level_ffs,
+        brams: base.brams + u64::from(cfg.onchip_levels.min(9)) * 8,
+        urams: 0,
+    };
+    // Deep on-chip levels (10..=onchip) hold exponentially larger node
+    // arrays in URAM: level 10 ≈ 12, then ×3 per level.
+    let mut urams_per_level = 19u64;
+    for _ in 10..=cfg.onchip_levels {
+        r.urams += urams_per_level;
+        urams_per_level *= 3;
+    }
+    if cfg.with_table_ssd_ctrl {
+        r.luts += 4_000;
+        r.ffs += 6_000;
+        r.brams += 16;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_write_only_shape() {
+        let r = nic_reduction_support(1.0);
+        // Paper: 125 K LUTs, 128 K FFs, 95 BRAMs.
+        assert!((r.luts as f64 - 125_000.0).abs() / 125_000.0 < 0.03, "{}", r.luts);
+        assert!((r.ffs as f64 - 128_000.0).abs() / 128_000.0 < 0.05, "{}", r.ffs);
+        assert!((r.brams as f64 - 95.0).abs() < 10.0, "{}", r.brams);
+        let total = fidr_nic_total(1.0);
+        let util = total.utilization(&vcu1525());
+        // Paper total: 24.5 % LUTs / 51.8 % BRAM — BRAM binds.
+        assert!((util - 0.518).abs() < 0.03, "util {util}");
+    }
+
+    #[test]
+    fn table4_mixed_is_cheaper() {
+        let w = nic_reduction_support(1.0);
+        let m = nic_reduction_support(0.5);
+        assert!(m.luts < w.luts);
+        // Paper mixed: 84 K LUTs.
+        assert!((m.luts as f64 - 84_000.0).abs() / 84_000.0 < 0.04, "{}", m.luts);
+    }
+
+    #[test]
+    fn table5_prototype_shape() {
+        let r = cache_engine_resources(CacheEngineConfig::prototype());
+        // Paper "All": 320 K LUTs, 160 K FFs, 218 BRAM, no URAM.
+        assert!((r.luts as f64 - 320_000.0).abs() / 320_000.0 < 0.03, "{}", r.luts);
+        assert!((r.brams as f64 - 218.0).abs() < 25.0, "{}", r.brams);
+        assert_eq!(r.urams, 0);
+    }
+
+    #[test]
+    fn table5_large_tree_needs_uram() {
+        let r = cache_engine_resources(CacheEngineConfig::large_tree());
+        // Paper "Large tree": 348 K LUTs, 756 URAM (78.8 %).
+        assert!((r.luts as f64 - 348_000.0).abs() / 348_000.0 < 0.05, "{}", r.luts);
+        assert!((r.urams as f64 - 756.0).abs() < 80.0, "{}", r.urams);
+        let uram_frac = r.urams as f64 / vcu1525().urams as f64;
+        assert!((uram_frac - 0.788).abs() < 0.1, "uram util {uram_frac}");
+    }
+
+    #[test]
+    fn utilization_picks_binding_resource() {
+        let board = vcu1525();
+        let r = FpgaResources {
+            luts: board.luts / 10,
+            ffs: board.ffs / 10,
+            brams: board.brams / 2,
+            urams: 0,
+        };
+        assert!((r.utilization(&board) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,35 @@
+//! # fidr-cost
+//!
+//! Cost-effectiveness analysis for FIDR (paper §7.7–§7.8): FPGA resource
+//! models reproducing Tables 4–5 ([`fpga`]) and the dollar-cost model
+//! behind Figures 15–16 ([`CostModel`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use fidr_cost::{CostModel, Scenario};
+//!
+//! let model = CostModel::default();
+//! let cost = model.fidr(Scenario {
+//!     effective_gb: 500_000.0,
+//!     throughput_gbps: 75.0,
+//!     reduction_factor: 4.0,
+//!     reduced_fraction: 1.0,
+//!     cores: 22.0,
+//!     cache_dram_gb: 100.0,
+//! });
+//! let saving = model.saving(&cost, 500_000.0);
+//! assert!(saving > 0.5, "FIDR should save >50% at PB scale");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fpga;
+mod model;
+
+pub use fpga::{
+    basic_nic, cache_engine_resources, fidr_nic_total, nic_reduction_support, vcu1525,
+    CacheEngineConfig, FpgaResources,
+};
+pub use model::{utilization_of, CostBreakdown, CostModel, Prices, Scenario};

@@ -1,0 +1,234 @@
+//! The §7.8 cost-effectiveness model (Figures 15 and 16).
+//!
+//! "We treat the cost as the remaining data SSDs after data reduction, and
+//! the added data reduction cost on CPU, FPGA, DRAM and table SSDs."
+//! Prices follow the paper: 0.5 $/GB SSD, 5.5 $/GB DRAM, $7,000 for a
+//! 22-core CPU, $7,000 for a high-end FPGA with 70 % of resources usable.
+
+use crate::fpga::{self, CacheEngineConfig, FpgaResources};
+use serde::{Deserialize, Serialize};
+
+/// Component prices (paper §7.8).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prices {
+    /// Flash $/GB.
+    pub ssd_per_gb: f64,
+    /// DRAM $/GB.
+    pub dram_per_gb: f64,
+    /// Price of one 22-core CPU.
+    pub cpu: f64,
+    /// Cores per CPU.
+    pub cpu_cores: f64,
+    /// Price of one high-end FPGA board.
+    pub fpga: f64,
+    /// Practically usable fraction of FPGA resources.
+    pub fpga_usable: f64,
+}
+
+impl Default for Prices {
+    fn default() -> Self {
+        Prices {
+            ssd_per_gb: 0.5,
+            dram_per_gb: 5.5,
+            cpu: 7_000.0,
+            cpu_cores: 22.0,
+            fpga: 7_000.0,
+            fpga_usable: 0.7,
+        }
+    }
+}
+
+/// Dollar breakdown of one configuration (the Figure 16 bars).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Data SSDs after reduction.
+    pub data_ssd: f64,
+    /// Dedicated table SSDs.
+    pub table_ssd: f64,
+    /// Host DRAM for the table cache.
+    pub dram: f64,
+    /// CPU cost scaled by cores consumed.
+    pub cpu: f64,
+    /// FPGA cost scaled by resources consumed.
+    pub fpga: f64,
+}
+
+impl CostBreakdown {
+    /// Total dollars.
+    pub fn total(&self) -> f64 {
+        self.data_ssd + self.table_ssd + self.dram + self.cpu + self.fpga
+    }
+}
+
+/// Inputs describing one deployment point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Effective (client-visible) capacity in GB.
+    pub effective_gb: f64,
+    /// Target throughput in GB/s.
+    pub throughput_gbps: f64,
+    /// Data-reduction factor achieved on reduced traffic (4.0 at the
+    /// paper's 50 % dedup + 50 % compression).
+    pub reduction_factor: f64,
+    /// Fraction of traffic actually reduced (1.0 unless the system must
+    /// do partial reduction to keep up).
+    pub reduced_fraction: f64,
+    /// CPU cores consumed at the target throughput.
+    pub cores: f64,
+    /// Host DRAM for table caching, GB.
+    pub cache_dram_gb: f64,
+}
+
+/// Hash-PBN table bytes per stored GB: 38 B per 4-KB unique chunk.
+const TABLE_OVERHEAD: f64 = 38.0 / 4096.0;
+
+/// The cost model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostModel {
+    /// Component prices in effect.
+    pub prices: Prices,
+}
+
+impl CostModel {
+    /// Baseline of comparison: a server with no data reduction needs the
+    /// full effective capacity in flash and nothing else.
+    pub fn no_reduction(&self, effective_gb: f64) -> CostBreakdown {
+        CostBreakdown {
+            data_ssd: effective_gb * self.prices.ssd_per_gb,
+            ..CostBreakdown::default()
+        }
+    }
+
+    /// Cost of a FIDR deployment at `s` (Figures 15–16).
+    ///
+    /// FPGA silicon is charged fractionally, "based on resource
+    /// utilization" (§7.8): NICs count only the *data-reduction support*
+    /// logic (§7.7.1 argues the basic NIC+TCP datapath belongs in a fixed
+    /// ASIC) per 12.5 GB/s of client traffic; Compression Engines one per
+    /// 20 GB/s of reduced traffic; the Cache HW-Engine fractionally per
+    /// socket's worth (75 GB/s).
+    pub fn fidr(&self, s: Scenario) -> CostBreakdown {
+        let stored_gb = self.stored_gb(s);
+        let nic_boards = s.throughput_gbps / 12.5;
+        let nic_util = fpga::nic_reduction_support(1.0).utilization(&fpga::vcu1525());
+        let compress_boards = s.throughput_gbps * s.reduced_fraction / 20.0;
+        let compress_util = 0.35; // LZ cores + DMA on a VU9P-class board
+        let cache_boards = s.throughput_gbps / 75.0;
+        let cache_util = fpga::cache_engine_resources(CacheEngineConfig::large_tree())
+            .utilization(&fpga::vcu1525());
+        let fpga_cost = self.fpga_cost(&[
+            (nic_boards, nic_util),
+            (compress_boards, compress_util),
+            (cache_boards, cache_util),
+        ]);
+        CostBreakdown {
+            data_ssd: stored_gb * self.prices.ssd_per_gb,
+            table_ssd: stored_gb * TABLE_OVERHEAD * 2.0 * self.prices.ssd_per_gb,
+            dram: s.cache_dram_gb * self.prices.dram_per_gb,
+            cpu: s.cores / self.prices.cpu_cores * self.prices.cpu,
+            fpga: fpga_cost,
+        }
+    }
+
+    /// Cost of the CIDR-style baseline at `s`. Its FPGAs integrate hash +
+    /// compression (one board per 10 GB/s of traffic it actually
+    /// reduces); no NIC or cache-engine boards, but far more cores.
+    pub fn baseline(&self, s: Scenario) -> CostBreakdown {
+        let stored_gb = self.stored_gb(s);
+        let boards = s.throughput_gbps * s.reduced_fraction / 10.0;
+        CostBreakdown {
+            data_ssd: stored_gb * self.prices.ssd_per_gb,
+            table_ssd: stored_gb * TABLE_OVERHEAD * 2.0 * self.prices.ssd_per_gb,
+            dram: s.cache_dram_gb * self.prices.dram_per_gb,
+            cpu: s.cores / self.prices.cpu_cores * self.prices.cpu,
+            fpga: self.fpga_cost(&[(boards, 0.45)]),
+        }
+    }
+
+    /// Cost saving of `cost` relative to no-reduction at the same
+    /// effective capacity (the Figure 15 y-axis, inverted: higher saving
+    /// is better).
+    pub fn saving(&self, cost: &CostBreakdown, effective_gb: f64) -> f64 {
+        1.0 - cost.total() / self.no_reduction(effective_gb).total()
+    }
+
+    fn stored_gb(&self, s: Scenario) -> f64 {
+        s.effective_gb
+            * (s.reduced_fraction / s.reduction_factor + (1.0 - s.reduced_fraction))
+    }
+
+    fn fpga_cost(&self, boards: &[(f64, f64)]) -> f64 {
+        boards
+            .iter()
+            .map(|&(n, util)| n * (util / self.prices.fpga_usable).min(1.0) * self.prices.fpga)
+            .sum()
+    }
+}
+
+/// Utilization helper re-exported for reports.
+pub fn utilization_of(r: &FpgaResources) -> f64 {
+    r.utilization(&fpga::vcu1525())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fidr_scenario(throughput: f64, capacity_tb: f64) -> Scenario {
+        Scenario {
+            effective_gb: capacity_tb * 1000.0,
+            throughput_gbps: throughput,
+            reduction_factor: 4.0,
+            reduced_fraction: 1.0,
+            cores: 0.29 * throughput, // measured FIDR cores/GBps
+            cache_dram_gb: 100.0,
+        }
+    }
+
+    #[test]
+    fn fidr_saves_at_500tb() {
+        let m = CostModel::default();
+        let s25 = m.saving(&m.fidr(fidr_scenario(25.0, 500.0)), 500_000.0);
+        let s75 = m.saving(&m.fidr(fidr_scenario(75.0, 500.0)), 500_000.0);
+        // Paper: saving falls from 67 % at 25 GB/s to 58 % at 75 GB/s.
+        assert!((s25 - 0.67).abs() < 0.06, "saving at 25 GB/s: {s25:.2}");
+        assert!((s75 - 0.58).abs() < 0.06, "saving at 75 GB/s: {s75:.2}");
+        assert!(s25 > s75);
+    }
+
+    #[test]
+    fn partial_reduction_erodes_baseline_saving() {
+        let m = CostModel::default();
+        // The baseline cannot scale past ~25 GB/s per socket; at 75 GB/s
+        // it reduces only a third of the traffic.
+        let partial = Scenario {
+            reduced_fraction: 25.0 / 75.0,
+            cores: 22.0,
+            ..fidr_scenario(75.0, 500.0)
+        };
+        let full = fidr_scenario(75.0, 500.0);
+        let baseline_cost = m.baseline(partial).total();
+        let fidr_cost = m.fidr(full).total();
+        assert!(
+            baseline_cost > fidr_cost * 1.5,
+            "baseline {baseline_cost:.0} vs FIDR {fidr_cost:.0}"
+        );
+    }
+
+    #[test]
+    fn no_reduction_is_pure_flash() {
+        let m = CostModel::default();
+        let c = m.no_reduction(500_000.0);
+        assert!((c.total() - 250_000.0).abs() < 1.0);
+        assert_eq!(c.cpu, 0.0);
+    }
+
+    #[test]
+    fn breakdown_total_sums_parts() {
+        let m = CostModel::default();
+        let c = m.fidr(fidr_scenario(50.0, 100.0));
+        let sum = c.data_ssd + c.table_ssd + c.dram + c.cpu + c.fpga;
+        assert!((c.total() - sum).abs() < 1e-9);
+        assert!(c.data_ssd > 0.0 && c.fpga > 0.0 && c.cpu > 0.0);
+    }
+}

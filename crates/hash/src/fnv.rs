@@ -1,0 +1,50 @@
+//! FNV-1a: a cheap non-cryptographic hash.
+//!
+//! Used where the workspace needs a fast, deterministic 64-bit mix that is
+//! *not* a dedup signature — e.g. the unique-chunk predictor's sampled
+//! fingerprints in the CIDR baseline, or seeding synthetic content streams.
+//! Dedup decisions always use [`crate::Fingerprint`] (SHA-256).
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Computes the 64-bit FNV-1a hash of `data`.
+///
+/// # Examples
+///
+/// ```
+/// let h = fidr_hash::fnv1a(b"chunk");
+/// assert_ne!(h, fidr_hash::fnv1a(b"chunl"));
+/// ```
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Mixes a `u64` through one FNV-1a round per byte; handy for deriving
+/// deterministic per-index seeds.
+pub fn fnv1a_u64(value: u64) -> u64 {
+    fnv1a(&value.to_le_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn u64_variant_consistent() {
+        assert_eq!(fnv1a_u64(42), fnv1a(&42u64.to_le_bytes()));
+    }
+}

@@ -1,0 +1,40 @@
+//! # fidr-hash
+//!
+//! Hashing primitives for the FIDR inline data-reduction system
+//! (MICRO-52 2019): a from-scratch streaming [`Sha256`], the 32-byte chunk
+//! [`Fingerprint`] used as the deduplication signature, and the cheap
+//! [`fnv1a`] mix used by non-cryptographic helpers.
+//!
+//! In the paper, SHA-256 cores run on the FIDR NIC (or on the CIDR baseline's
+//! FPGA). In this reproduction the same digests are computed in software and
+//! the hash *placement* (NIC vs FPGA vs CPU) is captured by the hardware
+//! model in `fidr-hwsim`.
+//!
+//! # Examples
+//!
+//! ```
+//! use fidr_hash::{Fingerprint, Sha256};
+//!
+//! // Fingerprint a 4-KB chunk and derive its Hash-PBN bucket.
+//! let chunk = vec![7u8; 4096];
+//! let fp = Fingerprint::of(&chunk);
+//! let bucket = fp.bucket_index(1 << 20);
+//! assert!(bucket < (1 << 20));
+//!
+//! // Streaming digest over the same bytes agrees.
+//! let mut h = Sha256::new();
+//! h.update(&chunk[..1000]);
+//! h.update(&chunk[1000..]);
+//! assert_eq!(&h.finalize(), fp.as_bytes());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fingerprint;
+mod fnv;
+mod sha256;
+
+pub use fingerprint::{Fingerprint, FINGERPRINT_LEN};
+pub use fnv::{fnv1a, fnv1a_u64};
+pub use sha256::Sha256;

@@ -1,0 +1,297 @@
+//! Discrete-event simulation of tandem service pipelines.
+//!
+//! The paper's §7.5 projection and §7.6 latency model are *analytic*:
+//! linear resource division and additive stage sums. This module provides
+//! the event-driven cross-check: jobs arrive at a configurable rate and
+//! flow through FCFS stations (each with one or more servers and a
+//! deterministic service time); the simulator reports measured
+//! throughput, mean/percentile latency and per-station utilization, so
+//! queueing effects the closed forms approximate can be observed
+//! directly.
+
+use std::time::Duration;
+
+/// One service station in a pipeline.
+#[derive(Debug, Clone)]
+pub struct Station {
+    /// Display name.
+    pub name: &'static str,
+    /// Deterministic per-job service time.
+    pub service: Duration,
+    /// Parallel servers (e.g. SSDs in an array, FPGA engines).
+    pub servers: u32,
+}
+
+impl Station {
+    /// Creates a single-server station.
+    pub fn new(name: &'static str, service: Duration) -> Self {
+        Station {
+            name,
+            service,
+            servers: 1,
+        }
+    }
+
+    /// Creates a station with `servers` parallel servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    pub fn with_servers(name: &'static str, service: Duration, servers: u32) -> Self {
+        assert!(servers > 0, "station needs at least one server");
+        Station {
+            name,
+            service,
+            servers,
+        }
+    }
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Jobs completed.
+    pub completed: usize,
+    /// Completed jobs per second (measured, not offered).
+    pub throughput_hz: f64,
+    /// Mean end-to-end sojourn time.
+    pub mean_latency: Duration,
+    /// 99th-percentile sojourn time.
+    pub p99_latency: Duration,
+    /// Busy-time utilization per station, in pipeline order.
+    pub utilization: Vec<f64>,
+}
+
+/// A tandem FCFS pipeline of [`Station`]s.
+///
+/// # Examples
+///
+/// ```
+/// use fidr_hwsim::des::{PipelineSim, Station};
+/// use std::time::Duration;
+///
+/// let sim = PipelineSim::new(vec![
+///     Station::new("ssd", Duration::from_micros(90)),
+///     Station::new("decompress", Duration::from_micros(25)),
+/// ]);
+/// // Offered load well below capacity: latency ~= sum of services.
+/// let r = sim.run(10_000, 1_000.0);
+/// assert!((r.mean_latency.as_micros() as i64 - 115).abs() < 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelineSim {
+    stations: Vec<Station>,
+}
+
+impl PipelineSim {
+    /// Builds a pipeline from stations in flow order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stations` is empty.
+    pub fn new(stations: Vec<Station>) -> Self {
+        assert!(!stations.is_empty(), "pipeline needs stations");
+        PipelineSim { stations }
+    }
+
+    /// The pipeline's capacity in jobs/second (the slowest station's
+    /// aggregate service rate).
+    pub fn capacity_hz(&self) -> f64 {
+        self.stations
+            .iter()
+            .map(|s| f64::from(s.servers) / s.service.as_secs_f64())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Runs `jobs` arrivals at a deterministic `arrival_rate_hz` and
+    /// measures the steady behaviour (the first 10 % of jobs are treated
+    /// as warm-up for the latency statistics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is zero or the rate is non-positive.
+    pub fn run(&self, jobs: usize, arrival_rate_hz: f64) -> SimResult {
+        self.run_with_arrivals(jobs, arrival_rate_hz, None)
+    }
+
+    /// Like [`run`](PipelineSim::run) but with Poisson (memoryless)
+    /// arrivals drawn from `seed` — the arrival process the M/D/1 closed
+    /// form assumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is zero or the rate is non-positive.
+    pub fn run_poisson(&self, jobs: usize, arrival_rate_hz: f64, seed: u64) -> SimResult {
+        self.run_with_arrivals(jobs, arrival_rate_hz, Some(seed))
+    }
+
+    fn run_with_arrivals(
+        &self,
+        jobs: usize,
+        arrival_rate_hz: f64,
+        poisson_seed: Option<u64>,
+    ) -> SimResult {
+        assert!(jobs > 0, "need at least one job");
+        assert!(arrival_rate_hz > 0.0, "arrival rate must be positive");
+        let interarrival = 1.0 / arrival_rate_hz;
+        // xorshift64* exponential sampler for Poisson arrivals.
+        let mut rng_state = poisson_seed.map(|s| s | 1);
+        let mut next_gap = move || -> f64 {
+            match &mut rng_state {
+                None => interarrival,
+                Some(state) => {
+                    *state ^= *state << 13;
+                    *state ^= *state >> 7;
+                    *state ^= *state << 17;
+                    let u = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64
+                        / (1u64 << 53) as f64;
+                    -(1.0 - u).ln() * interarrival
+                }
+            }
+        };
+
+        // Per-station ring of server next-free times.
+        let mut server_free: Vec<Vec<f64>> = self
+            .stations
+            .iter()
+            .map(|s| vec![0.0f64; s.servers as usize])
+            .collect();
+        let mut busy: Vec<f64> = vec![0.0; self.stations.len()];
+
+        let warmup = jobs / 10;
+        let mut latencies: Vec<f64> = Vec::with_capacity(jobs - warmup);
+        let mut last_departure = 0.0f64;
+        let mut clock = 0.0f64;
+
+        for j in 0..jobs {
+            clock += next_gap();
+            let arrival = clock;
+            let mut t = arrival;
+            for (si, station) in self.stations.iter().enumerate() {
+                // FCFS: take the earliest-free server.
+                let (slot, &free_at) = server_free[si]
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+                    .expect("station has servers");
+                let start = t.max(free_at);
+                let done = start + station.service.as_secs_f64();
+                server_free[si][slot] = done;
+                busy[si] += station.service.as_secs_f64();
+                t = done;
+            }
+            last_departure = t;
+            if j >= warmup {
+                latencies.push(t - arrival);
+            }
+        }
+
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+        let p99 = latencies[(latencies.len() as f64 * 0.99) as usize % latencies.len()];
+        let utilization = busy
+            .iter()
+            .zip(&self.stations)
+            .map(|(b, s)| b / (last_departure * f64::from(s.servers)))
+            .collect();
+
+        SimResult {
+            completed: jobs,
+            throughput_hz: jobs as f64 / last_departure,
+            mean_latency: Duration::from_secs_f64(mean),
+            p99_latency: Duration::from_secs_f64(p99),
+            utilization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_stage() -> PipelineSim {
+        PipelineSim::new(vec![
+            Station::new("a", Duration::from_micros(100)),
+            Station::new("b", Duration::from_micros(50)),
+        ])
+    }
+
+    #[test]
+    fn capacity_is_bottleneck_rate() {
+        let sim = two_stage();
+        assert!((sim.capacity_hz() - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn light_load_latency_is_service_sum() {
+        let r = two_stage().run(5_000, 100.0);
+        assert!((r.mean_latency.as_micros() as i64 - 150).abs() <= 1);
+        assert!(r.utilization[0] < 0.02);
+    }
+
+    #[test]
+    fn saturation_caps_throughput_at_capacity() {
+        let sim = two_stage();
+        // Offer 3x capacity; measured throughput must pin to capacity.
+        let r = sim.run(20_000, 30_000.0);
+        assert!(
+            (r.throughput_hz - sim.capacity_hz()).abs() / sim.capacity_hz() < 0.01,
+            "measured {} vs capacity {}",
+            r.throughput_hz,
+            sim.capacity_hz()
+        );
+        // The bottleneck station saturates.
+        assert!(r.utilization[0] > 0.99);
+    }
+
+    #[test]
+    fn parallel_servers_scale_capacity() {
+        let sim = PipelineSim::new(vec![Station::with_servers(
+            "array",
+            Duration::from_micros(100),
+            4,
+        )]);
+        assert!((sim.capacity_hz() - 40_000.0).abs() < 1e-6);
+        let r = sim.run(20_000, 35_000.0);
+        assert!((r.throughput_hz - 35_000.0).abs() / 35_000.0 < 0.01);
+    }
+
+    #[test]
+    fn latency_grows_with_offered_load() {
+        let sim = two_stage();
+        let lo = sim.run(10_000, 2_000.0).mean_latency;
+        let hi = sim.run(10_000, 9_500.0).mean_latency;
+        assert!(hi >= lo, "latency must not shrink with load");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn zero_jobs_panics() {
+        two_stage().run(0, 1.0);
+    }
+
+    #[test]
+    fn poisson_arrivals_match_md1_wait() {
+        // Single deterministic server, Poisson arrivals at ρ = 0.5:
+        // M/D/1 mean sojourn = S(1 + ρ/(2(1−ρ))) = 1.5 S.
+        let s = Duration::from_micros(100);
+        let sim = PipelineSim::new(vec![Station::new("srv", s)]);
+        let r = sim.run_poisson(200_000, 5_000.0, 42);
+        let expected = 1.5 * s.as_secs_f64();
+        let measured = r.mean_latency.as_secs_f64();
+        assert!(
+            (measured - expected).abs() / expected < 0.08,
+            "measured {measured:.6}s vs M/D/1 {expected:.6}s"
+        );
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let sim = two_stage();
+        let a = sim.run_poisson(10_000, 5_000.0, 7).mean_latency;
+        let b = sim.run_poisson(10_000, 5_000.0, 7).mean_latency;
+        assert_eq!(a, b);
+        let c = sim.run_poisson(10_000, 5_000.0, 8).mean_latency;
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,490 @@
+//! Resource ledgers: every byte moved and every cycle burned, by category.
+//!
+//! The paper's evaluation is, at its core, *accounting*: Table 1 breaks host
+//! memory bandwidth down by data path, Figure 5b / Table 2 break CPU
+//! utilization down by task, and Figures 4/11/12/14 are projections over
+//! those ledgers. The functional pipelines in `fidr-baseline` and
+//! `fidr-core` charge this ledger as they move real bytes; the percentages
+//! reported by the benches then *emerge* from the flow structure.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Host-memory data paths — the rows of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemPath {
+    /// NIC ↔ host memory (client request buffering).
+    NicBuffering,
+    /// Host-memory reads by the unique-chunk predictor.
+    UniquePrediction,
+    /// Host memory ↔ FPGA accelerators (staging to/from compression).
+    FpgaStaging,
+    /// Data-reduction table cache management (bucket scans, fills, flushes).
+    TableCache,
+    /// Host memory ↔ data SSDs.
+    DataSsdStaging,
+}
+
+impl MemPath {
+    /// All paths in Table 1 row order.
+    pub const ALL: [MemPath; 5] = [
+        MemPath::NicBuffering,
+        MemPath::UniquePrediction,
+        MemPath::FpgaStaging,
+        MemPath::TableCache,
+        MemPath::DataSsdStaging,
+    ];
+
+    /// Human-readable label matching the paper's wording.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MemPath::NicBuffering => "NIC <-> host memory",
+            MemPath::UniquePrediction => "Host memory (unique prediction)",
+            MemPath::FpgaStaging => "Host memory <-> FPGAs",
+            MemPath::TableCache => "Table cache management",
+            MemPath::DataSsdStaging => "Host memory <-> data SSD",
+        }
+    }
+}
+
+impl fmt::Display for MemPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// CPU task categories — the components behind Figure 5b and Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CpuTask {
+    /// Unique-chunk predictor (CIDR baseline only).
+    UniquePrediction,
+    /// FPGA batch construction and accelerator scheduling.
+    BatchScheduling,
+    /// Table cache tree indexing (B+ tree search/insert/delete).
+    TreeIndexing,
+    /// Table-SSD software stack (NVMe queues for fetch/flush).
+    TableSsdStack,
+    /// Scanning cached table bucket content for fingerprints.
+    TableContentScan,
+    /// LRU / free-list maintenance for cache replacement.
+    CacheReplacement,
+    /// Data-SSD software stack (NVMe submission/completion).
+    DataSsdStack,
+    /// NIC driver and DMA descriptor management.
+    NicDriver,
+    /// FIDR device manager: inter-device orchestration, bucket-location
+    /// computation, flag routing (§5.3 steps 2–6).
+    DeviceManager,
+    /// LBA→PBA map lookups and updates on the read/write path.
+    LbaMap,
+    /// Everything else (request parsing, bookkeeping).
+    Other,
+}
+
+impl CpuTask {
+    /// All categories in a stable reporting order.
+    pub const ALL: [CpuTask; 11] = [
+        CpuTask::UniquePrediction,
+        CpuTask::BatchScheduling,
+        CpuTask::TreeIndexing,
+        CpuTask::TableSsdStack,
+        CpuTask::TableContentScan,
+        CpuTask::CacheReplacement,
+        CpuTask::DataSsdStack,
+        CpuTask::NicDriver,
+        CpuTask::DeviceManager,
+        CpuTask::LbaMap,
+        CpuTask::Other,
+    ];
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CpuTask::UniquePrediction => "unique chunk predictor",
+            CpuTask::BatchScheduling => "batch scheduling",
+            CpuTask::TreeIndexing => "table cache tree indexing",
+            CpuTask::TableSsdStack => "table SSD access stack",
+            CpuTask::TableContentScan => "table cache content access",
+            CpuTask::CacheReplacement => "cache item replacement",
+            CpuTask::DataSsdStack => "data SSD stack",
+            CpuTask::NicDriver => "NIC driver / DMA",
+            CpuTask::DeviceManager => "device manager orchestration",
+            CpuTask::LbaMap => "LBA-PBA map",
+            CpuTask::Other => "other",
+        }
+    }
+
+    /// Whether the paper counts this as "memory management or accelerator
+    /// scheduling related" overhead (the 85.2 % in Figure 5b). Essential
+    /// IO processing (NIC driver, data-SSD stack, LBA map) is not.
+    pub fn is_management(&self) -> bool {
+        matches!(
+            self,
+            CpuTask::UniquePrediction
+                | CpuTask::BatchScheduling
+                | CpuTask::TreeIndexing
+                | CpuTask::TableSsdStack
+                | CpuTask::TableContentScan
+                | CpuTask::CacheReplacement
+                | CpuTask::DeviceManager
+        )
+    }
+}
+
+impl fmt::Display for CpuTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// PCIe links in the per-socket topology (paper §5.6 groups NIC,
+/// Compression Engine and data SSDs under one switch for P2P).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PcieLink {
+    /// NIC ↔ host (through root complex).
+    NicHost,
+    /// Host ↔ compression/decompression FPGA.
+    HostCompression,
+    /// Host ↔ data SSDs.
+    HostDataSsd,
+    /// Host ↔ table SSDs.
+    HostTableSsd,
+    /// Host ↔ Cache HW-Engine (bucket indexes + cache locations).
+    HostCacheEngine,
+    /// NIC → compression engine, peer-to-peer under the switch.
+    NicCompressionP2p,
+    /// Compression engine → data SSD, peer-to-peer.
+    CompressionDataSsdP2p,
+    /// Data SSD → decompression engine, peer-to-peer.
+    DataSsdDecompressionP2p,
+    /// Decompression engine → NIC, peer-to-peer.
+    DecompressionNicP2p,
+    /// Cache HW-Engine ↔ table SSDs (engine-resident NVMe queues).
+    CacheEngineTableSsd,
+}
+
+impl PcieLink {
+    /// All links in reporting order.
+    pub const ALL: [PcieLink; 10] = [
+        PcieLink::NicHost,
+        PcieLink::HostCompression,
+        PcieLink::HostDataSsd,
+        PcieLink::HostTableSsd,
+        PcieLink::HostCacheEngine,
+        PcieLink::NicCompressionP2p,
+        PcieLink::CompressionDataSsdP2p,
+        PcieLink::DataSsdDecompressionP2p,
+        PcieLink::DecompressionNicP2p,
+        PcieLink::CacheEngineTableSsd,
+    ];
+
+    /// Whether traffic on this link crosses the PCIe root complex (and so
+    /// counts against the socket's root-complex bandwidth).
+    pub fn crosses_root_complex(&self) -> bool {
+        matches!(
+            self,
+            PcieLink::NicHost
+                | PcieLink::HostCompression
+                | PcieLink::HostDataSsd
+                | PcieLink::HostTableSsd
+                | PcieLink::HostCacheEngine
+        )
+    }
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PcieLink::NicHost => "NIC <-> host",
+            PcieLink::HostCompression => "host <-> compression FPGA",
+            PcieLink::HostDataSsd => "host <-> data SSD",
+            PcieLink::HostTableSsd => "host <-> table SSD",
+            PcieLink::HostCacheEngine => "host <-> cache HW-engine",
+            PcieLink::NicCompressionP2p => "NIC -> compression (P2P)",
+            PcieLink::CompressionDataSsdP2p => "compression -> data SSD (P2P)",
+            PcieLink::DataSsdDecompressionP2p => "data SSD -> decompression (P2P)",
+            PcieLink::DecompressionNicP2p => "decompression -> NIC (P2P)",
+            PcieLink::CacheEngineTableSsd => "cache HW-engine <-> table SSD",
+        }
+    }
+}
+
+impl fmt::Display for PcieLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+fn mem_idx(p: MemPath) -> usize {
+    MemPath::ALL.iter().position(|&x| x == p).expect("in ALL")
+}
+fn cpu_idx(t: CpuTask) -> usize {
+    CpuTask::ALL.iter().position(|&x| x == t).expect("in ALL")
+}
+fn link_idx(l: PcieLink) -> usize {
+    PcieLink::ALL.iter().position(|&x| x == l).expect("in ALL")
+}
+
+/// Accumulated resource usage for one experiment run.
+///
+/// # Examples
+///
+/// ```
+/// use fidr_hwsim::{CpuTask, Ledger, MemPath};
+///
+/// let mut ledger = Ledger::new();
+/// ledger.charge_mem(MemPath::NicBuffering, 4096);
+/// ledger.charge_cpu(CpuTask::TreeIndexing, 1200);
+/// ledger.add_client_write_bytes(4096);
+/// assert_eq!(ledger.mem_total(), 4096);
+/// assert!((ledger.mem_fraction(MemPath::NicBuffering) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Ledger {
+    mem_bytes: [u64; 5],
+    cpu_cycles: [u64; 11],
+    pcie_bytes: [u64; 10],
+    /// Bytes moved through FPGA-board DRAM (Cache HW-Engine leaf stage,
+    /// compression staging).
+    pub fpga_dram_bytes: u64,
+    /// Bytes buffered through NIC-board DRAM (FIDR in-NIC buffering).
+    pub nic_dram_bytes: u64,
+    /// Data-SSD traffic.
+    pub data_ssd_read_bytes: u64,
+    /// Data-SSD writes (post-reduction; drives SSD lifetime).
+    pub data_ssd_write_bytes: u64,
+    /// Table-SSD reads (bucket fetches).
+    pub table_ssd_read_bytes: u64,
+    /// Table-SSD writes (dirty bucket flushes).
+    pub table_ssd_write_bytes: u64,
+    client_write_bytes: u64,
+    client_read_bytes: u64,
+}
+
+impl Ledger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Charges `bytes` of host-memory traffic to a data path.
+    pub fn charge_mem(&mut self, path: MemPath, bytes: u64) {
+        self.mem_bytes[mem_idx(path)] += bytes;
+    }
+
+    /// Charges CPU `cycles` to a task category.
+    pub fn charge_cpu(&mut self, task: CpuTask, cycles: u64) {
+        self.cpu_cycles[cpu_idx(task)] += cycles;
+    }
+
+    /// Charges `bytes` on a PCIe link.
+    pub fn charge_pcie(&mut self, link: PcieLink, bytes: u64) {
+        self.pcie_bytes[link_idx(link)] += bytes;
+    }
+
+    /// Records client write payload accepted (the throughput denominator).
+    pub fn add_client_write_bytes(&mut self, bytes: u64) {
+        self.client_write_bytes += bytes;
+    }
+
+    /// Records client read payload served.
+    pub fn add_client_read_bytes(&mut self, bytes: u64) {
+        self.client_read_bytes += bytes;
+    }
+
+    /// Total client bytes (reads + writes) processed.
+    pub fn client_bytes(&self) -> u64 {
+        self.client_write_bytes + self.client_read_bytes
+    }
+
+    /// Client write bytes processed.
+    pub fn client_write_bytes(&self) -> u64 {
+        self.client_write_bytes
+    }
+
+    /// Client read bytes processed.
+    pub fn client_read_bytes(&self) -> u64 {
+        self.client_read_bytes
+    }
+
+    /// Host memory traffic on one path.
+    pub fn mem_bytes(&self, path: MemPath) -> u64 {
+        self.mem_bytes[mem_idx(path)]
+    }
+
+    /// Total host memory traffic.
+    pub fn mem_total(&self) -> u64 {
+        self.mem_bytes.iter().sum()
+    }
+
+    /// Fraction of host-memory traffic on one path (0 when idle).
+    pub fn mem_fraction(&self, path: MemPath) -> f64 {
+        let total = self.mem_total();
+        if total == 0 {
+            0.0
+        } else {
+            self.mem_bytes(path) as f64 / total as f64
+        }
+    }
+
+    /// CPU cycles charged to one task.
+    pub fn cpu_cycles(&self, task: CpuTask) -> u64 {
+        self.cpu_cycles[cpu_idx(task)]
+    }
+
+    /// Total CPU cycles.
+    pub fn cpu_total(&self) -> u64 {
+        self.cpu_cycles.iter().sum()
+    }
+
+    /// Fraction of CPU cycles in one task (0 when idle).
+    pub fn cpu_fraction(&self, task: CpuTask) -> f64 {
+        let total = self.cpu_total();
+        if total == 0 {
+            0.0
+        } else {
+            self.cpu_cycles(task) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of CPU cycles the paper classes as memory/IO management.
+    pub fn cpu_management_fraction(&self) -> f64 {
+        let total = self.cpu_total();
+        if total == 0 {
+            return 0.0;
+        }
+        let mgmt: u64 = CpuTask::ALL
+            .iter()
+            .filter(|t| t.is_management())
+            .map(|&t| self.cpu_cycles(t))
+            .sum();
+        mgmt as f64 / total as f64
+    }
+
+    /// PCIe bytes on one link.
+    pub fn pcie_bytes(&self, link: PcieLink) -> u64 {
+        self.pcie_bytes[link_idx(link)]
+    }
+
+    /// Total PCIe traffic crossing the root complex.
+    pub fn root_complex_bytes(&self) -> u64 {
+        PcieLink::ALL
+            .iter()
+            .filter(|l| l.crosses_root_complex())
+            .map(|&l| self.pcie_bytes(l))
+            .sum()
+    }
+
+    /// Host-memory bytes per client byte (the Figure 4 slope).
+    pub fn mem_bytes_per_client_byte(&self) -> f64 {
+        if self.client_bytes() == 0 {
+            0.0
+        } else {
+            self.mem_total() as f64 / self.client_bytes() as f64
+        }
+    }
+
+    /// CPU cycles per client byte (the Figure 5a slope).
+    pub fn cpu_cycles_per_client_byte(&self) -> f64 {
+        if self.client_bytes() == 0 {
+            0.0
+        } else {
+            self.cpu_total() as f64 / self.client_bytes() as f64
+        }
+    }
+
+    /// Accumulates another ledger into this one.
+    pub fn merge(&mut self, other: &Ledger) {
+        for i in 0..self.mem_bytes.len() {
+            self.mem_bytes[i] += other.mem_bytes[i];
+        }
+        for i in 0..self.cpu_cycles.len() {
+            self.cpu_cycles[i] += other.cpu_cycles[i];
+        }
+        for i in 0..self.pcie_bytes.len() {
+            self.pcie_bytes[i] += other.pcie_bytes[i];
+        }
+        self.fpga_dram_bytes += other.fpga_dram_bytes;
+        self.nic_dram_bytes += other.nic_dram_bytes;
+        self.data_ssd_read_bytes += other.data_ssd_read_bytes;
+        self.data_ssd_write_bytes += other.data_ssd_write_bytes;
+        self.table_ssd_read_bytes += other.table_ssd_read_bytes;
+        self.table_ssd_write_bytes += other.table_ssd_write_bytes;
+        self.client_write_bytes += other.client_write_bytes;
+        self.client_read_bytes += other.client_read_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut l = Ledger::new();
+        l.charge_mem(MemPath::NicBuffering, 100);
+        l.charge_mem(MemPath::FpgaStaging, 300);
+        let total: f64 = MemPath::ALL.iter().map(|&p| l.mem_fraction(p)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((l.mem_fraction(MemPath::FpgaStaging) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ledger_fractions_are_zero() {
+        let l = Ledger::new();
+        assert_eq!(l.mem_fraction(MemPath::TableCache), 0.0);
+        assert_eq!(l.cpu_fraction(CpuTask::TreeIndexing), 0.0);
+        assert_eq!(l.cpu_management_fraction(), 0.0);
+    }
+
+    #[test]
+    fn management_fraction_excludes_other() {
+        let mut l = Ledger::new();
+        l.charge_cpu(CpuTask::TreeIndexing, 60);
+        l.charge_cpu(CpuTask::Other, 40);
+        assert!((l.cpu_management_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn root_complex_excludes_p2p() {
+        let mut l = Ledger::new();
+        l.charge_pcie(PcieLink::NicHost, 100);
+        l.charge_pcie(PcieLink::NicCompressionP2p, 900);
+        assert_eq!(l.root_complex_bytes(), 100);
+    }
+
+    #[test]
+    fn per_client_byte_slopes() {
+        let mut l = Ledger::new();
+        l.add_client_write_bytes(1000);
+        l.charge_mem(MemPath::NicBuffering, 4000);
+        l.charge_cpu(CpuTask::NicDriver, 2000);
+        assert!((l.mem_bytes_per_client_byte() - 4.0).abs() < 1e-12);
+        assert!((l.cpu_cycles_per_client_byte() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates_everything() {
+        let mut a = Ledger::new();
+        a.charge_mem(MemPath::TableCache, 10);
+        a.add_client_write_bytes(5);
+        let mut b = Ledger::new();
+        b.charge_mem(MemPath::TableCache, 20);
+        b.add_client_read_bytes(7);
+        b.fpga_dram_bytes = 3;
+        a.merge(&b);
+        assert_eq!(a.mem_bytes(MemPath::TableCache), 30);
+        assert_eq!(a.client_bytes(), 12);
+        assert_eq!(a.fpga_dram_bytes, 3);
+    }
+
+    #[test]
+    fn all_enums_have_unique_labels() {
+        let mem: std::collections::HashSet<_> = MemPath::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(mem.len(), MemPath::ALL.len());
+        let cpu: std::collections::HashSet<_> = CpuTask::ALL.iter().map(|t| t.label()).collect();
+        assert_eq!(cpu.len(), CpuTask::ALL.len());
+        let links: std::collections::HashSet<_> =
+            PcieLink::ALL.iter().map(|l| l.label()).collect();
+        assert_eq!(links.len(), PcieLink::ALL.len());
+    }
+}

@@ -1,0 +1,50 @@
+//! # fidr-hwsim
+//!
+//! The hardware-resource substrate of the FIDR reproduction. The paper's
+//! evaluation is resource accounting — host memory bandwidth by data path
+//! (Table 1), CPU cycles by task (Figure 5b, Table 2), PCIe bytes by link —
+//! followed by a linear projection onto socket capacities (§7.5). This crate
+//! provides exactly those pieces:
+//!
+//! * [`Ledger`] — byte/cycle counters tagged with [`MemPath`], [`CpuTask`]
+//!   and [`PcieLink`] categories;
+//! * [`ops`] — canned data movements (host-bounce DMA vs P2P) that charge
+//!   the ledger consistently;
+//! * [`CostParams`] / [`PlatformSpec`] / [`TableGeometry`] — calibrated
+//!   constants with their paper citations;
+//! * [`Projection`] — the min-over-resources throughput model behind
+//!   Figures 4, 5, 11, 12 and 14;
+//! * [`report`] — table renderers used by the bench harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use fidr_hwsim::{ops, Ledger, MemPath, PcieLink, PlatformSpec, Projection};
+//!
+//! let mut ledger = Ledger::new();
+//! ledger.add_client_write_bytes(1 << 20);
+//! // A client write bounced NIC → host memory → FPGA.
+//! ops::bounce_via_host(
+//!     &mut ledger,
+//!     PcieLink::NicHost,
+//!     PcieLink::HostCompression,
+//!     MemPath::FpgaStaging,
+//!     1 << 20,
+//! );
+//! let proj = Projection::project(&ledger, &PlatformSpec::default(), &[]);
+//! assert!(proj.achievable > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod des;
+mod ledger;
+pub mod ops;
+mod params;
+mod projection;
+pub mod report;
+
+pub use ledger::{CpuTask, Ledger, MemPath, PcieLink};
+pub use params::{CostParams, PlatformSpec, TableGeometry};
+pub use projection::{Projection, Resource, ResourceCeiling};

@@ -1,0 +1,95 @@
+//! Canned data movements with consistent ledger charging.
+//!
+//! A DMA that bounces through host memory costs PCIe bytes *and* host-DRAM
+//! bytes (one write on ingress, one read on egress); a peer-to-peer
+//! transfer under a PCIe switch costs only link bytes (paper §5.1 idea 2).
+//! Routing every movement through these helpers keeps the Table 1
+//! accounting honest across both systems.
+
+use crate::ledger::{Ledger, MemPath, PcieLink};
+
+/// Device → host memory DMA: charges the PCIe link plus one DRAM write on
+/// the given data path.
+pub fn dma_to_host(ledger: &mut Ledger, link: PcieLink, path: MemPath, bytes: u64) {
+    ledger.charge_pcie(link, bytes);
+    ledger.charge_mem(path, bytes);
+}
+
+/// Host memory → device DMA: one DRAM read plus the PCIe link.
+pub fn dma_from_host(ledger: &mut Ledger, link: PcieLink, path: MemPath, bytes: u64) {
+    ledger.charge_mem(path, bytes);
+    ledger.charge_pcie(link, bytes);
+}
+
+/// CPU touching buffered data in host memory (scan or copy): DRAM traffic
+/// only.
+pub fn cpu_touch(ledger: &mut Ledger, path: MemPath, bytes: u64) {
+    ledger.charge_mem(path, bytes);
+}
+
+/// Peer-to-peer transfer between two devices under a PCIe switch: link
+/// bytes only, host memory fully bypassed.
+pub fn p2p(ledger: &mut Ledger, link: PcieLink, bytes: u64) {
+    debug_assert!(
+        !link.crosses_root_complex(),
+        "p2p used with a host-side link: {link}"
+    );
+    ledger.charge_pcie(link, bytes);
+}
+
+/// Device-to-device bounce through host memory (the baseline's only way to
+/// move data between IO devices): two DMAs, two DRAM touches.
+pub fn bounce_via_host(
+    ledger: &mut Ledger,
+    in_link: PcieLink,
+    out_link: PcieLink,
+    path: MemPath,
+    bytes: u64,
+) {
+    dma_to_host(ledger, in_link, path, bytes);
+    dma_from_host(ledger, out_link, path, bytes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dma_charges_both_sides() {
+        let mut l = Ledger::new();
+        dma_to_host(&mut l, PcieLink::NicHost, MemPath::NicBuffering, 4096);
+        assert_eq!(l.pcie_bytes(PcieLink::NicHost), 4096);
+        assert_eq!(l.mem_bytes(MemPath::NicBuffering), 4096);
+    }
+
+    #[test]
+    fn p2p_bypasses_host_memory() {
+        let mut l = Ledger::new();
+        p2p(&mut l, PcieLink::NicCompressionP2p, 8192);
+        assert_eq!(l.mem_total(), 0);
+        assert_eq!(l.pcie_bytes(PcieLink::NicCompressionP2p), 8192);
+        assert_eq!(l.root_complex_bytes(), 0);
+    }
+
+    #[test]
+    fn bounce_doubles_memory_traffic() {
+        let mut l = Ledger::new();
+        bounce_via_host(
+            &mut l,
+            PcieLink::NicHost,
+            PcieLink::HostCompression,
+            MemPath::FpgaStaging,
+            1000,
+        );
+        assert_eq!(l.mem_total(), 2000);
+        assert_eq!(l.root_complex_bytes(), 2000);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "p2p used with a host-side link")]
+    fn p2p_with_host_link_asserts_in_debug() {
+        let mut l = Ledger::new();
+        p2p(&mut l, PcieLink::NicHost, 1);
+    }
+}

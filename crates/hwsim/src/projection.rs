@@ -1,0 +1,249 @@
+//! Throughput projection from measured ledgers — the paper's §7.5 method.
+//!
+//! "We build a basic simulation model based on our measured CPU utilization,
+//! memory bandwidth and the throughput of FIDR Cache HW-Engine. Then we
+//! project the system throughput assuming a high-end 22-core CPU." This
+//! module implements exactly that: per-client-byte resource demands from a
+//! [`Ledger`] divide the platform capacities, and the minimum wins.
+
+use crate::ledger::{Ledger, PcieLink};
+use crate::params::PlatformSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A resource that can bound throughput.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Resource {
+    /// Socket DRAM bandwidth.
+    HostMemoryBandwidth,
+    /// Socket CPU cycles.
+    CpuCores,
+    /// PCIe root-complex bandwidth.
+    PcieRootComplex,
+    /// A single PCIe device link.
+    PcieLink(String),
+    /// FPGA-board DRAM bandwidth.
+    FpgaDram,
+    /// Data SSD array bandwidth.
+    DataSsd,
+    /// Table SSD bandwidth.
+    TableSsd,
+    /// A caller-supplied limit (e.g. the Cache HW-Engine op rate).
+    Custom(String),
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::HostMemoryBandwidth => write!(f, "host memory bandwidth"),
+            Resource::CpuCores => write!(f, "CPU cores"),
+            Resource::PcieRootComplex => write!(f, "PCIe root complex"),
+            Resource::PcieLink(l) => write!(f, "PCIe link ({l})"),
+            Resource::FpgaDram => write!(f, "FPGA-board DRAM"),
+            Resource::DataSsd => write!(f, "data SSDs"),
+            Resource::TableSsd => write!(f, "table SSDs"),
+            Resource::Custom(name) => write!(f, "{name}"),
+        }
+    }
+}
+
+/// One resource's throughput ceiling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceCeiling {
+    /// Which resource.
+    pub resource: Resource,
+    /// Maximum client throughput this resource alone permits, bytes/s
+    /// (`f64::INFINITY` when the run never touched it).
+    pub max_throughput: f64,
+    /// Demand per client byte (bytes or cycles per byte).
+    pub demand_per_byte: f64,
+}
+
+/// Projection of a ledger onto a platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Projection {
+    /// Ceiling per resource, sorted most-binding first.
+    pub ceilings: Vec<ResourceCeiling>,
+    /// Achievable client throughput in bytes/s.
+    pub achievable: f64,
+}
+
+impl Projection {
+    /// Projects `ledger` onto `platform`, with optional extra custom
+    /// ceilings in bytes/s (e.g. the HW-tree's measured rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ledger recorded no client bytes.
+    pub fn project(ledger: &Ledger, platform: &PlatformSpec, extra: &[(String, f64)]) -> Self {
+        let client = ledger.client_bytes();
+        assert!(client > 0, "projection requires processed client bytes");
+        let clientf = client as f64;
+
+        let mut ceilings = Vec::new();
+        let mut push = |resource: Resource, capacity: f64, demand: f64| {
+            let demand_per_byte = demand / clientf;
+            let max_throughput = if demand_per_byte > 0.0 {
+                capacity / demand_per_byte
+            } else {
+                f64::INFINITY
+            };
+            ceilings.push(ResourceCeiling {
+                resource,
+                max_throughput,
+                demand_per_byte,
+            });
+        };
+
+        push(
+            Resource::HostMemoryBandwidth,
+            platform.mem_bw,
+            ledger.mem_total() as f64,
+        );
+        push(
+            Resource::CpuCores,
+            platform.cpu_capacity(),
+            ledger.cpu_total() as f64,
+        );
+        push(
+            Resource::PcieRootComplex,
+            platform.pcie_bw,
+            ledger.root_complex_bytes() as f64,
+        );
+        for link in PcieLink::ALL {
+            let bytes = ledger.pcie_bytes(link);
+            if bytes > 0 {
+                push(
+                    Resource::PcieLink(link.label().to_string()),
+                    platform.pcie_link_bw * platform.pcie_links_per_class,
+                    bytes as f64,
+                );
+            }
+        }
+        push(
+            Resource::FpgaDram,
+            platform.fpga_dram_bw,
+            ledger.fpga_dram_bytes as f64,
+        );
+        push(
+            Resource::DataSsd,
+            platform.data_ssd_bw,
+            (ledger.data_ssd_read_bytes + ledger.data_ssd_write_bytes) as f64,
+        );
+        push(
+            Resource::TableSsd,
+            platform.table_ssd_bw,
+            (ledger.table_ssd_read_bytes + ledger.table_ssd_write_bytes) as f64,
+        );
+        for (name, limit) in extra {
+            ceilings.push(ResourceCeiling {
+                resource: Resource::Custom(name.clone()),
+                max_throughput: *limit,
+                demand_per_byte: f64::NAN,
+            });
+        }
+
+        ceilings.sort_by(|a, b| {
+            a.max_throughput
+                .partial_cmp(&b.max_throughput)
+                .expect("no NaN throughput")
+        });
+        let achievable = ceilings
+            .first()
+            .map(|c| c.max_throughput)
+            .unwrap_or(f64::INFINITY);
+        Projection {
+            ceilings,
+            achievable,
+        }
+    }
+
+    /// The most binding resource.
+    pub fn bottleneck(&self) -> &Resource {
+        &self.ceilings[0].resource
+    }
+
+    /// Host-memory bandwidth needed (bytes/s) to sustain `throughput`
+    /// bytes/s of client traffic — the y-axis of Figure 4.
+    pub fn mem_bw_needed(ledger: &Ledger, throughput: f64) -> f64 {
+        ledger.mem_bytes_per_client_byte() * throughput
+    }
+
+    /// CPU cores needed at `throughput` bytes/s — the y-axis of Figure 5a.
+    pub fn cores_needed(ledger: &Ledger, platform: &PlatformSpec, throughput: f64) -> f64 {
+        ledger.cpu_cycles_per_client_byte() * throughput / platform.core_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::{CpuTask, MemPath};
+
+    fn sample_ledger() -> Ledger {
+        let mut l = Ledger::new();
+        l.add_client_write_bytes(1_000_000);
+        // 4 bytes of memory traffic and 2 cycles per client byte.
+        l.charge_mem(MemPath::NicBuffering, 4_000_000);
+        l.charge_cpu(CpuTask::TreeIndexing, 2_000_000);
+        l
+    }
+
+    #[test]
+    fn memory_bound_projection() {
+        let l = sample_ledger();
+        let p = PlatformSpec::default();
+        let proj = Projection::project(&l, &p, &[]);
+        // mem: 170e9 / 4 = 42.5 GB/s; cpu: 48.4e9 / 2 = 24.2 GB/s → CPU binds.
+        assert_eq!(*proj.bottleneck(), Resource::CpuCores);
+        assert!((proj.achievable - 24.2e9).abs() / 24.2e9 < 1e-9);
+    }
+
+    #[test]
+    fn mem_bw_needed_is_linear() {
+        let l = sample_ledger();
+        let need = Projection::mem_bw_needed(&l, 75e9);
+        assert!((need - 300e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn cores_needed_scales_with_throughput() {
+        let l = sample_ledger();
+        let p = PlatformSpec::default();
+        let n75 = Projection::cores_needed(&l, &p, 75e9);
+        let n150 = Projection::cores_needed(&l, &p, 150e9);
+        assert!((n75 - 75e9 * 2.0 / 2.2e9).abs() < 1e-6);
+        assert!((n150 / n75 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_limit_can_bind() {
+        let l = sample_ledger();
+        let p = PlatformSpec::default();
+        let proj = Projection::project(&l, &p, &[("hw-tree".to_string(), 1e9)]);
+        assert_eq!(
+            *proj.bottleneck(),
+            Resource::Custom("hw-tree".to_string())
+        );
+        assert!((proj.achievable - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn untouched_resources_are_unbounded() {
+        let l = sample_ledger();
+        let p = PlatformSpec::default();
+        let proj = Projection::project(&l, &p, &[]);
+        let fpga = proj
+            .ceilings
+            .iter()
+            .find(|c| c.resource == Resource::FpgaDram)
+            .unwrap();
+        assert!(fpga.max_throughput.is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "client bytes")]
+    fn projecting_empty_ledger_panics() {
+        Projection::project(&Ledger::new(), &PlatformSpec::default(), &[]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Formatting helpers that render ledgers as the paper's tables.
+//!
+//! The bench binaries print their results through these functions so every
+//! experiment emits the same row layout as the corresponding paper table.
+
+use crate::ledger::{CpuTask, Ledger, MemPath};
+use crate::params::PlatformSpec;
+use crate::projection::Projection;
+use std::fmt::Write as _;
+
+/// Renders the Table 1 memory-bandwidth breakdown for one ledger.
+pub fn memory_breakdown_table(ledger: &Ledger) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<36} {:>10} {:>14}", "Data Path", "Memory BW", "Bytes");
+    for path in MemPath::ALL {
+        let _ = writeln!(
+            out,
+            "{:<36} {:>9.1}% {:>14}",
+            path.label(),
+            ledger.mem_fraction(path) * 100.0,
+            ledger.mem_bytes(path)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<36} {:>10} {:>14}",
+        "total",
+        "100.0%",
+        ledger.mem_total()
+    );
+    out
+}
+
+/// Renders the Figure 5b / Table 2 CPU utilization breakdown.
+pub fn cpu_breakdown_table(ledger: &Ledger) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<34} {:>9} {:>16}", "Component", "CPU util", "Cycles");
+    for task in CpuTask::ALL {
+        let cycles = ledger.cpu_cycles(task);
+        if cycles == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{:<34} {:>8.1}% {:>16}",
+            task.label(),
+            ledger.cpu_fraction(task) * 100.0,
+            cycles
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<34} {:>8.1}% {:>16}",
+        "memory/IO management subtotal",
+        ledger.cpu_management_fraction() * 100.0,
+        ""
+    );
+    out
+}
+
+/// Renders the projection ceilings (most binding first).
+pub fn projection_table(ledger: &Ledger, platform: &PlatformSpec, extra: &[(String, f64)]) -> String {
+    let proj = Projection::project(ledger, platform, extra);
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<34} {:>16}", "Resource", "Ceiling (GB/s)");
+    for c in &proj.ceilings {
+        let ceiling = if c.max_throughput.is_infinite() {
+            "unbounded".to_string()
+        } else {
+            format!("{:.1}", c.max_throughput / 1e9)
+        };
+        let _ = writeln!(out, "{:<34} {:>16}", c.resource.to_string(), ceiling);
+    }
+    let _ = writeln!(
+        out,
+        "achievable: {:.1} GB/s (bottleneck: {})",
+        proj.achievable / 1e9,
+        proj.bottleneck()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger() -> Ledger {
+        let mut l = Ledger::new();
+        l.add_client_write_bytes(1000);
+        l.charge_mem(MemPath::NicBuffering, 500);
+        l.charge_mem(MemPath::TableCache, 1500);
+        l.charge_cpu(CpuTask::TreeIndexing, 800);
+        l.charge_cpu(CpuTask::Other, 200);
+        l
+    }
+
+    #[test]
+    fn memory_table_contains_all_rows_and_percentages() {
+        let s = memory_breakdown_table(&ledger());
+        assert!(s.contains("NIC <-> host memory"));
+        assert!(s.contains("25.0%"));
+        assert!(s.contains("75.0%"));
+        assert!(s.contains("total"));
+    }
+
+    #[test]
+    fn cpu_table_skips_untouched_tasks() {
+        let s = cpu_breakdown_table(&ledger());
+        assert!(s.contains("table cache tree indexing"));
+        assert!(!s.contains("unique chunk predictor"));
+        assert!(s.contains("80.0%"));
+    }
+
+    #[test]
+    fn projection_table_names_bottleneck() {
+        let s = projection_table(&ledger(), &PlatformSpec::default(), &[]);
+        assert!(s.contains("achievable:"));
+        assert!(s.contains("bottleneck:"));
+    }
+}

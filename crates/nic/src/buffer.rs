@@ -1,0 +1,366 @@
+//! The FIDR NIC: in-NIC buffering, hash offload and read LBA lookup.
+//!
+//! Paper §5.4: the NIC "buffers data and LBAs in its respective in-NIC
+//! buffers, hashes each chunk of a batch of requests and sends the hash
+//! values to the host"; for reads, the "LBA Lookup module scans the LBA
+//! buffer of write requests to find a possible match". Buffering is
+//! battery-backed, so write completion is acknowledged the moment the
+//! chunk lands in the buffer (§7.6.1).
+
+use bytes::Bytes;
+use fidr_chunk::Lba;
+use fidr_hash::Fingerprint;
+use std::collections::{HashMap, VecDeque};
+
+/// A chunk the NIC has hashed, ready for host-side dedup lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashedChunk {
+    /// Client logical address.
+    pub lba: Lba,
+    /// Chunk payload, still resident in NIC DRAM.
+    pub data: Bytes,
+    /// SHA-256 fingerprint computed by the in-NIC hash cores.
+    pub fingerprint: Fingerprint,
+}
+
+/// NIC-side counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NicStats {
+    /// Write chunks accepted into the buffer.
+    pub writes_buffered: u64,
+    /// Bytes currently resident in NIC DRAM.
+    pub resident_bytes: u64,
+    /// Peak NIC DRAM residency.
+    pub peak_resident_bytes: u64,
+    /// Chunks hashed by the in-NIC SHA cores.
+    pub chunks_hashed: u64,
+    /// Read requests served straight from the in-NIC write buffer.
+    pub read_buffer_hits: u64,
+    /// Read requests forwarded to the host.
+    pub read_buffer_misses: u64,
+}
+
+/// The FIDR NIC write buffer + hash engine + LBA lookup.
+///
+/// Lifecycle: [`accept_write`](FidrNic::accept_write) buffers and acks;
+/// [`take_hash_batch`](FidrNic::take_hash_batch) drains pending chunks
+/// through the SHA cores; [`complete`](FidrNic::complete) releases a
+/// chunk's buffer space once the backend has committed it. Chunks stay
+/// visible to [`lookup_read`](FidrNic::lookup_read) until completed.
+///
+/// # Examples
+///
+/// ```
+/// use fidr_nic::FidrNic;
+/// use fidr_chunk::Lba;
+/// use bytes::Bytes;
+///
+/// let mut nic = FidrNic::new(1 << 20);
+/// nic.accept_write(Lba(3), Bytes::from(vec![1u8; 4096]));
+/// assert!(nic.lookup_read(Lba(3)).is_some()); // served from the buffer
+/// let batch = nic.take_hash_batch(16);
+/// assert_eq!(batch.len(), 1);
+/// nic.complete(Lba(3));
+/// assert!(nic.lookup_read(Lba(3)).is_none());
+/// ```
+#[derive(Debug, Default)]
+pub struct FidrNic {
+    /// LBA → newest buffered payload (write buffer + LBA buffer combined).
+    buffer: HashMap<Lba, Bytes>,
+    /// LBAs waiting to be hashed, oldest first.
+    pending: VecDeque<Lba>,
+    capacity_bytes: u64,
+    stats: NicStats,
+}
+
+impl FidrNic {
+    /// Creates a NIC with `capacity_bytes` of battery-backed buffer DRAM.
+    pub fn new(capacity_bytes: u64) -> Self {
+        FidrNic {
+            buffer: HashMap::new(),
+            pending: VecDeque::new(),
+            capacity_bytes,
+            stats: NicStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> NicStats {
+        self.stats
+    }
+
+    /// Whether the buffer can take another `bytes`-byte chunk without
+    /// exceeding its DRAM capacity.
+    pub fn has_room(&self, bytes: u64) -> bool {
+        self.stats.resident_bytes + bytes <= self.capacity_bytes
+    }
+
+    /// Chunks awaiting hashing.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Accepts a client write; the chunk is durably buffered (battery-
+    /// backed) so the caller can acknowledge the client immediately.
+    ///
+    /// An overwrite of a still-buffered LBA supersedes the old payload.
+    pub fn accept_write(&mut self, lba: Lba, data: Bytes) {
+        let len = data.len() as u64;
+        if let Some(old) = self.buffer.insert(lba, data) {
+            self.stats.resident_bytes -= old.len() as u64;
+            // The superseded write no longer needs hashing.
+            self.pending.retain(|&l| l != lba);
+        }
+        self.stats.resident_bytes += len;
+        self.stats.peak_resident_bytes =
+            self.stats.peak_resident_bytes.max(self.stats.resident_bytes);
+        self.stats.writes_buffered += 1;
+        self.pending.push_back(lba);
+    }
+
+    /// Runs up to `max` pending chunks through the in-NIC SHA-256 cores
+    /// (§5.3 step 2). Chunks remain buffered and read-visible.
+    pub fn take_hash_batch(&mut self, max: usize) -> Vec<HashedChunk> {
+        self.take_hash_batch_with_engines(max, 1)
+    }
+
+    /// Like [`take_hash_batch`](FidrNic::take_hash_batch) but fans the
+    /// batch out across `engines` parallel SHA cores — the prototype NIC
+    /// instantiates multiple hash cores to sustain line rate (§6.2). The
+    /// result is byte-identical to the sequential path; only wall-clock
+    /// changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engines` is zero.
+    pub fn take_hash_batch_with_engines(&mut self, max: usize, engines: usize) -> Vec<HashedChunk> {
+        assert!(engines > 0, "need at least one hash engine");
+        let n = max.min(self.pending.len());
+        let mut staged: Vec<(Lba, Bytes)> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let lba = self.pending.pop_front().expect("len checked");
+            let data = self.buffer.get(&lba).expect("pending LBA buffered").clone();
+            staged.push((lba, data));
+        }
+        self.stats.chunks_hashed += staged.len() as u64;
+
+        if engines == 1 || staged.len() < 2 {
+            return staged
+                .into_iter()
+                .map(|(lba, data)| {
+                    let fingerprint = Fingerprint::of(&data);
+                    HashedChunk {
+                        lba,
+                        data,
+                        fingerprint,
+                    }
+                })
+                .collect();
+        }
+
+        // Fan out across scoped worker threads, one slice per engine;
+        // order is preserved by reassembling slices in place.
+        let engines = engines.min(staged.len());
+        let per_engine = staged.len().div_ceil(engines);
+        let mut out: Vec<Option<HashedChunk>> = (0..staged.len()).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            for (slice_in, slice_out) in staged
+                .chunks(per_engine)
+                .zip(out.chunks_mut(per_engine))
+            {
+                scope.spawn(move |_| {
+                    for ((lba, data), slot) in slice_in.iter().zip(slice_out.iter_mut()) {
+                        *slot = Some(HashedChunk {
+                            lba: *lba,
+                            data: data.clone(),
+                            fingerprint: Fingerprint::of(data),
+                        });
+                    }
+                });
+            }
+        })
+        .expect("hash engine thread panicked");
+        out.into_iter().map(|c| c.expect("every slot filled")).collect()
+    }
+
+    /// The read path's LBA-lookup module (§5.3 read step 2): serves a read
+    /// from the write buffer when the address is still resident.
+    pub fn lookup_read(&mut self, lba: Lba) -> Option<Bytes> {
+        match self.buffer.get(&lba) {
+            Some(data) => {
+                self.stats.read_buffer_hits += 1;
+                Some(data.clone())
+            }
+            None => {
+                self.stats.read_buffer_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Releases a chunk's buffer space after the backend committed it.
+    /// A no-op if the LBA was superseded or already completed.
+    pub fn complete(&mut self, lba: Lba) {
+        // Don't drop a payload that still awaits hashing (it was
+        // overwritten after this batch was taken).
+        if self.pending.contains(&lba) {
+            return;
+        }
+        if let Some(old) = self.buffer.remove(&lba) {
+            self.stats.resident_bytes -= old.len() as u64;
+        }
+    }
+}
+
+/// The NIC's compression scheduler (§5.4): filters a hashed batch down to
+/// the chunks the host flagged unique, preserving order — only these cross
+/// PCIe to the Compression Engines.
+///
+/// # Panics
+///
+/// Panics if `unique_flags` and `batch` lengths differ.
+pub fn schedule_unique(batch: Vec<HashedChunk>, unique_flags: &[bool]) -> Vec<HashedChunk> {
+    assert_eq!(
+        batch.len(),
+        unique_flags.len(),
+        "one flag per hashed chunk"
+    );
+    batch
+        .into_iter()
+        .zip(unique_flags)
+        .filter_map(|(c, &u)| u.then_some(c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(b: u8) -> Bytes {
+        Bytes::from(vec![b; 4096])
+    }
+
+    #[test]
+    fn buffer_then_hash_then_complete() {
+        let mut nic = FidrNic::new(1 << 20);
+        nic.accept_write(Lba(1), chunk(1));
+        nic.accept_write(Lba(2), chunk(2));
+        assert_eq!(nic.pending_len(), 2);
+        let batch = nic.take_hash_batch(10);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].lba, Lba(1));
+        assert_eq!(
+            batch[0].fingerprint,
+            Fingerprint::of(&chunk(1))
+        );
+        nic.complete(Lba(1));
+        nic.complete(Lba(2));
+        assert_eq!(nic.stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn overwrite_supersedes_pending() {
+        let mut nic = FidrNic::new(1 << 20);
+        nic.accept_write(Lba(5), chunk(1));
+        nic.accept_write(Lba(5), chunk(2));
+        let batch = nic.take_hash_batch(10);
+        assert_eq!(batch.len(), 1, "superseded write dropped from hashing");
+        assert_eq!(batch[0].data, chunk(2));
+        assert_eq!(nic.stats().resident_bytes, 4096);
+    }
+
+    #[test]
+    fn read_hits_inflight_writes() {
+        let mut nic = FidrNic::new(1 << 20);
+        nic.accept_write(Lba(9), chunk(7));
+        assert_eq!(nic.lookup_read(Lba(9)), Some(chunk(7)));
+        assert_eq!(nic.lookup_read(Lba(10)), None);
+        let s = nic.stats();
+        assert_eq!(s.read_buffer_hits, 1);
+        assert_eq!(s.read_buffer_misses, 1);
+    }
+
+    #[test]
+    fn complete_does_not_drop_rewritten_chunk() {
+        let mut nic = FidrNic::new(1 << 20);
+        nic.accept_write(Lba(1), chunk(1));
+        let _batch = nic.take_hash_batch(1);
+        nic.accept_write(Lba(1), chunk(2)); // rewrite lands before commit
+        nic.complete(Lba(1));
+        assert_eq!(
+            nic.lookup_read(Lba(1)),
+            Some(chunk(2)),
+            "newer payload must survive the older commit"
+        );
+    }
+
+    #[test]
+    fn capacity_accounting_peaks() {
+        let mut nic = FidrNic::new(3 * 4096);
+        nic.accept_write(Lba(1), chunk(1));
+        nic.accept_write(Lba(2), chunk(2));
+        assert!(nic.has_room(4096));
+        nic.accept_write(Lba(3), chunk(3));
+        assert!(!nic.has_room(4096));
+        assert_eq!(nic.stats().peak_resident_bytes, 3 * 4096);
+    }
+
+    #[test]
+    fn scheduler_keeps_only_unique() {
+        let mut nic = FidrNic::new(1 << 20);
+        for i in 0..4 {
+            nic.accept_write(Lba(i), chunk(i as u8));
+        }
+        let batch = nic.take_hash_batch(4);
+        let unique = schedule_unique(batch, &[true, false, false, true]);
+        assert_eq!(unique.len(), 2);
+        assert_eq!(unique[0].lba, Lba(0));
+        assert_eq!(unique[1].lba, Lba(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "one flag per hashed chunk")]
+    fn scheduler_flag_mismatch_panics() {
+        schedule_unique(Vec::new(), &[true]);
+    }
+
+    #[test]
+    fn parallel_engines_match_sequential() {
+        let mut seq = FidrNic::new(1 << 22);
+        let mut par = FidrNic::new(1 << 22);
+        for i in 0..33u64 {
+            let data = Bytes::from(vec![(i % 251) as u8; 4096]);
+            seq.accept_write(Lba(i), data.clone());
+            par.accept_write(Lba(i), data);
+        }
+        let a = seq.take_hash_batch(33);
+        let b = par.take_hash_batch_with_engines(33, 4);
+        assert_eq!(a, b, "parallel hashing must be byte-identical in order");
+        assert_eq!(par.stats().chunks_hashed, 33);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hash engine")]
+    fn zero_engines_panics() {
+        FidrNic::new(1024).take_hash_batch_with_engines(1, 0);
+    }
+
+    #[test]
+    fn completing_unknown_lba_is_harmless() {
+        let mut nic = FidrNic::new(1 << 20);
+        nic.complete(Lba(999));
+        assert_eq!(nic.stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn overwrite_does_not_leak_capacity() {
+        let mut nic = FidrNic::new(2 * 4096);
+        for _ in 0..10 {
+            nic.accept_write(Lba(1), chunk(1));
+        }
+        assert_eq!(nic.stats().resident_bytes, 4096);
+        assert!(nic.has_room(4096));
+        let batch = nic.take_hash_batch(10);
+        assert_eq!(batch.len(), 1, "only the surviving payload hashes");
+    }
+}

@@ -1,0 +1,198 @@
+//! The simplified storage wire protocol.
+//!
+//! Paper §6.2: "We made a simplified protocol (instead of a complete
+//! protocol like iSCSI) … The encoding mainly includes the operation type
+//! (i.e., read, write or acknowledgment), the requested address (i.e.,
+//! LBA) and data", with a read-wait-ack(data) / write-wait-ack flow.
+//!
+//! Frame layout: 1-byte opcode, 8-byte little-endian LBA, 4-byte
+//! little-endian payload length, payload.
+
+use bytes::Bytes;
+use fidr_chunk::Lba;
+use std::fmt;
+
+/// Frame header size: opcode + LBA + length.
+pub const HEADER_BYTES: usize = 1 + 8 + 4;
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Client → server write of `data` at `lba`.
+    Write {
+        /// Target block.
+        lba: Lba,
+        /// Payload.
+        data: Bytes,
+    },
+    /// Client → server read request.
+    Read {
+        /// Block to read.
+        lba: Lba,
+    },
+    /// Server → client write acknowledgment.
+    WriteAck {
+        /// Block acknowledged.
+        lba: Lba,
+    },
+    /// Server → client read reply carrying data.
+    ReadReply {
+        /// Block read.
+        lba: Lba,
+        /// Payload.
+        data: Bytes,
+    },
+}
+
+/// Error returned when decoding a malformed frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Fewer bytes than a header.
+    Truncated,
+    /// Opcode byte not recognised.
+    BadOpcode(u8),
+    /// Declared payload extends past the buffer.
+    BadLength,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Truncated => write!(f, "frame shorter than header"),
+            ProtocolError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            ProtocolError::BadLength => write!(f, "payload length exceeds frame"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl Message {
+    fn opcode(&self) -> u8 {
+        match self {
+            Message::Write { .. } => 0x01,
+            Message::Read { .. } => 0x02,
+            Message::WriteAck { .. } => 0x03,
+            Message::ReadReply { .. } => 0x04,
+        }
+    }
+
+    fn lba(&self) -> Lba {
+        match self {
+            Message::Write { lba, .. }
+            | Message::Read { lba }
+            | Message::WriteAck { lba }
+            | Message::ReadReply { lba, .. } => *lba,
+        }
+    }
+
+    fn payload(&self) -> &[u8] {
+        match self {
+            Message::Write { data, .. } | Message::ReadReply { data, .. } => data,
+            _ => &[],
+        }
+    }
+
+    /// Encodes the message into a frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let payload = self.payload();
+        let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
+        out.push(self.opcode());
+        out.extend_from_slice(&self.lba().0.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    /// Decodes one frame from the front of `buf`, returning the message
+    /// and the bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on truncation, a bad opcode, or a payload
+    /// length that overruns the buffer.
+    pub fn decode(buf: &[u8]) -> Result<(Message, usize), ProtocolError> {
+        if buf.len() < HEADER_BYTES {
+            return Err(ProtocolError::Truncated);
+        }
+        let opcode = buf[0];
+        let lba = Lba(u64::from_le_bytes(buf[1..9].try_into().expect("8 bytes")));
+        let len = u32::from_le_bytes(buf[9..13].try_into().expect("4 bytes")) as usize;
+        let end = HEADER_BYTES + len;
+        if end > buf.len() {
+            return Err(ProtocolError::BadLength);
+        }
+        let data = Bytes::copy_from_slice(&buf[HEADER_BYTES..end]);
+        let msg = match opcode {
+            0x01 => Message::Write { lba, data },
+            0x02 => Message::Read { lba },
+            0x03 => Message::WriteAck { lba },
+            0x04 => Message::ReadReply { lba, data },
+            other => return Err(ProtocolError::BadOpcode(other)),
+        };
+        Ok((msg, end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let msgs = vec![
+            Message::Write {
+                lba: Lba(7),
+                data: Bytes::from(vec![1, 2, 3]),
+            },
+            Message::Read { lba: Lba(9) },
+            Message::WriteAck { lba: Lba(7) },
+            Message::ReadReply {
+                lba: Lba(9),
+                data: Bytes::from(vec![4, 5]),
+            },
+        ];
+        for msg in msgs {
+            let frame = msg.encode();
+            let (decoded, used) = Message::decode(&frame).unwrap();
+            assert_eq!(decoded, msg);
+            assert_eq!(used, frame.len());
+        }
+    }
+
+    #[test]
+    fn decode_stream_of_frames() {
+        let mut stream = Vec::new();
+        stream.extend(Message::Read { lba: Lba(1) }.encode());
+        stream.extend(
+            Message::Write {
+                lba: Lba(2),
+                data: Bytes::from(vec![0u8; 100]),
+            }
+            .encode(),
+        );
+        let (m1, used1) = Message::decode(&stream).unwrap();
+        assert_eq!(m1, Message::Read { lba: Lba(1) });
+        let (m2, used2) = Message::decode(&stream[used1..]).unwrap();
+        assert!(matches!(m2, Message::Write { lba: Lba(2), .. }));
+        assert_eq!(used1 + used2, stream.len());
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        assert_eq!(Message::decode(&[1, 2]).unwrap_err(), ProtocolError::Truncated);
+        let mut frame = Message::Read { lba: Lba(0) }.encode();
+        frame[0] = 0x7f;
+        assert_eq!(
+            Message::decode(&frame).unwrap_err(),
+            ProtocolError::BadOpcode(0x7f)
+        );
+        let mut frame = Message::Write {
+            lba: Lba(0),
+            data: Bytes::from(vec![0u8; 10]),
+        }
+        .encode();
+        frame.truncate(frame.len() - 1);
+        assert_eq!(Message::decode(&frame).unwrap_err(), ProtocolError::BadLength);
+    }
+}

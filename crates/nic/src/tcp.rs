@@ -1,0 +1,145 @@
+//! TCP offload engine model (paper §6.2).
+//!
+//! "The TCP offload engines in our implementation consist of two 32 Gbps
+//! instances and are optimized for large network packets (i.e., the common
+//! scenario for a storage environment that a client requests data blocks
+//! larger than 1 KB)." The model captures what matters downstream: each
+//! engine's line rate, per-packet framing overhead (which is why small
+//! packets hurt), and ingest time for a request stream — the NIC-side
+//! ceiling a FIDR deployment sizes against.
+
+use std::time::Duration;
+
+/// Ethernet + TCP/IP framing overhead per packet, bytes (14 + 20 + 20 +
+/// 12 options, rounded).
+const FRAME_OVERHEAD_BYTES: u64 = 66;
+/// Maximum TCP segment payload (standard 1500-byte MTU).
+const MSS_BYTES: u64 = 1_434;
+
+/// One TCP offload engine instance.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpOffloadEngine {
+    /// Line rate in bits/second (32 Gbps per instance in the prototype).
+    pub line_rate_bps: f64,
+}
+
+impl Default for TcpOffloadEngine {
+    fn default() -> Self {
+        TcpOffloadEngine {
+            line_rate_bps: 32e9,
+        }
+    }
+}
+
+impl TcpOffloadEngine {
+    /// Wire bytes needed to carry `payload` bytes, including per-segment
+    /// framing.
+    pub fn wire_bytes(payload: u64) -> u64 {
+        if payload == 0 {
+            return FRAME_OVERHEAD_BYTES;
+        }
+        let segments = payload.div_ceil(MSS_BYTES);
+        payload + segments * FRAME_OVERHEAD_BYTES
+    }
+
+    /// Time to ingest `payload` bytes on this engine.
+    pub fn ingest_time(&self, payload: u64) -> Duration {
+        Duration::from_secs_f64(Self::wire_bytes(payload) as f64 * 8.0 / self.line_rate_bps)
+    }
+
+    /// Effective payload bandwidth (bytes/s) at a given request size —
+    /// small requests lose more to framing, which is why §6.2 optimizes
+    /// for blocks larger than 1 KB.
+    pub fn goodput(&self, request_bytes: u64) -> f64 {
+        request_bytes as f64 / self.ingest_time(request_bytes).as_secs_f64()
+    }
+}
+
+/// The NIC's front end: several offload engine instances load-balanced
+/// across connections.
+#[derive(Debug, Clone)]
+pub struct TcpFrontEnd {
+    engines: Vec<TcpOffloadEngine>,
+}
+
+impl Default for TcpFrontEnd {
+    fn default() -> Self {
+        // The prototype's two 32-Gbps instances (64 Gbps NIC).
+        TcpFrontEnd::new(2, 32e9)
+    }
+}
+
+impl TcpFrontEnd {
+    /// Creates `instances` engines at `line_rate_bps` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances` is zero.
+    pub fn new(instances: usize, line_rate_bps: f64) -> Self {
+        assert!(instances > 0, "need at least one offload engine");
+        TcpFrontEnd {
+            engines: vec![TcpOffloadEngine { line_rate_bps }; instances],
+        }
+    }
+
+    /// Aggregate payload bandwidth at a request size (bytes/s).
+    pub fn aggregate_goodput(&self, request_bytes: u64) -> f64 {
+        self.engines
+            .iter()
+            .map(|e| e.goodput(request_bytes))
+            .sum()
+    }
+
+    /// The client-throughput ceiling this front end imposes on the
+    /// system, for the projection's extra-limits slot.
+    pub fn throughput_ceiling(&self, request_bytes: u64) -> f64 {
+        self.aggregate_goodput(request_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_include_per_segment_framing() {
+        // A 4-KB chunk spans 3 segments at a 1434-byte MSS.
+        assert_eq!(TcpOffloadEngine::wire_bytes(4096), 4096 + 3 * 66);
+        assert_eq!(TcpOffloadEngine::wire_bytes(100), 100 + 66);
+    }
+
+    #[test]
+    fn small_requests_lose_goodput() {
+        let e = TcpOffloadEngine::default();
+        let small = e.goodput(512);
+        let large = e.goodput(4096);
+        assert!(large > small, "framing should penalize small requests");
+        // 4-KB requests keep >90% of line rate as payload.
+        assert!(large * 8.0 / e.line_rate_bps > 0.9);
+    }
+
+    #[test]
+    fn prototype_front_end_is_64_gbps_class() {
+        let fe = TcpFrontEnd::default();
+        let goodput_gbps = fe.aggregate_goodput(4096) * 8.0 / 1e9;
+        assert!(
+            goodput_gbps > 58.0 && goodput_gbps < 64.0,
+            "4-KB goodput {goodput_gbps} Gbps"
+        );
+    }
+
+    #[test]
+    fn ingest_time_scales_with_payload() {
+        let e = TcpOffloadEngine::default();
+        let t1 = e.ingest_time(4096);
+        let t2 = e.ingest_time(8192);
+        assert!(t2 > t1);
+        // ~1 µs per 4-KB chunk at 32 Gbps.
+        assert!((t1.as_secs_f64() - 1.07e-6).abs() < 0.1e-6);
+    }
+
+    #[test]
+    fn empty_payload_still_costs_a_frame() {
+        assert_eq!(TcpOffloadEngine::wire_bytes(0), 66);
+    }
+}

@@ -1,0 +1,241 @@
+//! The data-SSD array: container-granular writes, chunk-granular reads.
+//!
+//! Compressed unique chunks are packed into ~4-MB containers and written
+//! sequentially ("Write requests to data SSDs for the compressed chunks are
+//! sequential", paper §6.1); reads fetch one compressed chunk at its PBA.
+
+use crate::nvme::{QueueLocation, SsdSpec, SsdStats};
+use fidr_chunk::Pba;
+use fidr_tables::{Container, ContainerReadError, CHUNK_HEADER_BYTES};
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Duration;
+
+/// Error returned by data-SSD reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataSsdError {
+    /// The PBA references a container the array never stored.
+    UnknownContainer(u64),
+    /// The container rejected the region (bounds/encoding/decompress).
+    Corrupt(ContainerReadError),
+}
+
+impl fmt::Display for DataSsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataSsdError::UnknownContainer(id) => write!(f, "unknown container {id}"),
+            DataSsdError::Corrupt(e) => write!(f, "corrupt chunk region: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataSsdError {}
+
+/// An array of data SSDs storing sealed containers.
+///
+/// # Examples
+///
+/// ```
+/// use fidr_ssd::DataSsdArray;
+/// use fidr_tables::ContainerBuilder;
+/// use fidr_compress::CompressedChunk;
+///
+/// let mut array = DataSsdArray::new(2);
+/// let mut builder = ContainerBuilder::new(0, 4096);
+/// let slot = builder.append(&CompressedChunk::compress(&vec![5u8; 4096]));
+/// array.write_container(builder.seal());
+/// let pba = fidr_chunk::Pba { container: 0, offset: slot.offset, compressed_len: slot.compressed_len };
+/// assert_eq!(array.read_chunk(pba)?, vec![5u8; 4096]);
+/// # Ok::<(), fidr_ssd::DataSsdError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DataSsdArray {
+    spec: SsdSpec,
+    devices: u32,
+    containers: HashMap<u64, Container>,
+    stats: SsdStats,
+    queue_location: QueueLocation,
+}
+
+impl DataSsdArray {
+    /// Creates an array of `devices` SSDs with default specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is zero.
+    pub fn new(devices: u32) -> Self {
+        Self::with_spec(devices, SsdSpec::default())
+    }
+
+    /// Creates an array with an explicit per-device spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is zero.
+    pub fn with_spec(devices: u32, spec: SsdSpec) -> Self {
+        assert!(devices > 0, "array needs at least one device");
+        DataSsdArray {
+            spec,
+            devices,
+            containers: HashMap::new(),
+            stats: SsdStats::default(),
+            queue_location: QueueLocation::HostMemory,
+        }
+    }
+
+    /// Aggregate sequential write bandwidth of the array.
+    pub fn write_bw(&self) -> f64 {
+        self.spec.write_bw * f64::from(self.devices)
+    }
+
+    /// Aggregate read bandwidth of the array.
+    pub fn read_bw(&self) -> f64 {
+        self.spec.read_bw * f64::from(self.devices)
+    }
+
+    /// Where this array's NVMe queues live (host memory for data SSDs in
+    /// both systems, §6.1).
+    pub fn queue_location(&self) -> QueueLocation {
+        self.queue_location
+    }
+
+    /// Writes a sealed container. Returns the device service time.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) on container id reuse.
+    pub fn write_container(&mut self, container: Container) -> Duration {
+        debug_assert!(
+            !self.containers.contains_key(&container.id),
+            "container id {} reused",
+            container.id
+        );
+        let bytes = container.len() as u64;
+        self.stats.record_write(bytes);
+        let t = self.spec.write_time(bytes);
+        self.containers.insert(container.id, container);
+        t
+    }
+
+    /// Reads and decodes one chunk at `pba`.
+    ///
+    /// # Errors
+    ///
+    /// [`DataSsdError::UnknownContainer`] if the container does not exist,
+    /// [`DataSsdError::Corrupt`] if the region cannot be decoded.
+    pub fn read_chunk(&mut self, pba: Pba) -> Result<Vec<u8>, DataSsdError> {
+        let container = self
+            .containers
+            .get(&pba.container)
+            .ok_or(DataSsdError::UnknownContainer(pba.container))?;
+        let bytes = pba.compressed_len as u64 + CHUNK_HEADER_BYTES as u64;
+        self.stats.record_read(bytes);
+        container
+            .read_chunk(pba.offset, pba.compressed_len)
+            .map_err(DataSsdError::Corrupt)
+    }
+
+    /// Device time for a chunk read of `bytes` (latency model input).
+    pub fn read_time(&self, bytes: u64) -> Duration {
+        self.spec.read_time(bytes)
+    }
+
+    /// IO statistics so far.
+    pub fn stats(&self) -> SsdStats {
+        self.stats
+    }
+
+    /// Number of stored containers.
+    pub fn container_count(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Total bytes occupied by stored containers (post-reduction footprint).
+    pub fn stored_bytes(&self) -> u64 {
+        self.containers.values().map(|c| c.len() as u64).sum()
+    }
+
+    /// Re-installs a container during checkpoint restore, without
+    /// counting flash writes (the bytes are already on the flash).
+    pub fn load_container(&mut self, container: Container) {
+        self.containers.insert(container.id, container);
+    }
+
+    /// Fault injection for testing: flips one bit at `byte` inside a
+    /// stored container, simulating silent flash corruption. Returns
+    /// `false` if the container or offset does not exist.
+    pub fn inject_corruption(&mut self, container: u64, byte: usize) -> bool {
+        match self.containers.get_mut(&container) {
+            Some(c) if byte < c.bytes.len() => {
+                c.bytes[byte] ^= 0x01;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Iterates over stored containers (checkpointing).
+    pub fn containers(&self) -> impl Iterator<Item = &Container> {
+        self.containers.values()
+    }
+
+    /// Drops a whole container (garbage collection after compaction moved
+    /// its survivors), returning the bytes freed, or `None` for an unknown
+    /// id. Modelled as an NVMe deallocate (TRIM): no flash writes.
+    pub fn remove_container(&mut self, id: u64) -> Option<u64> {
+        self.containers.remove(&id).map(|c| c.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fidr_compress::CompressedChunk;
+    use fidr_tables::ContainerBuilder;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut array = DataSsdArray::new(2);
+        let mut b = ContainerBuilder::new(7, 1 << 20);
+        let data = vec![0xabu8; 4096];
+        let slot = b.append(&CompressedChunk::compress(&data));
+        array.write_container(b.seal());
+        let pba = Pba {
+            container: 7,
+            offset: slot.offset,
+            compressed_len: slot.compressed_len,
+        };
+        assert_eq!(array.read_chunk(pba).unwrap(), data);
+        assert_eq!(array.stats().write_ios, 1);
+        assert_eq!(array.stats().read_ios, 1);
+    }
+
+    #[test]
+    fn unknown_container_errors() {
+        let mut array = DataSsdArray::new(1);
+        let err = array
+            .read_chunk(Pba {
+                container: 42,
+                offset: 0,
+                compressed_len: 10,
+            })
+            .unwrap_err();
+        assert_eq!(err, DataSsdError::UnknownContainer(42));
+    }
+
+    #[test]
+    fn aggregate_bandwidth_scales_with_devices() {
+        let one = DataSsdArray::new(1);
+        let four = DataSsdArray::new(4);
+        assert!((four.write_bw() / one.write_bw() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stored_bytes_reflect_reduction() {
+        let mut array = DataSsdArray::new(1);
+        let mut b = ContainerBuilder::new(0, 1 << 20);
+        b.append(&CompressedChunk::compress(&vec![0u8; 65536]));
+        array.write_container(b.seal());
+        assert!(array.stored_bytes() < 1024, "highly compressible data");
+    }
+}

@@ -1,0 +1,125 @@
+//! NVMe device timing and IO statistics.
+//!
+//! The prototype uses Samsung 970 Pro NVMe SSDs (paper §7.1). The model
+//! captures what the evaluation depends on: per-IO service time (latency +
+//! bytes/bandwidth), IO and byte counts, and *where the submission and
+//! completion queues live* — in host memory for data SSDs, or inside the
+//! Cache HW-Engine for table SSDs (§6.1), which is what moves the NVMe
+//! software-stack cycles off the CPU.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Performance envelope of one SSD.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SsdSpec {
+    /// Sequential read bandwidth, bytes/s.
+    pub read_bw: f64,
+    /// Sequential write bandwidth, bytes/s.
+    pub write_bw: f64,
+    /// Base random-read latency.
+    pub read_latency: Duration,
+    /// Base program (write) latency.
+    pub write_latency: Duration,
+}
+
+impl Default for SsdSpec {
+    fn default() -> Self {
+        // Samsung 970 Pro 1 TB-class figures.
+        SsdSpec {
+            read_bw: 3.5e9,
+            write_bw: 2.7e9,
+            read_latency: Duration::from_micros(90),
+            write_latency: Duration::from_micros(30),
+        }
+    }
+}
+
+impl SsdSpec {
+    /// Service time of a read of `bytes`.
+    pub fn read_time(&self, bytes: u64) -> Duration {
+        self.read_latency + Duration::from_secs_f64(bytes as f64 / self.read_bw)
+    }
+
+    /// Service time of a write of `bytes`.
+    pub fn write_time(&self, bytes: u64) -> Duration {
+        self.write_latency + Duration::from_secs_f64(bytes as f64 / self.write_bw)
+    }
+}
+
+/// Where a device's NVMe submission/completion queues are hosted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueueLocation {
+    /// Default: queues in host memory, driven by the CPU's NVMe stack.
+    HostMemory,
+    /// FIDR: queues inside the Cache HW-Engine; zero CPU cycles per IO
+    /// (paper §6.1 "we designed table SSD's submission/completion queues to
+    /// be in the HW Cache Engine and modified the SSD driver").
+    CacheEngine,
+}
+
+/// IO counters for one device or array.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SsdStats {
+    /// Completed read commands.
+    pub read_ios: u64,
+    /// Completed write commands.
+    pub write_ios: u64,
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Bytes written (flash wear; the quantity data reduction protects).
+    pub write_bytes: u64,
+}
+
+impl SsdStats {
+    /// Records a read command.
+    pub fn record_read(&mut self, bytes: u64) {
+        self.read_ios += 1;
+        self.read_bytes += bytes;
+    }
+
+    /// Records a write command.
+    pub fn record_write(&mut self, bytes: u64) {
+        self.write_ios += 1;
+        self.write_bytes += bytes;
+    }
+
+    /// Total commands.
+    pub fn total_ios(&self) -> u64 {
+        self.read_ios + self.write_ios
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_time_includes_latency_and_transfer() {
+        let spec = SsdSpec {
+            read_bw: 1e9,
+            write_bw: 1e9,
+            read_latency: Duration::from_micros(100),
+            write_latency: Duration::from_micros(20),
+        };
+        let t = spec.read_time(1_000_000); // 1 ms transfer + 0.1 ms latency
+        assert!((t.as_secs_f64() - 0.0011).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = SsdStats::default();
+        s.record_read(4096);
+        s.record_write(8192);
+        s.record_write(4096);
+        assert_eq!(s.total_ios(), 3);
+        assert_eq!(s.read_bytes, 4096);
+        assert_eq!(s.write_bytes, 12288);
+    }
+
+    #[test]
+    fn default_spec_is_970_pro_class() {
+        let spec = SsdSpec::default();
+        assert!(spec.read_bw > 3e9 && spec.write_bw > 2e9);
+    }
+}

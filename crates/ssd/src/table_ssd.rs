@@ -1,0 +1,133 @@
+//! Table SSDs: the authoritative home of the Hash-PBN table.
+//!
+//! "We assumed that the data reduction tables are in dedicated SSDs (i.e.,
+//! Table SSDs) and a software module manages caching of the tables in host
+//! memory" (paper §2.3). Accesses are random 4-KB bucket reads (cache-miss
+//! fetches) and writes (dirty flushes). Whose cycles those IOs cost depends
+//! on queue placement: the CIDR baseline drives them from the host NVMe
+//! stack; FIDR moves the queues into the Cache HW-Engine (§6.1).
+
+use crate::nvme::{QueueLocation, SsdSpec, SsdStats};
+use fidr_tables::{Bucket, HashPbnStore, BUCKET_BYTES};
+use std::time::Duration;
+
+/// The table-SSD device wrapping the authoritative [`HashPbnStore`].
+///
+/// # Examples
+///
+/// ```
+/// use fidr_ssd::TableSsd;
+/// use fidr_ssd::QueueLocation;
+///
+/// let mut ssd = TableSsd::new(1024, QueueLocation::HostMemory);
+/// let bucket = ssd.fetch_bucket(17);
+/// assert!(bucket.is_empty());
+/// assert_eq!(ssd.stats().read_ios, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TableSsd {
+    store: HashPbnStore,
+    spec: SsdSpec,
+    stats: SsdStats,
+    queue_location: QueueLocation,
+}
+
+impl TableSsd {
+    /// Creates a table SSD holding an empty table of `num_buckets` buckets.
+    pub fn new(num_buckets: u64, queue_location: QueueLocation) -> Self {
+        TableSsd {
+            store: HashPbnStore::new(num_buckets),
+            spec: SsdSpec::default(),
+            stats: SsdStats::default(),
+            queue_location,
+        }
+    }
+
+    /// Wraps an existing table image.
+    pub fn from_store(store: HashPbnStore, queue_location: QueueLocation) -> Self {
+        TableSsd {
+            store,
+            spec: SsdSpec::default(),
+            stats: SsdStats::default(),
+            queue_location,
+        }
+    }
+
+    /// Number of buckets in the table.
+    pub fn num_buckets(&self) -> u64 {
+        self.store.num_buckets()
+    }
+
+    /// Where this device's NVMe queues live.
+    pub fn queue_location(&self) -> QueueLocation {
+        self.queue_location
+    }
+
+    /// Reads a 4-KB bucket (a table-cache miss fetch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn fetch_bucket(&mut self, index: u64) -> Bucket {
+        self.stats.record_read(BUCKET_BYTES as u64);
+        self.store.bucket(index).clone()
+    }
+
+    /// Writes a 4-KB bucket back (a dirty cache-line flush).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn flush_bucket(&mut self, index: u64, bucket: Bucket) {
+        self.stats.record_write(BUCKET_BYTES as u64);
+        self.store.write_bucket(index, bucket);
+    }
+
+    /// Service time for one random 4-KB bucket IO.
+    pub fn bucket_io_time(&self) -> Duration {
+        self.spec.read_time(BUCKET_BYTES as u64)
+    }
+
+    /// IO statistics so far.
+    pub fn stats(&self) -> SsdStats {
+        self.stats
+    }
+
+    /// Read-only view of the authoritative table (for verification).
+    pub fn store(&self) -> &HashPbnStore {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fidr_chunk::Pbn;
+    use fidr_hash::Fingerprint;
+
+    #[test]
+    fn fetch_modify_flush_persists() {
+        let mut ssd = TableSsd::new(64, QueueLocation::CacheEngine);
+        let fp = Fingerprint::of(b"k");
+        let idx = ssd.store().bucket_of(&fp);
+        let mut b = ssd.fetch_bucket(idx);
+        b.insert(fp, Pbn(3)).unwrap();
+        ssd.flush_bucket(idx, b);
+        assert_eq!(ssd.fetch_bucket(idx).lookup(&fp), Some(Pbn(3)));
+        assert_eq!(ssd.stats().read_ios, 2);
+        assert_eq!(ssd.stats().write_ios, 1);
+        assert_eq!(ssd.stats().write_bytes, 4096);
+    }
+
+    #[test]
+    fn queue_location_is_preserved() {
+        let ssd = TableSsd::new(8, QueueLocation::CacheEngine);
+        assert_eq!(ssd.queue_location(), QueueLocation::CacheEngine);
+    }
+
+    #[test]
+    fn bucket_io_time_is_positive() {
+        let ssd = TableSsd::new(8, QueueLocation::HostMemory);
+        assert!(ssd.bucket_io_time() > Duration::ZERO);
+    }
+}

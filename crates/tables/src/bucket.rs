@@ -1,0 +1,222 @@
+//! Hash-PBN table buckets.
+//!
+//! "One common implementation of the Hash-PBN table is a bucket-based table,
+//! containing many pairs of (key, value) in each bucket. … each entry of the
+//! Hash-PBN table is 38 bytes (32 bytes for hash, 6 bytes for PBN)"
+//! (paper §2.1.3). Buckets are 4 KB — the same granularity as the table-SSD
+//! blocks and the table-cache lines — and hold up to 107 entries.
+
+use fidr_chunk::Pbn;
+use fidr_hash::Fingerprint;
+use std::fmt;
+
+/// On-SSD bucket size in bytes (one table-SSD block / one cache line).
+pub const BUCKET_BYTES: usize = 4096;
+/// Serialized entry size: 32-byte fingerprint + 6-byte PBN.
+pub const ENTRY_BYTES: usize = 38;
+/// Entries per bucket (107 at 38 bytes, leaving 30 bytes for the count).
+pub const ENTRIES_PER_BUCKET: usize = (BUCKET_BYTES - 2) / ENTRY_BYTES;
+
+/// Error returned when inserting into a full bucket.
+///
+/// Real deployments size the table so overflow is vanishingly rare; the
+/// store surfaces it so callers can grow or chain buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketFullError;
+
+impl fmt::Display for BucketFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hash-PBN bucket is full ({ENTRIES_PER_BUCKET} entries)")
+    }
+}
+
+impl std::error::Error for BucketFullError {}
+
+/// One Hash-PBN bucket: an append-ordered set of (fingerprint, PBN) pairs.
+///
+/// # Examples
+///
+/// ```
+/// use fidr_tables::Bucket;
+/// use fidr_hash::Fingerprint;
+/// use fidr_chunk::Pbn;
+///
+/// let mut bucket = Bucket::new();
+/// let fp = Fingerprint::of(b"chunk");
+/// bucket.insert(fp, Pbn(9))?;
+/// assert_eq!(bucket.lookup(&fp), Some(Pbn(9)));
+/// # Ok::<(), fidr_tables::BucketFullError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bucket {
+    entries: Vec<(Fingerprint, Pbn)>,
+}
+
+impl Bucket {
+    /// Creates an empty bucket.
+    pub fn new() -> Self {
+        Bucket {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the bucket holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether another insert would overflow.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= ENTRIES_PER_BUCKET
+    }
+
+    /// Scans the bucket for `fp` (the paper's "the corresponding bucket is
+    /// scanned to find the respective hash value").
+    pub fn lookup(&self, fp: &Fingerprint) -> Option<Pbn> {
+        self.entries
+            .iter()
+            .find(|(f, _)| f == fp)
+            .map(|&(_, pbn)| pbn)
+    }
+
+    /// Inserts a new (fingerprint, PBN) pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BucketFullError`] when the bucket already holds
+    /// [`ENTRIES_PER_BUCKET`] entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) if `fp` is already present; callers look up
+    /// before inserting.
+    pub fn insert(&mut self, fp: Fingerprint, pbn: Pbn) -> Result<(), BucketFullError> {
+        debug_assert!(self.lookup(&fp).is_none(), "duplicate fingerprint insert");
+        if self.is_full() {
+            return Err(BucketFullError);
+        }
+        self.entries.push((fp, pbn));
+        Ok(())
+    }
+
+    /// Removes an entry, returning its PBN if present (used by garbage
+    /// collection when a unique chunk's reference count drops to zero).
+    pub fn remove(&mut self, fp: &Fingerprint) -> Option<Pbn> {
+        let idx = self.entries.iter().position(|(f, _)| f == fp)?;
+        Some(self.entries.swap_remove(idx).1)
+    }
+
+    /// Iterates over entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &(Fingerprint, Pbn)> {
+        self.entries.iter()
+    }
+
+    /// Serializes to the 4-KB on-SSD layout: a 2-byte little-endian entry
+    /// count followed by packed 38-byte entries (PBN in 6 bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; BUCKET_BYTES];
+        out[..2].copy_from_slice(&(self.entries.len() as u16).to_le_bytes());
+        for (i, (fp, pbn)) in self.entries.iter().enumerate() {
+            let off = 2 + i * ENTRY_BYTES;
+            out[off..off + 32].copy_from_slice(fp.as_bytes());
+            debug_assert!(pbn.0 <= Pbn::MAX_ENCODABLE, "PBN exceeds 6-byte encoding");
+            out[off + 32..off + 38].copy_from_slice(&pbn.0.to_le_bytes()[..6]);
+        }
+        out
+    }
+
+    /// Parses the on-SSD layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not exactly [`BUCKET_BYTES`] long or the
+    /// recorded count exceeds [`ENTRIES_PER_BUCKET`].
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        assert_eq!(bytes.len(), BUCKET_BYTES, "bucket must be 4 KB");
+        let count = u16::from_le_bytes([bytes[0], bytes[1]]) as usize;
+        assert!(count <= ENTRIES_PER_BUCKET, "corrupt bucket count {count}");
+        let mut entries = Vec::with_capacity(count);
+        for i in 0..count {
+            let off = 2 + i * ENTRY_BYTES;
+            let mut fp = [0u8; 32];
+            fp.copy_from_slice(&bytes[off..off + 32]);
+            let mut pbn_bytes = [0u8; 8];
+            pbn_bytes[..6].copy_from_slice(&bytes[off + 32..off + 38]);
+            entries.push((Fingerprint::from_bytes(fp), Pbn(u64::from_le_bytes(pbn_bytes))));
+        }
+        Bucket { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(i: u64) -> Fingerprint {
+        Fingerprint::of(&i.to_le_bytes())
+    }
+
+    #[test]
+    fn capacity_is_107() {
+        assert_eq!(ENTRIES_PER_BUCKET, 107);
+    }
+
+    #[test]
+    fn lookup_insert_remove() {
+        let mut b = Bucket::new();
+        b.insert(fp(1), Pbn(10)).unwrap();
+        b.insert(fp(2), Pbn(20)).unwrap();
+        assert_eq!(b.lookup(&fp(1)), Some(Pbn(10)));
+        assert_eq!(b.lookup(&fp(3)), None);
+        assert_eq!(b.remove(&fp(1)), Some(Pbn(10)));
+        assert_eq!(b.lookup(&fp(1)), None);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn fills_to_capacity_then_errors() {
+        let mut b = Bucket::new();
+        for i in 0..ENTRIES_PER_BUCKET as u64 {
+            b.insert(fp(i), Pbn(i)).unwrap();
+        }
+        assert!(b.is_full());
+        assert_eq!(b.insert(fp(9999), Pbn(0)), Err(BucketFullError));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut b = Bucket::new();
+        for i in 0..50u64 {
+            b.insert(fp(i), Pbn(i * 3 + 7)).unwrap();
+        }
+        let bytes = b.to_bytes();
+        assert_eq!(bytes.len(), BUCKET_BYTES);
+        let parsed = Bucket::from_bytes(&bytes);
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn six_byte_pbn_roundtrips_large_values() {
+        let mut b = Bucket::new();
+        b.insert(fp(1), Pbn(Pbn::MAX_ENCODABLE)).unwrap();
+        let parsed = Bucket::from_bytes(&b.to_bytes());
+        assert_eq!(parsed.lookup(&fp(1)), Some(Pbn(Pbn::MAX_ENCODABLE)));
+    }
+
+    #[test]
+    fn empty_bucket_roundtrip() {
+        let parsed = Bucket::from_bytes(&Bucket::new().to_bytes());
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "4 KB")]
+    fn wrong_size_panics() {
+        Bucket::from_bytes(&[0u8; 100]);
+    }
+}

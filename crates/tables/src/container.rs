@@ -1,0 +1,282 @@
+//! Container packing of compressed chunks.
+//!
+//! "For efficient data storage in an SSD, the server usually makes a large
+//! container of compressed chunks and stores them as a single large block"
+//! (paper §2.1.4). FIDR's Compression Engine flushes once "the total size of
+//! compressed chunks … reaches a threshold (e.g., 4 MB)" (§5.3 step 8).
+//!
+//! Layout: each chunk is prefixed with a 4-byte header — 1 byte encoding,
+//! 3 bytes original length — followed by the compressed payload. The PBA's
+//! `offset` points at the header; its `compressed_len` covers the payload.
+
+use fidr_compress::{CompressedChunk, Encoding};
+use std::fmt;
+
+/// Default container flush threshold: 4 MB (paper §5.3).
+pub const CONTAINER_THRESHOLD: usize = 4 << 20;
+
+/// Per-chunk header size inside a container.
+pub const CHUNK_HEADER_BYTES: usize = 4;
+
+/// Error returned when reading a malformed container region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContainerReadError {
+    detail: &'static str,
+}
+
+impl fmt::Display for ContainerReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "container read error: {}", self.detail)
+    }
+}
+
+impl std::error::Error for ContainerReadError {}
+
+/// A sealed container: the unit written to the data SSDs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Container {
+    /// Container sequence number.
+    pub id: u64,
+    /// Raw container bytes (headers + payloads).
+    pub bytes: Vec<u8>,
+}
+
+impl Container {
+    /// Extracts and decodes the chunk whose header starts at `offset` with
+    /// a `compressed_len`-byte payload (both from the PBN→PBA map).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ContainerReadError`] if the region is out of bounds, the
+    /// encoding byte is unknown, or decompression fails.
+    pub fn read_chunk(
+        &self,
+        offset: u32,
+        compressed_len: u32,
+    ) -> Result<Vec<u8>, ContainerReadError> {
+        let start = offset as usize;
+        let end = start + CHUNK_HEADER_BYTES + compressed_len as usize;
+        if end > self.bytes.len() {
+            return Err(ContainerReadError {
+                detail: "chunk region out of bounds",
+            });
+        }
+        let header = &self.bytes[start..start + CHUNK_HEADER_BYTES];
+        let encoding = match header[0] {
+            0 => Encoding::Raw,
+            1 => Encoding::Lzss,
+            _ => {
+                return Err(ContainerReadError {
+                    detail: "unknown encoding byte",
+                })
+            }
+        };
+        let original_len =
+            u32::from_le_bytes([header[1], header[2], header[3], 0]);
+        let payload = self.bytes[start + CHUNK_HEADER_BYTES..end].to_vec();
+        CompressedChunk::from_parts(encoding, payload, original_len)
+            .decompress()
+            .map_err(|_| ContainerReadError {
+                detail: "payload decompression failed",
+            })
+    }
+
+    /// Container size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the container holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// Location of a chunk appended to a builder, to be recorded in the
+/// PBN→PBA map once the container seals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendSlot {
+    /// Byte offset of the chunk header inside the container.
+    pub offset: u32,
+    /// Payload (compressed) length in bytes.
+    pub compressed_len: u32,
+}
+
+/// Accumulates compressed chunks until the flush threshold.
+///
+/// # Examples
+///
+/// ```
+/// use fidr_tables::ContainerBuilder;
+/// use fidr_compress::CompressedChunk;
+///
+/// let mut builder = ContainerBuilder::new(0, 1 << 20);
+/// let cc = CompressedChunk::compress(&vec![3u8; 4096]);
+/// let slot = builder.append(&cc);
+/// let container = builder.seal();
+/// let data = container.read_chunk(slot.offset, slot.compressed_len)?;
+/// assert_eq!(data, vec![3u8; 4096]);
+/// # Ok::<(), fidr_tables::ContainerReadError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContainerBuilder {
+    id: u64,
+    threshold: usize,
+    bytes: Vec<u8>,
+    chunks: usize,
+}
+
+impl ContainerBuilder {
+    /// Starts container `id` with the given flush `threshold` in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(id: u64, threshold: usize) -> Self {
+        assert!(threshold > 0, "threshold must be non-zero");
+        ContainerBuilder {
+            id,
+            threshold,
+            bytes: Vec::with_capacity(threshold),
+            chunks: 0,
+        }
+    }
+
+    /// Container id being built.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Appends a compressed chunk, returning where it landed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk's original length exceeds the 3-byte header
+    /// field (16 MB) — far above any chunk size in this system.
+    pub fn append(&mut self, chunk: &CompressedChunk) -> AppendSlot {
+        assert!(
+            chunk.original_len() < (1 << 24),
+            "original length exceeds header field"
+        );
+        let offset = self.bytes.len() as u32;
+        let enc_byte = match chunk.encoding() {
+            Encoding::Raw => 0u8,
+            Encoding::Lzss => 1u8,
+        };
+        let olen = (chunk.original_len() as u32).to_le_bytes();
+        self.bytes
+            .extend_from_slice(&[enc_byte, olen[0], olen[1], olen[2]]);
+        self.bytes.extend_from_slice(chunk.payload());
+        self.chunks += 1;
+        AppendSlot {
+            offset,
+            compressed_len: chunk.stored_len() as u32,
+        }
+    }
+
+    /// Whether the builder has reached its flush threshold.
+    pub fn is_full(&self) -> bool {
+        self.bytes.len() >= self.threshold
+    }
+
+    /// Bytes accumulated so far.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Chunks appended so far.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks
+    }
+
+    /// Seals the container for writing to the data SSDs.
+    pub fn seal(self) -> Container {
+        Container {
+            id: self.id,
+            bytes: self.bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fidr_compress::ContentGenerator;
+
+    #[test]
+    fn pack_and_read_back_many() {
+        let gen = ContentGenerator::new(0.5);
+        let mut b = ContainerBuilder::new(3, CONTAINER_THRESHOLD);
+        let mut slots = Vec::new();
+        let mut originals = Vec::new();
+        for seed in 0..32u64 {
+            let data = gen.chunk(seed, 4096);
+            let cc = CompressedChunk::compress(&data);
+            slots.push(b.append(&cc));
+            originals.push(data);
+        }
+        assert_eq!(b.chunk_count(), 32);
+        let c = b.seal();
+        assert_eq!(c.id, 3);
+        for (slot, original) in slots.iter().zip(&originals) {
+            let data = c.read_chunk(slot.offset, slot.compressed_len).unwrap();
+            assert_eq!(&data, original);
+        }
+    }
+
+    #[test]
+    fn threshold_trips_is_full() {
+        let mut b = ContainerBuilder::new(0, 5000);
+        let cc = CompressedChunk::compress(&vec![1u8; 4096]);
+        assert!(!b.is_full());
+        while !b.is_full() {
+            b.append(&cc);
+        }
+        assert!(b.len() >= 5000);
+    }
+
+    #[test]
+    fn out_of_bounds_read_errors() {
+        let mut b = ContainerBuilder::new(0, 1024);
+        let cc = CompressedChunk::compress(&[1u8; 128]);
+        let slot = b.append(&cc);
+        let c = b.seal();
+        assert!(c
+            .read_chunk(slot.offset, slot.compressed_len + 1000)
+            .is_err());
+        assert!(c.read_chunk(9999, 10).is_err());
+    }
+
+    #[test]
+    fn unknown_encoding_errors() {
+        let c = Container {
+            id: 0,
+            bytes: vec![9, 0, 0, 0, 1, 2, 3],
+        };
+        assert!(c.read_chunk(0, 3).is_err());
+    }
+
+    #[test]
+    fn raw_fallback_chunks_roundtrip() {
+        // Incompressible noise goes through the Raw path.
+        let mut s = 1u64;
+        let data: Vec<u8> = (0..512)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 40) as u8
+            })
+            .collect();
+        let cc = CompressedChunk::compress(&data);
+        let mut b = ContainerBuilder::new(0, 1024);
+        let slot = b.append(&cc);
+        let c = b.seal();
+        assert_eq!(c.read_chunk(slot.offset, slot.compressed_len).unwrap(), data);
+    }
+}

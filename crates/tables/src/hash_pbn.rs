@@ -1,0 +1,178 @@
+//! The full Hash-PBN table as stored on the table SSDs.
+//!
+//! At PB scale the table is multi-TB and lives on dedicated *table SSDs*
+//! with only a slice cached in host DRAM (paper §2.1.3). This store is the
+//! authoritative table image: the cache layer fetches whole 4-KB buckets
+//! from it on a miss and flushes dirty buckets back, and the SSD model in
+//! `fidr-ssd` charges the corresponding IO.
+
+use crate::bucket::{Bucket, BucketFullError, BUCKET_BYTES};
+use fidr_chunk::Pbn;
+use fidr_hash::Fingerprint;
+
+/// The authoritative bucket-based Hash-PBN table.
+///
+/// # Examples
+///
+/// ```
+/// use fidr_tables::HashPbnStore;
+/// use fidr_hash::Fingerprint;
+/// use fidr_chunk::Pbn;
+///
+/// let mut store = HashPbnStore::new(1024);
+/// let fp = Fingerprint::of(b"unique chunk");
+/// assert_eq!(store.lookup(&fp), None);
+/// store.insert(fp, Pbn(1))?;
+/// assert_eq!(store.lookup(&fp), Some(Pbn(1)));
+/// # Ok::<(), fidr_tables::BucketFullError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashPbnStore {
+    buckets: Vec<Bucket>,
+    entries: u64,
+}
+
+impl HashPbnStore {
+    /// Creates a table with `num_buckets` empty buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_buckets` is zero.
+    pub fn new(num_buckets: u64) -> Self {
+        assert!(num_buckets > 0, "table needs at least one bucket");
+        HashPbnStore {
+            buckets: vec![Bucket::new(); num_buckets as usize],
+            entries: 0,
+        }
+    }
+
+    /// Sizes a table for `unique_chunks` expected entries with the given
+    /// target load factor (entries per bucket / capacity).
+    pub fn with_capacity_for(unique_chunks: u64, load_factor: f64) -> Self {
+        assert!(load_factor > 0.0 && load_factor <= 1.0);
+        let per_bucket =
+            (crate::bucket::ENTRIES_PER_BUCKET as f64 * load_factor).max(1.0) as u64;
+        let buckets = (unique_chunks / per_bucket).max(1);
+        HashPbnStore::new(buckets.next_power_of_two())
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> u64 {
+        self.buckets.len() as u64
+    }
+
+    /// Total live entries across all buckets.
+    pub fn len(&self) -> u64 {
+        self.entries
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Table size in on-SSD bytes.
+    pub fn ssd_bytes(&self) -> u64 {
+        self.num_buckets() * BUCKET_BYTES as u64
+    }
+
+    /// Bucket index for a fingerprint.
+    pub fn bucket_of(&self, fp: &Fingerprint) -> u64 {
+        fp.bucket_index(self.num_buckets())
+    }
+
+    /// Borrows a bucket by index (a table-SSD block read in the model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn bucket(&self, index: u64) -> &Bucket {
+        &self.buckets[index as usize]
+    }
+
+    /// Replaces a bucket by index (a table-SSD block write / dirty flush).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn write_bucket(&mut self, index: u64, bucket: Bucket) {
+        let slot = &mut self.buckets[index as usize];
+        self.entries = self.entries - slot.len() as u64 + bucket.len() as u64;
+        *slot = bucket;
+    }
+
+    /// Direct lookup (used by tests and by flows that model no cache).
+    pub fn lookup(&self, fp: &Fingerprint) -> Option<Pbn> {
+        self.bucket(self.bucket_of(fp)).lookup(fp)
+    }
+
+    /// Direct insert.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BucketFullError`] if the target bucket is full.
+    pub fn insert(&mut self, fp: Fingerprint, pbn: Pbn) -> Result<(), BucketFullError> {
+        let idx = self.bucket_of(&fp);
+        self.buckets[idx as usize].insert(fp, pbn)?;
+        self.entries += 1;
+        Ok(())
+    }
+
+    /// Average bucket occupancy (entries per bucket).
+    pub fn load_factor(&self) -> f64 {
+        self.entries as f64 / (self.num_buckets() * crate::bucket::ENTRIES_PER_BUCKET as u64) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(i: u64) -> Fingerprint {
+        Fingerprint::of(&i.to_le_bytes())
+    }
+
+    #[test]
+    fn insert_then_lookup_many() {
+        let mut s = HashPbnStore::new(256);
+        for i in 0..5000u64 {
+            s.insert(fp(i), Pbn(i)).unwrap();
+        }
+        assert_eq!(s.len(), 5000);
+        for i in 0..5000u64 {
+            assert_eq!(s.lookup(&fp(i)), Some(Pbn(i)), "entry {i}");
+        }
+        assert_eq!(s.lookup(&fp(999_999)), None);
+    }
+
+    #[test]
+    fn bucket_write_updates_entry_count() {
+        let mut s = HashPbnStore::new(4);
+        s.insert(fp(1), Pbn(1)).unwrap();
+        let idx = s.bucket_of(&fp(1));
+        let mut b = s.bucket(idx).clone();
+        b.insert(fp(2_000_000), Pbn(2)).unwrap();
+        s.write_bucket(idx, b);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn capacity_sizing() {
+        let s = HashPbnStore::with_capacity_for(1_000_000, 0.5);
+        // ≥ 1M entries at ≤ 53 per bucket.
+        assert!(s.num_buckets() >= 16_384, "buckets {}", s.num_buckets());
+        assert!(s.num_buckets().is_power_of_two());
+    }
+
+    #[test]
+    fn ssd_bytes_matches_bucket_count() {
+        let s = HashPbnStore::new(100);
+        assert_eq!(s.ssd_bytes(), 100 * 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_panics() {
+        HashPbnStore::new(0);
+    }
+}

@@ -1,0 +1,248 @@
+//! The LBA-PBA table: two-level logical→physical mapping.
+//!
+//! "Because chunks have variable sizes after being compressed, we use two
+//! level mapping of LBA to PBA. … the LBA-PBA table internally has LBA-PBN
+//! mapping (an array whose index is LBA and its value is the PBN in a
+//! container) and PBN-PBA mapping (an array whose index is PBN and its
+//! value is <offset address in the container, compressed chunk size>)"
+//! (paper §2.1.4). We additionally keep per-PBN reference counts so that
+//! overwrites can, in an extension, reclaim dead unique chunks.
+
+use fidr_chunk::{Lba, Pba, Pbn};
+use std::collections::HashMap;
+
+/// Physical location of one unique chunk: which container and where in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PbnLocation {
+    /// Container id on the data SSDs.
+    pub container: u64,
+    /// Byte offset inside the container.
+    pub offset: u32,
+    /// Compressed size in bytes.
+    pub compressed_len: u32,
+}
+
+/// The two-level LBA→PBA map with PBN reference counting.
+///
+/// # Examples
+///
+/// ```
+/// use fidr_tables::{LbaPbaTable, PbnLocation};
+/// use fidr_chunk::{Lba, Pbn};
+///
+/// let mut map = LbaPbaTable::new();
+/// map.record_pbn(Pbn(0), PbnLocation { container: 1, offset: 0, compressed_len: 2048 });
+/// map.map_write(Lba(10), Pbn(0));
+/// let pba = map.lookup(Lba(10)).unwrap();
+/// assert_eq!(pba.container, 1);
+/// assert_eq!(pba.compressed_len, 2048);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LbaPbaTable {
+    lba_to_pbn: HashMap<Lba, Pbn>,
+    pbn_to_loc: HashMap<Pbn, PbnLocation>,
+    refcount: HashMap<Pbn, u32>,
+}
+
+impl LbaPbaTable {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        LbaPbaTable::default()
+    }
+
+    /// Registers where a newly written unique chunk lives.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) if the PBN already has a location; PBNs are
+    /// allocated once per unique chunk.
+    pub fn record_pbn(&mut self, pbn: Pbn, loc: PbnLocation) {
+        debug_assert!(
+            !self.pbn_to_loc.contains_key(&pbn),
+            "PBN {pbn} located twice"
+        );
+        self.pbn_to_loc.insert(pbn, loc);
+    }
+
+    /// Points `lba` at `pbn` (a duplicate hit or a fresh unique write),
+    /// maintaining reference counts. Returns a PBN whose reference count
+    /// dropped to zero, if the overwrite orphaned one.
+    pub fn map_write(&mut self, lba: Lba, pbn: Pbn) -> Option<Pbn> {
+        *self.refcount.entry(pbn).or_insert(0) += 1;
+        let old = self.lba_to_pbn.insert(lba, pbn);
+        if let Some(old_pbn) = old {
+            if old_pbn != pbn {
+                let rc = self
+                    .refcount
+                    .get_mut(&old_pbn)
+                    .expect("mapped PBN has a refcount");
+                *rc -= 1;
+                if *rc == 0 {
+                    return Some(old_pbn);
+                }
+            } else {
+                // Same PBN re-mapped: undo the double count.
+                *self.refcount.get_mut(&pbn).expect("just inserted") -= 1;
+            }
+        }
+        None
+    }
+
+    /// Resolves an LBA to its physical address (the read path, §2.2).
+    pub fn lookup(&self, lba: Lba) -> Option<Pba> {
+        let pbn = self.lba_to_pbn.get(&lba)?;
+        let loc = self
+            .pbn_to_loc
+            .get(pbn)
+            .expect("mapped PBN has a location");
+        Some(Pba {
+            container: loc.container,
+            offset: loc.offset,
+            compressed_len: loc.compressed_len,
+        })
+    }
+
+    /// The PBN an LBA currently maps to.
+    pub fn pbn_of(&self, lba: Lba) -> Option<Pbn> {
+        self.lba_to_pbn.get(&lba).copied()
+    }
+
+    /// Current reference count of a PBN (0 if never referenced).
+    pub fn refcount(&self, pbn: Pbn) -> u32 {
+        self.refcount.get(&pbn).copied().unwrap_or(0)
+    }
+
+    /// Number of mapped LBAs.
+    pub fn mapped_lbas(&self) -> usize {
+        self.lba_to_pbn.len()
+    }
+
+    /// Number of located unique chunks.
+    pub fn unique_chunks(&self) -> usize {
+        self.pbn_to_loc.len()
+    }
+
+    /// Drops a dead PBN's location (garbage collection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PBN is still referenced.
+    pub fn reclaim(&mut self, pbn: Pbn) -> Option<PbnLocation> {
+        assert_eq!(self.refcount(pbn), 0, "reclaiming live PBN {pbn}");
+        self.refcount.remove(&pbn);
+        self.pbn_to_loc.remove(&pbn)
+    }
+
+    /// Current location of a PBN, if recorded.
+    pub fn location(&self, pbn: Pbn) -> Option<PbnLocation> {
+        self.pbn_to_loc.get(&pbn).copied()
+    }
+
+    /// Moves a live PBN to a new physical location (container compaction:
+    /// the survivor was rewritten into a fresh container).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PBN has no recorded location.
+    pub fn relocate(&mut self, pbn: Pbn, loc: PbnLocation) {
+        let slot = self
+            .pbn_to_loc
+            .get_mut(&pbn)
+            .expect("relocating unknown PBN");
+        *slot = loc;
+    }
+
+    /// Iterates over (LBA, PBN) mappings (checkpointing).
+    pub fn lba_entries(&self) -> impl Iterator<Item = (Lba, Pbn)> + '_ {
+        self.lba_to_pbn.iter().map(|(&l, &p)| (l, p))
+    }
+
+    /// Iterates over (PBN, location) records (checkpointing).
+    pub fn pbn_entries(&self) -> impl Iterator<Item = (Pbn, PbnLocation)> + '_ {
+        self.pbn_to_loc.iter().map(|(&p, &loc)| (p, loc))
+    }
+
+    /// Rebuilds a map from checkpointed entries; reference counts are
+    /// recomputed from the LBA mappings.
+    pub fn from_entries(
+        lbas: impl IntoIterator<Item = (Lba, Pbn)>,
+        pbns: impl IntoIterator<Item = (Pbn, PbnLocation)>,
+    ) -> Self {
+        let mut map = LbaPbaTable::new();
+        for (pbn, loc) in pbns {
+            map.pbn_to_loc.insert(pbn, loc);
+            map.refcount.insert(pbn, 0);
+        }
+        for (lba, pbn) in lbas {
+            map.lba_to_pbn.insert(lba, pbn);
+            *map.refcount.entry(pbn).or_insert(0) += 1;
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc(c: u64) -> PbnLocation {
+        PbnLocation {
+            container: c,
+            offset: 16,
+            compressed_len: 1024,
+        }
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut m = LbaPbaTable::new();
+        m.record_pbn(Pbn(5), loc(2));
+        m.map_write(Lba(1), Pbn(5));
+        let pba = m.lookup(Lba(1)).unwrap();
+        assert_eq!(pba.container, 2);
+        assert_eq!(m.lookup(Lba(2)), None);
+    }
+
+    #[test]
+    fn dedup_shares_pbn_and_counts_refs() {
+        let mut m = LbaPbaTable::new();
+        m.record_pbn(Pbn(1), loc(1));
+        m.map_write(Lba(10), Pbn(1));
+        m.map_write(Lba(20), Pbn(1));
+        assert_eq!(m.refcount(Pbn(1)), 2);
+        assert_eq!(m.unique_chunks(), 1);
+        assert_eq!(m.mapped_lbas(), 2);
+    }
+
+    #[test]
+    fn overwrite_releases_old_pbn() {
+        let mut m = LbaPbaTable::new();
+        m.record_pbn(Pbn(1), loc(1));
+        m.record_pbn(Pbn(2), loc(2));
+        m.map_write(Lba(10), Pbn(1));
+        let dead = m.map_write(Lba(10), Pbn(2));
+        assert_eq!(dead, Some(Pbn(1)));
+        assert_eq!(m.refcount(Pbn(1)), 0);
+        assert_eq!(m.lookup(Lba(10)).unwrap().container, 2);
+        assert_eq!(m.reclaim(Pbn(1)), Some(loc(1)));
+    }
+
+    #[test]
+    fn rewriting_same_pbn_keeps_count_stable() {
+        let mut m = LbaPbaTable::new();
+        m.record_pbn(Pbn(1), loc(1));
+        m.map_write(Lba(10), Pbn(1));
+        let dead = m.map_write(Lba(10), Pbn(1));
+        assert_eq!(dead, None);
+        assert_eq!(m.refcount(Pbn(1)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reclaiming live PBN")]
+    fn reclaiming_live_pbn_panics() {
+        let mut m = LbaPbaTable::new();
+        m.record_pbn(Pbn(1), loc(1));
+        m.map_write(Lba(1), Pbn(1));
+        m.reclaim(Pbn(1));
+    }
+}

@@ -1,0 +1,81 @@
+//! Data-reduction outcome accounting shared by both systems.
+
+use serde::{Deserialize, Serialize};
+
+/// What a data-reduction run achieved, independent of which architecture
+/// (baseline or FIDR) executed it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReductionStats {
+    /// Client write chunks processed.
+    pub write_chunks: u64,
+    /// Client read chunks served.
+    pub read_chunks: u64,
+    /// Write chunks eliminated by deduplication.
+    pub duplicate_chunks: u64,
+    /// Write chunks stored (compressed) as new uniques.
+    pub unique_chunks: u64,
+    /// Raw client bytes written.
+    pub raw_bytes: u64,
+    /// Bytes actually stored after dedup + compression.
+    pub stored_bytes: u64,
+    /// Containers sealed and written to the data SSDs.
+    pub containers_sealed: u64,
+}
+
+impl ReductionStats {
+    /// Measured deduplication ratio (duplicates / writes).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.write_chunks == 0 {
+            0.0
+        } else {
+            self.duplicate_chunks as f64 / self.write_chunks as f64
+        }
+    }
+
+    /// Overall data-reduction factor (raw / stored; the cost model's
+    /// SSD-savings driver).
+    pub fn reduction_factor(&self) -> f64 {
+        if self.stored_bytes == 0 {
+            1.0
+        } else {
+            self.raw_bytes as f64 / self.stored_bytes as f64
+        }
+    }
+
+    /// Fraction of raw bytes removed by reduction.
+    pub fn bytes_saved_fraction(&self) -> f64 {
+        if self.raw_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.stored_bytes as f64 / self.raw_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let s = ReductionStats {
+            write_chunks: 100,
+            duplicate_chunks: 50,
+            unique_chunks: 50,
+            raw_bytes: 400_000,
+            stored_bytes: 100_000,
+            ..ReductionStats::default()
+        };
+        assert!((s.dedup_ratio() - 0.5).abs() < 1e-12);
+        assert!((s.reduction_factor() - 4.0).abs() < 1e-12);
+        assert!((s.bytes_saved_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = ReductionStats::default();
+        assert_eq!(s.dedup_ratio(), 0.0);
+        assert_eq!(s.reduction_factor(), 1.0);
+        assert_eq!(s.bytes_saved_fraction(), 0.0);
+    }
+}

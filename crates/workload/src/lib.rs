@@ -1,0 +1,34 @@
+//! # fidr-workload
+//!
+//! Workload generation for the FIDR evaluation: the four Table 3 mixes
+//! ([`WorkloadSpec::write_h`], [`WorkloadSpec::write_m`],
+//! [`WorkloadSpec::write_l`], [`WorkloadSpec::read_mixed`]) streamed as
+//! [`Request`]s with real, deterministic chunk payloads, plus the
+//! mail/webVM [`skeleton`] traces behind Figure 3.
+//!
+//! # Examples
+//!
+//! ```
+//! use fidr_workload::{Request, Workload, WorkloadSpec};
+//!
+//! let mut writes = 0;
+//! for req in Workload::new(WorkloadSpec::write_l(50)) {
+//!     if let Request::Write { data, .. } = req {
+//!         assert_eq!(data.len(), 4096);
+//!         writes += 1;
+//!     }
+//! }
+//! assert_eq!(writes, 50);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod skeleton;
+mod spec;
+mod stream;
+mod trace_io;
+
+pub use spec::WorkloadSpec;
+pub use stream::{Request, Workload};
+pub use trace_io::{parse_trace, to_block_writes, write_trace, TraceOp, TraceParseError, TraceRecord};

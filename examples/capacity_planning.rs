@@ -1,0 +1,87 @@
+//! Capacity planning: should your PB-scale SSD array run inline data
+//! reduction, and with which architecture? Reproduces the §7.8 analysis
+//! as a planning tool.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning [capacity_tb] [throughput_gbps]
+//! ```
+
+use fidr::cost::{CostBreakdown, CostModel, Scenario};
+
+fn print_row(name: &str, c: &CostBreakdown, effective_gb: f64) {
+    println!(
+        "{:<24} {:>10.0} {:>10.0} {:>8.0} {:>8.0} {:>9.0} {:>11.0} {:>9.3}",
+        name,
+        c.data_ssd,
+        c.table_ssd,
+        c.dram,
+        c.cpu,
+        c.fpga,
+        c.total(),
+        c.total() / effective_gb,
+    );
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let capacity_tb: f64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500.0);
+    let throughput: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(75.0);
+    let effective_gb = capacity_tb * 1000.0;
+
+    println!(
+        "deployment point: {capacity_tb:.0} TB effective capacity at {throughput:.0} GB/s per socket\n"
+    );
+
+    let model = CostModel::default();
+    let fidr = model.fidr(Scenario {
+        effective_gb,
+        throughput_gbps: throughput,
+        reduction_factor: 4.0, // 50% dedup x 50% compression
+        reduced_fraction: 1.0,
+        cores: 0.29 * throughput, // measured FIDR cores/GBps
+        cache_dram_gb: 100.0,
+    });
+    // The baseline reduces only what its ~25 GB/s-per-socket control plane
+    // keeps up with.
+    let reduced_fraction = (25.0 / throughput).min(1.0);
+    let baseline = model.baseline(Scenario {
+        effective_gb,
+        throughput_gbps: throughput,
+        reduction_factor: 4.0,
+        reduced_fraction,
+        cores: (0.9 * throughput * reduced_fraction).min(22.0),
+        cache_dram_gb: 100.0,
+    });
+    let none = model.no_reduction(effective_gb);
+
+    println!(
+        "{:<24} {:>10} {:>10} {:>8} {:>8} {:>9} {:>11} {:>9}",
+        "architecture", "data SSD", "table SSD", "DRAM", "CPU", "FPGA", "total $", "$/GB"
+    );
+    print_row("no data reduction", &none, effective_gb);
+    print_row(
+        &format!("baseline ({:.0}% reduced)", reduced_fraction * 100.0),
+        &baseline,
+        effective_gb,
+    );
+    print_row("FIDR (fully reduced)", &fidr, effective_gb);
+
+    println!(
+        "\nFIDR saving vs no reduction: {:.1}%",
+        model.saving(&fidr, effective_gb) * 100.0
+    );
+    println!(
+        "FIDR saving vs baseline:     {:.1}%",
+        (1.0 - fidr.total() / baseline.total()) * 100.0
+    );
+    if throughput > 25.0 {
+        println!(
+            "\nnote: above ~25 GB/s the baseline's host-side control plane cannot"
+        );
+        println!("keep up, forcing partial reduction — the cost gap the paper's");
+        println!("Figure 15 highlights.");
+    }
+}

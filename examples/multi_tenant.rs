@@ -1,0 +1,79 @@
+//! Multi-tenant table-cache contention (paper §8): a latency-sensitive
+//! database tenant shares the Hash-PBN cache with a scan-heavy backup
+//! tenant. Plain LRU lets the scan wash the database's working set out;
+//! the prioritized LRU keeps per-class shares.
+//!
+//! ```sh
+//! cargo run --release --example multi_tenant
+//! ```
+
+use fidr::cache::{Priority, PriorityLruCache};
+use fidr::hash::Fingerprint;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CACHE_LINES: usize = 512;
+const OPS: usize = 60_000;
+
+/// The database tenant re-touches a small hot set of buckets; the backup
+/// tenant streams over an enormous one.
+fn bucket_for(tenant: u32, key: u64) -> u64 {
+    Fingerprint::of(&(u64::from(tenant) << 32 | key).to_le_bytes()).bucket_index(1 << 20)
+}
+
+fn run(guarantee: usize, db_priority: Priority, scan_priority: Priority) -> (f64, f64) {
+    let mut cache = PriorityLruCache::new(CACHE_LINES, guarantee);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut scan_cursor = 0u64;
+    for _ in 0..OPS {
+        if rng.gen_bool(0.5) {
+            // Database: zipf-ish reuse over 256 hot buckets.
+            let key = rng.gen_range(0..256u64);
+            cache.access(bucket_for(0, key), 0, db_priority);
+        } else {
+            // Backup: sequential scan, never reuses.
+            scan_cursor += 1;
+            cache.access(bucket_for(1, scan_cursor), 1, scan_priority);
+        }
+    }
+    (
+        cache.tenant_stats(0).hit_rate(),
+        cache.tenant_stats(1).hit_rate(),
+    )
+}
+
+fn main() {
+    println!(
+        "table cache: {CACHE_LINES} lines; database working set 256 buckets; backup = pure scan\n"
+    );
+    // Plain LRU = both tenants in one priority class, no guarantees.
+    let (db_plain, scan_plain) = run(0, Priority(1), Priority(1));
+    // Prioritized LRU: database above the scanner, small guaranteed share.
+    let (db_prio, scan_prio) = run(32, Priority(3), Priority(0));
+
+    println!(
+        "{:<26} {:>16} {:>16}",
+        "policy", "database hits", "backup hits"
+    );
+    println!(
+        "{:<26} {:>15.1}% {:>15.1}%",
+        "plain LRU (one class)",
+        db_plain * 100.0,
+        scan_plain * 100.0
+    );
+    println!(
+        "{:<26} {:>15.1}% {:>15.1}%",
+        "prioritized LRU (sec. 8)",
+        db_prio * 100.0,
+        scan_prio * 100.0
+    );
+    println!(
+        "\nthe scan gains nothing from caching either way (it never reuses),\n\
+         but under plain LRU it steals {:.0}% of the database's hits.",
+        (db_prio - db_plain) / db_prio.max(1e-9) * 100.0
+    );
+    assert!(
+        db_prio > db_plain + 0.2,
+        "prioritized LRU should clearly protect the database tenant"
+    );
+}

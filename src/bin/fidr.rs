@@ -1,0 +1,272 @@
+//! `fidr` — command-line driver for the FIDR reproduction.
+//!
+//! ```text
+//! fidr run --workload write-h --variant full [--ops N]
+//! fidr compare [--workload write-h] [--ops N]
+//! fidr latency
+//! fidr cost [--capacity-tb 500] [--throughput 75]
+//! fidr trace <file> [--chunk-kb 32]
+//! ```
+
+use fidr::chunk::replay_chunking;
+use fidr::core::LatencyModel;
+use fidr::cost::{CostModel, Scenario};
+use fidr::hwsim::{report, PlatformSpec};
+use fidr::ssd::SsdSpec;
+use fidr::cli::{parse_flags, variant_by_name, workload_by_name};
+use fidr::workload::{parse_trace, to_block_writes, WorkloadSpec};
+use fidr::{run_workload, RunConfig, SystemVariant};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "fidr — FIDR (MICRO'19) storage-system reproduction
+
+USAGE:
+    fidr run     --workload <NAME> --variant <VARIANT> [--ops N]
+    fidr compare [--workload <NAME>] [--ops N]
+    fidr latency
+    fidr cost    [--capacity-tb X] [--throughput GBPS]
+    fidr trace   <FILE> [--chunk-kb 4|8|16|32]
+    fidr report  [--ops N] [--out FILE]
+
+WORKLOADS:  write-h | write-m | write-l | read-mixed | vdi | database
+VARIANTS:   baseline | nic-p2p | hw-single | full";
+
+fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ops: usize = flags
+        .get("ops")
+        .map(|s| s.parse().map_err(|_| "bad --ops"))
+        .transpose()?
+        .unwrap_or(15_000);
+    let wl = flags.get("workload").ok_or("missing --workload")?;
+    let spec = workload_by_name(wl, ops).ok_or("unknown workload")?;
+    let var = flags.get("variant").ok_or("missing --variant")?;
+    let variant = variant_by_name(var).ok_or("unknown variant")?;
+
+    let r = run_workload(variant, spec, RunConfig::default());
+    let platform = PlatformSpec::default();
+    println!("workload: {}   variant: {}\n", r.workload, variant.label());
+    println!("host memory breakdown:");
+    print!("{}", report::memory_breakdown_table(&r.ledger));
+    println!("\nCPU breakdown:");
+    print!("{}", report::cpu_breakdown_table(&r.ledger));
+    println!("\nprojection on a 22-core / 170-GB/s socket:");
+    print!("{}", report::projection_table(&r.ledger, &platform, &[]));
+    println!(
+        "\nreduction: {:.2}x ({} unique / {} duplicate chunks); cache hit {:.1}%",
+        r.reduction.reduction_factor(),
+        r.reduction.unique_chunks,
+        r.reduction.duplicate_chunks,
+        r.cache.hit_rate() * 100.0,
+    );
+    if let Some(h) = r.hwtree {
+        println!(
+            "cache HW-engine: {} searches / {} updates, crash rate {:.4}%",
+            h.searches,
+            h.updates,
+            h.crash_rate() * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ops: usize = flags
+        .get("ops")
+        .map(|s| s.parse().map_err(|_| "bad --ops"))
+        .transpose()?
+        .unwrap_or(15_000);
+    let platform = PlatformSpec::default();
+    let specs = match flags.get("workload") {
+        Some(name) => vec![workload_by_name(name, ops).ok_or("unknown workload")?],
+        None => WorkloadSpec::table3(ops),
+    };
+    println!(
+        "{:<12} {:<24} {:>12} {:>12} {:>14}",
+        "workload", "variant", "mem B/B", "cores@75", "achievable"
+    );
+    for spec in specs {
+        for variant in SystemVariant::ALL {
+            let r = run_workload(variant, spec.clone(), RunConfig::default());
+            println!(
+                "{:<12} {:<24} {:>12.2} {:>12.1} {:>9.1} GB/s",
+                r.workload,
+                variant.label(),
+                r.ledger.mem_bytes_per_client_byte(),
+                fidr::hwsim::Projection::cores_needed(
+                    &r.ledger,
+                    &platform,
+                    platform.target_throughput
+                ),
+                r.achievable_gbps(&platform),
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_report(flags: &HashMap<String, String>) -> Result<(), String> {
+    use std::fmt::Write as _;
+    let ops: usize = flags
+        .get("ops")
+        .map(|s| s.parse().map_err(|_| "bad --ops"))
+        .transpose()?
+        .unwrap_or(15_000);
+    let platform = PlatformSpec::default();
+    let mut md = String::new();
+    let _ = writeln!(md, "# FIDR measured results ({ops} requests per run)\n");
+
+    let _ = writeln!(
+        md,
+        "| Workload | Variant | mem B/B | cores@75 GB/s | achievable | dedup | cache hit |"
+    );
+    let _ = writeln!(md, "|---|---|---|---|---|---|---|");
+    for spec in WorkloadSpec::table3(ops) {
+        for variant in SystemVariant::ALL {
+            let r = run_workload(variant, spec.clone(), RunConfig::default());
+            let _ = writeln!(
+                md,
+                "| {} | {} | {:.2} | {:.1} | {:.1} GB/s | {:.1}% | {:.1}% |",
+                r.workload,
+                variant.label(),
+                r.ledger.mem_bytes_per_client_byte(),
+                fidr::hwsim::Projection::cores_needed(
+                    &r.ledger,
+                    &platform,
+                    platform.target_throughput
+                ),
+                r.achievable_gbps(&platform),
+                r.reduction.dedup_ratio() * 100.0,
+                r.cache.hit_rate() * 100.0,
+            );
+        }
+    }
+
+    let ssd = SsdSpec::default();
+    let _ = writeln!(
+        md,
+        "\nBatched 4-KB read latency: baseline {:.0} us -> FIDR {:.0} us.",
+        LatencyModel::baseline_read(&ssd).total().as_secs_f64() * 1e6,
+        LatencyModel::fidr_read(&ssd).total().as_secs_f64() * 1e6,
+    );
+
+    match flags.get("out") {
+        Some(path) if !path.is_empty() => {
+            std::fs::write(path, &md).map_err(|e| format!("write {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        _ => print!("{md}"),
+    }
+    Ok(())
+}
+
+fn cmd_latency() {
+    let ssd = SsdSpec::default();
+    for (name, model) in [
+        ("baseline read", LatencyModel::baseline_read(&ssd)),
+        ("FIDR read", LatencyModel::fidr_read(&ssd)),
+        ("write commit", LatencyModel::write_commit()),
+    ] {
+        println!("{name}:");
+        for stage in &model.stages {
+            println!("  {:<44} {:>7.0} us", stage.name, stage.time.as_secs_f64() * 1e6);
+        }
+        println!("  {:<44} {:>7.0} us\n", "TOTAL", model.total().as_secs_f64() * 1e6);
+    }
+}
+
+fn cmd_cost(flags: &HashMap<String, String>) -> Result<(), String> {
+    let capacity_tb: f64 = flags
+        .get("capacity-tb")
+        .map(|s| s.parse().map_err(|_| "bad --capacity-tb"))
+        .transpose()?
+        .unwrap_or(500.0);
+    let throughput: f64 = flags
+        .get("throughput")
+        .map(|s| s.parse().map_err(|_| "bad --throughput"))
+        .transpose()?
+        .unwrap_or(75.0);
+    let effective_gb = capacity_tb * 1000.0;
+    let model = CostModel::default();
+    let fidr = model.fidr(Scenario {
+        effective_gb,
+        throughput_gbps: throughput,
+        reduction_factor: 4.0,
+        reduced_fraction: 1.0,
+        cores: 0.29 * throughput,
+        cache_dram_gb: 100.0,
+    });
+    println!(
+        "FIDR at {capacity_tb:.0} TB / {throughput:.0} GB/s: ${:.0} total (${:.3}/GB), saving {:.1}% vs no reduction",
+        fidr.total(),
+        fidr.total() / effective_gb,
+        model.saving(&fidr, effective_gb) * 100.0
+    );
+    println!(
+        "  data SSD ${:.0} | table SSD ${:.0} | DRAM ${:.0} | CPU ${:.0} | FPGA ${:.0}",
+        fidr.data_ssd, fidr.table_ssd, fidr.dram, fidr.cpu, fidr.fpga
+    );
+    Ok(())
+}
+
+fn cmd_trace(positional: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = positional.first().ok_or("missing trace file")?;
+    let chunk_kb: usize = flags
+        .get("chunk-kb")
+        .map(|s| s.parse().map_err(|_| "bad --chunk-kb"))
+        .transpose()?
+        .unwrap_or(32);
+    if !chunk_kb.is_multiple_of(4) || chunk_kb == 0 {
+        return Err("--chunk-kb must be a positive multiple of 4".into());
+    }
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let records = parse_trace(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
+    let writes = to_block_writes(&records);
+    println!("{} records, {} block writes", records.len(), writes.len());
+    let fine = replay_chunking(&writes, 1, 1024);
+    let coarse = replay_chunking(&writes, chunk_kb / 4, 1024);
+    println!(
+        "4-KB chunking:  {} IO blocks, dedup {:.1}%",
+        fine.total_io_blocks(),
+        fine.dedup_ratio() * 100.0
+    );
+    println!(
+        "{chunk_kb}-KB chunking: {} IO blocks, dedup {:.1}% -> {:.1}x more IO",
+        coarse.total_io_blocks(),
+        coarse.dedup_ratio() * 100.0,
+        coarse.total_io_blocks() as f64 / fine.total_io_blocks().max(1) as f64
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        println!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let (positional, flags) = parse_flags(&args[1..]);
+    let result = match cmd.as_str() {
+        "run" => cmd_run(&flags),
+        "compare" => cmd_compare(&flags),
+        "latency" => {
+            cmd_latency();
+            Ok(())
+        }
+        "cost" => cmd_cost(&flags),
+        "report" => cmd_report(&flags),
+        "trace" => cmd_trace(&positional, &flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

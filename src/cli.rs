@@ -1,0 +1,95 @@
+//! Argument-parsing helpers for the `fidr` CLI binary.
+//!
+//! Kept in the library so the parsing rules are unit-testable; the binary
+//! in `src/bin/fidr.rs` is a thin dispatcher over these.
+
+use crate::SystemVariant;
+use fidr_workload::WorkloadSpec;
+use std::collections::HashMap;
+
+/// Splits raw arguments into positional values and `--flag value` pairs.
+/// A flag without a following value maps to an empty string.
+pub fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it.next().cloned().unwrap_or_default();
+            flags.insert(name.to_string(), value);
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    (positional, flags)
+}
+
+/// Resolves a workload name used on the command line.
+pub fn workload_by_name(name: &str, ops: usize) -> Option<WorkloadSpec> {
+    Some(match name {
+        "write-h" => WorkloadSpec::write_h(ops),
+        "write-m" => WorkloadSpec::write_m(ops),
+        "write-l" => WorkloadSpec::write_l(ops),
+        "read-mixed" => WorkloadSpec::read_mixed(ops),
+        "vdi" => WorkloadSpec::vdi(ops),
+        "database" => WorkloadSpec::database(ops),
+        "overwrite-churn" => WorkloadSpec::overwrite_churn(ops),
+        _ => return None,
+    })
+}
+
+/// Resolves a system-variant name used on the command line.
+pub fn variant_by_name(name: &str) -> Option<SystemVariant> {
+    Some(match name {
+        "baseline" => SystemVariant::Baseline,
+        "nic-p2p" => SystemVariant::FidrNicP2p,
+        "hw-single" => SystemVariant::FidrHwCacheSingleUpdate,
+        "full" => SystemVariant::FidrFull,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_and_positionals_separate() {
+        let (pos, flags) = parse_flags(&args(&[
+            "trace.txt",
+            "--ops",
+            "500",
+            "--workload",
+            "write-h",
+        ]));
+        assert_eq!(pos, vec!["trace.txt"]);
+        assert_eq!(flags["ops"], "500");
+        assert_eq!(flags["workload"], "write-h");
+    }
+
+    #[test]
+    fn trailing_flag_gets_empty_value() {
+        let (_, flags) = parse_flags(&args(&["--verbose"]));
+        assert_eq!(flags["verbose"], "");
+    }
+
+    #[test]
+    fn all_documented_workloads_resolve() {
+        for name in ["write-h", "write-m", "write-l", "read-mixed", "vdi", "database", "overwrite-churn"] {
+            assert!(workload_by_name(name, 10).is_some(), "{name}");
+        }
+        assert!(workload_by_name("bogus", 10).is_none());
+    }
+
+    #[test]
+    fn all_documented_variants_resolve() {
+        for name in ["baseline", "nic-p2p", "hw-single", "full"] {
+            assert!(variant_by_name(name).is_some(), "{name}");
+        }
+        assert!(variant_by_name("bogus").is_none());
+    }
+}

@@ -1,0 +1,333 @@
+//! Experiment runner: drives a workload through a system variant and
+//! collects everything the paper's figures need.
+//!
+//! The four variants correspond to the staged bars of Figures 12 and 14:
+//! the CIDR-extended baseline, FIDR's NIC offload + P2P with the software
+//! table cache still on the CPU, the Cache HW-Engine with the
+//! single-update tree, and full FIDR with concurrent updates.
+
+use fidr_baseline::{BaselineConfig, BaselineSystem, PredictorStats};
+use fidr_cache::{CacheStats, HwTreeStats};
+use fidr_core::{CacheMode, FidrConfig, FidrError, FidrSystem};
+use fidr_hwsim::{CostParams, Ledger, PlatformSpec, Projection};
+use fidr_tables::ReductionStats;
+use fidr_workload::{Request, Workload, WorkloadSpec};
+
+/// Which system architecture to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemVariant {
+    /// The CIDR-extended baseline (§2.3).
+    Baseline,
+    /// FIDR ideas (a)+(b): NIC hashing + P2P, software table cache.
+    FidrNicP2p,
+    /// Plus the Cache HW-Engine with a single-update tree.
+    FidrHwCacheSingleUpdate,
+    /// Full FIDR: concurrent (4-slot) speculative tree updates.
+    FidrFull,
+}
+
+impl SystemVariant {
+    /// All variants in Figure 14's bar order.
+    pub const ALL: [SystemVariant; 4] = [
+        SystemVariant::Baseline,
+        SystemVariant::FidrNicP2p,
+        SystemVariant::FidrHwCacheSingleUpdate,
+        SystemVariant::FidrFull,
+    ];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SystemVariant::Baseline => "Baseline (CIDR-ext)",
+            SystemVariant::FidrNicP2p => "FIDR NIC+P2P",
+            SystemVariant::FidrHwCacheSingleUpdate => "FIDR +HW cache (1 upd)",
+            SystemVariant::FidrFull => "FIDR full (4 upd)",
+        }
+    }
+}
+
+/// Sizing knobs shared by every run of one experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Table-cache lines (the paper caches 2.8 % of the table).
+    pub cache_lines: usize,
+    /// Hash-PBN buckets on the table SSDs.
+    pub table_buckets: u64,
+    /// Container seal threshold in bytes.
+    pub container_threshold: usize,
+    /// NIC hash batch (FIDR variants).
+    pub hash_batch: usize,
+    /// Per-operation cost constants (default: paper-calibrated).
+    pub cost: CostParams,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            cache_lines: 4096,
+            table_buckets: 1 << 17,
+            container_threshold: 4 << 20,
+            hash_batch: 64,
+            cost: CostParams::default(),
+        }
+    }
+}
+
+/// Everything measured in one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Variant that ran.
+    pub variant: SystemVariant,
+    /// Workload name.
+    pub workload: String,
+    /// Resource ledger.
+    pub ledger: Ledger,
+    /// Reduction outcomes.
+    pub reduction: ReductionStats,
+    /// Table-cache counters.
+    pub cache: CacheStats,
+    /// HW-tree counters, when the Cache HW-Engine ran.
+    pub hwtree: Option<HwTreeStats>,
+    /// HW-tree throughput ceiling in bytes/s at the default platform's
+    /// FPGA DRAM bandwidth, when the engine ran.
+    pub hwtree_ceiling: Option<f64>,
+    /// Predictor counters (baseline only).
+    pub predictor: Option<PredictorStats>,
+}
+
+impl RunReport {
+    /// Projects the achievable throughput on `platform` (§7.5's method),
+    /// folding in the HW-tree ceiling when present.
+    pub fn projection(&self, platform: &PlatformSpec) -> Projection {
+        let mut extra = Vec::new();
+        if let Some(ceiling) = self.hwtree_ceiling {
+            extra.push(("cache HW-engine".to_string(), ceiling));
+        }
+        Projection::project(&self.ledger, platform, &extra)
+    }
+
+    /// Achievable throughput in GB/s on `platform`.
+    pub fn achievable_gbps(&self, platform: &PlatformSpec) -> f64 {
+        self.projection(platform).achievable / 1e9
+    }
+
+    /// Converts this run's measured per-chunk resource demands into a
+    /// tandem discrete-event pipeline on `platform`: one station per
+    /// shared resource, each with service time `demand / capacity`. The
+    /// pipeline's saturation throughput equals the §7.5 analytic
+    /// projection by construction, so driving it cross-checks that the
+    /// projection composes (and exposes the latency the analytic model
+    /// cannot see).
+    pub fn to_write_pipeline(&self, platform: &PlatformSpec) -> fidr_hwsim::des::PipelineSim {
+        use fidr_hwsim::des::Station;
+        use std::time::Duration;
+
+        let chunks = (self.ledger.client_bytes() / 4096).max(1) as f64;
+        let per_chunk = |total: f64| total / chunks;
+        let service = |demand: f64, capacity: f64| Duration::from_secs_f64(demand / capacity);
+
+        let mut stations = vec![
+            Station::new(
+                "host memory",
+                service(per_chunk(self.ledger.mem_total() as f64), platform.mem_bw),
+            ),
+            Station::new(
+                "CPU",
+                service(
+                    per_chunk(self.ledger.cpu_total() as f64),
+                    platform.cpu_capacity(),
+                ),
+            ),
+            Station::new(
+                "PCIe root complex",
+                service(
+                    per_chunk(self.ledger.root_complex_bytes() as f64),
+                    platform.pcie_bw,
+                ),
+            ),
+            Station::new(
+                "table SSDs",
+                service(
+                    per_chunk(
+                        (self.ledger.table_ssd_read_bytes + self.ledger.table_ssd_write_bytes)
+                            as f64,
+                    ),
+                    platform.table_ssd_bw,
+                ),
+            ),
+            Station::new(
+                "data SSDs",
+                service(
+                    per_chunk(
+                        (self.ledger.data_ssd_read_bytes + self.ledger.data_ssd_write_bytes)
+                            as f64,
+                    ),
+                    platform.data_ssd_bw,
+                ),
+            ),
+        ];
+        if let Some(ceiling) = self.hwtree_ceiling {
+            stations.push(Station::new(
+                "cache HW-engine",
+                Duration::from_secs_f64(4096.0 / ceiling),
+            ));
+        }
+        // Zero-service stations would break nothing but add noise.
+        stations.retain(|s| s.service > Duration::ZERO);
+        fidr_hwsim::des::PipelineSim::new(stations)
+    }
+}
+
+/// Aggregate result of a multi-socket (sharded) run.
+#[derive(Debug, Clone)]
+pub struct ShardedReport {
+    /// Per-shard reports, in shard order.
+    pub shards: Vec<RunReport>,
+    /// Wall-clock seconds for the slowest shard (shards run in parallel).
+    pub wall_seconds: f64,
+}
+
+impl ShardedReport {
+    /// Aggregate achievable throughput: the paper treats sockets as
+    /// independent (§3.2: "each socket has independent CPU cores,
+    /// independent memory, and IO buses"), so capacities add.
+    pub fn aggregate_gbps(&self, platform: &PlatformSpec) -> f64 {
+        self.shards
+            .iter()
+            .map(|r| r.achievable_gbps(platform))
+            .sum()
+    }
+
+    /// Functional wall-clock throughput of this process (real bytes
+    /// hashed, deduplicated and compressed per second).
+    pub fn functional_gbps(&self) -> f64 {
+        let bytes: u64 = self.shards.iter().map(|r| r.ledger.client_bytes()).sum();
+        bytes as f64 / self.wall_seconds / 1e9
+    }
+}
+
+/// Runs `spec` across `shards` independent sockets in parallel — each
+/// socket serves its own client population of `spec.ops` requests with
+/// its own tables, cache and ledger, exactly the paper's multi-socket
+/// model (§3.2: per-socket resources are independent).
+///
+/// # Panics
+///
+/// Panics if `shards` is zero or a shard's pipeline errors.
+pub fn run_workload_sharded(
+    variant: SystemVariant,
+    spec: WorkloadSpec,
+    run: RunConfig,
+    shards: usize,
+) -> ShardedReport {
+    assert!(shards > 0, "need at least one shard");
+    let started = std::time::Instant::now();
+    let reports: Vec<RunReport> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|i| {
+                let mut shard_spec = spec.clone();
+                // Distinct seeds stripe the work; each shard serves its
+                // own slice of clients.
+                shard_spec.seed = spec.seed.wrapping_add(i as u64 * 0x9E37_79B9);
+                shard_spec.name = format!("{}[shard {i}]", spec.name);
+                scope.spawn(move |_| run_workload(variant, shard_spec, run))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread panicked"))
+            .collect()
+    })
+    .expect("shard scope");
+    ShardedReport {
+        shards: reports,
+        wall_seconds: started.elapsed().as_secs_f64().max(1e-9),
+    }
+}
+
+/// Runs `spec` through `variant` and reports the measurements.
+///
+/// # Panics
+///
+/// Panics if the storage pipeline reports an error (sizing in
+/// [`RunConfig`] should make the tables large enough) or read-back
+/// verification fails.
+pub fn run_workload(variant: SystemVariant, spec: WorkloadSpec, run: RunConfig) -> RunReport {
+    let workload_name = spec.name.clone();
+    match variant {
+        SystemVariant::Baseline => {
+            let mut sys = BaselineSystem::new(BaselineConfig {
+                cache_lines: run.cache_lines,
+                table_buckets: run.table_buckets,
+                container_threshold: run.container_threshold,
+                cost: run.cost,
+                ..BaselineConfig::default()
+            });
+            for req in Workload::new(spec) {
+                match req {
+                    Request::Write { lba, data } => {
+                        sys.write(lba, data).expect("baseline write");
+                    }
+                    Request::Read { lba } => {
+                        sys.read(lba).expect("baseline read");
+                    }
+                }
+            }
+            sys.flush();
+            RunReport {
+                variant,
+                workload: workload_name,
+                ledger: sys.ledger().clone(),
+                reduction: sys.stats(),
+                cache: sys.cache_stats(),
+                hwtree: None,
+                hwtree_ceiling: None,
+                predictor: Some(sys.predictor_stats()),
+            }
+        }
+        _ => {
+            let cache_mode = match variant {
+                SystemVariant::FidrNicP2p => CacheMode::Software,
+                SystemVariant::FidrHwCacheSingleUpdate => CacheMode::HwEngine { update_slots: 1 },
+                SystemVariant::FidrFull => CacheMode::HwEngine { update_slots: 4 },
+                SystemVariant::Baseline => unreachable!("handled above"),
+            };
+            let mut sys = FidrSystem::new(FidrConfig {
+                cache_lines: run.cache_lines,
+                table_buckets: run.table_buckets,
+                container_threshold: run.container_threshold,
+                hash_batch: run.hash_batch,
+                cache_mode,
+                hwtree_levels: Some(14),
+                cost: run.cost,
+                ..FidrConfig::default()
+            });
+            for req in Workload::new(spec) {
+                match req {
+                    Request::Write { lba, data } => {
+                        sys.write(lba, data).expect("fidr write");
+                    }
+                    Request::Read { lba } => match sys.read(lba) {
+                        Ok(_) => {}
+                        Err(FidrError::NotMapped(_)) => unreachable!("reads target written LBAs"),
+                        Err(e) => panic!("fidr read: {e}"),
+                    },
+                }
+            }
+            sys.flush().expect("fidr flush");
+            let platform = PlatformSpec::default();
+            let hwtree = sys.hwtree_stats();
+            let hwtree_ceiling = sys.hwtree_throughput(platform.fpga_dram_bw);
+            RunReport {
+                variant,
+                workload: workload_name,
+                ledger: sys.ledger().clone(),
+                reduction: sys.stats(),
+                cache: sys.cache_stats(),
+                hwtree,
+                hwtree_ceiling,
+                predictor: None,
+            }
+        }
+    }
+}

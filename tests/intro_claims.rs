@@ -1,0 +1,41 @@
+//! The paper's introductory reduction claims, verified end-to-end:
+//! "Data deduplication and compression have been shown to remove the data
+//! redundancies in the real systems by over 50% for database datasets and
+//! over 80% for virtual desktop infrastructures" (§1).
+
+use fidr::workload::WorkloadSpec;
+use fidr::{run_workload, RunConfig, SystemVariant};
+
+#[test]
+fn vdi_saves_over_80_percent() {
+    let r = run_workload(
+        SystemVariant::FidrFull,
+        WorkloadSpec::vdi(6_000),
+        RunConfig::default(),
+    );
+    let saved = r.reduction.bytes_saved_fraction();
+    assert!(saved > 0.80, "VDI saved only {:.1}%", saved * 100.0);
+}
+
+#[test]
+fn database_saves_over_50_percent() {
+    let r = run_workload(
+        SystemVariant::FidrFull,
+        WorkloadSpec::database(6_000),
+        RunConfig::default(),
+    );
+    let saved = r.reduction.bytes_saved_fraction();
+    assert!(saved > 0.50, "database saved only {:.1}%", saved * 100.0);
+    assert!(saved < 0.80, "database should save less than VDI");
+}
+
+#[test]
+fn both_architectures_agree_on_savings() {
+    for spec in [WorkloadSpec::vdi(4_000), WorkloadSpec::database(4_000)] {
+        let base = run_workload(SystemVariant::Baseline, spec.clone(), RunConfig::default());
+        let fidr = run_workload(SystemVariant::FidrFull, spec, RunConfig::default());
+        let delta =
+            (base.reduction.bytes_saved_fraction() - fidr.reduction.bytes_saved_fraction()).abs();
+        assert!(delta < 0.01, "architectures disagree by {delta}");
+    }
+}

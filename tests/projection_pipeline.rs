@@ -1,0 +1,38 @@
+//! The measured-run → DES-pipeline conversion must agree with the
+//! analytic projection: the pipeline's capacity is the projection's
+//! achievable throughput, and its bottleneck is the same resource.
+
+use fidr::hwsim::PlatformSpec;
+use fidr::workload::WorkloadSpec;
+use fidr::{run_workload, RunConfig, SystemVariant};
+
+#[test]
+fn pipeline_capacity_equals_projection() {
+    let platform = PlatformSpec::default();
+    for variant in [SystemVariant::Baseline, SystemVariant::FidrFull] {
+        let r = run_workload(variant, WorkloadSpec::write_h(4_000), RunConfig::default());
+        let analytic = r.achievable_gbps(&platform);
+        let capacity = r.to_write_pipeline(&platform).capacity_hz() * 4096.0 / 1e9;
+        assert!(
+            (capacity - analytic).abs() / analytic < 0.02,
+            "{}: DES {capacity:.2} vs analytic {analytic:.2}",
+            variant.label()
+        );
+    }
+}
+
+#[test]
+fn pipeline_saturates_under_overload() {
+    let platform = PlatformSpec::default();
+    let r = run_workload(
+        SystemVariant::FidrFull,
+        WorkloadSpec::write_m(4_000),
+        RunConfig::default(),
+    );
+    let pipeline = r.to_write_pipeline(&platform);
+    let result = pipeline.run(20_000, pipeline.capacity_hz() * 2.0);
+    assert!(
+        (result.throughput_hz - pipeline.capacity_hz()).abs() / pipeline.capacity_hz() < 0.01,
+        "overload must pin at capacity"
+    );
+}

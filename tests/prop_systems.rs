@@ -1,0 +1,157 @@
+//! Model-based property tests: arbitrary interleavings of writes,
+//! overwrites, reads, flushes and GC passes against a plain `HashMap`
+//! model. If either architecture ever returns anything but the newest
+//! content — across batching, container sealing, cache eviction, NIC
+//! coalescing, compaction — these shrink to a minimal counterexample.
+
+use bytes::Bytes;
+use fidr::baseline::{BaselineConfig, BaselineSystem};
+use fidr::chunk::Lba;
+use fidr::compress::ContentGenerator;
+use fidr::core::{CacheMode, FidrConfig, FidrSystem};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write content id at an LBA (small spaces force overwrites/dups).
+    Write { lba: u64, content: u64 },
+    Read { lba: u64 },
+    Flush,
+    Gc,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u64..24, 0u64..12).prop_map(|(lba, content)| Op::Write { lba, content }),
+        2 => (0u64..24).prop_map(|lba| Op::Read { lba }),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Gc),
+    ]
+}
+
+fn payload(gen: &ContentGenerator, content: u64) -> Bytes {
+    Bytes::from(gen.chunk(content, 4096))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fidr_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let gen = ContentGenerator::new(0.5);
+        let mut sys = FidrSystem::new(FidrConfig {
+            cache_lines: 8,
+            table_buckets: 64,
+            container_threshold: 16 << 10,
+            hash_batch: 4,
+            cache_mode: CacheMode::HwEngine { update_slots: 4 },
+            hot_read_cache_chunks: 4,
+            ..FidrConfig::default()
+        });
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Write { lba, content } => {
+                    sys.write(Lba(lba), payload(&gen, content)).unwrap();
+                    model.insert(lba, content);
+                }
+                Op::Read { lba } => match model.get(&lba) {
+                    Some(&content) => {
+                        prop_assert_eq!(
+                            sys.read(Lba(lba)).unwrap(),
+                            payload(&gen, content).to_vec(),
+                            "read of LBA {}", lba
+                        );
+                    }
+                    None => prop_assert!(sys.read(Lba(lba)).is_err()),
+                },
+                Op::Flush => sys.flush().unwrap(),
+                Op::Gc => {
+                    sys.flush().unwrap();
+                    sys.collect_garbage(0.6).unwrap();
+                }
+            }
+        }
+        sys.flush().unwrap();
+        for (&lba, &content) in &model {
+            prop_assert_eq!(
+                sys.read(Lba(lba)).unwrap(),
+                payload(&gen, content).to_vec(),
+                "final read of LBA {}", lba
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let gen = ContentGenerator::new(0.5);
+        let mut sys = BaselineSystem::new(BaselineConfig {
+            cache_lines: 8,
+            table_buckets: 64,
+            container_threshold: 16 << 10,
+            ..BaselineConfig::default()
+        });
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Write { lba, content } => {
+                    sys.write(Lba(lba), payload(&gen, content)).unwrap();
+                    model.insert(lba, content);
+                }
+                Op::Read { lba } => match model.get(&lba) {
+                    Some(&content) => {
+                        prop_assert_eq!(
+                            sys.read(Lba(lba)).unwrap(),
+                            payload(&gen, content).to_vec(),
+                            "read of LBA {}", lba
+                        );
+                    }
+                    None => prop_assert!(sys.read(Lba(lba)).is_err()),
+                },
+                Op::Flush => sys.flush(),
+                Op::Gc => {
+                    sys.flush();
+                    sys.collect_garbage(0.6).unwrap();
+                }
+            }
+        }
+        sys.flush();
+        for (&lba, &content) in &model {
+            prop_assert_eq!(
+                sys.read(Lba(lba)).unwrap(),
+                payload(&gen, content).to_vec(),
+                "final read of LBA {}", lba
+            );
+        }
+    }
+
+    /// Dedup invariant: unique chunks never exceed distinct content ids.
+    #[test]
+    fn unique_chunks_bounded_by_distinct_contents(
+        ops in proptest::collection::vec((0u64..32, 0u64..8), 1..100)
+    ) {
+        let gen = ContentGenerator::new(0.5);
+        let mut sys = FidrSystem::new(FidrConfig {
+            cache_lines: 16,
+            table_buckets: 128,
+            container_threshold: 32 << 10,
+            hash_batch: 8,
+            ..FidrConfig::default()
+        });
+        let mut contents = std::collections::HashSet::new();
+        for (lba, content) in ops {
+            sys.write(Lba(lba), payload(&gen, content)).unwrap();
+            contents.insert(content);
+        }
+        sys.flush().unwrap();
+        prop_assert!(sys.stats().unique_chunks as usize <= contents.len());
+        prop_assert_eq!(
+            sys.stats().unique_chunks + sys.stats().duplicate_chunks
+                + (sys.stats().write_chunks
+                    - sys.stats().unique_chunks
+                    - sys.stats().duplicate_chunks),
+            sys.stats().write_chunks
+        );
+    }
+}

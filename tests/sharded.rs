@@ -1,0 +1,55 @@
+//! Multi-socket sharded runs: parallel shards are independent and their
+//! capacities aggregate linearly (§3.2's per-socket model).
+
+use fidr::hwsim::PlatformSpec;
+use fidr::workload::WorkloadSpec;
+use fidr::{run_workload, run_workload_sharded, RunConfig, SystemVariant};
+
+#[test]
+fn shards_aggregate_linearly() {
+    let platform = PlatformSpec::default();
+    let spec = WorkloadSpec::write_h(3_000);
+    let one = run_workload_sharded(
+        SystemVariant::FidrFull,
+        spec.clone(),
+        RunConfig::default(),
+        1,
+    );
+    let two = run_workload_sharded(SystemVariant::FidrFull, spec, RunConfig::default(), 2);
+    assert_eq!(one.shards.len(), 1);
+    assert_eq!(two.shards.len(), 2);
+    let ratio = two.aggregate_gbps(&platform) / one.aggregate_gbps(&platform);
+    assert!((ratio - 2.0).abs() < 0.1, "2-shard scaling {ratio:.3}");
+    assert!(two.functional_gbps() > 0.0);
+}
+
+#[test]
+fn single_shard_matches_direct_run() {
+    let platform = PlatformSpec::default();
+    let spec = WorkloadSpec::write_m(2_000);
+    let direct = run_workload(SystemVariant::Baseline, spec.clone(), RunConfig::default());
+    let sharded = run_workload_sharded(SystemVariant::Baseline, spec, RunConfig::default(), 1);
+    // Shard 0 keeps the base seed, so the runs are identical.
+    assert_eq!(
+        direct.ledger.client_bytes(),
+        sharded.shards[0].ledger.client_bytes()
+    );
+    let a = direct.achievable_gbps(&platform);
+    let b = sharded.shards[0].achievable_gbps(&platform);
+    assert!((a - b).abs() < 1e-9);
+}
+
+#[test]
+fn shards_use_distinct_request_streams() {
+    let r = run_workload_sharded(
+        SystemVariant::FidrFull,
+        WorkloadSpec::write_l(2_000),
+        RunConfig::default(),
+        2,
+    );
+    // Different seeds → different dedup outcomes (almost surely).
+    assert_ne!(
+        r.shards[0].reduction.unique_chunks,
+        r.shards[1].reduction.unique_chunks
+    );
+}
