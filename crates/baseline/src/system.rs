@@ -13,9 +13,10 @@ use crate::predictor::{PredictorStats, UniquePredictor};
 use bytes::Bytes;
 use fidr_cache::{BPlusTree, CacheStats, TableCache};
 use fidr_chunk::{Lba, Pba, Pbn};
-use fidr_compress::CompressedChunk;
+use fidr_compress::{CompressedChunk, Encoding};
 use fidr_hash::Fingerprint;
 use fidr_hwsim::{ops, CostParams, CpuTask, Ledger, MemPath, PcieLink};
+use fidr_metrics::{Histogram, MetricsSnapshot};
 use fidr_ssd::{DataSsdArray, QueueLocation, TableSsd};
 use fidr_tables::{
     ContainerBuilder, ContainerLiveness, GcReport, HashPbnStore, LbaPbaTable, PbnLocation,
@@ -23,6 +24,7 @@ use fidr_tables::{
 };
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Instant;
 
 /// Configuration of a baseline instance.
 #[derive(Debug, Clone)]
@@ -118,6 +120,18 @@ pub struct BaselineSystem {
     dead: Vec<Pbn>,
     ledger: Ledger,
     stats: ReductionStats,
+    /// Wall-clock time per FPGA chunk compression.
+    compress_ns: Histogram,
+    /// Compressed size as a percentage of the original (0–100).
+    compress_pct: Histogram,
+    /// Chunks that compressed via LZSS.
+    compress_lzss_chunks: u64,
+    /// Chunks stored raw because compression did not help.
+    compress_raw_chunks: u64,
+    /// End-to-end wall-clock time per successful client write.
+    write_ns: Histogram,
+    /// End-to-end wall-clock time per successful client read.
+    read_ns: Histogram,
 }
 
 impl BaselineSystem {
@@ -140,6 +154,12 @@ impl BaselineSystem {
             dead: Vec::new(),
             ledger: Ledger::new(),
             stats: ReductionStats::default(),
+            compress_ns: Histogram::new(),
+            compress_pct: Histogram::new(),
+            compress_lzss_chunks: 0,
+            compress_raw_chunks: 0,
+            write_ns: Histogram::new(),
+            read_ns: Histogram::new(),
             cfg,
         }
     }
@@ -176,6 +196,15 @@ impl BaselineSystem {
     /// [`SystemError::BadChunkSize`] for non-4-KB chunks and
     /// [`SystemError::TableFull`] on Hash-PBN bucket overflow.
     pub fn write(&mut self, lba: Lba, data: Bytes) -> Result<(), SystemError> {
+        let started = Instant::now();
+        let out = self.write_inner(lba, data);
+        if out.is_ok() {
+            self.write_ns.record_duration(started.elapsed());
+        }
+        out
+    }
+
+    fn write_inner(&mut self, lba: Lba, data: Bytes) -> Result<(), SystemError> {
         if data.len() != BUCKET_BYTES {
             return Err(SystemError::BadChunkSize(data.len()));
         }
@@ -186,7 +215,12 @@ impl BaselineSystem {
         self.stats.raw_bytes += len;
 
         // 1. NIC DMAs the request into a host-memory buffer.
-        ops::dma_to_host(&mut self.ledger, PcieLink::NicHost, MemPath::NicBuffering, len);
+        ops::dma_to_host(
+            &mut self.ledger,
+            PcieLink::NicHost,
+            MemPath::NicBuffering,
+            len,
+        );
         self.ledger
             .charge_cpu(CpuTask::NicDriver, cost.nic_driver_cycles_per_chunk);
 
@@ -210,7 +244,11 @@ impl BaselineSystem {
 
         // FPGA work: hash everything; compress the predicted uniques.
         let fingerprint = Fingerprint::of(&data);
-        let mut compressed = predicted_unique.then(|| CompressedChunk::compress(&data));
+        let mut compressed = if predicted_unique {
+            Some(self.compress_chunk(&data))
+        } else {
+            None
+        };
 
         // 5. Hashes (and compressed uniques) come back to host memory.
         let returned = 32 + compressed.as_ref().map_or(0, |c| c.stored_len() as u64);
@@ -244,11 +282,9 @@ impl BaselineSystem {
                         MemPath::FpgaStaging,
                         len,
                     );
-                    self.ledger.charge_cpu(
-                        CpuTask::BatchScheduling,
-                        cost.batch_sched_cycles_per_chunk,
-                    );
-                    let c = CompressedChunk::compress(&data);
+                    self.ledger
+                        .charge_cpu(CpuTask::BatchScheduling, cost.batch_sched_cycles_per_chunk);
+                    let c = self.compress_chunk(&data);
                     ops::dma_to_host(
                         &mut self.ledger,
                         PcieLink::HostCompression,
@@ -295,8 +331,7 @@ impl BaselineSystem {
         };
 
         self.map_lba(lba, pbn);
-        self.ledger
-            .charge_cpu(CpuTask::LbaMap, cost.lba_map_cycles);
+        self.ledger.charge_cpu(CpuTask::LbaMap, cost.lba_map_cycles);
         self.ledger
             .charge_cpu(CpuTask::Other, cost.misc_cycles_per_chunk);
         Ok(())
@@ -307,7 +342,10 @@ impl BaselineSystem {
     fn map_lba(&mut self, lba: Lba, pbn: Pbn) {
         let resurrecting = self.lba_map.refcount(pbn) == 0 && self.dead.contains(&pbn);
         if resurrecting {
-            let loc = self.lba_map.location(pbn).expect("queued dead PBN is located");
+            let loc = self
+                .lba_map
+                .location(pbn)
+                .expect("queued dead PBN is located");
             self.liveness.record_revive(loc.container);
             self.dead.retain(|&d| d != pbn);
         }
@@ -382,7 +420,7 @@ impl BaselineSystem {
                     MemPath::FpgaStaging,
                     data.len() as u64,
                 );
-                let compressed = CompressedChunk::compress(&data);
+                let compressed = self.compress_chunk(&data);
                 ops::dma_to_host(
                     &mut self.ledger,
                     PcieLink::HostCompression,
@@ -464,6 +502,15 @@ impl BaselineSystem {
     /// [`SystemError::NotMapped`] for never-written addresses and
     /// [`SystemError::Corrupt`] if the SSD region fails to decode.
     pub fn read(&mut self, lba: Lba) -> Result<Vec<u8>, SystemError> {
+        let started = Instant::now();
+        let out = self.read_inner(lba);
+        if out.is_ok() {
+            self.read_ns.record_duration(started.elapsed());
+        }
+        out
+    }
+
+    fn read_inner(&mut self, lba: Lba) -> Result<Vec<u8>, SystemError> {
         let cost = self.cfg.cost;
         self.ledger.add_client_read_bytes(BUCKET_BYTES as u64);
         self.stats.read_chunks += 1;
@@ -477,7 +524,10 @@ impl BaselineSystem {
             .charge_cpu(CpuTask::BatchScheduling, cost.batch_sched_cycles_per_chunk);
         self.ledger
             .charge_cpu(CpuTask::Other, cost.misc_cycles_per_chunk);
-        let pba = self.lba_map.lookup(lba).ok_or(SystemError::NotMapped(lba))?;
+        let pba = self
+            .lba_map
+            .lookup(lba)
+            .ok_or(SystemError::NotMapped(lba))?;
 
         let data = self.fetch_chunk(pba)?;
 
@@ -575,8 +625,7 @@ impl BaselineSystem {
         sys.lba_map = LbaPbaTable::from_entries(snapshot.lbas, snapshot.pbns);
         sys.next_pbn = snapshot.next_pbn;
         sys.next_container = snapshot.next_container;
-        sys.builder =
-            ContainerBuilder::new(snapshot.next_container, sys.cfg.container_threshold);
+        sys.builder = ContainerBuilder::new(snapshot.next_container, sys.cfg.container_threshold);
         sys.pbn_fp = snapshot.pbn_fp.into_iter().collect();
         sys.container_pbns.clear();
         for (pbn, loc) in sys.lba_map.pbn_entries().collect::<Vec<_>>() {
@@ -631,6 +680,49 @@ impl BaselineSystem {
             verified += 1;
         }
         Ok(verified)
+    }
+
+    /// Compresses one chunk in the (modelled) FPGA, timing the real LZSS
+    /// work and tracking the achieved ratio.
+    fn compress_chunk(&mut self, data: &[u8]) -> CompressedChunk {
+        let started = Instant::now();
+        let compressed = CompressedChunk::compress(data);
+        self.compress_ns.record_duration(started.elapsed());
+        self.compress_pct
+            .record((compressed.ratio() * 100.0).round() as u64);
+        match compressed.encoding() {
+            Encoding::Lzss => self.compress_lzss_chunks += 1,
+            Encoding::Raw => self.compress_raw_chunks += 1,
+        }
+        compressed
+    }
+
+    /// Assembles a [`MetricsSnapshot`] covering every baseline stage:
+    /// table-cache lookups, table/data SSD IO, compression, prediction
+    /// accuracy, reduction outcomes, the resource ledger, and end-to-end
+    /// write/read latency. Same schema and naming as
+    /// `FidrSystem::metrics` (see `docs/OBSERVABILITY.md`); NIC and
+    /// HW-tree metrics are absent because the baseline has neither.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::new();
+        self.cache.export_metrics(&mut out);
+        out.set_counter("cache.hw_engine.enabled", 0);
+        self.table_ssd.export_metrics(&mut out);
+        self.data_ssd.export_metrics(&mut out);
+        self.ledger.export_metrics(&mut out);
+        self.stats.export_metrics(&mut out);
+        out.set_counter("compress.lzss.chunks", self.compress_lzss_chunks);
+        out.set_counter("compress.raw_fallback.chunks", self.compress_raw_chunks);
+        out.set_histogram("compress.chunk.ns", &self.compress_ns);
+        out.set_histogram("compress.ratio.pct", &self.compress_pct);
+        out.set_histogram("system.write.ns", &self.write_ns);
+        out.set_histogram("system.read.ns", &self.read_ns);
+        let p = self.predictor.stats();
+        out.set_counter("predictor.predictions.count", p.predictions);
+        out.set_counter("predictor.predicted_unique.count", p.predicted_unique);
+        out.set_counter("predictor.correct.count", p.correct);
+        out.set_gauge("predictor.accuracy.ratio", p.accuracy());
+        out
     }
 
     fn fetch_chunk(&mut self, pba: Pba) -> Result<Vec<u8>, SystemError> {

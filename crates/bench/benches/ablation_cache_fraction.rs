@@ -31,8 +31,7 @@ fn main() {
                 ..RunConfig::default()
             },
         );
-        let table_traffic = (r.ledger.table_ssd_read_bytes + r.ledger.table_ssd_write_bytes)
-            as f64
+        let table_traffic = (r.ledger.table_ssd_read_bytes + r.ledger.table_ssd_write_bytes) as f64
             / r.ledger.client_bytes() as f64;
         println!(
             "{:>15} {:>11.1}% {:>9.1}% {:>16.3} {:>9.1} GB/s",

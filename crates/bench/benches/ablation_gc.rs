@@ -79,7 +79,8 @@ fn main() {
     println!("\nread-back verified after {rounds} overwrite rounds + GC.");
     println!(
         "GC datapath cost: FIDR moved survivors over P2P links ({} B), the",
-        fidr.ledger().pcie_bytes(fidr::hwsim::PcieLink::DataSsdDecompressionP2p)
+        fidr.ledger()
+            .pcie_bytes(fidr::hwsim::PcieLink::DataSsdDecompressionP2p)
     );
     println!("baseline bounced every survivor through host DRAM.");
 }

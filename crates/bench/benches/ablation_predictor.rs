@@ -36,8 +36,7 @@ fn main() {
         sys.flush();
         let p = sys.predictor_stats();
         // Each chunk takes one round trip; mispredicted uniques take two.
-        let round_trips =
-            p.predictions + (p.predictions - p.correct);
+        let round_trips = p.predictions + (p.predictions - p.correct);
         println!(
             "{:>13} {:>9.1}% {:>16} {:>18.2}",
             bits,

@@ -12,7 +12,10 @@ use fidr::{run_workload, SystemVariant};
 use fidr_bench::{banner, ops, profile_mixed, profile_run_config, profile_write_only};
 
 fn main() {
-    banner("Figure 5a", "CPU cores needed by the baseline vs throughput");
+    banner(
+        "Figure 5a",
+        "CPU cores needed by the baseline vs throughput",
+    );
     let platform = PlatformSpec::default();
     let runs: Vec<_> = [profile_write_only(ops()), profile_mixed(ops())]
         .into_iter()
@@ -27,7 +30,9 @@ fn main() {
 
     println!(
         "{:>14} {:>24} {:>24}",
-        "throughput", &runs[0].0[..20], &runs[1].0[..20]
+        "throughput",
+        &runs[0].0[..20],
+        &runs[1].0[..20]
     );
     for gbps in [5.0, 6.9, 25.0, 50.0, 75.0] {
         let a = Projection::cores_needed(&runs[0].1.ledger, &platform, gbps * 1e9);

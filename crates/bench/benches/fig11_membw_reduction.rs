@@ -10,7 +10,10 @@ use fidr::{run_workload, RunConfig, SystemVariant};
 use fidr_bench::{banner, ops};
 
 fn main() {
-    banner("Figure 11", "host memory BW: baseline vs FIDR (lower is better)");
+    banner(
+        "Figure 11",
+        "host memory BW: baseline vs FIDR (lower is better)",
+    );
     println!(
         "{:<12} {:>22} {:>22} {:>12}",
         "Workload", "baseline (bytes/byte)", "FIDR (bytes/byte)", "reduction"

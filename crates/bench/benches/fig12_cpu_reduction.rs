@@ -13,7 +13,10 @@ use fidr::{run_workload, RunConfig, SystemVariant};
 use fidr_bench::{banner, ops};
 
 fn main() {
-    banner("Figure 12", "CPU cores needed at 75 GB/s, staged (lower is better)");
+    banner(
+        "Figure 12",
+        "CPU cores needed at 75 GB/s, staged (lower is better)",
+    );
     let platform = PlatformSpec::default();
     let variants = [
         SystemVariant::Baseline,

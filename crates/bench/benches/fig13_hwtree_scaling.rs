@@ -40,7 +40,11 @@ fn main() {
 
     for (name, miss, paper) in [
         ("Write-M-like (19% miss)", 19u64, "27.1 -> 63.8 GB/s"),
-        ("Write-H-like (10% miss)", 10u64, "~54 -> ~127 GB/s (DRAM cap)"),
+        (
+            "Write-H-like (10% miss)",
+            10u64,
+            "~54 -> ~127 GB/s (DRAM cap)",
+        ),
     ] {
         println!("\nmix: {name}   [paper: {paper}]");
         println!(

@@ -19,12 +19,7 @@ fn main() {
     let platform = PlatformSpec::default();
     println!(
         "{:<12} {:>20} {:>16} {:>18} {:>16} {:>10}",
-        "Workload",
-        "baseline",
-        "+NIC+P2P",
-        "+HW cache (1upd)",
-        "full (4upd)",
-        "speedup"
+        "Workload", "baseline", "+NIC+P2P", "+HW cache (1upd)", "full (4upd)", "speedup"
     );
     for spec in WorkloadSpec::table3(ops()) {
         let name = spec.name.clone();

@@ -13,7 +13,11 @@ use fidr_bench::banner;
 fn print_model(name: &str, model: &LatencyModel) {
     println!("\n{name}:");
     for stage in &model.stages {
-        println!("  {:<44} {:>8.0} us", stage.name, stage.time.as_secs_f64() * 1e6);
+        println!(
+            "  {:<44} {:>8.0} us",
+            stage.name,
+            stage.time.as_secs_f64() * 1e6
+        );
     }
     println!(
         "  {:<44} {:>8.0} us",
@@ -27,7 +31,10 @@ fn main() {
     let ssd = SsdSpec::default();
     let baseline = LatencyModel::baseline_read(&ssd);
     let fidr = LatencyModel::fidr_read(&ssd);
-    print_model("baseline read (SSD -> host -> FPGA -> host -> NIC)", &baseline);
+    print_model(
+        "baseline read (SSD -> host -> FPGA -> host -> NIC)",
+        &baseline,
+    );
     print_model("FIDR read (SSD -> FPGA -> NIC, P2P)", &fidr);
     println!(
         "\nread latency: {:.0} us -> {:.0} us ({:.0}% lower)   [paper: 700 -> 490 us, 30%]",

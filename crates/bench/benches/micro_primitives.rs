@@ -25,7 +25,9 @@ fn bench_lzss(c: &mut Criterion) {
     let chunk = ContentGenerator::new(0.5).chunk(2, 4096);
     let packed = compress(&chunk);
     g.throughput(Throughput::Bytes(4096));
-    g.bench_function("compress_4k_r05", |b| b.iter(|| compress(black_box(&chunk))));
+    g.bench_function("compress_4k_r05", |b| {
+        b.iter(|| compress(black_box(&chunk)))
+    });
     g.bench_function("compress_4k_r05_high", |b| {
         b.iter(|| {
             fidr::compress::compress_with_level(

@@ -30,7 +30,10 @@ fn engine_gbps(levels: usize, n: u64) -> f64 {
 }
 
 fn main() {
-    banner("Table 5", "Cache HW-Engine: size, throughput, FPGA resources");
+    banner(
+        "Table 5",
+        "Cache HW-Engine: size, throughput, FPGA resources",
+    );
     let board = vcu1525();
     let n = (ops() as u64 * 8).max(100_000);
 

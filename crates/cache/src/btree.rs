@@ -156,10 +156,7 @@ impl BPlusTree {
                     id = children[idx];
                 }
                 Node::Leaf { keys, values } => {
-                    return keys
-                        .binary_search(&key)
-                        .ok()
-                        .map(|i| values[i]);
+                    return keys.binary_search(&key).ok().map(|i| values[i]);
                 }
             }
         }
@@ -349,8 +346,14 @@ impl BPlusTree {
         let (l, c) = index_two(&mut self.nodes, left, child);
         match (l, c) {
             (
-                Node::Leaf { keys: lk, values: lv },
-                Node::Leaf { keys: ck, values: cv },
+                Node::Leaf {
+                    keys: lk,
+                    values: lv,
+                },
+                Node::Leaf {
+                    keys: ck,
+                    values: cv,
+                },
             ) => {
                 let k = lk.pop().expect("left has spare key");
                 let v = lv.pop().expect("left has spare value");
@@ -360,8 +363,14 @@ impl BPlusTree {
                 self.set_parent_key(parent, idx - 1, sep);
             }
             (
-                Node::Internal { keys: lk, children: lc },
-                Node::Internal { keys: ck, children: cc },
+                Node::Internal {
+                    keys: lk,
+                    children: lc,
+                },
+                Node::Internal {
+                    keys: ck,
+                    children: cc,
+                },
             ) => {
                 let moved_child = lc.pop().expect("left has spare child");
                 let moved_key = lk.pop().expect("left has spare key");
@@ -379,8 +388,14 @@ impl BPlusTree {
         let (c, r) = index_two(&mut self.nodes, child, right);
         match (c, r) {
             (
-                Node::Leaf { keys: ck, values: cv },
-                Node::Leaf { keys: rk, values: rv },
+                Node::Leaf {
+                    keys: ck,
+                    values: cv,
+                },
+                Node::Leaf {
+                    keys: rk,
+                    values: rv,
+                },
             ) => {
                 ck.push(rk.remove(0));
                 cv.push(rv.remove(0));
@@ -388,8 +403,14 @@ impl BPlusTree {
                 self.set_parent_key(parent, idx, sep);
             }
             (
-                Node::Internal { keys: ck, children: cc },
-                Node::Internal { keys: rk, children: rc },
+                Node::Internal {
+                    keys: ck,
+                    children: cc,
+                },
+                Node::Internal {
+                    keys: rk,
+                    children: rc,
+                },
             ) => {
                 ck.push(old_sep);
                 cc.push(rc.remove(0));
@@ -413,7 +434,10 @@ impl BPlusTree {
         );
         match (&mut self.nodes[left], right_node) {
             (
-                Node::Leaf { keys: lk, values: lv },
+                Node::Leaf {
+                    keys: lk,
+                    values: lv,
+                },
                 Node::Leaf {
                     keys: mut rk,
                     values: mut rv,
@@ -423,7 +447,10 @@ impl BPlusTree {
                 lv.append(&mut rv);
             }
             (
-                Node::Internal { keys: lk, children: lc },
+                Node::Internal {
+                    keys: lk,
+                    children: lc,
+                },
                 Node::Internal {
                     keys: mut rk,
                     children: mut rc,

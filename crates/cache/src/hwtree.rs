@@ -222,8 +222,7 @@ impl HwTree {
             // window first (serial re-execution), costing a full
             // unshared pass.
             self.stats.crashes += 1;
-            self.stats.cycles +=
-                self.cfg.update_fixed_cycles + self.cfg.update_serial_cycles;
+            self.stats.cycles += self.cfg.update_fixed_cycles + self.cfg.update_serial_cycles;
             self.stats.fpga_dram_bytes += self.cfg.leaf_bytes;
             self.window.clear();
         }
@@ -356,7 +355,10 @@ mod tests {
             t.insert(k.wrapping_mul(0x9e3779b97f4a7c15), 0);
         }
         let rate = t.stats().crash_rate();
-        assert!(rate < 0.001, "crash rate {rate} should be <0.1% (paper §7.4)");
+        assert!(
+            rate < 0.001,
+            "crash rate {rate} should be <0.1% (paper §7.4)"
+        );
     }
 
     #[test]
@@ -401,11 +403,7 @@ mod tests {
             "single-update {:.1} GB/s",
             single / 1e9
         );
-        assert!(
-            quad > 55e9 && quad < 80e9,
-            "4-slot {:.1} GB/s",
-            quad / 1e9
-        );
+        assert!(quad > 55e9 && quad < 80e9, "4-slot {:.1} GB/s", quad / 1e9);
         assert!(quad / single > 2.0);
     }
 

@@ -142,10 +142,7 @@ impl PipelinedTree {
             idx = node.children[Self::child_index(&node.keys, key)];
         }
         let leaf = &self.leaves.slots[idx as usize];
-        leaf.keys
-            .binary_search(&key)
-            .ok()
-            .map(|i| leaf.values[i])
+        leaf.keys.binary_search(&key).ok().map(|i| leaf.values[i])
     }
 
     /// Inserts `key` → `value` in a single downward pass, splitting any
@@ -193,7 +190,10 @@ impl PipelinedTree {
         if self.height == 0 {
             self.leaves.slots[self.root as usize].keys.len() >= LEAF_MAX
         } else {
-            self.inner[self.height - 1].slots[self.root as usize].keys.len() >= INNER_MAX
+            self.inner[self.height - 1].slots[self.root as usize]
+                .keys
+                .len()
+                >= INNER_MAX
         }
     }
 
@@ -340,7 +340,10 @@ impl PipelinedTree {
             if self.inner[lower].slots[left as usize].keys.len() > 1 {
                 let (moved_key, moved_child) = {
                     let l = &mut self.inner[lower].slots[left as usize];
-                    (l.keys.pop().expect("spare"), l.children.pop().expect("spare"))
+                    (
+                        l.keys.pop().expect("spare"),
+                        l.children.pop().expect("spare"),
+                    )
                 };
                 let sep = std::mem::replace(
                     &mut self.inner[h].slots[parent as usize].keys[child_pos - 1],

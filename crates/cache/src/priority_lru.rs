@@ -150,10 +150,7 @@ impl PriorityLruCache {
             .or_else(|| self.coldest_overall());
         if let Some(key) = victim_key {
             let entry = self.entries.remove(&key).expect("victim resident");
-            let stats = self
-                .tenants
-                .get_mut(&entry.tenant)
-                .expect("tenant tracked");
+            let stats = self.tenants.get_mut(&entry.tenant).expect("tenant tracked");
             stats.resident -= 1;
         }
     }

@@ -10,8 +10,10 @@
 use crate::btree::BPlusTree;
 use crate::hwtree::HwTree;
 use crate::lru::{FreeList, LruList};
+use fidr_metrics::{Histogram, MetricsSnapshot};
 use fidr_ssd::TableSsd;
 use fidr_tables::Bucket;
+use std::time::Instant;
 
 /// Pluggable bucket-index for the table cache.
 ///
@@ -115,6 +117,9 @@ pub struct TableCache<I> {
     free: FreeList,
     stats: CacheStats,
     evict_batch: usize,
+    /// Wall-clock time per [`access`](TableCache::access), covering the
+    /// index walk and any eviction/fetch work.
+    access_ns: Histogram,
 }
 
 impl<I: CacheIndex> TableCache<I> {
@@ -134,6 +139,7 @@ impl<I: CacheIndex> TableCache<I> {
             free: FreeList::full(capacity),
             stats: CacheStats::default(),
             evict_batch: 8,
+            access_ns: Histogram::new(),
         }
     }
 
@@ -160,10 +166,12 @@ impl<I: CacheIndex> TableCache<I> {
     /// Ensures `bucket` is cached, fetching and evicting as needed, and
     /// returns where it lives.
     pub fn access(&mut self, bucket: u64, ssd: &mut TableSsd) -> Access {
+        let started = Instant::now();
         self.stats.accesses += 1;
         if let Some(line) = self.index.index_search(bucket) {
             self.stats.hits += 1;
             self.lru.touch(line);
+            self.access_ns.record_duration(started.elapsed());
             return Access {
                 line,
                 hit: true,
@@ -182,8 +190,8 @@ impl<I: CacheIndex> TableCache<I> {
                 let Some(victim) = self.lru.pop_coldest() else {
                     break;
                 };
-                let victim_bucket = self.line_bucket[victim as usize]
-                    .expect("victim line holds a bucket");
+                let victim_bucket =
+                    self.line_bucket[victim as usize].expect("victim line holds a bucket");
                 self.index.index_remove(victim_bucket);
                 if self.dirty[victim as usize] {
                     let content = std::mem::take(&mut self.lines[victim as usize]);
@@ -205,12 +213,25 @@ impl<I: CacheIndex> TableCache<I> {
         self.dirty[line as usize] = false;
         self.index.index_insert(bucket, line);
         self.lru.push_hot(line);
+        self.access_ns.record_duration(started.elapsed());
         Access {
             line,
             hit: false,
             evicted,
             flushed,
         }
+    }
+
+    /// Exports the cache's counters and lookup-latency histogram under the
+    /// `cache.*` prefix (see `docs/OBSERVABILITY.md`).
+    pub fn export_metrics(&self, out: &mut MetricsSnapshot) {
+        out.set_counter("cache.accesses.count", self.stats.accesses);
+        out.set_counter("cache.hits.count", self.stats.hits);
+        out.set_counter("cache.misses.count", self.stats.misses);
+        out.set_counter("cache.evictions.count", self.stats.evictions);
+        out.set_counter("cache.dirty_flushes.count", self.stats.dirty_flushes);
+        out.set_gauge("cache.hit.ratio", self.stats.hit_rate());
+        out.set_histogram("cache.lookup.ns", &self.access_ns);
     }
 
     /// Read-only view of a cached bucket.

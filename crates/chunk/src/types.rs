@@ -6,7 +6,6 @@
 //! physical block address (PBA = container + offset) on the data SSDs.
 //! Newtypes keep them from being mixed up at compile time.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The fine-grain chunk size the paper settles on (§3.1): 4 KB.
@@ -23,9 +22,7 @@ pub const CHUNK_SIZE: usize = 4096;
 /// assert_eq!(lba.byte_offset(), 7 * 4096);
 /// assert_eq!(lba.next(), Lba(8));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Lba(pub u64);
 
 impl Lba {
@@ -49,9 +46,7 @@ impl fmt::Display for Lba {
 /// A physical block number: the index of a unique chunk in the deduplicated
 /// store. The Hash-PBN table maps fingerprints to PBNs (§2.1.3, "6 bytes for
 /// PBN" — we use `u64` in memory and 6 bytes in the serialized entry).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Pbn(pub u64);
 
 impl Pbn {
@@ -68,7 +63,7 @@ impl fmt::Display for Pbn {
 /// A physical block address on the data SSDs: which container holds the
 /// compressed chunk, the byte offset inside it, and the compressed size
 /// (§2.1.4's PBN→PBA mapping entries).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Pba {
     /// Container sequence number on the data SSDs.
     pub container: u64,

@@ -7,10 +7,9 @@
 //! is stored raw, flagged in the encoding byte.
 
 use crate::lzss::{self, DecompressError};
-use serde::{Deserialize, Serialize};
 
 /// How a chunk's bytes are encoded on the data SSD.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Encoding {
     /// LZ-compressed payload.
     Lzss,
@@ -30,7 +29,7 @@ pub enum Encoding {
 /// assert!(cc.stored_len() < 100);
 /// assert_eq!(cc.decompress().unwrap(), data);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompressedChunk {
     encoding: Encoding,
     payload: Vec<u8>,

@@ -110,8 +110,7 @@ mod tests {
     #[test]
     fn hits_target_ratio_quarter() {
         let g = ContentGenerator::new(0.25);
-        let avg: f64 =
-            (0..20).map(|s| g.measured_ratio(s, 4096)).sum::<f64>() / 20.0;
+        let avg: f64 = (0..20).map(|s| g.measured_ratio(s, 4096)).sum::<f64>() / 20.0;
         assert!((avg - 0.25).abs() < 0.08, "average ratio {avg}");
     }
 

@@ -287,7 +287,9 @@ pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>, Decompre
         let mut lit_len = (token >> 4) as usize;
         if lit_len == 15 {
             loop {
-                let b = *input.get(p).ok_or(DecompressError::new("truncated literal length"))?;
+                let b = *input
+                    .get(p)
+                    .ok_or(DecompressError::new("truncated literal length"))?;
                 p += 1;
                 lit_len += b as usize;
                 if b != 255 {
@@ -316,7 +318,9 @@ pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>, Decompre
         let mut mlen = (token & 0x0f) as usize + MIN_MATCH;
         if mlen == 15 + MIN_MATCH {
             loop {
-                let b = *input.get(p).ok_or(DecompressError::new("truncated match length"))?;
+                let b = *input
+                    .get(p)
+                    .ok_or(DecompressError::new("truncated match length"))?;
                 p += 1;
                 mlen += b as usize;
                 if b != 255 {
@@ -366,7 +370,11 @@ mod tests {
     fn highly_repetitive_compresses_well() {
         let data = vec![0x42u8; 4096];
         let c = compress(&data);
-        assert!(c.len() < 100, "4 KB of one byte should pack tiny, got {}", c.len());
+        assert!(
+            c.len() < 100,
+            "4 KB of one byte should pack tiny, got {}",
+            c.len()
+        );
         roundtrip(&data);
     }
 
@@ -409,7 +417,9 @@ mod tests {
     #[test]
     fn long_literal_runs() {
         // >270 distinct bytes to force extended literal length encoding.
-        let data: Vec<u8> = (0u32..1000).map(|i| (i.wrapping_mul(179) >> 3) as u8).collect();
+        let data: Vec<u8> = (0u32..1000)
+            .map(|i| (i.wrapping_mul(179) >> 3) as u8)
+            .collect();
         roundtrip(&data);
     }
 
@@ -418,7 +428,9 @@ mod tests {
         // Structured text-like data where lazy matching finds better cuts.
         let mut data = Vec::new();
         for i in 0..400u32 {
-            data.extend_from_slice(format!("record-{:04}: the quick brown fox;", i % 37).as_bytes());
+            data.extend_from_slice(
+                format!("record-{:04}: the quick brown fox;", i % 37).as_bytes(),
+            );
         }
         let fast = compress_with_level(&data, CompressionLevel::Fast);
         let high = compress_with_level(&data, CompressionLevel::High);
@@ -443,7 +455,11 @@ mod tests {
                 (s >> 30) as u8
             })
             .collect();
-        for data in [noise, vec![7u8; 8192], (0..8192u32).map(|i| (i % 5) as u8).collect()] {
+        for data in [
+            noise,
+            vec![7u8; 8192],
+            (0..8192u32).map(|i| (i % 5) as u8).collect(),
+        ] {
             let c = compress_with_level(&data, CompressionLevel::High);
             assert_eq!(decompress(&c, data.len()).unwrap(), data);
         }

@@ -1,7 +1,9 @@
 //! Property-based tests for the codec: roundtrip over arbitrary and
 //! adversarially-structured inputs.
 
-use fidr_compress::{compress, compress_with_level, decompress, CompressedChunk, CompressionLevel, ContentGenerator};
+use fidr_compress::{
+    compress, compress_with_level, decompress, CompressedChunk, CompressionLevel, ContentGenerator,
+};
 use proptest::prelude::*;
 
 proptest! {

@@ -8,6 +8,11 @@
 //! stack cycles to the CPU, as in the baseline) or the HW-Engine (charging
 //! the FPGA pipeline instead — zero CPU for indexing and table-SSD IO,
 //! per §5.5/§6.1).
+//!
+//! Whichever backend runs, [`CacheBackend::export_metrics`] reports it
+//! through the same `cache.*`/`hwtree.*` metric names (plus a
+//! `cache.hw_engine.enabled` flag), so snapshots from different variants
+//! are directly comparable — see `docs/OBSERVABILITY.md`.
 
 use fidr_cache::{Access, BPlusTree, CacheStats, HwTree, HwTreeConfig, HwTreeStats, TableCache};
 use fidr_hwsim::{ops, CostParams, CpuTask, Ledger, MemPath, PcieLink};
@@ -47,7 +52,9 @@ impl CacheBackend {
     /// deployment. Pass `None` to derive the depth from `capacity`.
     pub fn new(mode: CacheMode, capacity: usize, hwtree_levels: Option<usize>) -> Self {
         match mode {
-            CacheMode::Software => CacheBackend::Software(TableCache::new(capacity, BPlusTree::new())),
+            CacheMode::Software => {
+                CacheBackend::Software(TableCache::new(capacity, BPlusTree::new()))
+            }
             CacheMode::HwEngine { update_slots } => {
                 let base = match hwtree_levels {
                     Some(levels) => HwTreeConfig::with_levels(levels),
@@ -271,6 +278,30 @@ impl CacheBackend {
         match self {
             CacheBackend::Software(c) => c.flush_all(ssd),
             CacheBackend::Hw(c) => c.flush_all(ssd),
+        }
+    }
+
+    /// Exports the `cache.*` counters and lookup-latency histogram and,
+    /// when the Cache HW-Engine drives the index, the `hwtree.*` engine
+    /// counters (see `docs/OBSERVABILITY.md`).
+    pub fn export_metrics(&self, out: &mut fidr_metrics::MetricsSnapshot) {
+        match self {
+            CacheBackend::Software(c) => {
+                c.export_metrics(out);
+                out.set_counter("cache.hw_engine.enabled", 0);
+            }
+            CacheBackend::Hw(c) => {
+                c.export_metrics(out);
+                out.set_counter("cache.hw_engine.enabled", 1);
+            }
+        }
+        if let Some(t) = self.hwtree_stats() {
+            out.set_counter("hwtree.searches.count", t.searches);
+            out.set_counter("hwtree.updates.count", t.updates);
+            out.set_counter("hwtree.crashes.count", t.crashes);
+            out.set_counter("hwtree.cycles.count", t.cycles);
+            out.set_counter("hwtree.fpga_dram.bytes", t.fpga_dram_bytes);
+            out.set_gauge("hwtree.crash.ratio", t.crash_rate());
         }
     }
 }

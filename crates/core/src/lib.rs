@@ -43,7 +43,7 @@ mod latency;
 mod system;
 
 pub use backend::{CacheBackend, CacheMode};
+pub use fidr_tables::{Snapshot, SnapshotError};
 pub use hotcache::{HotCacheStats, HotReadCache};
 pub use latency::{LatencyModel, Stage};
-pub use fidr_tables::{Snapshot, SnapshotError};
 pub use system::{FidrConfig, FidrError, FidrSystem};

@@ -19,17 +19,19 @@ use crate::hotcache::{HotCacheStats, HotReadCache};
 use bytes::Bytes;
 use fidr_cache::{CacheStats, HwTreeStats};
 use fidr_chunk::{Lba, Pba, Pbn};
-use fidr_compress::CompressedChunk;
+use fidr_compress::{CompressedChunk, Encoding};
+use fidr_hash::Fingerprint;
 use fidr_hwsim::{ops, CostParams, CpuTask, Ledger, MemPath, PcieLink};
+use fidr_metrics::{Histogram, MetricsSnapshot};
 use fidr_nic::{FidrNic, HashedChunk, NicStats};
 use fidr_ssd::{DataSsdArray, QueueLocation, TableSsd};
-use fidr_hash::Fingerprint;
 use fidr_tables::{
     ContainerBuilder, ContainerLiveness, GcReport, LbaPbaTable, PbnLocation, ReductionStats,
     BUCKET_BYTES,
 };
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Instant;
 
 /// Configuration of a FIDR instance.
 #[derive(Debug, Clone)]
@@ -153,6 +155,18 @@ pub struct FidrSystem {
     hot_cache: HotReadCache,
     ledger: Ledger,
     stats: ReductionStats,
+    /// Wall-clock time per Compression-Engine chunk compression.
+    compress_ns: Histogram,
+    /// Compressed size as a percentage of the original (0–100).
+    compress_pct: Histogram,
+    /// Chunks that compressed via LZSS.
+    compress_lzss_chunks: u64,
+    /// Chunks stored raw because compression did not help.
+    compress_raw_chunks: u64,
+    /// End-to-end wall-clock time per successful client write.
+    write_ns: Histogram,
+    /// End-to-end wall-clock time per successful client read.
+    read_ns: Histogram,
 }
 
 impl FidrSystem {
@@ -179,6 +193,12 @@ impl FidrSystem {
             hot_cache: HotReadCache::new(cfg.hot_read_cache_chunks),
             ledger: Ledger::new(),
             stats: ReductionStats::default(),
+            compress_ns: Histogram::new(),
+            compress_pct: Histogram::new(),
+            compress_lzss_chunks: 0,
+            compress_raw_chunks: 0,
+            write_ns: Histogram::new(),
+            read_ns: Histogram::new(),
             cfg,
         }
     }
@@ -233,6 +253,15 @@ impl FidrSystem {
     /// [`FidrError::BadChunkSize`], [`FidrError::NicBufferFull`], or a
     /// propagated backend error once a batch processes.
     pub fn write(&mut self, lba: Lba, data: Bytes) -> Result<(), FidrError> {
+        let started = Instant::now();
+        let out = self.write_inner(lba, data);
+        if out.is_ok() {
+            self.write_ns.record_duration(started.elapsed());
+        }
+        out
+    }
+
+    fn write_inner(&mut self, lba: Lba, data: Bytes) -> Result<(), FidrError> {
         if data.len() != BUCKET_BYTES {
             return Err(FidrError::BadChunkSize(data.len()));
         }
@@ -298,6 +327,15 @@ impl FidrSystem {
     /// [`FidrError::NotMapped`] for never-written addresses and
     /// [`FidrError::Corrupt`] if the SSD region fails to decode.
     pub fn read(&mut self, lba: Lba) -> Result<Vec<u8>, FidrError> {
+        let started = Instant::now();
+        let out = self.read_inner(lba);
+        if out.is_ok() {
+            self.read_ns.record_duration(started.elapsed());
+        }
+        out
+    }
+
+    fn read_inner(&mut self, lba: Lba) -> Result<Vec<u8>, FidrError> {
         let cost = self.cfg.cost;
         self.ledger.add_client_read_bytes(BUCKET_BYTES as u64);
         self.stats.read_chunks += 1;
@@ -409,10 +447,8 @@ impl FidrSystem {
             .map(|c| (c.fingerprint.bucket_index(num_buckets), c.fingerprint))
             .collect();
         for _ in &batch {
-            self.ledger.charge_cpu(
-                CpuTask::DeviceManager,
-                cost.device_manager_cycles_per_chunk,
-            );
+            self.ledger
+                .charge_cpu(CpuTask::DeviceManager, cost.device_manager_cycles_per_chunk);
             self.ledger
                 .charge_cpu(CpuTask::Other, cost.misc_cycles_per_chunk);
         }
@@ -472,15 +508,10 @@ impl FidrSystem {
         // Step 10 begins with re-validation: an identical chunk earlier in
         // this batch may have stored the content already (the flags were
         // computed before any commit).
-        let bucket_idx = chunk
-            .fingerprint
-            .bucket_index(self.table_ssd.num_buckets());
-        let access = self.cache.access_for_update(
-            bucket_idx,
-            &mut self.table_ssd,
-            &mut self.ledger,
-            &cost,
-        );
+        let bucket_idx = chunk.fingerprint.bucket_index(self.table_ssd.num_buckets());
+        let access =
+            self.cache
+                .access_for_update(bucket_idx, &mut self.table_ssd, &mut self.ledger, &cost);
         if let Some(pbn) = self.cache.bucket(access.line).lookup(&chunk.fingerprint) {
             self.stats.duplicate_chunks += 1;
             self.map_lba(chunk.lba, pbn);
@@ -492,7 +523,7 @@ impl FidrSystem {
 
         // Compression happens inside the engine; output stays in engine
         // DRAM until the container seals.
-        let compressed = CompressedChunk::compress(&chunk.data);
+        let compressed = self.compress_chunk(&chunk.data);
         self.ledger.fpga_dram_bytes += compressed.stored_len() as u64;
         self.stats.stored_bytes += compressed.stored_len() as u64;
 
@@ -505,7 +536,12 @@ impl FidrSystem {
             .map_err(|_| FidrError::TableFull)?;
 
         // Step 8: metadata (compressed size, LBA) to the host.
-        ops::dma_to_host(&mut self.ledger, PcieLink::HostCompression, MemPath::FpgaStaging, 16);
+        ops::dma_to_host(
+            &mut self.ledger,
+            PcieLink::HostCompression,
+            MemPath::FpgaStaging,
+            16,
+        );
 
         let slot = self.builder.append(&compressed);
         self.staging.insert(slot.offset, chunk.data.to_vec());
@@ -595,8 +631,7 @@ impl FidrSystem {
         sys.lba_map = LbaPbaTable::from_entries(snapshot.lbas, snapshot.pbns);
         sys.next_pbn = snapshot.next_pbn;
         sys.next_container = snapshot.next_container;
-        sys.builder =
-            ContainerBuilder::new(snapshot.next_container, sys.cfg.container_threshold);
+        sys.builder = ContainerBuilder::new(snapshot.next_container, sys.cfg.container_threshold);
         sys.pbn_fp = snapshot.pbn_fp.into_iter().collect();
         sys.container_pbns.clear();
         for (pbn, loc) in sys.lba_map.pbn_entries().collect::<Vec<_>>() {
@@ -616,7 +651,10 @@ impl FidrSystem {
         self.hot_cache.invalidate(lba);
         let resurrecting = self.lba_map.refcount(pbn) == 0 && self.dead.contains(&pbn);
         if resurrecting {
-            let loc = self.lba_map.location(pbn).expect("queued dead PBN is located");
+            let loc = self
+                .lba_map
+                .location(pbn)
+                .expect("queued dead PBN is located");
             self.liveness.record_revive(loc.container);
             self.dead.retain(|&d| d != pbn);
         }
@@ -697,7 +735,7 @@ impl FidrSystem {
                     .charge_cpu(CpuTask::DataSsdStack, cost.data_ssd_io_cycles);
                 self.ledger.data_ssd_read_bytes += io_bytes;
 
-                let compressed = CompressedChunk::compress(&data);
+                let compressed = self.compress_chunk(&data);
                 self.ledger.fpga_dram_bytes += compressed.stored_len() as u64;
                 let slot = self.builder.append(&compressed);
                 self.staging.insert(slot.offset, data);
@@ -774,6 +812,48 @@ impl FidrSystem {
             verified += 1;
         }
         Ok(verified)
+    }
+
+    /// Compresses one chunk in the (modelled) Compression Engine, timing
+    /// the real LZSS work and tracking the achieved ratio.
+    fn compress_chunk(&mut self, data: &[u8]) -> CompressedChunk {
+        let started = Instant::now();
+        let compressed = CompressedChunk::compress(data);
+        self.compress_ns.record_duration(started.elapsed());
+        self.compress_pct
+            .record((compressed.ratio() * 100.0).round() as u64);
+        match compressed.encoding() {
+            Encoding::Lzss => self.compress_lzss_chunks += 1,
+            Encoding::Raw => self.compress_raw_chunks += 1,
+        }
+        compressed
+    }
+
+    /// Assembles a [`MetricsSnapshot`] covering every pipeline stage: NIC
+    /// ingest and hashing, table-cache lookups (and the HW-tree engine
+    /// when enabled), table/data SSD IO, compression, reduction outcomes,
+    /// the resource ledger, and end-to-end write/read latency. Names and
+    /// semantics are documented in `docs/OBSERVABILITY.md`.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::new();
+        self.nic.export_metrics(&mut out);
+        self.cache.export_metrics(&mut out);
+        self.table_ssd.export_metrics(&mut out);
+        self.data_ssd.export_metrics(&mut out);
+        self.ledger.export_metrics(&mut out);
+        self.stats.export_metrics(&mut out);
+        out.set_counter("compress.lzss.chunks", self.compress_lzss_chunks);
+        out.set_counter("compress.raw_fallback.chunks", self.compress_raw_chunks);
+        out.set_histogram("compress.chunk.ns", &self.compress_ns);
+        out.set_histogram("compress.ratio.pct", &self.compress_pct);
+        out.set_histogram("system.write.ns", &self.write_ns);
+        out.set_histogram("system.read.ns", &self.read_ns);
+        let hc = self.hot_cache.stats();
+        out.set_counter("hotcache.hits.count", hc.hits);
+        out.set_counter("hotcache.misses.count", hc.misses);
+        out.set_counter("hotcache.admissions.count", hc.admissions);
+        out.set_counter("hotcache.evictions.count", hc.evictions);
+        out
     }
 
     fn fetch_chunk(&mut self, pba: Pba) -> Result<Vec<u8>, FidrError> {
@@ -991,7 +1071,7 @@ mod tests {
         s.write(Lba(0), chunk(8)).unwrap(); // kills content 7
         s.flush().unwrap();
         s.collect_garbage(1.1).unwrap(); // collect everything sparse
-        // Rewriting content 7 must be a fresh unique (entry was removed).
+                                         // Rewriting content 7 must be a fresh unique (entry was removed).
         s.write(Lba(1), chunk(7)).unwrap();
         s.flush().unwrap();
         assert_eq!(s.read(Lba(1)).unwrap(), chunk(7).to_vec());

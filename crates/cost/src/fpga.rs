@@ -6,10 +6,8 @@
 //! logic, and the Cache HW-Engine by per-level tree pipeline stages with
 //! URAM appearing only for the deep (14-level) configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// Absolute resource counts of one module or board.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FpgaResources {
     /// Look-up tables.
     pub luts: u64,
@@ -183,8 +181,16 @@ mod tests {
     fn table4_write_only_shape() {
         let r = nic_reduction_support(1.0);
         // Paper: 125 K LUTs, 128 K FFs, 95 BRAMs.
-        assert!((r.luts as f64 - 125_000.0).abs() / 125_000.0 < 0.03, "{}", r.luts);
-        assert!((r.ffs as f64 - 128_000.0).abs() / 128_000.0 < 0.05, "{}", r.ffs);
+        assert!(
+            (r.luts as f64 - 125_000.0).abs() / 125_000.0 < 0.03,
+            "{}",
+            r.luts
+        );
+        assert!(
+            (r.ffs as f64 - 128_000.0).abs() / 128_000.0 < 0.05,
+            "{}",
+            r.ffs
+        );
         assert!((r.brams as f64 - 95.0).abs() < 10.0, "{}", r.brams);
         let total = fidr_nic_total(1.0);
         let util = total.utilization(&vcu1525());
@@ -198,14 +204,22 @@ mod tests {
         let m = nic_reduction_support(0.5);
         assert!(m.luts < w.luts);
         // Paper mixed: 84 K LUTs.
-        assert!((m.luts as f64 - 84_000.0).abs() / 84_000.0 < 0.04, "{}", m.luts);
+        assert!(
+            (m.luts as f64 - 84_000.0).abs() / 84_000.0 < 0.04,
+            "{}",
+            m.luts
+        );
     }
 
     #[test]
     fn table5_prototype_shape() {
         let r = cache_engine_resources(CacheEngineConfig::prototype());
         // Paper "All": 320 K LUTs, 160 K FFs, 218 BRAM, no URAM.
-        assert!((r.luts as f64 - 320_000.0).abs() / 320_000.0 < 0.03, "{}", r.luts);
+        assert!(
+            (r.luts as f64 - 320_000.0).abs() / 320_000.0 < 0.03,
+            "{}",
+            r.luts
+        );
         assert!((r.brams as f64 - 218.0).abs() < 25.0, "{}", r.brams);
         assert_eq!(r.urams, 0);
     }
@@ -214,7 +228,11 @@ mod tests {
     fn table5_large_tree_needs_uram() {
         let r = cache_engine_resources(CacheEngineConfig::large_tree());
         // Paper "Large tree": 348 K LUTs, 756 URAM (78.8 %).
-        assert!((r.luts as f64 - 348_000.0).abs() / 348_000.0 < 0.05, "{}", r.luts);
+        assert!(
+            (r.luts as f64 - 348_000.0).abs() / 348_000.0 < 0.05,
+            "{}",
+            r.luts
+        );
         assert!((r.urams as f64 - 756.0).abs() < 80.0, "{}", r.urams);
         let uram_frac = r.urams as f64 / vcu1525().urams as f64;
         assert!((uram_frac - 0.788).abs() < 0.1, "uram util {uram_frac}");

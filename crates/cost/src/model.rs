@@ -6,10 +6,9 @@
 //! 22-core CPU, $7,000 for a high-end FPGA with 70 % of resources usable.
 
 use crate::fpga::{self, CacheEngineConfig, FpgaResources};
-use serde::{Deserialize, Serialize};
 
 /// Component prices (paper §7.8).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Prices {
     /// Flash $/GB.
     pub ssd_per_gb: f64,
@@ -39,7 +38,7 @@ impl Default for Prices {
 }
 
 /// Dollar breakdown of one configuration (the Figure 16 bars).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CostBreakdown {
     /// Data SSDs after reduction.
     pub data_ssd: f64,
@@ -61,7 +60,7 @@ impl CostBreakdown {
 }
 
 /// Inputs describing one deployment point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scenario {
     /// Effective (client-visible) capacity in GB.
     pub effective_gb: f64,
@@ -153,8 +152,7 @@ impl CostModel {
     }
 
     fn stored_gb(&self, s: Scenario) -> f64 {
-        s.effective_gb
-            * (s.reduced_fraction / s.reduction_factor + (1.0 - s.reduced_fraction))
+        s.effective_gb * (s.reduced_fraction / s.reduction_factor + (1.0 - s.reduced_fraction))
     }
 
     fn fpga_cost(&self, boards: &[(f64, f64)]) -> f64 {

@@ -8,7 +8,6 @@
 //! index", §2.1.3).
 
 use crate::sha256::Sha256;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Size of a fingerprint in bytes (SHA-256 digest).
@@ -25,7 +24,7 @@ pub const FINGERPRINT_LEN: usize = 32;
 /// assert_eq!(fp.as_bytes().len(), 32);
 /// assert_eq!(fp, Fingerprint::of(b"hello chunk"));
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Fingerprint([u8; FINGERPRINT_LEN]);
 
 impl Fingerprint {

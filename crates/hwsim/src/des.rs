@@ -8,6 +8,12 @@
 //! throughput, mean/percentile latency and per-station utilization, so
 //! queueing effects the closed forms approximate can be observed
 //! directly.
+//!
+//! Results export through the workspace-wide `fidr.metrics.v1` schema:
+//! [`SimResult::export_metrics`] emits `des.completed.jobs`,
+//! `des.throughput.hz`, `des.latency_mean.ns`, `des.latency_p99.ns` and
+//! per-station `des.util.<station>.ratio` gauges (station names slugged;
+//! see `docs/OBSERVABILITY.md`).
 
 use std::time::Duration;
 
@@ -62,6 +68,25 @@ pub struct SimResult {
     pub utilization: Vec<f64>,
 }
 
+impl SimResult {
+    /// Exports the run as gauges under the `des.*` prefix: throughput,
+    /// mean/p99 latency in nanoseconds, and per-station utilization as
+    /// `des.util.<station>.ratio` (station names slugged, in pipeline
+    /// order; see `docs/OBSERVABILITY.md`).
+    pub fn export_metrics(&self, station_names: &[&str], out: &mut fidr_metrics::MetricsSnapshot) {
+        out.set_counter("des.completed.jobs", self.completed as u64);
+        out.set_gauge("des.throughput.hz", self.throughput_hz);
+        out.set_gauge("des.latency_mean.ns", self.mean_latency.as_nanos() as f64);
+        out.set_gauge("des.latency_p99.ns", self.p99_latency.as_nanos() as f64);
+        for (name, util) in station_names.iter().zip(&self.utilization) {
+            out.set_gauge(
+                &format!("des.util.{}.ratio", fidr_metrics::slug(name)),
+                *util,
+            );
+        }
+    }
+}
+
 /// A tandem FCFS pipeline of [`Station`]s.
 ///
 /// # Examples
@@ -92,6 +117,12 @@ impl PipelineSim {
     pub fn new(stations: Vec<Station>) -> Self {
         assert!(!stations.is_empty(), "pipeline needs stations");
         PipelineSim { stations }
+    }
+
+    /// Station names in pipeline order (pairs with
+    /// [`SimResult::export_metrics`]).
+    pub fn station_names(&self) -> Vec<&'static str> {
+        self.stations.iter().map(|s| s.name).collect()
     }
 
     /// The pipeline's capacity in jobs/second (the slowest station's

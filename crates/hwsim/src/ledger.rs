@@ -7,11 +7,10 @@
 //! `fidr-core` charge this ledger as they move real bytes; the percentages
 //! reported by the benches then *emerge* from the flow structure.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Host-memory data paths — the rows of the paper's Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemPath {
     /// NIC ↔ host memory (client request buffering).
     NicBuffering,
@@ -54,7 +53,7 @@ impl fmt::Display for MemPath {
 }
 
 /// CPU task categories — the components behind Figure 5b and Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CpuTask {
     /// Unique-chunk predictor (CIDR baseline only).
     UniquePrediction,
@@ -139,7 +138,7 @@ impl fmt::Display for CpuTask {
 
 /// PCIe links in the per-socket topology (paper §5.6 groups NIC,
 /// Compression Engine and data SSDs under one switch for P2P).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PcieLink {
     /// NIC ↔ host (through root complex).
     NicHost,
@@ -238,7 +237,7 @@ fn link_idx(l: PcieLink) -> usize {
 /// assert_eq!(ledger.mem_total(), 4096);
 /// assert!((ledger.mem_fraction(MemPath::NicBuffering) - 1.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Ledger {
     mem_bytes: [u64; 5],
     cpu_cycles: [u64; 11],
@@ -412,6 +411,39 @@ impl Ledger {
         self.client_write_bytes += other.client_write_bytes;
         self.client_read_bytes += other.client_read_bytes;
     }
+
+    /// Exports every ledger category as counters: `mem.<path>.bytes`,
+    /// `cpu.<task>.cycles`, `pcie.<link>.bytes` (labels slugged), plus the
+    /// device/board byte totals under `ledger.*` and client traffic under
+    /// `client.*` (see `docs/OBSERVABILITY.md`).
+    pub fn export_metrics(&self, out: &mut fidr_metrics::MetricsSnapshot) {
+        use fidr_metrics::slug;
+        for path in MemPath::ALL {
+            out.set_counter(
+                &format!("mem.{}.bytes", slug(path.label())),
+                self.mem_bytes(path),
+            );
+        }
+        for task in CpuTask::ALL {
+            out.set_counter(
+                &format!("cpu.{}.cycles", slug(task.label())),
+                self.cpu_cycles(task),
+            );
+        }
+        for link in PcieLink::ALL {
+            out.set_counter(
+                &format!("pcie.{}.bytes", slug(link.label())),
+                self.pcie_bytes(link),
+            );
+        }
+        out.set_counter("mem.total.bytes", self.mem_total());
+        out.set_counter("cpu.total.cycles", self.cpu_total());
+        out.set_counter("pcie.root_complex.bytes", self.root_complex_bytes());
+        out.set_counter("ledger.fpga_dram.bytes", self.fpga_dram_bytes);
+        out.set_counter("ledger.nic_dram.bytes", self.nic_dram_bytes);
+        out.set_counter("client.write.bytes", self.client_write_bytes);
+        out.set_counter("client.read.bytes", self.client_read_bytes);
+    }
 }
 
 #[cfg(test)]
@@ -483,8 +515,7 @@ mod tests {
         assert_eq!(mem.len(), MemPath::ALL.len());
         let cpu: std::collections::HashSet<_> = CpuTask::ALL.iter().map(|t| t.label()).collect();
         assert_eq!(cpu.len(), CpuTask::ALL.len());
-        let links: std::collections::HashSet<_> =
-            PcieLink::ALL.iter().map(|l| l.label()).collect();
+        let links: std::collections::HashSet<_> = PcieLink::ALL.iter().map(|l| l.label()).collect();
         assert_eq!(links.len(), PcieLink::ALL.len());
     }
 }

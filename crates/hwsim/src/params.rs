@@ -9,10 +9,8 @@
 //! was fit against; everything else in the workspace *emerges* from flow
 //! structure.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-operation CPU and memory cost constants.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostParams {
     /// Cycles the unique-chunk predictor spends per 4-KB chunk (sampling,
     /// fingerprinting, filter probe). Fit: predictor = 32.7 % of baseline
@@ -113,7 +111,7 @@ impl CostParams {
 }
 
 /// Capacities of one CPU socket and its attached devices.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlatformSpec {
     /// Theoretical socket DRAM bandwidth in bytes/s. Paper §3.2.1: 8
     /// channels, 170 GB/s on a high-end socket.
@@ -196,7 +194,7 @@ impl PlatformSpec {
 }
 
 /// Geometry of the data-reduction metadata (paper §2.1.3–§2.1.4).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TableGeometry {
     /// Bytes per Hash-PBN entry: 32-byte hash + 6-byte PBN.
     pub entry_bytes: u64,

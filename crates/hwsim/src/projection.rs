@@ -8,11 +8,10 @@
 
 use crate::ledger::{Ledger, PcieLink};
 use crate::params::PlatformSpec;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A resource that can bound throughput.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Resource {
     /// Socket DRAM bandwidth.
     HostMemoryBandwidth,
@@ -48,7 +47,7 @@ impl fmt::Display for Resource {
 }
 
 /// One resource's throughput ceiling.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResourceCeiling {
     /// Which resource.
     pub resource: Resource,
@@ -60,7 +59,7 @@ pub struct ResourceCeiling {
 }
 
 /// Projection of a ledger onto a platform.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Projection {
     /// Ceiling per resource, sorted most-binding first.
     pub ceilings: Vec<ResourceCeiling>,
@@ -173,6 +172,25 @@ impl Projection {
     pub fn cores_needed(ledger: &Ledger, platform: &PlatformSpec, throughput: f64) -> f64 {
         ledger.cpu_cycles_per_client_byte() * throughput / platform.core_hz
     }
+
+    /// Exports the projection as gauges under the `projection.*` prefix:
+    /// the achievable throughput and every finite per-resource ceiling as
+    /// `projection.ceiling.<resource>.bytes_per_sec` (resource labels
+    /// slugged; see `docs/OBSERVABILITY.md`).
+    pub fn export_metrics(&self, out: &mut fidr_metrics::MetricsSnapshot) {
+        out.set_gauge("projection.achievable.bytes_per_sec", self.achievable);
+        for ceiling in &self.ceilings {
+            if ceiling.max_throughput.is_finite() {
+                out.set_gauge(
+                    &format!(
+                        "projection.ceiling.{}.bytes_per_sec",
+                        fidr_metrics::slug(&ceiling.resource.to_string())
+                    ),
+                    ceiling.max_throughput,
+                );
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -221,10 +239,7 @@ mod tests {
         let l = sample_ledger();
         let p = PlatformSpec::default();
         let proj = Projection::project(&l, &p, &[("hw-tree".to_string(), 1e9)]);
-        assert_eq!(
-            *proj.bottleneck(),
-            Resource::Custom("hw-tree".to_string())
-        );
+        assert_eq!(*proj.bottleneck(), Resource::Custom("hw-tree".to_string()));
         assert!((proj.achievable - 1e9).abs() < 1.0);
     }
 

@@ -11,7 +11,11 @@ use std::fmt::Write as _;
 /// Renders the Table 1 memory-bandwidth breakdown for one ledger.
 pub fn memory_breakdown_table(ledger: &Ledger) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<36} {:>10} {:>14}", "Data Path", "Memory BW", "Bytes");
+    let _ = writeln!(
+        out,
+        "{:<36} {:>10} {:>14}",
+        "Data Path", "Memory BW", "Bytes"
+    );
     for path in MemPath::ALL {
         let _ = writeln!(
             out,
@@ -34,7 +38,11 @@ pub fn memory_breakdown_table(ledger: &Ledger) -> String {
 /// Renders the Figure 5b / Table 2 CPU utilization breakdown.
 pub fn cpu_breakdown_table(ledger: &Ledger) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<34} {:>9} {:>16}", "Component", "CPU util", "Cycles");
+    let _ = writeln!(
+        out,
+        "{:<34} {:>9} {:>16}",
+        "Component", "CPU util", "Cycles"
+    );
     for task in CpuTask::ALL {
         let cycles = ledger.cpu_cycles(task);
         if cycles == 0 {
@@ -59,7 +67,11 @@ pub fn cpu_breakdown_table(ledger: &Ledger) -> String {
 }
 
 /// Renders the projection ceilings (most binding first).
-pub fn projection_table(ledger: &Ledger, platform: &PlatformSpec, extra: &[(String, f64)]) -> String {
+pub fn projection_table(
+    ledger: &Ledger,
+    platform: &PlatformSpec,
+    extra: &[(String, f64)],
+) -> String {
     let proj = Projection::project(ledger, platform, extra);
     let mut out = String::new();
     let _ = writeln!(out, "{:<34} {:>16}", "Resource", "Ceiling (GB/s)");

@@ -1,0 +1,346 @@
+//! Log-linear histograms for latency and size distributions.
+//!
+//! Buckets follow the HDR-histogram shape: values below 2^4 get exact
+//! unit buckets; above that, each power-of-two octave is split into 16
+//! linear sub-buckets, bounding the relative quantile error at 1/16
+//! (6.25 %). Values at or above 2^40 (about 18 minutes when recording
+//! nanoseconds) collapse into one overflow bucket whose quantiles report
+//! the exact observed maximum.
+
+use std::time::Duration;
+
+/// Linear sub-buckets per octave = 2^SUB_BITS.
+const SUB_BITS: u32 = 4;
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+/// Values with a leading bit at or above this octave share the overflow
+/// bucket.
+const MAX_OCTAVE: u32 = 40;
+/// Total bucket count, including the overflow bucket.
+const BUCKETS: usize = SUB_COUNT as usize * ((MAX_OCTAVE - SUB_BITS) as usize + 1) + 1;
+
+/// A fixed-footprint log-linear histogram of `u64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use fidr_metrics::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// let p50 = h.percentile(0.50).unwrap();
+/// assert!((p50 as f64 - 500.0).abs() / 500.0 < 0.07, "p50 = {p50}");
+/// assert_eq!(h.percentile(1.0), Some(1000));
+/// ```
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish_non_exhaustive()
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_COUNT {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros();
+    if octave >= MAX_OCTAVE {
+        return BUCKETS - 1;
+    }
+    let sub = ((v >> (octave - SUB_BITS)) & (SUB_COUNT - 1)) as usize;
+    ((octave - SUB_BITS) as usize + 1) * SUB_COUNT as usize + sub
+}
+
+/// Midpoint of the value range covered by bucket `i` (exact below 2^4).
+fn bucket_value(i: usize) -> u64 {
+    if i < SUB_COUNT as usize {
+        return i as u64;
+    }
+    let octave = (i / SUB_COUNT as usize - 1) as u32 + SUB_BITS;
+    let sub = (i % SUB_COUNT as usize) as u64;
+    let width = 1u64 << (octave - SUB_BITS);
+    (SUB_COUNT + sub) * width + width / 2
+}
+
+impl Histogram {
+    /// Creates an empty histogram (~4.6 KB of buckets).
+    pub fn new() -> Self {
+        Histogram {
+            buckets: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records a [`Duration`] in nanoseconds.
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), or `None` when empty. Bucketed
+    /// values carry at most 1/16 relative error; the result is clamped to
+    /// the exact observed `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                let v = if i == BUCKETS - 1 {
+                    self.max
+                } else {
+                    bucket_value(i)
+                };
+                return Some(v.clamp(self.min, self.max));
+            }
+        }
+        unreachable!("counts sum to self.count");
+    }
+
+    /// Accumulates another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Freezes the current distribution into summary statistics.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min(),
+            max: self.max(),
+            mean: self.mean(),
+            p50: self.percentile(0.50).unwrap_or(0),
+            p95: self.percentile(0.95).unwrap_or(0),
+            p99: self.percentile(0.99).unwrap_or(0),
+        }
+    }
+}
+
+/// Summary statistics of a [`Histogram`] at one point in time — the shape
+/// that lands in the JSON snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Mean sample (0.0 when empty).
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_neutral() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.5), None);
+        let s = h.snapshot();
+        assert_eq!((s.count, s.p50, s.p99), (0, 0, 0));
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(777);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), Some(777), "q = {q}");
+        }
+        assert_eq!(h.min(), 777);
+        assert_eq!(h.max(), 777);
+        assert_eq!(h.sum(), 777);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        // Unit buckets below 2^4: the quantile walk is exact.
+        assert_eq!(h.percentile(1.0 / 16.0), Some(0));
+        assert_eq!(h.percentile(0.5), Some(7));
+        assert_eq!(h.percentile(1.0), Some(15));
+    }
+
+    #[test]
+    fn bucketing_bounds_relative_error() {
+        let mut h = Histogram::new();
+        // Exercise several octaves.
+        for v in [17u64, 100, 1_000, 65_537, 1 << 25, (1 << 30) + 12345] {
+            h.record(v);
+            let i = bucket_index(v);
+            let mid = bucket_value(i);
+            let err = (mid as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 1.0 / 16.0, "value {v}: bucket mid {mid}, err {err}");
+        }
+    }
+
+    #[test]
+    fn bucket_indices_are_monotonic() {
+        let values: Vec<u64> = (0..10_000u64).chain((14..63).map(|s| 1u64 << s)).collect();
+        for w in values.windows(2) {
+            assert!(
+                bucket_index(w[0]) <= bucket_index(w[1]),
+                "index regressed between {} and {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn overflow_values_land_in_overflow_bucket_and_report_max() {
+        let mut h = Histogram::new();
+        h.record(5);
+        let huge = (1u64 << 45) + 999;
+        h.record(huge);
+        assert_eq!(bucket_index(huge), BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        // The overflow bucket reports the exact observed maximum.
+        assert_eq!(h.percentile(1.0), Some(huge));
+        assert_eq!(h.max(), huge);
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_overflowing() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn uniform_distribution_percentiles() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, expect) in [(0.5, 5_000.0), (0.95, 9_500.0), (0.99, 9_900.0)] {
+            let got = h.percentile(q).unwrap() as f64;
+            assert!(
+                (got - expect).abs() / expect < 0.07,
+                "q {q}: got {got}, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_combines_distributions() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1_000);
+    }
+
+    #[test]
+    fn record_duration_records_nanos() {
+        let mut h = Histogram::new();
+        h.record_duration(Duration::from_micros(3));
+        assert_eq!(h.max(), 3_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn out_of_range_quantile_panics() {
+        Histogram::new().percentile(1.5);
+    }
+}

@@ -1,0 +1,39 @@
+//! # fidr-metrics
+//!
+//! Zero-dependency observability primitives shared by every stage of the
+//! FIDR pipeline: monotonic counters, gauges and log-linear latency
+//! [`Histogram`]s, collected into one [`MetricsSnapshot`] with a stable,
+//! hand-rolled JSON encoding (no serde — the build environment vendors
+//! its dependencies, and a metrics surface should not need any).
+//!
+//! Metric names follow the convention documented in
+//! `docs/OBSERVABILITY.md`: `<stage>.<name>.<unit>`, lowercase, with
+//! `_` inside words — e.g. `cache.lookup.ns`, `ssd.table.read.bytes`,
+//! `reduction.dedup.ratio`. [`slug`] converts free-form labels (station
+//! names, resource labels) into that charset.
+//!
+//! # Examples
+//!
+//! ```
+//! use fidr_metrics::{Histogram, MetricsSnapshot};
+//!
+//! let mut lookup_ns = Histogram::new();
+//! for v in [120, 95, 4_000] {
+//!     lookup_ns.record(v);
+//! }
+//! let mut snap = MetricsSnapshot::new();
+//! snap.set_counter("cache.accesses.count", 3);
+//! snap.set_histogram("cache.lookup.ns", &lookup_ns);
+//! assert_eq!(snap.counter("cache.accesses.count"), Some(3));
+//! assert!(snap.histogram("cache.lookup.ns").unwrap().p99 >= 95);
+//! assert!(snap.to_json().contains("\"cache.lookup.ns\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod snapshot;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use snapshot::{slug, MetricValue, MetricsSnapshot, SCHEMA_ID};

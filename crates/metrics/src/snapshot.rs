@@ -1,0 +1,341 @@
+//! The metrics snapshot: a sorted name → value map with a stable,
+//! hand-rolled JSON encoding.
+//!
+//! The JSON shape is versioned through [`SCHEMA_ID`] and documented in
+//! `docs/OBSERVABILITY.md`; tools that parse `fidr stats` output should
+//! check the `schema` field before reading `metrics`.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+
+/// Identifier of the JSON snapshot layout, carried in the top-level
+/// `schema` field. Bump only on breaking changes to the encoding.
+pub const SCHEMA_ID: &str = "fidr.metrics.v1";
+
+/// One named measurement inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotonic count (events, bytes, cycles).
+    Counter(u64),
+    /// A point-in-time level or ratio.
+    Gauge(f64),
+    /// A frozen latency/size distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time view of every metric a component exported, keyed by
+/// `<stage>.<name>.<unit>` names and iterated in sorted order so the
+/// JSON encoding is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    metrics: BTreeMap<String, MetricValue>,
+}
+
+/// In debug builds, rejects names outside the documented convention:
+/// lowercase `[a-z0-9._]` with at least one `.` separator.
+fn check_name(name: &str) {
+    debug_assert!(
+        name.contains('.')
+            && name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'),
+        "metric name {name:?} violates the <stage>.<name>.<unit> convention"
+    );
+}
+
+/// Converts a free-form label (station name, resource label) into the
+/// metric-name charset: lowercased, with every run of other characters
+/// collapsed to one `_`, and no leading/trailing `_`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(fidr_metrics::slug("NIC <-> FPGA"), "nic_fpga");
+/// assert_eq!(fidr_metrics::slug("Table SSD stack"), "table_ssd_stack");
+/// ```
+pub fn slug(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('_') && !out.is_empty() {
+            out.push('_');
+        }
+    }
+    while out.ends_with('_') {
+        out.pop();
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number: plain decimal via `Display` (Rust
+/// never emits an exponent for finite values through `{}`), `null` for
+/// NaN/infinity.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `Display` prints integral floats without a fraction ("3"); keep
+        // the value unambiguously a float for strict parsers.
+        if s.contains('.') || s.contains('e') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes a string for use inside JSON quotes. Metric names never need
+/// this, but it keeps the encoder total.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl MetricsSnapshot {
+    /// Creates an empty snapshot.
+    pub fn new() -> Self {
+        MetricsSnapshot::default()
+    }
+
+    /// Sets a counter.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        check_name(name);
+        self.metrics
+            .insert(name.to_string(), MetricValue::Counter(value));
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        check_name(name);
+        self.metrics
+            .insert(name.to_string(), MetricValue::Gauge(value));
+    }
+
+    /// Freezes `hist` under `name`. Empty histograms are stored too — an
+    /// all-zero distribution still documents that the stage ran.
+    pub fn set_histogram(&mut self, name: &str, hist: &Histogram) {
+        check_name(name);
+        self.metrics
+            .insert(name.to_string(), MetricValue::Histogram(hist.snapshot()));
+    }
+
+    /// Looks up any metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.get(name)
+    }
+
+    /// Counter value, if `name` is a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value, if `name` is a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram summary, if `name` is a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Iterates metrics in sorted name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the snapshot holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Absorbs every metric of `other`, overwriting duplicates.
+    pub fn extend(&mut self, other: MetricsSnapshot) {
+        self.metrics.extend(other.metrics);
+    }
+
+    /// Encodes the snapshot as pretty-printed JSON:
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "fidr.metrics.v1",
+    ///   "metrics": {
+    ///     "cache.accesses.count": { "type": "counter", "value": 3 },
+    ///     "cache.hit.ratio": { "type": "gauge", "value": 0.66 },
+    ///     "cache.lookup.ns": { "type": "histogram", "count": 3, "sum": 4215,
+    ///       "min": 95, "max": 4000, "mean": 1405.0,
+    ///       "p50": 120, "p95": 4000, "p99": 4000 }
+    ///   }
+    /// }
+    /// ```
+    ///
+    /// Keys are emitted in sorted order, so equal snapshots produce
+    /// byte-identical JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA_ID}\",\n"));
+        out.push_str("  \"metrics\": {");
+        let mut first = true;
+        for (name, value) in &self.metrics {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    ");
+            out.push_str(&format!("\"{}\": ", json_escape(name)));
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{{ \"type\": \"counter\", \"value\": {v} }}"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!(
+                        "{{ \"type\": \"gauge\", \"value\": {} }}",
+                        json_f64(*v)
+                    ));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{{ \"type\": \"histogram\", \"count\": {}, \"sum\": {}, \
+                         \"min\": {}, \"max\": {}, \"mean\": {}, \
+                         \"p50\": {}, \"p95\": {}, \"p99\": {} }}",
+                        h.count,
+                        h.sum,
+                        h.min,
+                        h.max,
+                        json_f64(h.mean),
+                        h.p50,
+                        h.p95,
+                        h.p99
+                    ));
+                }
+            }
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        let mut h = Histogram::new();
+        h.record(100);
+        let mut snap = MetricsSnapshot::new();
+        snap.set_counter("stage.events.count", 7);
+        snap.set_gauge("stage.level.ratio", 0.5);
+        snap.set_histogram("stage.latency.ns", &h);
+
+        assert_eq!(snap.counter("stage.events.count"), Some(7));
+        assert_eq!(snap.gauge("stage.level.ratio"), Some(0.5));
+        assert_eq!(snap.histogram("stage.latency.ns").unwrap().p50, 100);
+        // Type-mismatched lookups return None.
+        assert_eq!(snap.counter("stage.level.ratio"), None);
+        assert_eq!(snap.gauge("stage.events.count"), None);
+        assert_eq!(snap.len(), 3);
+    }
+
+    #[test]
+    fn json_is_sorted_and_carries_the_schema_id() {
+        let mut snap = MetricsSnapshot::new();
+        snap.set_counter("z.last.count", 1);
+        snap.set_counter("a.first.count", 2);
+        let json = snap.to_json();
+        assert!(json.contains("\"schema\": \"fidr.metrics.v1\""));
+        let a = json.find("a.first.count").unwrap();
+        let z = json.find("z.last.count").unwrap();
+        assert!(a < z, "keys must appear in sorted order");
+    }
+
+    #[test]
+    fn json_for_equal_snapshots_is_byte_identical() {
+        let build = || {
+            let mut s = MetricsSnapshot::new();
+            s.set_gauge("x.y.ratio", 1.25);
+            s.set_counter("x.y.count", 3);
+            s
+        };
+        assert_eq!(build().to_json(), build().to_json());
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json_shape() {
+        let json = MetricsSnapshot::new().to_json();
+        assert!(json.contains("\"metrics\": {}"));
+    }
+
+    #[test]
+    fn non_finite_gauges_encode_as_null() {
+        let mut snap = MetricsSnapshot::new();
+        snap.set_gauge("x.nan.ratio", f64::NAN);
+        snap.set_gauge("x.inf.ratio", f64::INFINITY);
+        let json = snap.to_json();
+        assert_eq!(json.matches("\"value\": null").count(), 2);
+    }
+
+    #[test]
+    fn integral_gauges_keep_a_fraction() {
+        let mut snap = MetricsSnapshot::new();
+        snap.set_gauge("x.whole.ratio", 3.0);
+        assert!(snap.to_json().contains("\"value\": 3.0"));
+    }
+
+    #[test]
+    fn slug_normalises_labels() {
+        assert_eq!(slug("NIC buffering"), "nic_buffering");
+        assert_eq!(slug("FPGA <-> table SSD"), "fpga_table_ssd");
+        assert_eq!(slug("CPU"), "cpu");
+        assert_eq!(slug("  odd -- label  "), "odd_label");
+        assert_eq!(slug(""), "");
+    }
+
+    #[test]
+    fn extend_merges_and_overwrites() {
+        let mut a = MetricsSnapshot::new();
+        a.set_counter("x.a.count", 1);
+        let mut b = MetricsSnapshot::new();
+        b.set_counter("x.a.count", 2);
+        b.set_counter("x.b.count", 3);
+        a.extend(b);
+        assert_eq!(a.counter("x.a.count"), Some(2));
+        assert_eq!(a.counter("x.b.count"), Some(3));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+    }
+}

@@ -10,7 +10,9 @@
 use bytes::Bytes;
 use fidr_chunk::Lba;
 use fidr_hash::Fingerprint;
+use fidr_metrics::{Histogram, MetricsSnapshot};
 use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
 
 /// A chunk the NIC has hashed, ready for host-side dedup lookup.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,6 +73,12 @@ pub struct FidrNic {
     pending: VecDeque<Lba>,
     capacity_bytes: u64,
     stats: NicStats,
+    /// Wall-clock time to buffer one incoming write.
+    ingest_ns: Histogram,
+    /// Wall-clock time for each SHA batch (all engines included).
+    batch_ns: Histogram,
+    /// Chunks per SHA batch.
+    batch_chunks: Histogram,
 }
 
 impl FidrNic {
@@ -81,6 +89,9 @@ impl FidrNic {
             pending: VecDeque::new(),
             capacity_bytes,
             stats: NicStats::default(),
+            ingest_ns: Histogram::new(),
+            batch_ns: Histogram::new(),
+            batch_chunks: Histogram::new(),
         }
     }
 
@@ -105,6 +116,7 @@ impl FidrNic {
     ///
     /// An overwrite of a still-buffered LBA supersedes the old payload.
     pub fn accept_write(&mut self, lba: Lba, data: Bytes) {
+        let started = Instant::now();
         let len = data.len() as u64;
         if let Some(old) = self.buffer.insert(lba, data) {
             self.stats.resident_bytes -= old.len() as u64;
@@ -112,10 +124,13 @@ impl FidrNic {
             self.pending.retain(|&l| l != lba);
         }
         self.stats.resident_bytes += len;
-        self.stats.peak_resident_bytes =
-            self.stats.peak_resident_bytes.max(self.stats.resident_bytes);
+        self.stats.peak_resident_bytes = self
+            .stats
+            .peak_resident_bytes
+            .max(self.stats.resident_bytes);
         self.stats.writes_buffered += 1;
         self.pending.push_back(lba);
+        self.ingest_ns.record_duration(started.elapsed());
     }
 
     /// Runs up to `max` pending chunks through the in-NIC SHA-256 cores
@@ -135,6 +150,7 @@ impl FidrNic {
     /// Panics if `engines` is zero.
     pub fn take_hash_batch_with_engines(&mut self, max: usize, engines: usize) -> Vec<HashedChunk> {
         assert!(engines > 0, "need at least one hash engine");
+        let started = Instant::now();
         let n = max.min(self.pending.len());
         let mut staged: Vec<(Lba, Bytes)> = Vec::with_capacity(n);
         for _ in 0..n {
@@ -143,9 +159,12 @@ impl FidrNic {
             staged.push((lba, data));
         }
         self.stats.chunks_hashed += staged.len() as u64;
+        if !staged.is_empty() {
+            self.batch_chunks.record(staged.len() as u64);
+        }
 
         if engines == 1 || staged.len() < 2 {
-            return staged
+            let hashed: Vec<HashedChunk> = staged
                 .into_iter()
                 .map(|(lba, data)| {
                     let fingerprint = Fingerprint::of(&data);
@@ -156,6 +175,10 @@ impl FidrNic {
                     }
                 })
                 .collect();
+            if !hashed.is_empty() {
+                self.batch_ns.record_duration(started.elapsed());
+            }
+            return hashed;
         }
 
         // Fan out across scoped worker threads, one slice per engine;
@@ -163,12 +186,9 @@ impl FidrNic {
         let engines = engines.min(staged.len());
         let per_engine = staged.len().div_ceil(engines);
         let mut out: Vec<Option<HashedChunk>> = (0..staged.len()).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
-            for (slice_in, slice_out) in staged
-                .chunks(per_engine)
-                .zip(out.chunks_mut(per_engine))
-            {
-                scope.spawn(move |_| {
+        std::thread::scope(|scope| {
+            for (slice_in, slice_out) in staged.chunks(per_engine).zip(out.chunks_mut(per_engine)) {
+                scope.spawn(move || {
                     for ((lba, data), slot) in slice_in.iter().zip(slice_out.iter_mut()) {
                         *slot = Some(HashedChunk {
                             lba: *lba,
@@ -178,9 +198,30 @@ impl FidrNic {
                     }
                 });
             }
-        })
-        .expect("hash engine thread panicked");
-        out.into_iter().map(|c| c.expect("every slot filled")).collect()
+        });
+        let hashed: Vec<HashedChunk> = out
+            .into_iter()
+            .map(|c| c.expect("every slot filled"))
+            .collect();
+        self.batch_ns.record_duration(started.elapsed());
+        hashed
+    }
+
+    /// Exports the NIC's counters, gauges and latency histograms under the
+    /// `nic.*` and `hash.*` prefixes (see `docs/OBSERVABILITY.md`).
+    pub fn export_metrics(&self, out: &mut MetricsSnapshot) {
+        out.set_counter("nic.writes_buffered.chunks", self.stats.writes_buffered);
+        out.set_gauge("nic.resident.bytes", self.stats.resident_bytes as f64);
+        out.set_counter("nic.peak_resident.bytes", self.stats.peak_resident_bytes);
+        out.set_counter("nic.read_buffer_hits.chunks", self.stats.read_buffer_hits);
+        out.set_counter(
+            "nic.read_buffer_misses.chunks",
+            self.stats.read_buffer_misses,
+        );
+        out.set_histogram("nic.ingest.ns", &self.ingest_ns);
+        out.set_counter("hash.chunks_hashed.chunks", self.stats.chunks_hashed);
+        out.set_histogram("hash.batch.ns", &self.batch_ns);
+        out.set_histogram("hash.batch.chunks", &self.batch_chunks);
     }
 
     /// The read path's LBA-lookup module (§5.3 read step 2): serves a read
@@ -220,11 +261,7 @@ impl FidrNic {
 ///
 /// Panics if `unique_flags` and `batch` lengths differ.
 pub fn schedule_unique(batch: Vec<HashedChunk>, unique_flags: &[bool]) -> Vec<HashedChunk> {
-    assert_eq!(
-        batch.len(),
-        unique_flags.len(),
-        "one flag per hashed chunk"
-    );
+    assert_eq!(batch.len(), unique_flags.len(), "one flag per hashed chunk");
     batch
         .into_iter()
         .zip(unique_flags)
@@ -249,10 +286,7 @@ mod tests {
         let batch = nic.take_hash_batch(10);
         assert_eq!(batch.len(), 2);
         assert_eq!(batch[0].lba, Lba(1));
-        assert_eq!(
-            batch[0].fingerprint,
-            Fingerprint::of(&chunk(1))
-        );
+        assert_eq!(batch[0].fingerprint, Fingerprint::of(&chunk(1)));
         nic.complete(Lba(1));
         nic.complete(Lba(2));
         assert_eq!(nic.stats().resident_bytes, 0);

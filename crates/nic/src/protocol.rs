@@ -180,7 +180,10 @@ mod tests {
 
     #[test]
     fn errors_on_garbage() {
-        assert_eq!(Message::decode(&[1, 2]).unwrap_err(), ProtocolError::Truncated);
+        assert_eq!(
+            Message::decode(&[1, 2]).unwrap_err(),
+            ProtocolError::Truncated
+        );
         let mut frame = Message::Read { lba: Lba(0) }.encode();
         frame[0] = 0x7f;
         assert_eq!(
@@ -193,6 +196,9 @@ mod tests {
         }
         .encode();
         frame.truncate(frame.len() - 1);
-        assert_eq!(Message::decode(&frame).unwrap_err(), ProtocolError::BadLength);
+        assert_eq!(
+            Message::decode(&frame).unwrap_err(),
+            ProtocolError::BadLength
+        );
     }
 }

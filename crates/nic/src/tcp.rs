@@ -7,6 +7,11 @@
 //! engine's line rate, per-packet framing overhead (which is why small
 //! packets hurt), and ingest time for a request stream — the NIC-side
 //! ceiling a FIDR deployment sizes against.
+//!
+//! This is a capacity model, deliberately stateless: per-chunk ingest
+//! behind the offload engines is what the NIC buffer instruments as
+//! `nic.ingest.ns` and the `nic.*` occupancy counters (see
+//! `docs/OBSERVABILITY.md`).
 
 use std::time::Duration;
 
@@ -84,10 +89,7 @@ impl TcpFrontEnd {
 
     /// Aggregate payload bandwidth at a request size (bytes/s).
     pub fn aggregate_goodput(&self, request_bytes: u64) -> f64 {
-        self.engines
-            .iter()
-            .map(|e| e.goodput(request_bytes))
-            .sum()
+        self.engines.iter().map(|e| e.goodput(request_bytes)).sum()
     }
 
     /// The client-throughput ceiling this front end imposes on the

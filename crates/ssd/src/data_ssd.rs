@@ -6,6 +6,7 @@
 
 use crate::nvme::{QueueLocation, SsdSpec, SsdStats};
 use fidr_chunk::Pba;
+use fidr_metrics::{Histogram, MetricsSnapshot};
 use fidr_tables::{Container, ContainerReadError, CHUNK_HEADER_BYTES};
 use std::collections::HashMap;
 use std::fmt;
@@ -55,6 +56,9 @@ pub struct DataSsdArray {
     containers: HashMap<u64, Container>,
     stats: SsdStats,
     queue_location: QueueLocation,
+    /// Modelled device service time per IO (spec-derived, not wall-clock —
+    /// this is a simulated device).
+    io_ns: Histogram,
 }
 
 impl DataSsdArray {
@@ -80,6 +84,7 @@ impl DataSsdArray {
             containers: HashMap::new(),
             stats: SsdStats::default(),
             queue_location: QueueLocation::HostMemory,
+            io_ns: Histogram::new(),
         }
     }
 
@@ -113,6 +118,7 @@ impl DataSsdArray {
         let bytes = container.len() as u64;
         self.stats.record_write(bytes);
         let t = self.spec.write_time(bytes);
+        self.io_ns.record_duration(t);
         self.containers.insert(container.id, container);
         t
     }
@@ -130,6 +136,7 @@ impl DataSsdArray {
             .ok_or(DataSsdError::UnknownContainer(pba.container))?;
         let bytes = pba.compressed_len as u64 + CHUNK_HEADER_BYTES as u64;
         self.stats.record_read(bytes);
+        self.io_ns.record_duration(self.spec.read_time(bytes));
         container
             .read_chunk(pba.offset, pba.compressed_len)
             .map_err(DataSsdError::Corrupt)
@@ -184,6 +191,18 @@ impl DataSsdArray {
     /// id. Modelled as an NVMe deallocate (TRIM): no flash writes.
     pub fn remove_container(&mut self, id: u64) -> Option<u64> {
         self.containers.remove(&id).map(|c| c.len() as u64)
+    }
+
+    /// Exports IO counters and the modelled per-IO service-time histogram
+    /// under the `ssd.data.*` prefix (see `docs/OBSERVABILITY.md`).
+    pub fn export_metrics(&self, out: &mut MetricsSnapshot) {
+        out.set_counter("ssd.data.read.ios", self.stats.read_ios);
+        out.set_counter("ssd.data.read.bytes", self.stats.read_bytes);
+        out.set_counter("ssd.data.write.ios", self.stats.write_ios);
+        out.set_counter("ssd.data.write.bytes", self.stats.write_bytes);
+        out.set_counter("ssd.data.containers.count", self.containers.len() as u64);
+        out.set_counter("ssd.data.stored.bytes", self.stored_bytes());
+        out.set_histogram("ssd.data.io.ns", &self.io_ns);
     }
 }
 

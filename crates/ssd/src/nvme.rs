@@ -7,11 +7,10 @@
 //! Cache HW-Engine for table SSDs (§6.1), which is what moves the NVMe
 //! software-stack cycles off the CPU.
 
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Performance envelope of one SSD.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SsdSpec {
     /// Sequential read bandwidth, bytes/s.
     pub read_bw: f64,
@@ -48,7 +47,7 @@ impl SsdSpec {
 }
 
 /// Where a device's NVMe submission/completion queues are hosted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QueueLocation {
     /// Default: queues in host memory, driven by the CPU's NVMe stack.
     HostMemory,
@@ -59,7 +58,7 @@ pub enum QueueLocation {
 }
 
 /// IO counters for one device or array.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SsdStats {
     /// Completed read commands.
     pub read_ios: u64,

@@ -8,6 +8,7 @@
 //! stack; FIDR moves the queues into the Cache HW-Engine (§6.1).
 
 use crate::nvme::{QueueLocation, SsdSpec, SsdStats};
+use fidr_metrics::{Histogram, MetricsSnapshot};
 use fidr_tables::{Bucket, HashPbnStore, BUCKET_BYTES};
 use std::time::Duration;
 
@@ -30,6 +31,9 @@ pub struct TableSsd {
     spec: SsdSpec,
     stats: SsdStats,
     queue_location: QueueLocation,
+    /// Modelled device service time per bucket IO (spec-derived, not
+    /// wall-clock — this is a simulated device).
+    io_ns: Histogram,
 }
 
 impl TableSsd {
@@ -40,6 +44,7 @@ impl TableSsd {
             spec: SsdSpec::default(),
             stats: SsdStats::default(),
             queue_location,
+            io_ns: Histogram::new(),
         }
     }
 
@@ -50,6 +55,7 @@ impl TableSsd {
             spec: SsdSpec::default(),
             stats: SsdStats::default(),
             queue_location,
+            io_ns: Histogram::new(),
         }
     }
 
@@ -70,6 +76,8 @@ impl TableSsd {
     /// Panics if `index` is out of range.
     pub fn fetch_bucket(&mut self, index: u64) -> Bucket {
         self.stats.record_read(BUCKET_BYTES as u64);
+        self.io_ns
+            .record_duration(self.spec.read_time(BUCKET_BYTES as u64));
         self.store.bucket(index).clone()
     }
 
@@ -80,6 +88,8 @@ impl TableSsd {
     /// Panics if `index` is out of range.
     pub fn flush_bucket(&mut self, index: u64, bucket: Bucket) {
         self.stats.record_write(BUCKET_BYTES as u64);
+        self.io_ns
+            .record_duration(self.spec.write_time(BUCKET_BYTES as u64));
         self.store.write_bucket(index, bucket);
     }
 
@@ -96,6 +106,16 @@ impl TableSsd {
     /// Read-only view of the authoritative table (for verification).
     pub fn store(&self) -> &HashPbnStore {
         &self.store
+    }
+
+    /// Exports IO counters and the modelled per-IO service-time histogram
+    /// under the `ssd.table.*` prefix (see `docs/OBSERVABILITY.md`).
+    pub fn export_metrics(&self, out: &mut MetricsSnapshot) {
+        out.set_counter("ssd.table.read.ios", self.stats.read_ios);
+        out.set_counter("ssd.table.read.bytes", self.stats.read_bytes);
+        out.set_counter("ssd.table.write.ios", self.stats.write_ios);
+        out.set_counter("ssd.table.write.bytes", self.stats.write_bytes);
+        out.set_histogram("ssd.table.io.ns", &self.io_ns);
     }
 }
 

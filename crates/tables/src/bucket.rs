@@ -147,7 +147,10 @@ impl Bucket {
             fp.copy_from_slice(&bytes[off..off + 32]);
             let mut pbn_bytes = [0u8; 8];
             pbn_bytes[..6].copy_from_slice(&bytes[off + 32..off + 38]);
-            entries.push((Fingerprint::from_bytes(fp), Pbn(u64::from_le_bytes(pbn_bytes))));
+            entries.push((
+                Fingerprint::from_bytes(fp),
+                Pbn(u64::from_le_bytes(pbn_bytes)),
+            ));
         }
         Bucket { entries }
     }

@@ -71,8 +71,7 @@ impl Container {
                 })
             }
         };
-        let original_len =
-            u32::from_le_bytes([header[1], header[2], header[3], 0]);
+        let original_len = u32::from_le_bytes([header[1], header[2], header[3], 0]);
         let payload = self.bytes[start + CHUNK_HEADER_BYTES..end].to_vec();
         CompressedChunk::from_parts(encoding, payload, original_len)
             .decompress()
@@ -277,6 +276,9 @@ mod tests {
         let mut b = ContainerBuilder::new(0, 1024);
         let slot = b.append(&cc);
         let c = b.seal();
-        assert_eq!(c.read_chunk(slot.offset, slot.compressed_len).unwrap(), data);
+        assert_eq!(
+            c.read_chunk(slot.offset, slot.compressed_len).unwrap(),
+            data
+        );
     }
 }

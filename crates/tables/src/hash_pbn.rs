@@ -5,6 +5,11 @@
 //! authoritative table image: the cache layer fetches whole 4-KB buckets
 //! from it on a miss and flushes dirty buckets back, and the SSD model in
 //! `fidr-ssd` charges the corresponding IO.
+//!
+//! This store itself is pure state; its traffic becomes observable one
+//! layer up, as `cache.misses.count` / `cache.dirty_flushes.count` on the
+//! cache and `ssd.table.*` counters plus the modelled `ssd.table.io.ns`
+//! histogram on the table-SSD model (see `docs/OBSERVABILITY.md`).
 
 use crate::bucket::{Bucket, BucketFullError, BUCKET_BYTES};
 use fidr_chunk::Pbn;
@@ -50,8 +55,7 @@ impl HashPbnStore {
     /// target load factor (entries per bucket / capacity).
     pub fn with_capacity_for(unique_chunks: u64, load_factor: f64) -> Self {
         assert!(load_factor > 0.0 && load_factor <= 1.0);
-        let per_bucket =
-            (crate::bucket::ENTRIES_PER_BUCKET as f64 * load_factor).max(1.0) as u64;
+        let per_bucket = (crate::bucket::ENTRIES_PER_BUCKET as f64 * load_factor).max(1.0) as u64;
         let buckets = (unique_chunks / per_bucket).max(1);
         HashPbnStore::new(buckets.next_power_of_two())
     }

@@ -91,10 +91,7 @@ impl LbaPbaTable {
     /// Resolves an LBA to its physical address (the read path, §2.2).
     pub fn lookup(&self, lba: Lba) -> Option<Pba> {
         let pbn = self.lba_to_pbn.get(&lba)?;
-        let loc = self
-            .pbn_to_loc
-            .get(pbn)
-            .expect("mapped PBN has a location");
+        let loc = self.pbn_to_loc.get(pbn).expect("mapped PBN has a location");
         Some(Pba {
             container: loc.container,
             offset: loc.offset,

@@ -78,7 +78,10 @@ impl ContainerLiveness {
             .counts
             .get_mut(&container)
             .expect("revival in unknown container");
-        assert!(entry.0 < entry.1, "container {container} already fully live");
+        assert!(
+            entry.0 < entry.1,
+            "container {container} already fully live"
+        );
         entry.0 += 1;
     }
 
@@ -119,7 +122,9 @@ impl ContainerLiveness {
 
     /// Iterates over (container, live, total) records (checkpointing).
     pub fn entries(&self) -> impl Iterator<Item = (u64, u32, u32)> + '_ {
-        self.counts.iter().map(|(&c, &(live, total))| (c, live, total))
+        self.counts
+            .iter()
+            .map(|(&c, &(live, total))| (c, live, total))
     }
 
     /// Rebuilds a tracker from checkpointed records.

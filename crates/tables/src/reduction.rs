@@ -1,10 +1,8 @@
 //! Data-reduction outcome accounting shared by both systems.
 
-use serde::{Deserialize, Serialize};
-
 /// What a data-reduction run achieved, independent of which architecture
 /// (baseline or FIDR) executed it.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReductionStats {
     /// Client write chunks processed.
     pub write_chunks: u64,
@@ -49,6 +47,20 @@ impl ReductionStats {
         } else {
             1.0 - self.stored_bytes as f64 / self.raw_bytes as f64
         }
+    }
+
+    /// Exports the counters and derived ratios under the `reduction.*`
+    /// prefix (see `docs/OBSERVABILITY.md`).
+    pub fn export_metrics(&self, out: &mut fidr_metrics::MetricsSnapshot) {
+        out.set_counter("reduction.write_chunks.count", self.write_chunks);
+        out.set_counter("reduction.read_chunks.count", self.read_chunks);
+        out.set_counter("reduction.duplicate_chunks.count", self.duplicate_chunks);
+        out.set_counter("reduction.unique_chunks.count", self.unique_chunks);
+        out.set_counter("reduction.raw.bytes", self.raw_bytes);
+        out.set_counter("reduction.stored.bytes", self.stored_bytes);
+        out.set_counter("reduction.containers_sealed.count", self.containers_sealed);
+        out.set_gauge("reduction.dedup.ratio", self.dedup_ratio());
+        out.set_gauge("reduction.factor.ratio", self.reduction_factor());
     }
 }
 

@@ -11,9 +11,9 @@
 //! Format: `FIDRSNAP` magic, a `u32` version, then length-prefixed
 //! sections in fixed order. All integers little-endian.
 
+use crate::{Bucket, Container, PbnLocation};
 use fidr_chunk::{Lba, Pbn};
 use fidr_hash::Fingerprint;
-use crate::{Bucket, Container, PbnLocation};
 use std::fmt;
 
 const MAGIC: &[u8; 8] = b"FIDRSNAP";

@@ -31,4 +31,6 @@ mod trace_io;
 
 pub use spec::WorkloadSpec;
 pub use stream::{Request, Workload};
-pub use trace_io::{parse_trace, to_block_writes, write_trace, TraceOp, TraceParseError, TraceRecord};
+pub use trace_io::{
+    parse_trace, to_block_writes, write_trace, TraceOp, TraceParseError, TraceRecord,
+};

@@ -132,7 +132,10 @@ mod tests {
         let mail = io_amplification(&mail_trace(20_000, 42), 8);
         let web = io_amplification(&webvm_trace(20_000, 42), 8);
         assert!(web > 1.5, "webvm amplification {web:.1}x");
-        assert!(web < mail, "webvm ({web:.1}x) should undercut mail ({mail:.1}x)");
+        assert!(
+            web < mail,
+            "webvm ({web:.1}x) should undercut mail ({mail:.1}x)"
+        );
     }
 
     #[test]

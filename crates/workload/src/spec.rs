@@ -7,10 +7,8 @@
 //! storage with 2.8 % cached. [`WorkloadSpec`] carries those knobs;
 //! [`crate::Workload`] streams the requests.
 
-use serde::{Deserialize, Serialize};
-
 /// Tunable description of one workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Display name ("Write-H", …).
     pub name: String,

@@ -127,8 +127,7 @@ pub fn parse_trace(reader: impl BufRead) -> Result<Vec<TraceRecord>, TraceParseE
             return Err(bad("blocks", blocks_s));
         }
         let content_s = next("content")?;
-        let content =
-            u64::from_str_radix(content_s, 16).map_err(|_| bad("content", content_s))?;
+        let content = u64::from_str_radix(content_s, 16).map_err(|_| bad("content", content_s))?;
         out.push(TraceRecord {
             timestamp,
             op,
@@ -221,12 +220,12 @@ mod tests {
     #[test]
     fn rejects_malformed_lines() {
         for bad in [
-            "x W 1 1 ff",     // bad timestamp
-            "0.0 Q 1 1 ff",   // bad op
-            "0.0 W zz 1 ff",  // bad lba
-            "0.0 W 1 0 ff",   // zero blocks
-            "0.0 W 1 1 zz",   // bad content hex... z is not hex
-            "0.0 W 1 1",      // missing field
+            "x W 1 1 ff",    // bad timestamp
+            "0.0 Q 1 1 ff",  // bad op
+            "0.0 W zz 1 ff", // bad lba
+            "0.0 W 1 0 ff",  // zero blocks
+            "0.0 W 1 1 zz",  // bad content hex... z is not hex
+            "0.0 W 1 1",     // missing field
         ] {
             assert!(
                 parse_trace(bad.as_bytes()).is_err(),

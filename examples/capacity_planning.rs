@@ -24,10 +24,7 @@ fn print_row(name: &str, c: &CostBreakdown, effective_gb: f64) {
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let capacity_tb: f64 = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(500.0);
+    let capacity_tb: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(500.0);
     let throughput: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(75.0);
     let effective_gb = capacity_tb * 1000.0;
 
@@ -78,9 +75,7 @@ fn main() {
         (1.0 - fidr.total() / baseline.total()) * 100.0
     );
     if throughput > 25.0 {
-        println!(
-            "\nnote: above ~25 GB/s the baseline's host-side control plane cannot"
-        );
+        println!("\nnote: above ~25 GB/s the baseline's host-side control plane cannot");
         println!("keep up, forcing partial reduction — the cost gap the paper's");
         println!("Figure 15 highlights.");
     }

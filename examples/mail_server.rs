@@ -20,10 +20,7 @@ fn main() {
     let baseline = run_workload(SystemVariant::Baseline, spec.clone(), RunConfig::default());
     let fidr = run_workload(SystemVariant::FidrFull, spec, RunConfig::default());
 
-    println!(
-        "{:<34} {:>16} {:>16}",
-        "", "baseline (CIDR)", "FIDR"
-    );
+    println!("{:<34} {:>16} {:>16}", "", "baseline (CIDR)", "FIDR");
     println!(
         "{:<34} {:>16.2} {:>16.2}",
         "host DRAM bytes / client byte",

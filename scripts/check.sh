@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Full local gate: formatting, lints, docs and tests.
+# Run from the repository root: ./scripts/check.sh
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc (no deps)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "All checks passed."

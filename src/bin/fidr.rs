@@ -3,18 +3,20 @@
 //! ```text
 //! fidr run --workload write-h --variant full [--ops N]
 //! fidr compare [--workload write-h] [--ops N]
+//! fidr stats [--workload write-h] [--variant full] [--ops N] [--out FILE]
 //! fidr latency
 //! fidr cost [--capacity-tb 500] [--throughput 75]
-//! fidr trace <file> [--chunk-kb 32]
+//! fidr trace <file> [--chunk-kb 32] [--metrics-out FILE]
 //! ```
 
-use fidr::chunk::replay_chunking;
-use fidr::core::LatencyModel;
+use fidr::chunk::{replay_chunking, Lba};
+use fidr::cli::{parse_flags, variant_by_name, workload_by_name};
+use fidr::compress::ContentGenerator;
+use fidr::core::{FidrConfig, FidrSystem, LatencyModel};
 use fidr::cost::{CostModel, Scenario};
 use fidr::hwsim::{report, PlatformSpec};
 use fidr::ssd::SsdSpec;
-use fidr::cli::{parse_flags, variant_by_name, workload_by_name};
-use fidr::workload::{parse_trace, to_block_writes, WorkloadSpec};
+use fidr::workload::{parse_trace, to_block_writes, TraceOp, WorkloadSpec};
 use fidr::{run_workload, RunConfig, SystemVariant};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -24,9 +26,10 @@ const USAGE: &str = "fidr — FIDR (MICRO'19) storage-system reproduction
 USAGE:
     fidr run     --workload <NAME> --variant <VARIANT> [--ops N]
     fidr compare [--workload <NAME>] [--ops N]
+    fidr stats   [--workload <NAME>] [--variant <VARIANT>] [--ops N] [--out FILE]
     fidr latency
     fidr cost    [--capacity-tb X] [--throughput GBPS]
-    fidr trace   <FILE> [--chunk-kb 4|8|16|32]
+    fidr trace   <FILE> [--chunk-kb 4|8|16|32] [--metrics-out FILE]
     fidr report  [--ops N] [--out FILE]
 
 WORKLOADS:  write-h | write-m | write-l | read-mixed | vdi | database
@@ -105,6 +108,32 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ops: usize = flags
+        .get("ops")
+        .map(|s| s.parse().map_err(|_| "bad --ops"))
+        .transpose()?
+        .unwrap_or(15_000);
+    let wl = flags
+        .get("workload")
+        .map(String::as_str)
+        .unwrap_or("write-h");
+    let spec = workload_by_name(wl, ops).ok_or("unknown workload")?;
+    let var = flags.get("variant").map(String::as_str).unwrap_or("full");
+    let variant = variant_by_name(var).ok_or("unknown variant")?;
+
+    let r = run_workload(variant, spec, RunConfig::default());
+    let json = r.metrics.to_json();
+    match flags.get("out") {
+        Some(path) if !path.is_empty() => {
+            std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        _ => print!("{json}"),
+    }
+    Ok(())
+}
+
 fn cmd_report(flags: &HashMap<String, String>) -> Result<(), String> {
     use std::fmt::Write as _;
     let ops: usize = flags
@@ -169,9 +198,17 @@ fn cmd_latency() {
     ] {
         println!("{name}:");
         for stage in &model.stages {
-            println!("  {:<44} {:>7.0} us", stage.name, stage.time.as_secs_f64() * 1e6);
+            println!(
+                "  {:<44} {:>7.0} us",
+                stage.name,
+                stage.time.as_secs_f64() * 1e6
+            );
         }
-        println!("  {:<44} {:>7.0} us\n", "TOTAL", model.total().as_secs_f64() * 1e6);
+        println!(
+            "  {:<44} {:>7.0} us\n",
+            "TOTAL",
+            model.total().as_secs_f64() * 1e6
+        );
     }
 }
 
@@ -236,6 +273,45 @@ fn cmd_trace(positional: &[String], flags: &HashMap<String, String>) -> Result<(
         coarse.dedup_ratio() * 100.0,
         coarse.total_io_blocks() as f64 / fine.total_io_blocks().max(1) as f64
     );
+
+    if let Some(out) = flags.get("metrics-out").filter(|p| !p.is_empty()) {
+        // Replay the trace through a full FIDR system (synthetic chunk
+        // contents derived from each record's content tag, as in the
+        // trace-driven integration tests) and snapshot its metrics.
+        let gen = ContentGenerator::new(0.5);
+        let mut sys = FidrSystem::new(FidrConfig {
+            cache_lines: 64,
+            table_buckets: 1 << 12,
+            container_threshold: 128 << 10,
+            hash_batch: 16,
+            ..FidrConfig::default()
+        });
+        let mut written = std::collections::HashSet::new();
+        for rec in &records {
+            for b in 0..u64::from(rec.blocks) {
+                let lba = Lba(rec.lba + b);
+                match rec.op {
+                    TraceOp::Write => {
+                        let content = rec.content.wrapping_add(b);
+                        sys.write(lba, bytes::Bytes::from(gen.chunk(content, 4096)))
+                            .map_err(|e| format!("trace replay write: {e}"))?;
+                        written.insert(lba);
+                    }
+                    TraceOp::Read => {
+                        if written.contains(&lba) {
+                            sys.read(lba)
+                                .map_err(|e| format!("trace replay read: {e}"))?;
+                        }
+                    }
+                }
+            }
+        }
+        sys.flush()
+            .map_err(|e| format!("trace replay flush: {e}"))?;
+        let json = sys.metrics().to_json();
+        std::fs::write(out, &json).map_err(|e| format!("write {out}: {e}"))?;
+        println!("wrote {out}");
+    }
     Ok(())
 }
 
@@ -249,6 +325,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "run" => cmd_run(&flags),
         "compare" => cmd_compare(&flags),
+        "stats" => cmd_stats(&flags),
         "latency" => {
             cmd_latency();
             Ok(())

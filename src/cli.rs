@@ -79,7 +79,15 @@ mod tests {
 
     #[test]
     fn all_documented_workloads_resolve() {
-        for name in ["write-h", "write-m", "write-l", "read-mixed", "vdi", "database", "overwrite-churn"] {
+        for name in [
+            "write-h",
+            "write-m",
+            "write-l",
+            "read-mixed",
+            "vdi",
+            "database",
+            "overwrite-churn",
+        ] {
             assert!(workload_by_name(name, 10).is_some(), "{name}");
         }
         assert!(workload_by_name("bogus", 10).is_none());

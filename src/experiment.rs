@@ -10,6 +10,7 @@ use fidr_baseline::{BaselineConfig, BaselineSystem, PredictorStats};
 use fidr_cache::{CacheStats, HwTreeStats};
 use fidr_core::{CacheMode, FidrConfig, FidrError, FidrSystem};
 use fidr_hwsim::{CostParams, Ledger, PlatformSpec, Projection};
+use fidr_metrics::MetricsSnapshot;
 use fidr_tables::ReductionStats;
 use fidr_workload::{Request, Workload, WorkloadSpec};
 
@@ -93,6 +94,9 @@ pub struct RunReport {
     pub hwtree_ceiling: Option<f64>,
     /// Predictor counters (baseline only).
     pub predictor: Option<PredictorStats>,
+    /// Per-stage metrics snapshot (`fidr.metrics.v1` schema; see
+    /// `docs/OBSERVABILITY.md`).
+    pub metrics: MetricsSnapshot,
 }
 
 impl RunReport {
@@ -159,8 +163,7 @@ impl RunReport {
                 "data SSDs",
                 service(
                     per_chunk(
-                        (self.ledger.data_ssd_read_bytes + self.ledger.data_ssd_write_bytes)
-                            as f64,
+                        (self.ledger.data_ssd_read_bytes + self.ledger.data_ssd_write_bytes) as f64,
                     ),
                     platform.data_ssd_bw,
                 ),
@@ -222,7 +225,7 @@ pub fn run_workload_sharded(
 ) -> ShardedReport {
     assert!(shards > 0, "need at least one shard");
     let started = std::time::Instant::now();
-    let reports: Vec<RunReport> = crossbeam::thread::scope(|scope| {
+    let reports: Vec<RunReport> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..shards)
             .map(|i| {
                 let mut shard_spec = spec.clone();
@@ -230,15 +233,14 @@ pub fn run_workload_sharded(
                 // own slice of clients.
                 shard_spec.seed = spec.seed.wrapping_add(i as u64 * 0x9E37_79B9);
                 shard_spec.name = format!("{}[shard {i}]", spec.name);
-                scope.spawn(move |_| run_workload(variant, shard_spec, run))
+                scope.spawn(move || run_workload(variant, shard_spec, run))
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("shard thread panicked"))
             .collect()
-    })
-    .expect("shard scope");
+    });
     ShardedReport {
         shards: reports,
         wall_seconds: started.elapsed().as_secs_f64().max(1e-9),
@@ -274,6 +276,7 @@ pub fn run_workload(variant: SystemVariant, spec: WorkloadSpec, run: RunConfig) 
                 }
             }
             sys.flush();
+            let metrics = sys.metrics();
             RunReport {
                 variant,
                 workload: workload_name,
@@ -283,6 +286,7 @@ pub fn run_workload(variant: SystemVariant, spec: WorkloadSpec, run: RunConfig) 
                 hwtree: None,
                 hwtree_ceiling: None,
                 predictor: Some(sys.predictor_stats()),
+                metrics,
             }
         }
         _ => {
@@ -318,6 +322,7 @@ pub fn run_workload(variant: SystemVariant, spec: WorkloadSpec, run: RunConfig) 
             let platform = PlatformSpec::default();
             let hwtree = sys.hwtree_stats();
             let hwtree_ceiling = sys.hwtree_throughput(platform.fpga_dram_bw);
+            let metrics = sys.metrics();
             RunReport {
                 variant,
                 workload: workload_name,
@@ -327,6 +332,7 @@ pub fn run_workload(variant: SystemVariant, spec: WorkloadSpec, run: RunConfig) 
                 hwtree,
                 hwtree_ceiling,
                 predictor: None,
+                metrics,
             }
         }
     }

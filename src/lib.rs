@@ -49,6 +49,8 @@ pub use fidr_cost as cost;
 pub use fidr_hash as hash;
 /// Resource ledgers, platform specs and projection.
 pub use fidr_hwsim as hwsim;
+/// Metrics registry, histograms and snapshots.
+pub use fidr_metrics as metrics;
 /// The FIDR NIC model and storage protocol.
 pub use fidr_nic as nic;
 /// NVMe SSD models.
@@ -58,4 +60,6 @@ pub use fidr_tables as tables;
 /// Table 3 workload generation.
 pub use fidr_workload as workload;
 
-pub use experiment::{run_workload, run_workload_sharded, RunConfig, RunReport, ShardedReport, SystemVariant};
+pub use experiment::{
+    run_workload, run_workload_sharded, RunConfig, RunReport, ShardedReport, SystemVariant,
+};

@@ -41,10 +41,15 @@ fn upgrade_baseline_volume_to_fidr() {
 
     let mut new = FidrSystem::restore(fidr_cfg(), Snapshot::decode(&image).unwrap());
     for i in 0..300u64 {
-        assert_eq!(new.read(Lba(i)).unwrap(), gen.chunk(i % 60, 4096), "LBA {i}");
+        assert_eq!(
+            new.read(Lba(i)).unwrap(),
+            gen.chunk(i % 60, 4096),
+            "LBA {i}"
+        );
     }
     // The upgraded system keeps deduplicating against migrated content.
-    new.write(Lba(9000), Bytes::from(gen.chunk(0, 4096))).unwrap();
+    new.write(Lba(9000), Bytes::from(gen.chunk(0, 4096)))
+        .unwrap();
     new.flush().unwrap();
     assert_eq!(new.stats().duplicate_chunks, 1);
     assert_eq!(new.stats().unique_chunks, 0);

@@ -80,7 +80,10 @@ fn scrub_detects_injected_corruption() {
 
     assert!(sys.inject_data_corruption(0, 100));
     let scrub = sys.verify_integrity();
-    assert!(scrub.is_err(), "scrub must detect the flipped bit: {scrub:?}");
+    assert!(
+        scrub.is_err(),
+        "scrub must detect the flipped bit: {scrub:?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,176 @@
+//! Pipeline observability integration: drive a trace through the full
+//! FIDR system and check that the `fidr.metrics.v1` snapshot covers
+//! every pipeline stage with counters that agree with the independent
+//! [`ReductionStats`]/[`CacheStats`] accounting.
+
+use bytes::Bytes;
+use fidr::chunk::Lba;
+use fidr::compress::ContentGenerator;
+use fidr::core::{FidrConfig, FidrSystem};
+use fidr::metrics::MetricValue;
+use fidr::workload::{parse_trace, write_trace, TraceOp, TraceRecord};
+use fidr::{run_workload, RunConfig, SystemVariant};
+
+fn synthetic_trace(n: u64) -> Vec<TraceRecord> {
+    (0..n)
+        .map(|i| TraceRecord {
+            timestamp: i as f64 * 1e-4,
+            op: if i % 5 == 4 {
+                TraceOp::Read
+            } else {
+                TraceOp::Write
+            },
+            lba: (i * 7) % 256,
+            blocks: 1 + (i % 3) as u32,
+            content: if i % 3 == 0 { 0xAAAA } else { 0x1000 + i },
+        })
+        .collect()
+}
+
+fn trace_driven_system() -> FidrSystem {
+    let trace = synthetic_trace(600);
+    let mut buf = Vec::new();
+    write_trace(&trace, &mut buf).unwrap();
+    let parsed = parse_trace(buf.as_slice()).unwrap();
+
+    let gen = ContentGenerator::new(0.5);
+    let mut sys = FidrSystem::new(FidrConfig {
+        cache_lines: 64,
+        table_buckets: 1 << 12,
+        container_threshold: 128 << 10,
+        hash_batch: 16,
+        ..FidrConfig::default()
+    });
+    let mut written = std::collections::HashSet::new();
+    for rec in &parsed {
+        for b in 0..u64::from(rec.blocks) {
+            let lba = Lba(rec.lba + b);
+            match rec.op {
+                TraceOp::Write => {
+                    let content = rec.content.wrapping_add(b);
+                    sys.write(lba, Bytes::from(gen.chunk(content, 4096)))
+                        .unwrap();
+                    written.insert(lba);
+                }
+                TraceOp::Read => {
+                    if written.contains(&lba) {
+                        sys.read(lba).unwrap();
+                    }
+                }
+            }
+        }
+    }
+    sys.flush().unwrap();
+    sys
+}
+
+#[test]
+fn snapshot_covers_every_pipeline_stage() {
+    let sys = trace_driven_system();
+    let m = sys.metrics();
+
+    // Latency (or distribution) histograms for at least five distinct
+    // stages: NIC ingest, hashing, table-cache lookup, compression and
+    // SSD I/O — plus the end-to-end system view.
+    for name in [
+        "nic.ingest.ns",
+        "hash.batch.ns",
+        "cache.lookup.ns",
+        "compress.chunk.ns",
+        "ssd.table.io.ns",
+        "ssd.data.io.ns",
+        "system.write.ns",
+        "system.read.ns",
+    ] {
+        let h = m
+            .histogram(name)
+            .unwrap_or_else(|| panic!("missing histogram {name}"));
+        assert!(h.count > 0, "{name} recorded no samples");
+        assert!(
+            h.p50 <= h.p95 && h.p95 <= h.p99,
+            "{name} percentiles out of order"
+        );
+        assert!(
+            h.min <= h.p50 && h.p99 <= h.max,
+            "{name} percentiles out of range"
+        );
+    }
+}
+
+#[test]
+fn snapshot_counters_agree_with_reduction_and_cache_stats() {
+    let sys = trace_driven_system();
+    let stats = sys.stats();
+    let cache = sys.cache_stats();
+    let m = sys.metrics();
+
+    assert!(stats.duplicate_chunks > 0, "trace content must dedup");
+    for (name, expected) in [
+        ("reduction.write_chunks.count", stats.write_chunks),
+        ("reduction.read_chunks.count", stats.read_chunks),
+        ("reduction.duplicate_chunks.count", stats.duplicate_chunks),
+        ("reduction.unique_chunks.count", stats.unique_chunks),
+        ("reduction.raw.bytes", stats.raw_bytes),
+        ("reduction.stored.bytes", stats.stored_bytes),
+        ("cache.accesses.count", cache.accesses),
+        ("cache.hits.count", cache.hits),
+        ("cache.misses.count", cache.misses),
+        ("hash.chunks_hashed.chunks", stats.write_chunks),
+    ] {
+        assert_eq!(m.counter(name), Some(expected), "{name}");
+    }
+
+    // Cross-checks between stages: every cache lookup was timed, and
+    // every stored unique chunk went through the compressor.
+    assert_eq!(
+        m.histogram("cache.lookup.ns").unwrap().count,
+        cache.accesses
+    );
+    let compressed = m.counter("compress.lzss.chunks").unwrap()
+        + m.counter("compress.raw_fallback.chunks").unwrap();
+    assert!(
+        compressed >= stats.unique_chunks,
+        "compressed {compressed} < unique {}",
+        stats.unique_chunks
+    );
+}
+
+#[test]
+fn run_report_carries_the_same_snapshot_shape() {
+    let spec = fidr::workload::WorkloadSpec::table3(1_000)
+        .into_iter()
+        .next()
+        .unwrap();
+    let r = run_workload(SystemVariant::FidrFull, spec, RunConfig::default());
+    assert_eq!(
+        r.metrics.counter("reduction.write_chunks.count"),
+        Some(r.reduction.write_chunks)
+    );
+    assert_eq!(
+        r.metrics.counter("cache.accesses.count"),
+        Some(r.cache.accesses)
+    );
+    assert!(r.metrics.histogram("system.write.ns").unwrap().count > 0);
+
+    let json = r.metrics.to_json();
+    assert!(json.starts_with("{\n  \"schema\": \"fidr.metrics.v1\""));
+    // Every metric renders as a typed object.
+    for (_, v) in r.metrics.iter() {
+        match v {
+            MetricValue::Counter(_) | MetricValue::Gauge(_) | MetricValue::Histogram(_) => {}
+        }
+    }
+}
+
+#[test]
+fn baseline_snapshot_reports_predictor_and_no_hw_engine() {
+    let spec = fidr::workload::WorkloadSpec::table3(1_000)
+        .into_iter()
+        .next()
+        .unwrap();
+    let r = run_workload(SystemVariant::Baseline, spec, RunConfig::default());
+    assert_eq!(r.metrics.counter("cache.hw_engine.enabled"), Some(0));
+    assert!(r.metrics.counter("predictor.predictions.count").unwrap() > 0);
+    assert!(r.metrics.histogram("system.write.ns").unwrap().count > 0);
+    assert!(r.metrics.histogram("compress.chunk.ns").unwrap().count > 0);
+}

@@ -15,8 +15,13 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 enum Op {
     /// Write content id at an LBA (small spaces force overwrites/dups).
-    Write { lba: u64, content: u64 },
-    Read { lba: u64 },
+    Write {
+        lba: u64,
+        content: u64,
+    },
+    Read {
+        lba: u64,
+    },
     Flush,
     Gc,
 }

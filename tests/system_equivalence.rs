@@ -82,13 +82,11 @@ fn fidr_removes_the_right_resources() {
 
     // Net effect: far less host memory bandwidth and CPU.
     assert!(
-        fidr.ledger.mem_bytes_per_client_byte()
-            < base.ledger.mem_bytes_per_client_byte() * 0.45,
+        fidr.ledger.mem_bytes_per_client_byte() < base.ledger.mem_bytes_per_client_byte() * 0.45,
         "memory traffic should drop by more than 55%"
     );
     assert!(
-        fidr.ledger.cpu_cycles_per_client_byte()
-            < base.ledger.cpu_cycles_per_client_byte() * 0.45,
+        fidr.ledger.cpu_cycles_per_client_byte() < base.ledger.cpu_cycles_per_client_byte() * 0.45,
         "CPU should drop by more than 55%"
     );
 }
@@ -116,15 +114,9 @@ fn ledger_fractions_are_well_formed() {
     for spec in WorkloadSpec::table3(2_000) {
         let (base, fidr) = run_pair(spec);
         for r in [&base, &fidr] {
-            let mem_sum: f64 = MemPath::ALL
-                .iter()
-                .map(|&p| r.ledger.mem_fraction(p))
-                .sum();
+            let mem_sum: f64 = MemPath::ALL.iter().map(|&p| r.ledger.mem_fraction(p)).sum();
             assert!((mem_sum - 1.0).abs() < 1e-9, "memory fractions sum to 1");
-            let cpu_sum: f64 = CpuTask::ALL
-                .iter()
-                .map(|&t| r.ledger.cpu_fraction(t))
-                .sum();
+            let cpu_sum: f64 = CpuTask::ALL.iter().map(|&t| r.ledger.cpu_fraction(t)).sum();
             assert!((cpu_sum - 1.0).abs() < 1e-9, "CPU fractions sum to 1");
             let mgmt = r.ledger.cpu_management_fraction();
             assert!((0.0..=1.0).contains(&mgmt));

@@ -36,7 +36,10 @@ fn text_roundtrip_preserves_every_record() {
     for (a, b) in parsed.iter().zip(&trace) {
         // Timestamps are serialized at microsecond precision.
         assert!((a.timestamp - b.timestamp).abs() < 1e-6);
-        assert_eq!((a.op, a.lba, a.blocks, a.content), (b.op, b.lba, b.blocks, b.content));
+        assert_eq!(
+            (a.op, a.lba, a.blocks, a.content),
+            (b.op, b.lba, b.blocks, b.content)
+        );
     }
 }
 

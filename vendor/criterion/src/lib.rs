@@ -1,0 +1,153 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion)
+//! crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides a minimal wall-clock timing harness with the API subset the
+//! workspace's benches use: [`Criterion::bench_function`], benchmark
+//! groups with [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. It reports mean time per iteration (and
+//! derived throughput) on stdout; it does not do statistical analysis,
+//! outlier rejection, or HTML reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How to express a benchmark's work per iteration when reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing state handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up briefly, then measuring enough
+    /// iterations to fill the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run for ~20 ms to populate caches and branch state.
+        let warmup_end = Instant::now() + Duration::from_millis(20);
+        while Instant::now() < warmup_end {
+            black_box(routine());
+        }
+        // Measurement: batches of iterations until ~200 ms accumulate.
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let batch = 16;
+        while total < Duration::from_millis(200) {
+            let started = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += started.elapsed();
+            iters += batch;
+        }
+        self.total = total;
+        self.iters = iters;
+    }
+
+    fn per_iter(&self) -> Duration {
+        if self.iters == 0 {
+            Duration::ZERO
+        } else {
+            self.total / u32::try_from(self.iters).unwrap_or(u32::MAX)
+        }
+    }
+}
+
+fn report(id: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let per_iter = bencher.per_iter();
+    let ns = per_iter.as_nanos();
+    match throughput {
+        Some(Throughput::Bytes(bytes)) if ns > 0 => {
+            let gbps = bytes as f64 / per_iter.as_secs_f64() / 1e9;
+            println!("{id:<40} {ns:>10} ns/iter   {gbps:>8.3} GB/s");
+        }
+        Some(Throughput::Elements(n)) if ns > 0 => {
+            let meps = n as f64 / per_iter.as_secs_f64() / 1e6;
+            println!("{id:<40} {ns:>10} ns/iter   {meps:>8.3} Melem/s");
+        }
+        _ => println!("{id:<40} {ns:>10} ns/iter"),
+    }
+}
+
+/// A named set of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work used for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(&format!("{}/{id}", self.name), &bencher, self.throughput);
+        self
+    }
+
+    /// Finishes the group (reporting is immediate, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(id, &bencher, None);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
