@@ -14,6 +14,7 @@ use bytes::Bytes;
 use fidr_cache::{BPlusTree, CacheStats, TableCache};
 use fidr_chunk::{Lba, Pba, Pbn};
 use fidr_compress::{CompressedChunk, Encoding};
+use fidr_faults::{FaultInjector, FaultPlan, RetryPolicy};
 use fidr_hash::Fingerprint;
 use fidr_hwsim::{ops, CostParams, CpuTask, Ledger, MemPath, PcieLink};
 use fidr_metrics::{Histogram, MetricsSnapshot};
@@ -41,6 +42,10 @@ pub struct BaselineConfig {
     pub data_ssds: u32,
     /// Calibrated per-operation costs.
     pub cost: CostParams,
+    /// Seeded fault schedule for the device models (inert by default).
+    pub faults: FaultPlan,
+    /// Bounded-retry policy for device faults and checksum re-reads.
+    pub retry: RetryPolicy,
 }
 
 impl Default for BaselineConfig {
@@ -52,6 +57,8 @@ impl Default for BaselineConfig {
             predictor_bits: 1 << 22,
             data_ssds: 2,
             cost: CostParams::default(),
+            faults: FaultPlan::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -67,6 +74,21 @@ pub enum SystemError {
     NotMapped(Lba),
     /// The data SSDs returned an unreadable region.
     Corrupt(String),
+    /// A device IO failed even after the bounded retry budget.
+    Io(String),
+}
+
+impl SystemError {
+    /// Stable metric-name slug for per-error-kind counters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SystemError::BadChunkSize(_) => "bad_chunk_size",
+            SystemError::TableFull => "table_full",
+            SystemError::NotMapped(_) => "not_mapped",
+            SystemError::Corrupt(_) => "corrupt",
+            SystemError::Io(_) => "io",
+        }
+    }
 }
 
 impl fmt::Display for SystemError {
@@ -76,6 +98,7 @@ impl fmt::Display for SystemError {
             SystemError::TableFull => write!(f, "hash-PBN bucket full; grow the table"),
             SystemError::NotMapped(lba) => write!(f, "read of unmapped {lba}"),
             SystemError::Corrupt(e) => write!(f, "data SSD corruption: {e}"),
+            SystemError::Io(e) => write!(f, "device IO failed past retry budget: {e}"),
         }
     }
 }
@@ -128,21 +151,43 @@ pub struct BaselineSystem {
     compress_lzss_chunks: u64,
     /// Chunks stored raw because compression did not help.
     compress_raw_chunks: u64,
-    /// End-to-end wall-clock time per successful client write.
+    /// End-to-end wall-clock time per client write (all outcomes).
     write_ns: Histogram,
-    /// End-to-end wall-clock time per successful client read.
+    /// End-to-end wall-clock time per client read (all outcomes).
     read_ns: Histogram,
+    /// Shared fault injector armed into the device models.
+    faults: FaultInjector,
+    /// Client-write failures by [`SystemError::kind`].
+    write_errors: HashMap<&'static str, u64>,
+    /// Client-read failures by [`SystemError::kind`].
+    read_errors: HashMap<&'static str, u64>,
+    /// Modelled (not slept) backoff spent re-reading mismatched chunks.
+    recovery_backoff_ns: Histogram,
+    /// Checksum mismatches detected on the read path.
+    read_repair_detected: u64,
+    /// Re-reads issued to heal checksum mismatches.
+    read_repair_rereads: u64,
+    /// Mismatches healed by a re-read.
+    read_repair_repaired: u64,
+    /// Mismatches that persisted past the retry budget.
+    read_repair_unrecovered: u64,
+    /// Container seals that failed past the device retry budget.
+    seal_failures: u64,
 }
 
 impl BaselineSystem {
     /// Builds a baseline server from `cfg`.
     pub fn new(cfg: BaselineConfig) -> Self {
-        let table_ssd = TableSsd::new(cfg.table_buckets, QueueLocation::HostMemory);
+        let faults = FaultInjector::new(cfg.faults);
+        let mut table_ssd = TableSsd::new(cfg.table_buckets, QueueLocation::HostMemory);
+        table_ssd.set_fault_injector(faults.clone(), cfg.retry);
+        let mut data_ssd = DataSsdArray::new(cfg.data_ssds);
+        data_ssd.set_fault_injector(faults.clone(), cfg.retry);
         BaselineSystem {
             predictor: UniquePredictor::new(cfg.predictor_bits),
             cache: TableCache::new(cfg.cache_lines, BPlusTree::new()),
             table_ssd,
-            data_ssd: DataSsdArray::new(cfg.data_ssds),
+            data_ssd,
             lba_map: LbaPbaTable::new(),
             builder: ContainerBuilder::new(0, cfg.container_threshold),
             staging: HashMap::new(),
@@ -160,6 +205,15 @@ impl BaselineSystem {
             compress_raw_chunks: 0,
             write_ns: Histogram::new(),
             read_ns: Histogram::new(),
+            faults,
+            write_errors: HashMap::new(),
+            read_errors: HashMap::new(),
+            recovery_backoff_ns: Histogram::new(),
+            read_repair_detected: 0,
+            read_repair_rereads: 0,
+            read_repair_repaired: 0,
+            read_repair_unrecovered: 0,
+            seal_failures: 0,
             cfg,
         }
     }
@@ -198,8 +252,9 @@ impl BaselineSystem {
     pub fn write(&mut self, lba: Lba, data: Bytes) -> Result<(), SystemError> {
         let started = Instant::now();
         let out = self.write_inner(lba, data);
-        if out.is_ok() {
-            self.write_ns.record_duration(started.elapsed());
+        self.write_ns.record_duration(started.elapsed());
+        if let Err(e) = &out {
+            *self.write_errors.entry(e.kind()).or_insert(0) += 1;
         }
         out
     }
@@ -325,7 +380,7 @@ impl BaselineSystem {
                 .push(pbn);
             self.liveness.record_append(self.builder.id());
             if self.builder.is_full() {
-                self.seal_container();
+                self.seal_container()?;
             }
             pbn
         };
@@ -398,11 +453,14 @@ impl BaselineSystem {
                 if loc.container != container {
                     continue;
                 }
-                let data = self.fetch_chunk(Pba {
-                    container: loc.container,
-                    offset: loc.offset,
-                    compressed_len: loc.compressed_len,
-                })?;
+                let data = self.fetch_chunk_verified(
+                    Some(pbn),
+                    Pba {
+                        container: loc.container,
+                        offset: loc.offset,
+                        compressed_len: loc.compressed_len,
+                    },
+                )?;
                 let io_bytes = loc.compressed_len as u64 + 4;
                 // SSD → host memory, host → FPGA for recompression, back.
                 ops::dma_to_host(
@@ -445,7 +503,7 @@ impl BaselineSystem {
                 self.liveness.record_append(self.builder.id());
                 report.moved_chunks += 1;
                 if self.builder.is_full() {
-                    self.seal_container();
+                    self.seal_container()?;
                 }
             }
             if let Some(freed) = self.data_ssd.remove_container(container) {
@@ -504,8 +562,9 @@ impl BaselineSystem {
     pub fn read(&mut self, lba: Lba) -> Result<Vec<u8>, SystemError> {
         let started = Instant::now();
         let out = self.read_inner(lba);
-        if out.is_ok() {
-            self.read_ns.record_duration(started.elapsed());
+        self.read_ns.record_duration(started.elapsed());
+        if let Err(e) = &out {
+            *self.read_errors.entry(e.kind()).or_insert(0) += 1;
         }
         out
     }
@@ -529,7 +588,8 @@ impl BaselineSystem {
             .lookup(lba)
             .ok_or(SystemError::NotMapped(lba))?;
 
-        let data = self.fetch_chunk(pba)?;
+        let pbn = self.lba_map.pbn_of(lba);
+        let data = self.fetch_chunk_verified(pbn, pba)?;
 
         // Compressed data SSD -> host memory.
         let io_bytes = pba.compressed_len as u64 + 4;
@@ -570,18 +630,30 @@ impl BaselineSystem {
     }
 
     /// Seals any open container and flushes dirty table-cache lines.
-    pub fn flush(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::Io`] if the seal or a bucket writeback fails past
+    /// the retry budget; the open container and dirty lines survive for
+    /// a later retry.
+    pub fn flush(&mut self) -> Result<(), SystemError> {
         if !self.builder.is_empty() {
-            self.seal_container();
+            self.seal_container()?;
         }
-        self.cache.flush_all(&mut self.table_ssd);
+        self.cache
+            .flush_all(&mut self.table_ssd)
+            .map_err(|e| SystemError::Io(e.to_string()))
     }
 
     /// Captures all durable state for persistence (flushes first). The
     /// snapshot format is shared with the FIDR system, so a volume can be
     /// checkpointed under one architecture and restored under the other.
-    pub fn checkpoint(&mut self) -> Snapshot {
-        self.flush();
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush failures.
+    pub fn checkpoint(&mut self) -> Result<Snapshot, SystemError> {
+        self.flush()?;
         let store = self.table_ssd.store();
         let mut table_buckets = Vec::new();
         for idx in 0..store.num_buckets() {
@@ -590,7 +662,7 @@ impl BaselineSystem {
                 table_buckets.push((idx, bucket.clone()));
             }
         }
-        Snapshot {
+        Ok(Snapshot {
             num_buckets: store.num_buckets(),
             table_buckets,
             lbas: self.lba_map.lba_entries().collect(),
@@ -601,7 +673,7 @@ impl BaselineSystem {
             pbn_fp: self.pbn_fp.iter().map(|(&p, &f)| (p, f)).collect(),
             liveness: self.liveness.entries().collect(),
             dead: self.dead.clone(),
-        }
+        })
     }
 
     /// Rebuilds a baseline server from a [`Snapshot`] (restart recovery).
@@ -618,6 +690,8 @@ impl BaselineSystem {
             store.write_bucket(idx, bucket);
         }
         sys.table_ssd = TableSsd::from_store(store, QueueLocation::HostMemory);
+        sys.table_ssd
+            .set_fault_injector(sys.faults.clone(), sys.cfg.retry);
 
         for container in snapshot.containers {
             sys.data_ssd.load_container(container);
@@ -649,12 +723,14 @@ impl BaselineSystem {
     }
 
     /// Background integrity scrub (fsck): verifies every live chunk's
-    /// stored bytes against its recorded SHA-256 fingerprint. Returns the
-    /// number of chunks verified.
+    /// stored bytes against its recorded SHA-256 fingerprint. Transient
+    /// read corruption is healed by bounded re-reads; only persistent
+    /// mismatches fail the scrub. Returns the number of chunks verified.
     ///
     /// # Errors
     ///
-    /// [`SystemError::Corrupt`] naming the first mismatching PBN.
+    /// [`SystemError::Corrupt`] for the first PBN that still mismatches
+    /// after re-reads.
     pub fn verify_integrity(&mut self) -> Result<u64, SystemError> {
         let live: Vec<(Pbn, PbnLocation)> = self
             .lba_map
@@ -663,20 +739,17 @@ impl BaselineSystem {
             .collect();
         let mut verified = 0u64;
         for (pbn, loc) in live {
-            let data = self.fetch_chunk(Pba {
-                container: loc.container,
-                offset: loc.offset,
-                compressed_len: loc.compressed_len,
-            })?;
-            let expect = self
-                .pbn_fp
-                .get(&pbn)
-                .ok_or_else(|| SystemError::Corrupt(format!("{pbn} missing fingerprint")))?;
-            if Fingerprint::of(&data) != *expect {
-                return Err(SystemError::Corrupt(format!(
-                    "{pbn} content does not match its fingerprint"
-                )));
+            if !self.pbn_fp.contains_key(&pbn) {
+                return Err(SystemError::Corrupt(format!("{pbn} missing fingerprint")));
             }
+            self.fetch_chunk_verified(
+                Some(pbn),
+                Pba {
+                    container: loc.container,
+                    offset: loc.offset,
+                    compressed_len: loc.compressed_len,
+                },
+            )?;
             verified += 1;
         }
         Ok(verified)
@@ -717,6 +790,22 @@ impl BaselineSystem {
         out.set_histogram("compress.ratio.pct", &self.compress_pct);
         out.set_histogram("system.write.ns", &self.write_ns);
         out.set_histogram("system.read.ns", &self.read_ns);
+        self.faults.stats().export_metrics(&mut out);
+        out.set_counter("retry.read_repair.detected", self.read_repair_detected);
+        out.set_counter("retry.read_repair.rereads", self.read_repair_rereads);
+        out.set_counter("retry.read_repair.repaired", self.read_repair_repaired);
+        out.set_counter(
+            "retry.read_repair.unrecovered",
+            self.read_repair_unrecovered,
+        );
+        out.set_counter("retry.seal.failures", self.seal_failures);
+        out.set_histogram("system.retry.backoff.ns", &self.recovery_backoff_ns);
+        for (kind, n) in &self.write_errors {
+            out.set_counter(&format!("system.write.errors.{kind}"), *n);
+        }
+        for (kind, n) in &self.read_errors {
+            out.set_counter(&format!("system.read.errors.{kind}"), *n);
+        }
         let p = self.predictor.stats();
         out.set_counter("predictor.predictions.count", p.predictions);
         out.set_counter("predictor.predicted_unique.count", p.predicted_unique);
@@ -733,20 +822,54 @@ impl BaselineSystem {
                 .cloned()
                 .ok_or_else(|| SystemError::Corrupt("missing staged chunk".to_string()));
         }
-        self.data_ssd
-            .read_chunk(pba)
-            .map_err(|e| SystemError::Corrupt(e.to_string()))
+        self.data_ssd.read_chunk(pba).map_err(|e| match e {
+            fidr_ssd::DataSsdError::Io { .. } => SystemError::Io(e.to_string()),
+            _ => SystemError::Corrupt(e.to_string()),
+        })
     }
 
-    fn seal_container(&mut self) {
-        let threshold = self.cfg.container_threshold;
+    /// Fetches a chunk and, when its fingerprint is on record, verifies
+    /// the returned bytes against it, re-reading (bounded, with modelled
+    /// backoff) to heal in-flight corruption. Persistent corruption still
+    /// errors out.
+    fn fetch_chunk_verified(&mut self, pbn: Option<Pbn>, pba: Pba) -> Result<Vec<u8>, SystemError> {
+        let data = self.fetch_chunk(pba)?;
+        let Some(expect) = pbn.and_then(|p| self.pbn_fp.get(&p).copied()) else {
+            return Ok(data);
+        };
+        if Fingerprint::of(&data) == expect {
+            return Ok(data);
+        }
+        self.read_repair_detected += 1;
+        for attempt in 0..self.cfg.retry.max_retries {
+            self.read_repair_rereads += 1;
+            self.recovery_backoff_ns
+                .record_duration(self.cfg.retry.backoff(attempt));
+            let data = self.fetch_chunk(pba)?;
+            if Fingerprint::of(&data) == expect {
+                self.read_repair_repaired += 1;
+                return Ok(data);
+            }
+        }
+        self.read_repair_unrecovered += 1;
+        Err(SystemError::Corrupt(format!(
+            "container {} offset {} fails checksum verification after re-reads",
+            pba.container, pba.offset
+        )))
+    }
+
+    /// Seals a *clone* of the open builder so a failed device write keeps
+    /// the builder and staging intact for a later retry — no acked write
+    /// is lost.
+    fn seal_container(&mut self) -> Result<(), SystemError> {
+        let bytes = self.builder.len() as u64;
+        if let Err(e) = self.data_ssd.write_container(self.builder.clone().seal()) {
+            self.seal_failures += 1;
+            return Err(SystemError::Io(e.to_string()));
+        }
         self.next_container += 1;
-        let full = std::mem::replace(
-            &mut self.builder,
-            ContainerBuilder::new(self.next_container, threshold),
-        );
+        self.builder = ContainerBuilder::new(self.next_container, self.cfg.container_threshold);
         self.staging.clear();
-        let bytes = full.len() as u64;
 
         // Container bounces host memory → data SSD.
         ops::dma_from_host(
@@ -759,7 +882,7 @@ impl BaselineSystem {
             .charge_cpu(CpuTask::DataSsdStack, self.cfg.cost.data_ssd_io_cycles);
         self.ledger.data_ssd_write_bytes += bytes;
         self.stats.containers_sealed += 1;
-        self.data_ssd.write_container(full.seal());
+        Ok(())
     }
 
     /// Looks up `fingerprint` through the software-managed table cache,
@@ -775,7 +898,10 @@ impl BaselineSystem {
         // B+ tree search on the CPU.
         self.ledger
             .charge_cpu(CpuTask::TreeIndexing, cost.tree_search_cycles);
-        let access = self.cache.access(bucket_idx, &mut self.table_ssd);
+        let access = self
+            .cache
+            .access(bucket_idx, &mut self.table_ssd)
+            .map_err(|e| SystemError::Io(e.to_string()))?;
 
         if !access.hit {
             // Miss: bucket fetched table SSD → host memory by the CPU's

@@ -53,7 +53,7 @@ fn main() {
         }
         fidr.flush().unwrap();
         fidr_no_gc.flush().unwrap();
-        baseline.flush();
+        baseline.flush().unwrap();
         let f = fidr.collect_garbage(0.3).unwrap();
         let b = baseline.collect_garbage(0.3).unwrap();
         println!(

@@ -33,7 +33,7 @@ fn main() {
                 sys.write(lba, data).unwrap();
             }
         }
-        sys.flush();
+        sys.flush().unwrap();
         let p = sys.predictor_stats();
         // Each chunk takes one round trip; mispredicted uniques take two.
         let round_trips = p.predictions + (p.predictions - p.correct);

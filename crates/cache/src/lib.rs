@@ -21,8 +21,9 @@
 //!
 //! let mut ssd = TableSsd::new(4096, QueueLocation::CacheEngine);
 //! let mut cache = TableCache::new(128, HwTree::new(HwTreeConfig::default()));
-//! let access = cache.access(99, &mut ssd);
+//! let access = cache.access(99, &mut ssd)?;
 //! assert!(!access.hit);
+//! # Ok::<(), fidr_ssd::TableSsdError>(())
 //! ```
 
 #![forbid(unsafe_code)]

@@ -11,7 +11,7 @@ use crate::btree::BPlusTree;
 use crate::hwtree::HwTree;
 use crate::lru::{FreeList, LruList};
 use fidr_metrics::{Histogram, MetricsSnapshot};
-use fidr_ssd::TableSsd;
+use fidr_ssd::{TableSsd, TableSsdError};
 use fidr_tables::Bucket;
 use std::time::Instant;
 
@@ -69,6 +69,16 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Folds another run's counters into this one (e.g. carrying a
+    /// degraded HW-Engine cache's history into its software successor).
+    pub fn merge(&mut self, other: CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.dirty_flushes += other.dirty_flushes;
+    }
+
     /// Hit rate over all accesses.
     pub fn hit_rate(&self) -> f64 {
         if self.accesses == 0 {
@@ -102,10 +112,11 @@ pub struct Access {
 ///
 /// let mut ssd = TableSsd::new(1024, QueueLocation::HostMemory);
 /// let mut cache = TableCache::new(16, BPlusTree::new());
-/// let first = cache.access(7, &mut ssd);
+/// let first = cache.access(7, &mut ssd)?;
 /// assert!(!first.hit);
-/// let second = cache.access(7, &mut ssd);
+/// let second = cache.access(7, &mut ssd)?;
 /// assert!(second.hit);
+/// # Ok::<(), fidr_ssd::TableSsdError>(())
 /// ```
 #[derive(Debug)]
 pub struct TableCache<I> {
@@ -165,19 +176,26 @@ impl<I: CacheIndex> TableCache<I> {
 
     /// Ensures `bucket` is cached, fetching and evicting as needed, and
     /// returns where it lives.
-    pub fn access(&mut self, bucket: u64, ssd: &mut TableSsd) -> Access {
+    ///
+    /// # Errors
+    ///
+    /// [`TableSsdError`] if an eviction write-back or the miss fetch fails
+    /// past the device's retry budget. The cache stays consistent: a line
+    /// whose dirty write-back failed is re-indexed and keeps its content
+    /// (nothing was persisted), and a failed fetch installs nothing.
+    pub fn access(&mut self, bucket: u64, ssd: &mut TableSsd) -> Result<Access, TableSsdError> {
         let started = Instant::now();
         self.stats.accesses += 1;
         if let Some(line) = self.index.index_search(bucket) {
             self.stats.hits += 1;
             self.lru.touch(line);
             self.access_ns.record_duration(started.elapsed());
-            return Access {
+            return Ok(Access {
                 line,
                 hit: true,
                 evicted: 0,
                 flushed: 0,
-            };
+            });
         }
 
         self.stats.misses += 1;
@@ -194,12 +212,21 @@ impl<I: CacheIndex> TableCache<I> {
                     self.line_bucket[victim as usize].expect("victim line holds a bucket");
                 self.index.index_remove(victim_bucket);
                 if self.dirty[victim as usize] {
-                    let content = std::mem::take(&mut self.lines[victim as usize]);
-                    ssd.flush_bucket(victim_bucket, content);
+                    if let Err(e) =
+                        ssd.flush_bucket(victim_bucket, self.lines[victim as usize].clone())
+                    {
+                        // Nothing was persisted: put the victim back so the
+                        // only up-to-date copy of the bucket stays cached.
+                        self.index.index_insert(victim_bucket, victim);
+                        self.lru.push_hot(victim);
+                        self.access_ns.record_duration(started.elapsed());
+                        return Err(e);
+                    }
                     self.dirty[victim as usize] = false;
                     self.stats.dirty_flushes += 1;
                     flushed += 1;
                 }
+                self.lines[victim as usize] = Bucket::new();
                 self.line_bucket[victim as usize] = None;
                 self.free.release(victim);
                 self.stats.evictions += 1;
@@ -207,19 +234,28 @@ impl<I: CacheIndex> TableCache<I> {
             }
         }
 
+        let content = match ssd.fetch_bucket(bucket) {
+            Ok(content) => content,
+            Err(e) => {
+                // Eviction work (if any) is already committed and
+                // consistent; the miss itself installs nothing.
+                self.access_ns.record_duration(started.elapsed());
+                return Err(e);
+            }
+        };
         let line = self.free.allocate().expect("eviction refilled free list");
-        self.lines[line as usize] = ssd.fetch_bucket(bucket);
+        self.lines[line as usize] = content;
         self.line_bucket[line as usize] = Some(bucket);
         self.dirty[line as usize] = false;
         self.index.index_insert(bucket, line);
         self.lru.push_hot(line);
         self.access_ns.record_duration(started.elapsed());
-        Access {
+        Ok(Access {
             line,
             hit: false,
             evicted,
             flushed,
-        }
+        })
     }
 
     /// Exports the cache's counters and lookup-latency histogram under the
@@ -262,15 +298,22 @@ impl<I: CacheIndex> TableCache<I> {
     }
 
     /// Writes every dirty line back to the table SSD (shutdown / barrier).
-    pub fn flush_all(&mut self, ssd: &mut TableSsd) {
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first bucket whose flush fails past the device's
+    /// retry budget; that line and any not yet reached stay dirty, so a
+    /// later `flush_all` retries exactly the unpersisted remainder.
+    pub fn flush_all(&mut self, ssd: &mut TableSsd) -> Result<(), TableSsdError> {
         for line in 0..self.lines.len() {
             if self.dirty[line] {
                 let bucket_idx = self.line_bucket[line].expect("dirty line holds a bucket");
-                ssd.flush_bucket(bucket_idx, self.lines[line].clone());
+                ssd.flush_bucket(bucket_idx, self.lines[line].clone())?;
                 self.dirty[line] = false;
                 self.stats.dirty_flushes += 1;
             }
         }
+        Ok(())
     }
 }
 
@@ -289,8 +332,8 @@ mod tests {
     fn hit_after_miss() {
         let mut s = ssd(256);
         let mut c = TableCache::new(4, BPlusTree::new());
-        assert!(!c.access(10, &mut s).hit);
-        assert!(c.access(10, &mut s).hit);
+        assert!(!c.access(10, &mut s).unwrap().hit);
+        assert!(c.access(10, &mut s).unwrap().hit);
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().misses, 1);
     }
@@ -300,16 +343,16 @@ mod tests {
         let mut s = ssd(256);
         let mut c = TableCache::new(4, BPlusTree::new());
         // Dirty a bucket, then evict it by filling the cache.
-        let a = c.access(1, &mut s);
+        let a = c.access(1, &mut s).unwrap();
         let fp = Fingerprint::of(b"x");
         c.bucket_mut(a.line).insert(fp, Pbn(9)).unwrap();
         for b in 2..10u64 {
-            c.access(b, &mut s);
+            c.access(b, &mut s).unwrap();
         }
         assert!(c.stats().evictions >= 1);
         assert!(c.stats().dirty_flushes >= 1);
         // Re-access bucket 1: the flushed content must come back.
-        let again = c.access(1, &mut s);
+        let again = c.access(1, &mut s).unwrap();
         assert!(!again.hit);
         assert_eq!(c.bucket(again.line).lookup(&fp), Some(Pbn(9)));
     }
@@ -318,10 +361,10 @@ mod tests {
     fn flush_all_persists_dirty_lines() {
         let mut s = ssd(64);
         let mut c = TableCache::new(4, BPlusTree::new());
-        let acc = c.access(3, &mut s);
+        let acc = c.access(3, &mut s).unwrap();
         let fp = Fingerprint::of(b"y");
         c.bucket_mut(acc.line).insert(fp, Pbn(1)).unwrap();
-        c.flush_all(&mut s);
+        c.flush_all(&mut s).unwrap();
         assert_eq!(s.store().bucket(3).lookup(&fp), Some(Pbn(1)));
     }
 
@@ -330,7 +373,7 @@ mod tests {
         let mut s = ssd(256);
         let mut c = TableCache::new(8, crate::hwtree::HwTree::new(Default::default()));
         for b in 0..32u64 {
-            c.access(b % 6, &mut s);
+            c.access(b % 6, &mut s).unwrap();
         }
         assert!(c.stats().hit_rate() > 0.0);
         assert!(c.index().stats().searches >= 32);
@@ -343,13 +386,59 @@ mod tests {
         // Working set of 32 buckets fits: after warmup everything hits.
         for round in 0..10 {
             for b in 0..32u64 {
-                let acc = c.access(b, &mut s);
+                let acc = c.access(b, &mut s).unwrap();
                 if round > 0 {
                     assert!(acc.hit, "round {round} bucket {b}");
                 }
             }
         }
         assert!(c.stats().hit_rate() > 0.85);
+    }
+
+    #[test]
+    fn failed_eviction_writeback_keeps_dirty_line_cached() {
+        use fidr_faults::{FaultInjector, FaultPlan, RetryPolicy};
+        let mut s = ssd(256);
+        let mut c = TableCache::new(4, BPlusTree::new());
+        let a = c.access(1, &mut s).unwrap();
+        let fp = Fingerprint::of(b"x");
+        c.bucket_mut(a.line).insert(fp, Pbn(9)).unwrap();
+        // Fill the cache, then make every bucket flush fail.
+        for b in 2..5u64 {
+            c.access(b, &mut s).unwrap();
+        }
+        let plan = FaultPlan {
+            table_write_error: 1.0,
+            ..FaultPlan::default()
+        };
+        s.set_fault_injector(FaultInjector::new(plan), RetryPolicy::default());
+        // The next miss must evict the dirty line for bucket 1 — the
+        // write-back fails, so the access errors...
+        assert!(c.access(9, &mut s).is_err());
+        // ...but the only up-to-date copy of bucket 1 is still cached,
+        // dirty, and readable; once the device heals it flushes cleanly.
+        s.set_fault_injector(FaultInjector::disabled(), RetryPolicy::default());
+        let again = c.access(1, &mut s).unwrap();
+        assert!(again.hit, "victim of the failed write-back is re-indexed");
+        assert_eq!(c.bucket(again.line).lookup(&fp), Some(Pbn(9)));
+        c.flush_all(&mut s).unwrap();
+        assert_eq!(s.store().bucket(1).lookup(&fp), Some(Pbn(9)));
+    }
+
+    #[test]
+    fn failed_miss_fetch_installs_nothing() {
+        use fidr_faults::{FaultInjector, FaultPlan, RetryPolicy};
+        let mut s = ssd(64);
+        let mut c = TableCache::new(4, BPlusTree::new());
+        let plan = FaultPlan {
+            table_read_error: 1.0,
+            ..FaultPlan::default()
+        };
+        s.set_fault_injector(FaultInjector::new(plan), RetryPolicy::default());
+        assert!(c.access(5, &mut s).is_err());
+        s.set_fault_injector(FaultInjector::disabled(), RetryPolicy::default());
+        let acc = c.access(5, &mut s).unwrap();
+        assert!(!acc.hit, "nothing was installed by the failed fetch");
     }
 
     #[test]

@@ -144,7 +144,7 @@ proptest! {
         let mut cache = TableCache::new(capacity, BPlusTree::new());
         let mut inserted: Vec<(u64, Fingerprint, Pbn)> = Vec::new();
         for (i, &b) in buckets.iter().enumerate() {
-            let access = cache.access(b, &mut ssd);
+            let access = cache.access(b, &mut ssd).unwrap();
             let fp = Fingerprint::of(&(i as u64).to_le_bytes());
             let pbn = Pbn(i as u64);
             if cache.bucket(access.line).lookup(&fp).is_none()
@@ -154,7 +154,7 @@ proptest! {
                 inserted.push((b, fp, pbn));
             }
         }
-        cache.flush_all(&mut ssd);
+        cache.flush_all(&mut ssd).unwrap();
         for (bucket, fp, pbn) in inserted {
             prop_assert_eq!(ssd.store().bucket(bucket).lookup(&fp), Some(pbn));
         }
@@ -166,7 +166,7 @@ proptest! {
         let mut ssd = TableSsd::new(32, QueueLocation::HostMemory);
         let mut cache = TableCache::new(8, BPlusTree::new());
         for &b in &buckets {
-            cache.access(b, &mut ssd);
+            cache.access(b, &mut ssd).unwrap();
         }
         let s = cache.stats();
         prop_assert_eq!(s.hits + s.misses, s.accesses);

@@ -16,7 +16,7 @@
 
 use fidr_cache::{Access, BPlusTree, CacheStats, HwTree, HwTreeConfig, HwTreeStats, TableCache};
 use fidr_hwsim::{ops, CostParams, CpuTask, Ledger, MemPath, PcieLink};
-use fidr_ssd::TableSsd;
+use fidr_ssd::{TableSsd, TableSsdError};
 use fidr_tables::{Bucket, BUCKET_BYTES};
 
 /// How the Hash-PBN cache index and replacement machinery are driven.
@@ -109,16 +109,21 @@ impl CacheBackend {
     /// In both modes the bucket *content* scan is host-side (DRAM traffic
     /// plus scan cycles) and the LRU is host-side. Index and table-SSD
     /// work costs CPU only in software mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-SSD IO failures from the underlying cache; no
+    /// resources are charged for the failed access.
     pub fn access(
         &mut self,
         bucket: u64,
         ssd: &mut TableSsd,
         ledger: &mut Ledger,
         cost: &CostParams,
-    ) -> Access {
+    ) -> Result<Access, TableSsdError> {
         let access = match self {
-            CacheBackend::Software(c) => c.access(bucket, ssd),
-            CacheBackend::Hw(c) => c.access(bucket, ssd),
+            CacheBackend::Software(c) => c.access(bucket, ssd)?,
+            CacheBackend::Hw(c) => c.access(bucket, ssd)?,
         };
         match self {
             CacheBackend::Software(_) => {
@@ -185,7 +190,7 @@ impl CacheBackend {
         ops::cpu_touch(ledger, MemPath::TableCache, BUCKET_BYTES as u64);
         ledger.charge_cpu(CpuTask::TableContentScan, cost.bucket_scan_cycles);
         ledger.charge_cpu(CpuTask::CacheReplacement, cost.lru_cycles);
-        access
+        Ok(access)
     }
 
     /// Batch interface (Figure 8): the host ships a whole batch of bucket
@@ -194,19 +199,25 @@ impl CacheBackend {
     /// per-line *as the location arrives* — a later miss in the same
     /// batch may evict an earlier line, so deferring the scans would read
     /// stale lines. Accounting matches `n` single accesses.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first access whose table-SSD IO fails; earlier
+    /// lookups in the batch are not returned (the caller retries the
+    /// whole batch — lookups are read-only and idempotent).
     pub fn lookup_batch(
         &mut self,
         requests: &[(u64, fidr_hash::Fingerprint)],
         ssd: &mut TableSsd,
         ledger: &mut Ledger,
         cost: &CostParams,
-    ) -> Vec<(Option<fidr_chunk::Pbn>, Access)> {
+    ) -> Result<Vec<(Option<fidr_chunk::Pbn>, Access)>, TableSsdError> {
         requests
             .iter()
             .map(|&(bucket, fp)| {
-                let access = self.access(bucket, ssd, ledger, cost);
+                let access = self.access(bucket, ssd, ledger, cost)?;
                 let pbn = self.bucket(access.line).lookup(&fp);
-                (pbn, access)
+                Ok((pbn, access))
             })
             .collect()
     }
@@ -215,16 +226,20 @@ impl CacheBackend {
     /// *update*: the bucket is (usually) already resident from the dedup
     /// lookup, so only the 38-byte entry write touches host memory — no
     /// full-bucket rescan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-SSD IO failures from the underlying cache.
     pub fn access_for_update(
         &mut self,
         bucket: u64,
         ssd: &mut TableSsd,
         ledger: &mut Ledger,
         cost: &CostParams,
-    ) -> Access {
+    ) -> Result<Access, TableSsdError> {
         let access = match self {
-            CacheBackend::Software(c) => c.access(bucket, ssd),
-            CacheBackend::Hw(c) => c.access(bucket, ssd),
+            CacheBackend::Software(c) => c.access(bucket, ssd)?,
+            CacheBackend::Hw(c) => c.access(bucket, ssd)?,
         };
         if !access.hit {
             // Rare: the line was evicted between lookup and update.
@@ -254,7 +269,7 @@ impl CacheBackend {
         // The 38-byte entry write plus LRU upkeep.
         ops::cpu_touch(ledger, MemPath::TableCache, 38);
         ledger.charge_cpu(CpuTask::CacheReplacement, cost.lru_cycles);
-        access
+        Ok(access)
     }
 
     /// Read access to a cached bucket.
@@ -274,7 +289,12 @@ impl CacheBackend {
     }
 
     /// Flushes all dirty lines to the table SSD.
-    pub fn flush_all(&mut self, ssd: &mut TableSsd) {
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failed bucket write; unflushed lines stay dirty
+    /// for a later retry.
+    pub fn flush_all(&mut self, ssd: &mut TableSsd) -> Result<(), TableSsdError> {
         match self {
             CacheBackend::Software(c) => c.flush_all(ssd),
             CacheBackend::Hw(c) => c.flush_all(ssd),
@@ -317,7 +337,7 @@ mod tests {
         let mut ledger = Ledger::new();
         let cost = CostParams::default();
         let mut b = CacheBackend::new(CacheMode::Software, 8, None);
-        b.access(1, &mut ssd, &mut ledger, &cost);
+        b.access(1, &mut ssd, &mut ledger, &cost).unwrap();
         assert!(ledger.cpu_cycles(CpuTask::TreeIndexing) > 0);
         assert!(ledger.cpu_cycles(CpuTask::TableSsdStack) > 0);
     }
@@ -328,7 +348,7 @@ mod tests {
         let mut ledger = Ledger::new();
         let cost = CostParams::default();
         let mut b = CacheBackend::new(CacheMode::HwEngine { update_slots: 4 }, 8, None);
-        b.access(1, &mut ssd, &mut ledger, &cost);
+        b.access(1, &mut ssd, &mut ledger, &cost).unwrap();
         assert_eq!(ledger.cpu_cycles(CpuTask::TreeIndexing), 0);
         assert_eq!(ledger.cpu_cycles(CpuTask::TableSsdStack), 0);
         // Content scan still costs host cycles and DRAM traffic.
@@ -346,8 +366,8 @@ mod tests {
         let mut sw = CacheBackend::new(CacheMode::Software, 4, None);
         let mut hw = CacheBackend::new(CacheMode::HwEngine { update_slots: 2 }, 4, None);
         for bucket in [1u64, 5, 1, 9, 33, 1, 5, 60, 9] {
-            let a = sw.access(bucket, &mut ssd_a, &mut ledger, &cost);
-            let b = hw.access(bucket, &mut ssd_b, &mut ledger, &cost);
+            let a = sw.access(bucket, &mut ssd_a, &mut ledger, &cost).unwrap();
+            let b = hw.access(bucket, &mut ssd_b, &mut ledger, &cost).unwrap();
             assert_eq!(a.hit, b.hit, "bucket {bucket}");
         }
         assert_eq!(sw.stats().hits, hw.stats().hits);

@@ -17,9 +17,10 @@
 use crate::backend::{CacheBackend, CacheMode};
 use crate::hotcache::{HotCacheStats, HotReadCache};
 use bytes::Bytes;
-use fidr_cache::{CacheStats, HwTreeStats};
+use fidr_cache::{CacheStats, HwTree, HwTreeStats, TableCache};
 use fidr_chunk::{Lba, Pba, Pbn};
 use fidr_compress::{CompressedChunk, Encoding};
+use fidr_faults::{FaultInjector, FaultPlan, RetryPolicy};
 use fidr_hash::Fingerprint;
 use fidr_hwsim::{ops, CostParams, CpuTask, Ledger, MemPath, PcieLink};
 use fidr_metrics::{Histogram, MetricsSnapshot};
@@ -64,6 +65,10 @@ pub struct FidrConfig {
     pub data_ssds: u32,
     /// Calibrated per-operation costs.
     pub cost: CostParams,
+    /// Seeded fault schedule for the device models (inert by default).
+    pub faults: FaultPlan,
+    /// Bounded-retry policy for device faults and checksum re-reads.
+    pub retry: RetryPolicy,
 }
 
 impl Default for FidrConfig {
@@ -81,6 +86,8 @@ impl Default for FidrConfig {
             read_stack_offload: false,
             data_ssds: 2,
             cost: CostParams::default(),
+            faults: FaultPlan::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -98,6 +105,22 @@ pub enum FidrError {
     NicBufferFull,
     /// The data SSDs returned an unreadable region.
     Corrupt(String),
+    /// A device IO failed even after the bounded retry budget.
+    Io(String),
+}
+
+impl FidrError {
+    /// Stable metric-name slug for per-error-kind counters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FidrError::BadChunkSize(_) => "bad_chunk_size",
+            FidrError::TableFull => "table_full",
+            FidrError::NotMapped(_) => "not_mapped",
+            FidrError::NicBufferFull => "nic_buffer_full",
+            FidrError::Corrupt(_) => "corrupt",
+            FidrError::Io(_) => "io",
+        }
+    }
 }
 
 impl fmt::Display for FidrError {
@@ -108,6 +131,7 @@ impl fmt::Display for FidrError {
             FidrError::NotMapped(lba) => write!(f, "read of unmapped {lba}"),
             FidrError::NicBufferFull => write!(f, "NIC buffer exhausted; backend too slow"),
             FidrError::Corrupt(e) => write!(f, "data SSD corruption: {e}"),
+            FidrError::Io(e) => write!(f, "device IO failed past retry budget: {e}"),
         }
     }
 }
@@ -163,10 +187,36 @@ pub struct FidrSystem {
     compress_lzss_chunks: u64,
     /// Chunks stored raw because compression did not help.
     compress_raw_chunks: u64,
-    /// End-to-end wall-clock time per successful client write.
+    /// End-to-end wall-clock time per client write (all outcomes).
     write_ns: Histogram,
-    /// End-to-end wall-clock time per successful client read.
+    /// End-to-end wall-clock time per client read (all outcomes).
     read_ns: Histogram,
+    /// Shared fault injector armed into every device model.
+    faults: FaultInjector,
+    /// Cache counters carried over from a retired (degraded) HW backend.
+    carry_cache_stats: CacheStats,
+    /// The HW-Engine cache retired by graceful degradation — kept so its
+    /// engine counters stay reportable; it no longer serves accesses.
+    retired_hw: Option<TableCache<HwTree>>,
+    /// Client-write failures by [`FidrError::kind`].
+    write_errors: HashMap<&'static str, u64>,
+    /// Client-read failures by [`FidrError::kind`].
+    read_errors: HashMap<&'static str, u64>,
+    /// Backlog-drain rounds forced by NIC buffer pressure.
+    nic_drain_rounds: u64,
+    /// Modelled (not slept) backoff spent on system-level recovery:
+    /// waiting out NIC pressure and re-reading mismatched chunks.
+    recovery_backoff_ns: Histogram,
+    /// Checksum mismatches detected on the read path.
+    read_repair_detected: u64,
+    /// Re-reads issued to heal checksum mismatches.
+    read_repair_rereads: u64,
+    /// Mismatches healed by a re-read.
+    read_repair_repaired: u64,
+    /// Mismatches that persisted past the retry budget.
+    read_repair_unrecovered: u64,
+    /// Container seals that failed past the device retry budget.
+    seal_failures: u64,
 }
 
 impl FidrSystem {
@@ -176,11 +226,18 @@ impl FidrSystem {
             CacheMode::Software => QueueLocation::HostMemory,
             CacheMode::HwEngine { .. } => QueueLocation::CacheEngine,
         };
+        let faults = FaultInjector::new(cfg.faults);
+        let mut nic = FidrNic::new(cfg.nic_buffer_bytes);
+        nic.set_fault_injector(faults.clone());
+        let mut table_ssd = TableSsd::new(cfg.table_buckets, queue_location);
+        table_ssd.set_fault_injector(faults.clone(), cfg.retry);
+        let mut data_ssd = DataSsdArray::new(cfg.data_ssds);
+        data_ssd.set_fault_injector(faults.clone(), cfg.retry);
         FidrSystem {
-            nic: FidrNic::new(cfg.nic_buffer_bytes),
+            nic,
             cache: CacheBackend::new(cfg.cache_mode, cfg.cache_lines, cfg.hwtree_levels),
-            table_ssd: TableSsd::new(cfg.table_buckets, queue_location),
-            data_ssd: DataSsdArray::new(cfg.data_ssds),
+            table_ssd,
+            data_ssd,
             lba_map: LbaPbaTable::new(),
             builder: ContainerBuilder::new(0, cfg.container_threshold),
             staging: HashMap::new(),
@@ -199,6 +256,18 @@ impl FidrSystem {
             compress_raw_chunks: 0,
             write_ns: Histogram::new(),
             read_ns: Histogram::new(),
+            faults,
+            carry_cache_stats: CacheStats::default(),
+            retired_hw: None,
+            write_errors: HashMap::new(),
+            read_errors: HashMap::new(),
+            nic_drain_rounds: 0,
+            recovery_backoff_ns: Histogram::new(),
+            read_repair_detected: 0,
+            read_repair_rereads: 0,
+            read_repair_repaired: 0,
+            read_repair_unrecovered: 0,
+            seal_failures: 0,
             cfg,
         }
     }
@@ -213,21 +282,40 @@ impl FidrSystem {
         self.stats
     }
 
-    /// Table-cache counters.
+    /// Table-cache counters. After a HW-Engine degradation these cover
+    /// both the retired HW backend and its software replacement.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        let mut stats = self.cache.stats();
+        stats.merge(self.carry_cache_stats);
+        stats
     }
 
-    /// Cache HW-Engine counters (None in software cache mode).
+    /// Cache HW-Engine counters (None if the engine never ran). A
+    /// degraded engine still reports the counters it accumulated.
     pub fn hwtree_stats(&self) -> Option<HwTreeStats> {
-        self.cache.hwtree_stats()
+        self.cache
+            .hwtree_stats()
+            .or_else(|| self.retired_hw.as_ref().map(|c| c.index().stats()))
+    }
+
+    /// True once an injected Cache HW-Engine failure forced the fallback
+    /// to the software table cache.
+    pub fn hw_engine_degraded(&self) -> bool {
+        self.retired_hw.is_some()
     }
 
     /// The Cache HW-Engine's client-throughput ceiling (bytes/s) for this
     /// run — client bytes served over the engine's busy time — folded into
     /// the §7.5 projection (None in software cache mode).
     pub fn hwtree_throughput(&self, fpga_dram_bw: f64) -> Option<f64> {
-        let elapsed = self.cache.hwtree_elapsed_seconds(fpga_dram_bw)?;
+        let elapsed = self
+            .cache
+            .hwtree_elapsed_seconds(fpga_dram_bw)
+            .or_else(|| {
+                self.retired_hw
+                    .as_ref()
+                    .map(|c| c.index().elapsed_seconds(fpga_dram_bw))
+            })?;
         if elapsed <= 0.0 {
             return None;
         }
@@ -255,8 +343,9 @@ impl FidrSystem {
     pub fn write(&mut self, lba: Lba, data: Bytes) -> Result<(), FidrError> {
         let started = Instant::now();
         let out = self.write_inner(lba, data);
-        if out.is_ok() {
-            self.write_ns.record_duration(started.elapsed());
+        self.write_ns.record_duration(started.elapsed());
+        if let Err(e) = &out {
+            *self.write_errors.entry(e.kind()).or_insert(0) += 1;
         }
         out
     }
@@ -266,11 +355,28 @@ impl FidrSystem {
             return Err(FidrError::BadChunkSize(data.len()));
         }
         let len = data.len() as u64;
-        if !self.nic.has_room(len) {
-            // Drain the backlog, then retry the admission check.
-            self.process_batch()?;
-            if !self.nic.has_room(len) {
-                return Err(FidrError::NicBufferFull);
+        let mut pressure_waits = 0u32;
+        while !self.nic.has_room(len) {
+            let before = self.nic.pending_len();
+            if before > 0 {
+                // Drain the backlog, then retry the admission check —
+                // repeatedly, since one batch may not free enough room.
+                self.nic_drain_rounds += 1;
+                self.process_batch()?;
+                if self.nic.pending_len() >= before && !self.nic.has_room(len) {
+                    // No forward progress: the backlog is stuck.
+                    return Err(FidrError::NicBufferFull);
+                }
+            } else {
+                // Nothing left to drain, so the pressure is transient
+                // (injected): wait it out with modelled backoff, bounded
+                // by the retry budget.
+                if pressure_waits >= self.cfg.retry.max_retries {
+                    return Err(FidrError::NicBufferFull);
+                }
+                self.recovery_backoff_ns
+                    .record_duration(self.cfg.retry.backoff(pressure_waits));
+                pressure_waits += 1;
             }
         }
         self.ledger.add_client_write_bytes(len);
@@ -329,8 +435,9 @@ impl FidrSystem {
     pub fn read(&mut self, lba: Lba) -> Result<Vec<u8>, FidrError> {
         let started = Instant::now();
         let out = self.read_inner(lba);
-        if out.is_ok() {
-            self.read_ns.record_duration(started.elapsed());
+        self.read_ns.record_duration(started.elapsed());
+        if let Err(e) = &out {
+            *self.read_errors.entry(e.kind()).or_insert(0) += 1;
         }
         out
     }
@@ -364,7 +471,8 @@ impl FidrSystem {
 
         let pba = self.lba_map.lookup(lba).ok_or(FidrError::NotMapped(lba))?;
 
-        let data = self.fetch_chunk(pba)?;
+        let pbn = self.lba_map.pbn_of(lba);
+        let data = self.fetch_chunk_verified(pbn, pba)?;
         let io_bytes = pba.compressed_len as u64 + 4;
 
         // Steps 5–7: data SSD → Decompression Engine → NIC, all P2P. The
@@ -409,9 +517,37 @@ impl FidrSystem {
             self.process_batch()?;
         }
         if !self.builder.is_empty() {
-            self.seal_container();
+            self.seal_container()?;
         }
-        self.cache.flush_all(&mut self.table_ssd);
+        self.cache
+            .flush_all(&mut self.table_ssd)
+            .map_err(|e| FidrError::Io(e.to_string()))
+    }
+
+    /// Charges `accesses` Cache HW-Engine operations against the fault
+    /// plan's failure schedule and, once the engine dies, degrades to the
+    /// software table cache: dirty lines flush, the same index rebuilds
+    /// behind a CPU B+ tree, and correctness is preserved — only the
+    /// indexing cost moves back to the host (visible as
+    /// `degraded.hw_engine.count` and a flipped `cache.hw_engine.enabled`).
+    fn check_engine(&mut self, accesses: u64) -> Result<(), FidrError> {
+        if !matches!(self.cache.mode(), CacheMode::HwEngine { .. }) {
+            return Ok(());
+        }
+        self.faults.engine_accesses(accesses);
+        if !self.faults.engine_failed() {
+            return Ok(());
+        }
+        // Flush before retiring the backend; if the flush itself fails the
+        // degradation is retried on the next engine access.
+        self.cache
+            .flush_all(&mut self.table_ssd)
+            .map_err(|e| FidrError::Io(e.to_string()))?;
+        let sw = CacheBackend::new(CacheMode::Software, self.cfg.cache_lines, None);
+        if let CacheBackend::Hw(c) = std::mem::replace(&mut self.cache, sw) {
+            self.carry_cache_stats.merge(c.stats());
+            self.retired_hw = Some(c);
+        }
         Ok(())
     }
 
@@ -452,9 +588,11 @@ impl FidrSystem {
             self.ledger
                 .charge_cpu(CpuTask::Other, cost.misc_cycles_per_chunk);
         }
-        let results =
-            self.cache
-                .lookup_batch(&requests, &mut self.table_ssd, &mut self.ledger, &cost);
+        self.check_engine(requests.len() as u64)?;
+        let results = self
+            .cache
+            .lookup_batch(&requests, &mut self.table_ssd, &mut self.ledger, &cost)
+            .map_err(|e| FidrError::Io(e.to_string()))?;
         let mut unique_flags = Vec::with_capacity(batch.len());
         let mut resolved: Vec<Option<Pbn>> = Vec::with_capacity(batch.len());
         for (pbn, _access) in results {
@@ -509,9 +647,11 @@ impl FidrSystem {
         // this batch may have stored the content already (the flags were
         // computed before any commit).
         let bucket_idx = chunk.fingerprint.bucket_index(self.table_ssd.num_buckets());
-        let access =
-            self.cache
-                .access_for_update(bucket_idx, &mut self.table_ssd, &mut self.ledger, &cost);
+        self.check_engine(1)?;
+        let access = self
+            .cache
+            .access_for_update(bucket_idx, &mut self.table_ssd, &mut self.ledger, &cost)
+            .map_err(|e| FidrError::Io(e.to_string()))?;
         if let Some(pbn) = self.cache.bucket(access.line).lookup(&chunk.fingerprint) {
             self.stats.duplicate_chunks += 1;
             self.map_lba(chunk.lba, pbn);
@@ -563,7 +703,7 @@ impl FidrSystem {
         self.ledger.charge_cpu(CpuTask::LbaMap, cost.lba_map_cycles);
 
         if self.builder.is_full() {
-            self.seal_container();
+            self.seal_container()?;
         }
 
         // The NIC can release the buffered copy now that the backend has
@@ -624,6 +764,8 @@ impl FidrSystem {
             CacheMode::HwEngine { .. } => QueueLocation::CacheEngine,
         };
         sys.table_ssd = TableSsd::from_store(store, queue_location);
+        sys.table_ssd
+            .set_fault_injector(sys.faults.clone(), sys.cfg.retry);
 
         for container in snapshot.containers {
             sys.data_ssd.load_container(container);
@@ -694,12 +836,11 @@ impl FidrSystem {
                 .expect("dead PBN has a fingerprint on record");
             self.lba_map.reclaim(pbn);
             let bucket_idx = fp.bucket_index(self.table_ssd.num_buckets());
-            let access = self.cache.access_for_update(
-                bucket_idx,
-                &mut self.table_ssd,
-                &mut self.ledger,
-                &cost,
-            );
+            self.check_engine(1)?;
+            let access = self
+                .cache
+                .access_for_update(bucket_idx, &mut self.table_ssd, &mut self.ledger, &cost)
+                .map_err(|e| FidrError::Io(e.to_string()))?;
             self.cache.bucket_mut(access.line).remove(&fp);
             report.reclaimed_pbns += 1;
         }
@@ -720,11 +861,16 @@ impl FidrSystem {
                 }
                 // Survivor rewrite: SSD → Decompression → Compression →
                 // open container, orchestrated by the device manager.
-                let data = self.fetch_chunk(Pba {
-                    container: loc.container,
-                    offset: loc.offset,
-                    compressed_len: loc.compressed_len,
-                })?;
+                // Verified against the chunk's fingerprint so compaction
+                // never propagates a transient read corruption.
+                let data = self.fetch_chunk_verified(
+                    Some(pbn),
+                    Pba {
+                        container: loc.container,
+                        offset: loc.offset,
+                        compressed_len: loc.compressed_len,
+                    },
+                )?;
                 let io_bytes = loc.compressed_len as u64 + 4;
                 ops::p2p(
                     &mut self.ledger,
@@ -754,7 +900,7 @@ impl FidrSystem {
                 self.liveness.record_append(self.builder.id());
                 report.moved_chunks += 1;
                 if self.builder.is_full() {
-                    self.seal_container();
+                    self.seal_container()?;
                 }
             }
             if let Some(freed) = self.data_ssd.remove_container(container) {
@@ -780,13 +926,15 @@ impl FidrSystem {
 
     /// Background integrity scrub (fsck): walks every live chunk, reads
     /// it back through the normal datapath, recomputes its SHA-256 and
-    /// checks it against the Hash-PBN record. Returns the number of
-    /// chunks verified.
+    /// checks it against the Hash-PBN record. Transient read corruption
+    /// (an in-flight bit flip) is healed by bounded re-reads and counts
+    /// as verified; only persistent mismatches fail the scrub. Returns
+    /// the number of chunks verified.
     ///
     /// # Errors
     ///
-    /// [`FidrError::Corrupt`] naming the first PBN whose stored bytes no
-    /// longer match their recorded fingerprint.
+    /// [`FidrError::Corrupt`] for the first PBN whose stored bytes no
+    /// longer match their recorded fingerprint after re-reads.
     pub fn verify_integrity(&mut self) -> Result<u64, FidrError> {
         let live: Vec<(Pbn, PbnLocation)> = self
             .lba_map
@@ -795,20 +943,17 @@ impl FidrSystem {
             .collect();
         let mut verified = 0u64;
         for (pbn, loc) in live {
-            let data = self.fetch_chunk(Pba {
-                container: loc.container,
-                offset: loc.offset,
-                compressed_len: loc.compressed_len,
-            })?;
-            let expect = self
-                .pbn_fp
-                .get(&pbn)
-                .ok_or_else(|| FidrError::Corrupt(format!("{pbn} missing fingerprint")))?;
-            if Fingerprint::of(&data) != *expect {
-                return Err(FidrError::Corrupt(format!(
-                    "{pbn} content does not match its fingerprint"
-                )));
+            if !self.pbn_fp.contains_key(&pbn) {
+                return Err(FidrError::Corrupt(format!("{pbn} missing fingerprint")));
             }
+            self.fetch_chunk_verified(
+                Some(pbn),
+                Pba {
+                    container: loc.container,
+                    offset: loc.offset,
+                    compressed_len: loc.compressed_len,
+                },
+            )?;
             verified += 1;
         }
         Ok(verified)
@@ -848,6 +993,45 @@ impl FidrSystem {
         out.set_histogram("compress.ratio.pct", &self.compress_pct);
         out.set_histogram("system.write.ns", &self.write_ns);
         out.set_histogram("system.read.ns", &self.read_ns);
+        self.faults.stats().export_metrics(&mut out);
+        out.set_counter("retry.nic.drain_rounds", self.nic_drain_rounds);
+        out.set_counter("retry.read_repair.detected", self.read_repair_detected);
+        out.set_counter("retry.read_repair.rereads", self.read_repair_rereads);
+        out.set_counter("retry.read_repair.repaired", self.read_repair_repaired);
+        out.set_counter(
+            "retry.read_repair.unrecovered",
+            self.read_repair_unrecovered,
+        );
+        out.set_counter("retry.seal.failures", self.seal_failures);
+        out.set_histogram("system.retry.backoff.ns", &self.recovery_backoff_ns);
+        out.set_counter(
+            "degraded.hw_engine.count",
+            u64::from(self.retired_hw.is_some()),
+        );
+        for (kind, n) in &self.write_errors {
+            out.set_counter(&format!("system.write.errors.{kind}"), *n);
+        }
+        for (kind, n) in &self.read_errors {
+            out.set_counter(&format!("system.read.errors.{kind}"), *n);
+        }
+        // After a degradation the live backend is software-mode: overwrite
+        // the cache.* counters with the merged (HW + software) totals and
+        // keep reporting the retired engine's hwtree.* counters.
+        let merged = self.cache_stats();
+        out.set_counter("cache.accesses.count", merged.accesses);
+        out.set_counter("cache.hits.count", merged.hits);
+        out.set_counter("cache.misses.count", merged.misses);
+        out.set_counter("cache.evictions.count", merged.evictions);
+        out.set_counter("cache.dirty_flushes.count", merged.dirty_flushes);
+        out.set_gauge("cache.hit.ratio", merged.hit_rate());
+        if let Some(t) = self.hwtree_stats() {
+            out.set_counter("hwtree.searches.count", t.searches);
+            out.set_counter("hwtree.updates.count", t.updates);
+            out.set_counter("hwtree.crashes.count", t.crashes);
+            out.set_counter("hwtree.cycles.count", t.cycles);
+            out.set_counter("hwtree.fpga_dram.bytes", t.fpga_dram_bytes);
+            out.set_gauge("hwtree.crash.ratio", t.crash_rate());
+        }
         let hc = self.hot_cache.stats();
         out.set_counter("hotcache.hits.count", hc.hits);
         out.set_counter("hotcache.misses.count", hc.misses);
@@ -864,30 +1048,68 @@ impl FidrSystem {
                 .cloned()
                 .ok_or_else(|| FidrError::Corrupt("missing staged chunk".to_string()));
         }
-        self.data_ssd
-            .read_chunk(pba)
-            .map_err(|e| FidrError::Corrupt(e.to_string()))
+        self.data_ssd.read_chunk(pba).map_err(|e| match e {
+            fidr_ssd::DataSsdError::Io { .. } => FidrError::Io(e.to_string()),
+            _ => FidrError::Corrupt(e.to_string()),
+        })
+    }
+
+    /// Fetches a chunk and, when its fingerprint is on record, verifies
+    /// the returned bytes against it. A mismatch (an in-flight bit flip
+    /// on the data-SSD read path) triggers bounded re-reads with modelled
+    /// backoff; the stored copy is intact in that case, so a re-read
+    /// heals it. Persistent corruption — the stored bytes themselves are
+    /// wrong — survives every re-read and errors out.
+    fn fetch_chunk_verified(&mut self, pbn: Option<Pbn>, pba: Pba) -> Result<Vec<u8>, FidrError> {
+        let data = self.fetch_chunk(pba)?;
+        let Some(expect) = pbn.and_then(|p| self.pbn_fp.get(&p).copied()) else {
+            return Ok(data);
+        };
+        if Fingerprint::of(&data) == expect {
+            return Ok(data);
+        }
+        self.read_repair_detected += 1;
+        for attempt in 0..self.cfg.retry.max_retries {
+            self.read_repair_rereads += 1;
+            self.recovery_backoff_ns
+                .record_duration(self.cfg.retry.backoff(attempt));
+            let data = self.fetch_chunk(pba)?;
+            if Fingerprint::of(&data) == expect {
+                self.read_repair_repaired += 1;
+                return Ok(data);
+            }
+        }
+        self.read_repair_unrecovered += 1;
+        Err(FidrError::Corrupt(format!(
+            "container {} offset {} fails checksum verification after re-reads",
+            pba.container, pba.offset
+        )))
     }
 
     /// Step 9: the data SSD pulls the sealed container straight from the
     /// Compression Engine's memory (P2P); the host only posts the NVMe
     /// command.
-    fn seal_container(&mut self) {
-        let threshold = self.cfg.container_threshold;
+    ///
+    /// Seals a *clone* of the open builder: on a failed device write the
+    /// builder and its staging copies survive intact (and the NIC still
+    /// holds the buffered chunks), so a later flush retries the seal and
+    /// no acked write is ever lost.
+    fn seal_container(&mut self) -> Result<(), FidrError> {
+        let bytes = self.builder.len() as u64;
+        if let Err(e) = self.data_ssd.write_container(self.builder.clone().seal()) {
+            self.seal_failures += 1;
+            return Err(FidrError::Io(e.to_string()));
+        }
         self.next_container += 1;
-        let full = std::mem::replace(
-            &mut self.builder,
-            ContainerBuilder::new(self.next_container, threshold),
-        );
+        self.builder = ContainerBuilder::new(self.next_container, self.cfg.container_threshold);
         self.staging.clear();
-        let bytes = full.len() as u64;
 
         ops::p2p(&mut self.ledger, PcieLink::CompressionDataSsdP2p, bytes);
         self.ledger
             .charge_cpu(CpuTask::DataSsdStack, self.cfg.cost.data_ssd_io_cycles);
         self.ledger.data_ssd_write_bytes += bytes;
         self.stats.containers_sealed += 1;
-        self.data_ssd.write_container(full.seal());
+        Ok(())
     }
 }
 

@@ -1,0 +1,516 @@
+//! # fidr-faults
+//!
+//! Seeded, deterministic fault injection for the FIDR device models, plus
+//! the bounded-retry policy the systems use to survive those faults.
+//!
+//! The paper's availability story (battery-backed NIC buffering that acks
+//! writes before the backend commits, §7.6.1; table/data SSDs driven by an
+//! FPGA engine, §6.1) only holds if device errors are survived. A
+//! [`FaultPlan`] describes probability- or schedule-driven faults at each
+//! device touch point ([`FaultSite`]); a [`FaultInjector`] turns the plan
+//! into a bit-reproducible stream of per-site decisions (the decision for
+//! the *n*-th operation at a site depends only on `(seed, site, n)`, never
+//! on wall clock or interleaving). [`RetryPolicy`] bounds recovery with
+//! exponential backoff charged as *modelled* time, so fault-heavy runs
+//! stay deterministic too.
+//!
+//! # Examples
+//!
+//! ```
+//! use fidr_faults::{FaultInjector, FaultPlan, FaultSite};
+//!
+//! let plan = FaultPlan::parse("seed=7,data_read=0.5").unwrap();
+//! let a = FaultInjector::new(plan);
+//! let b = FaultInjector::new(plan);
+//! // Same plan, same call sequence => identical decisions.
+//! for _ in 0..100 {
+//!     assert_eq!(a.fire(FaultSite::DataRead), b.fire(FaultSite::DataRead));
+//! }
+//! assert!(a.stats().injected(FaultSite::DataRead) > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A device touch point where the injector can fail an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Data-SSD container write (transient IO error).
+    DataWrite,
+    /// Data-SSD chunk read (transient IO error).
+    DataRead,
+    /// Data-SSD chunk read returning silently corrupted bytes (the stored
+    /// copy stays intact; a checksum-verified re-read heals).
+    DataReadCorrupt,
+    /// Table-SSD bucket fetch (transient IO error).
+    TableRead,
+    /// Table-SSD bucket flush (transient IO error).
+    TableWrite,
+    /// NIC buffer pressure: admission is refused once, forcing the caller
+    /// down its drain/backpressure path.
+    NicPressure,
+    /// Cache HW-Engine access (schedule-driven permanent failure).
+    CacheEngine,
+}
+
+impl FaultSite {
+    /// All sites in reporting order.
+    pub const ALL: [FaultSite; 7] = [
+        FaultSite::DataWrite,
+        FaultSite::DataRead,
+        FaultSite::DataReadCorrupt,
+        FaultSite::TableRead,
+        FaultSite::TableWrite,
+        FaultSite::NicPressure,
+        FaultSite::CacheEngine,
+    ];
+
+    /// Stable metric-name slug for this site.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            FaultSite::DataWrite => "data_write",
+            FaultSite::DataRead => "data_read",
+            FaultSite::DataReadCorrupt => "data_read_corrupt",
+            FaultSite::TableRead => "table_read",
+            FaultSite::TableWrite => "table_write",
+            FaultSite::NicPressure => "nic_pressure",
+            FaultSite::CacheEngine => "cache_engine",
+        }
+    }
+
+    fn idx(&self) -> usize {
+        FaultSite::ALL
+            .iter()
+            .position(|s| s == self)
+            .expect("in ALL")
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
+/// A deterministic fault schedule: per-site probabilities plus the
+/// schedule-driven Cache HW-Engine failure point.
+///
+/// The all-zero default plan is inert — every site always succeeds — so
+/// production configs can embed a `FaultPlan` unconditionally.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every probabilistic decision.
+    pub seed: u64,
+    /// P(transient error) per data-SSD container write.
+    pub data_write_error: f64,
+    /// P(transient error) per data-SSD chunk read.
+    pub data_read_error: f64,
+    /// P(in-flight bit corruption) per data-SSD chunk read.
+    pub data_read_corrupt: f64,
+    /// P(transient error) per table-SSD bucket fetch.
+    pub table_read_error: f64,
+    /// P(transient error) per table-SSD bucket flush.
+    pub table_write_error: f64,
+    /// P(admission refusal) per NIC buffered write.
+    pub nic_pressure: f64,
+    /// Fail the Cache HW-Engine permanently once it has served this many
+    /// accesses (`None` = never).
+    pub engine_fail_at: Option<u64>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            data_write_error: 0.0,
+            data_read_error: 0.0,
+            data_read_corrupt: 0.0,
+            table_read_error: 0.0,
+            table_write_error: 0.0,
+            nic_pressure: 0.0,
+            engine_fail_at: None,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The inert plan: no faults, ever.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether this plan can never inject anything.
+    pub fn is_inert(&self) -> bool {
+        self.data_write_error == 0.0
+            && self.data_read_error == 0.0
+            && self.data_read_corrupt == 0.0
+            && self.table_read_error == 0.0
+            && self.table_write_error == 0.0
+            && self.nic_pressure == 0.0
+            && self.engine_fail_at.is_none()
+    }
+
+    /// The probability configured for a probabilistic site (the
+    /// [`FaultSite::CacheEngine`] schedule is not probabilistic and maps
+    /// to 0 here).
+    pub fn probability(&self, site: FaultSite) -> f64 {
+        match site {
+            FaultSite::DataWrite => self.data_write_error,
+            FaultSite::DataRead => self.data_read_error,
+            FaultSite::DataReadCorrupt => self.data_read_corrupt,
+            FaultSite::TableRead => self.table_read_error,
+            FaultSite::TableWrite => self.table_write_error,
+            FaultSite::NicPressure => self.nic_pressure,
+            FaultSite::CacheEngine => 0.0,
+        }
+    }
+
+    /// Parses a comma-separated `key=value` fault spec, e.g.
+    /// `seed=42,data_read=0.01,corrupt=0.005,engine_at=500`.
+    ///
+    /// Keys: `seed`, `data_write`, `data_read`, `corrupt`, `table_read`,
+    /// `table_write`, `nic`, `engine_at`. Probabilities must be in
+    /// `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending key or value.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec entry `{part}` is not key=value"))?;
+            let key = key.trim();
+            let value = value.trim();
+            let prob = |v: &str| -> Result<f64, String> {
+                let p: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad probability `{v}` for `{key}`"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("probability `{v}` for `{key}` outside [0, 1]"));
+                }
+                Ok(p)
+            };
+            match key {
+                "seed" => {
+                    plan.seed = value.parse().map_err(|_| format!("bad seed `{value}`"))?;
+                }
+                "data_write" => plan.data_write_error = prob(value)?,
+                "data_read" => plan.data_read_error = prob(value)?,
+                "corrupt" => plan.data_read_corrupt = prob(value)?,
+                "table_read" => plan.table_read_error = prob(value)?,
+                "table_write" => plan.table_write_error = prob(value)?,
+                "nic" => plan.nic_pressure = prob(value)?,
+                "engine_at" => {
+                    plan.engine_fail_at = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("bad engine_at `{value}`"))?,
+                    );
+                }
+                other => return Err(format!("unknown fault spec key `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// Bounded retry with exponential backoff, charged as *modelled* time (a
+/// simulated device's service clock), never wall clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub backoff_base: Duration,
+    /// Ceiling for the doubled backoff.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            backoff_base: Duration::from_micros(10),
+            backoff_cap: Duration::from_millis(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Modelled backoff before retry number `attempt` (0-based):
+    /// `base * 2^attempt`, capped.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX);
+        (self.backoff_base * factor).min(self.backoff_cap)
+    }
+}
+
+/// Counters of injector activity, per site.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    checks: [u64; 7],
+    injected: [u64; 7],
+}
+
+impl FaultStats {
+    /// Decisions asked of a site so far.
+    pub fn checks(&self, site: FaultSite) -> u64 {
+        self.checks[site.idx()]
+    }
+
+    /// Faults injected at a site so far.
+    pub fn injected(&self, site: FaultSite) -> u64 {
+        self.injected[site.idx()]
+    }
+
+    /// Faults injected across all sites.
+    pub fn injected_total(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    /// Exports `faults.<site>.checks` / `faults.<site>.injected` counters
+    /// for every site (zeros included, so fault-free snapshots still show
+    /// the full schema).
+    pub fn export_metrics(&self, out: &mut fidr_metrics::MetricsSnapshot) {
+        for site in FaultSite::ALL {
+            out.set_counter(&format!("faults.{}.checks", site.slug()), self.checks(site));
+            out.set_counter(
+                &format!("faults.{}.injected", site.slug()),
+                self.injected(site),
+            );
+        }
+    }
+}
+
+#[derive(Debug)]
+struct InjectorState {
+    plan: FaultPlan,
+    stats: FaultStats,
+    engine_failed: bool,
+}
+
+/// A cloneable handle to shared, seeded fault state. Every clone draws
+/// from the same per-site decision streams, so one injector can span the
+/// data SSDs, table SSDs and the system without losing determinism.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    state: Arc<Mutex<InjectorState>>,
+}
+
+/// SplitMix64: a tiny, high-quality mixing function; decision `n` at a
+/// site is `mix(mix(seed ^ site_salt) ^ n)`, so streams are independent
+/// per site and reproducible regardless of cross-site interleaving.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultInjector {
+    /// Creates an injector executing `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            state: Arc::new(Mutex::new(InjectorState {
+                plan,
+                stats: FaultStats::default(),
+                engine_failed: false,
+            })),
+        }
+    }
+
+    /// An injector that never fires (the inert plan).
+    pub fn disabled() -> Self {
+        FaultInjector::new(FaultPlan::none())
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> FaultPlan {
+        self.lock().plan
+    }
+
+    /// Decides whether the next operation at a probabilistic `site`
+    /// faults. Deterministic in `(plan.seed, site, call number)`.
+    pub fn fire(&self, site: FaultSite) -> bool {
+        let mut s = self.lock();
+        let p = s.plan.probability(site);
+        let n = s.stats.checks[site.idx()];
+        s.stats.checks[site.idx()] += 1;
+        if p <= 0.0 {
+            return false;
+        }
+        let h = mix(mix(s.plan.seed ^ ((site.idx() as u64) << 56)) ^ n);
+        // 53 uniform mantissa bits -> [0, 1).
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let fired = u < p;
+        if fired {
+            s.stats.injected[site.idx()] += 1;
+        }
+        fired
+    }
+
+    /// Advances the Cache HW-Engine access counter by `accesses` and
+    /// reports whether the engine just crossed its scheduled failure
+    /// point. Returns `true` exactly once; the failure is permanent (see
+    /// [`engine_failed`](FaultInjector::engine_failed)).
+    pub fn engine_accesses(&self, accesses: u64) -> bool {
+        let mut s = self.lock();
+        s.stats.checks[FaultSite::CacheEngine.idx()] += accesses;
+        let Some(at) = s.plan.engine_fail_at else {
+            return false;
+        };
+        if s.engine_failed || s.stats.checks[FaultSite::CacheEngine.idx()] < at {
+            return false;
+        }
+        s.engine_failed = true;
+        s.stats.injected[FaultSite::CacheEngine.idx()] += 1;
+        true
+    }
+
+    /// Whether the Cache HW-Engine has permanently failed.
+    pub fn engine_failed(&self) -> bool {
+        self.lock().engine_failed
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> FaultStats {
+        self.lock().stats
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, InjectorState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert_and_never_fires() {
+        let inj = FaultInjector::disabled();
+        assert!(inj.plan().is_inert());
+        for site in FaultSite::ALL {
+            for _ in 0..50 {
+                assert!(!inj.fire(site));
+            }
+        }
+        assert_eq!(inj.stats().injected_total(), 0);
+        assert_eq!(inj.stats().checks(FaultSite::DataRead), 50);
+    }
+
+    #[test]
+    fn decisions_are_reproducible_across_injectors() {
+        let plan = FaultPlan {
+            seed: 1234,
+            data_read_error: 0.3,
+            table_write_error: 0.1,
+            ..FaultPlan::default()
+        };
+        let a = FaultInjector::new(plan);
+        let b = FaultInjector::new(plan);
+        // Interleave sites differently on b: per-site streams must agree.
+        let a_reads: Vec<bool> = (0..200).map(|_| a.fire(FaultSite::DataRead)).collect();
+        let a_writes: Vec<bool> = (0..200).map(|_| a.fire(FaultSite::TableWrite)).collect();
+        let mut b_reads = Vec::new();
+        let mut b_writes = Vec::new();
+        for _ in 0..200 {
+            b_writes.push(b.fire(FaultSite::TableWrite));
+            b_reads.push(b.fire(FaultSite::DataRead));
+        }
+        assert_eq!(a_reads, b_reads);
+        assert_eq!(a_writes, b_writes);
+    }
+
+    #[test]
+    fn fire_rate_tracks_probability() {
+        let plan = FaultPlan {
+            seed: 99,
+            data_read_error: 0.25,
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(plan);
+        let n = 4000;
+        let fired = (0..n).filter(|_| inj.fire(FaultSite::DataRead)).count();
+        let rate = fired as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn engine_fails_once_at_schedule() {
+        let plan = FaultPlan {
+            engine_fail_at: Some(10),
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(plan);
+        assert!(!inj.engine_accesses(4));
+        assert!(!inj.engine_failed());
+        assert!(inj.engine_accesses(8)); // crosses 10
+        assert!(inj.engine_failed());
+        assert!(!inj.engine_accesses(100), "failure reported exactly once");
+        assert_eq!(inj.stats().injected(FaultSite::CacheEngine), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let plan = FaultPlan {
+            seed: 5,
+            data_write_error: 1.0,
+            ..FaultPlan::default()
+        };
+        let a = FaultInjector::new(plan);
+        let b = a.clone();
+        assert!(a.fire(FaultSite::DataWrite));
+        assert_eq!(b.stats().injected(FaultSite::DataWrite), 1);
+    }
+
+    #[test]
+    fn parse_full_spec() {
+        let plan = FaultPlan::parse(
+            "seed=42, data_write=0.1, data_read=0.2, corrupt=0.05, \
+             table_read=0.01, table_write=0.02, nic=0.3, engine_at=500",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.data_write_error, 0.1);
+        assert_eq!(plan.data_read_error, 0.2);
+        assert_eq!(plan.data_read_corrupt, 0.05);
+        assert_eq!(plan.table_read_error, 0.01);
+        assert_eq!(plan.table_write_error, 0.02);
+        assert_eq!(plan.nic_pressure, 0.3);
+        assert_eq!(plan.engine_fail_at, Some(500));
+        assert!(!plan.is_inert());
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        assert!(FaultPlan::parse("data_read").is_err());
+        assert!(FaultPlan::parse("data_read=2.0").is_err());
+        assert!(FaultPlan::parse("data_read=-0.1").is_err());
+        assert!(FaultPlan::parse("bogus=1").is_err());
+        assert!(FaultPlan::parse("seed=abc").is_err());
+        assert!(FaultPlan::parse("").unwrap().is_inert());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 8,
+            backoff_base: Duration::from_micros(10),
+            backoff_cap: Duration::from_micros(55),
+        };
+        assert_eq!(p.backoff(0), Duration::from_micros(10));
+        assert_eq!(p.backoff(1), Duration::from_micros(20));
+        assert_eq!(p.backoff(2), Duration::from_micros(40));
+        assert_eq!(p.backoff(3), Duration::from_micros(55));
+        assert_eq!(p.backoff(30), Duration::from_micros(55));
+    }
+}

@@ -9,6 +9,7 @@
 
 use bytes::Bytes;
 use fidr_chunk::Lba;
+use fidr_faults::{FaultInjector, FaultSite};
 use fidr_hash::Fingerprint;
 use fidr_metrics::{Histogram, MetricsSnapshot};
 use std::collections::{HashMap, VecDeque};
@@ -68,11 +69,19 @@ pub struct NicStats {
 #[derive(Debug, Default)]
 pub struct FidrNic {
     /// LBA → newest buffered payload (write buffer + LBA buffer combined).
-    buffer: HashMap<Lba, Bytes>,
-    /// LBAs waiting to be hashed, oldest first.
-    pending: VecDeque<Lba>,
+    buffer: HashMap<Lba, BufferedWrite>,
+    /// Hash queue entries `(lba, generation)`, oldest first. An entry is
+    /// *stale* (skipped lazily at batch time) once its LBA was overwritten
+    /// with a newer generation — overwrites never scan this queue, which
+    /// keeps `accept_write`/`complete` O(1) on overwrite-heavy workloads.
+    pending: VecDeque<(Lba, u64)>,
+    /// Live (non-stale) entries in `pending`.
+    pending_live: usize,
+    /// Generation stamp for the next accepted write.
+    next_gen: u64,
     capacity_bytes: u64,
     stats: NicStats,
+    faults: Option<FaultInjector>,
     /// Wall-clock time to buffer one incoming write.
     ingest_ns: Histogram,
     /// Wall-clock time for each SHA batch (all engines included).
@@ -81,18 +90,39 @@ pub struct FidrNic {
     batch_chunks: Histogram,
 }
 
+/// One LBA's newest buffered payload and its hash-queue state.
+#[derive(Debug)]
+struct BufferedWrite {
+    data: Bytes,
+    /// Generation of this payload; only the matching queue entry is live.
+    gen: u64,
+    /// Whether this payload still awaits hashing (its queue entry has not
+    /// been taken into a batch yet).
+    queued: bool,
+}
+
 impl FidrNic {
     /// Creates a NIC with `capacity_bytes` of battery-backed buffer DRAM.
     pub fn new(capacity_bytes: u64) -> Self {
         FidrNic {
             buffer: HashMap::new(),
             pending: VecDeque::new(),
+            pending_live: 0,
+            next_gen: 0,
             capacity_bytes,
             stats: NicStats::default(),
+            faults: None,
             ingest_ns: Histogram::new(),
             batch_ns: Histogram::new(),
             batch_chunks: Histogram::new(),
         }
+    }
+
+    /// Arms fault injection: buffer-pressure faults make
+    /// [`has_room`](FidrNic::has_room) report the buffer full, pushing the
+    /// caller down its drain/backpressure path.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
     }
 
     /// Counters so far.
@@ -101,14 +131,20 @@ impl FidrNic {
     }
 
     /// Whether the buffer can take another `bytes`-byte chunk without
-    /// exceeding its DRAM capacity.
+    /// exceeding its DRAM capacity. An armed fault injector may report
+    /// pressure (no room) even below capacity.
     pub fn has_room(&self, bytes: u64) -> bool {
+        if let Some(inj) = &self.faults {
+            if inj.fire(FaultSite::NicPressure) {
+                return false;
+            }
+        }
         self.stats.resident_bytes + bytes <= self.capacity_bytes
     }
 
     /// Chunks awaiting hashing.
     pub fn pending_len(&self) -> usize {
-        self.pending.len()
+        self.pending_live
     }
 
     /// Accepts a client write; the chunk is durably buffered (battery-
@@ -118,10 +154,20 @@ impl FidrNic {
     pub fn accept_write(&mut self, lba: Lba, data: Bytes) {
         let started = Instant::now();
         let len = data.len() as u64;
-        if let Some(old) = self.buffer.insert(lba, data) {
-            self.stats.resident_bytes -= old.len() as u64;
-            // The superseded write no longer needs hashing.
-            self.pending.retain(|&l| l != lba);
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        let entry = BufferedWrite {
+            data,
+            gen,
+            queued: true,
+        };
+        if let Some(old) = self.buffer.insert(lba, entry) {
+            self.stats.resident_bytes -= old.data.len() as u64;
+            // The superseded write no longer needs hashing; its queue
+            // entry goes stale in place.
+            if old.queued {
+                self.pending_live -= 1;
+            }
         }
         self.stats.resident_bytes += len;
         self.stats.peak_resident_bytes = self
@@ -129,7 +175,8 @@ impl FidrNic {
             .peak_resident_bytes
             .max(self.stats.resident_bytes);
         self.stats.writes_buffered += 1;
-        self.pending.push_back(lba);
+        self.pending.push_back((lba, gen));
+        self.pending_live += 1;
         self.ingest_ns.record_duration(started.elapsed());
     }
 
@@ -151,12 +198,20 @@ impl FidrNic {
     pub fn take_hash_batch_with_engines(&mut self, max: usize, engines: usize) -> Vec<HashedChunk> {
         assert!(engines > 0, "need at least one hash engine");
         let started = Instant::now();
-        let n = max.min(self.pending.len());
+        let n = max.min(self.pending_live);
         let mut staged: Vec<(Lba, Bytes)> = Vec::with_capacity(n);
-        for _ in 0..n {
-            let lba = self.pending.pop_front().expect("len checked");
-            let data = self.buffer.get(&lba).expect("pending LBA buffered").clone();
-            staged.push((lba, data));
+        while staged.len() < n {
+            let (lba, gen) = self.pending.pop_front().expect("live entries remain");
+            // Skip entries superseded by a newer write to the same LBA.
+            let Some(entry) = self.buffer.get_mut(&lba) else {
+                continue;
+            };
+            if entry.gen != gen || !entry.queued {
+                continue;
+            }
+            entry.queued = false;
+            self.pending_live -= 1;
+            staged.push((lba, entry.data.clone()));
         }
         self.stats.chunks_hashed += staged.len() as u64;
         if !staged.is_empty() {
@@ -218,6 +273,11 @@ impl FidrNic {
             "nic.read_buffer_misses.chunks",
             self.stats.read_buffer_misses,
         );
+        let pressure = self
+            .faults
+            .as_ref()
+            .map_or(0, |inj| inj.stats().injected(FaultSite::NicPressure));
+        out.set_counter("nic.faults.pressure", pressure);
         out.set_histogram("nic.ingest.ns", &self.ingest_ns);
         out.set_counter("hash.chunks_hashed.chunks", self.stats.chunks_hashed);
         out.set_histogram("hash.batch.ns", &self.batch_ns);
@@ -228,9 +288,9 @@ impl FidrNic {
     /// from the write buffer when the address is still resident.
     pub fn lookup_read(&mut self, lba: Lba) -> Option<Bytes> {
         match self.buffer.get(&lba) {
-            Some(data) => {
+            Some(entry) => {
                 self.stats.read_buffer_hits += 1;
-                Some(data.clone())
+                Some(entry.data.clone())
             }
             None => {
                 self.stats.read_buffer_misses += 1;
@@ -244,11 +304,13 @@ impl FidrNic {
     pub fn complete(&mut self, lba: Lba) {
         // Don't drop a payload that still awaits hashing (it was
         // overwritten after this batch was taken).
-        if self.pending.contains(&lba) {
-            return;
-        }
-        if let Some(old) = self.buffer.remove(&lba) {
-            self.stats.resident_bytes -= old.len() as u64;
+        match self.buffer.get(&lba) {
+            Some(entry) if entry.queued => {}
+            Some(_) => {
+                let old = self.buffer.remove(&lba).expect("entry just observed");
+                self.stats.resident_bytes -= old.data.len() as u64;
+            }
+            None => {}
         }
     }
 }
@@ -396,5 +458,65 @@ mod tests {
         assert!(nic.has_room(4096));
         let batch = nic.take_hash_batch(10);
         assert_eq!(batch.len(), 1, "only the surviving payload hashes");
+    }
+
+    #[test]
+    fn pending_len_counts_only_live_entries() {
+        let mut nic = FidrNic::new(1 << 20);
+        for _ in 0..5 {
+            nic.accept_write(Lba(1), chunk(1));
+        }
+        nic.accept_write(Lba(2), chunk(2));
+        assert_eq!(nic.pending_len(), 2, "stale overwrite entries excluded");
+        let batch = nic.take_hash_batch(10);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(nic.pending_len(), 0);
+    }
+
+    #[test]
+    fn interleaved_overwrites_batches_and_completes_stay_consistent() {
+        // Regression for the old O(n) VecDeque bookkeeping: a dense mix of
+        // overwrites, partial batches and completes must leave exactly the
+        // newest payload per LBA visible, with exact byte accounting.
+        let mut nic = FidrNic::new(1 << 22);
+        for round in 0..8u8 {
+            for i in 0..16u64 {
+                nic.accept_write(Lba(i % 4), Bytes::from(vec![round ^ i as u8; 4096]));
+            }
+            let batch = nic.take_hash_batch(3);
+            for c in &batch {
+                assert_eq!(c.fingerprint, Fingerprint::of(&c.data));
+                nic.complete(c.lba);
+            }
+        }
+        // Drain every remaining live entry and complete everything.
+        loop {
+            let batch = nic.take_hash_batch(64);
+            if batch.is_empty() {
+                break;
+            }
+            for c in batch {
+                nic.complete(c.lba);
+            }
+        }
+        assert_eq!(nic.pending_len(), 0);
+        assert_eq!(nic.stats().resident_bytes, 0, "no capacity leaked");
+        assert_eq!(nic.lookup_read(Lba(0)), None);
+    }
+
+    #[test]
+    fn injected_pressure_reports_no_room_deterministically() {
+        use fidr_faults::{FaultInjector, FaultPlan};
+        let plan = FaultPlan {
+            seed: 3,
+            nic_pressure: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut nic = FidrNic::new(1 << 20);
+        nic.set_fault_injector(FaultInjector::new(plan));
+        assert!(!nic.has_room(4096), "pressure fault reports a full buffer");
+        let mut snap = MetricsSnapshot::new();
+        nic.export_metrics(&mut snap);
+        assert_eq!(snap.counter("nic.faults.pressure"), Some(1));
     }
 }

@@ -5,20 +5,33 @@
 //! sequential", paper §6.1); reads fetch one compressed chunk at its PBA.
 
 use crate::nvme::{QueueLocation, SsdSpec, SsdStats};
+use crate::retry::RetryState;
 use fidr_chunk::Pba;
+use fidr_faults::{FaultInjector, FaultSite, RetryPolicy};
 use fidr_metrics::{Histogram, MetricsSnapshot};
 use fidr_tables::{Container, ContainerReadError, CHUNK_HEADER_BYTES};
 use std::collections::HashMap;
 use std::fmt;
 use std::time::Duration;
 
-/// Error returned by data-SSD reads.
+/// Error returned by data-SSD operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DataSsdError {
     /// The PBA references a container the array never stored.
     UnknownContainer(u64),
     /// The container rejected the region (bounds/encoding/decompress).
     Corrupt(ContainerReadError),
+    /// A sealed container with this id already exists; overwriting it
+    /// would silently lose every chunk deduplicated onto it.
+    ContainerIdReuse(u64),
+    /// An injected transient device error persisted through the whole
+    /// retry budget (`attempts` tries, including the first).
+    Io {
+        /// The device operation that failed.
+        op: &'static str,
+        /// Total attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for DataSsdError {
@@ -26,6 +39,12 @@ impl fmt::Display for DataSsdError {
         match self {
             DataSsdError::UnknownContainer(id) => write!(f, "unknown container {id}"),
             DataSsdError::Corrupt(e) => write!(f, "corrupt chunk region: {e}"),
+            DataSsdError::ContainerIdReuse(id) => {
+                write!(f, "container id {id} reused: refusing to overwrite")
+            }
+            DataSsdError::Io { op, attempts } => {
+                write!(f, "data-SSD {op} failed after {attempts} attempts")
+            }
         }
     }
 }
@@ -44,7 +63,7 @@ impl std::error::Error for DataSsdError {}
 /// let mut array = DataSsdArray::new(2);
 /// let mut builder = ContainerBuilder::new(0, 4096);
 /// let slot = builder.append(&CompressedChunk::compress(&vec![5u8; 4096]));
-/// array.write_container(builder.seal());
+/// array.write_container(builder.seal())?;
 /// let pba = fidr_chunk::Pba { container: 0, offset: slot.offset, compressed_len: slot.compressed_len };
 /// assert_eq!(array.read_chunk(pba)?, vec![5u8; 4096]);
 /// # Ok::<(), fidr_ssd::DataSsdError>(())
@@ -59,6 +78,8 @@ pub struct DataSsdArray {
     /// Modelled device service time per IO (spec-derived, not wall-clock —
     /// this is a simulated device).
     io_ns: Histogram,
+    retry: RetryState,
+    corrupt_reads: u64,
 }
 
 impl DataSsdArray {
@@ -85,7 +106,15 @@ impl DataSsdArray {
             stats: SsdStats::default(),
             queue_location: QueueLocation::HostMemory,
             io_ns: Histogram::new(),
+            retry: RetryState::disabled(),
+            corrupt_reads: 0,
         }
+    }
+
+    /// Arms fault injection: `injector` decides which IOs fault, `policy`
+    /// bounds the device-level transparent retries.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector, policy: RetryPolicy) {
+        self.retry.configure(injector, policy);
     }
 
     /// Aggregate sequential write bandwidth of the array.
@@ -104,42 +133,70 @@ impl DataSsdArray {
         self.queue_location
     }
 
-    /// Writes a sealed container. Returns the device service time.
+    /// Writes a sealed container. Returns the modelled device time
+    /// (service plus any transparent retry backoff).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics (debug assertion) on container id reuse.
-    pub fn write_container(&mut self, container: Container) -> Duration {
-        debug_assert!(
-            !self.containers.contains_key(&container.id),
-            "container id {} reused",
-            container.id
-        );
+    /// [`DataSsdError::ContainerIdReuse`] if a container with this id is
+    /// already stored (the guard is unconditional — a `debug_assert!`
+    /// would vanish in release builds and let a buggy or retrying caller
+    /// silently overwrite sealed data), [`DataSsdError::Io`] if an
+    /// injected transient fault outlives the retry budget.
+    pub fn write_container(&mut self, container: Container) -> Result<Duration, DataSsdError> {
+        if self.containers.contains_key(&container.id) {
+            return Err(DataSsdError::ContainerIdReuse(container.id));
+        }
+        let backoff = self
+            .retry
+            .attempt(FaultSite::DataWrite)
+            .map_err(|attempts| DataSsdError::Io {
+                op: "container write",
+                attempts,
+            })?;
         let bytes = container.len() as u64;
         self.stats.record_write(bytes);
         let t = self.spec.write_time(bytes);
         self.io_ns.record_duration(t);
         self.containers.insert(container.id, container);
-        t
+        Ok(t + backoff)
     }
 
     /// Reads and decodes one chunk at `pba`.
     ///
+    /// An armed fault injector may make the returned bytes silently
+    /// corrupt *in flight* (the stored copy stays intact), modelling a
+    /// transfer error the device's own ECC missed; only a checksum-
+    /// verifying caller can catch that, and a re-read returns clean data.
+    ///
     /// # Errors
     ///
     /// [`DataSsdError::UnknownContainer`] if the container does not exist,
-    /// [`DataSsdError::Corrupt`] if the region cannot be decoded.
+    /// [`DataSsdError::Corrupt`] if the region cannot be decoded,
+    /// [`DataSsdError::Io`] if an injected transient fault outlives the
+    /// retry budget.
     pub fn read_chunk(&mut self, pba: Pba) -> Result<Vec<u8>, DataSsdError> {
         let container = self
             .containers
             .get(&pba.container)
             .ok_or(DataSsdError::UnknownContainer(pba.container))?;
+        self.retry
+            .attempt(FaultSite::DataRead)
+            .map_err(|attempts| DataSsdError::Io {
+                op: "chunk read",
+                attempts,
+            })?;
         let bytes = pba.compressed_len as u64 + CHUNK_HEADER_BYTES as u64;
         self.stats.record_read(bytes);
         self.io_ns.record_duration(self.spec.read_time(bytes));
-        container
+        let mut data = container
             .read_chunk(pba.offset, pba.compressed_len)
-            .map_err(DataSsdError::Corrupt)
+            .map_err(DataSsdError::Corrupt)?;
+        if !data.is_empty() && self.retry.fire(FaultSite::DataReadCorrupt) {
+            data[0] ^= 0x01;
+            self.corrupt_reads += 1;
+        }
+        Ok(data)
     }
 
     /// Device time for a chunk read of `bytes` (latency model input).
@@ -202,7 +259,9 @@ impl DataSsdArray {
         out.set_counter("ssd.data.write.bytes", self.stats.write_bytes);
         out.set_counter("ssd.data.containers.count", self.containers.len() as u64);
         out.set_counter("ssd.data.stored.bytes", self.stored_bytes());
+        out.set_counter("ssd.data.faults.corrupt_reads", self.corrupt_reads);
         out.set_histogram("ssd.data.io.ns", &self.io_ns);
+        self.retry.export_metrics("ssd.data", out);
     }
 }
 
@@ -218,7 +277,7 @@ mod tests {
         let mut b = ContainerBuilder::new(7, 1 << 20);
         let data = vec![0xabu8; 4096];
         let slot = b.append(&CompressedChunk::compress(&data));
-        array.write_container(b.seal());
+        array.write_container(b.seal()).unwrap();
         let pba = Pba {
             container: 7,
             offset: slot.offset,
@@ -254,7 +313,105 @@ mod tests {
         let mut array = DataSsdArray::new(1);
         let mut b = ContainerBuilder::new(0, 1 << 20);
         b.append(&CompressedChunk::compress(&vec![0u8; 65536]));
-        array.write_container(b.seal());
+        array.write_container(b.seal()).unwrap();
         assert!(array.stored_bytes() < 1024, "highly compressible data");
+    }
+
+    fn sealed(id: u64, fill: u8) -> (Container, Pba) {
+        let mut b = ContainerBuilder::new(id, 1 << 20);
+        let slot = b.append(&CompressedChunk::compress(&vec![fill; 4096]));
+        (
+            b.seal(),
+            Pba {
+                container: id,
+                offset: slot.offset,
+                compressed_len: slot.compressed_len,
+            },
+        )
+    }
+
+    #[test]
+    fn container_id_reuse_is_a_hard_error_in_every_profile() {
+        let mut array = DataSsdArray::new(1);
+        let (first, pba) = sealed(3, 0x11);
+        let (second, _) = sealed(3, 0x22);
+        array.write_container(first).unwrap();
+        assert_eq!(
+            array.write_container(second).unwrap_err(),
+            DataSsdError::ContainerIdReuse(3)
+        );
+        // The original container survives the rejected overwrite.
+        assert_eq!(array.read_chunk(pba).unwrap(), vec![0x11u8; 4096]);
+        assert_eq!(array.stats().write_ios, 1);
+    }
+
+    #[test]
+    fn persistent_write_fault_exhausts_retries() {
+        use fidr_faults::{FaultInjector, FaultPlan, RetryPolicy};
+        let mut array = DataSsdArray::new(1);
+        let plan = FaultPlan {
+            data_write_error: 1.0,
+            ..FaultPlan::default()
+        };
+        array.set_fault_injector(FaultInjector::new(plan), RetryPolicy::default());
+        let (c, _) = sealed(0, 1);
+        assert_eq!(
+            array.write_container(c).unwrap_err(),
+            DataSsdError::Io {
+                op: "container write",
+                attempts: 5
+            }
+        );
+        assert_eq!(array.container_count(), 0, "failed write stores nothing");
+    }
+
+    #[test]
+    fn transient_read_fault_is_retried_transparently() {
+        use fidr_faults::{FaultInjector, FaultPlan, RetryPolicy};
+        let mut array = DataSsdArray::new(1);
+        let (c, pba) = sealed(0, 0x5a);
+        array.write_container(c).unwrap();
+        // ~40% per-attempt faults: with 4 retries nearly every read lands.
+        let plan = FaultPlan {
+            seed: 11,
+            data_read_error: 0.4,
+            ..FaultPlan::default()
+        };
+        array.set_fault_injector(FaultInjector::new(plan), RetryPolicy::default());
+        for _ in 0..50 {
+            assert_eq!(array.read_chunk(pba).unwrap(), vec![0x5au8; 4096]);
+        }
+        let mut snap = MetricsSnapshot::new();
+        array.export_metrics(&mut snap);
+        assert!(snap.counter("ssd.data.retry.attempts").unwrap() > 0);
+    }
+
+    #[test]
+    fn inflight_corruption_leaves_stored_copy_intact() {
+        use fidr_faults::{FaultInjector, FaultPlan, RetryPolicy};
+        let mut array = DataSsdArray::new(1);
+        let (c, pba) = sealed(0, 0x77);
+        array.write_container(c).unwrap();
+        let plan = FaultPlan {
+            seed: 2,
+            data_read_corrupt: 0.5,
+            ..FaultPlan::default()
+        };
+        array.set_fault_injector(FaultInjector::new(plan), RetryPolicy::default());
+        let clean = vec![0x77u8; 4096];
+        let mut saw_corrupt = false;
+        let mut saw_clean = false;
+        for _ in 0..64 {
+            let got = array.read_chunk(pba).unwrap();
+            if got == clean {
+                saw_clean = true;
+            } else {
+                saw_corrupt = true;
+                let mut fixed = got.clone();
+                fixed[0] ^= 0x01;
+                assert_eq!(fixed, clean, "exactly one in-flight bit flip");
+            }
+        }
+        assert!(saw_corrupt && saw_clean, "re-reads return clean data");
     }
 }

@@ -22,8 +22,9 @@
 
 mod data_ssd;
 mod nvme;
+mod retry;
 mod table_ssd;
 
 pub use data_ssd::{DataSsdArray, DataSsdError};
 pub use nvme::{QueueLocation, SsdSpec, SsdStats};
-pub use table_ssd::TableSsd;
+pub use table_ssd::{TableSsd, TableSsdError};

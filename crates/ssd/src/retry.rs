@@ -1,0 +1,72 @@
+//! Device-level bounded retry against injected transient faults.
+//!
+//! Both SSD models share this state: a [`FaultInjector`] handle deciding
+//! which operations fault, a [`RetryPolicy`] bounding recovery, and the
+//! counters/histograms the devices export. Backoff is *modelled* device
+//! time (recorded into a histogram and returned to the caller for its
+//! latency model), never a wall-clock sleep.
+
+use fidr_faults::{FaultInjector, FaultSite, RetryPolicy};
+use fidr_metrics::{Histogram, MetricsSnapshot};
+use std::time::Duration;
+
+#[derive(Debug, Clone)]
+pub(crate) struct RetryState {
+    injector: FaultInjector,
+    policy: RetryPolicy,
+    retries: u64,
+    exhausted: u64,
+    backoff_ns: Histogram,
+}
+
+impl RetryState {
+    pub(crate) fn disabled() -> Self {
+        RetryState {
+            injector: FaultInjector::disabled(),
+            policy: RetryPolicy::default(),
+            retries: 0,
+            exhausted: 0,
+            backoff_ns: Histogram::new(),
+        }
+    }
+
+    pub(crate) fn configure(&mut self, injector: FaultInjector, policy: RetryPolicy) {
+        self.injector = injector;
+        self.policy = policy;
+    }
+
+    /// One probabilistic decision outside the retry loop (e.g. in-flight
+    /// read corruption, which retries cannot mask).
+    pub(crate) fn fire(&self, site: FaultSite) -> bool {
+        self.injector.fire(site)
+    }
+
+    /// Drives the bounded-retry loop for one device operation at `site`.
+    /// Returns the modelled backoff time accumulated before a successful
+    /// attempt, or `Err(attempts)` if every attempt in the budget faulted.
+    pub(crate) fn attempt(&mut self, site: FaultSite) -> Result<Duration, u32> {
+        let mut backoff = Duration::ZERO;
+        let max = self.policy.max_retries;
+        for attempt in 0..=max {
+            if !self.injector.fire(site) {
+                return Ok(backoff);
+            }
+            if attempt == max {
+                break;
+            }
+            self.retries += 1;
+            let b = self.policy.backoff(attempt);
+            self.backoff_ns.record_duration(b);
+            backoff += b;
+        }
+        self.exhausted += 1;
+        Err(max + 1)
+    }
+
+    /// Exports `<prefix>.retry.*` counters and the backoff histogram.
+    pub(crate) fn export_metrics(&self, prefix: &str, out: &mut MetricsSnapshot) {
+        out.set_counter(&format!("{prefix}.retry.attempts"), self.retries);
+        out.set_counter(&format!("{prefix}.retry.exhausted"), self.exhausted);
+        out.set_histogram(&format!("{prefix}.retry.backoff.ns"), &self.backoff_ns);
+    }
+}

@@ -8,9 +8,37 @@
 //! stack; FIDR moves the queues into the Cache HW-Engine (§6.1).
 
 use crate::nvme::{QueueLocation, SsdSpec, SsdStats};
+use crate::retry::RetryState;
+use fidr_faults::{FaultInjector, FaultSite, RetryPolicy};
 use fidr_metrics::{Histogram, MetricsSnapshot};
 use fidr_tables::{Bucket, HashPbnStore, BUCKET_BYTES};
+use std::fmt;
 use std::time::Duration;
+
+/// Error returned by table-SSD bucket IO.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableSsdError {
+    /// An injected transient device error persisted through the whole
+    /// retry budget (`attempts` tries, including the first).
+    Io {
+        /// The device operation that failed.
+        op: &'static str,
+        /// Total attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for TableSsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableSsdError::Io { op, attempts } => {
+                write!(f, "table-SSD {op} failed after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableSsdError {}
 
 /// The table-SSD device wrapping the authoritative [`HashPbnStore`].
 ///
@@ -21,9 +49,10 @@ use std::time::Duration;
 /// use fidr_ssd::QueueLocation;
 ///
 /// let mut ssd = TableSsd::new(1024, QueueLocation::HostMemory);
-/// let bucket = ssd.fetch_bucket(17);
+/// let bucket = ssd.fetch_bucket(17)?;
 /// assert!(bucket.is_empty());
 /// assert_eq!(ssd.stats().read_ios, 1);
+/// # Ok::<(), fidr_ssd::TableSsdError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct TableSsd {
@@ -34,6 +63,7 @@ pub struct TableSsd {
     /// Modelled device service time per bucket IO (spec-derived, not
     /// wall-clock — this is a simulated device).
     io_ns: Histogram,
+    retry: RetryState,
 }
 
 impl TableSsd {
@@ -45,6 +75,7 @@ impl TableSsd {
             stats: SsdStats::default(),
             queue_location,
             io_ns: Histogram::new(),
+            retry: RetryState::disabled(),
         }
     }
 
@@ -56,7 +87,14 @@ impl TableSsd {
             stats: SsdStats::default(),
             queue_location,
             io_ns: Histogram::new(),
+            retry: RetryState::disabled(),
         }
+    }
+
+    /// Arms fault injection: `injector` decides which bucket IOs fault,
+    /// `policy` bounds the device-level transparent retries.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector, policy: RetryPolicy) {
+        self.retry.configure(injector, policy);
     }
 
     /// Number of buckets in the table.
@@ -71,26 +109,51 @@ impl TableSsd {
 
     /// Reads a 4-KB bucket (a table-cache miss fetch).
     ///
+    /// # Errors
+    ///
+    /// [`TableSsdError::Io`] if an injected transient fault outlives the
+    /// retry budget.
+    ///
     /// # Panics
     ///
     /// Panics if `index` is out of range.
-    pub fn fetch_bucket(&mut self, index: u64) -> Bucket {
+    pub fn fetch_bucket(&mut self, index: u64) -> Result<Bucket, TableSsdError> {
+        self.retry
+            .attempt(FaultSite::TableRead)
+            .map_err(|attempts| TableSsdError::Io {
+                op: "bucket fetch",
+                attempts,
+            })?;
         self.stats.record_read(BUCKET_BYTES as u64);
         self.io_ns
             .record_duration(self.spec.read_time(BUCKET_BYTES as u64));
-        self.store.bucket(index).clone()
+        Ok(self.store.bucket(index).clone())
     }
 
-    /// Writes a 4-KB bucket back (a dirty cache-line flush).
+    /// Writes a 4-KB bucket back (a dirty cache-line flush). On error the
+    /// stored bucket is untouched, so the caller still holds the only
+    /// up-to-date copy and can retry or fail its own operation.
+    ///
+    /// # Errors
+    ///
+    /// [`TableSsdError::Io`] if an injected transient fault outlives the
+    /// retry budget.
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of range.
-    pub fn flush_bucket(&mut self, index: u64, bucket: Bucket) {
+    pub fn flush_bucket(&mut self, index: u64, bucket: Bucket) -> Result<(), TableSsdError> {
+        self.retry
+            .attempt(FaultSite::TableWrite)
+            .map_err(|attempts| TableSsdError::Io {
+                op: "bucket flush",
+                attempts,
+            })?;
         self.stats.record_write(BUCKET_BYTES as u64);
         self.io_ns
             .record_duration(self.spec.write_time(BUCKET_BYTES as u64));
         self.store.write_bucket(index, bucket);
+        Ok(())
     }
 
     /// Service time for one random 4-KB bucket IO.
@@ -116,6 +179,7 @@ impl TableSsd {
         out.set_counter("ssd.table.write.ios", self.stats.write_ios);
         out.set_counter("ssd.table.write.bytes", self.stats.write_bytes);
         out.set_histogram("ssd.table.io.ns", &self.io_ns);
+        self.retry.export_metrics("ssd.table", out);
     }
 }
 
@@ -130,13 +194,39 @@ mod tests {
         let mut ssd = TableSsd::new(64, QueueLocation::CacheEngine);
         let fp = Fingerprint::of(b"k");
         let idx = ssd.store().bucket_of(&fp);
-        let mut b = ssd.fetch_bucket(idx);
+        let mut b = ssd.fetch_bucket(idx).unwrap();
         b.insert(fp, Pbn(3)).unwrap();
-        ssd.flush_bucket(idx, b);
-        assert_eq!(ssd.fetch_bucket(idx).lookup(&fp), Some(Pbn(3)));
+        ssd.flush_bucket(idx, b).unwrap();
+        assert_eq!(ssd.fetch_bucket(idx).unwrap().lookup(&fp), Some(Pbn(3)));
         assert_eq!(ssd.stats().read_ios, 2);
         assert_eq!(ssd.stats().write_ios, 1);
         assert_eq!(ssd.stats().write_bytes, 4096);
+    }
+
+    #[test]
+    fn persistent_bucket_fault_exhausts_retries_without_side_effects() {
+        use fidr_faults::{FaultInjector, FaultPlan, RetryPolicy};
+        let mut ssd = TableSsd::new(64, QueueLocation::CacheEngine);
+        let fp = Fingerprint::of(b"k");
+        let idx = ssd.store().bucket_of(&fp);
+        let mut b = ssd.fetch_bucket(idx).unwrap();
+        b.insert(fp, Pbn(9)).unwrap();
+        let plan = FaultPlan {
+            table_write_error: 1.0,
+            ..FaultPlan::default()
+        };
+        ssd.set_fault_injector(FaultInjector::new(plan), RetryPolicy::default());
+        assert_eq!(
+            ssd.flush_bucket(idx, b).unwrap_err(),
+            TableSsdError::Io {
+                op: "bucket flush",
+                attempts: 5
+            }
+        );
+        // The store kept its old (empty) bucket: the failed flush wrote
+        // nothing, so the caller's copy is still the only current one.
+        assert_eq!(ssd.store().bucket(idx).lookup(&fp), None);
+        assert_eq!(ssd.stats().write_ios, 0);
     }
 
     #[test]

@@ -15,4 +15,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> cargo test"
 cargo test --workspace -q
 
+# Release-profile pass: guards that must not compile away (e.g. the
+# container-id reuse check, once a debug_assert!) stay enforced.
+echo "==> cargo test --release"
+cargo test --workspace --release -q
+
 echo "All checks passed."

@@ -14,6 +14,7 @@ use fidr::cli::{parse_flags, variant_by_name, workload_by_name};
 use fidr::compress::ContentGenerator;
 use fidr::core::{FidrConfig, FidrSystem, LatencyModel};
 use fidr::cost::{CostModel, Scenario};
+use fidr::faults::FaultPlan;
 use fidr::hwsim::{report, PlatformSpec};
 use fidr::ssd::SsdSpec;
 use fidr::workload::{parse_trace, to_block_writes, TraceOp, WorkloadSpec};
@@ -24,16 +25,32 @@ use std::process::ExitCode;
 const USAGE: &str = "fidr — FIDR (MICRO'19) storage-system reproduction
 
 USAGE:
-    fidr run     --workload <NAME> --variant <VARIANT> [--ops N]
+    fidr run     --workload <NAME> --variant <VARIANT> [--ops N] [--faults SPEC]
     fidr compare [--workload <NAME>] [--ops N]
-    fidr stats   [--workload <NAME>] [--variant <VARIANT>] [--ops N] [--out FILE]
+    fidr stats   [--workload <NAME>] [--variant <VARIANT>] [--ops N] [--out FILE] [--faults SPEC]
     fidr latency
     fidr cost    [--capacity-tb X] [--throughput GBPS]
-    fidr trace   <FILE> [--chunk-kb 4|8|16|32] [--metrics-out FILE]
+    fidr trace   <FILE> [--chunk-kb 4|8|16|32] [--metrics-out FILE] [--faults SPEC]
     fidr report  [--ops N] [--out FILE]
 
 WORKLOADS:  write-h | write-m | write-l | read-mixed | vdi | database
-VARIANTS:   baseline | nic-p2p | hw-single | full";
+VARIANTS:   baseline | nic-p2p | hw-single | full
+FAULTS:     seeded device-fault schedule, e.g.
+            --faults seed=7,data_write=0.01,corrupt=0.005,engine_at=2000
+            (keys: seed, data_write, data_read, corrupt, table_read,
+             table_write, nic, engine_at — recovery shows up in the
+             faults.*, retry.* and degraded.* metrics)";
+
+/// Parses the optional `--faults` schedule flag.
+fn faults_flag(flags: &HashMap<String, String>) -> Result<FaultPlan, String> {
+    match flags.get("faults") {
+        Some(spec) if !spec.is_empty() => {
+            FaultPlan::parse(spec).map_err(|e| format!("bad --faults: {e}"))
+        }
+        Some(_) => Err("--faults needs a value".into()),
+        None => Ok(FaultPlan::default()),
+    }
+}
 
 fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let ops: usize = flags
@@ -45,8 +62,16 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let spec = workload_by_name(wl, ops).ok_or("unknown workload")?;
     let var = flags.get("variant").ok_or("missing --variant")?;
     let variant = variant_by_name(var).ok_or("unknown variant")?;
+    let faults = faults_flag(flags)?;
 
-    let r = run_workload(variant, spec, RunConfig::default());
+    let r = run_workload(
+        variant,
+        spec,
+        RunConfig {
+            faults,
+            ..RunConfig::default()
+        },
+    );
     let platform = PlatformSpec::default();
     println!("workload: {}   variant: {}\n", r.workload, variant.label());
     println!("host memory breakdown:");
@@ -121,8 +146,16 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
     let spec = workload_by_name(wl, ops).ok_or("unknown workload")?;
     let var = flags.get("variant").map(String::as_str).unwrap_or("full");
     let variant = variant_by_name(var).ok_or("unknown variant")?;
+    let faults = faults_flag(flags)?;
 
-    let r = run_workload(variant, spec, RunConfig::default());
+    let r = run_workload(
+        variant,
+        spec,
+        RunConfig {
+            faults,
+            ..RunConfig::default()
+        },
+    );
     let json = r.metrics.to_json();
     match flags.get("out") {
         Some(path) if !path.is_empty() => {
@@ -274,16 +307,20 @@ fn cmd_trace(positional: &[String], flags: &HashMap<String, String>) -> Result<(
         coarse.total_io_blocks() as f64 / fine.total_io_blocks().max(1) as f64
     );
 
-    if let Some(out) = flags.get("metrics-out").filter(|p| !p.is_empty()) {
+    let faults = faults_flag(flags)?;
+    let replay_metrics = flags.get("metrics-out").filter(|p| !p.is_empty());
+    if replay_metrics.is_some() || !faults.is_inert() {
         // Replay the trace through a full FIDR system (synthetic chunk
         // contents derived from each record's content tag, as in the
-        // trace-driven integration tests) and snapshot its metrics.
+        // trace-driven integration tests) and snapshot its metrics —
+        // under the requested fault schedule, if any.
         let gen = ContentGenerator::new(0.5);
         let mut sys = FidrSystem::new(FidrConfig {
             cache_lines: 64,
             table_buckets: 1 << 12,
             container_threshold: 128 << 10,
             hash_batch: 16,
+            faults,
             ..FidrConfig::default()
         });
         let mut written = std::collections::HashSet::new();
@@ -308,9 +345,32 @@ fn cmd_trace(positional: &[String], flags: &HashMap<String, String>) -> Result<(
         }
         sys.flush()
             .map_err(|e| format!("trace replay flush: {e}"))?;
-        let json = sys.metrics().to_json();
-        std::fs::write(out, &json).map_err(|e| format!("write {out}: {e}"))?;
-        println!("wrote {out}");
+        let metrics = sys.metrics();
+        if !faults.is_inert() {
+            let count = |name: &str| metrics.counter(name).unwrap_or(0);
+            let injected: u64 = fidr::faults::FaultSite::ALL
+                .iter()
+                .map(|s| count(&format!("faults.{}.injected", s.slug())))
+                .sum();
+            println!(
+                "fault replay: {injected} faults injected; {} device retries, \
+                 {} read repairs ({} unrecovered), {} failed seals, hw-engine degraded: {}",
+                count("ssd.data.retry.attempts") + count("ssd.table.retry.attempts"),
+                count("retry.read_repair.repaired"),
+                count("retry.read_repair.unrecovered"),
+                count("retry.seal.failures"),
+                count("degraded.hw_engine.count") != 0,
+            );
+            let scrubbed = sys
+                .verify_integrity()
+                .map_err(|e| format!("post-fault scrub: {e}"))?;
+            println!("post-fault scrub: {scrubbed} chunks verified clean");
+        }
+        if let Some(out) = replay_metrics {
+            let json = metrics.to_json();
+            std::fs::write(out, &json).map_err(|e| format!("write {out}: {e}"))?;
+            println!("wrote {out}");
+        }
     }
     Ok(())
 }

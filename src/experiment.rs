@@ -9,6 +9,7 @@
 use fidr_baseline::{BaselineConfig, BaselineSystem, PredictorStats};
 use fidr_cache::{CacheStats, HwTreeStats};
 use fidr_core::{CacheMode, FidrConfig, FidrError, FidrSystem};
+use fidr_faults::{FaultPlan, RetryPolicy};
 use fidr_hwsim::{CostParams, Ledger, PlatformSpec, Projection};
 use fidr_metrics::MetricsSnapshot;
 use fidr_tables::ReductionStats;
@@ -60,6 +61,11 @@ pub struct RunConfig {
     pub hash_batch: usize,
     /// Per-operation cost constants (default: paper-calibrated).
     pub cost: CostParams,
+    /// Seeded fault schedule injected into the device models (inert by
+    /// default; see `fidr_faults::FaultPlan::parse`).
+    pub faults: FaultPlan,
+    /// Bounded-retry policy for device faults and checksum re-reads.
+    pub retry: RetryPolicy,
 }
 
 impl Default for RunConfig {
@@ -70,6 +76,8 @@ impl Default for RunConfig {
             container_threshold: 4 << 20,
             hash_batch: 64,
             cost: CostParams::default(),
+            faults: FaultPlan::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -263,6 +271,8 @@ pub fn run_workload(variant: SystemVariant, spec: WorkloadSpec, run: RunConfig) 
                 table_buckets: run.table_buckets,
                 container_threshold: run.container_threshold,
                 cost: run.cost,
+                faults: run.faults,
+                retry: run.retry,
                 ..BaselineConfig::default()
             });
             for req in Workload::new(spec) {
@@ -275,7 +285,7 @@ pub fn run_workload(variant: SystemVariant, spec: WorkloadSpec, run: RunConfig) 
                     }
                 }
             }
-            sys.flush();
+            sys.flush().expect("baseline flush");
             let metrics = sys.metrics();
             RunReport {
                 variant,
@@ -304,6 +314,8 @@ pub fn run_workload(variant: SystemVariant, spec: WorkloadSpec, run: RunConfig) 
                 cache_mode,
                 hwtree_levels: Some(14),
                 cost: run.cost,
+                faults: run.faults,
+                retry: run.retry,
                 ..FidrConfig::default()
             });
             for req in Workload::new(spec) {

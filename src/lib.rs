@@ -45,6 +45,8 @@ pub use fidr_compress as compress;
 pub use fidr_core as core;
 /// Cost and FPGA resource models.
 pub use fidr_cost as cost;
+/// Seeded fault injection and retry policies.
+pub use fidr_faults as faults;
 /// SHA-256 and fingerprints.
 pub use fidr_hash as hash;
 /// Resource ledgers, platform specs and projection.

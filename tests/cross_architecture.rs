@@ -36,7 +36,7 @@ fn upgrade_baseline_volume_to_fidr() {
         old.write(Lba(i), Bytes::from(gen.chunk(i % 60, 4096)))
             .unwrap();
     }
-    let image = old.checkpoint().encode();
+    let image = old.checkpoint().unwrap().encode();
     drop(old);
 
     let mut new = FidrSystem::restore(fidr_cfg(), Snapshot::decode(&image).unwrap());

@@ -39,7 +39,7 @@ fn baseline_serves_latest_content_for_all_workloads() {
                 }
             }
         }
-        sys.flush();
+        sys.flush().unwrap();
         for (lba, data) in &expected {
             assert_eq!(
                 sys.read(*lba).unwrap(),

@@ -28,7 +28,7 @@ fn clean_stores_verify() {
         base.write(Lba(i), data).unwrap();
     }
     fidr.flush().unwrap();
-    base.flush();
+    base.flush().unwrap();
     assert_eq!(fidr.verify_integrity().unwrap(), 50);
     assert_eq!(base.verify_integrity().unwrap(), 50);
 }
@@ -97,7 +97,7 @@ fn baseline_scrub_detects_injected_corruption() {
         sys.write(Lba(i), Bytes::from(gen.chunk(500 + i, 4096)))
             .unwrap();
     }
-    sys.flush();
+    sys.flush().unwrap();
     assert!(sys.verify_integrity().is_ok());
     assert!(sys.inject_data_corruption(0, 64));
     assert!(sys.verify_integrity().is_err());

@@ -34,7 +34,7 @@ fn baseline_large_write_roundtrips() {
     let mut sys = BaselineSystem::new(BaselineConfig::default());
     let req = big_request(&gen, 500, 8);
     assert_eq!(sys.write_request(Lba(0), req.clone()).unwrap(), 8);
-    sys.flush();
+    sys.flush().unwrap();
     assert_eq!(sys.read_range(Lba(0), 8).unwrap(), req.to_vec());
 }
 

@@ -114,14 +114,14 @@ proptest! {
                     }
                     None => prop_assert!(sys.read(Lba(lba)).is_err()),
                 },
-                Op::Flush => sys.flush(),
+                Op::Flush => sys.flush().unwrap(),
                 Op::Gc => {
-                    sys.flush();
+                    sys.flush().unwrap();
                     sys.collect_garbage(0.6).unwrap();
                 }
             }
         }
-        sys.flush();
+        sys.flush().unwrap();
         for (&lba, &content) in &model {
             prop_assert_eq!(
                 sys.read(Lba(lba)).unwrap(),
