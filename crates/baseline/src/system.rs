@@ -16,13 +16,14 @@ use fidr_chunk::{Lba, Pba, Pbn};
 use fidr_compress::{CompressedChunk, Encoding};
 use fidr_faults::{FaultInjector, FaultPlan, RetryPolicy};
 use fidr_hash::Fingerprint;
-use fidr_hwsim::{ops, CostParams, CpuTask, Ledger, MemPath, PcieLink};
+use fidr_hwsim::{ops, CostParams, CpuTask, Ledger, MemPath, PcieLink, TimeModel};
 use fidr_metrics::{Histogram, MetricsSnapshot};
 use fidr_ssd::{DataSsdArray, QueueLocation, TableSsd};
 use fidr_tables::{
     ContainerBuilder, ContainerLiveness, GcReport, HashPbnStore, LbaPbaTable, PbnLocation,
     ReductionStats, Snapshot, BUCKET_BYTES,
 };
+use fidr_trace::{SpanToken, TraceConfig, Tracer};
 use std::collections::HashMap;
 use std::fmt;
 use std::time::Instant;
@@ -46,6 +47,8 @@ pub struct BaselineConfig {
     pub faults: FaultPlan,
     /// Bounded-retry policy for device faults and checksum re-reads.
     pub retry: RetryPolicy,
+    /// Per-request span tracing (disabled by default).
+    pub trace: TraceConfig,
 }
 
 impl Default for BaselineConfig {
@@ -59,6 +62,7 @@ impl Default for BaselineConfig {
             cost: CostParams::default(),
             faults: FaultPlan::default(),
             retry: RetryPolicy::default(),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -173,6 +177,10 @@ pub struct BaselineSystem {
     read_repair_unrecovered: u64,
     /// Container seals that failed past the device retry budget.
     seal_failures: u64,
+    /// Per-request span tracer stamped with modelled time.
+    tracer: Tracer,
+    /// Modelled service times backing span durations.
+    time: TimeModel,
 }
 
 impl BaselineSystem {
@@ -214,8 +222,48 @@ impl BaselineSystem {
             read_repair_repaired: 0,
             read_repair_unrecovered: 0,
             seal_failures: 0,
+            tracer: Tracer::new(cfg.trace),
+            time: TimeModel::default(),
             cfg,
         }
+    }
+
+    /// Span tracer (spans, drop counters, critical-path report).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Advances the tracer clock by the host time accrued since `mark`
+    /// (a prior `self.time.host_ns(&self.ledger)` snapshot) and returns
+    /// the new scalar for chained stages.
+    fn advance_host(&mut self, mark: u64) -> u64 {
+        let now = self.time.host_ns(&self.ledger);
+        self.tracer.advance(now.saturating_sub(mark));
+        now
+    }
+
+    /// Closes a `cache` span: emits a `table_ssd` child for any bucket IO
+    /// the lookup triggered (delta against `table_bytes_mark`), folds in
+    /// the host time accrued since `host_mark`, and returns the refreshed
+    /// host-time mark.
+    fn finish_cache_span(&mut self, span: SpanToken, host_mark: u64, table_bytes_mark: u64) -> u64 {
+        if !self.tracer.is_enabled() {
+            return host_mark;
+        }
+        let table_bytes = (self.ledger.table_ssd_read_bytes + self.ledger.table_ssd_write_bytes)
+            .saturating_sub(table_bytes_mark);
+        if table_bytes > 0 {
+            let ios = table_bytes.div_ceil(BUCKET_BYTES as u64);
+            let io = self.tracer.begin("table_ssd");
+            self.tracer.attr(io, "bytes", table_bytes);
+            self.tracer.attr(io, "ios", ios);
+            self.tracer
+                .advance(self.time.table_ssd_ns(table_bytes, ios));
+            self.tracer.end(io);
+        }
+        let mark = self.advance_host(host_mark);
+        self.tracer.end(span);
+        mark
     }
 
     /// Resource ledger accumulated so far.
@@ -251,7 +299,13 @@ impl BaselineSystem {
     /// [`SystemError::TableFull`] on Hash-PBN bucket overflow.
     pub fn write(&mut self, lba: Lba, data: Bytes) -> Result<(), SystemError> {
         let started = Instant::now();
-        let out = self.write_inner(lba, data);
+        let op = self.tracer.begin("write");
+        self.tracer.attr(op, "lba", lba.0);
+        let out = self.write_inner(lba, data, op);
+        if let Err(e) = &out {
+            self.tracer.attr(op, "error", e.kind());
+        }
+        self.tracer.end(op);
         self.write_ns.record_duration(started.elapsed());
         if let Err(e) = &out {
             *self.write_errors.entry(e.kind()).or_insert(0) += 1;
@@ -259,7 +313,7 @@ impl BaselineSystem {
         out
     }
 
-    fn write_inner(&mut self, lba: Lba, data: Bytes) -> Result<(), SystemError> {
+    fn write_inner(&mut self, lba: Lba, data: Bytes, op: SpanToken) -> Result<(), SystemError> {
         if data.len() != BUCKET_BYTES {
             return Err(SystemError::BadChunkSize(data.len()));
         }
@@ -269,7 +323,15 @@ impl BaselineSystem {
         self.stats.write_chunks += 1;
         self.stats.raw_bytes += len;
 
+        let traced = self.tracer.is_enabled();
+        let mut mark = if traced {
+            self.time.host_ns(&self.ledger)
+        } else {
+            0
+        };
+
         // 1. NIC DMAs the request into a host-memory buffer.
+        let nic_span = self.tracer.begin("nic");
         ops::dma_to_host(
             &mut self.ledger,
             PcieLink::NicHost,
@@ -278,14 +340,26 @@ impl BaselineSystem {
         );
         self.ledger
             .charge_cpu(CpuTask::NicDriver, cost.nic_driver_cycles_per_chunk);
+        if traced {
+            mark = self.advance_host(mark);
+        }
+        self.tracer.end(nic_span);
 
         // 2. The unique-chunk predictor scans the buffered data.
+        let predict_span = self.tracer.begin("predict");
         ops::cpu_touch(&mut self.ledger, MemPath::UniquePrediction, len);
         self.ledger
             .charge_cpu(CpuTask::UniquePrediction, cost.predictor_cycles_per_chunk);
         let predicted_unique = self.predictor.predict_unique(&data);
+        if traced {
+            mark = self.advance_host(mark);
+        }
+        self.tracer
+            .attr(predict_span, "predicted_unique", predicted_unique);
+        self.tracer.end(predict_span);
 
         // 3. Batch scheduling groups chunks for the FPGA.
+        let hash_span = self.tracer.begin("hash");
         self.ledger
             .charge_cpu(CpuTask::BatchScheduling, cost.batch_sched_cycles_per_chunk);
 
@@ -299,6 +373,11 @@ impl BaselineSystem {
 
         // FPGA work: hash everything; compress the predicted uniques.
         let fingerprint = Fingerprint::of(&data);
+        self.tracer.advance(self.time.hash_ns(len, 1));
+        if traced {
+            mark = self.advance_host(mark);
+        }
+        self.tracer.end(hash_span);
         let mut compressed = if predicted_unique {
             Some(self.compress_chunk(&data))
         } else {
@@ -315,9 +394,22 @@ impl BaselineSystem {
         );
 
         // 6. Software table-cache lookup validates the prediction.
-        let (existing, line) = self.table_lookup(fingerprint)?;
+        if traced {
+            mark = self.advance_host(mark);
+        }
+        let cache_span = self.tracer.begin("cache");
+        let table_bytes_mark = self.ledger.table_ssd_read_bytes + self.ledger.table_ssd_write_bytes;
+        let (existing, line) = match self.table_lookup(fingerprint) {
+            Ok(out) => out,
+            Err(e) => {
+                self.finish_cache_span(cache_span, mark, table_bytes_mark);
+                return Err(e);
+            }
+        };
+        mark = self.finish_cache_span(cache_span, mark, table_bytes_mark);
         let actually_unique = existing.is_none();
         self.predictor.validate(predicted_unique, actually_unique);
+        self.tracer.attr(op, "dedup_hit", !actually_unique);
 
         let pbn = if let Some(pbn) = existing {
             self.stats.duplicate_chunks += 1;
@@ -389,6 +481,9 @@ impl BaselineSystem {
         self.ledger.charge_cpu(CpuTask::LbaMap, cost.lba_map_cycles);
         self.ledger
             .charge_cpu(CpuTask::Other, cost.misc_cycles_per_chunk);
+        if traced {
+            self.advance_host(mark);
+        }
         Ok(())
     }
 
@@ -561,7 +656,13 @@ impl BaselineSystem {
     /// [`SystemError::Corrupt`] if the SSD region fails to decode.
     pub fn read(&mut self, lba: Lba) -> Result<Vec<u8>, SystemError> {
         let started = Instant::now();
+        let op = self.tracer.begin("read");
+        self.tracer.attr(op, "lba", lba.0);
         let out = self.read_inner(lba);
+        if let Err(e) = &out {
+            self.tracer.attr(op, "error", e.kind());
+        }
+        self.tracer.end(op);
         self.read_ns.record_duration(started.elapsed());
         if let Err(e) = &out {
             *self.read_errors.entry(e.kind()).or_insert(0) += 1;
@@ -571,6 +672,12 @@ impl BaselineSystem {
 
     fn read_inner(&mut self, lba: Lba) -> Result<Vec<u8>, SystemError> {
         let cost = self.cfg.cost;
+        let traced = self.tracer.is_enabled();
+        let mut mark = if traced {
+            self.time.host_ns(&self.ledger)
+        } else {
+            0
+        };
         self.ledger.add_client_read_bytes(BUCKET_BYTES as u64);
         self.stats.read_chunks += 1;
 
@@ -587,12 +694,31 @@ impl BaselineSystem {
             .lba_map
             .lookup(lba)
             .ok_or(SystemError::NotMapped(lba))?;
+        if traced {
+            mark = self.advance_host(mark);
+        }
 
         let pbn = self.lba_map.pbn_of(lba);
-        let data = self.fetch_chunk_verified(pbn, pba)?;
+        let io_bytes = pba.compressed_len as u64 + 4;
+        let ssd_span = self.tracer.begin("ssd");
+        let rereads_mark = self.read_repair_rereads;
+        self.tracer.attr(ssd_span, "bytes", io_bytes);
+        let fetched = self.fetch_chunk_verified(pbn, pba);
+        if traced {
+            let attempts = 1 + self.read_repair_rereads - rereads_mark;
+            if attempts > 1 {
+                self.tracer.attr(ssd_span, "retries", attempts - 1);
+            }
+            self.tracer
+                .advance(self.time.data_ssd_ns(io_bytes * attempts, attempts));
+        }
+        if let Err(e) = &fetched {
+            self.tracer.attr(ssd_span, "error", e.kind());
+        }
+        self.tracer.end(ssd_span);
+        let data = fetched?;
 
         // Compressed data SSD -> host memory.
-        let io_bytes = pba.compressed_len as u64 + 4;
         ops::dma_to_host(
             &mut self.ledger,
             PcieLink::HostDataSsd,
@@ -604,6 +730,9 @@ impl BaselineSystem {
         self.ledger.data_ssd_read_bytes += io_bytes;
 
         // Host memory -> FPGA for decompression, decompressed data back.
+        let decompress_span = self.tracer.begin("compress");
+        self.tracer
+            .attr(decompress_span, "compressed_bytes", io_bytes);
         ops::dma_from_host(
             &mut self.ledger,
             PcieLink::HostCompression,
@@ -616,8 +745,15 @@ impl BaselineSystem {
             MemPath::FpgaStaging,
             data.len() as u64,
         );
+        self.tracer
+            .advance(self.time.compress_ns(data.len() as u64));
+        if traced {
+            mark = self.advance_host(mark);
+        }
+        self.tracer.end(decompress_span);
 
         // NIC picks the decompressed data up from host memory.
+        let nic_span = self.tracer.begin("nic");
         ops::dma_from_host(
             &mut self.ledger,
             PcieLink::NicHost,
@@ -626,6 +762,10 @@ impl BaselineSystem {
         );
         self.ledger
             .charge_cpu(CpuTask::NicDriver, cost.nic_driver_cycles_per_chunk);
+        if traced {
+            self.advance_host(mark);
+        }
+        self.tracer.end(nic_span);
         Ok(data)
     }
 
@@ -637,6 +777,16 @@ impl BaselineSystem {
     /// the retry budget; the open container and dirty lines survive for
     /// a later retry.
     pub fn flush(&mut self) -> Result<(), SystemError> {
+        let op = self.tracer.begin("flush");
+        let out = self.flush_inner();
+        if let Err(e) = &out {
+            self.tracer.attr(op, "error", e.kind());
+        }
+        self.tracer.end(op);
+        out
+    }
+
+    fn flush_inner(&mut self) -> Result<(), SystemError> {
         if !self.builder.is_empty() {
             self.seal_container()?;
         }
@@ -758,6 +908,7 @@ impl BaselineSystem {
     /// Compresses one chunk in the (modelled) FPGA, timing the real LZSS
     /// work and tracking the achieved ratio.
     fn compress_chunk(&mut self, data: &[u8]) -> CompressedChunk {
+        let span = self.tracer.begin("compress");
         let started = Instant::now();
         let compressed = CompressedChunk::compress(data);
         self.compress_ns.record_duration(started.elapsed());
@@ -767,6 +918,19 @@ impl BaselineSystem {
             Encoding::Lzss => self.compress_lzss_chunks += 1,
             Encoding::Raw => self.compress_raw_chunks += 1,
         }
+        self.tracer
+            .attr(span, "compressed_bytes", compressed.stored_len() as u64);
+        self.tracer.attr(
+            span,
+            "encoding",
+            match compressed.encoding() {
+                Encoding::Lzss => "lzss",
+                Encoding::Raw => "raw",
+            },
+        );
+        self.tracer
+            .advance(self.time.compress_ns(data.len() as u64));
+        self.tracer.end(span);
         compressed
     }
 
@@ -786,10 +950,10 @@ impl BaselineSystem {
         self.stats.export_metrics(&mut out);
         out.set_counter("compress.lzss.chunks", self.compress_lzss_chunks);
         out.set_counter("compress.raw_fallback.chunks", self.compress_raw_chunks);
-        out.set_histogram("compress.chunk.ns", &self.compress_ns);
+        out.set_wall_clock_histogram("compress.chunk.ns", &self.compress_ns);
         out.set_histogram("compress.ratio.pct", &self.compress_pct);
-        out.set_histogram("system.write.ns", &self.write_ns);
-        out.set_histogram("system.read.ns", &self.read_ns);
+        out.set_wall_clock_histogram("system.write.ns", &self.write_ns);
+        out.set_wall_clock_histogram("system.read.ns", &self.read_ns);
         self.faults.stats().export_metrics(&mut out);
         out.set_counter("retry.read_repair.detected", self.read_repair_detected);
         out.set_counter("retry.read_repair.rereads", self.read_repair_rereads);
@@ -811,6 +975,8 @@ impl BaselineSystem {
         out.set_counter("predictor.predicted_unique.count", p.predicted_unique);
         out.set_counter("predictor.correct.count", p.correct);
         out.set_gauge("predictor.accuracy.ratio", p.accuracy());
+        out.set_counter("trace.spans.count", self.tracer.recorded());
+        out.set_counter("trace.dropped_spans", self.tracer.dropped());
         out
     }
 
@@ -863,10 +1029,16 @@ impl BaselineSystem {
     /// is lost.
     fn seal_container(&mut self) -> Result<(), SystemError> {
         let bytes = self.builder.len() as u64;
+        let span = self.tracer.begin("ssd");
+        self.tracer.attr(span, "container_bytes", bytes);
+        self.tracer.advance(self.time.data_ssd_ns(bytes, 1));
         if let Err(e) = self.data_ssd.write_container(self.builder.clone().seal()) {
             self.seal_failures += 1;
+            self.tracer.attr(span, "error", "io");
+            self.tracer.end(span);
             return Err(SystemError::Io(e.to_string()));
         }
+        self.tracer.end(span);
         self.next_container += 1;
         self.builder = ContainerBuilder::new(self.next_container, self.cfg.container_threshold);
         self.staging.clear();

@@ -267,7 +267,7 @@ impl<I: CacheIndex> TableCache<I> {
         out.set_counter("cache.evictions.count", self.stats.evictions);
         out.set_counter("cache.dirty_flushes.count", self.stats.dirty_flushes);
         out.set_gauge("cache.hit.ratio", self.stats.hit_rate());
-        out.set_histogram("cache.lookup.ns", &self.access_ns);
+        out.set_wall_clock_histogram("cache.lookup.ns", &self.access_ns);
     }
 
     /// Read-only view of a cached bucket.

@@ -44,6 +44,7 @@ mod system;
 
 pub use backend::{CacheBackend, CacheMode};
 pub use fidr_tables::{Snapshot, SnapshotError};
+pub use fidr_trace::{TraceConfig, Tracer};
 pub use hotcache::{HotCacheStats, HotReadCache};
 pub use latency::{LatencyModel, Stage};
 pub use system::{FidrConfig, FidrError, FidrSystem};

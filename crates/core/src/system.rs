@@ -22,7 +22,7 @@ use fidr_chunk::{Lba, Pba, Pbn};
 use fidr_compress::{CompressedChunk, Encoding};
 use fidr_faults::{FaultInjector, FaultPlan, RetryPolicy};
 use fidr_hash::Fingerprint;
-use fidr_hwsim::{ops, CostParams, CpuTask, Ledger, MemPath, PcieLink};
+use fidr_hwsim::{ops, CostParams, CpuTask, Ledger, MemPath, PcieLink, TimeModel};
 use fidr_metrics::{Histogram, MetricsSnapshot};
 use fidr_nic::{FidrNic, HashedChunk, NicStats};
 use fidr_ssd::{DataSsdArray, QueueLocation, TableSsd};
@@ -30,6 +30,7 @@ use fidr_tables::{
     ContainerBuilder, ContainerLiveness, GcReport, LbaPbaTable, PbnLocation, ReductionStats,
     BUCKET_BYTES,
 };
+use fidr_trace::{SpanToken, TraceConfig, Tracer};
 use std::collections::HashMap;
 use std::fmt;
 use std::time::Instant;
@@ -69,6 +70,8 @@ pub struct FidrConfig {
     pub faults: FaultPlan,
     /// Bounded-retry policy for device faults and checksum re-reads.
     pub retry: RetryPolicy,
+    /// Span tracing (off by default; see `docs/OBSERVABILITY.md`).
+    pub trace: TraceConfig,
 }
 
 impl Default for FidrConfig {
@@ -88,6 +91,7 @@ impl Default for FidrConfig {
             cost: CostParams::default(),
             faults: FaultPlan::default(),
             retry: RetryPolicy::default(),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -217,6 +221,19 @@ pub struct FidrSystem {
     read_repair_unrecovered: u64,
     /// Container seals that failed past the device retry budget.
     seal_failures: u64,
+    /// Span tracer stamped with modelled time (no-op unless configured).
+    tracer: Tracer,
+    /// Modelled service times backing the tracer's clock.
+    time: TimeModel,
+}
+
+/// Ledger positions captured before a cache access, used to split the
+/// access into `table_ssd` / `hwtree` / host time afterwards.
+#[derive(Debug, Clone, Copy)]
+struct CacheMarks {
+    host_ns: u64,
+    table_bytes: u64,
+    hw_cycles: u64,
 }
 
 impl FidrSystem {
@@ -268,8 +285,68 @@ impl FidrSystem {
             read_repair_repaired: 0,
             read_repair_unrecovered: 0,
             seal_failures: 0,
+            tracer: Tracer::new(cfg.trace),
+            time: TimeModel::default(),
             cfg,
         }
+    }
+
+    /// The span tracer: export with [`Tracer::export_chrome_json`], read
+    /// the breakdown with [`Tracer::critical_path`]. A no-op unless
+    /// [`FidrConfig::trace`] enabled it.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Advances the tracer by the host time accrued since `mark`; returns
+    /// the new mark. Call only when tracing is enabled.
+    fn advance_host(&mut self, mark: u64) -> u64 {
+        let now = self.time.host_ns(&self.ledger);
+        self.tracer.advance(now.saturating_sub(mark));
+        now
+    }
+
+    fn cache_marks(&self) -> CacheMarks {
+        CacheMarks {
+            host_ns: self.time.host_ns(&self.ledger),
+            table_bytes: self.ledger.table_ssd_read_bytes + self.ledger.table_ssd_write_bytes,
+            hw_cycles: self.cache.hwtree_stats().map_or(0, |s| s.cycles),
+        }
+    }
+
+    /// Closes a `cache` span: emits `table_ssd` / `hwtree` child spans
+    /// sized by the ledger deltas since `marks`, then charges the residual
+    /// host time to the cache span itself.
+    fn finish_cache_span(&mut self, span: SpanToken, marks: CacheMarks) {
+        if !self.tracer.is_enabled() {
+            self.tracer.end(span);
+            return;
+        }
+        let table_bytes = (self.ledger.table_ssd_read_bytes + self.ledger.table_ssd_write_bytes)
+            .saturating_sub(marks.table_bytes);
+        if table_bytes > 0 {
+            let ios = table_bytes.div_ceil(BUCKET_BYTES as u64);
+            let t = self.tracer.begin("table_ssd");
+            self.tracer.attr(t, "bytes", table_bytes);
+            self.tracer.attr(t, "ios", ios);
+            self.tracer
+                .advance(self.time.table_ssd_ns(table_bytes, ios));
+            self.tracer.end(t);
+        }
+        // saturating: a mid-access HW-engine degradation retires the stats.
+        let hw_cycles = self
+            .cache
+            .hwtree_stats()
+            .map_or(0, |s| s.cycles)
+            .saturating_sub(marks.hw_cycles);
+        if hw_cycles > 0 {
+            let t = self.tracer.begin("hwtree");
+            self.tracer.attr(t, "cycles", hw_cycles);
+            self.tracer.advance(self.time.hwtree_ns(hw_cycles));
+            self.tracer.end(t);
+        }
+        self.advance_host(marks.host_ns);
+        self.tracer.end(span);
     }
 
     /// Resource ledger accumulated so far.
@@ -342,7 +419,13 @@ impl FidrSystem {
     /// propagated backend error once a batch processes.
     pub fn write(&mut self, lba: Lba, data: Bytes) -> Result<(), FidrError> {
         let started = Instant::now();
+        let op = self.tracer.begin("write");
+        self.tracer.attr(op, "lba", lba.0);
         let out = self.write_inner(lba, data);
+        if let Err(e) = &out {
+            self.tracer.attr(op, "error", e.kind());
+        }
+        self.tracer.end(op);
         self.write_ns.record_duration(started.elapsed());
         if let Err(e) = &out {
             *self.write_errors.entry(e.kind()).or_insert(0) += 1;
@@ -355,6 +438,10 @@ impl FidrSystem {
             return Err(FidrError::BadChunkSize(data.len()));
         }
         let len = data.len() as u64;
+        // Admission span: buffering plus any backlog drains or pressure
+        // backoff the NIC forces before accepting. (A drain runs whole
+        // batches, so `hash`/`cache`/... spans may nest under `nic` here.)
+        let nic_span = self.tracer.begin("nic");
         let mut pressure_waits = 0u32;
         while !self.nic.has_room(len) {
             let before = self.nic.pending_len();
@@ -374,8 +461,10 @@ impl FidrSystem {
                 if pressure_waits >= self.cfg.retry.max_retries {
                     return Err(FidrError::NicBufferFull);
                 }
-                self.recovery_backoff_ns
-                    .record_duration(self.cfg.retry.backoff(pressure_waits));
+                let backoff = self.cfg.retry.backoff(pressure_waits);
+                self.recovery_backoff_ns.record_duration(backoff);
+                self.tracer
+                    .advance(backoff.as_nanos().min(u64::MAX as u128) as u64);
                 pressure_waits += 1;
             }
         }
@@ -386,6 +475,14 @@ impl FidrSystem {
 
         // Step 1: in-NIC buffering; write completion acks immediately.
         self.nic.accept_write(lba, data);
+        if self.tracer.is_enabled() {
+            self.tracer.advance(self.time.nic_ns(len));
+            if pressure_waits > 0 {
+                self.tracer
+                    .attr(nic_span, "retries", u64::from(pressure_waits));
+            }
+        }
+        self.tracer.end(nic_span);
 
         if self.nic.pending_len() >= self.cfg.hash_batch {
             self.process_batch()?;
@@ -434,7 +531,13 @@ impl FidrSystem {
     /// [`FidrError::Corrupt`] if the SSD region fails to decode.
     pub fn read(&mut self, lba: Lba) -> Result<Vec<u8>, FidrError> {
         let started = Instant::now();
-        let out = self.read_inner(lba);
+        let op = self.tracer.begin("read");
+        self.tracer.attr(op, "lba", lba.0);
+        let out = self.read_inner(lba, op);
+        if let Err(e) = &out {
+            self.tracer.attr(op, "error", e.kind());
+        }
+        self.tracer.end(op);
         self.read_ns.record_duration(started.elapsed());
         if let Err(e) = &out {
             *self.read_errors.entry(e.kind()).or_insert(0) += 1;
@@ -442,15 +545,29 @@ impl FidrSystem {
         out
     }
 
-    fn read_inner(&mut self, lba: Lba) -> Result<Vec<u8>, FidrError> {
+    fn read_inner(&mut self, lba: Lba, op: SpanToken) -> Result<Vec<u8>, FidrError> {
+        let traced = self.tracer.is_enabled();
         let cost = self.cfg.cost;
         self.ledger.add_client_read_bytes(BUCKET_BYTES as u64);
         self.stats.read_chunks += 1;
 
         // Step 2: the LBA-lookup module checks the in-NIC write buffer.
         if let Some(data) = self.nic.lookup_read(lba) {
-            return Ok(data.to_vec());
+            let data = data.to_vec();
+            let span = self.tracer.begin("nic");
+            if traced {
+                self.tracer.attr(op, "nic_buffer_hit", true);
+                self.tracer.advance(self.time.nic_ns(data.len() as u64));
+            }
+            self.tracer.end(span);
+            return Ok(data);
         }
+
+        let mark = if traced {
+            self.time.host_ns(&self.ledger)
+        } else {
+            0
+        };
 
         // Step 3–4: host resolves LBA → PBA.
         self.ledger
@@ -466,14 +583,33 @@ impl FidrSystem {
                 MemPath::DataSsdStaging,
                 data.len() as u64,
             );
+            if traced {
+                self.tracer.attr(op, "hotcache_hit", true);
+                self.advance_host(mark);
+            }
             return Ok(data);
         }
 
         let pba = self.lba_map.lookup(lba).ok_or(FidrError::NotMapped(lba))?;
 
         let pbn = self.lba_map.pbn_of(lba);
-        let data = self.fetch_chunk_verified(pbn, pba)?;
         let io_bytes = pba.compressed_len as u64 + 4;
+
+        // Device fetch (with checksum-verified re-reads on mismatch).
+        let rereads_before = self.read_repair_rereads;
+        let ssd_span = self.tracer.begin("ssd");
+        let fetched = self.fetch_chunk_verified(pbn, pba);
+        if traced {
+            let attempts = 1 + (self.read_repair_rereads - rereads_before);
+            self.tracer.attr(ssd_span, "bytes", io_bytes);
+            if attempts > 1 {
+                self.tracer.attr(ssd_span, "retries", attempts - 1);
+            }
+            self.tracer
+                .advance(self.time.data_ssd_ns(io_bytes * attempts, attempts));
+        }
+        self.tracer.end(ssd_span);
+        let data = fetched?;
 
         // Steps 5–7: data SSD → Decompression Engine → NIC, all P2P. The
         // host only orchestrates — and with the §7.5 future-work offload,
@@ -488,15 +624,34 @@ impl FidrSystem {
                 .charge_cpu(CpuTask::DataSsdStack, cost.data_ssd_io_cycles);
         }
         self.ledger.data_ssd_read_bytes += io_bytes;
+
+        let decompress_span = self.tracer.begin("compress");
+        if traced {
+            self.tracer
+                .attr(decompress_span, "compressed_bytes", io_bytes);
+            self.tracer
+                .advance(self.time.compress_ns(data.len() as u64));
+        }
+        self.tracer.end(decompress_span);
+
         ops::p2p(
             &mut self.ledger,
             PcieLink::DecompressionNicP2p,
             data.len() as u64,
         );
+        let nic_span = self.tracer.begin("nic");
+        if traced {
+            self.tracer.advance(self.time.nic_ns(data.len() as u64));
+        }
+        self.tracer.end(nic_span);
+
         if !self.hot_cache.is_disabled() {
             // Admission copies the decompressed block into host DRAM.
             ops::cpu_touch(&mut self.ledger, MemPath::DataSsdStaging, data.len() as u64);
             self.hot_cache.offer(lba, data.clone());
+        }
+        if traced {
+            self.advance_host(mark);
         }
         Ok(data)
     }
@@ -513,6 +668,16 @@ impl FidrSystem {
     ///
     /// Propagates backend errors from the final batch.
     pub fn flush(&mut self) -> Result<(), FidrError> {
+        let op = self.tracer.begin("flush");
+        let out = self.flush_inner();
+        if let Err(e) = &out {
+            self.tracer.attr(op, "error", e.kind());
+        }
+        self.tracer.end(op);
+        out
+    }
+
+    fn flush_inner(&mut self) -> Result<(), FidrError> {
         while self.nic.pending_len() > 0 {
             self.process_batch()?;
         }
@@ -554,6 +719,7 @@ impl FidrSystem {
     /// Processes one NIC hash batch through steps 2–10 of Figure 6a.
     fn process_batch(&mut self) -> Result<(), FidrError> {
         let cost = self.cfg.cost;
+        let traced = self.tracer.is_enabled();
         // Step 2: in-NIC hashing (no CPU, no host memory).
         let batch = self
             .nic
@@ -561,6 +727,20 @@ impl FidrSystem {
         if batch.is_empty() {
             return Ok(());
         }
+
+        let hash_span = self.tracer.begin("hash");
+        if traced {
+            let hashed: u64 = batch.iter().map(|c| c.data.len() as u64).sum();
+            self.tracer.attr(hash_span, "chunks", batch.len());
+            self.tracer
+                .advance(self.time.hash_ns(hashed, self.cfg.hash_engines));
+        }
+        self.tracer.end(hash_span);
+        let mut host_mark = if traced {
+            self.time.host_ns(&self.ledger)
+        } else {
+            0
+        };
 
         // Hashes + LBAs to the device manager: 40 B per chunk.
         let meta_bytes = batch.len() as u64 * 40;
@@ -589,6 +769,15 @@ impl FidrSystem {
                 .charge_cpu(CpuTask::Other, cost.misc_cycles_per_chunk);
         }
         self.check_engine(requests.len() as u64)?;
+        if traced {
+            host_mark = self.advance_host(host_mark);
+        }
+        let cache_span = self.tracer.begin("cache");
+        let cache_marks = if traced {
+            Some(self.cache_marks())
+        } else {
+            None
+        };
         let results = self
             .cache
             .lookup_batch(&requests, &mut self.table_ssd, &mut self.ledger, &cost)
@@ -598,6 +787,16 @@ impl FidrSystem {
         for (pbn, _access) in results {
             unique_flags.push(pbn.is_none());
             resolved.push(pbn);
+        }
+        if let Some(marks) = cache_marks {
+            let dup_hits = resolved.iter().filter(|p| p.is_some()).count();
+            self.tracer.attr(cache_span, "dup_hits", dup_hits);
+            self.tracer
+                .attr(cache_span, "uniques", batch.len() - dup_hits);
+            self.finish_cache_span(cache_span, marks);
+            host_mark = self.time.host_ns(&self.ledger);
+        } else {
+            self.tracer.end(cache_span);
         }
 
         // Step 6: uniqueness flags return to the NIC (1 B per chunk).
@@ -620,15 +819,27 @@ impl FidrSystem {
             }
         }
 
+        if traced {
+            self.advance_host(host_mark);
+        }
+
         // Commit each chunk: duplicates update the LBA map; uniques
         // compress, stage in engine DRAM, and gain table entries.
         for (chunk, pbn) in batch.into_iter().zip(resolved) {
             match pbn {
                 Some(pbn) => {
+                    let span = self.tracer.begin("dedup");
+                    if traced {
+                        self.tracer.attr(span, "lba", chunk.lba.0);
+                        self.tracer.attr(span, "dedup_hit", true);
+                        self.tracer
+                            .advance(self.time.cycles_ns(cost.lba_map_cycles));
+                    }
                     self.stats.duplicate_chunks += 1;
                     self.map_lba(chunk.lba, pbn);
                     self.ledger.charge_cpu(CpuTask::LbaMap, cost.lba_map_cycles);
                     self.nic.complete(chunk.lba);
+                    self.tracer.end(span);
                 }
                 None => {
                     self.commit_unique(chunk)?;
@@ -642,28 +853,55 @@ impl FidrSystem {
     /// staging, metadata updates (steps 7–10).
     fn commit_unique(&mut self, chunk: HashedChunk) -> Result<(), FidrError> {
         let cost = self.cfg.cost;
+        let traced = self.tracer.is_enabled();
+        let commit_span = self.tracer.begin("commit");
+        self.tracer.attr(commit_span, "lba", chunk.lba.0);
 
         // Step 10 begins with re-validation: an identical chunk earlier in
         // this batch may have stored the content already (the flags were
         // computed before any commit).
         let bucket_idx = chunk.fingerprint.bucket_index(self.table_ssd.num_buckets());
         self.check_engine(1)?;
+        let cache_span = self.tracer.begin("cache");
+        let cache_marks = if traced {
+            Some(self.cache_marks())
+        } else {
+            None
+        };
         let access = self
             .cache
             .access_for_update(bucket_idx, &mut self.table_ssd, &mut self.ledger, &cost)
             .map_err(|e| FidrError::Io(e.to_string()))?;
         if let Some(pbn) = self.cache.bucket(access.line).lookup(&chunk.fingerprint) {
+            if let Some(marks) = cache_marks {
+                self.finish_cache_span(cache_span, marks);
+            } else {
+                self.tracer.end(cache_span);
+            }
+            self.tracer.attr(commit_span, "dedup_hit", true);
             self.stats.duplicate_chunks += 1;
             self.map_lba(chunk.lba, pbn);
             self.ledger.charge_cpu(CpuTask::LbaMap, cost.lba_map_cycles);
             self.nic.complete(chunk.lba);
+            self.tracer.end(commit_span);
             return Ok(());
         }
+        if let Some(marks) = cache_marks {
+            self.finish_cache_span(cache_span, marks);
+        } else {
+            self.tracer.end(cache_span);
+        }
+        self.tracer.attr(commit_span, "dedup_hit", false);
         self.stats.unique_chunks += 1;
 
         // Compression happens inside the engine; output stays in engine
         // DRAM until the container seals.
         let compressed = self.compress_chunk(&chunk.data);
+        let host_mark = if traced {
+            self.time.host_ns(&self.ledger)
+        } else {
+            0
+        };
         self.ledger.fpga_dram_bytes += compressed.stored_len() as u64;
         self.stats.stored_bytes += compressed.stored_len() as u64;
 
@@ -701,6 +939,9 @@ impl FidrSystem {
         self.liveness.record_append(self.builder.id());
         self.map_lba(chunk.lba, pbn);
         self.ledger.charge_cpu(CpuTask::LbaMap, cost.lba_map_cycles);
+        if traced {
+            self.advance_host(host_mark);
+        }
 
         if self.builder.is_full() {
             self.seal_container()?;
@@ -709,6 +950,7 @@ impl FidrSystem {
         // The NIC can release the buffered copy now that the backend has
         // durably staged it.
         self.nic.complete(chunk.lba);
+        self.tracer.end(commit_span);
         Ok(())
     }
 
@@ -962,6 +1204,7 @@ impl FidrSystem {
     /// Compresses one chunk in the (modelled) Compression Engine, timing
     /// the real LZSS work and tracking the achieved ratio.
     fn compress_chunk(&mut self, data: &[u8]) -> CompressedChunk {
+        let span = self.tracer.begin("compress");
         let started = Instant::now();
         let compressed = CompressedChunk::compress(data);
         self.compress_ns.record_duration(started.elapsed());
@@ -971,6 +1214,19 @@ impl FidrSystem {
             Encoding::Lzss => self.compress_lzss_chunks += 1,
             Encoding::Raw => self.compress_raw_chunks += 1,
         }
+        self.tracer
+            .attr(span, "compressed_bytes", compressed.stored_len() as u64);
+        self.tracer.attr(
+            span,
+            "encoding",
+            match compressed.encoding() {
+                Encoding::Lzss => "lzss",
+                Encoding::Raw => "raw",
+            },
+        );
+        self.tracer
+            .advance(self.time.compress_ns(data.len() as u64));
+        self.tracer.end(span);
         compressed
     }
 
@@ -989,10 +1245,10 @@ impl FidrSystem {
         self.stats.export_metrics(&mut out);
         out.set_counter("compress.lzss.chunks", self.compress_lzss_chunks);
         out.set_counter("compress.raw_fallback.chunks", self.compress_raw_chunks);
-        out.set_histogram("compress.chunk.ns", &self.compress_ns);
+        out.set_wall_clock_histogram("compress.chunk.ns", &self.compress_ns);
         out.set_histogram("compress.ratio.pct", &self.compress_pct);
-        out.set_histogram("system.write.ns", &self.write_ns);
-        out.set_histogram("system.read.ns", &self.read_ns);
+        out.set_wall_clock_histogram("system.write.ns", &self.write_ns);
+        out.set_wall_clock_histogram("system.read.ns", &self.read_ns);
         self.faults.stats().export_metrics(&mut out);
         out.set_counter("retry.nic.drain_rounds", self.nic_drain_rounds);
         out.set_counter("retry.read_repair.detected", self.read_repair_detected);
@@ -1037,6 +1293,8 @@ impl FidrSystem {
         out.set_counter("hotcache.misses.count", hc.misses);
         out.set_counter("hotcache.admissions.count", hc.admissions);
         out.set_counter("hotcache.evictions.count", hc.evictions);
+        out.set_counter("trace.spans.count", self.tracer.recorded());
+        out.set_counter("trace.dropped_spans", self.tracer.dropped());
         out
     }
 
@@ -1096,10 +1354,16 @@ impl FidrSystem {
     /// no acked write is ever lost.
     fn seal_container(&mut self) -> Result<(), FidrError> {
         let bytes = self.builder.len() as u64;
+        let span = self.tracer.begin("ssd");
+        self.tracer.attr(span, "container_bytes", bytes);
+        self.tracer.advance(self.time.data_ssd_ns(bytes, 1));
         if let Err(e) = self.data_ssd.write_container(self.builder.clone().seal()) {
             self.seal_failures += 1;
+            self.tracer.attr(span, "error", "io");
+            self.tracer.end(span);
             return Err(FidrError::Io(e.to_string()));
         }
+        self.tracer.end(span);
         self.next_container += 1;
         self.builder = ContainerBuilder::new(self.next_container, self.cfg.container_threshold);
         self.staging.clear();

@@ -44,7 +44,9 @@ pub mod ops;
 mod params;
 mod projection;
 pub mod report;
+mod time;
 
 pub use ledger::{CpuTask, Ledger, MemPath, PcieLink};
 pub use params::{CostParams, PlatformSpec, TableGeometry};
 pub use projection::{Projection, Resource, ResourceCeiling};
+pub use time::TimeModel;

@@ -29,6 +29,12 @@ pub enum MetricValue {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsSnapshot {
     metrics: BTreeMap<String, MetricValue>,
+    /// Names of histograms recorded from the wall clock rather than the
+    /// modelled clock. Their value distributions vary run to run even
+    /// under a fixed seed, so [`MetricsSnapshot::to_json`] emits only
+    /// their deterministic `count` (plus a `wall_clock` marker), keeping
+    /// same-seed snapshot files byte-identical and diffable.
+    wall_clock: std::collections::BTreeSet<String>,
 }
 
 /// In debug builds, rejects names outside the documented convention:
@@ -113,6 +119,7 @@ impl MetricsSnapshot {
     /// Sets a counter.
     pub fn set_counter(&mut self, name: &str, value: u64) {
         check_name(name);
+        self.wall_clock.remove(name);
         self.metrics
             .insert(name.to_string(), MetricValue::Counter(value));
     }
@@ -120,6 +127,7 @@ impl MetricsSnapshot {
     /// Sets a gauge.
     pub fn set_gauge(&mut self, name: &str, value: f64) {
         check_name(name);
+        self.wall_clock.remove(name);
         self.metrics
             .insert(name.to_string(), MetricValue::Gauge(value));
     }
@@ -128,8 +136,26 @@ impl MetricsSnapshot {
     /// all-zero distribution still documents that the stage ran.
     pub fn set_histogram(&mut self, name: &str, hist: &Histogram) {
         check_name(name);
+        self.wall_clock.remove(name);
         self.metrics
             .insert(name.to_string(), MetricValue::Histogram(hist.snapshot()));
+    }
+
+    /// Freezes `hist` under `name`, marked as a *wall-clock* timing: its
+    /// distribution reflects host execution speed, not the seeded model,
+    /// so the JSON encoding keeps only its deterministic `count`. In-
+    /// process consumers still see the full summary via
+    /// [`MetricsSnapshot::histogram`].
+    pub fn set_wall_clock_histogram(&mut self, name: &str, hist: &Histogram) {
+        check_name(name);
+        self.wall_clock.insert(name.to_string());
+        self.metrics
+            .insert(name.to_string(), MetricValue::Histogram(hist.snapshot()));
+    }
+
+    /// Whether `name` is a histogram marked wall-clock.
+    pub fn is_wall_clock(&self, name: &str) -> bool {
+        self.wall_clock.contains(name)
     }
 
     /// Looks up any metric by name.
@@ -178,6 +204,10 @@ impl MetricsSnapshot {
 
     /// Absorbs every metric of `other`, overwriting duplicates.
     pub fn extend(&mut self, other: MetricsSnapshot) {
+        for name in other.metrics.keys() {
+            self.wall_clock.remove(name);
+        }
+        self.wall_clock.extend(other.wall_clock);
         self.metrics.extend(other.metrics);
     }
 
@@ -196,8 +226,10 @@ impl MetricsSnapshot {
     /// }
     /// ```
     ///
-    /// Keys are emitted in sorted order, so equal snapshots produce
-    /// byte-identical JSON.
+    /// Keys are emitted in sorted order and wall-clock histograms (see
+    /// [`MetricsSnapshot::set_wall_clock_histogram`]) are reduced to
+    /// `{ "type": "histogram", "count": N, "wall_clock": true }`, so
+    /// same-seed runs produce byte-identical JSON.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
@@ -219,6 +251,12 @@ impl MetricsSnapshot {
                     out.push_str(&format!(
                         "{{ \"type\": \"gauge\", \"value\": {} }}",
                         json_f64(*v)
+                    ));
+                }
+                MetricValue::Histogram(h) if self.wall_clock.contains(name) => {
+                    out.push_str(&format!(
+                        "{{ \"type\": \"histogram\", \"count\": {}, \"wall_clock\": true }}",
+                        h.count
                     ));
                 }
                 MetricValue::Histogram(h) => {
@@ -289,6 +327,40 @@ mod tests {
             s
         };
         assert_eq!(build().to_json(), build().to_json());
+    }
+
+    #[test]
+    fn wall_clock_histograms_encode_only_their_count() {
+        let mut h = Histogram::new();
+        h.record(1234);
+        let mut snap = MetricsSnapshot::new();
+        snap.set_wall_clock_histogram("stage.latency.ns", &h);
+        assert!(snap.is_wall_clock("stage.latency.ns"));
+        // Full summary stays available in-process.
+        assert_eq!(snap.histogram("stage.latency.ns").unwrap().sum, 1234);
+        let json = snap.to_json();
+        assert!(json.contains("\"count\": 1, \"wall_clock\": true"));
+        assert!(!json.contains("\"sum\""));
+        // Re-setting as a modelled histogram clears the marking.
+        snap.set_histogram("stage.latency.ns", &h);
+        assert!(!snap.is_wall_clock("stage.latency.ns"));
+        assert!(snap.to_json().contains("\"sum\": 1234"));
+    }
+
+    #[test]
+    fn extend_carries_wall_clock_markings() {
+        let h = Histogram::new();
+        let mut a = MetricsSnapshot::new();
+        a.set_histogram("x.a.ns", &h);
+        let mut b = MetricsSnapshot::new();
+        b.set_wall_clock_histogram("x.a.ns", &h);
+        b.set_wall_clock_histogram("x.b.ns", &h);
+        let mut c = MetricsSnapshot::new();
+        c.set_histogram("x.b.ns", &h);
+        a.extend(b);
+        assert!(a.is_wall_clock("x.a.ns") && a.is_wall_clock("x.b.ns"));
+        a.extend(c);
+        assert!(!a.is_wall_clock("x.b.ns"));
     }
 
     #[test]

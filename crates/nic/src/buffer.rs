@@ -278,9 +278,9 @@ impl FidrNic {
             .as_ref()
             .map_or(0, |inj| inj.stats().injected(FaultSite::NicPressure));
         out.set_counter("nic.faults.pressure", pressure);
-        out.set_histogram("nic.ingest.ns", &self.ingest_ns);
+        out.set_wall_clock_histogram("nic.ingest.ns", &self.ingest_ns);
         out.set_counter("hash.chunks_hashed.chunks", self.stats.chunks_hashed);
-        out.set_histogram("hash.batch.ns", &self.batch_ns);
+        out.set_wall_clock_histogram("hash.batch.ns", &self.batch_ns);
         out.set_histogram("hash.batch.chunks", &self.batch_chunks);
     }
 

@@ -1,0 +1,436 @@
+//! In-process critical-path analysis over completed root spans.
+//!
+//! The tracer folds every finished op (root span) into a per-class
+//! accumulator: op-latency histogram, per-stage self-time totals and
+//! histograms, and the single longest op's stage chain. Because the fold
+//! happens at span end — before the bounded ring can evict anything — the
+//! breakdown covers *every* op of a run, even million-op runs that keep only
+//! the tail of the ring.
+//!
+//! Everything here is fixed-footprint and deterministic; histograms reuse the
+//! log-linear bucketing shape of `fidr-metrics` (16 linear sub-buckets per
+//! octave, ≤ 6.25 % relative quantile error) without taking a dependency on
+//! it — `fidr-trace` stays zero-dependency.
+
+use std::fmt;
+
+const SUB_BITS: u32 = 4;
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+const MAX_OCTAVE: u32 = 40;
+const BUCKETS: usize = SUB_COUNT as usize * ((MAX_OCTAVE - SUB_BITS) as usize + 1) + 1;
+
+/// Compact log-linear histogram of modelled-ns samples.
+#[derive(Clone)]
+struct Hist {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl fmt::Debug for Hist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Hist")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .finish_non_exhaustive()
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_COUNT {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros();
+    if octave >= MAX_OCTAVE {
+        return BUCKETS - 1;
+    }
+    let sub = ((v >> (octave - SUB_BITS)) & (SUB_COUNT - 1)) as usize;
+    ((octave - SUB_BITS) as usize + 1) * SUB_COUNT as usize + sub
+}
+
+fn bucket_value(i: usize) -> u64 {
+    if i < SUB_COUNT as usize {
+        return i as u64;
+    }
+    let octave = (i / SUB_COUNT as usize - 1) as u32 + SUB_BITS;
+    let sub = (i % SUB_COUNT as usize) as u64;
+    let width = 1u64 << (octave - SUB_BITS);
+    (SUB_COUNT + sub) * width + width / 2
+}
+
+impl Hist {
+    fn new() -> Self {
+        Hist {
+            buckets: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                let v = if i == BUCKETS - 1 {
+                    self.max
+                } else {
+                    bucket_value(i)
+                };
+                return v.clamp(self.min, self.max);
+            }
+        }
+        unreachable!("counts sum to self.count");
+    }
+}
+
+#[derive(Debug, Clone)]
+struct StageAccum {
+    name: &'static str,
+    total_ns: u64,
+    hist: Hist,
+}
+
+#[derive(Debug, Clone)]
+struct ClassAccum {
+    class: &'static str,
+    ops: u64,
+    totals: Hist,
+    stages: Vec<StageAccum>,
+    longest_ns: u64,
+    longest_chain: Vec<(&'static str, u64)>,
+}
+
+/// Accumulates per-op-class stage breakdowns as root spans close.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CriticalPathAnalyzer {
+    classes: Vec<ClassAccum>,
+}
+
+impl CriticalPathAnalyzer {
+    pub(crate) fn new() -> Self {
+        CriticalPathAnalyzer::default()
+    }
+
+    pub(crate) fn record_op(
+        &mut self,
+        class: &'static str,
+        total_ns: u64,
+        stages: &[(&'static str, u64)],
+    ) {
+        let accum = match self.classes.iter_mut().find(|c| c.class == class) {
+            Some(c) => c,
+            None => {
+                self.classes.push(ClassAccum {
+                    class,
+                    ops: 0,
+                    totals: Hist::new(),
+                    stages: Vec::new(),
+                    longest_ns: 0,
+                    longest_chain: Vec::new(),
+                });
+                self.classes.last_mut().expect("just pushed")
+            }
+        };
+        accum.ops += 1;
+        accum.totals.record(total_ns);
+        for &(name, ns) in stages {
+            match accum.stages.iter_mut().find(|s| s.name == name) {
+                Some(s) => {
+                    s.total_ns += ns;
+                    s.hist.record(ns);
+                }
+                None => {
+                    let mut hist = Hist::new();
+                    hist.record(ns);
+                    accum.stages.push(StageAccum {
+                        name,
+                        total_ns: ns,
+                        hist,
+                    });
+                }
+            }
+        }
+        // `>=` so the latest worst op wins ties deterministically.
+        if total_ns >= accum.longest_ns {
+            accum.longest_ns = total_ns;
+            accum.longest_chain = stages.to_vec();
+        }
+    }
+
+    pub(crate) fn report(&self) -> CriticalPathReport {
+        let mut classes: Vec<ClassBreakdown> = self
+            .classes
+            .iter()
+            .map(|c| {
+                let class_total: u64 = c.stages.iter().map(|s| s.total_ns).sum();
+                let mut stages: Vec<StageBreakdown> = c
+                    .stages
+                    .iter()
+                    .map(|s| StageBreakdown {
+                        name: s.name.to_string(),
+                        total_ns: s.total_ns,
+                        share: if class_total == 0 {
+                            0.0
+                        } else {
+                            s.total_ns as f64 / class_total as f64
+                        },
+                        p50_ns: s.hist.percentile(0.50),
+                        p99_ns: s.hist.percentile(0.99),
+                    })
+                    .collect();
+                stages.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+                ClassBreakdown {
+                    class: c.class.to_string(),
+                    ops: c.ops,
+                    total_ns: c.totals.sum,
+                    mean_ns: if c.ops == 0 {
+                        0.0
+                    } else {
+                        c.totals.sum as f64 / c.ops as f64
+                    },
+                    p50_ns: c.totals.percentile(0.50),
+                    p99_ns: c.totals.percentile(0.99),
+                    max_ns: c.totals.max,
+                    stages,
+                    longest_chain: c
+                        .longest_chain
+                        .iter()
+                        .map(|&(n, ns)| (n.to_string(), ns))
+                        .collect(),
+                }
+            })
+            .collect();
+        classes.sort_by(|a, b| a.class.cmp(&b.class));
+        CriticalPathReport { classes }
+    }
+}
+
+/// Per-stage slice of one op class's modelled time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageBreakdown {
+    /// Stage name (`nic`, `hash`, `cache`, `table_ssd`, `hwtree`,
+    /// `compress`, `ssd`, `host`, ...).
+    pub name: String,
+    /// Total self-time across all ops of the class.
+    pub total_ns: u64,
+    /// Fraction of the class's summed stage time (0..=1).
+    pub share: f64,
+    /// Median per-op self-time of this stage.
+    pub p50_ns: u64,
+    /// 99th-percentile per-op self-time of this stage.
+    pub p99_ns: u64,
+}
+
+/// One op class (root-span name, e.g. `write` / `read` / `flush`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassBreakdown {
+    /// Root-span name.
+    pub class: String,
+    /// Ops observed.
+    pub ops: u64,
+    /// Summed op latency.
+    pub total_ns: u64,
+    /// Mean op latency.
+    pub mean_ns: f64,
+    /// Median op latency.
+    pub p50_ns: u64,
+    /// 99th-percentile op latency.
+    pub p99_ns: u64,
+    /// Worst op latency.
+    pub max_ns: u64,
+    /// Stage breakdown, largest total first.
+    pub stages: Vec<StageBreakdown>,
+    /// Stage chain of the single longest op (its serial critical path).
+    pub longest_chain: Vec<(String, u64)>,
+}
+
+/// Critical-path breakdown per op class, sorted by class name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CriticalPathReport {
+    /// One entry per root-span name seen.
+    pub classes: Vec<ClassBreakdown>,
+}
+
+impl CriticalPathReport {
+    /// Breakdown for one class, if present.
+    pub fn class(&self, name: &str) -> Option<&ClassBreakdown> {
+        self.classes.iter().find(|c| c.class == name)
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.1} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+impl fmt::Display for CriticalPathReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.classes.is_empty() {
+            return writeln!(f, "critical path: no spans recorded");
+        }
+        writeln!(f, "critical path (modelled time):")?;
+        for c in &self.classes {
+            writeln!(
+                f,
+                "  {}: {} ops, mean {}, p50 {}, p99 {}, max {}",
+                c.class,
+                c.ops,
+                fmt_ns(c.mean_ns.round() as u64),
+                fmt_ns(c.p50_ns),
+                fmt_ns(c.p99_ns),
+                fmt_ns(c.max_ns),
+            )?;
+            let shares: Vec<String> = c
+                .stages
+                .iter()
+                .filter(|s| s.share >= 0.005)
+                .map(|s| format!("{:.0}% {}", s.share * 100.0, s.name))
+                .collect();
+            if !shares.is_empty() {
+                writeln!(
+                    f,
+                    "    p99 {} {}: {}",
+                    c.class,
+                    fmt_ns(c.p99_ns),
+                    shares.join(", ")
+                )?;
+            }
+            for s in &c.stages {
+                writeln!(
+                    f,
+                    "    {:<10} {:>5.1}%  total {:>10}  p50 {:>9}  p99 {:>9}",
+                    s.name,
+                    s.share * 100.0,
+                    fmt_ns(s.total_ns),
+                    fmt_ns(s.p50_ns),
+                    fmt_ns(s.p99_ns),
+                )?;
+            }
+            if !c.longest_chain.is_empty() {
+                let chain: Vec<String> = c
+                    .longest_chain
+                    .iter()
+                    .map(|(n, ns)| format!("{n} {}", fmt_ns(*ns)))
+                    .collect();
+                writeln!(
+                    f,
+                    "    longest op {}: {}",
+                    fmt_ns(c.max_ns),
+                    chain.join(" -> ")
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one_and_sort_descending() {
+        let mut a = CriticalPathAnalyzer::new();
+        for _ in 0..100 {
+            a.record_op(
+                "write",
+                100,
+                &[("table_ssd", 60), ("hwtree", 30), ("host", 10)],
+            );
+        }
+        let r = a.report();
+        let c = r.class("write").expect("write class");
+        assert_eq!(c.ops, 100);
+        let sum: f64 = c.stages.iter().map(|s| s.share).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(c.stages[0].name, "table_ssd");
+        assert!((c.stages[0].share - 0.6).abs() < 1e-9);
+        assert_eq!(c.stages[2].name, "host");
+    }
+
+    #[test]
+    fn longest_chain_tracks_worst_op() {
+        let mut a = CriticalPathAnalyzer::new();
+        a.record_op("read", 50, &[("ssd", 50)]);
+        a.record_op("read", 500, &[("ssd", 400), ("compress", 100)]);
+        a.record_op("read", 70, &[("ssd", 70)]);
+        let c = a.report();
+        let read = c.class("read").expect("read");
+        assert_eq!(read.max_ns, 500);
+        assert_eq!(
+            read.longest_chain,
+            vec![("ssd".to_string(), 400), ("compress".to_string(), 100)]
+        );
+    }
+
+    #[test]
+    fn classes_sorted_by_name() {
+        let mut a = CriticalPathAnalyzer::new();
+        a.record_op("write", 10, &[]);
+        a.record_op("read", 10, &[]);
+        let r = a.report();
+        let names: Vec<&str> = r.classes.iter().map(|c| c.class.as_str()).collect();
+        assert_eq!(names, vec!["read", "write"]);
+    }
+
+    #[test]
+    fn percentiles_track_distribution() {
+        let mut a = CriticalPathAnalyzer::new();
+        for v in 1..=1000u64 {
+            a.record_op("write", v * 100, &[("ssd", v * 100)]);
+        }
+        let r = a.report();
+        let c = r.class("write").expect("write");
+        let p50 = c.p50_ns as f64;
+        let p99 = c.p99_ns as f64;
+        assert!((p50 - 50_000.0).abs() / 50_000.0 < 0.07, "p50 {p50}");
+        assert!((p99 - 99_000.0).abs() / 99_000.0 < 0.07, "p99 {p99}");
+        let ssd = &c.stages[0];
+        assert!((ssd.p99_ns as f64 - 99_000.0).abs() / 99_000.0 < 0.07);
+    }
+
+    #[test]
+    fn display_mentions_stage_shares() {
+        let mut a = CriticalPathAnalyzer::new();
+        a.record_op(
+            "write",
+            100,
+            &[("table_ssd", 61), ("hwtree", 22), ("host", 17)],
+        );
+        let text = a.report().to_string();
+        assert!(text.contains("p99 write"), "{text}");
+        assert!(text.contains("61% table_ssd"), "{text}");
+        assert!(text.contains("22% hwtree"), "{text}");
+    }
+
+    #[test]
+    fn empty_report_prints_placeholder() {
+        let text = CriticalPathAnalyzer::new().report().to_string();
+        assert!(text.contains("no spans recorded"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Chrome-trace-event (Perfetto-loadable) JSON export and validation.
+//!
+//! The exporter emits the "JSON object format" of the Trace Event spec:
+//! one complete (`"ph": "X"`) event per span, timestamps in microseconds
+//! with sub-microsecond precision carried in the fraction. Both
+//! <https://ui.perfetto.dev> and `chrome://tracing` open the file directly.
+//!
+//! Formatting is fully deterministic — fixed key order, fixed number
+//! formatting, no wall-clock or map-iteration input — so a seeded run
+//! exports a byte-identical file every time.
+
+use crate::json::{parse, Json};
+use crate::span::{AttrValue, SpanRecord};
+
+/// Schema tag written into the file's `otherData`.
+pub const SPANS_SCHEMA: &str = "fidr.spans.v1";
+
+/// Modelled ns → trace-event microseconds with the remainder as a fixed
+/// three-digit fraction (`1234567` → `"1234.567"`).
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_attr_value(value: &AttrValue, out: &mut String) {
+    match value {
+        AttrValue::U64(v) => out.push_str(&v.to_string()),
+        AttrValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+        AttrValue::Str(v) => {
+            out.push('"');
+            escape(v, out);
+            out.push('"');
+        }
+        AttrValue::F64(v) => {
+            if v.is_finite() {
+                if *v == v.trunc() && v.abs() < 1e15 {
+                    out.push_str(&format!("{v:.1}"));
+                } else {
+                    out.push_str(&format!("{v}"));
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+/// Renders spans as a Chrome-trace-event JSON document (one event per
+/// line inside `traceEvents`).
+///
+/// # Examples
+///
+/// ```
+/// use fidr_trace::{chrome_trace_json, validate_chrome_trace, TraceConfig, Tracer};
+///
+/// let mut t = Tracer::new(TraceConfig::enabled());
+/// let op = t.begin("write");
+/// t.advance(1_500);
+/// t.end(op);
+/// let json = chrome_trace_json(&t.spans());
+/// assert_eq!(validate_chrome_trace(&json), Ok(1));
+/// assert!(json.contains("\"ts\":0.000"));
+/// assert!(json.contains("\"dur\":1.500"));
+/// ```
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(128 + spans.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"otherData\":{\"schema\":\"");
+    out.push_str(SPANS_SCHEMA);
+    out.push_str("\"},\"traceEvents\":[");
+    for (i, span) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n{\"name\":\"");
+        escape(span.name, &mut out);
+        out.push_str("\",\"cat\":\"fidr\",\"ph\":\"X\",\"ts\":");
+        out.push_str(&micros(span.start_ns));
+        out.push_str(",\"dur\":");
+        out.push_str(&micros(span.duration_ns()));
+        out.push_str(",\"pid\":1,\"tid\":1,\"args\":{\"span\":");
+        out.push_str(&span.id.to_string());
+        if let Some(parent) = span.parent {
+            out.push_str(",\"parent\":");
+            out.push_str(&parent.to_string());
+        }
+        for (key, value) in &span.attrs {
+            out.push_str(",\"");
+            escape(key, &mut out);
+            out.push_str("\":");
+            push_attr_value(value, &mut out);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Validates that `input` is well-formed JSON in the trace-event object
+/// shape: a top-level object whose `traceEvents` member is an array of
+/// events each carrying `name`/`cat`/`ph`/`ts`/`dur`/`pid`/`tid`. Returns
+/// the event count.
+pub fn validate_chrome_trace(input: &str) -> Result<usize, String> {
+    let doc = parse(input).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing \"traceEvents\" member")?
+        .as_arr()
+        .ok_or("\"traceEvents\" is not an array")?;
+    for (i, event) in events.iter().enumerate() {
+        for key in ["name", "cat", "ph", "ts", "dur", "pid", "tid"] {
+            if event.get(key).is_none() {
+                return Err(format!("event {i} missing \"{key}\""));
+            }
+        }
+        match event.get("ph").and_then(Json::as_str) {
+            Some("X") => {}
+            other => return Err(format!("event {i} has phase {other:?}, expected \"X\"")),
+        }
+        let (ts, dur) = (
+            event.get("ts").and_then(Json::as_num),
+            event.get("dur").and_then(Json::as_num),
+        );
+        match (ts, dur) {
+            (Some(ts), Some(dur)) if ts >= 0.0 && dur >= 0.0 => {}
+            _ => return Err(format!("event {i} has non-numeric or negative ts/dur")),
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{TraceConfig, Tracer};
+
+    fn sample_spans() -> Vec<SpanRecord> {
+        let mut t = Tracer::new(TraceConfig::enabled());
+        let w = t.begin("write");
+        t.attr(w, "lba", 9u64);
+        t.attr(w, "dedup_hit", false);
+        let c = t.begin("compress");
+        t.attr(c, "compressed_bytes", 1312u64);
+        t.attr(c, "encoding", "lzss");
+        t.advance(327);
+        t.end(c);
+        t.end(w);
+        t.spans()
+    }
+
+    #[test]
+    fn export_validates_and_round_trips() {
+        let json = chrome_trace_json(&sample_spans());
+        assert_eq!(validate_chrome_trace(&json), Ok(2));
+        let doc = parse(&json).expect("parse");
+        assert_eq!(
+            doc.get("otherData")
+                .and_then(|o| o.get("schema"))
+                .and_then(Json::as_str),
+            Some(SPANS_SCHEMA)
+        );
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let compress = &events[0];
+        assert_eq!(
+            compress.get("name").and_then(Json::as_str),
+            Some("compress")
+        );
+        let args = compress.get("args").unwrap();
+        assert_eq!(
+            args.get("compressed_bytes").and_then(Json::as_num),
+            Some(1312.0)
+        );
+        assert_eq!(args.get("encoding").and_then(Json::as_str), Some("lzss"));
+        assert_eq!(args.get("parent").and_then(Json::as_num), Some(1.0));
+        let write = &events[1];
+        assert_eq!(
+            write.get("args").unwrap().get("dedup_hit"),
+            Some(&Json::Bool(false))
+        );
+        // 327 ns = 0.327 us, carried in the fraction.
+        assert_eq!(compress.get("dur").and_then(Json::as_num), Some(0.327));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = chrome_trace_json(&sample_spans());
+        let b = chrome_trace_json(&sample_spans());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_span_list_is_still_valid() {
+        let json = chrome_trace_json(&[]);
+        assert_eq!(validate_chrome_trace(&json), Ok(0));
+    }
+
+    #[test]
+    fn validator_rejects_wrong_shapes() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}")
+            .unwrap_err()
+            .contains("traceEvents"));
+        assert!(validate_chrome_trace("{\"traceEvents\": 3}").is_err());
+        let missing = "{\"traceEvents\":[{\"name\":\"x\"}]}";
+        assert!(validate_chrome_trace(missing)
+            .unwrap_err()
+            .contains("missing"));
+        let bad_ph = "{\"traceEvents\":[{\"name\":\"x\",\"cat\":\"c\",\"ph\":\"B\",\"ts\":0,\"dur\":0,\"pid\":1,\"tid\":1}]}";
+        assert!(validate_chrome_trace(bad_ph).unwrap_err().contains("phase"));
+    }
+}

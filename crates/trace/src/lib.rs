@@ -1,0 +1,55 @@
+//! # fidr-trace
+//!
+//! Per-request span tracing for the FIDR reproduction, stamped with
+//! *modelled* time. Aggregate counters (`fidr-metrics`) say how much each
+//! stage did; spans say where one 4-KB chunk's latency went — NIC buffer,
+//! hash, table-cache lookup, HW-tree walk, table-SSD IO, compression, data
+//! SSD — which is the paper's core argument (§4–§6).
+//!
+//! Three pieces, all zero-dependency:
+//!
+//! * [`Tracer`] — a modelled-ns clock, LIFO span stack and bounded span
+//!   ring. A disabled tracer ([`TraceConfig::default`]) turns every call
+//!   into an early-return, so the pipelines keep their instrumentation
+//!   unconditionally. Because time only advances through
+//!   [`Tracer::advance`], traces from seeded runs are byte-identical.
+//! * [`chrome_trace_json`] / [`validate_chrome_trace`] — export to the
+//!   Chrome-trace-event JSON shape that <https://ui.perfetto.dev> and
+//!   `chrome://tracing` open directly, plus a shape validator used by
+//!   `fidr spans` and CI.
+//! * [`CriticalPathReport`] — per-op-class stage breakdown (share, p50/p99
+//!   of per-stage self-time) and the longest op's serial chain, accumulated
+//!   at span close so it sees every op even when the ring drops spans.
+//!
+//! # Examples
+//!
+//! ```
+//! use fidr_trace::{TraceConfig, Tracer};
+//!
+//! let mut t = Tracer::new(TraceConfig::enabled());
+//! let op = t.begin("write");
+//! let ssd = t.begin("ssd");
+//! t.advance(90_000); // modelled device time
+//! t.end(ssd);
+//! t.attr(op, "dedup_hit", false);
+//! t.end(op);
+//!
+//! let report = t.critical_path();
+//! let write = report.class("write").unwrap();
+//! assert_eq!(write.ops, 1);
+//! assert_eq!(write.stages[0].name, "ssd");
+//! assert!(fidr_trace::validate_chrome_trace(&t.export_chrome_json()).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod critical;
+mod export;
+mod json;
+mod span;
+
+pub use critical::{ClassBreakdown, CriticalPathReport, StageBreakdown};
+pub use export::{chrome_trace_json, validate_chrome_trace, SPANS_SCHEMA};
+pub use json::{parse as parse_json, Json, JsonError};
+pub use span::{AttrValue, SpanRecord, SpanToken, TraceConfig, Tracer};

@@ -1,0 +1,513 @@
+//! Spans, the modelled-time tracer, and the bounded span ring.
+//!
+//! A [`Tracer`] owns a *modelled* nanosecond clock: time only moves when the
+//! instrumented pipeline calls [`Tracer::advance`] with a service time derived
+//! from the hardware model (ledger deltas, device bandwidths, modelled retry
+//! backoff). No wall clock is ever read, so a trace taken from a seeded run is
+//! byte-identical across machines and repetitions.
+//!
+//! Spans are strictly nested (LIFO): [`Tracer::begin`] pushes an open span,
+//! [`Tracer::end`] pops it, records it into a bounded ring, and folds its
+//! timing into the critical-path accumulator. A disabled tracer turns every
+//! call into an early-return on one boolean — cheap enough to leave the call
+//! sites unconditional on hot paths.
+
+use crate::critical::{CriticalPathAnalyzer, CriticalPathReport};
+
+/// How a [`Tracer`] behaves; embedded in the system configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Record spans at all. When `false` every tracer call is a no-op.
+    pub enabled: bool,
+    /// Completed spans kept in memory. When the ring is full the oldest
+    /// span is overwritten and `trace.dropped_spans` grows; critical-path
+    /// accounting is unaffected (it folds in at span end, before the ring).
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            enabled: false,
+            ring_capacity: 1 << 16,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Tracing on, default ring capacity.
+    pub fn enabled() -> Self {
+        TraceConfig {
+            enabled: true,
+            ..TraceConfig::default()
+        }
+    }
+
+    /// Tracing on with an explicit ring capacity (clamped to ≥ 1).
+    pub fn with_capacity(ring_capacity: usize) -> Self {
+        TraceConfig {
+            enabled: true,
+            ring_capacity: ring_capacity.max(1),
+        }
+    }
+}
+
+/// A span attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer (counts, byte sizes, LBAs).
+    U64(u64),
+    /// Floating point (ratios).
+    F64(f64),
+    /// Boolean flag (`dedup_hit`, `nic_buffer_hit`).
+    Bool(bool),
+    /// Short string (error kind, compression encoding).
+    Str(&'static str),
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+impl From<&'static str> for AttrValue {
+    fn from(v: &'static str) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+/// One completed span: a stage of one request's journey through the
+/// pipeline, in modelled nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Unique per-tracer span id (1-based, in begin order).
+    pub id: u64,
+    /// Id of the enclosing span, or `None` for a root span.
+    pub parent: Option<u64>,
+    /// Stage name (`write`, `read`, `nic`, `hash`, `cache`, `table_ssd`,
+    /// `hwtree`, `compress`, `ssd`, ...).
+    pub name: &'static str,
+    /// Modelled start time.
+    pub start_ns: u64,
+    /// Modelled end time (`end_ns >= start_ns`).
+    pub end_ns: u64,
+    /// Key/value attributes in record order.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl SpanRecord {
+    /// Span duration in modelled nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+
+    /// Looks up an attribute by key (first match).
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// Handle to an open span returned by [`Tracer::begin`]; pass it back to
+/// [`Tracer::end`]. Tokens are positional, so spans must close LIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "an unclosed span never reaches the ring; pass the token to Tracer::end"]
+pub struct SpanToken {
+    idx: u32,
+}
+
+impl SpanToken {
+    const NONE: SpanToken = SpanToken { idx: u32::MAX };
+
+    fn is_none(self) -> bool {
+        self.idx == u32::MAX
+    }
+}
+
+#[derive(Debug, Clone)]
+struct OpenSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    start_ns: u64,
+    /// Total modelled time covered by already-closed children.
+    child_ns: u64,
+    /// Root spans only: per-stage self-time of closed descendants,
+    /// accumulated by stage name.
+    stages: Vec<(&'static str, u64)>,
+    attrs: Vec<(&'static str, AttrValue)>,
+}
+
+/// Fixed-capacity ring of completed spans (drop-oldest).
+#[derive(Debug, Clone)]
+struct SpanRing {
+    cap: usize,
+    buf: Vec<SpanRecord>,
+    /// Index of the oldest element once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl SpanRing {
+    fn new(cap: usize) -> Self {
+        SpanRing {
+            cap: cap.max(1),
+            buf: Vec::new(),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, rec: SpanRecord) {
+        if self.buf.len() < self.cap {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    fn in_order(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+/// The span tracer: modelled clock + open-span stack + bounded ring +
+/// critical-path accumulator.
+///
+/// # Examples
+///
+/// ```
+/// use fidr_trace::{TraceConfig, Tracer};
+///
+/// let mut t = Tracer::new(TraceConfig::enabled());
+/// let op = t.begin("write");
+/// let nic = t.begin("nic");
+/// t.advance(250);
+/// t.end(nic);
+/// t.attr(op, "dedup_hit", true);
+/// t.end(op);
+///
+/// let spans = t.spans();
+/// assert_eq!(spans.len(), 2);
+/// assert_eq!(spans[1].name, "write");
+/// assert_eq!(spans[1].duration_ns(), 250);
+/// assert_eq!(spans[0].parent, Some(spans[1].id));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    enabled: bool,
+    now_ns: u64,
+    next_id: u64,
+    stack: Vec<OpenSpan>,
+    ring: SpanRing,
+    analyzer: CriticalPathAnalyzer,
+    recorded: u64,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+impl Tracer {
+    /// Builds a tracer from a config.
+    pub fn new(cfg: TraceConfig) -> Self {
+        Tracer {
+            enabled: cfg.enabled,
+            now_ns: 0,
+            next_id: 1,
+            stack: Vec::new(),
+            ring: SpanRing::new(cfg.ring_capacity),
+            analyzer: CriticalPathAnalyzer::new(),
+            recorded: 0,
+        }
+    }
+
+    /// A no-op tracer: every call early-returns.
+    pub fn disabled() -> Self {
+        Tracer::new(TraceConfig::default())
+    }
+
+    /// Whether spans are being recorded. Instrumentation that must compute
+    /// inputs for [`advance`](Tracer::advance) (ledger deltas, etc.) should
+    /// gate that work on this.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Current modelled time.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Opens a span as a child of the innermost open span (or as a root).
+    #[inline]
+    pub fn begin(&mut self, name: &'static str) -> SpanToken {
+        if !self.enabled {
+            return SpanToken::NONE;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let parent = self.stack.last().map(|s| s.id);
+        let idx = self.stack.len() as u32;
+        self.stack.push(OpenSpan {
+            id,
+            parent,
+            name,
+            start_ns: self.now_ns,
+            child_ns: 0,
+            stages: Vec::new(),
+            attrs: Vec::new(),
+        });
+        SpanToken { idx }
+    }
+
+    /// Advances the modelled clock; the elapsed time lands in the innermost
+    /// open span's self-time.
+    #[inline]
+    pub fn advance(&mut self, ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.now_ns += ns;
+    }
+
+    /// Attaches an attribute to an open span.
+    #[inline]
+    pub fn attr(&mut self, token: SpanToken, key: &'static str, value: impl Into<AttrValue>) {
+        if !self.enabled || token.is_none() {
+            return;
+        }
+        if let Some(span) = self.stack.get_mut(token.idx as usize) {
+            span.attrs.push((key, value.into()));
+        }
+    }
+
+    /// Closes a span. Any child spans still open above it are closed first
+    /// (keeps the stack consistent on early-return error paths).
+    #[inline]
+    pub fn end(&mut self, token: SpanToken) {
+        if !self.enabled || token.is_none() {
+            return;
+        }
+        let idx = token.idx as usize;
+        if idx >= self.stack.len() {
+            return; // already closed by an enclosing early end
+        }
+        while self.stack.len() > idx {
+            self.end_top();
+        }
+    }
+
+    fn end_top(&mut self) {
+        let span = self.stack.pop().expect("end_top on non-empty stack");
+        let dur = self.now_ns - span.start_ns;
+        let self_ns = dur.saturating_sub(span.child_ns);
+        if let Some(parent) = self.stack.last_mut() {
+            parent.child_ns += dur;
+        }
+        if let Some(root) = self.stack.first_mut() {
+            // Attribute this span's self-time to its stage, on the root op.
+            accumulate_stage(&mut root.stages, span.name, self_ns);
+        } else {
+            // Root closed: fold the whole op into the critical-path model.
+            let mut stages = span.stages.clone();
+            if self_ns > 0 {
+                accumulate_stage(&mut stages, "host", self_ns);
+            }
+            self.analyzer.record_op(span.name, dur, &stages);
+        }
+        self.recorded += 1;
+        self.ring.push(SpanRecord {
+            id: span.id,
+            parent: span.parent,
+            name: span.name,
+            start_ns: span.start_ns,
+            end_ns: self.now_ns,
+            attrs: span.attrs,
+        });
+    }
+
+    /// Completed spans still held by the ring, oldest first.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.ring.in_order()
+    }
+
+    /// Spans evicted from the ring (the `trace.dropped_spans` counter).
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped
+    }
+
+    /// Total spans completed, including any later dropped from the ring.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Critical-path breakdown over every completed root span (immune to
+    /// ring drops).
+    pub fn critical_path(&self) -> CriticalPathReport {
+        self.analyzer.report()
+    }
+
+    /// Renders the ring contents as Chrome-trace-event JSON (see
+    /// [`crate::chrome_trace_json`]).
+    pub fn export_chrome_json(&self) -> String {
+        crate::export::chrome_trace_json(&self.spans())
+    }
+}
+
+fn accumulate_stage(stages: &mut Vec<(&'static str, u64)>, name: &'static str, ns: u64) {
+    if let Some(entry) = stages.iter_mut().find(|(n, _)| *n == name) {
+        entry.1 += ns;
+    } else {
+        stages.push((name, ns));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_a_no_op() {
+        let mut t = Tracer::disabled();
+        let tok = t.begin("write");
+        t.advance(100);
+        t.attr(tok, "lba", 7u64);
+        t.end(tok);
+        assert_eq!(t.now_ns(), 0);
+        assert!(t.spans().is_empty());
+        assert_eq!(t.recorded(), 0);
+        assert!(t.critical_path().classes.is_empty());
+    }
+
+    #[test]
+    fn nesting_assigns_parents_and_times() {
+        let mut t = Tracer::new(TraceConfig::enabled());
+        let root = t.begin("write");
+        t.advance(10);
+        let child = t.begin("nic");
+        t.advance(30);
+        let grandchild = t.begin("hash");
+        t.advance(5);
+        t.end(grandchild);
+        t.end(child);
+        t.advance(2);
+        t.end(root);
+
+        let spans = t.spans();
+        assert_eq!(spans.len(), 3);
+        let hash = &spans[0];
+        let nic = &spans[1];
+        let write = &spans[2];
+        assert_eq!((hash.name, nic.name, write.name), ("hash", "nic", "write"));
+        assert_eq!(hash.parent, Some(nic.id));
+        assert_eq!(nic.parent, Some(write.id));
+        assert_eq!(write.parent, None);
+        assert_eq!(write.duration_ns(), 47);
+        assert_eq!(nic.duration_ns(), 35);
+        assert_eq!(hash.duration_ns(), 5);
+        // Child intervals nest within the parent's.
+        assert!(nic.start_ns >= write.start_ns && nic.end_ns <= write.end_ns);
+        assert!(hash.start_ns >= nic.start_ns && hash.end_ns <= nic.end_ns);
+    }
+
+    #[test]
+    fn ending_a_parent_closes_open_children() {
+        let mut t = Tracer::new(TraceConfig::enabled());
+        let root = t.begin("write");
+        let _child = t.begin("nic");
+        t.advance(8);
+        t.end(root); // error path: child never explicitly ended
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "nic");
+        assert_eq!(spans[1].name, "write");
+        assert_eq!(spans[0].duration_ns(), 8);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut t = Tracer::new(TraceConfig::with_capacity(4));
+        for i in 0..10u64 {
+            let tok = t.begin("write");
+            t.attr(tok, "seq", i);
+            t.advance(1);
+            t.end(tok);
+        }
+        assert_eq!(t.recorded(), 10);
+        assert_eq!(t.dropped(), 6);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 4);
+        // Oldest-first order, holding the last four ops.
+        let seqs: Vec<u64> = spans
+            .iter()
+            .map(|s| match s.attr("seq") {
+                Some(AttrValue::U64(v)) => *v,
+                other => panic!("seq attr missing: {other:?}"),
+            })
+            .collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        // The analyzer saw every op, not just the survivors.
+        let report = t.critical_path();
+        assert_eq!(report.classes.len(), 1);
+        assert_eq!(report.classes[0].ops, 10);
+    }
+
+    #[test]
+    fn self_time_feeds_host_stage() {
+        let mut t = Tracer::new(TraceConfig::enabled());
+        let root = t.begin("write");
+        t.advance(40); // root self-time
+        let c = t.begin("ssd");
+        t.advance(60);
+        t.end(c);
+        t.end(root);
+        let report = t.critical_path();
+        let class = &report.classes[0];
+        assert_eq!(class.total_ns, 100);
+        let by_name: Vec<(&str, u64)> = class
+            .stages
+            .iter()
+            .map(|s| (s.name.as_str(), s.total_ns))
+            .collect();
+        assert!(by_name.contains(&("ssd", 60)));
+        assert!(by_name.contains(&("host", 40)));
+    }
+
+    #[test]
+    fn attrs_round_trip() {
+        let mut t = Tracer::new(TraceConfig::enabled());
+        let tok = t.begin("read");
+        t.attr(tok, "lba", 42u64);
+        t.attr(tok, "error", "corrupt");
+        t.attr(tok, "dedup_hit", false);
+        t.end(tok);
+        let s = &t.spans()[0];
+        assert_eq!(s.attr("lba"), Some(&AttrValue::U64(42)));
+        assert_eq!(s.attr("error"), Some(&AttrValue::Str("corrupt")));
+        assert_eq!(s.attr("dedup_hit"), Some(&AttrValue::Bool(false)));
+        assert_eq!(s.attr("missing"), None);
+    }
+}

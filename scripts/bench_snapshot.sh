@@ -1,0 +1,71 @@
+#!/usr/bin/env sh
+# Bench snapshot: runs the cheap per-workload experiments and records the
+# projected throughput plus a per-stage latency breakdown (p50/p99 of the
+# modelled span durations) into BENCH_<tag>.json at the repository root.
+#
+# Usage: ./scripts/bench_snapshot.sh [tag]   (default tag: pr3)
+#
+# Throughput comes from the §7.5 projection printed by `fidr run`; stage
+# latencies come from the fidr.spans.v1 files exported by `fidr spans`.
+# Span durations are modelled time, so for a given binary the latency
+# numbers are bit-reproducible; only future model changes move them.
+set -eu
+
+TAG="${1:-pr3}"
+OUT="BENCH_${TAG}.json"
+OPS="${OPS:-2000}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+cargo build --release -q --bin fidr
+
+for wl in write-h write-m write-l read-mixed; do
+    for variant in full baseline; do
+        ./target/release/fidr run --workload "$wl" --variant "$variant" \
+            --ops "$OPS" > "$TMP/run-$wl-$variant.txt"
+    done
+    ./target/release/fidr spans --workload "$wl" --variant full \
+        --ops "$OPS" --spans-out "$TMP/spans-$wl.json" > /dev/null
+done
+
+TMP="$TMP" OPS="$OPS" TAG="$TAG" OUT="$OUT" python3 - <<'EOF'
+import json, os, re
+
+tmp, out = os.environ["TMP"], os.environ["OUT"]
+doc = {
+    "schema": "fidr.bench.v1",
+    "tag": os.environ["TAG"],
+    "ops_per_workload": int(os.environ["OPS"]),
+    "workloads": {},
+}
+
+def pct(sorted_vals, q):
+    return sorted_vals[min(len(sorted_vals) - 1, int(q * len(sorted_vals)))]
+
+for wl in ["write-h", "write-m", "write-l", "read-mixed"]:
+    entry = {"throughput_gbps": {}, "stages": {}}
+    for variant in ["full", "baseline"]:
+        text = open(f"{tmp}/run-{wl}-{variant}.txt").read()
+        m = re.search(r"achievable: ([0-9.]+) GB/s \(bottleneck: ([^)]+)\)", text)
+        entry["throughput_gbps"][variant] = {
+            "value": float(m.group(1)),
+            "bottleneck": m.group(2),
+        }
+    spans = json.load(open(f"{tmp}/spans-{wl}.json"))["traceEvents"]
+    durs = {}
+    for ev in spans:
+        durs.setdefault(ev["name"], []).append(float(ev["dur"]))  # microseconds
+    for name, vals in sorted(durs.items()):
+        vals.sort()
+        entry["stages"][name] = {
+            "count": len(vals),
+            "p50_us": round(pct(vals, 0.50), 3),
+            "p99_us": round(pct(vals, 0.99), 3),
+        }
+    doc["workloads"][wl] = entry
+
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out}")
+EOF

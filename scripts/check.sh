@@ -20,4 +20,17 @@ cargo test --workspace -q
 echo "==> cargo test --release"
 cargo test --workspace --release -q
 
+# Span-export smoke test: a small traced workload must produce a
+# Perfetto-loadable fidr.spans.v1 file (the exporter validates the JSON
+# shape before writing; the greps double-check the file on disk). CI
+# uploads the file as an inspectable artifact.
+echo "==> fidr spans export"
+SPANS_OUT="${SPANS_OUT:-target/ci-spans.json}"
+cargo run --release -q --bin fidr -- spans \
+  --workload write-h --ops 500 --spans-out "$SPANS_OUT" > /dev/null
+grep -q '"schema":"fidr.spans.v1"' "$SPANS_OUT"
+grep -q '"traceEvents":\[' "$SPANS_OUT"
+grep -q '"name":"write"' "$SPANS_OUT"
+echo "    $SPANS_OUT: $(grep -c '"ph":"X"' "$SPANS_OUT") span events"
+
 echo "All checks passed."

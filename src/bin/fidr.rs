@@ -1,22 +1,24 @@
 //! `fidr` — command-line driver for the FIDR reproduction.
 //!
 //! ```text
-//! fidr run --workload write-h --variant full [--ops N]
+//! fidr run --workload write-h --variant full [--ops N] [--metrics-out F] [--spans-out F]
 //! fidr compare [--workload write-h] [--ops N]
-//! fidr stats [--workload write-h] [--variant full] [--ops N] [--out FILE]
+//! fidr stats [--workload write-h] [--variant full] [--ops N] [--metrics-out F] [--spans-out F]
+//! fidr spans [--workload write-h] [--variant full] [--ops N] [--spans-out F]
 //! fidr latency
 //! fidr cost [--capacity-tb 500] [--throughput 75]
-//! fidr trace <file> [--chunk-kb 32] [--metrics-out FILE]
+//! fidr trace <file> [--chunk-kb 32] [--metrics-out F] [--spans-out F]
 //! ```
 
 use fidr::chunk::{replay_chunking, Lba};
-use fidr::cli::{parse_flags, variant_by_name, workload_by_name};
+use fidr::cli::{output_flag, parse_flags, variant_by_name, workload_by_name, write_output};
 use fidr::compress::ContentGenerator;
 use fidr::core::{FidrConfig, FidrSystem, LatencyModel};
 use fidr::cost::{CostModel, Scenario};
 use fidr::faults::FaultPlan;
 use fidr::hwsim::{report, PlatformSpec};
 use fidr::ssd::SsdSpec;
+use fidr::trace::{chrome_trace_json, validate_chrome_trace, SpanRecord, TraceConfig};
 use fidr::workload::{parse_trace, to_block_writes, TraceOp, WorkloadSpec};
 use fidr::{run_workload, RunConfig, SystemVariant};
 use std::collections::HashMap;
@@ -26,20 +28,40 @@ const USAGE: &str = "fidr — FIDR (MICRO'19) storage-system reproduction
 
 USAGE:
     fidr run     --workload <NAME> --variant <VARIANT> [--ops N] [--faults SPEC]
+                 [--metrics-out FILE] [--spans-out FILE]
     fidr compare [--workload <NAME>] [--ops N]
-    fidr stats   [--workload <NAME>] [--variant <VARIANT>] [--ops N] [--out FILE] [--faults SPEC]
+    fidr stats   [--workload <NAME>] [--variant <VARIANT>] [--ops N] [--faults SPEC]
+                 [--metrics-out FILE] [--spans-out FILE]
+    fidr spans   [--workload <NAME>] [--variant <VARIANT>] [--ops N] [--faults SPEC]
+                 [--spans-out FILE]
     fidr latency
     fidr cost    [--capacity-tb X] [--throughput GBPS]
-    fidr trace   <FILE> [--chunk-kb 4|8|16|32] [--metrics-out FILE] [--faults SPEC]
+    fidr trace   <FILE> [--chunk-kb 4|8|16|32] [--faults SPEC]
+                 [--metrics-out FILE] [--spans-out FILE]
     fidr report  [--ops N] [--out FILE]
 
 WORKLOADS:  write-h | write-m | write-l | read-mixed | vdi | database
 VARIANTS:   baseline | nic-p2p | hw-single | full
+OUTPUTS:    --metrics-out writes the metrics snapshot JSON (fidr.metrics.v1;
+            `fidr stats` also accepts the legacy --out). --spans-out writes
+            per-request spans as Chrome-trace-event JSON (fidr.spans.v1) —
+            open it in https://ui.perfetto.dev or chrome://tracing. Both
+            files are byte-identical across same-seed runs.
 FAULTS:     seeded device-fault schedule, e.g.
             --faults seed=7,data_write=0.01,corrupt=0.005,engine_at=2000
             (keys: seed, data_write, data_read, corrupt, table_read,
              table_write, nic, engine_at — recovery shows up in the
              faults.*, retry.* and degraded.* metrics)";
+
+/// Exports `spans` as Chrome-trace-event JSON to `path`, self-validating
+/// the shape on the way out; returns the event count.
+fn export_spans(path: &str, spans: &[SpanRecord]) -> Result<usize, String> {
+    let json = chrome_trace_json(spans);
+    let events =
+        validate_chrome_trace(&json).map_err(|e| format!("internal: bad trace JSON: {e}"))?;
+    write_output(path, &json)?;
+    Ok(events)
+}
 
 /// Parses the optional `--faults` schedule flag.
 fn faults_flag(flags: &HashMap<String, String>) -> Result<FaultPlan, String> {
@@ -63,12 +85,19 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let var = flags.get("variant").ok_or("missing --variant")?;
     let variant = variant_by_name(var).ok_or("unknown variant")?;
     let faults = faults_flag(flags)?;
+    let metrics_out = output_flag(flags, &["metrics-out"])?;
+    let spans_out = output_flag(flags, &["spans-out"])?;
 
     let r = run_workload(
         variant,
         spec,
         RunConfig {
             faults,
+            trace: if spans_out.is_some() {
+                TraceConfig::enabled()
+            } else {
+                TraceConfig::default()
+            },
             ..RunConfig::default()
         },
     );
@@ -93,6 +122,17 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
             h.searches,
             h.updates,
             h.crash_rate() * 100.0
+        );
+    }
+    if let Some(path) = &metrics_out {
+        write_output(path, &r.metrics.to_json())?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = &spans_out {
+        let events = export_spans(path, &r.spans)?;
+        println!(
+            "wrote {path}: {events} span events ({} dropped by the ring)",
+            r.metrics.counter("trace.dropped_spans").unwrap_or(0)
         );
     }
     Ok(())
@@ -147,22 +187,86 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
     let var = flags.get("variant").map(String::as_str).unwrap_or("full");
     let variant = variant_by_name(var).ok_or("unknown variant")?;
     let faults = faults_flag(flags)?;
+    let metrics_out = output_flag(flags, &["metrics-out", "out"])?;
+    let spans_out = output_flag(flags, &["spans-out"])?;
+
+    // Tracing is always on for `stats`: the critical-path breakdown below
+    // is derived from spans.
+    let r = run_workload(
+        variant,
+        spec,
+        RunConfig {
+            faults,
+            trace: TraceConfig::enabled(),
+            ..RunConfig::default()
+        },
+    );
+    let json = r.metrics.to_json();
+    let json_to_stdout = metrics_out.is_none();
+    match &metrics_out {
+        Some(path) => {
+            write_output(path, &json)?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+    if let Some(path) = &spans_out {
+        let events = export_spans(path, &r.spans)?;
+        eprintln!("wrote {path} ({events} span events)");
+    }
+    // Keep stdout machine-readable: when the metrics JSON went to stdout,
+    // the human-facing breakdown goes to stderr.
+    let breakdown = format!("{}", r.critical_path);
+    if json_to_stdout {
+        eprint!("{breakdown}");
+    } else {
+        print!("{breakdown}");
+    }
+    Ok(())
+}
+
+fn cmd_spans(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ops: usize = flags
+        .get("ops")
+        .map(|s| s.parse().map_err(|_| "bad --ops"))
+        .transpose()?
+        .unwrap_or(2_000);
+    let wl = flags
+        .get("workload")
+        .map(String::as_str)
+        .unwrap_or("write-h");
+    let spec = workload_by_name(wl, ops).ok_or("unknown workload")?;
+    let var = flags.get("variant").map(String::as_str).unwrap_or("full");
+    let variant = variant_by_name(var).ok_or("unknown variant")?;
+    let faults = faults_flag(flags)?;
 
     let r = run_workload(
         variant,
         spec,
         RunConfig {
             faults,
+            trace: TraceConfig::enabled(),
             ..RunConfig::default()
         },
     );
-    let json = r.metrics.to_json();
-    match flags.get("out") {
-        Some(path) if !path.is_empty() => {
-            std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
-            eprintln!("wrote {path}");
+    let breakdown = format!("{}", r.critical_path);
+    match output_flag(flags, &["spans-out"])? {
+        Some(path) => {
+            let events = export_spans(&path, &r.spans)?;
+            println!(
+                "wrote {path}: {events} span events, {} dropped by the ring",
+                r.metrics.counter("trace.dropped_spans").unwrap_or(0)
+            );
+            println!("open it in https://ui.perfetto.dev or chrome://tracing\n");
+            print!("{breakdown}");
         }
-        _ => print!("{json}"),
+        None => {
+            // Spans JSON on stdout; the human-facing breakdown on stderr.
+            let json = chrome_trace_json(&r.spans);
+            validate_chrome_trace(&json).map_err(|e| format!("internal: bad trace JSON: {e}"))?;
+            print!("{json}");
+            eprint!("{breakdown}");
+        }
     }
     Ok(())
 }
@@ -308,8 +412,9 @@ fn cmd_trace(positional: &[String], flags: &HashMap<String, String>) -> Result<(
     );
 
     let faults = faults_flag(flags)?;
-    let replay_metrics = flags.get("metrics-out").filter(|p| !p.is_empty());
-    if replay_metrics.is_some() || !faults.is_inert() {
+    let replay_metrics = output_flag(flags, &["metrics-out"])?;
+    let replay_spans = output_flag(flags, &["spans-out"])?;
+    if replay_metrics.is_some() || replay_spans.is_some() || !faults.is_inert() {
         // Replay the trace through a full FIDR system (synthetic chunk
         // contents derived from each record's content tag, as in the
         // trace-driven integration tests) and snapshot its metrics —
@@ -321,6 +426,11 @@ fn cmd_trace(positional: &[String], flags: &HashMap<String, String>) -> Result<(
             container_threshold: 128 << 10,
             hash_batch: 16,
             faults,
+            trace: if replay_spans.is_some() {
+                TraceConfig::enabled()
+            } else {
+                TraceConfig::default()
+            },
             ..FidrConfig::default()
         });
         let mut written = std::collections::HashSet::new();
@@ -366,10 +476,13 @@ fn cmd_trace(positional: &[String], flags: &HashMap<String, String>) -> Result<(
                 .map_err(|e| format!("post-fault scrub: {e}"))?;
             println!("post-fault scrub: {scrubbed} chunks verified clean");
         }
-        if let Some(out) = replay_metrics {
-            let json = metrics.to_json();
-            std::fs::write(out, &json).map_err(|e| format!("write {out}: {e}"))?;
+        if let Some(out) = &replay_metrics {
+            write_output(out, &metrics.to_json())?;
             println!("wrote {out}");
+        }
+        if let Some(out) = &replay_spans {
+            let events = export_spans(out, &sys.tracer().spans())?;
+            println!("wrote {out} ({events} span events)");
         }
     }
     Ok(())
@@ -386,6 +499,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&flags),
         "compare" => cmd_compare(&flags),
         "stats" => cmd_stats(&flags),
+        "spans" => cmd_spans(&flags),
         "latency" => {
             cmd_latency();
             Ok(())

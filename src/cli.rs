@@ -38,6 +38,31 @@ pub fn workload_by_name(name: &str, ops: usize) -> Option<WorkloadSpec> {
     })
 }
 
+/// Resolves an output-path flag shared across subcommands
+/// (`--metrics-out`, `--spans-out`, legacy `--out`). `names` lists the
+/// accepted spellings in precedence order; the first one present wins. A
+/// flag given without a value is an error rather than a silent stdout
+/// fallback.
+pub fn output_flag(
+    flags: &HashMap<String, String>,
+    names: &[&str],
+) -> Result<Option<String>, String> {
+    for name in names {
+        if let Some(value) = flags.get(*name) {
+            if value.is_empty() {
+                return Err(format!("--{name} needs a file path"));
+            }
+            return Ok(Some(value.clone()));
+        }
+    }
+    Ok(None)
+}
+
+/// Writes `contents` to `path` with a uniform error message.
+pub fn write_output(path: &str, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("write {path}: {e}"))
+}
+
 /// Resolves a system-variant name used on the command line.
 pub fn variant_by_name(name: &str) -> Option<SystemVariant> {
     Some(match name {
@@ -75,6 +100,22 @@ mod tests {
     fn trailing_flag_gets_empty_value() {
         let (_, flags) = parse_flags(&args(&["--verbose"]));
         assert_eq!(flags["verbose"], "");
+    }
+
+    #[test]
+    fn output_flag_precedence_and_errors() {
+        let (_, flags) = parse_flags(&args(&["--metrics-out", "m.json", "--out", "o.json"]));
+        assert_eq!(
+            output_flag(&flags, &["metrics-out", "out"]).unwrap(),
+            Some("m.json".to_string())
+        );
+        assert_eq!(
+            output_flag(&flags, &["out"]).unwrap(),
+            Some("o.json".to_string())
+        );
+        assert_eq!(output_flag(&flags, &["spans-out"]).unwrap(), None);
+        let (_, flags) = parse_flags(&args(&["--spans-out"]));
+        assert!(output_flag(&flags, &["spans-out"]).is_err());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use fidr_faults::{FaultPlan, RetryPolicy};
 use fidr_hwsim::{CostParams, Ledger, PlatformSpec, Projection};
 use fidr_metrics::MetricsSnapshot;
 use fidr_tables::ReductionStats;
+use fidr_trace::{CriticalPathReport, SpanRecord, TraceConfig};
 use fidr_workload::{Request, Workload, WorkloadSpec};
 
 /// Which system architecture to run.
@@ -66,6 +67,9 @@ pub struct RunConfig {
     pub faults: FaultPlan,
     /// Bounded-retry policy for device faults and checksum re-reads.
     pub retry: RetryPolicy,
+    /// Per-request span tracing (disabled by default; enable to fill
+    /// [`RunReport::spans`] and [`RunReport::critical_path`]).
+    pub trace: TraceConfig,
 }
 
 impl Default for RunConfig {
@@ -78,6 +82,7 @@ impl Default for RunConfig {
             cost: CostParams::default(),
             faults: FaultPlan::default(),
             retry: RetryPolicy::default(),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -105,6 +110,12 @@ pub struct RunReport {
     /// Per-stage metrics snapshot (`fidr.metrics.v1` schema; see
     /// `docs/OBSERVABILITY.md`).
     pub metrics: MetricsSnapshot,
+    /// Completed spans in modelled time, oldest first (empty unless
+    /// [`RunConfig::trace`] enabled tracing; bounded by the ring).
+    pub spans: Vec<SpanRecord>,
+    /// Per-op-class critical-path breakdown accumulated at span close
+    /// (sees every op even when the span ring drops).
+    pub critical_path: CriticalPathReport,
 }
 
 impl RunReport {
@@ -273,6 +284,7 @@ pub fn run_workload(variant: SystemVariant, spec: WorkloadSpec, run: RunConfig) 
                 cost: run.cost,
                 faults: run.faults,
                 retry: run.retry,
+                trace: run.trace,
                 ..BaselineConfig::default()
             });
             for req in Workload::new(spec) {
@@ -297,6 +309,8 @@ pub fn run_workload(variant: SystemVariant, spec: WorkloadSpec, run: RunConfig) 
                 hwtree_ceiling: None,
                 predictor: Some(sys.predictor_stats()),
                 metrics,
+                spans: sys.tracer().spans(),
+                critical_path: sys.tracer().critical_path(),
             }
         }
         _ => {
@@ -316,6 +330,7 @@ pub fn run_workload(variant: SystemVariant, spec: WorkloadSpec, run: RunConfig) 
                 cost: run.cost,
                 faults: run.faults,
                 retry: run.retry,
+                trace: run.trace,
                 ..FidrConfig::default()
             });
             for req in Workload::new(spec) {
@@ -345,6 +360,8 @@ pub fn run_workload(variant: SystemVariant, spec: WorkloadSpec, run: RunConfig) 
                 hwtree_ceiling,
                 predictor: None,
                 metrics,
+                spans: sys.tracer().spans(),
+                critical_path: sys.tracer().critical_path(),
             }
         }
     }

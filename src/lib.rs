@@ -59,6 +59,8 @@ pub use fidr_nic as nic;
 pub use fidr_ssd as ssd;
 /// Metadata tables and containers.
 pub use fidr_tables as tables;
+/// Per-request span tracing, Perfetto export, critical-path analysis.
+pub use fidr_trace as trace;
 /// Table 3 workload generation.
 pub use fidr_workload as workload;
 

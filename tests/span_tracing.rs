@@ -1,0 +1,273 @@
+//! Span tracing end to end: nesting through the real pipelines,
+//! byte-identical seeded exports, bounded-ring drop accounting, and spans
+//! on error paths. Tracing runs on modelled time only, so every assertion
+//! here is bit-reproducible.
+
+use bytes::Bytes;
+use fidr::baseline::{BaselineConfig, BaselineSystem};
+use fidr::chunk::Lba;
+use fidr::compress::ContentGenerator;
+use fidr::core::{FidrConfig, FidrSystem};
+use fidr::experiment::{run_workload, RunConfig, SystemVariant};
+use fidr::faults::FaultPlan;
+use fidr::trace::{chrome_trace_json, validate_chrome_trace, AttrValue, SpanRecord, TraceConfig};
+use fidr::workload::WorkloadSpec;
+
+fn chunk(gen: &ContentGenerator, tag: u64) -> Bytes {
+    Bytes::from(gen.chunk(tag, 4096))
+}
+
+fn traced_cfg() -> FidrConfig {
+    FidrConfig {
+        trace: TraceConfig::enabled(),
+        ..FidrConfig::default()
+    }
+}
+
+fn find_root<'a>(spans: &'a [SpanRecord], name: &str) -> &'a SpanRecord {
+    spans
+        .iter()
+        .find(|s| s.name == name && s.parent.is_none())
+        .unwrap_or_else(|| panic!("no root {name} span"))
+}
+
+fn children_of<'a>(spans: &'a [SpanRecord], parent: &SpanRecord) -> Vec<&'a SpanRecord> {
+    spans
+        .iter()
+        .filter(|s| s.parent == Some(parent.id))
+        .collect()
+}
+
+/// A traced write lands as a root `write` span whose pipeline stages are
+/// child spans nested inside the parent's time window.
+#[test]
+fn write_and_read_spans_nest_stage_children() {
+    let gen = ContentGenerator::new(0.5);
+    let mut sys = FidrSystem::new(FidrConfig {
+        hash_batch: 1, // commit on every write so one op shows all stages
+        trace: TraceConfig::enabled(),
+        ..FidrConfig::default()
+    });
+    sys.write(Lba(7), chunk(&gen, 1)).unwrap();
+    sys.flush().unwrap();
+    let _ = sys.read(Lba(7)).unwrap();
+
+    let spans = sys.tracer().spans();
+    let write = find_root(&spans, "write");
+    let kids = children_of(&spans, write);
+    for stage in ["nic", "hash", "cache"] {
+        let child = kids
+            .iter()
+            .find(|s| s.name == stage)
+            .unwrap_or_else(|| panic!("write missing {stage} child"));
+        assert!(child.start_ns >= write.start_ns && child.end_ns <= write.end_ns);
+    }
+    // FIDR batches dedup decisions, so `dedup_hit` rides on the per-chunk
+    // `commit` child rather than the root write span.
+    let commit = kids
+        .iter()
+        .find(|s| s.name == "commit")
+        .expect("write missing commit child");
+    assert!(
+        matches!(commit.attr("dedup_hit"), Some(AttrValue::Bool(false))),
+        "first write of fresh content must be unique"
+    );
+
+    let read = find_root(&spans, "read");
+    let kids = children_of(&spans, read);
+    let ssd = kids.iter().find(|s| s.name == "ssd").expect("ssd child");
+    assert!(matches!(ssd.attr("bytes"), Some(AttrValue::U64(b)) if *b > 0));
+    assert!(
+        kids.iter().any(|s| s.name == "compress"),
+        "read must decompress"
+    );
+    // Modelled clocks are monotone: no span may end before it starts.
+    assert!(spans.iter().all(|s| s.end_ns >= s.start_ns));
+}
+
+/// The same seeded workload exports byte-identical Chrome-trace JSON and
+/// byte-identical metrics JSON on every run.
+#[test]
+fn same_seed_runs_export_byte_identical_json() {
+    let run = || {
+        run_workload(
+            SystemVariant::FidrFull,
+            WorkloadSpec::read_mixed(600),
+            RunConfig {
+                trace: TraceConfig::enabled(),
+                ..RunConfig::default()
+            },
+        )
+    };
+    let a = run();
+    let b = run();
+    let ja = chrome_trace_json(&a.spans);
+    let jb = chrome_trace_json(&b.spans);
+    assert_eq!(ja, jb, "seeded span exports must be byte-identical");
+    let events = validate_chrome_trace(&ja).expect("exported trace must validate");
+    assert_eq!(events, a.spans.len());
+    assert_eq!(
+        a.metrics.to_json(),
+        b.metrics.to_json(),
+        "seeded metrics JSON must be byte-identical"
+    );
+}
+
+/// A small ring drops the oldest spans, counts every drop, and still feeds
+/// the critical-path analyzer with every op (it accumulates at span close,
+/// before the ring).
+#[test]
+fn bounded_ring_drops_are_counted_not_silent() {
+    let gen = ContentGenerator::new(0.5);
+    let mut sys = FidrSystem::new(FidrConfig {
+        trace: TraceConfig::with_capacity(32),
+        ..FidrConfig::default()
+    });
+    let writes = 200u64;
+    for i in 0..writes {
+        sys.write(Lba(i), chunk(&gen, i)).unwrap();
+    }
+    let tracer = sys.tracer();
+    assert_eq!(tracer.spans().len(), 32, "ring keeps exactly its capacity");
+    assert!(tracer.dropped() > 0);
+    assert_eq!(tracer.recorded(), tracer.dropped() + 32);
+
+    let m = sys.metrics();
+    assert_eq!(
+        m.counter("trace.dropped_spans"),
+        Some(sys.tracer().dropped())
+    );
+    assert_eq!(
+        m.counter("trace.spans.count"),
+        Some(sys.tracer().recorded())
+    );
+
+    let report = sys.tracer().critical_path();
+    let write_class = report.class("write").expect("write class");
+    assert_eq!(
+        write_class.ops, writes,
+        "analyzer must see ops the ring dropped"
+    );
+}
+
+/// Failed ops still produce spans — with an `error` attribute naming the
+/// failure kind — rather than vanishing from the trace.
+#[test]
+fn error_paths_emit_spans_with_error_attrs() {
+    let gen = ContentGenerator::new(0.5);
+    let mut sys = FidrSystem::new(traced_cfg());
+    assert!(sys.read(Lba(99)).is_err());
+    let spans = sys.tracer().spans();
+    let read = find_root(&spans, "read");
+    assert!(
+        matches!(read.attr("error"), Some(AttrValue::Str(s)) if *s == "not_mapped"),
+        "unmapped read span must carry error=not_mapped, got {:?}",
+        read.attr("error")
+    );
+
+    // Transient read corruption heals via checksum re-reads; the ssd span
+    // records the extra attempts instead of disappearing.
+    let plan = FaultPlan::parse("seed=11,corrupt=0.6").unwrap();
+    let mut sys = FidrSystem::new(FidrConfig {
+        faults: plan,
+        trace: TraceConfig::enabled(),
+        ..FidrConfig::default()
+    });
+    for i in 0..32u64 {
+        sys.write(Lba(i), chunk(&gen, 1000 + i)).unwrap();
+    }
+    sys.flush().unwrap();
+    for i in 0..32u64 {
+        let _ = sys.read(Lba(i));
+    }
+    let spans = sys.tracer().spans();
+    let retried = spans
+        .iter()
+        .filter(|s| s.name == "ssd" && s.attr("retries").is_some())
+        .count();
+    assert!(
+        retried > 0,
+        "corrupt reads must surface as ssd spans with a retries attr"
+    );
+    // Chrome export stays well-formed even with error attrs present.
+    validate_chrome_trace(&sys.tracer().export_chrome_json()).unwrap();
+}
+
+/// The default (disabled) tracer records nothing and reports zero drops,
+/// so always-on instrumentation costs nothing when unused.
+#[test]
+fn disabled_tracer_is_a_no_op() {
+    let gen = ContentGenerator::new(0.5);
+    let mut sys = FidrSystem::new(FidrConfig::default());
+    for i in 0..16u64 {
+        sys.write(Lba(i), chunk(&gen, i)).unwrap();
+    }
+    let tracer = sys.tracer();
+    assert!(!tracer.is_enabled());
+    assert!(tracer.spans().is_empty());
+    assert_eq!(tracer.recorded(), 0);
+    assert_eq!(tracer.dropped(), 0);
+    let m = sys.metrics();
+    assert_eq!(m.counter("trace.spans.count"), Some(0));
+    assert_eq!(m.counter("trace.dropped_spans"), Some(0));
+}
+
+/// The baseline system traces the same op classes with the same root
+/// attributes, so critical paths are comparable across variants.
+#[test]
+fn baseline_spans_mirror_the_op_classes() {
+    let gen = ContentGenerator::new(0.5);
+    let mut sys = BaselineSystem::new(BaselineConfig {
+        trace: TraceConfig::enabled(),
+        ..BaselineConfig::default()
+    });
+    sys.write(Lba(1), chunk(&gen, 1)).unwrap();
+    sys.write(Lba(2), chunk(&gen, 1)).unwrap(); // duplicate content
+    sys.flush().unwrap();
+    let _ = sys.read(Lba(1)).unwrap();
+
+    let spans = sys.tracer().spans();
+    let dup = spans
+        .iter()
+        .filter(|s| s.name == "write" && s.parent.is_none())
+        .find(|s| matches!(s.attr("dedup_hit"), Some(AttrValue::Bool(true))))
+        .expect("second identical write must be a dedup hit");
+    assert!(children_of(&spans, dup).iter().any(|s| s.name == "hash"));
+    let read = find_root(&spans, "read");
+    assert!(children_of(&spans, read).iter().any(|s| s.name == "ssd"));
+    validate_chrome_trace(&sys.tracer().export_chrome_json()).unwrap();
+}
+
+/// `RunReport::critical_path` breaks both reads and writes into stages
+/// whose shares cover most of the op and whose percentiles are ordered.
+#[test]
+fn critical_path_reports_read_and_write_breakdowns() {
+    let r = run_workload(
+        SystemVariant::FidrFull,
+        WorkloadSpec::read_mixed(800),
+        RunConfig {
+            trace: TraceConfig::enabled(),
+            ..RunConfig::default()
+        },
+    );
+    for class in ["write", "read"] {
+        let c = r
+            .critical_path
+            .class(class)
+            .unwrap_or_else(|| panic!("no {class} class"));
+        assert!(c.ops > 0);
+        assert!(!c.stages.is_empty(), "{class} has no stage breakdown");
+        let total_share: f64 = c.stages.iter().map(|s| s.share).sum();
+        assert!(
+            (0.99..=1.01).contains(&total_share),
+            "{class} stage shares sum to {total_share:.3}, want ~1"
+        );
+        assert!(c.p50_ns <= c.p99_ns && c.p99_ns <= c.max_ns);
+        assert!(
+            !c.longest_chain.is_empty(),
+            "{class} must expose its longest serial chain"
+        );
+        // The rendered report names the class for the CLI to print.
+        assert!(format!("{}", r.critical_path).contains(class));
+    }
+}
