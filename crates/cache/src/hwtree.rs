@@ -106,6 +106,17 @@ pub struct HwTreeStats {
 }
 
 impl HwTreeStats {
+    /// Folds another engine's counters into this one (aggregating the
+    /// per-shard engines of a sharded cache, or carrying a retired
+    /// engine's history forward after degradation).
+    pub fn merge(&mut self, other: HwTreeStats) {
+        self.searches += other.searches;
+        self.updates += other.updates;
+        self.crashes += other.crashes;
+        self.cycles += other.cycles;
+        self.fpga_dram_bytes += other.fpga_dram_bytes;
+    }
+
     /// Crash (replay) rate among updates.
     pub fn crash_rate(&self) -> f64 {
         if self.updates == 0 {

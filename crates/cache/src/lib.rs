@@ -11,7 +11,9 @@
 //! * [`LruList`] / [`FreeList`] — replacement machinery split between host
 //!   and engine (§5.5, §6.3);
 //! * [`TableCache`] — cache lines + dirty tracking over a pluggable
-//!   [`CacheIndex`].
+//!   [`CacheIndex`];
+//! * [`ShardedTableCache`] — N independent hash-prefix-addressed shards,
+//!   each with its own index engine, for the multi-worker pipeline.
 //!
 //! # Examples
 //!
@@ -34,6 +36,7 @@ mod hwtree;
 mod lru;
 mod pipelined;
 mod priority_lru;
+mod sharded;
 mod table_cache;
 
 pub use btree::{BPlusTree, IndexOps};
@@ -41,4 +44,5 @@ pub use hwtree::{HwTree, HwTreeConfig, HwTreeStats};
 pub use lru::{FreeList, LruList};
 pub use pipelined::PipelinedTree;
 pub use priority_lru::{Priority, PriorityLruCache, TenantStats};
+pub use sharded::ShardedTableCache;
 pub use table_cache::{Access, CacheIndex, CacheStats, TableCache};

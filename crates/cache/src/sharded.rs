@@ -1,0 +1,311 @@
+//! Hash-prefix-sharded table cache.
+//!
+//! The Cache HW-Engine services concurrent index lookups (§5.5); the
+//! multi-worker pipeline mirrors that by splitting the table cache into N
+//! independent [`TableCache`] shards, each with its own index engine
+//! instance, LRU and stats. A bucket's shard is chosen from a SplitMix64
+//! mix of its index (a hash prefix), so shards stay balanced and the
+//! mapping is deterministic. Shard lines are exposed through one global
+//! line namespace (`shard * shard_capacity + local_line`) so callers keep
+//! treating line numbers as opaque handles.
+//!
+//! With one shard the behavior is bit-for-bit the unsharded cache: the
+//! line encoding is the identity and every access lands in shard 0.
+
+use crate::hwtree::{HwTree, HwTreeStats};
+use crate::table_cache::{Access, CacheIndex, CacheStats, TableCache};
+use fidr_hash::splitmix64;
+use fidr_metrics::{Histogram, MetricsSnapshot};
+use fidr_ssd::{TableSsd, TableSsdError};
+use fidr_tables::Bucket;
+
+/// N independent [`TableCache`] shards behind one cache interface.
+///
+/// # Examples
+///
+/// ```
+/// use fidr_cache::{BPlusTree, ShardedTableCache};
+/// use fidr_ssd::{QueueLocation, TableSsd};
+///
+/// let mut ssd = TableSsd::new(1024, QueueLocation::HostMemory);
+/// let mut cache = ShardedTableCache::new(4, 64, |_| BPlusTree::new());
+/// let first = cache.access(7, &mut ssd)?;
+/// assert!(!first.hit);
+/// assert!(cache.access(7, &mut ssd)?.hit);
+/// # Ok::<(), fidr_ssd::TableSsdError>(())
+/// ```
+#[derive(Debug)]
+pub struct ShardedTableCache<I> {
+    shards: Vec<TableCache<I>>,
+    shard_capacity: usize,
+}
+
+impl<I: CacheIndex> ShardedTableCache<I> {
+    /// Creates `shards` shards of `capacity / shards` lines each (at
+    /// least one line per shard), building each shard's index with
+    /// `mk_index(shard_number)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `capacity` is zero.
+    pub fn new(shards: usize, capacity: usize, mut mk_index: impl FnMut(usize) -> I) -> Self {
+        assert!(shards > 0, "need at least one cache shard");
+        assert!(capacity > 0, "cache needs at least one line");
+        let shard_capacity = (capacity / shards).max(1);
+        ShardedTableCache {
+            shards: (0..shards)
+                .map(|s| TableCache::new(shard_capacity, mk_index(s)))
+                .collect(),
+            shard_capacity,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Lines per shard.
+    pub fn shard_capacity(&self) -> usize {
+        self.shard_capacity
+    }
+
+    /// Total lines across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * self.shards.len()
+    }
+
+    /// The shard owning `bucket`: a multiply-shift of the bucket index's
+    /// SplitMix64 hash prefix. Deterministic and balanced.
+    pub fn shard_of(&self, bucket: u64) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
+        let prefix = splitmix64(bucket) >> 32;
+        ((prefix * self.shards.len() as u64) >> 32) as usize
+    }
+
+    /// Encodes a shard-local line into the global line namespace.
+    pub fn global_line(&self, shard: usize, local: u32) -> u32 {
+        (shard * self.shard_capacity) as u32 + local
+    }
+
+    fn locate(&self, line: u32) -> (usize, u32) {
+        let shard = line as usize / self.shard_capacity;
+        (shard, line % self.shard_capacity as u32)
+    }
+
+    /// Borrow of one shard (e.g. to read its index stats).
+    pub fn shard(&self, shard: usize) -> &TableCache<I> {
+        &self.shards[shard]
+    }
+
+    /// All shards, for read-only aggregation.
+    pub fn shards(&self) -> &[TableCache<I>] {
+        &self.shards
+    }
+
+    /// All shards mutably — the parallel lookup path hands disjoint
+    /// shards to different workers.
+    pub fn shards_mut(&mut self) -> &mut [TableCache<I>] {
+        &mut self.shards
+    }
+
+    /// Ensures `bucket` is cached in its shard and returns the access
+    /// with a global line number.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-SSD IO failures from the owning shard.
+    pub fn access(&mut self, bucket: u64, ssd: &mut TableSsd) -> Result<Access, TableSsdError> {
+        let shard = self.shard_of(bucket);
+        let access = self.shards[shard].access(bucket, ssd)?;
+        Ok(Access {
+            line: self.global_line(shard, access.line),
+            ..access
+        })
+    }
+
+    /// Read-only view of a cached bucket by global line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line does not currently hold a bucket.
+    pub fn bucket(&self, line: u32) -> &Bucket {
+        let (shard, local) = self.locate(line);
+        self.shards[shard].bucket(local)
+    }
+
+    /// Mutable view of a cached bucket by global line; marks it dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line does not currently hold a bucket.
+    pub fn bucket_mut(&mut self, line: u32) -> &mut Bucket {
+        let (shard, local) = self.locate(line);
+        self.shards[shard].bucket_mut(local)
+    }
+
+    /// Writes every dirty line of every shard back to the table SSD, in
+    /// shard order.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failed bucket write; unflushed lines stay
+    /// dirty for a later retry.
+    pub fn flush_all(&mut self, ssd: &mut TableSsd) -> Result<(), TableSsdError> {
+        for shard in &mut self.shards {
+            shard.flush_all(ssd)?;
+        }
+        Ok(())
+    }
+
+    /// Counters merged across shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            total.merge(shard.stats());
+        }
+        total
+    }
+
+    /// Exports the merged `cache.*` counters and lookup-latency histogram
+    /// and, when more than one shard runs, per-shard hit/miss counters
+    /// under `cache.shard<N>.*` (see `docs/OBSERVABILITY.md`).
+    pub fn export_metrics(&self, out: &mut MetricsSnapshot) {
+        let stats = self.stats();
+        out.set_counter("cache.accesses.count", stats.accesses);
+        out.set_counter("cache.hits.count", stats.hits);
+        out.set_counter("cache.misses.count", stats.misses);
+        out.set_counter("cache.evictions.count", stats.evictions);
+        out.set_counter("cache.dirty_flushes.count", stats.dirty_flushes);
+        out.set_gauge("cache.hit.ratio", stats.hit_rate());
+        let mut lookup_ns = Histogram::new();
+        for shard in &self.shards {
+            lookup_ns.merge(shard.access_histogram());
+        }
+        out.set_wall_clock_histogram("cache.lookup.ns", &lookup_ns);
+        if self.shards.len() > 1 {
+            out.set_counter("cache.shards.count", self.shards.len() as u64);
+            for (i, shard) in self.shards.iter().enumerate() {
+                let s = shard.stats();
+                out.set_counter(&format!("cache.shard{i}.accesses.count"), s.accesses);
+                out.set_counter(&format!("cache.shard{i}.hits.count"), s.hits);
+                out.set_counter(&format!("cache.shard{i}.misses.count"), s.misses);
+            }
+        }
+    }
+}
+
+impl ShardedTableCache<HwTree> {
+    /// HW-tree counters merged across shard engines.
+    pub fn hwtree_stats(&self) -> HwTreeStats {
+        let mut total = HwTreeStats::default();
+        for shard in &self.shards {
+            total.merge(shard.index().stats());
+        }
+        total
+    }
+
+    /// Engine busy time for the run: shard engines run concurrently, so
+    /// the elapsed time is the slowest shard's, not the sum.
+    pub fn hwtree_elapsed_seconds(&self, fpga_dram_bw: f64) -> f64 {
+        self.shards
+            .iter()
+            .map(|s| s.index().elapsed_seconds(fpga_dram_bw))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::btree::BPlusTree;
+    use fidr_chunk::Pbn;
+    use fidr_hash::Fingerprint;
+    use fidr_ssd::QueueLocation;
+
+    fn ssd(buckets: u64) -> TableSsd {
+        TableSsd::new(buckets, QueueLocation::HostMemory)
+    }
+
+    #[test]
+    fn single_shard_matches_unsharded_cache() {
+        let mut s1 = ssd(256);
+        let mut s2 = ssd(256);
+        let mut flat = TableCache::new(8, BPlusTree::new());
+        let mut sharded = ShardedTableCache::new(1, 8, |_| BPlusTree::new());
+        for bucket in [3u64, 9, 3, 40, 77, 9, 3, 101, 40, 200, 3] {
+            let a = flat.access(bucket, &mut s1).unwrap();
+            let b = sharded.access(bucket, &mut s2).unwrap();
+            assert_eq!(a, b, "bucket {bucket}");
+        }
+        assert_eq!(flat.stats(), sharded.stats());
+    }
+
+    #[test]
+    fn shards_partition_buckets_deterministically() {
+        let cache = ShardedTableCache::new(4, 64, |_| BPlusTree::new());
+        let mut seen = [0usize; 4];
+        for bucket in 0..1024u64 {
+            let shard = cache.shard_of(bucket);
+            assert_eq!(shard, cache.shard_of(bucket), "stable mapping");
+            seen[shard] += 1;
+        }
+        for (i, &count) in seen.iter().enumerate() {
+            assert!(count > 128, "shard {i} underloaded: {count}/1024");
+        }
+    }
+
+    #[test]
+    fn global_lines_round_trip_to_the_owning_shard() {
+        let mut s = ssd(1024);
+        let mut cache = ShardedTableCache::new(4, 16, |_| BPlusTree::new());
+        let fp = Fingerprint::of(b"entry");
+        let mut lines = Vec::new();
+        for bucket in 0..32u64 {
+            let a = cache.access(bucket, &mut s).unwrap();
+            cache.bucket_mut(a.line).insert(fp, Pbn(bucket)).unwrap();
+            lines.push((bucket, a.line));
+        }
+        for (bucket, line) in lines {
+            // Lines still resident must resolve to the right content.
+            if cache.access(bucket, &mut s).unwrap().hit {
+                assert_eq!(cache.bucket(line).lookup(&fp), Some(Pbn(bucket)));
+            }
+        }
+    }
+
+    #[test]
+    fn flush_all_covers_every_shard() {
+        let mut s = ssd(1024);
+        let mut cache = ShardedTableCache::new(4, 16, |_| BPlusTree::new());
+        let fp = Fingerprint::of(b"dirty");
+        for bucket in 0..16u64 {
+            let a = cache.access(bucket, &mut s).unwrap();
+            cache.bucket_mut(a.line).insert(fp, Pbn(bucket)).unwrap();
+        }
+        cache.flush_all(&mut s).unwrap();
+        for bucket in 0..16u64 {
+            assert_eq!(s.store().bucket(bucket).lookup(&fp), Some(Pbn(bucket)));
+        }
+    }
+
+    #[test]
+    fn hwtree_stats_merge_across_shards() {
+        let mut s = TableSsd::new(256, QueueLocation::CacheEngine);
+        let mut cache = ShardedTableCache::new(2, 8, |_| HwTree::new(Default::default()));
+        for bucket in 0..64u64 {
+            cache.access(bucket, &mut s).unwrap();
+        }
+        let merged = cache.hwtree_stats();
+        let by_hand: u64 = cache
+            .shards()
+            .iter()
+            .map(|c| c.index().stats().searches)
+            .sum();
+        assert_eq!(merged.searches, by_hand);
+        assert!(merged.searches >= 64);
+        assert!(cache.hwtree_elapsed_seconds(100e9) > 0.0);
+    }
+}

@@ -184,20 +184,50 @@ impl<I: CacheIndex> TableCache<I> {
     /// whose dirty write-back failed is re-indexed and keeps its content
     /// (nothing was persisted), and a failed fetch installs nothing.
     pub fn access(&mut self, bucket: u64, ssd: &mut TableSsd) -> Result<Access, TableSsdError> {
+        match self.access_cached(bucket) {
+            Some(access) => Ok(access),
+            None => self.access_after_miss(bucket, ssd),
+        }
+    }
+
+    /// Hit-only fast path: the index walk plus, on a hit, the full hit
+    /// bookkeeping of [`access`](TableCache::access) (counters, LRU touch,
+    /// latency sample). On a miss nothing is recorded beyond the index
+    /// search itself and the caller must complete the access with
+    /// [`access_after_miss`](TableCache::access_after_miss). The parallel
+    /// lookup workers use this split to avoid serializing on the shared
+    /// table SSD when the bucket is already resident.
+    pub fn access_cached(&mut self, bucket: u64) -> Option<Access> {
+        let started = Instant::now();
+        let line = self.index.index_search(bucket)?;
+        self.stats.accesses += 1;
+        self.stats.hits += 1;
+        self.lru.touch(line);
+        self.access_ns.record_duration(started.elapsed());
+        Some(Access {
+            line,
+            hit: true,
+            evicted: 0,
+            flushed: 0,
+        })
+    }
+
+    /// Completes a miss after [`access_cached`](TableCache::access_cached)
+    /// returned `None`: evicts as needed, fetches the bucket and installs
+    /// it. Must only be called directly after a `None` from
+    /// `access_cached` for the same bucket; counters and index traffic
+    /// then add up exactly as one plain `access`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`access`](TableCache::access).
+    pub fn access_after_miss(
+        &mut self,
+        bucket: u64,
+        ssd: &mut TableSsd,
+    ) -> Result<Access, TableSsdError> {
         let started = Instant::now();
         self.stats.accesses += 1;
-        if let Some(line) = self.index.index_search(bucket) {
-            self.stats.hits += 1;
-            self.lru.touch(line);
-            self.access_ns.record_duration(started.elapsed());
-            return Ok(Access {
-                line,
-                hit: true,
-                evicted: 0,
-                flushed: 0,
-            });
-        }
-
         self.stats.misses += 1;
         let mut evicted = 0u32;
         let mut flushed = 0u32;
@@ -256,6 +286,11 @@ impl<I: CacheIndex> TableCache<I> {
             evicted,
             flushed,
         })
+    }
+
+    /// The wall-clock per-access latency histogram (for merged exports).
+    pub fn access_histogram(&self) -> &Histogram {
+        &self.access_ns
     }
 
     /// Exports the cache's counters and lookup-latency histogram under the

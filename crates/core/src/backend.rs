@@ -9,15 +9,26 @@
 //! the FPGA pipeline instead — zero CPU for indexing and table-SSD IO,
 //! per §5.5/§6.1).
 //!
+//! Either backend can be split into hash-prefix shards
+//! ([`fidr_cache::ShardedTableCache`]): the multi-worker pipeline gives
+//! each worker exclusive ownership of a subset of shards, so concurrent
+//! lookups never contend on an index, and the resource charges are
+//! replayed on the caller's thread in batch order so the ledger ends up
+//! byte-identical to a serial run.
+//!
 //! Whichever backend runs, [`CacheBackend::export_metrics`] reports it
 //! through the same `cache.*`/`hwtree.*` metric names (plus a
 //! `cache.hw_engine.enabled` flag), so snapshots from different variants
 //! are directly comparable — see `docs/OBSERVABILITY.md`.
 
-use fidr_cache::{Access, BPlusTree, CacheStats, HwTree, HwTreeConfig, HwTreeStats, TableCache};
+use fidr_cache::{
+    Access, BPlusTree, CacheIndex, CacheStats, HwTree, HwTreeConfig, HwTreeStats,
+    ShardedTableCache, TableCache,
+};
 use fidr_hwsim::{ops, CostParams, CpuTask, Ledger, MemPath, PcieLink};
 use fidr_ssd::{TableSsd, TableSsdError};
 use fidr_tables::{Bucket, BUCKET_BYTES};
+use std::sync::Mutex;
 
 /// How the Hash-PBN cache index and replacement machinery are driven.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,27 +44,39 @@ pub enum CacheMode {
     },
 }
 
-/// The table cache behind one of the two backends.
+/// The (possibly sharded) table cache behind one of the two backends.
 #[derive(Debug)]
 pub enum CacheBackend {
     /// CPU-indexed cache.
-    Software(TableCache<BPlusTree>),
-    /// HW-Engine-indexed cache.
-    Hw(TableCache<HwTree>),
+    Software(ShardedTableCache<BPlusTree>),
+    /// HW-Engine-indexed cache (one engine instance per shard).
+    Hw(ShardedTableCache<HwTree>),
 }
 
 impl CacheBackend {
-    /// Builds a backend with `capacity` lines in the given mode.
+    /// Builds a backend with `capacity` total lines split over `shards`
+    /// shards in the given mode.
     ///
     /// `hwtree_levels` sets the modelled pipeline depth of the HW tree:
     /// experiments pass the PB-scale depth (14 levels for a ~100-GB
     /// cache, §6.3) even when the functional line count is scaled down,
     /// so that the engine's throughput ceiling reflects the target
     /// deployment. Pass `None` to derive the depth from `capacity`.
-    pub fn new(mode: CacheMode, capacity: usize, hwtree_levels: Option<usize>) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `capacity` is zero.
+    pub fn new(
+        mode: CacheMode,
+        capacity: usize,
+        hwtree_levels: Option<usize>,
+        shards: usize,
+    ) -> Self {
         match mode {
             CacheMode::Software => {
-                CacheBackend::Software(TableCache::new(capacity, BPlusTree::new()))
+                CacheBackend::Software(ShardedTableCache::new(shards, capacity, |_| {
+                    BPlusTree::new()
+                }))
             }
             CacheMode::HwEngine { update_slots } => {
                 let base = match hwtree_levels {
@@ -64,7 +87,9 @@ impl CacheBackend {
                     update_slots,
                     ..base
                 };
-                CacheBackend::Hw(TableCache::new(capacity, HwTree::new(cfg)))
+                CacheBackend::Hw(ShardedTableCache::new(shards, capacity, |_| {
+                    HwTree::new(cfg)
+                }))
             }
         }
     }
@@ -74,12 +99,12 @@ impl CacheBackend {
         match self {
             CacheBackend::Software(_) => CacheMode::Software,
             CacheBackend::Hw(c) => CacheMode::HwEngine {
-                update_slots: c.index().config().update_slots,
+                update_slots: c.shard(0).index().config().update_slots,
             },
         }
     }
 
-    /// Cache hit/miss counters.
+    /// Cache hit/miss counters, merged across shards.
     pub fn stats(&self) -> CacheStats {
         match self {
             CacheBackend::Software(c) => c.stats(),
@@ -87,21 +112,94 @@ impl CacheBackend {
         }
     }
 
-    /// HW-tree counters when the engine is in use.
+    /// HW-tree counters (merged across shard engines) when the engine is
+    /// in use.
     pub fn hwtree_stats(&self) -> Option<HwTreeStats> {
         match self {
             CacheBackend::Software(_) => None,
-            CacheBackend::Hw(c) => Some(c.index().stats()),
+            CacheBackend::Hw(c) => Some(c.hwtree_stats()),
         }
     }
 
     /// Wall-clock seconds the engine spent on this run's requests at the
-    /// given FPGA-board DRAM bandwidth. `None` in software mode.
+    /// given FPGA-board DRAM bandwidth (slowest shard engine — shards run
+    /// concurrently). `None` in software mode.
     pub fn hwtree_elapsed_seconds(&self, fpga_dram_bw: f64) -> Option<f64> {
         match self {
             CacheBackend::Software(_) => None,
-            CacheBackend::Hw(c) => Some(c.index().elapsed_seconds(fpga_dram_bw)),
+            CacheBackend::Hw(c) => Some(c.hwtree_elapsed_seconds(fpga_dram_bw)),
         }
+    }
+
+    /// Replays the resource charges of one completed lookup access.
+    ///
+    /// Split out from [`access`](CacheBackend::access) so the parallel
+    /// batch path can run the raw cache accesses on worker threads and
+    /// charge the ledger afterwards on the caller's thread, in batch
+    /// order — the ledger then evolves exactly as in a serial run.
+    fn charge_lookup(hw: bool, access: &Access, ledger: &mut Ledger, cost: &CostParams) {
+        if hw {
+            // Bucket index batch to the engine and the line location
+            // back: 8 bytes each way (§5.6's 200 MB/s at 100 GB/s).
+            ledger.charge_pcie(PcieLink::HostCacheEngine, 16);
+            if !access.hit {
+                // The engine's in-FPGA NVMe queues move the bucket
+                // table SSD → host-memory cache content with no CPU.
+                ledger.charge_pcie(PcieLink::CacheEngineTableSsd, BUCKET_BYTES as u64);
+                ops::dma_to_host(
+                    ledger,
+                    PcieLink::HostTableSsd,
+                    MemPath::TableCache,
+                    BUCKET_BYTES as u64,
+                );
+                ledger.table_ssd_read_bytes += BUCKET_BYTES as u64;
+                for _ in 0..access.flushed {
+                    ops::dma_from_host(
+                        ledger,
+                        PcieLink::HostTableSsd,
+                        MemPath::TableCache,
+                        BUCKET_BYTES as u64,
+                    );
+                    ledger.charge_pcie(PcieLink::CacheEngineTableSsd, BUCKET_BYTES as u64);
+                    ledger.table_ssd_write_bytes += BUCKET_BYTES as u64;
+                }
+            }
+        } else {
+            ledger.charge_cpu(CpuTask::TreeIndexing, cost.tree_search_cycles);
+            if !access.hit {
+                // CPU-driven NVMe stack fetches the bucket into host
+                // memory and updates the tree.
+                ops::dma_to_host(
+                    ledger,
+                    PcieLink::HostTableSsd,
+                    MemPath::TableCache,
+                    BUCKET_BYTES as u64,
+                );
+                ledger.charge_cpu(CpuTask::TableSsdStack, cost.table_ssd_io_cycles);
+                ledger.table_ssd_read_bytes += BUCKET_BYTES as u64;
+                ledger.charge_cpu(CpuTask::TreeIndexing, cost.tree_update_cycles);
+                for _ in 0..access.evicted {
+                    ledger.charge_cpu(CpuTask::TreeIndexing, cost.tree_update_cycles);
+                    ledger.charge_cpu(CpuTask::CacheReplacement, cost.lru_cycles);
+                }
+                for _ in 0..access.flushed {
+                    ops::dma_from_host(
+                        ledger,
+                        PcieLink::HostTableSsd,
+                        MemPath::TableCache,
+                        BUCKET_BYTES as u64,
+                    );
+                    ledger.charge_cpu(CpuTask::TableSsdStack, cost.table_ssd_io_cycles);
+                    ledger.table_ssd_write_bytes += BUCKET_BYTES as u64;
+                }
+            }
+        }
+
+        // Host-side content scan + LRU in both modes (Observation #4's
+        // "best place to run: host").
+        ops::cpu_touch(ledger, MemPath::TableCache, BUCKET_BYTES as u64);
+        ledger.charge_cpu(CpuTask::TableContentScan, cost.bucket_scan_cycles);
+        ledger.charge_cpu(CpuTask::CacheReplacement, cost.lru_cycles);
     }
 
     /// Accesses `bucket`, charging the mode-appropriate resources.
@@ -121,75 +219,11 @@ impl CacheBackend {
         ledger: &mut Ledger,
         cost: &CostParams,
     ) -> Result<Access, TableSsdError> {
-        let access = match self {
-            CacheBackend::Software(c) => c.access(bucket, ssd)?,
-            CacheBackend::Hw(c) => c.access(bucket, ssd)?,
+        let (hw, access) = match self {
+            CacheBackend::Software(c) => (false, c.access(bucket, ssd)?),
+            CacheBackend::Hw(c) => (true, c.access(bucket, ssd)?),
         };
-        match self {
-            CacheBackend::Software(_) => {
-                ledger.charge_cpu(CpuTask::TreeIndexing, cost.tree_search_cycles);
-                if !access.hit {
-                    // CPU-driven NVMe stack fetches the bucket into host
-                    // memory and updates the tree.
-                    ops::dma_to_host(
-                        ledger,
-                        PcieLink::HostTableSsd,
-                        MemPath::TableCache,
-                        BUCKET_BYTES as u64,
-                    );
-                    ledger.charge_cpu(CpuTask::TableSsdStack, cost.table_ssd_io_cycles);
-                    ledger.table_ssd_read_bytes += BUCKET_BYTES as u64;
-                    ledger.charge_cpu(CpuTask::TreeIndexing, cost.tree_update_cycles);
-                    for _ in 0..access.evicted {
-                        ledger.charge_cpu(CpuTask::TreeIndexing, cost.tree_update_cycles);
-                        ledger.charge_cpu(CpuTask::CacheReplacement, cost.lru_cycles);
-                    }
-                    for _ in 0..access.flushed {
-                        ops::dma_from_host(
-                            ledger,
-                            PcieLink::HostTableSsd,
-                            MemPath::TableCache,
-                            BUCKET_BYTES as u64,
-                        );
-                        ledger.charge_cpu(CpuTask::TableSsdStack, cost.table_ssd_io_cycles);
-                        ledger.table_ssd_write_bytes += BUCKET_BYTES as u64;
-                    }
-                }
-            }
-            CacheBackend::Hw(_) => {
-                // Bucket index batch to the engine and the line location
-                // back: 8 bytes each way (§5.6's 200 MB/s at 100 GB/s).
-                ledger.charge_pcie(PcieLink::HostCacheEngine, 16);
-                if !access.hit {
-                    // The engine's in-FPGA NVMe queues move the bucket
-                    // table SSD → host-memory cache content with no CPU.
-                    ledger.charge_pcie(PcieLink::CacheEngineTableSsd, BUCKET_BYTES as u64);
-                    ops::dma_to_host(
-                        ledger,
-                        PcieLink::HostTableSsd,
-                        MemPath::TableCache,
-                        BUCKET_BYTES as u64,
-                    );
-                    ledger.table_ssd_read_bytes += BUCKET_BYTES as u64;
-                    for _ in 0..access.flushed {
-                        ops::dma_from_host(
-                            ledger,
-                            PcieLink::HostTableSsd,
-                            MemPath::TableCache,
-                            BUCKET_BYTES as u64,
-                        );
-                        ledger.charge_pcie(PcieLink::CacheEngineTableSsd, BUCKET_BYTES as u64);
-                        ledger.table_ssd_write_bytes += BUCKET_BYTES as u64;
-                    }
-                }
-            }
-        }
-
-        // Host-side content scan + LRU in both modes (Observation #4's
-        // "best place to run: host").
-        ops::cpu_touch(ledger, MemPath::TableCache, BUCKET_BYTES as u64);
-        ledger.charge_cpu(CpuTask::TableContentScan, cost.bucket_scan_cycles);
-        ledger.charge_cpu(CpuTask::CacheReplacement, cost.lru_cycles);
+        Self::charge_lookup(hw, &access, ledger, cost);
         Ok(access)
     }
 
@@ -222,6 +256,51 @@ impl CacheBackend {
             .collect()
     }
 
+    /// Parallel [`lookup_batch`](CacheBackend::lookup_batch): raw cache
+    /// accesses fan out over `workers` scoped threads — each worker owns
+    /// the shards `s` with `s % workers == worker` and serves that
+    /// shard's requests in batch order, so every shard's index, LRU and
+    /// stats evolve exactly as in a serial run. The shared table SSD sits
+    /// behind a mutex and is only locked on shard misses. Results are
+    /// merged back into batch order and the ledger charges are replayed
+    /// serially here, making the returned lookups *and* every charge
+    /// byte-identical to the serial path for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the batch-order-first table-SSD failure. Intended for
+    /// fault-free (inert-plan) runs — the serial path must be used when
+    /// faults are armed, since injected-fault decisions depend on global
+    /// device-call order.
+    pub fn lookup_batch_parallel(
+        &mut self,
+        requests: &[(u64, fidr_hash::Fingerprint)],
+        ssd: &mut TableSsd,
+        ledger: &mut Ledger,
+        cost: &CostParams,
+        workers: usize,
+    ) -> Result<Vec<(Option<fidr_chunk::Pbn>, Access)>, TableSsdError> {
+        let (hw, slots) = match self {
+            CacheBackend::Software(c) => (false, parallel_shard_lookups(c, requests, ssd, workers)),
+            CacheBackend::Hw(c) => (true, parallel_shard_lookups(c, requests, ssd, workers)),
+        };
+        let mut out = Vec::with_capacity(requests.len());
+        for slot in slots {
+            match slot {
+                Some(Ok((pbn, access))) => {
+                    Self::charge_lookup(hw, &access, ledger, cost);
+                    out.push((pbn, access));
+                }
+                Some(Err(e)) => return Err(e),
+                // A shard stops at its first error, which sits at an
+                // earlier batch index than any of its skipped requests —
+                // so a skipped slot is never reached first.
+                None => unreachable!("skipped lookup precedes its shard's error"),
+            }
+        }
+        Ok(out)
+    }
+
     /// Like [`access`](CacheBackend::access) but for step 10's entry
     /// *update*: the bucket is (usually) already resident from the dedup
     /// lookup, so only the 38-byte entry write touches host memory — no
@@ -237,33 +316,30 @@ impl CacheBackend {
         ledger: &mut Ledger,
         cost: &CostParams,
     ) -> Result<Access, TableSsdError> {
-        let access = match self {
-            CacheBackend::Software(c) => c.access(bucket, ssd)?,
-            CacheBackend::Hw(c) => c.access(bucket, ssd)?,
+        let (hw, access) = match self {
+            CacheBackend::Software(c) => (false, c.access(bucket, ssd)?),
+            CacheBackend::Hw(c) => (true, c.access(bucket, ssd)?),
         };
         if !access.hit {
             // Rare: the line was evicted between lookup and update.
-            match self {
-                CacheBackend::Software(_) => {
-                    ops::dma_to_host(
-                        ledger,
-                        PcieLink::HostTableSsd,
-                        MemPath::TableCache,
-                        BUCKET_BYTES as u64,
-                    );
-                    ledger.charge_cpu(CpuTask::TableSsdStack, cost.table_ssd_io_cycles);
-                    ledger.table_ssd_read_bytes += BUCKET_BYTES as u64;
-                }
-                CacheBackend::Hw(_) => {
-                    ledger.charge_pcie(PcieLink::CacheEngineTableSsd, BUCKET_BYTES as u64);
-                    ops::dma_to_host(
-                        ledger,
-                        PcieLink::HostTableSsd,
-                        MemPath::TableCache,
-                        BUCKET_BYTES as u64,
-                    );
-                    ledger.table_ssd_read_bytes += BUCKET_BYTES as u64;
-                }
+            if hw {
+                ledger.charge_pcie(PcieLink::CacheEngineTableSsd, BUCKET_BYTES as u64);
+                ops::dma_to_host(
+                    ledger,
+                    PcieLink::HostTableSsd,
+                    MemPath::TableCache,
+                    BUCKET_BYTES as u64,
+                );
+                ledger.table_ssd_read_bytes += BUCKET_BYTES as u64;
+            } else {
+                ops::dma_to_host(
+                    ledger,
+                    PcieLink::HostTableSsd,
+                    MemPath::TableCache,
+                    BUCKET_BYTES as u64,
+                );
+                ledger.charge_cpu(CpuTask::TableSsdStack, cost.table_ssd_io_cycles);
+                ledger.table_ssd_read_bytes += BUCKET_BYTES as u64;
             }
         }
         // The 38-byte entry write plus LRU upkeep.
@@ -326,9 +402,102 @@ impl CacheBackend {
     }
 }
 
+/// One slot per batch request: `None` if the request was skipped because
+/// an earlier request on the same shard failed.
+type LookupSlots = Vec<Option<Result<(Option<fidr_chunk::Pbn>, Access), TableSsdError>>>;
+
+/// A single lookup result tagged with its index in the request batch,
+/// as produced by one shard-owner worker.
+type ShardLookup = (
+    usize,
+    Result<(Option<fidr_chunk::Pbn>, Access), TableSsdError>,
+);
+
+/// Runs the raw (ledger-free) cache accesses of a lookup batch across
+/// `workers` scoped threads, each owning a disjoint set of shards, and
+/// scatters the results back into batch order. Per-shard access order is
+/// the batch order restricted to that shard, so shard state evolves
+/// identically to a serial pass. The table SSD is shared behind a mutex
+/// and only locked on misses (its counters are order-independent sums and
+/// concurrent fetches/flushes touch disjoint buckets, one shard each).
+fn parallel_shard_lookups<I: CacheIndex + Send>(
+    cache: &mut ShardedTableCache<I>,
+    requests: &[(u64, fidr_hash::Fingerprint)],
+    ssd: &mut TableSsd,
+    workers: usize,
+) -> LookupSlots {
+    let shard_capacity = cache.shard_capacity() as u32;
+    let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); cache.shard_count()];
+    for (i, &(bucket, _)) in requests.iter().enumerate() {
+        by_shard[cache.shard_of(bucket)].push(i);
+    }
+    let workers = workers.max(1).min(cache.shard_count());
+    let mut groups: Vec<Vec<(usize, &mut TableCache<I>)>> =
+        (0..workers).map(|_| Vec::new()).collect();
+    for (no, shard) in cache.shards_mut().iter_mut().enumerate() {
+        groups[no % workers].push((no, shard));
+    }
+    let shared_ssd = Mutex::new(ssd);
+
+    let mut slots: LookupSlots = Vec::new();
+    slots.resize_with(requests.len(), || None);
+    let gathered: Vec<Vec<ShardLookup>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|group| {
+                let shared_ssd = &shared_ssd;
+                let by_shard = &by_shard;
+                scope.spawn(move || {
+                    let mut results = Vec::new();
+                    for (shard_no, shard) in group {
+                        for &req_idx in &by_shard[shard_no] {
+                            let (bucket, fp) = requests[req_idx];
+                            let accessed = match shard.access_cached(bucket) {
+                                Some(a) => Ok(a),
+                                None => {
+                                    let mut guard = shared_ssd
+                                        .lock()
+                                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                                    shard.access_after_miss(bucket, &mut guard)
+                                }
+                            };
+                            match accessed {
+                                Ok(a) => {
+                                    let pbn = shard.bucket(a.line).lookup(&fp);
+                                    let global = Access {
+                                        line: shard_no as u32 * shard_capacity + a.line,
+                                        ..a
+                                    };
+                                    results.push((req_idx, Ok((pbn, global))));
+                                }
+                                Err(e) => {
+                                    // This shard's remaining requests
+                                    // are skipped; other shards go on.
+                                    results.push((req_idx, Err(e)));
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    results
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("lookup worker panicked"))
+            .collect()
+    });
+    for (req_idx, result) in gathered.into_iter().flatten() {
+        slots[req_idx] = Some(result);
+    }
+    slots
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fidr_hash::Fingerprint;
     use fidr_ssd::QueueLocation;
 
     #[test]
@@ -336,7 +505,7 @@ mod tests {
         let mut ssd = TableSsd::new(256, QueueLocation::HostMemory);
         let mut ledger = Ledger::new();
         let cost = CostParams::default();
-        let mut b = CacheBackend::new(CacheMode::Software, 8, None);
+        let mut b = CacheBackend::new(CacheMode::Software, 8, None, 1);
         b.access(1, &mut ssd, &mut ledger, &cost).unwrap();
         assert!(ledger.cpu_cycles(CpuTask::TreeIndexing) > 0);
         assert!(ledger.cpu_cycles(CpuTask::TableSsdStack) > 0);
@@ -347,7 +516,7 @@ mod tests {
         let mut ssd = TableSsd::new(256, QueueLocation::CacheEngine);
         let mut ledger = Ledger::new();
         let cost = CostParams::default();
-        let mut b = CacheBackend::new(CacheMode::HwEngine { update_slots: 4 }, 8, None);
+        let mut b = CacheBackend::new(CacheMode::HwEngine { update_slots: 4 }, 8, None, 1);
         b.access(1, &mut ssd, &mut ledger, &cost).unwrap();
         assert_eq!(ledger.cpu_cycles(CpuTask::TreeIndexing), 0);
         assert_eq!(ledger.cpu_cycles(CpuTask::TableSsdStack), 0);
@@ -363,13 +532,64 @@ mod tests {
         let mut ssd_b = TableSsd::new(64, QueueLocation::CacheEngine);
         let mut ledger = Ledger::new();
         let cost = CostParams::default();
-        let mut sw = CacheBackend::new(CacheMode::Software, 4, None);
-        let mut hw = CacheBackend::new(CacheMode::HwEngine { update_slots: 2 }, 4, None);
+        let mut sw = CacheBackend::new(CacheMode::Software, 4, None, 1);
+        let mut hw = CacheBackend::new(CacheMode::HwEngine { update_slots: 2 }, 4, None, 1);
         for bucket in [1u64, 5, 1, 9, 33, 1, 5, 60, 9] {
             let a = sw.access(bucket, &mut ssd_a, &mut ledger, &cost).unwrap();
             let b = hw.access(bucket, &mut ssd_b, &mut ledger, &cost).unwrap();
             assert_eq!(a.hit, b.hit, "bucket {bucket}");
         }
         assert_eq!(sw.stats().hits, hw.stats().hits);
+    }
+
+    /// The parallel batch lookup must return the same results, cache
+    /// counters, engine counters and ledger totals as the serial path.
+    #[test]
+    fn parallel_lookup_matches_serial() {
+        let requests: Vec<(u64, Fingerprint)> = (0..256u64)
+            .map(|i| {
+                let fp = Fingerprint::of(&i.to_le_bytes());
+                (fp.bucket_index(1 << 10), fp)
+            })
+            .collect();
+        for mode in [CacheMode::Software, CacheMode::HwEngine { update_slots: 4 }] {
+            let queue = match mode {
+                CacheMode::Software => QueueLocation::HostMemory,
+                CacheMode::HwEngine { .. } => QueueLocation::CacheEngine,
+            };
+            let cost = CostParams::default();
+
+            let mut serial = CacheBackend::new(mode, 32, None, 4);
+            let mut serial_ssd = TableSsd::new(1 << 10, queue);
+            let mut serial_ledger = Ledger::new();
+            let serial_out = serial
+                .lookup_batch(&requests, &mut serial_ssd, &mut serial_ledger, &cost)
+                .unwrap();
+
+            let mut par = CacheBackend::new(mode, 32, None, 4);
+            let mut par_ssd = TableSsd::new(1 << 10, queue);
+            let mut par_ledger = Ledger::new();
+            let par_out = par
+                .lookup_batch_parallel(&requests, &mut par_ssd, &mut par_ledger, &cost, 4)
+                .unwrap();
+
+            assert_eq!(serial_out, par_out, "{mode:?} results");
+            assert_eq!(serial.stats(), par.stats(), "{mode:?} cache stats");
+            assert_eq!(serial.hwtree_stats(), par.hwtree_stats(), "{mode:?} engine");
+            assert_eq!(
+                serial_ledger.cpu_total(),
+                par_ledger.cpu_total(),
+                "{mode:?} cpu"
+            );
+            assert_eq!(
+                serial_ledger.mem_total(),
+                par_ledger.mem_total(),
+                "{mode:?} mem"
+            );
+            assert_eq!(
+                serial_ledger.table_ssd_read_bytes, par_ledger.table_ssd_read_bytes,
+                "{mode:?} table reads"
+            );
+        }
     }
 }

@@ -17,7 +17,7 @@
 use crate::backend::{CacheBackend, CacheMode};
 use crate::hotcache::{HotCacheStats, HotReadCache};
 use bytes::Bytes;
-use fidr_cache::{CacheStats, HwTree, HwTreeStats, TableCache};
+use fidr_cache::{CacheStats, HwTree, HwTreeStats, ShardedTableCache};
 use fidr_chunk::{Lba, Pba, Pbn};
 use fidr_compress::{CompressedChunk, Encoding};
 use fidr_faults::{FaultInjector, FaultPlan, RetryPolicy};
@@ -72,6 +72,13 @@ pub struct FidrConfig {
     pub retry: RetryPolicy,
     /// Span tracing (off by default; see `docs/OBSERVABILITY.md`).
     pub trace: TraceConfig,
+    /// Host worker threads for the per-socket batch pipeline (hashing,
+    /// dedup lookup, compression). Results merge in batch order, so the
+    /// modelled metrics are byte-identical for any worker count.
+    pub workers: usize,
+    /// Independent hash-prefix shards of the table cache. Each shard has
+    /// its own index engine; 1 reproduces the unsharded cache exactly.
+    pub cache_shards: usize,
 }
 
 impl Default for FidrConfig {
@@ -92,6 +99,8 @@ impl Default for FidrConfig {
             faults: FaultPlan::default(),
             retry: RetryPolicy::default(),
             trace: TraceConfig::default(),
+            workers: 1,
+            cache_shards: 1,
         }
     }
 }
@@ -201,7 +210,7 @@ pub struct FidrSystem {
     carry_cache_stats: CacheStats,
     /// The HW-Engine cache retired by graceful degradation — kept so its
     /// engine counters stay reportable; it no longer serves accesses.
-    retired_hw: Option<TableCache<HwTree>>,
+    retired_hw: Option<ShardedTableCache<HwTree>>,
     /// Client-write failures by [`FidrError::kind`].
     write_errors: HashMap<&'static str, u64>,
     /// Client-read failures by [`FidrError::kind`].
@@ -252,7 +261,12 @@ impl FidrSystem {
         data_ssd.set_fault_injector(faults.clone(), cfg.retry);
         FidrSystem {
             nic,
-            cache: CacheBackend::new(cfg.cache_mode, cfg.cache_lines, cfg.hwtree_levels),
+            cache: CacheBackend::new(
+                cfg.cache_mode,
+                cfg.cache_lines,
+                cfg.hwtree_levels,
+                cfg.cache_shards.max(1),
+            ),
             table_ssd,
             data_ssd,
             lba_map: LbaPbaTable::new(),
@@ -372,7 +386,7 @@ impl FidrSystem {
     pub fn hwtree_stats(&self) -> Option<HwTreeStats> {
         self.cache
             .hwtree_stats()
-            .or_else(|| self.retired_hw.as_ref().map(|c| c.index().stats()))
+            .or_else(|| self.retired_hw.as_ref().map(|c| c.hwtree_stats()))
     }
 
     /// True once an injected Cache HW-Engine failure forced the fallback
@@ -391,7 +405,7 @@ impl FidrSystem {
             .or_else(|| {
                 self.retired_hw
                     .as_ref()
-                    .map(|c| c.index().elapsed_seconds(fpga_dram_bw))
+                    .map(|c| c.hwtree_elapsed_seconds(fpga_dram_bw))
             })?;
         if elapsed <= 0.0 {
             return None;
@@ -431,6 +445,26 @@ impl FidrSystem {
             *self.write_errors.entry(e.kind()).or_insert(0) += 1;
         }
         out
+    }
+
+    /// Accepts a batch of 4-KB client writes. Functionally identical to
+    /// calling [`write`](FidrSystem::write) per chunk — the NIC still
+    /// drains a pipeline batch every `hash_batch` chunks — but this is
+    /// the natural entry point for the multi-worker per-socket pipeline
+    /// ([`FidrConfig::workers`]): each drained batch fans hashing, dedup
+    /// lookup and compression out across the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing write and returns its error.
+    pub fn write_batch(
+        &mut self,
+        writes: impl IntoIterator<Item = (Lba, Bytes)>,
+    ) -> Result<(), FidrError> {
+        for (lba, data) in writes {
+            self.write(lba, data)?;
+        }
+        Ok(())
     }
 
     fn write_inner(&mut self, lba: Lba, data: Bytes) -> Result<(), FidrError> {
@@ -708,7 +742,12 @@ impl FidrSystem {
         self.cache
             .flush_all(&mut self.table_ssd)
             .map_err(|e| FidrError::Io(e.to_string()))?;
-        let sw = CacheBackend::new(CacheMode::Software, self.cfg.cache_lines, None);
+        let sw = CacheBackend::new(
+            CacheMode::Software,
+            self.cfg.cache_lines,
+            None,
+            self.cfg.cache_shards.max(1),
+        );
         if let CacheBackend::Hw(c) = std::mem::replace(&mut self.cache, sw) {
             self.carry_cache_stats.merge(c.stats());
             self.retired_hw = Some(c);
@@ -717,13 +756,30 @@ impl FidrSystem {
     }
 
     /// Processes one NIC hash batch through steps 2–10 of Figure 6a.
+    ///
+    /// With [`FidrConfig::workers`] > 1 (and an inert fault plan — armed
+    /// faults key off global device-call order, so they force the serial
+    /// path) the batch pipeline fans out over a scoped worker pool:
+    /// hashing widens to `max(hash_engines, workers)` physical cores,
+    /// dedup lookups run shard-owned via
+    /// [`CacheBackend::lookup_batch_parallel`], and lookup-flagged
+    /// uniques precompress speculatively. All ledger charges, spans and
+    /// commits replay on this thread in batch order, so every modelled
+    /// export is byte-identical for any worker count.
     fn process_batch(&mut self) -> Result<(), FidrError> {
         let cost = self.cfg.cost;
         let traced = self.tracer.is_enabled();
-        // Step 2: in-NIC hashing (no CPU, no host memory).
+        let workers = if self.cfg.faults.is_inert() {
+            self.cfg.workers.max(1)
+        } else {
+            1
+        };
+        // Step 2: in-NIC hashing (no CPU, no host memory). The modelled
+        // hash time below stays keyed to `hash_engines`; `workers` only
+        // widens the physical fan-out.
         let batch = self
             .nic
-            .take_hash_batch_with_engines(self.cfg.hash_batch, self.cfg.hash_engines);
+            .take_hash_batch_with_engines(self.cfg.hash_batch, self.cfg.hash_engines.max(workers));
         if batch.is_empty() {
             return Ok(());
         }
@@ -778,10 +834,19 @@ impl FidrSystem {
         } else {
             None
         };
-        let results = self
-            .cache
-            .lookup_batch(&requests, &mut self.table_ssd, &mut self.ledger, &cost)
-            .map_err(|e| FidrError::Io(e.to_string()))?;
+        let results = if workers > 1 {
+            self.cache.lookup_batch_parallel(
+                &requests,
+                &mut self.table_ssd,
+                &mut self.ledger,
+                &cost,
+                workers,
+            )
+        } else {
+            self.cache
+                .lookup_batch(&requests, &mut self.table_ssd, &mut self.ledger, &cost)
+        }
+        .map_err(|e| FidrError::Io(e.to_string()))?;
         let mut unique_flags = Vec::with_capacity(batch.len());
         let mut resolved: Vec<Option<Pbn>> = Vec::with_capacity(batch.len());
         for (pbn, _access) in results {
@@ -823,9 +888,18 @@ impl FidrSystem {
             self.advance_host(host_mark);
         }
 
-        // Commit each chunk: duplicates update the LBA map; uniques
-        // compress, stage in engine DRAM, and gain table entries.
-        for (chunk, pbn) in batch.into_iter().zip(resolved) {
+        // Parallel pipeline: speculatively compress the lookup-flagged
+        // uniques on the worker pool. A chunk whose content an earlier
+        // entry of this batch commits first fails re-validation in
+        // `commit_unique_with` and its speculative output is discarded
+        // unrecorded — exactly the chunks the serial path never
+        // compresses.
+        let mut precompressed = precompress_uniques(&batch, &unique_flags, workers);
+
+        // Commit each chunk in batch order: duplicates update the LBA
+        // map; uniques compress, stage in engine DRAM, and gain table
+        // entries.
+        for (i, (chunk, pbn)) in batch.into_iter().zip(resolved).enumerate() {
             match pbn {
                 Some(pbn) => {
                     let span = self.tracer.begin("dedup");
@@ -842,7 +916,7 @@ impl FidrSystem {
                     self.tracer.end(span);
                 }
                 None => {
-                    self.commit_unique(chunk)?;
+                    self.commit_unique_with(chunk, precompressed[i].take())?;
                 }
             }
         }
@@ -850,8 +924,16 @@ impl FidrSystem {
     }
 
     /// Stores one unique chunk: compression in the engine, container
-    /// staging, metadata updates (steps 7–10).
-    fn commit_unique(&mut self, chunk: HashedChunk) -> Result<(), FidrError> {
+    /// staging, metadata updates (steps 7–10), optionally consuming a
+    /// result precompressed on the worker pool. If re-validation finds
+    /// the content already stored, `pre` is dropped without recording any
+    /// compression stats — matching the serial path, which would not have
+    /// compressed the chunk at all.
+    fn commit_unique_with(
+        &mut self,
+        chunk: HashedChunk,
+        pre: Option<(CompressedChunk, std::time::Duration)>,
+    ) -> Result<(), FidrError> {
         let cost = self.cfg.cost;
         let traced = self.tracer.is_enabled();
         let commit_span = self.tracer.begin("commit");
@@ -896,7 +978,7 @@ impl FidrSystem {
 
         // Compression happens inside the engine; output stays in engine
         // DRAM until the container seals.
-        let compressed = self.compress_chunk(&chunk.data);
+        let compressed = self.compress_chunk_with(&chunk.data, pre);
         let host_mark = if traced {
             self.time.host_ns(&self.ledger)
         } else {
@@ -1204,10 +1286,28 @@ impl FidrSystem {
     /// Compresses one chunk in the (modelled) Compression Engine, timing
     /// the real LZSS work and tracking the achieved ratio.
     fn compress_chunk(&mut self, data: &[u8]) -> CompressedChunk {
+        self.compress_chunk_with(data, None)
+    }
+
+    /// [`compress_chunk`](Self::compress_chunk), optionally consuming a
+    /// `(chunk, wall-clock)` pair precompressed on the worker pool — the
+    /// stats, span and modelled time recorded here are identical either
+    /// way; only the raw LZSS compute is skipped.
+    fn compress_chunk_with(
+        &mut self,
+        data: &[u8],
+        pre: Option<(CompressedChunk, std::time::Duration)>,
+    ) -> CompressedChunk {
         let span = self.tracer.begin("compress");
-        let started = Instant::now();
-        let compressed = CompressedChunk::compress(data);
-        self.compress_ns.record_duration(started.elapsed());
+        let (compressed, elapsed) = match pre {
+            Some((compressed, elapsed)) => (compressed, elapsed),
+            None => {
+                let started = Instant::now();
+                let compressed = CompressedChunk::compress(data);
+                (compressed, started.elapsed())
+            }
+        };
+        self.compress_ns.record_duration(elapsed);
         self.compress_pct
             .record((compressed.ratio() * 100.0).round() as u64);
         match compressed.encoding() {
@@ -1375,6 +1475,44 @@ impl FidrSystem {
         self.stats.containers_sealed += 1;
         Ok(())
     }
+}
+
+/// Compresses the unique-flagged chunks of `batch` across up to
+/// `workers` scoped threads, scattering each result (with its measured
+/// wall-clock) back to its batch index. All-`None` when `workers <= 1`:
+/// the serial path compresses at commit time instead.
+fn precompress_uniques(
+    batch: &[HashedChunk],
+    unique_flags: &[bool],
+    workers: usize,
+) -> Vec<Option<(CompressedChunk, std::time::Duration)>> {
+    let mut out: Vec<Option<(CompressedChunk, std::time::Duration)>> =
+        (0..batch.len()).map(|_| None).collect();
+    if workers <= 1 {
+        return out;
+    }
+    let jobs: Vec<usize> = (0..batch.len()).filter(|&i| unique_flags[i]).collect();
+    if jobs.is_empty() {
+        return out;
+    }
+    let mut slots: Vec<(usize, Option<(CompressedChunk, std::time::Duration)>)> =
+        jobs.iter().map(|&i| (i, None)).collect();
+    let per_worker = jobs.len().div_ceil(workers.min(jobs.len()));
+    std::thread::scope(|scope| {
+        for slice in slots.chunks_mut(per_worker) {
+            scope.spawn(|| {
+                for (i, slot) in slice.iter_mut() {
+                    let started = Instant::now();
+                    let compressed = CompressedChunk::compress(&batch[*i].data);
+                    *slot = Some((compressed, started.elapsed()));
+                }
+            });
+        }
+    });
+    for (i, slot) in slots {
+        out[i] = slot;
+    }
+    out
 }
 
 #[cfg(test)]

@@ -31,6 +31,25 @@ pub fn fnv1a_u64(value: u64) -> u64 {
     fnv1a(&value.to_le_bytes())
 }
 
+/// SplitMix64 finalizer (Steele et al.): a full-width bijective mix of a
+/// `u64`. Every input bit affects every output bit, so derived values
+/// (shard seeds, hash-prefix shard selection) cannot collide the way a
+/// narrow additive stripe like `seed + i * CONSTANT` can.
+///
+/// # Examples
+///
+/// ```
+/// let a = fidr_hash::splitmix64(1);
+/// let b = fidr_hash::splitmix64(2);
+/// assert_ne!(a, b);
+/// ```
+pub fn splitmix64(value: u64) -> u64 {
+    let mut z = value.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -46,5 +65,15 @@ mod tests {
     #[test]
     fn u64_variant_consistent() {
         assert_eq!(fnv1a_u64(42), fnv1a(&42u64.to_le_bytes()));
+    }
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Reference outputs of the SplitMix64 finalizer for seed 0, 1, 2.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+        assert_ne!(splitmix64(1), splitmix64(2));
+        // Adjacent inputs differ in roughly half their output bits.
+        let diff = (splitmix64(100) ^ splitmix64(101)).count_ones();
+        assert!((16..=48).contains(&diff), "poor avalanche: {diff} bits");
     }
 }

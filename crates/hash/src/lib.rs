@@ -36,5 +36,5 @@ mod fnv;
 mod sha256;
 
 pub use fingerprint::{Fingerprint, FINGERPRINT_LEN};
-pub use fnv::{fnv1a, fnv1a_u64};
+pub use fnv::{fnv1a, fnv1a_u64, splitmix64};
 pub use sha256::Sha256;

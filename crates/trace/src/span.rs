@@ -136,6 +136,15 @@ impl SpanToken {
     fn is_none(self) -> bool {
         self.idx == u32::MAX
     }
+
+    /// Checked conversion from a span-stack depth. `None` when the depth
+    /// does not fit a token — either past `u32::MAX` or exactly at it,
+    /// which would alias the `NONE` sentinel and silently close the
+    /// wrong span later.
+    fn from_depth(depth: usize) -> Option<SpanToken> {
+        let idx = u32::try_from(depth).ok()?;
+        (idx != u32::MAX).then_some(SpanToken { idx })
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -267,10 +276,16 @@ impl Tracer {
         if !self.enabled {
             return SpanToken::NONE;
         }
+        // A depth that cannot be represented as a token would silently
+        // alias another span (or the NONE sentinel) on `end`; drop the
+        // span into the existing `trace.dropped_spans` accounting instead.
+        let Some(token) = SpanToken::from_depth(self.stack.len()) else {
+            self.ring.dropped += 1;
+            return SpanToken::NONE;
+        };
         let id = self.next_id;
         self.next_id += 1;
         let parent = self.stack.last().map(|s| s.id);
-        let idx = self.stack.len() as u32;
         self.stack.push(OpenSpan {
             id,
             parent,
@@ -280,7 +295,7 @@ impl Tracer {
             stages: Vec::new(),
             attrs: Vec::new(),
         });
-        SpanToken { idx }
+        token
     }
 
     /// Advances the modelled clock; the elapsed time lands in the innermost
@@ -509,5 +524,19 @@ mod tests {
         assert_eq!(s.attr("error"), Some(&AttrValue::Str("corrupt")));
         assert_eq!(s.attr("dedup_hit"), Some(&AttrValue::Bool(false)));
         assert_eq!(s.attr("missing"), None);
+    }
+
+    #[test]
+    fn token_depth_conversion_is_checked() {
+        assert_eq!(SpanToken::from_depth(0), Some(SpanToken { idx: 0 }));
+        assert_eq!(
+            SpanToken::from_depth(u32::MAX as usize - 1),
+            Some(SpanToken { idx: u32::MAX - 1 })
+        );
+        // Exactly u32::MAX would alias the NONE sentinel; beyond it does
+        // not fit. Both must be rejected, never truncated.
+        assert_eq!(SpanToken::from_depth(u32::MAX as usize), None);
+        assert_eq!(SpanToken::from_depth(u32::MAX as usize + 1), None);
+        assert_eq!(SpanToken::from_depth(usize::MAX), None);
     }
 }

@@ -3,15 +3,18 @@
 # projected throughput plus a per-stage latency breakdown (p50/p99 of the
 # modelled span durations) into BENCH_<tag>.json at the repository root.
 #
-# Usage: ./scripts/bench_snapshot.sh [tag]   (default tag: pr3)
+# Usage: ./scripts/bench_snapshot.sh [tag]   (default tag: pr4)
 #
 # Throughput comes from the §7.5 projection printed by `fidr run`; stage
 # latencies come from the fidr.spans.v1 files exported by `fidr spans`.
 # Span durations are modelled time, so for a given binary the latency
 # numbers are bit-reproducible; only future model changes move them.
+# The worker_scaling section comes from the ablation_worker_scaling
+# bench: its modelled speedup is deterministic, its wall GB/s is a
+# host-load diagnostic (see the bench's docs).
 set -eu
 
-TAG="${1:-pr3}"
+TAG="${1:-pr4}"
 OUT="BENCH_${TAG}.json"
 OPS="${OPS:-2000}"
 TMP="$(mktemp -d)"
@@ -27,6 +30,10 @@ for wl in write-h write-m write-l read-mixed; do
     ./target/release/fidr spans --workload "$wl" --variant full \
         --ops "$OPS" --spans-out "$TMP/spans-$wl.json" > /dev/null
 done
+
+# Worker-scaling ablation (write-heavy, one cache shard per worker).
+FIDR_BENCH_OPS="${SCALING_OPS:-20000}" cargo bench -q -p fidr-bench \
+    --bench ablation_worker_scaling > "$TMP/worker-scaling.txt"
 
 TMP="$TMP" OPS="$OPS" TAG="$TAG" OUT="$OUT" python3 - <<'EOF'
 import json, os, re
@@ -63,6 +70,31 @@ for wl in ["write-h", "write-m", "write-l", "read-mixed"]:
             "p99_us": round(pct(vals, 0.99), 3),
         }
     doc["workloads"][wl] = entry
+
+# Worker-scaling ablation: modelled numbers are deterministic per seed;
+# wall numbers depend on host CPUs and load (diagnostic only).
+scaling = {"workload": "write-h", "rows": []}
+for line in open(f"{tmp}/worker-scaling.txt"):
+    m = re.match(
+        r"worker-scaling: workers=(\d+) wall_gbps=([0-9.]+) modelled_gbps=([0-9.]+)", line
+    )
+    if m:
+        scaling["rows"].append(
+            {
+                "workers": int(m.group(1)),
+                "wall_gbps_diagnostic": float(m.group(2)),
+                "modelled_gbps": float(m.group(3)),
+            }
+        )
+    m = re.match(
+        r"worker-scaling: wall_speedup_4x=([0-9.]+) modelled_speedup_4x=([0-9.]+) host_cpus=(\d+)",
+        line,
+    )
+    if m:
+        scaling["wall_speedup_4x_diagnostic"] = float(m.group(1))
+        scaling["modelled_speedup_4x"] = float(m.group(2))
+        scaling["host_cpus"] = int(m.group(3))
+doc["worker_scaling"] = scaling
 
 with open(out, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)

@@ -33,4 +33,24 @@ grep -q '"traceEvents":\[' "$SPANS_OUT"
 grep -q '"name":"write"' "$SPANS_OUT"
 echo "    $SPANS_OUT: $(grep -c '"ph":"X"' "$SPANS_OUT") span events"
 
+# Parallel-pipeline determinism gate: the same seeded workload must export
+# byte-identical fidr.metrics.v1 snapshots (a) across repeat runs with
+# --workers 4 and (b) between --workers 1 and --workers 4. The ordered
+# batch merge makes every export independent of worker count; a diff here
+# means a charge, counter or span escaped the batch-order replay.
+echo "==> worker determinism (repeat run + workers 1 vs 4)"
+DET_DIR="${DET_DIR:-target/ci-determinism}"
+mkdir -p "$DET_DIR"
+for run in a b; do
+  cargo run --release -q --bin fidr -- run \
+    --workload write-h --variant full --ops 2000 --workers 4 --cache-shards 4 \
+    --metrics-out "$DET_DIR/w4-$run.json" > /dev/null
+done
+diff "$DET_DIR/w4-a.json" "$DET_DIR/w4-b.json"
+cargo run --release -q --bin fidr -- run \
+  --workload write-h --variant full --ops 2000 --workers 1 --cache-shards 4 \
+  --metrics-out "$DET_DIR/w1.json" > /dev/null
+diff "$DET_DIR/w1.json" "$DET_DIR/w4-a.json"
+echo "    exports byte-identical"
+
 echo "All checks passed."

@@ -11,7 +11,9 @@
 //! ```
 
 use fidr::chunk::{replay_chunking, Lba};
-use fidr::cli::{output_flag, parse_flags, variant_by_name, workload_by_name, write_output};
+use fidr::cli::{
+    output_flag, parse_flags, usize_flag, variant_by_name, workload_by_name, write_output,
+};
 use fidr::compress::ContentGenerator;
 use fidr::core::{FidrConfig, FidrSystem, LatencyModel};
 use fidr::cost::{CostModel, Scenario};
@@ -28,20 +30,30 @@ const USAGE: &str = "fidr — FIDR (MICRO'19) storage-system reproduction
 
 USAGE:
     fidr run     --workload <NAME> --variant <VARIANT> [--ops N] [--faults SPEC]
+                 [--workers N] [--cache-shards N]
                  [--metrics-out FILE] [--spans-out FILE]
     fidr compare [--workload <NAME>] [--ops N]
     fidr stats   [--workload <NAME>] [--variant <VARIANT>] [--ops N] [--faults SPEC]
+                 [--workers N] [--cache-shards N]
                  [--metrics-out FILE] [--spans-out FILE]
     fidr spans   [--workload <NAME>] [--variant <VARIANT>] [--ops N] [--faults SPEC]
-                 [--spans-out FILE]
+                 [--workers N] [--cache-shards N] [--spans-out FILE]
     fidr latency
     fidr cost    [--capacity-tb X] [--throughput GBPS]
     fidr trace   <FILE> [--chunk-kb 4|8|16|32] [--faults SPEC]
+                 [--workers N] [--cache-shards N]
                  [--metrics-out FILE] [--spans-out FILE]
     fidr report  [--ops N] [--out FILE]
 
 WORKLOADS:  write-h | write-m | write-l | read-mixed | vdi | database
 VARIANTS:   baseline | nic-p2p | hw-single | full
+PARALLEL:   --workers N fans each pipeline batch (hashing, dedup lookup,
+            compression) over N host threads; --cache-shards N splits the
+            table cache into N hash-prefix shards, each with its own index
+            engine. Results merge in batch order, so metrics and spans
+            exports stay byte-identical for any --workers value. With an
+            armed --faults schedule the pipeline runs serially (fault
+            decisions depend on device-call order).
 OUTPUTS:    --metrics-out writes the metrics snapshot JSON (fidr.metrics.v1;
             `fidr stats` also accepts the legacy --out). --spans-out writes
             per-request spans as Chrome-trace-event JSON (fidr.spans.v1) —
@@ -85,6 +97,8 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let var = flags.get("variant").ok_or("missing --variant")?;
     let variant = variant_by_name(var).ok_or("unknown variant")?;
     let faults = faults_flag(flags)?;
+    let workers = usize_flag(flags, "workers", 1)?;
+    let cache_shards = usize_flag(flags, "cache-shards", 1)?;
     let metrics_out = output_flag(flags, &["metrics-out"])?;
     let spans_out = output_flag(flags, &["spans-out"])?;
 
@@ -93,6 +107,8 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         spec,
         RunConfig {
             faults,
+            workers,
+            cache_shards,
             trace: if spans_out.is_some() {
                 TraceConfig::enabled()
             } else {
@@ -187,6 +203,8 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
     let var = flags.get("variant").map(String::as_str).unwrap_or("full");
     let variant = variant_by_name(var).ok_or("unknown variant")?;
     let faults = faults_flag(flags)?;
+    let workers = usize_flag(flags, "workers", 1)?;
+    let cache_shards = usize_flag(flags, "cache-shards", 1)?;
     let metrics_out = output_flag(flags, &["metrics-out", "out"])?;
     let spans_out = output_flag(flags, &["spans-out"])?;
 
@@ -197,6 +215,8 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
         spec,
         RunConfig {
             faults,
+            workers,
+            cache_shards,
             trace: TraceConfig::enabled(),
             ..RunConfig::default()
         },
@@ -239,12 +259,16 @@ fn cmd_spans(flags: &HashMap<String, String>) -> Result<(), String> {
     let var = flags.get("variant").map(String::as_str).unwrap_or("full");
     let variant = variant_by_name(var).ok_or("unknown variant")?;
     let faults = faults_flag(flags)?;
+    let workers = usize_flag(flags, "workers", 1)?;
+    let cache_shards = usize_flag(flags, "cache-shards", 1)?;
 
     let r = run_workload(
         variant,
         spec,
         RunConfig {
             faults,
+            workers,
+            cache_shards,
             trace: TraceConfig::enabled(),
             ..RunConfig::default()
         },
@@ -426,6 +450,8 @@ fn cmd_trace(positional: &[String], flags: &HashMap<String, String>) -> Result<(
             container_threshold: 128 << 10,
             hash_batch: 16,
             faults,
+            workers: usize_flag(flags, "workers", 1)?,
+            cache_shards: usize_flag(flags, "cache-shards", 1)?,
             trace: if replay_spans.is_some() {
                 TraceConfig::enabled()
             } else {

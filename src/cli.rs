@@ -58,6 +58,23 @@ pub fn output_flag(
     Ok(None)
 }
 
+/// Resolves an optional positive-integer flag (e.g. `--workers 4`,
+/// `--cache-shards 8`). Absent → `default`; present but empty,
+/// non-numeric or zero → an error naming the flag.
+pub fn usize_flag(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: usize,
+) -> Result<usize, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(value) => match value.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(format!("--{name} needs a positive integer, got {value:?}")),
+        },
+    }
+}
+
 /// Writes `contents` to `path` with a uniform error message.
 pub fn write_output(path: &str, contents: &str) -> Result<(), String> {
     std::fs::write(path, contents).map_err(|e| format!("write {path}: {e}"))
@@ -116,6 +133,17 @@ mod tests {
         assert_eq!(output_flag(&flags, &["spans-out"]).unwrap(), None);
         let (_, flags) = parse_flags(&args(&["--spans-out"]));
         assert!(output_flag(&flags, &["spans-out"]).is_err());
+    }
+
+    #[test]
+    fn usize_flag_parses_defaults_and_rejects_junk() {
+        let (_, flags) = parse_flags(&args(&["--workers", "4"]));
+        assert_eq!(usize_flag(&flags, "workers", 1).unwrap(), 4);
+        assert_eq!(usize_flag(&flags, "cache-shards", 1).unwrap(), 1);
+        for bad in [&["--workers"][..], &["--workers", "0"], &["--workers", "x"]] {
+            let (_, flags) = parse_flags(&args(bad));
+            assert!(usize_flag(&flags, "workers", 1).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

@@ -7,7 +7,9 @@ use bytes::Bytes;
 use fidr::baseline::{BaselineConfig, BaselineSystem};
 use fidr::chunk::Lba;
 use fidr::core::{CacheMode, FidrConfig, FidrSystem};
+use fidr::trace::chrome_trace_json;
 use fidr::workload::{Request, Workload, WorkloadSpec};
+use fidr::{run_workload, RunConfig, SystemVariant};
 use std::collections::HashMap;
 
 const OPS: usize = 3_000;
@@ -113,5 +115,46 @@ fn fidr_software_cache_variant_is_also_correct() {
     sys.flush().unwrap();
     for (lba, data) in &expected {
         assert_eq!(sys.read(*lba).unwrap(), data.to_vec());
+    }
+}
+
+/// The determinism contract of the parallel pipeline: for a fixed seed,
+/// the `fidr.metrics.v1` and `fidr.spans.v1` exports are byte-identical
+/// regardless of worker count — workers change wall-clock only. Runs
+/// with the cache sharded (4 ways) so the parallel shard-owned lookup
+/// path is actually exercised, for both the FIDR variants and the
+/// baseline's batched write path.
+#[test]
+fn worker_count_never_changes_metrics_or_spans_exports() {
+    let spec = WorkloadSpec::write_h(OPS);
+    for variant in [
+        SystemVariant::FidrFull,
+        SystemVariant::FidrNicP2p,
+        SystemVariant::Baseline,
+    ] {
+        let run_with = |workers: usize| {
+            run_workload(
+                variant,
+                spec.clone(),
+                RunConfig {
+                    workers,
+                    cache_shards: 4,
+                    trace: fidr::trace::TraceConfig::enabled(),
+                    ..RunConfig::default()
+                },
+            )
+        };
+        let serial = run_with(1);
+        let parallel = run_with(4);
+        assert_eq!(
+            serial.metrics.to_json(),
+            parallel.metrics.to_json(),
+            "{variant:?}: metrics export must not depend on --workers"
+        );
+        assert_eq!(
+            chrome_trace_json(&serial.spans),
+            chrome_trace_json(&parallel.spans),
+            "{variant:?}: spans export must not depend on --workers"
+        );
     }
 }
