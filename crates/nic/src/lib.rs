@@ -23,8 +23,10 @@
 #![warn(missing_docs)]
 
 mod buffer;
+mod codec;
 pub mod protocol;
 mod tcp;
 
 pub use buffer::{schedule_unique, FidrNic, HashedChunk, NicStats};
+pub use codec::{CodecStats, FramedCodec};
 pub use tcp::{TcpFrontEnd, TcpOffloadEngine};

@@ -5,8 +5,30 @@
 //! (i.e., read, write or acknowledgment), the requested address (i.e.,
 //! LBA) and data", with a read-wait-ack(data) / write-wait-ack flow.
 //!
-//! Frame layout: 1-byte opcode, 8-byte little-endian LBA, 4-byte
-//! little-endian payload length, payload.
+//! # Wire format
+//!
+//! Every frame is a fixed 13-byte header followed by the payload:
+//!
+//! ```text
+//! offset  size  field
+//!      0     1  opcode: 0x01 Write, 0x02 Read, 0x03 WriteAck, 0x04 ReadReply
+//!      1     8  LBA, little-endian u64
+//!      9     4  payload length, little-endian u32 (0 for Read/WriteAck)
+//!     13   len  payload
+//! ```
+//!
+//! The declared length is bounded by [`MAX_PAYLOAD_BYTES`] in **both**
+//! directions: [`Message::encode`] refuses to build a frame it could not
+//! decode, and [`Message::decode`] rejects a hostile length field before
+//! any reader commits buffer space to it.
+//!
+//! # Streaming contract
+//!
+//! [`Message::decode`] distinguishes *"the frame is not all here yet"*
+//! ([`Decoded::Incomplete`], a normal condition on a streaming socket —
+//! keep reading) from *"the frame can never become valid"* (a hard
+//! [`ProtocolError`] — close the connection). [`crate::FramedCodec`]
+//! wraps this into an incremental per-connection decoder.
 
 use bytes::Bytes;
 use fidr_chunk::Lba;
@@ -14,6 +36,15 @@ use std::fmt;
 
 /// Frame header size: opcode + LBA + length.
 pub const HEADER_BYTES: usize = 1 + 8 + 4;
+
+/// Upper bound on a frame's payload (1 MiB = 256 four-KiB chunks).
+///
+/// Enforced symmetrically by [`Message::encode`] and
+/// [`Message::decode`], so a hostile (or corrupted) 4-byte length field
+/// can never pin gigabytes of reader buffer waiting for bytes that will
+/// never arrive, and an encoder can never emit a self-inconsistent frame
+/// by truncating the length to 32 bits.
+pub const MAX_PAYLOAD_BYTES: usize = 1 << 20;
 
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,23 +75,47 @@ pub enum Message {
     },
 }
 
-/// Error returned when decoding a malformed frame.
+/// Outcome of decoding the front of a streaming buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decoded {
+    /// A whole frame was present: the message and the bytes it consumed.
+    Frame {
+        /// The decoded message.
+        msg: Message,
+        /// Bytes of the buffer this frame occupied.
+        used: usize,
+    },
+    /// The buffer ends mid-frame. Not an error: read at least `needed`
+    /// more bytes and retry. (For a short header this is the distance to
+    /// a complete header; the finished header may then ask for more.)
+    Incomplete {
+        /// Additional bytes required before decoding can progress.
+        needed: usize,
+    },
+}
+
+/// Error returned when a frame can never decode, no matter how many more
+/// bytes arrive. A streaming reader should close the connection; a
+/// partial frame is [`Decoded::Incomplete`] instead, never an error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProtocolError {
-    /// Fewer bytes than a header.
-    Truncated,
     /// Opcode byte not recognised.
     BadOpcode(u8),
-    /// Declared payload extends past the buffer.
-    BadLength,
+    /// Payload length exceeds [`MAX_PAYLOAD_BYTES`] (encode-side: the
+    /// actual payload; decode-side: the declared length field).
+    PayloadTooLarge {
+        /// The offending length in bytes.
+        len: u64,
+    },
 }
 
 impl fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ProtocolError::Truncated => write!(f, "frame shorter than header"),
             ProtocolError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
-            ProtocolError::BadLength => write!(f, "payload length exceeds frame"),
+            ProtocolError::PayloadTooLarge { len } => {
+                write!(f, "payload of {len} bytes exceeds {MAX_PAYLOAD_BYTES}")
+            }
         }
     }
 }
@@ -77,7 +132,8 @@ impl Message {
         }
     }
 
-    fn lba(&self) -> Lba {
+    /// The message's logical block address.
+    pub fn lba(&self) -> Lba {
         match self {
             Message::Write { lba, .. }
             | Message::Read { lba }
@@ -94,33 +150,69 @@ impl Message {
     }
 
     /// Encodes the message into a frame.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::PayloadTooLarge`] if the payload exceeds
+    /// [`MAX_PAYLOAD_BYTES`] — never a silently truncated length field.
+    pub fn encode(&self) -> Result<Vec<u8>, ProtocolError> {
         let payload = self.payload();
+        if payload.len() > MAX_PAYLOAD_BYTES {
+            return Err(ProtocolError::PayloadTooLarge {
+                len: payload.len() as u64,
+            });
+        }
         let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
         out.push(self.opcode());
         out.extend_from_slice(&self.lba().0.to_le_bytes());
         out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         out.extend_from_slice(payload);
-        out
+        Ok(out)
     }
 
-    /// Decodes one frame from the front of `buf`, returning the message
-    /// and the bytes consumed.
+    /// Decodes one frame from the front of `buf`.
+    ///
+    /// Returns [`Decoded::Frame`] with the message and the bytes
+    /// consumed, or [`Decoded::Incomplete`] when `buf` ends mid-frame
+    /// (short header or short payload) — the caller should read more and
+    /// retry from the same position.
+    ///
+    /// The opcode and the declared length are validated as soon as the
+    /// header is complete, *before* waiting for the payload, so a
+    /// malformed frame is rejected without buffering its claimed body.
     ///
     /// # Errors
     ///
-    /// Returns [`ProtocolError`] on truncation, a bad opcode, or a payload
-    /// length that overruns the buffer.
-    pub fn decode(buf: &[u8]) -> Result<(Message, usize), ProtocolError> {
+    /// [`ProtocolError::BadOpcode`] for an unknown opcode and
+    /// [`ProtocolError::PayloadTooLarge`] for a declared length over
+    /// [`MAX_PAYLOAD_BYTES`]. Both are permanent: no further input can
+    /// repair the stream.
+    pub fn decode(buf: &[u8]) -> Result<Decoded, ProtocolError> {
         if buf.len() < HEADER_BYTES {
-            return Err(ProtocolError::Truncated);
+            return Ok(Decoded::Incomplete {
+                needed: HEADER_BYTES - buf.len(),
+            });
         }
         let opcode = buf[0];
+        if !(0x01..=0x04).contains(&opcode) {
+            return Err(ProtocolError::BadOpcode(opcode));
+        }
         let lba = Lba(u64::from_le_bytes(buf[1..9].try_into().expect("8 bytes")));
-        let len = u32::from_le_bytes(buf[9..13].try_into().expect("4 bytes")) as usize;
-        let end = HEADER_BYTES + len;
+        let declared = u64::from(u32::from_le_bytes(buf[9..13].try_into().expect("4 bytes")));
+        if declared > MAX_PAYLOAD_BYTES as u64 {
+            return Err(ProtocolError::PayloadTooLarge { len: declared });
+        }
+        let len = declared as usize;
+        // With the bound above this cannot overflow even on 16/32-bit
+        // targets, but fold the check into the length validation anyway —
+        // the constant may grow.
+        let end = HEADER_BYTES
+            .checked_add(len)
+            .ok_or(ProtocolError::PayloadTooLarge { len: declared })?;
         if end > buf.len() {
-            return Err(ProtocolError::BadLength);
+            return Ok(Decoded::Incomplete {
+                needed: end - buf.len(),
+            });
         }
         let data = Bytes::copy_from_slice(&buf[HEADER_BYTES..end]);
         let msg = match opcode {
@@ -130,7 +222,24 @@ impl Message {
             0x04 => Message::ReadReply { lba, data },
             other => return Err(ProtocolError::BadOpcode(other)),
         };
-        Ok((msg, end))
+        Ok(Decoded::Frame { msg, used: end })
+    }
+
+    /// Decodes a buffer that is expected to hold one whole frame (a
+    /// non-streaming convenience for tests and examples).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProtocolError`], plus [`ProtocolError::PayloadTooLarge`]
+    /// with the buffer length if the frame is merely incomplete — a
+    /// fixed buffer cannot grow, so "incomplete" is permanent here.
+    pub fn decode_whole(buf: &[u8]) -> Result<(Message, usize), ProtocolError> {
+        match Message::decode(buf)? {
+            Decoded::Frame { msg, used } => Ok((msg, used)),
+            Decoded::Incomplete { .. } => Err(ProtocolError::PayloadTooLarge {
+                len: buf.len() as u64,
+            }),
+        }
     }
 }
 
@@ -153,8 +262,8 @@ mod tests {
             },
         ];
         for msg in msgs {
-            let frame = msg.encode();
-            let (decoded, used) = Message::decode(&frame).unwrap();
+            let frame = msg.encode().unwrap();
+            let (decoded, used) = Message::decode_whole(&frame).unwrap();
             assert_eq!(decoded, msg);
             assert_eq!(used, frame.len());
         }
@@ -163,42 +272,115 @@ mod tests {
     #[test]
     fn decode_stream_of_frames() {
         let mut stream = Vec::new();
-        stream.extend(Message::Read { lba: Lba(1) }.encode());
+        stream.extend(Message::Read { lba: Lba(1) }.encode().unwrap());
         stream.extend(
             Message::Write {
                 lba: Lba(2),
                 data: Bytes::from(vec![0u8; 100]),
             }
-            .encode(),
+            .encode()
+            .unwrap(),
         );
-        let (m1, used1) = Message::decode(&stream).unwrap();
+        let (m1, used1) = Message::decode_whole(&stream).unwrap();
         assert_eq!(m1, Message::Read { lba: Lba(1) });
-        let (m2, used2) = Message::decode(&stream[used1..]).unwrap();
+        let (m2, used2) = Message::decode_whole(&stream[used1..]).unwrap();
         assert!(matches!(m2, Message::Write { lba: Lba(2), .. }));
         assert_eq!(used1 + used2, stream.len());
     }
 
     #[test]
-    fn errors_on_garbage() {
+    fn partial_frames_are_incomplete_not_errors() {
+        // Short header: needed counts up to a full header.
         assert_eq!(
-            Message::decode(&[1, 2]).unwrap_err(),
-            ProtocolError::Truncated
+            Message::decode(&[1, 2]).unwrap(),
+            Decoded::Incomplete {
+                needed: HEADER_BYTES - 2
+            }
         );
-        let mut frame = Message::Read { lba: Lba(0) }.encode();
+        // Short payload: needed counts the missing payload tail.
+        let frame = Message::Write {
+            lba: Lba(0),
+            data: Bytes::from(vec![0u8; 10]),
+        }
+        .encode()
+        .unwrap();
+        assert_eq!(
+            Message::decode(&frame[..frame.len() - 3]).unwrap(),
+            Decoded::Incomplete { needed: 3 }
+        );
+        // Feeding the missing bytes completes the very same frame.
+        assert!(matches!(
+            Message::decode(&frame).unwrap(),
+            Decoded::Frame { used, .. } if used == frame.len()
+        ));
+    }
+
+    #[test]
+    fn bad_opcode_is_rejected_even_mid_payload() {
+        let mut frame = Message::Write {
+            lba: Lba(0),
+            data: Bytes::from(vec![0u8; 64]),
+        }
+        .encode()
+        .unwrap();
         frame[0] = 0x7f;
+        // Rejected from the header alone, before the payload arrives.
+        assert_eq!(
+            Message::decode(&frame[..HEADER_BYTES]).unwrap_err(),
+            ProtocolError::BadOpcode(0x7f)
+        );
         assert_eq!(
             Message::decode(&frame).unwrap_err(),
             ProtocolError::BadOpcode(0x7f)
         );
-        let mut frame = Message::Write {
-            lba: Lba(0),
-            data: Bytes::from(vec![0u8; 10]),
-        }
-        .encode();
-        frame.truncate(frame.len() - 1);
+    }
+
+    #[test]
+    fn hostile_length_is_rejected_from_the_header() {
+        let mut frame = Message::Read { lba: Lba(3) }.encode().unwrap();
+        frame[9..13].copy_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(
             Message::decode(&frame).unwrap_err(),
-            ProtocolError::BadLength
+            ProtocolError::PayloadTooLarge {
+                len: u64::from(u32::MAX)
+            }
         );
+        // One past the bound fails; the bound itself is only Incomplete.
+        frame[9..13].copy_from_slice(&(MAX_PAYLOAD_BYTES as u32 + 1).to_le_bytes());
+        assert!(Message::decode(&frame).is_err());
+        frame[9..13].copy_from_slice(&(MAX_PAYLOAD_BYTES as u32).to_le_bytes());
+        assert_eq!(
+            Message::decode(&frame).unwrap(),
+            Decoded::Incomplete {
+                needed: MAX_PAYLOAD_BYTES
+            }
+        );
+    }
+
+    #[test]
+    fn oversize_payload_refuses_to_encode() {
+        let msg = Message::Write {
+            lba: Lba(0),
+            data: Bytes::from(vec![0u8; MAX_PAYLOAD_BYTES + 1]),
+        };
+        assert_eq!(
+            msg.encode().unwrap_err(),
+            ProtocolError::PayloadTooLarge {
+                len: MAX_PAYLOAD_BYTES as u64 + 1
+            }
+        );
+        // The bound itself round-trips.
+        let msg = Message::ReadReply {
+            lba: Lba(0),
+            data: Bytes::from(vec![7u8; MAX_PAYLOAD_BYTES]),
+        };
+        let frame = msg.encode().unwrap();
+        assert_eq!(Message::decode_whole(&frame).unwrap().0, msg);
+    }
+
+    #[test]
+    fn decode_whole_treats_incomplete_as_an_error() {
+        let frame = Message::Read { lba: Lba(1) }.encode().unwrap();
+        assert!(Message::decode_whole(&frame[..5]).is_err());
     }
 }

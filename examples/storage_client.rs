@@ -16,7 +16,7 @@ use fidr::ssd::SsdSpec;
 
 /// The server side: decode a frame, apply it, encode the reply.
 fn serve(server: &mut FidrSystem, frame: &[u8]) -> Result<Vec<u8>, FidrError> {
-    let (msg, _used) = Message::decode(frame).expect("well-formed frame");
+    let (msg, _used) = Message::decode_whole(frame).expect("well-formed frame");
     let reply = match msg {
         Message::Write { lba, data } => {
             server.write(lba, data)?;
@@ -28,7 +28,7 @@ fn serve(server: &mut FidrSystem, frame: &[u8]) -> Result<Vec<u8>, FidrError> {
         },
         other => panic!("client sent a server-only message: {other:?}"),
     };
-    Ok(reply.encode())
+    Ok(reply.encode().expect("reply within the payload bound"))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -42,18 +42,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             lba: Lba(i),
             data: Bytes::from(gen.chunk(i % 40, 4096)),
         }
-        .encode();
+        .encode()?;
         let reply = serve(&mut server, &frame)?;
-        let (ack, _) = Message::decode(&reply)?;
+        let (ack, _) = Message::decode_whole(&reply)?;
         assert_eq!(ack, Message::WriteAck { lba: Lba(i) });
     }
     println!("200 writes acknowledged over the wire protocol");
 
     // An immediate read-back of a hot LBA is served from the in-NIC
     // buffer without touching the backend (§5.3 read step 2).
-    let frame = Message::Read { lba: Lba(199) }.encode();
+    let frame = Message::Read { lba: Lba(199) }.encode()?;
     let reply = serve(&mut server, &frame)?;
-    let (msg, _) = Message::decode(&reply)?;
+    let (msg, _) = Message::decode_whole(&reply)?;
     match msg {
         Message::ReadReply { lba, data } => {
             assert_eq!(lba, Lba(199));

@@ -53,4 +53,36 @@ cargo run --release -q --bin fidr -- run \
 diff "$DET_DIR/w1.json" "$DET_DIR/w4-a.json"
 echo "    exports byte-identical"
 
+# Loopback serving smoke test: stand the TCP front end up on an
+# ephemeral port, drive it with 4 concurrent client connections of
+# verified write/read traffic, wait for the auto-drain, and hold the
+# final metrics export to zero rejected frames.
+echo "==> loopback serve/client smoke"
+SERVE_DIR="${SERVE_DIR:-target/ci-serve}"
+mkdir -p "$SERVE_DIR"
+rm -f "$SERVE_DIR/port" "$SERVE_DIR/metrics.json"
+cargo run --release -q --bin fidr -- serve \
+  --port 0 --port-file "$SERVE_DIR/port" --conns-limit 4 \
+  --metrics-out "$SERVE_DIR/metrics.json" > "$SERVE_DIR/serve.log" &
+SERVE_PID=$!
+tries=0
+while [ ! -s "$SERVE_DIR/port" ]; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 100 ]; then
+    echo "server never wrote its port file" >&2
+    kill "$SERVE_PID" 2> /dev/null || true
+    exit 1
+  fi
+  sleep 0.1
+done
+cargo run --release -q --bin fidr -- client \
+  --addr "127.0.0.1:$(cat "$SERVE_DIR/port")" --conns 4 --ops 200
+wait "$SERVE_PID"
+grep -q '"server.frames.rejected.count": { "type": "counter", "value": 0 }' \
+  "$SERVE_DIR/metrics.json"
+grep -q '"server.connections.accepted.count": { "type": "counter", "value": 4 }' \
+  "$SERVE_DIR/metrics.json"
+echo "    $(grep -o '"server.frames.decoded.count": { "type": "counter", "value": [0-9]*' \
+  "$SERVE_DIR/metrics.json" | grep -o '[0-9]*$') frames served, 0 rejected"
+
 echo "All checks passed."

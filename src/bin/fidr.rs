@@ -14,11 +14,13 @@ use fidr::chunk::{replay_chunking, Lba};
 use fidr::cli::{
     output_flag, parse_flags, usize_flag, variant_by_name, workload_by_name, write_output,
 };
+use fidr::client::run_traffic;
 use fidr::compress::ContentGenerator;
 use fidr::core::{FidrConfig, FidrSystem, LatencyModel};
 use fidr::cost::{CostModel, Scenario};
 use fidr::faults::FaultPlan;
 use fidr::hwsim::{report, PlatformSpec};
+use fidr::server::{Server, ServerConfig};
 use fidr::ssd::SsdSpec;
 use fidr::trace::{chrome_trace_json, validate_chrome_trace, SpanRecord, TraceConfig};
 use fidr::workload::{parse_trace, to_block_writes, TraceOp, WorkloadSpec};
@@ -44,6 +46,9 @@ USAGE:
                  [--workers N] [--cache-shards N]
                  [--metrics-out FILE] [--spans-out FILE]
     fidr report  [--ops N] [--out FILE]
+    fidr serve   [--port P] [--port-file FILE] [--conns-limit N] [--queue N]
+                 [--workers N] [--cache-shards N] [--metrics-out FILE]
+    fidr client  --addr HOST:PORT [--conns N] [--ops N] [--seed S]
 
 WORKLOADS:  write-h | write-m | write-l | read-mixed | vdi | database
 VARIANTS:   baseline | nic-p2p | hw-single | full
@@ -63,7 +68,14 @@ FAULTS:     seeded device-fault schedule, e.g.
             --faults seed=7,data_write=0.01,corrupt=0.005,engine_at=2000
             (keys: seed, data_write, data_read, corrupt, table_read,
              table_write, nic, engine_at — recovery shows up in the
-             faults.*, retry.* and degraded.* metrics)";
+             faults.*, retry.* and degraded.* metrics)
+SERVING:    `fidr serve` binds 127.0.0.1 (--port 0 = ephemeral, written to
+            --port-file) and serves the §6.2 wire protocol concurrently;
+            with --conns-limit N it drains and exits cleanly after N
+            connections have come and gone. `fidr client` drives
+            interleaved write/read/verify traffic over --conns parallel
+            connections and fails on any mismatch. Serving counters are
+            exported as server.* in the fidr.metrics.v1 snapshot.";
 
 /// Exports `spans` as Chrome-trace-event JSON to `path`, self-validating
 /// the shape on the way out; returns the event count.
@@ -514,6 +526,86 @@ fn cmd_trace(positional: &[String], flags: &HashMap<String, String>) -> Result<(
     Ok(())
 }
 
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let port: u16 = flags
+        .get("port")
+        .map(|s| s.parse().map_err(|_| "bad --port"))
+        .transpose()?
+        .unwrap_or(0);
+    let conns_limit: Option<u64> = flags
+        .get("conns-limit")
+        .map(|s| match s.parse::<u64>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(format!("--conns-limit needs a positive integer, got {s:?}")),
+        })
+        .transpose()?;
+    let queue = usize_flag(flags, "queue", 64)?;
+    let metrics_out = output_flag(flags, &["metrics-out"])?;
+    let cfg = ServerConfig {
+        addr: std::net::SocketAddr::from(([127, 0, 0, 1], port)),
+        system: FidrConfig {
+            workers: usize_flag(flags, "workers", 1)?,
+            cache_shards: usize_flag(flags, "cache-shards", 1)?,
+            ..FidrConfig::default()
+        },
+        queue_capacity: queue,
+        conns_limit,
+    };
+    let handle = Server::spawn(cfg).map_err(|e| format!("bind: {e}"))?;
+    let addr = handle.local_addr();
+    println!("listening on {addr}");
+    if let Some(path) = flags.get("port-file").filter(|p| !p.is_empty()) {
+        write_output(path, &format!("{}\n", addr.port()))?;
+    }
+    if conns_limit.is_none() {
+        println!("serving until killed (pass --conns-limit N for a self-draining run)");
+    }
+    let metrics = handle.wait().map_err(|e| format!("drain: {e}"))?;
+    let count = |name: &str| metrics.counter(name).unwrap_or(0);
+    println!(
+        "drained: {} connections, {} frames decoded, {} rejected, \
+         {} writes / {} reads served, {} op failures",
+        count("server.connections.accepted.count"),
+        count("server.frames.decoded.count"),
+        count("server.frames.rejected.count"),
+        count("server.ops.write.count"),
+        count("server.ops.read.count"),
+        count("server.ops.failed.count"),
+    );
+    if let Some(path) = &metrics_out {
+        write_output(path, &metrics.to_json())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr: std::net::SocketAddr = flags
+        .get("addr")
+        .ok_or("missing --addr")?
+        .parse()
+        .map_err(|_| "bad --addr (want HOST:PORT)")?;
+    let conns = usize_flag(flags, "conns", 4)?;
+    let ops = usize_flag(flags, "ops", 200)?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(42);
+    let report = run_traffic(addr, conns, ops, seed).map_err(|e| format!("client traffic: {e}"))?;
+    println!(
+        "{} connections x {} ops: {} writes acked, {} reads verified, {} mismatches",
+        conns, ops, report.writes, report.reads, report.verify_failures
+    );
+    if report.verify_failures > 0 {
+        return Err(format!(
+            "{} read(s) returned data that does not match what was written",
+            report.verify_failures
+        ));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -533,6 +625,8 @@ fn main() -> ExitCode {
         "cost" => cmd_cost(&flags),
         "report" => cmd_report(&flags),
         "trace" => cmd_trace(&positional, &flags),
+        "serve" => cmd_serve(&flags),
+        "client" => cmd_client(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -1,0 +1,210 @@
+//! Library client for the TCP storage front-end: the other half of the
+//! paper's two-machine deployment (§6.2).
+//!
+//! [`StorageClient`] speaks the write-wait-ack / read-wait-reply flow of
+//! [`fidr_nic::protocol`] over one TCP connection, reassembling server
+//! replies through its own [`fidr_nic::FramedCodec`].
+//! [`run_traffic`] drives N concurrent connections of interleaved
+//! write/read/verify traffic against a server — the harness both the
+//! `fidr client` subcommand and the loopback CI smoke test use.
+
+use bytes::Bytes;
+use fidr_chunk::Lba;
+use fidr_compress::ContentGenerator;
+use fidr_nic::protocol::{Message, ProtocolError};
+use fidr_nic::FramedCodec;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Errors a client session can hit.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server sent bytes that do not frame.
+    Protocol(ProtocolError),
+    /// The server closed the connection before replying.
+    Disconnected,
+    /// A well-formed reply that does not answer the pending request.
+    UnexpectedReply(Message),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::UnexpectedReply(m) => write!(f, "unexpected reply {m:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// One client connection with synchronous request/reply semantics.
+pub struct StorageClient {
+    stream: TcpStream,
+    codec: FramedCodec,
+    buf: Vec<u8>,
+}
+
+impl StorageClient {
+    /// Connects to a serving front end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: SocketAddr) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(StorageClient {
+            stream,
+            codec: FramedCodec::new(),
+            buf: vec![0u8; 64 * 1024],
+        })
+    }
+
+    /// Writes `data` at `lba` and waits for the acknowledgment
+    /// (write-wait-ack, §6.2).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; [`ClientError::UnexpectedReply`] if the ack
+    /// names a different LBA.
+    pub fn write(&mut self, lba: Lba, data: Bytes) -> Result<(), ClientError> {
+        let frame = Message::Write { lba, data }.encode()?;
+        self.stream.write_all(&frame)?;
+        match self.recv()? {
+            Message::WriteAck { lba: acked } if acked == lba => Ok(()),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+
+    /// Reads the block at `lba` (read-wait-ack-with-data, §6.2).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; [`ClientError::UnexpectedReply`] if the
+    /// reply names a different LBA.
+    pub fn read(&mut self, lba: Lba) -> Result<Vec<u8>, ClientError> {
+        let frame = Message::Read { lba }.encode()?;
+        self.stream.write_all(&frame)?;
+        match self.recv()? {
+            Message::ReadReply { lba: got, data } if got == lba => Ok(data.to_vec()),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+
+    /// Blocks until the next whole reply frame arrives.
+    fn recv(&mut self) -> Result<Message, ClientError> {
+        loop {
+            if let Some(msg) = self.codec.next_frame()? {
+                return Ok(msg);
+            }
+            let n = self.stream.read(&mut self.buf)?;
+            if n == 0 {
+                return Err(ClientError::Disconnected);
+            }
+            self.codec.feed(&self.buf[..n]);
+        }
+    }
+}
+
+/// Outcome of one [`run_traffic`] drive.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficReport {
+    /// Write ops acknowledged.
+    pub writes: u64,
+    /// Read ops answered.
+    pub reads: u64,
+    /// Reads whose payload did not match what this client wrote there.
+    pub verify_failures: u64,
+}
+
+/// Drives `conns` concurrent connections of interleaved write/read
+/// traffic, `ops` requests each, against the server at `addr`.
+///
+/// Each connection owns a disjoint LBA range and deterministic
+/// (seed-derived) chunk contents, so every read — about one in three
+/// ops, always of a previously written LBA — verifies byte-exactly
+/// against what *that* connection wrote. Duplicate content across
+/// connections (the tag space is shared) keeps the dedup pipeline busy.
+///
+/// # Errors
+///
+/// The first [`ClientError`] of any connection, after all connections
+/// finish or fail.
+pub fn run_traffic(
+    addr: SocketAddr,
+    conns: usize,
+    ops: usize,
+    seed: u64,
+) -> Result<TrafficReport, ClientError> {
+    let mut joined = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for conn_id in 0..conns as u64 {
+            handles.push(scope.spawn(move || drive_connection(addr, conn_id, ops, seed)));
+        }
+        for h in handles {
+            joined.push(h.join().expect("client thread panicked"));
+        }
+    });
+    let mut total = TrafficReport::default();
+    for outcome in joined {
+        let report = outcome?;
+        total.writes += report.writes;
+        total.reads += report.reads;
+        total.verify_failures += report.verify_failures;
+    }
+    Ok(total)
+}
+
+/// One connection's deterministic write/read/verify loop.
+fn drive_connection(
+    addr: SocketAddr,
+    conn_id: u64,
+    ops: usize,
+    seed: u64,
+) -> Result<TrafficReport, ClientError> {
+    let gen = ContentGenerator::new(0.5);
+    let mut client = StorageClient::connect(addr)?;
+    let mut report = TrafficReport::default();
+    let base = conn_id * 1_000_000;
+    // content_of keeps the tag space shared across connections so the
+    // server sees cross-client duplicates to eliminate.
+    let content_of = |i: u64| seed.wrapping_mul(31).wrapping_add(i % 40);
+    let mut written = 0u64;
+    for i in 0..ops as u64 {
+        // Every third op (once something is written) reads back and
+        // verifies a previously written LBA; the rest write.
+        if i % 3 == 2 && written > 0 {
+            let j = (i.wrapping_mul(seed | 1)) % written;
+            let got = client.read(Lba(base + j))?;
+            report.reads += 1;
+            if got != gen.chunk(content_of(j), 4096) {
+                report.verify_failures += 1;
+            }
+        } else {
+            let data = Bytes::from(gen.chunk(content_of(written), 4096));
+            client.write(Lba(base + written), data)?;
+            report.writes += 1;
+            written += 1;
+        }
+    }
+    Ok(report)
+}

@@ -31,7 +31,9 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod client;
 pub mod experiment;
+pub mod server;
 
 /// The CIDR-extended baseline system (paper §2.3).
 pub use fidr_baseline as baseline;

@@ -1,0 +1,534 @@
+//! The loopback TCP storage front-end: the serving layer real client
+//! traffic enters through.
+//!
+//! The paper's prototype (§6.2) is a two-machine deployment speaking the
+//! simplified read/write/acknowledgment protocol of
+//! [`fidr_nic::protocol`]. This module stands that deployment up as a
+//! process: a [`Server`] accepts N concurrent client connections,
+//! reassembles frames per connection through [`fidr_nic::FramedCodec`],
+//! and feeds writes/reads into one shared [`FidrSystem`] behind a
+//! bounded in-flight queue (admission blocks — and therefore stops
+//! reading from the socket — when the backend falls behind, which is TCP
+//! backpressure).
+//!
+//! Connection hygiene follows the streaming contract of the protocol: a
+//! partial frame is never an error (the codec waits for more bytes), but
+//! a hard [`fidr_nic::protocol::ProtocolError`] — bad opcode, hostile
+//! length field — or a mid-frame disconnect closes *only* the offending
+//! connection and counts in `server.frames.rejected.count`. Other
+//! clients never stall.
+//!
+//! Everything the front end does is observable through the `server.*`
+//! counters merged into the system's `fidr.metrics.v1` snapshot
+//! ([`ServerHandle::metrics`]); per-request `write`/`read` root spans
+//! come from the existing tracer when [`FidrConfig::trace`] enables it.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use fidr::server::{Server, ServerConfig};
+//! use fidr::client::StorageClient;
+//! use fidr::chunk::Lba;
+//! use bytes::Bytes;
+//!
+//! let handle = Server::spawn(ServerConfig::default())?;
+//! let mut client = StorageClient::connect(handle.local_addr())?;
+//! client.write(Lba(0), Bytes::from(vec![7u8; 4096]))?;
+//! assert_eq!(client.read(Lba(0))?, vec![7u8; 4096]);
+//! drop(client);
+//! let metrics = handle.shutdown().expect("clean drain");
+//! assert_eq!(metrics.counter("server.frames.rejected.count"), Some(0));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use bytes::Bytes;
+use fidr_core::{FidrConfig, FidrError, FidrSystem};
+use fidr_metrics::MetricsSnapshot;
+use fidr_nic::protocol::Message;
+use fidr_nic::FramedCodec;
+use fidr_tables::BUCKET_BYTES;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a connection thread blocks in `read` before re-checking the
+/// shutdown flag; bounds the drain latency of [`ServerHandle::shutdown`].
+const READ_TIMEOUT: Duration = Duration::from_millis(25);
+
+/// Accept-loop poll interval (the listener runs non-blocking so the
+/// loop can notice shutdown and connection-limit drain).
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Configuration of the TCP front-end.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (read it back with
+    /// [`ServerHandle::local_addr`]).
+    pub addr: SocketAddr,
+    /// The storage backend's configuration (enable
+    /// [`fidr::trace`](crate::trace) via its `trace` field to get
+    /// per-request root spans).
+    pub system: FidrConfig,
+    /// Bound on frames admitted into the backend but not yet replied to.
+    /// When full, connection threads block *before* reading more from
+    /// their sockets — the kernel's receive window then pushes back on
+    /// clients.
+    pub queue_capacity: usize,
+    /// Auto-drain: once this many connections have been accepted and all
+    /// of them have closed, the server drains and
+    /// [`ServerHandle::wait`] returns. `None` serves until
+    /// [`ServerHandle::shutdown`].
+    pub conns_limit: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".parse().expect("static addr"),
+            system: FidrConfig::default(),
+            queue_capacity: 64,
+            conns_limit: None,
+        }
+    }
+}
+
+/// Atomic `server.*` counters shared by every connection thread.
+#[derive(Debug, Default)]
+struct ServerMetrics {
+    connections_accepted: AtomicU64,
+    connections_active: AtomicU64,
+    connections_closed_clean: AtomicU64,
+    connections_closed_error: AtomicU64,
+    frames_decoded: AtomicU64,
+    frames_rejected: AtomicU64,
+    frames_unexpected: AtomicU64,
+    rx_bytes: AtomicU64,
+    tx_bytes: AtomicU64,
+    queue_waits: AtomicU64,
+    queue_depth_max: AtomicU64,
+    ops_write: AtomicU64,
+    ops_read: AtomicU64,
+    ops_failed: AtomicU64,
+}
+
+impl ServerMetrics {
+    fn export(&self, out: &mut MetricsSnapshot, queue_depth: u64) {
+        let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        out.set_counter(
+            "server.connections.accepted.count",
+            c(&self.connections_accepted),
+        );
+        out.set_gauge(
+            "server.connections.active.count",
+            c(&self.connections_active) as f64,
+        );
+        out.set_counter(
+            "server.connections.closed_clean.count",
+            c(&self.connections_closed_clean),
+        );
+        out.set_counter(
+            "server.connections.closed_error.count",
+            c(&self.connections_closed_error),
+        );
+        out.set_counter("server.frames.decoded.count", c(&self.frames_decoded));
+        out.set_counter("server.frames.rejected.count", c(&self.frames_rejected));
+        out.set_counter("server.frames.unexpected.count", c(&self.frames_unexpected));
+        out.set_counter("server.rx.bytes", c(&self.rx_bytes));
+        out.set_counter("server.tx.bytes", c(&self.tx_bytes));
+        out.set_gauge("server.queue.depth.count", queue_depth as f64);
+        out.set_counter("server.queue.depth.max", c(&self.queue_depth_max));
+        out.set_counter("server.queue.waits.count", c(&self.queue_waits));
+        out.set_counter("server.ops.write.count", c(&self.ops_write));
+        out.set_counter("server.ops.read.count", c(&self.ops_read));
+        out.set_counter("server.ops.failed.count", c(&self.ops_failed));
+    }
+}
+
+/// State shared between the accept loop, connection threads and the
+/// handle.
+struct Shared {
+    system: Mutex<FidrSystem>,
+    metrics: ServerMetrics,
+    shutdown: AtomicBool,
+    queue_capacity: usize,
+    /// Frames admitted into the backend but not yet replied.
+    inflight: Mutex<usize>,
+    inflight_cv: Condvar,
+}
+
+impl Shared {
+    /// Blocks until an in-flight slot frees up (the backpressure point),
+    /// then claims it.
+    fn admit(&self) {
+        let mut inflight = self.inflight.lock().expect("inflight lock");
+        if *inflight >= self.queue_capacity {
+            self.metrics.queue_waits.fetch_add(1, Ordering::Relaxed);
+            while *inflight >= self.queue_capacity {
+                inflight = self
+                    .inflight_cv
+                    .wait(inflight)
+                    .expect("inflight lock poisoned");
+            }
+        }
+        *inflight += 1;
+        self.metrics
+            .queue_depth_max
+            .fetch_max(*inflight as u64, Ordering::Relaxed);
+    }
+
+    fn release(&self) {
+        let mut inflight = self.inflight.lock().expect("inflight lock");
+        *inflight -= 1;
+        drop(inflight);
+        self.inflight_cv.notify_one();
+    }
+
+    fn queue_depth(&self) -> u64 {
+        *self.inflight.lock().expect("inflight lock") as u64
+    }
+}
+
+/// The serving front end. [`Server::spawn`] binds, starts the accept
+/// loop and returns a [`ServerHandle`].
+pub struct Server;
+
+/// Handle to a running [`Server`]: address, live metrics, and the two
+/// ways it ends ([`shutdown`](ServerHandle::shutdown) /
+/// [`wait`](ServerHandle::wait)).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `cfg.addr`, spawns the accept loop and returns the handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            system: Mutex::new(FidrSystem::new(cfg.system.clone())),
+            metrics: ServerMetrics::default(),
+            shutdown: AtomicBool::new(false),
+            queue_capacity: cfg.queue_capacity.max(1),
+            inflight: Mutex::new(0),
+            inflight_cv: Condvar::new(),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let conns_limit = cfg.conns_limit;
+        let accept_thread =
+            std::thread::spawn(move || accept_loop(&accept_shared, &listener, conns_limit));
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+/// Accepts connections until shutdown (or until `conns_limit`
+/// connections were accepted *and* all of them finished). Returns the
+/// connection threads for the handle to join.
+fn accept_loop(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    conns_limit: Option<u64>,
+) -> Vec<JoinHandle<()>> {
+    let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        let accepted = shared.metrics.connections_accepted.load(Ordering::Relaxed);
+        if let Some(limit) = conns_limit {
+            if accepted >= limit {
+                // Past the limit: drain instead of accepting more.
+                if shared.metrics.connections_active.load(Ordering::Relaxed) == 0 {
+                    break;
+                }
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared
+                    .metrics
+                    .connections_accepted
+                    .fetch_add(1, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .connections_active
+                    .fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(shared);
+                conn_threads.push(std::thread::spawn(move || {
+                    serve_connection(&conn_shared, stream);
+                    conn_shared
+                        .metrics
+                        .connections_active
+                        .fetch_sub(1, Ordering::Relaxed);
+                }));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            // Transient accept errors (peer reset mid-handshake) are not
+            // fatal to the server.
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    conn_threads
+}
+
+/// Why one connection ended.
+enum ConnEnd {
+    /// Peer closed cleanly at a frame boundary.
+    Clean,
+    /// Protocol violation, mid-frame disconnect, IO error or backend
+    /// failure.
+    Error,
+}
+
+/// Runs one connection to completion: read → reassemble → serve → reply.
+fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let end = serve_connection_inner(shared, &mut stream);
+    match end {
+        ConnEnd::Clean => shared
+            .metrics
+            .connections_closed_clean
+            .fetch_add(1, Ordering::Relaxed),
+        ConnEnd::Error => shared
+            .metrics
+            .connections_closed_error
+            .fetch_add(1, Ordering::Relaxed),
+    };
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+fn serve_connection_inner(shared: &Arc<Shared>, stream: &mut TcpStream) -> ConnEnd {
+    if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() || stream.set_nodelay(true).is_err() {
+        return ConnEnd::Error;
+    }
+    let mut codec = FramedCodec::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                // EOF. A partial frame left in the codec means the peer
+                // died mid-frame: that frame is lost for good.
+                if codec.pending_bytes() > 0 {
+                    shared
+                        .metrics
+                        .frames_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    return ConnEnd::Error;
+                }
+                return ConnEnd::Clean;
+            }
+            Ok(n) => {
+                shared
+                    .metrics
+                    .rx_bytes
+                    .fetch_add(n as u64, Ordering::Relaxed);
+                codec.feed(&buf[..n]);
+                loop {
+                    match codec.next_frame() {
+                        Ok(Some(msg)) => {
+                            shared
+                                .metrics
+                                .frames_decoded
+                                .fetch_add(1, Ordering::Relaxed);
+                            if !serve_frame(shared, stream, msg) {
+                                return ConnEnd::Error;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            // Bad opcode / hostile length: the stream has
+                            // no recoverable frame boundary. Close only
+                            // this connection.
+                            shared
+                                .metrics
+                                .frames_rejected
+                                .fetch_add(1, Ordering::Relaxed);
+                            return ConnEnd::Error;
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    // Drain: the peer went quiet and the server is
+                    // leaving; no frame is in flight at this point.
+                    return ConnEnd::Clean;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return ConnEnd::Error,
+        }
+    }
+}
+
+/// Admits one decoded frame through the bounded queue, applies it to the
+/// shared system and writes the reply. Returns `false` when the
+/// connection must close (semantic violation, backend error, dead peer).
+fn serve_frame(shared: &Arc<Shared>, stream: &mut TcpStream, msg: Message) -> bool {
+    let reply = match msg {
+        Message::Write { lba, data } => {
+            shared.admit();
+            let outcome = apply_write(shared, lba, data);
+            shared.release();
+            match outcome {
+                Ok(()) => {
+                    shared.metrics.ops_write.fetch_add(1, Ordering::Relaxed);
+                    Message::WriteAck { lba }
+                }
+                Err(_) => {
+                    shared.metrics.ops_failed.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+            }
+        }
+        Message::Read { lba } => {
+            shared.admit();
+            let outcome = {
+                let mut system = shared.system.lock().expect("system lock");
+                system.read(lba)
+            };
+            shared.release();
+            match outcome {
+                Ok(data) => {
+                    shared.metrics.ops_read.fetch_add(1, Ordering::Relaxed);
+                    Message::ReadReply {
+                        lba,
+                        data: Bytes::from(data),
+                    }
+                }
+                Err(_) => {
+                    shared.metrics.ops_failed.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+            }
+        }
+        // Server-only opcodes arriving *at* the server are a semantic
+        // violation even though they framed correctly.
+        Message::WriteAck { .. } | Message::ReadReply { .. } => {
+            shared
+                .metrics
+                .frames_unexpected
+                .fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+    };
+    let frame = match reply.encode() {
+        Ok(frame) => frame,
+        // Unreachable for replies we build (reads return one chunk), but
+        // a protocol bound must not panic the connection thread.
+        Err(_) => return false,
+    };
+    if stream.write_all(&frame).is_err() {
+        return false;
+    }
+    shared
+        .metrics
+        .tx_bytes
+        .fetch_add(frame.len() as u64, Ordering::Relaxed);
+    true
+}
+
+/// Applies one write frame: a single 4-KiB chunk goes through
+/// [`FidrSystem::write`]; a larger multiple-of-4-KiB payload is chunked
+/// by [`FidrSystem::write_request`]; anything ragged is rejected.
+fn apply_write(shared: &Arc<Shared>, lba: fidr_chunk::Lba, data: Bytes) -> Result<(), FidrError> {
+    let mut system = shared.system.lock().expect("system lock");
+    if data.len() == BUCKET_BYTES {
+        system.write(lba, data)
+    } else {
+        system.write_request(lba, data).map(|_chunks| ())
+    }
+}
+
+impl ServerHandle {
+    /// The actually bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live `fidr.metrics.v1` snapshot: the backend's full pipeline
+    /// metrics plus the `server.*` counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut out = self.shared.system.lock().expect("system lock").metrics();
+        self.shared
+            .metrics
+            .export(&mut out, self.shared.queue_depth());
+        out
+    }
+
+    /// Graceful shutdown: stop accepting, let every connection finish
+    /// its in-flight frame and close, flush the backend (drain the NIC,
+    /// seal the open container, flush dirty cache lines) and return the
+    /// final metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a backend flush failure (the snapshot is still
+    /// retrievable via [`ServerHandle::metrics`] afterwards).
+    pub fn shutdown(mut self) -> Result<MetricsSnapshot, FidrError> {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.drain()
+    }
+
+    /// Blocks until the configured
+    /// [`conns_limit`](ServerConfig::conns_limit) auto-drain triggers
+    /// (or a [`shutdown`](ServerHandle::shutdown) from another handle —
+    /// with no limit and no shutdown this never returns), then drains
+    /// exactly like [`shutdown`](ServerHandle::shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a backend flush failure.
+    pub fn wait(mut self) -> Result<MetricsSnapshot, FidrError> {
+        self.drain()
+    }
+
+    fn drain(&mut self) -> Result<MetricsSnapshot, FidrError> {
+        if let Some(accept) = self.accept_thread.take() {
+            let conn_threads = accept.join().expect("accept thread panicked");
+            // The accept loop has stopped; make sure lingering
+            // connections see the flag and wind down.
+            self.shared.shutdown.store(true, Ordering::Relaxed);
+            for t in conn_threads {
+                t.join().expect("connection thread panicked");
+            }
+        }
+        let mut system = self.shared.system.lock().expect("system lock");
+        system.flush()?;
+        let mut out = system.metrics();
+        drop(system);
+        self.shared
+            .metrics
+            .export(&mut out, self.shared.queue_depth());
+        Ok(out)
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // A dropped handle must not leak the accept loop or strand
+        // connection threads blocked on reads.
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        if let Some(accept) = self.accept_thread.take() {
+            if let Ok(conn_threads) = accept.join() {
+                for t in conn_threads {
+                    let _ = t.join();
+                }
+            }
+        }
+    }
+}
