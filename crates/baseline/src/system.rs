@@ -18,6 +18,7 @@ use fidr_faults::{FaultInjector, FaultPlan, RetryPolicy};
 use fidr_hash::Fingerprint;
 use fidr_hwsim::{ops, CostParams, CpuTask, Ledger, MemPath, PcieLink, TimeModel};
 use fidr_metrics::{Histogram, MetricsSnapshot};
+use fidr_pool::WorkerPool;
 use fidr_ssd::{DataSsdArray, QueueLocation, TableSsd};
 use fidr_tables::{
     ContainerBuilder, ContainerLiveness, GcReport, HashPbnStore, LbaPbaTable, PbnLocation,
@@ -190,6 +191,9 @@ pub struct BaselineSystem {
     tracer: Tracer,
     /// Modelled service times backing span durations.
     time: TimeModel,
+    /// Persistent worker pool for batched-write preparation (present
+    /// only when `cfg.workers` > 1 with an inert fault plan).
+    pool: Option<WorkerPool>,
 }
 
 impl BaselineSystem {
@@ -200,6 +204,13 @@ impl BaselineSystem {
         table_ssd.set_fault_injector(faults.clone(), cfg.retry);
         let mut data_ssd = DataSsdArray::new(cfg.data_ssds);
         data_ssd.set_fault_injector(faults.clone(), cfg.retry);
+        // One persistent pool for the life of the system, not a thread
+        // spawn per batch. Armed fault plans force the serial path.
+        let pool = if cfg.workers > 1 && cfg.faults.is_inert() {
+            Some(WorkerPool::new(cfg.workers))
+        } else {
+            None
+        };
         BaselineSystem {
             predictor: UniquePredictor::new(cfg.predictor_bits),
             cache: ShardedTableCache::new(cfg.cache_shards.max(1), cfg.cache_lines, |_| {
@@ -235,6 +246,7 @@ impl BaselineSystem {
             seal_failures: 0,
             tracer: Tracer::new(cfg.trace),
             time: TimeModel::default(),
+            pool,
             cfg,
         }
     }
@@ -314,11 +326,12 @@ impl BaselineSystem {
 
     /// Handles a batch of 4-KB client writes. With
     /// [`BaselineConfig::workers`] > 1 (and an inert fault plan — armed
-    /// faults key off global device-call order) the SHA-256 hashing and
-    /// speculative LZSS compression of every chunk precompute across a
-    /// scoped worker pool; each write then commits on this thread in
-    /// submission order, recording stats at exactly the sites the serial
-    /// path would, so modelled metrics stay byte-identical.
+    /// faults key off global device-call order) the multi-lane SHA-256
+    /// hashing and speculative LZSS compression of every chunk
+    /// precompute on the persistent worker pool; each write then commits
+    /// on this thread in submission order, recording stats at exactly
+    /// the sites the serial path would, so modelled metrics stay
+    /// byte-identical.
     ///
     /// # Errors
     ///
@@ -329,13 +342,13 @@ impl BaselineSystem {
         } else {
             1
         };
-        if workers <= 1 || writes.len() < 2 {
+        let (Some(pool), true) = (self.pool.as_ref(), workers > 1 && writes.len() >= 2) else {
             for (lba, data) in writes {
                 self.write(lba, data)?;
             }
             return Ok(());
-        }
-        let mut prepared = prepare_writes(&writes, workers);
+        };
+        let mut prepared = prepare_writes(&writes, workers, pool);
         for (i, (lba, data)) in writes.into_iter().enumerate() {
             self.write_prepared(lba, data, prepared[i].take())?;
         }
@@ -1214,17 +1227,30 @@ struct PreparedWrite {
 }
 
 /// Fingerprints and speculatively compresses every chunk of `writes`
-/// across up to `workers` scoped threads, in submission order per slot.
+/// across up to `workers` persistent pool workers, in submission order
+/// per slot. Each job hashes its whole slice through the multi-lane
+/// SHA-256 kernel ([`Fingerprint::of_batch`]) before compressing.
 /// Oversized chunks still prepare (cheaply wasted): `write_inner`
 /// rejects them before consuming the precompute, exactly as in serial.
-fn prepare_writes(writes: &[(Lba, Bytes)], workers: usize) -> Vec<Option<PreparedWrite>> {
+fn prepare_writes(
+    writes: &[(Lba, Bytes)],
+    workers: usize,
+    pool: &WorkerPool,
+) -> Vec<Option<PreparedWrite>> {
     let mut slots: Vec<Option<PreparedWrite>> = (0..writes.len()).map(|_| None).collect();
     let per_worker = writes.len().div_ceil(workers.min(writes.len()).max(1));
-    std::thread::scope(|scope| {
-        for (slice_in, slice_out) in writes.chunks(per_worker).zip(slots.chunks_mut(per_worker)) {
-            scope.spawn(move || {
-                for ((_, data), slot) in slice_in.iter().zip(slice_out.iter_mut()) {
-                    let fingerprint = Fingerprint::of(data);
+    pool.scope(|s| {
+        for (k, (slice_in, slice_out)) in writes
+            .chunks(per_worker)
+            .zip(slots.chunks_mut(per_worker))
+            .enumerate()
+        {
+            s.spawn_on(k, move || {
+                let refs: Vec<&[u8]> = slice_in.iter().map(|(_, data)| data.as_ref()).collect();
+                let fingerprints = Fingerprint::of_batch(&refs);
+                for (((_, data), fingerprint), slot) in
+                    slice_in.iter().zip(fingerprints).zip(slice_out.iter_mut())
+                {
                     let started = Instant::now();
                     let compressed = CompressedChunk::compress(data);
                     *slot = Some(PreparedWrite {

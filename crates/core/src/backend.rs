@@ -26,6 +26,7 @@ use fidr_cache::{
     ShardedTableCache, TableCache,
 };
 use fidr_hwsim::{ops, CostParams, CpuTask, Ledger, MemPath, PcieLink};
+use fidr_pool::WorkerPool;
 use fidr_ssd::{TableSsd, TableSsdError};
 use fidr_tables::{Bucket, BUCKET_BYTES};
 use std::sync::Mutex;
@@ -257,14 +258,16 @@ impl CacheBackend {
     }
 
     /// Parallel [`lookup_batch`](CacheBackend::lookup_batch): raw cache
-    /// accesses fan out over `workers` scoped threads — each worker owns
-    /// the shards `s` with `s % workers == worker` and serves that
-    /// shard's requests in batch order, so every shard's index, LRU and
-    /// stats evolve exactly as in a serial run. The shared table SSD sits
-    /// behind a mutex and is only locked on shard misses. Results are
-    /// merged back into batch order and the ledger charges are replayed
-    /// serially here, making the returned lookups *and* every charge
-    /// byte-identical to the serial path for any worker count.
+    /// accesses fan out over the persistent worker `pool` — the job with
+    /// affinity `k` owns the shards `s` with `s % workers == k` and
+    /// serves each shard's requests in batch order, so every shard's
+    /// index, LRU and stats evolve exactly as in a serial run (a job
+    /// exclusively borrows its shard group, so work-stealing cannot
+    /// change results). The shared table SSD sits behind a mutex and is
+    /// only locked on shard misses. Results are merged back into batch
+    /// order and the ledger charges are replayed serially here, making
+    /// the returned lookups *and* every charge byte-identical to the
+    /// serial path for any worker count.
     ///
     /// # Errors
     ///
@@ -279,10 +282,17 @@ impl CacheBackend {
         ledger: &mut Ledger,
         cost: &CostParams,
         workers: usize,
+        pool: &WorkerPool,
     ) -> Result<Vec<(Option<fidr_chunk::Pbn>, Access)>, TableSsdError> {
         let (hw, slots) = match self {
-            CacheBackend::Software(c) => (false, parallel_shard_lookups(c, requests, ssd, workers)),
-            CacheBackend::Hw(c) => (true, parallel_shard_lookups(c, requests, ssd, workers)),
+            CacheBackend::Software(c) => (
+                false,
+                parallel_shard_lookups(c, requests, ssd, workers, pool),
+            ),
+            CacheBackend::Hw(c) => (
+                true,
+                parallel_shard_lookups(c, requests, ssd, workers, pool),
+            ),
         };
         let mut out = Vec::with_capacity(requests.len());
         for slot in slots {
@@ -414,7 +424,8 @@ type ShardLookup = (
 );
 
 /// Runs the raw (ledger-free) cache accesses of a lookup batch across
-/// `workers` scoped threads, each owning a disjoint set of shards, and
+/// the persistent worker pool, one job per shard group (`workers` jobs,
+/// the job with affinity `k` owning shards `s % workers == k`), and
 /// scatters the results back into batch order. Per-shard access order is
 /// the batch order restricted to that shard, so shard state evolves
 /// identically to a serial pass. The table SSD is shared behind a mutex
@@ -425,6 +436,7 @@ fn parallel_shard_lookups<I: CacheIndex + Send>(
     requests: &[(u64, fidr_hash::Fingerprint)],
     ssd: &mut TableSsd,
     workers: usize,
+    pool: &WorkerPool,
 ) -> LookupSlots {
     let shard_capacity = cache.shard_capacity() as u32;
     let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); cache.shard_count()];
@@ -441,52 +453,44 @@ fn parallel_shard_lookups<I: CacheIndex + Send>(
 
     let mut slots: LookupSlots = Vec::new();
     slots.resize_with(requests.len(), || None);
-    let gathered: Vec<Vec<ShardLookup>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = groups
-            .into_iter()
-            .map(|group| {
-                let shared_ssd = &shared_ssd;
-                let by_shard = &by_shard;
-                scope.spawn(move || {
-                    let mut results = Vec::new();
-                    for (shard_no, shard) in group {
-                        for &req_idx in &by_shard[shard_no] {
-                            let (bucket, fp) = requests[req_idx];
-                            let accessed = match shard.access_cached(bucket) {
-                                Some(a) => Ok(a),
-                                None => {
-                                    let mut guard = shared_ssd
-                                        .lock()
-                                        .unwrap_or_else(|poisoned| poisoned.into_inner());
-                                    shard.access_after_miss(bucket, &mut guard)
-                                }
-                            };
-                            match accessed {
-                                Ok(a) => {
-                                    let pbn = shard.bucket(a.line).lookup(&fp);
-                                    let global = Access {
-                                        line: shard_no as u32 * shard_capacity + a.line,
-                                        ..a
-                                    };
-                                    results.push((req_idx, Ok((pbn, global))));
-                                }
-                                Err(e) => {
-                                    // This shard's remaining requests
-                                    // are skipped; other shards go on.
-                                    results.push((req_idx, Err(e)));
-                                    break;
-                                }
+    let mut gathered: Vec<Vec<ShardLookup>> = (0..groups.len()).map(|_| Vec::new()).collect();
+    pool.scope(|s| {
+        for ((k, group), results) in groups.drain(..).enumerate().zip(gathered.iter_mut()) {
+            let shared_ssd = &shared_ssd;
+            let by_shard = &by_shard;
+            s.spawn_on(k, move || {
+                for (shard_no, shard) in group {
+                    for &req_idx in &by_shard[shard_no] {
+                        let (bucket, fp) = requests[req_idx];
+                        let accessed = match shard.access_cached(bucket) {
+                            Some(a) => Ok(a),
+                            None => {
+                                let mut guard = shared_ssd
+                                    .lock()
+                                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                                shard.access_after_miss(bucket, &mut guard)
+                            }
+                        };
+                        match accessed {
+                            Ok(a) => {
+                                let pbn = shard.bucket(a.line).lookup(&fp);
+                                let global = Access {
+                                    line: shard_no as u32 * shard_capacity + a.line,
+                                    ..a
+                                };
+                                results.push((req_idx, Ok((pbn, global))));
+                            }
+                            Err(e) => {
+                                // This shard's remaining requests
+                                // are skipped; other shards go on.
+                                results.push((req_idx, Err(e)));
+                                break;
                             }
                         }
                     }
-                    results
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("lookup worker panicked"))
-            .collect()
+                }
+            });
+        }
     });
     for (req_idx, result) in gathered.into_iter().flatten() {
         slots[req_idx] = Some(result);
@@ -566,11 +570,12 @@ mod tests {
                 .lookup_batch(&requests, &mut serial_ssd, &mut serial_ledger, &cost)
                 .unwrap();
 
+            let pool = WorkerPool::new(4);
             let mut par = CacheBackend::new(mode, 32, None, 4);
             let mut par_ssd = TableSsd::new(1 << 10, queue);
             let mut par_ledger = Ledger::new();
             let par_out = par
-                .lookup_batch_parallel(&requests, &mut par_ssd, &mut par_ledger, &cost, 4)
+                .lookup_batch_parallel(&requests, &mut par_ssd, &mut par_ledger, &cost, 4, &pool)
                 .unwrap();
 
             assert_eq!(serial_out, par_out, "{mode:?} results");

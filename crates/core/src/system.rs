@@ -25,6 +25,7 @@ use fidr_hash::Fingerprint;
 use fidr_hwsim::{ops, CostParams, CpuTask, Ledger, MemPath, PcieLink, TimeModel};
 use fidr_metrics::{Histogram, MetricsSnapshot};
 use fidr_nic::{FidrNic, HashedChunk, NicStats};
+use fidr_pool::{PoolStats, WorkerPool};
 use fidr_ssd::{DataSsdArray, QueueLocation, TableSsd};
 use fidr_tables::{
     ContainerBuilder, ContainerLiveness, GcReport, LbaPbaTable, PbnLocation, ReductionStats,
@@ -234,6 +235,11 @@ pub struct FidrSystem {
     tracer: Tracer,
     /// Modelled service times backing the tracer's clock.
     time: TimeModel,
+    /// Persistent worker pool for the batch pipeline (present only when
+    /// `cfg.workers > 1` with an inert fault plan). Long-lived threads
+    /// with thread-per-shard-group affinity replace the per-batch
+    /// scoped-thread spawns of earlier revisions; see `fidr-pool`.
+    pool: Option<WorkerPool>,
 }
 
 /// Ledger positions captured before a cache access, used to split the
@@ -259,6 +265,14 @@ impl FidrSystem {
         table_ssd.set_fault_injector(faults.clone(), cfg.retry);
         let mut data_ssd = DataSsdArray::new(cfg.data_ssds);
         data_ssd.set_fault_injector(faults.clone(), cfg.retry);
+        // Spin up the persistent worker pool once, here, rather than
+        // spawning threads per batch. An armed fault plan forces the
+        // serial path (deterministic fault replay), so no pool is built.
+        let pool = if cfg.workers > 1 && cfg.faults.is_inert() {
+            Some(WorkerPool::new(cfg.workers))
+        } else {
+            None
+        };
         FidrSystem {
             nic,
             cache: CacheBackend::new(
@@ -301,6 +315,7 @@ impl FidrSystem {
             seal_failures: 0,
             tracer: Tracer::new(cfg.trace),
             time: TimeModel::default(),
+            pool,
             cfg,
         }
     }
@@ -759,13 +774,15 @@ impl FidrSystem {
     ///
     /// With [`FidrConfig::workers`] > 1 (and an inert fault plan — armed
     /// faults key off global device-call order, so they force the serial
-    /// path) the batch pipeline fans out over a scoped worker pool:
-    /// hashing widens to `max(hash_engines, workers)` physical cores,
-    /// dedup lookups run shard-owned via
-    /// [`CacheBackend::lookup_batch_parallel`], and lookup-flagged
-    /// uniques precompress speculatively. All ledger charges, spans and
-    /// commits replay on this thread in batch order, so every modelled
-    /// export is byte-identical for any worker count.
+    /// path) the batch pipeline fans out over the persistent
+    /// [`WorkerPool`] built once at construction: hashing runs the
+    /// multi-lane SHA-256 kernel (`fidr_hash::digest_batch`) when
+    /// `max(hash_engines, workers)` > 1, dedup lookups run shard-owned
+    /// via [`CacheBackend::lookup_batch_parallel`] on the pool, and
+    /// lookup-flagged uniques precompress speculatively on the pool. All
+    /// ledger charges, spans and commits replay on this thread in batch
+    /// order, so every modelled export is byte-identical for any worker
+    /// count.
     fn process_batch(&mut self) -> Result<(), FidrError> {
         let cost = self.cfg.cost;
         let traced = self.tracer.is_enabled();
@@ -834,13 +851,14 @@ impl FidrSystem {
         } else {
             None
         };
-        let results = if workers > 1 {
+        let results = if let (true, Some(pool)) = (workers > 1, self.pool.as_ref()) {
             self.cache.lookup_batch_parallel(
                 &requests,
                 &mut self.table_ssd,
                 &mut self.ledger,
                 &cost,
                 workers,
+                pool,
             )
         } else {
             self.cache
@@ -894,7 +912,8 @@ impl FidrSystem {
         // `commit_unique_with` and its speculative output is discarded
         // unrecorded — exactly the chunks the serial path never
         // compresses.
-        let mut precompressed = precompress_uniques(&batch, &unique_flags, workers);
+        let mut precompressed =
+            precompress_uniques(&batch, &unique_flags, workers, self.pool.as_ref());
 
         // Commit each chunk in batch order: duplicates update the LBA
         // map; uniques compress, stage in engine DRAM, and gain table
@@ -1398,6 +1417,38 @@ impl FidrSystem {
         out
     }
 
+    /// A snapshot of the persistent worker pool's counters, or `None`
+    /// when the system runs serially (workers <= 1 or an armed fault
+    /// plan).
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        self.pool.as_ref().map(WorkerPool::stats)
+    }
+
+    /// Appends the `pool.*` wall-clock counters to `out`.
+    ///
+    /// These are deliberately **not** part of [`FidrSystem::metrics`]:
+    /// queue depths, steal counts and busy/idle times vary with worker
+    /// count and scheduling, while `metrics()` must stay byte-identical
+    /// for any `workers` setting (the determinism contract in
+    /// `docs/OBSERVABILITY.md`). Callers that want them — `fidr serve`'s
+    /// metrics file, diagnostics — opt in explicitly.
+    pub fn export_pool_metrics(&self, out: &mut MetricsSnapshot) {
+        let Some(stats) = self.pool_stats() else {
+            return;
+        };
+        out.set_counter("pool.workers.count", stats.workers as u64);
+        out.set_counter("pool.handoffs.count", stats.handoffs);
+        out.set_counter("pool.jobs.stolen", stats.jobs_stolen);
+        out.set_counter("pool.jobs.executed", stats.jobs_executed);
+        out.set_counter("pool.jobs.panicked", stats.jobs_panicked);
+        out.set_counter("pool.scopes.count", stats.scopes);
+        out.set_counter("pool.submit.waits", stats.submit_waits);
+        out.set_counter("pool.queue.depth", stats.queued as u64);
+        out.set_counter("pool.queue.max_depth", stats.max_queue_depth as u64);
+        out.set_counter("pool.busy.ns", stats.busy_ns);
+        out.set_counter("pool.idle.ns", stats.idle_ns);
+    }
+
     fn fetch_chunk(&mut self, pba: Pba) -> Result<Vec<u8>, FidrError> {
         if pba.container == self.builder.id() {
             return self
@@ -1478,16 +1529,21 @@ impl FidrSystem {
 }
 
 /// Compresses the unique-flagged chunks of `batch` across up to
-/// `workers` scoped threads, scattering each result (with its measured
-/// wall-clock) back to its batch index. All-`None` when `workers <= 1`:
-/// the serial path compresses at commit time instead.
+/// `workers` persistent pool workers, scattering each result (with its
+/// measured wall-clock) back to its batch index. All-`None` when
+/// `workers <= 1` or no pool is available: the serial path compresses
+/// at commit time instead.
 fn precompress_uniques(
     batch: &[HashedChunk],
     unique_flags: &[bool],
     workers: usize,
+    pool: Option<&WorkerPool>,
 ) -> Vec<Option<(CompressedChunk, std::time::Duration)>> {
     let mut out: Vec<Option<(CompressedChunk, std::time::Duration)>> =
         (0..batch.len()).map(|_| None).collect();
+    let Some(pool) = pool else {
+        return out;
+    };
     if workers <= 1 {
         return out;
     }
@@ -1498,9 +1554,9 @@ fn precompress_uniques(
     let mut slots: Vec<(usize, Option<(CompressedChunk, std::time::Duration)>)> =
         jobs.iter().map(|&i| (i, None)).collect();
     let per_worker = jobs.len().div_ceil(workers.min(jobs.len()));
-    std::thread::scope(|scope| {
-        for slice in slots.chunks_mut(per_worker) {
-            scope.spawn(|| {
+    pool.scope(|s| {
+        for (k, slice) in slots.chunks_mut(per_worker).enumerate() {
+            s.spawn_on(k, || {
                 for (i, slot) in slice.iter_mut() {
                     let started = Instant::now();
                     let compressed = CompressedChunk::compress(&batch[*i].data);

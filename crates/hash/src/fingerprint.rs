@@ -33,6 +33,27 @@ impl Fingerprint {
         Fingerprint(Sha256::digest(data))
     }
 
+    /// Computes the fingerprints of a whole batch of chunks through the
+    /// multi-lane SHA-256 kernel (see [`crate::digest_batch`]); the
+    /// result is byte-identical to calling [`Fingerprint::of`] per chunk.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fidr_hash::Fingerprint;
+    ///
+    /// let chunks: Vec<Vec<u8>> = (0..9u8).map(|i| vec![i; 4096]).collect();
+    /// let refs: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
+    /// let fps = Fingerprint::of_batch(&refs);
+    /// assert_eq!(fps[3], Fingerprint::of(&chunks[3]));
+    /// ```
+    pub fn of_batch(chunks: &[&[u8]]) -> Vec<Self> {
+        crate::digest_batch(chunks)
+            .into_iter()
+            .map(Fingerprint)
+            .collect()
+    }
+
     /// Wraps an already-computed digest.
     pub fn from_bytes(bytes: [u8; FINGERPRINT_LEN]) -> Self {
         Fingerprint(bytes)

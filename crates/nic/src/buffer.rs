@@ -186,11 +186,19 @@ impl FidrNic {
         self.take_hash_batch_with_engines(max, 1)
     }
 
-    /// Like [`take_hash_batch`](FidrNic::take_hash_batch) but fans the
-    /// batch out across `engines` parallel SHA cores — the prototype NIC
-    /// instantiates multiple hash cores to sustain line rate (§6.2). The
-    /// result is byte-identical to the sequential path; only wall-clock
-    /// changes.
+    /// Like [`take_hash_batch`](FidrNic::take_hash_batch) but models
+    /// `engines` parallel SHA cores — the prototype NIC instantiates
+    /// multiple hash cores to sustain line rate (§6.2). With more than
+    /// one engine the chunks digest through the multi-lane interleaved
+    /// SHA-256 kernel (`fidr_hash::digest_batch`): one call retires up
+    /// to `fidr_hash::lanes::MAX_LANES` streams per compression round,
+    /// which is how a software stand-in for N hash cores gets faster
+    /// even on a host with fewer CPUs than engines. (Earlier revisions
+    /// spawned a scoped thread per engine here; on hosts without spare
+    /// CPUs that *lost* wall-clock time to spawn overhead.) The result
+    /// is byte-identical to the single-engine path; only wall-clock
+    /// changes. `engines` does not change lane width — it scales the
+    /// *modelled* hash time in `fidr-hwsim`.
     ///
     /// # Panics
     ///
@@ -218,8 +226,8 @@ impl FidrNic {
             self.batch_chunks.record(staged.len() as u64);
         }
 
-        if engines == 1 || staged.len() < 2 {
-            let hashed: Vec<HashedChunk> = staged
+        let hashed: Vec<HashedChunk> = if engines == 1 || staged.len() < 2 {
+            staged
                 .into_iter()
                 .map(|(lba, data)| {
                     let fingerprint = Fingerprint::of(&data);
@@ -229,36 +237,23 @@ impl FidrNic {
                         fingerprint,
                     }
                 })
-                .collect();
-            if !hashed.is_empty() {
-                self.batch_ns.record_duration(started.elapsed());
-            }
-            return hashed;
+                .collect()
+        } else {
+            let refs: Vec<&[u8]> = staged.iter().map(|(_, data)| data.as_ref()).collect();
+            let fingerprints = Fingerprint::of_batch(&refs);
+            staged
+                .into_iter()
+                .zip(fingerprints)
+                .map(|((lba, data), fingerprint)| HashedChunk {
+                    lba,
+                    data,
+                    fingerprint,
+                })
+                .collect()
+        };
+        if !hashed.is_empty() {
+            self.batch_ns.record_duration(started.elapsed());
         }
-
-        // Fan out across scoped worker threads, one slice per engine;
-        // order is preserved by reassembling slices in place.
-        let engines = engines.min(staged.len());
-        let per_engine = staged.len().div_ceil(engines);
-        let mut out: Vec<Option<HashedChunk>> = (0..staged.len()).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            for (slice_in, slice_out) in staged.chunks(per_engine).zip(out.chunks_mut(per_engine)) {
-                scope.spawn(move || {
-                    for ((lba, data), slot) in slice_in.iter().zip(slice_out.iter_mut()) {
-                        *slot = Some(HashedChunk {
-                            lba: *lba,
-                            data: data.clone(),
-                            fingerprint: Fingerprint::of(data),
-                        });
-                    }
-                });
-            }
-        });
-        let hashed: Vec<HashedChunk> = out
-            .into_iter()
-            .map(|c| c.expect("every slot filled"))
-            .collect();
-        self.batch_ns.record_duration(started.elapsed());
         hashed
     }
 

@@ -3,18 +3,20 @@
 # projected throughput plus a per-stage latency breakdown (p50/p99 of the
 # modelled span durations) into BENCH_<tag>.json at the repository root.
 #
-# Usage: ./scripts/bench_snapshot.sh [tag]   (default tag: pr4)
+# Usage: ./scripts/bench_snapshot.sh [tag]   (default tag: pr6)
 #
 # Throughput comes from the §7.5 projection printed by `fidr run`; stage
 # latencies come from the fidr.spans.v1 files exported by `fidr spans`.
 # Span durations are modelled time, so for a given binary the latency
 # numbers are bit-reproducible; only future model changes move them.
 # The worker_scaling section comes from the ablation_worker_scaling
-# bench: its modelled speedup is deterministic, its wall GB/s is a
-# host-load diagnostic (see the bench's docs).
+# bench: its modelled speedup is deterministic; its wall GB/s is the
+# median of three repeats with the min/max spread recorded alongside, a
+# first-class regression-gated number since the persistent worker pool +
+# multi-lane hashing landed (see docs/PERFORMANCE.md).
 set -eu
 
-TAG="${1:-pr4}"
+TAG="${1:-pr6}"
 OUT="BENCH_${TAG}.json"
 OPS="${OPS:-2000}"
 TMP="$(mktemp -d)"
@@ -72,18 +74,23 @@ for wl in ["write-h", "write-m", "write-l", "read-mixed"]:
     doc["workloads"][wl] = entry
 
 # Worker-scaling ablation: modelled numbers are deterministic per seed;
-# wall numbers depend on host CPUs and load (diagnostic only).
+# wall numbers are medians of three repeats (min/max spread alongside)
+# and are regression-gated by scripts/check.sh.
 scaling = {"workload": "write-h", "rows": []}
 for line in open(f"{tmp}/worker-scaling.txt"):
     m = re.match(
-        r"worker-scaling: workers=(\d+) wall_gbps=([0-9.]+) modelled_gbps=([0-9.]+)", line
+        r"worker-scaling: workers=(\d+) wall_gbps=([0-9.]+) wall_gbps_min=([0-9.]+) "
+        r"wall_gbps_max=([0-9.]+) modelled_gbps=([0-9.]+)",
+        line,
     )
     if m:
         scaling["rows"].append(
             {
                 "workers": int(m.group(1)),
-                "wall_gbps_diagnostic": float(m.group(2)),
-                "modelled_gbps": float(m.group(3)),
+                "wall_gbps": float(m.group(2)),
+                "wall_gbps_min": float(m.group(3)),
+                "wall_gbps_max": float(m.group(4)),
+                "modelled_gbps": float(m.group(5)),
             }
         )
     m = re.match(
@@ -91,7 +98,7 @@ for line in open(f"{tmp}/worker-scaling.txt"):
         line,
     )
     if m:
-        scaling["wall_speedup_4x_diagnostic"] = float(m.group(1))
+        scaling["wall_speedup_4x"] = float(m.group(1))
         scaling["modelled_speedup_4x"] = float(m.group(2))
         scaling["host_cpus"] = int(m.group(3))
 doc["worker_scaling"] = scaling

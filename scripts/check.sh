@@ -85,4 +85,32 @@ grep -q '"server.connections.accepted.count": { "type": "counter", "value": 4 }'
 echo "    $(grep -o '"server.frames.decoded.count": { "type": "counter", "value": [0-9]*' \
   "$SERVE_DIR/metrics.json" | grep -o '[0-9]*$') frames served, 0 rejected"
 
+# Wall-speedup regression gate: the persistent worker pool + multi-lane
+# hashing must keep real wall-clock batch throughput scaling with
+# --workers. The acceptance snapshot shows >= 1.5x at 4 workers
+# (BENCH_pr6.json); the gate trips below 1.2x to leave headroom for
+# loaded CI hosts while still catching a regression to the pre-pool
+# behaviour (0.94x in BENCH_pr4.json). Set FIDR_SKIP_WALL_GATE=1 to
+# bypass on hosts where wall timing is meaningless (emulation, heavy
+# shared load); the determinism gates above still run.
+if [ "${FIDR_SKIP_WALL_GATE:-0}" = "1" ]; then
+  echo "==> wall-speedup gate (skipped: FIDR_SKIP_WALL_GATE=1)"
+else
+  echo "==> wall-speedup gate (4-worker wall speedup >= 1.2x)"
+  WALL_OUT="${WALL_OUT:-target/ci-worker-scaling.txt}"
+  FIDR_BENCH_OPS="${WALL_GATE_OPS:-4000}" cargo bench -q -p fidr-bench \
+    --bench ablation_worker_scaling > "$WALL_OUT"
+  SPEEDUP="$(sed -n 's/^worker-scaling: wall_speedup_4x=\([0-9.]*\).*/\1/p' "$WALL_OUT")"
+  if [ -z "$SPEEDUP" ]; then
+    echo "ablation_worker_scaling printed no wall_speedup_4x line" >&2
+    exit 1
+  fi
+  if ! awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 1.2) }'; then
+    echo "wall_speedup_4x=$SPEEDUP < 1.2: worker-pool wall scaling regressed" >&2
+    echo "(FIDR_SKIP_WALL_GATE=1 bypasses this gate on unsuitable hosts)" >&2
+    exit 1
+  fi
+  echo "    wall_speedup_4x=$SPEEDUP"
+fi
+
 echo "All checks passed."

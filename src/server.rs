@@ -461,9 +461,14 @@ impl ServerHandle {
     }
 
     /// Live `fidr.metrics.v1` snapshot: the backend's full pipeline
-    /// metrics plus the `server.*` counters.
+    /// metrics plus the `server.*` counters and — serve opts in, the
+    /// deterministic core export does not — the `pool.*` wall-clock
+    /// counters of the persistent worker pool.
     pub fn metrics(&self) -> MetricsSnapshot {
-        let mut out = self.shared.system.lock().expect("system lock").metrics();
+        let system = self.shared.system.lock().expect("system lock");
+        let mut out = system.metrics();
+        system.export_pool_metrics(&mut out);
+        drop(system);
         self.shared
             .metrics
             .export(&mut out, self.shared.queue_depth());
@@ -510,6 +515,7 @@ impl ServerHandle {
         let mut system = self.shared.system.lock().expect("system lock");
         system.flush()?;
         let mut out = system.metrics();
+        system.export_pool_metrics(&mut out);
         drop(system);
         self.shared
             .metrics

@@ -144,17 +144,23 @@ fn worker_count_never_changes_metrics_or_spans_exports() {
                 },
             )
         };
+        // 1 (serial path, no pool), 4 (pool, one shard per worker) and
+        // 8 (pool wider than the 4 cache shards, so lookup jobs clamp
+        // to the shard count while hashing fans wider) must all export
+        // the same bytes.
         let serial = run_with(1);
-        let parallel = run_with(4);
-        assert_eq!(
-            serial.metrics.to_json(),
-            parallel.metrics.to_json(),
-            "{variant:?}: metrics export must not depend on --workers"
-        );
-        assert_eq!(
-            chrome_trace_json(&serial.spans),
-            chrome_trace_json(&parallel.spans),
-            "{variant:?}: spans export must not depend on --workers"
-        );
+        for workers in [4usize, 8] {
+            let parallel = run_with(workers);
+            assert_eq!(
+                serial.metrics.to_json(),
+                parallel.metrics.to_json(),
+                "{variant:?}: metrics export must not depend on --workers {workers}"
+            );
+            assert_eq!(
+                chrome_trace_json(&serial.spans),
+                chrome_trace_json(&parallel.spans),
+                "{variant:?}: spans export must not depend on --workers {workers}"
+            );
+        }
     }
 }
