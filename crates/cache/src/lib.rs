@@ -13,7 +13,10 @@
 //! * [`TableCache`] — cache lines + dirty tracking over a pluggable
 //!   [`CacheIndex`];
 //! * [`ShardedTableCache`] — N independent hash-prefix-addressed shards,
-//!   each with its own index engine, for the multi-worker pipeline.
+//!   each with its own index engine, for the multi-worker pipeline;
+//! * [`TieredPolicy`] — per-stream temperature classification (HPDedup)
+//!   driving the DRAM-vs-slow-tier admission split, with the slow tier
+//!   served by [`TableCache::scrub_group`].
 //!
 //! # Examples
 //!
@@ -38,6 +41,7 @@ mod pipelined;
 mod priority_lru;
 mod sharded;
 mod table_cache;
+mod tiered;
 
 pub use btree::{BPlusTree, IndexOps};
 pub use hwtree::{HwTree, HwTreeConfig, HwTreeStats};
@@ -45,4 +49,5 @@ pub use lru::{FreeList, LruList};
 pub use pipelined::PipelinedTree;
 pub use priority_lru::{Priority, PriorityLruCache, TenantStats};
 pub use sharded::ShardedTableCache;
-pub use table_cache::{Access, CacheIndex, CacheStats, TableCache};
+pub use table_cache::{Access, CacheIndex, CacheStats, ScrubGroup, ScrubResult, TableCache};
+pub use tiered::{Temperature, TierPolicyStats, TieredPolicy, TieredPolicyConfig};

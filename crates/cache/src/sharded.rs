@@ -13,8 +13,9 @@
 //! line encoding is the identity and every access lands in shard 0.
 
 use crate::hwtree::{HwTree, HwTreeStats};
-use crate::table_cache::{Access, CacheIndex, CacheStats, TableCache};
-use fidr_hash::splitmix64;
+use crate::table_cache::{Access, CacheIndex, CacheStats, ScrubGroup, TableCache};
+use fidr_chunk::Pbn;
+use fidr_hash::{splitmix64, Fingerprint};
 use fidr_metrics::{Histogram, MetricsSnapshot};
 use fidr_ssd::{TableSsd, TableSsdError};
 use fidr_tables::Bucket;
@@ -146,6 +147,24 @@ impl<I: CacheIndex> ShardedTableCache<I> {
         self.shards[shard].bucket_mut(local)
     }
 
+    /// Slow-tier batched upsert against the shard owning `bucket` — see
+    /// [`TableCache::scrub_group`]. Cold-stream entries route through here
+    /// so they can never evict (or even refresh) the DRAM tier's resident
+    /// hot-stream lines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-SSD IO failures from the owning shard.
+    pub fn scrub_group(
+        &mut self,
+        bucket: u64,
+        entries: &[(Fingerprint, Pbn)],
+        ssd: &mut TableSsd,
+    ) -> Result<ScrubGroup, TableSsdError> {
+        let shard = self.shard_of(bucket);
+        self.shards[shard].scrub_group(bucket, entries, ssd)
+    }
+
     /// Writes every dirty line of every shard back to the table SSD, in
     /// shard order.
     ///
@@ -221,6 +240,7 @@ impl ShardedTableCache<HwTree> {
 mod tests {
     use super::*;
     use crate::btree::BPlusTree;
+    use crate::table_cache::ScrubResult;
     use fidr_chunk::Pbn;
     use fidr_hash::Fingerprint;
     use fidr_ssd::QueueLocation;
@@ -289,6 +309,83 @@ mod tests {
         for bucket in 0..16u64 {
             assert_eq!(s.store().bucket(bucket).lookup(&fp), Some(Pbn(bucket)));
         }
+    }
+
+    #[test]
+    fn cold_burst_cannot_evict_hot_resident_entries() {
+        let mut s = ssd(4096);
+        // 4 shards x 4 lines: a tiny DRAM tier that a cold scan would
+        // flatten in the flat-admission world.
+        let mut cache = ShardedTableCache::new(4, 16, |_| BPlusTree::new());
+        let hot_fp = Fingerprint::of(b"hot entry");
+        let hot_buckets: Vec<u64> = (0..8u64).collect();
+        for &b in &hot_buckets {
+            let a = cache.access(b, &mut s).unwrap();
+            cache.bucket_mut(a.line).insert(hot_fp, Pbn(b)).unwrap();
+        }
+        let before = cache.stats();
+        // A cold-stream burst 64x the DRAM capacity, all through the slow
+        // tier.
+        for b in 1000..2024u64 {
+            let fp = Fingerprint::of(&b.to_le_bytes());
+            let g = cache.scrub_group(b, &[(fp, Pbn(b))], &mut s).unwrap();
+            assert!(!g.resident, "cold bucket {b} must not be resident");
+            assert!(g.wrote_back);
+            assert_eq!(g.results, vec![ScrubResult::Inserted]);
+        }
+        let after = cache.stats();
+        // The burst moved no cache counters and evicted nothing...
+        assert_eq!(before, after, "slow tier leaked into cache counters");
+        assert_eq!(after.evictions, 0);
+        // ...and every hot line is still resident with its entry intact.
+        for &b in &hot_buckets {
+            let a = cache.access(b, &mut s).unwrap();
+            assert!(a.hit, "hot bucket {b} was evicted by the cold burst");
+            assert_eq!(cache.bucket(a.line).lookup(&hot_fp), Some(Pbn(b)));
+        }
+        // The cold entries still landed durably on the table SSD.
+        for b in 1000..2024u64 {
+            let fp = Fingerprint::of(&b.to_le_bytes());
+            assert_eq!(s.store().bucket(b).lookup(&fp), Some(Pbn(b)));
+        }
+    }
+
+    #[test]
+    fn scrub_group_uses_resident_lines_in_place() {
+        let mut s = ssd(1024);
+        let mut cache = ShardedTableCache::new(2, 8, |_| BPlusTree::new());
+        let a = cache.access(5, &mut s).unwrap();
+        let canonical = Fingerprint::of(b"canonical");
+        cache.bucket_mut(a.line).insert(canonical, Pbn(1)).unwrap();
+        let fresh = Fingerprint::of(b"fresh");
+        let g = cache
+            .scrub_group(5, &[(canonical, Pbn(99)), (fresh, Pbn(2))], &mut s)
+            .unwrap();
+        assert!(g.resident);
+        assert!(!g.wrote_back, "resident groups dirty the line instead");
+        assert_eq!(
+            g.results,
+            vec![ScrubResult::Existing(Pbn(1)), ScrubResult::Inserted]
+        );
+        // The in-place insert is dirty, not yet persisted; flush_all
+        // carries it to the SSD.
+        assert_eq!(s.store().bucket(5).lookup(&fresh), None);
+        cache.flush_all(&mut s).unwrap();
+        assert_eq!(s.store().bucket(5).lookup(&fresh), Some(Pbn(2)));
+        assert_eq!(s.store().bucket(5).lookup(&canonical), Some(Pbn(1)));
+    }
+
+    #[test]
+    fn scrub_group_is_idempotent_for_retries() {
+        let mut s = ssd(256);
+        let mut cache = ShardedTableCache::new(1, 4, |_| BPlusTree::new());
+        let fp = Fingerprint::of(b"retry me");
+        let first = cache.scrub_group(9, &[(fp, Pbn(7))], &mut s).unwrap();
+        assert_eq!(first.results, vec![ScrubResult::Inserted]);
+        // A retry of the same entry reports the already-applied mapping.
+        let second = cache.scrub_group(9, &[(fp, Pbn(7))], &mut s).unwrap();
+        assert_eq!(second.results, vec![ScrubResult::Existing(Pbn(7))]);
+        assert!(!second.wrote_back, "no-op retry must not rewrite the SSD");
     }
 
     #[test]

@@ -10,6 +10,8 @@
 use crate::btree::BPlusTree;
 use crate::hwtree::HwTree;
 use crate::lru::{FreeList, LruList};
+use fidr_chunk::Pbn;
+use fidr_hash::Fingerprint;
 use fidr_metrics::{Histogram, MetricsSnapshot};
 use fidr_ssd::{TableSsd, TableSsdError};
 use fidr_tables::Bucket;
@@ -100,6 +102,33 @@ pub struct Access {
     pub evicted: u32,
     /// Dirty lines flushed during this access's eviction work.
     pub flushed: u32,
+}
+
+/// Outcome of one fingerprint upsert inside a [`ScrubGroup`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScrubResult {
+    /// The fingerprint was already mapped — the canonical PBN.
+    Existing(Pbn),
+    /// The fingerprint was absent and has been inserted.
+    Inserted,
+    /// The bucket is full; nothing was inserted.
+    Full,
+}
+
+/// Result of a slow-tier [`scrub_group`](TableCache::scrub_group) call:
+/// one [`ScrubResult`] per upsert, in call order, plus where the work
+/// happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubGroup {
+    /// Per-upsert outcomes, aligned with the input slice.
+    pub results: Vec<ScrubResult>,
+    /// Whether the bucket was resident in the DRAM tier (mutated in
+    /// place, line marked dirty) rather than read-modify-written on the
+    /// table SSD.
+    pub resident: bool,
+    /// Whether a non-resident bucket was written back (at least one
+    /// insert happened).
+    pub wrote_back: bool,
 }
 
 /// The table cache: content lines + LRU + free list over a pluggable index.
@@ -285,6 +314,84 @@ impl<I: CacheIndex> TableCache<I> {
             hit: false,
             evicted,
             flushed,
+        })
+    }
+
+    /// Index-only residency probe: the line holding `bucket`, if cached.
+    ///
+    /// Unlike [`access`](TableCache::access) this records no hit/miss
+    /// counters, does not touch the LRU and never fetches — the slow-tier
+    /// path uses it to *look without being admitted*.
+    pub fn probe(&mut self, bucket: u64) -> Option<u32> {
+        self.index.index_search(bucket)
+    }
+
+    /// Slow-tier batched upsert: looks up (and inserts where absent) each
+    /// `(fingerprint, pbn)` pair of `entries` in `bucket` **without
+    /// disturbing the DRAM tier**. A resident bucket is used in place (no
+    /// LRU touch, so cold traffic cannot refresh or evict hot lines; the
+    /// line is marked dirty only if something was inserted). A
+    /// non-resident bucket is fetched from the table SSD, updated, and
+    /// written straight back — it is *not* installed in the cache and no
+    /// eviction happens. Nothing here moves the `accesses`/`hits`/`misses`
+    /// counters: the slow tier is accounted separately by the caller.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-SSD fetch/write-back failures; on a failed
+    /// write-back no result is returned and the on-SSD bucket is
+    /// unchanged, so the whole group can be retried.
+    pub fn scrub_group(
+        &mut self,
+        bucket: u64,
+        entries: &[(Fingerprint, Pbn)],
+        ssd: &mut TableSsd,
+    ) -> Result<ScrubGroup, TableSsdError> {
+        let mut results = Vec::with_capacity(entries.len());
+        if let Some(line) = self.probe(bucket) {
+            let mut inserted = false;
+            for &(fp, pbn) in entries {
+                match self.lines[line as usize].lookup(&fp) {
+                    Some(existing) => results.push(ScrubResult::Existing(existing)),
+                    None => match self.lines[line as usize].insert(fp, pbn) {
+                        Ok(()) => {
+                            inserted = true;
+                            results.push(ScrubResult::Inserted);
+                        }
+                        Err(_) => results.push(ScrubResult::Full),
+                    },
+                }
+            }
+            if inserted {
+                self.dirty[line as usize] = true;
+            }
+            return Ok(ScrubGroup {
+                results,
+                resident: true,
+                wrote_back: false,
+            });
+        }
+        let mut content = ssd.fetch_bucket(bucket)?;
+        let mut inserted = false;
+        for &(fp, pbn) in entries {
+            match content.lookup(&fp) {
+                Some(existing) => results.push(ScrubResult::Existing(existing)),
+                None => match content.insert(fp, pbn) {
+                    Ok(()) => {
+                        inserted = true;
+                        results.push(ScrubResult::Inserted);
+                    }
+                    Err(_) => results.push(ScrubResult::Full),
+                },
+            }
+        }
+        if inserted {
+            ssd.flush_bucket(bucket, content)?;
+        }
+        Ok(ScrubGroup {
+            results,
+            resident: false,
+            wrote_back: inserted,
         })
     }
 

@@ -1,0 +1,328 @@
+//! Per-stream temperature classification for tiered cache admission.
+//!
+//! HPDedup's observation (see `PAPERS.md`): in shared dedup infrastructure
+//! the fingerprint cache is a contested resource, and streams differ wildly
+//! in temporal locality. A stream whose duplicates arrive close together
+//! ("hot") earns its DRAM residency back quickly; a stream whose duplicates
+//! reference uniformly old content ("cold") evicts other streams' useful
+//! entries without ever hitting its own. The [`TieredPolicy`] estimates
+//! each stream's locality with a bounded reuse sketch over its most recent
+//! fingerprints and classifies it [`Temperature::Hot`] or
+//! [`Temperature::Cold`]; the system admits only hot-stream fingerprints
+//! into the DRAM tier and routes cold-stream entries to the slow tier (the
+//! table SSD behind [`TableCache::scrub_group`]), CARAM-style.
+//!
+//! Everything here is plain serial bookkeeping with no clocks and no
+//! randomness, so classification decisions are byte-reproducible for a
+//! given observation sequence — a requirement of the determinism contract
+//! (`docs/OBSERVABILITY.md`).
+//!
+//! [`TableCache::scrub_group`]: crate::TableCache::scrub_group
+
+use std::collections::{HashMap, VecDeque};
+
+/// Admission tier assigned to a stream at one observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Temperature {
+    /// High temporal locality: admit into the DRAM tier inline.
+    Hot,
+    /// Low temporal locality: bypass DRAM, defer dedup to the scrubber.
+    Cold,
+}
+
+/// Tunables for [`TieredPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TieredPolicyConfig {
+    /// Reuse-sketch capacity per stream, in recent fingerprint keys. A
+    /// duplicate counts as "local" only if its previous occurrence is
+    /// still inside this window.
+    pub window: usize,
+    /// Minimum locality ratio (windowed reuse hits / observations) for a
+    /// stream to stay hot. `0.0` keeps every stream hot — byte-identical
+    /// to the flat cache.
+    pub hot_threshold: f64,
+    /// Observations before a stream's classification is trusted; until
+    /// then it is optimistically hot (a brand-new stream has produced no
+    /// reuse evidence either way).
+    pub min_observations: u64,
+    /// Observations between decay steps: at each epoch boundary a
+    /// stream's reuse counters halve, so classification tracks current
+    /// behaviour instead of lifetime averages.
+    pub epoch: u64,
+}
+
+impl Default for TieredPolicyConfig {
+    /// Defaults tuned against the mixed-locality generator's measured
+    /// steady state (hot streams ≈ 0.8 windowed reuse, cold streams
+    /// ≈ 0.1, Write-L ≈ 0.2): a 0.3 threshold splits hot from cold with
+    /// margin on both sides while sending low-locality single streams
+    /// down the deferred path.
+    fn default() -> Self {
+        TieredPolicyConfig {
+            window: 512,
+            hot_threshold: 0.3,
+            min_observations: 64,
+            epoch: 2_048,
+        }
+    }
+}
+
+/// Bounded sliding-window membership sketch over fingerprint keys.
+///
+/// Remembers the last `window` keys; `observe` reports whether the new key
+/// was already present (a short-reuse-distance duplicate) and slides the
+/// window. Duplicate keys inside the window are reference-counted so a
+/// key stays "recent" until its last occurrence ages out.
+#[derive(Debug, Default)]
+struct ReuseSketch {
+    ring: VecDeque<u64>,
+    counts: HashMap<u64, u32>,
+}
+
+impl ReuseSketch {
+    fn observe(&mut self, key: u64, window: usize) -> bool {
+        let recent = self.counts.contains_key(&key);
+        self.ring.push_back(key);
+        *self.counts.entry(key).or_insert(0) += 1;
+        while self.ring.len() > window {
+            let old = self.ring.pop_front().expect("ring not empty");
+            if let Some(n) = self.counts.get_mut(&old) {
+                *n -= 1;
+                if *n == 0 {
+                    self.counts.remove(&old);
+                }
+            }
+        }
+        recent
+    }
+}
+
+/// Locality estimate for one stream.
+#[derive(Debug, Default)]
+struct StreamState {
+    sketch: ReuseSketch,
+    /// Lifetime observations (drives the optimism cutoff).
+    observations: u64,
+    /// Decayed observation count for the locality ratio.
+    window_obs: u64,
+    /// Decayed windowed-reuse hits.
+    window_hits: u64,
+}
+
+impl StreamState {
+    fn locality(&self) -> f64 {
+        if self.window_obs == 0 {
+            0.0
+        } else {
+            self.window_hits as f64 / self.window_obs as f64
+        }
+    }
+}
+
+/// Aggregate counters of a [`TieredPolicy`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierPolicyStats {
+    /// Fingerprint observations fed to the policy.
+    pub observations: u64,
+    /// Observations classified hot.
+    pub hot_observations: u64,
+    /// Observations classified cold.
+    pub cold_observations: u64,
+}
+
+/// Per-stream temperature classifier (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use fidr_cache::{Temperature, TieredPolicy, TieredPolicyConfig};
+///
+/// let mut policy = TieredPolicy::new(TieredPolicyConfig {
+///     min_observations: 4,
+///     hot_threshold: 0.5,
+///     ..TieredPolicyConfig::default()
+/// });
+/// // A stream that always repeats the same key stays hot...
+/// for _ in 0..32 {
+///     assert_eq!(policy.observe(1, 0xfeed), Temperature::Hot);
+/// }
+/// // ...while a stream of all-distinct keys goes cold once trusted.
+/// let mut last = Temperature::Hot;
+/// for key in 0..32u64 {
+///     last = policy.observe(2, key);
+/// }
+/// assert_eq!(last, Temperature::Cold);
+/// ```
+#[derive(Debug)]
+pub struct TieredPolicy {
+    cfg: TieredPolicyConfig,
+    streams: HashMap<u64, StreamState>,
+    stats: TierPolicyStats,
+}
+
+impl TieredPolicy {
+    /// Creates a policy with the given tunables.
+    pub fn new(cfg: TieredPolicyConfig) -> Self {
+        TieredPolicy {
+            cfg,
+            streams: HashMap::new(),
+            stats: TierPolicyStats::default(),
+        }
+    }
+
+    /// The policy's tunables.
+    pub fn config(&self) -> &TieredPolicyConfig {
+        &self.cfg
+    }
+
+    /// Feeds one `(stream, fingerprint key)` observation and returns the
+    /// stream's temperature for this request.
+    ///
+    /// The sketch update happens first, so the decision reflects the
+    /// stream's behaviour *including* this request; with
+    /// `hot_threshold == 0.0` the answer is always [`Temperature::Hot`].
+    pub fn observe(&mut self, stream: u64, key: u64) -> Temperature {
+        let state = self.streams.entry(stream).or_default();
+        let hit = state.sketch.observe(key, self.cfg.window);
+        state.observations += 1;
+        state.window_obs += 1;
+        state.window_hits += u64::from(hit);
+        if state.window_obs >= self.cfg.epoch.max(1) {
+            state.window_obs /= 2;
+            state.window_hits /= 2;
+        }
+        let hot = state.observations < self.cfg.min_observations
+            || state.locality() >= self.cfg.hot_threshold;
+        self.stats.observations += 1;
+        if hot {
+            self.stats.hot_observations += 1;
+            Temperature::Hot
+        } else {
+            self.stats.cold_observations += 1;
+            Temperature::Cold
+        }
+    }
+
+    /// The stream's current classification without recording an
+    /// observation. Unknown streams are optimistically hot.
+    pub fn temperature(&self, stream: u64) -> Temperature {
+        match self.streams.get(&stream) {
+            None => Temperature::Hot,
+            Some(state) => {
+                if state.observations < self.cfg.min_observations
+                    || state.locality() >= self.cfg.hot_threshold
+                {
+                    Temperature::Hot
+                } else {
+                    Temperature::Cold
+                }
+            }
+        }
+    }
+
+    /// Streams currently classified hot.
+    pub fn hot_streams(&self) -> usize {
+        self.streams
+            .keys()
+            .filter(|&&s| self.temperature(s) == Temperature::Hot)
+            .count()
+    }
+
+    /// Streams currently classified cold.
+    pub fn cold_streams(&self) -> usize {
+        self.streams.len() - self.hot_streams()
+    }
+
+    /// Aggregate observation counters.
+    pub fn stats(&self) -> TierPolicyStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TieredPolicyConfig {
+        TieredPolicyConfig {
+            window: 16,
+            hot_threshold: 0.3,
+            min_observations: 8,
+            epoch: 64,
+        }
+    }
+
+    #[test]
+    fn new_streams_start_hot() {
+        let mut p = TieredPolicy::new(cfg());
+        for key in 0..7u64 {
+            assert_eq!(p.observe(9, key), Temperature::Hot, "key {key}");
+        }
+        assert_eq!(p.temperature(42), Temperature::Hot, "unknown stream");
+    }
+
+    #[test]
+    fn scan_stream_goes_cold_and_reusing_stream_stays_hot() {
+        let mut p = TieredPolicy::new(cfg());
+        for i in 0..200u64 {
+            p.observe(1, i % 4); // tight reuse loop
+            p.observe(2, 1_000 + i); // pure scan, never repeats
+        }
+        assert_eq!(p.temperature(1), Temperature::Hot);
+        assert_eq!(p.temperature(2), Temperature::Cold);
+        assert_eq!(p.hot_streams(), 1);
+        assert_eq!(p.cold_streams(), 1);
+        let s = p.stats();
+        assert_eq!(s.observations, 400);
+        assert_eq!(s.hot_observations + s.cold_observations, 400);
+    }
+
+    #[test]
+    fn reuse_beyond_the_window_does_not_count() {
+        let mut p = TieredPolicy::new(cfg());
+        // Period-32 reuse against a 16-deep sketch: every revisit has aged
+        // out, so the stream is indistinguishable from a scan.
+        for i in 0..400u64 {
+            p.observe(3, i % 32);
+        }
+        assert_eq!(p.temperature(3), Temperature::Cold);
+    }
+
+    #[test]
+    fn zero_threshold_keeps_everything_hot() {
+        let mut p = TieredPolicy::new(TieredPolicyConfig {
+            hot_threshold: 0.0,
+            min_observations: 0,
+            ..cfg()
+        });
+        for i in 0..500u64 {
+            assert_eq!(p.observe(i % 5, i), Temperature::Hot);
+        }
+        assert_eq!(p.cold_streams(), 0);
+        assert_eq!(p.stats().cold_observations, 0);
+    }
+
+    #[test]
+    fn decay_lets_a_stream_change_phase() {
+        let mut p = TieredPolicy::new(cfg());
+        for i in 0..200u64 {
+            p.observe(7, 5_000 + i); // cold phase: all distinct
+        }
+        assert_eq!(p.temperature(7), Temperature::Cold);
+        for i in 0..400u64 {
+            p.observe(7, i % 4); // hot phase: tight loop
+        }
+        assert_eq!(p.temperature(7), Temperature::Hot, "decay forgot the scan");
+    }
+
+    #[test]
+    fn classification_is_deterministic() {
+        let run = || {
+            let mut p = TieredPolicy::new(cfg());
+            (0..300u64)
+                .map(|i| p.observe(i % 3, i * 7 % 40) == Temperature::Hot)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

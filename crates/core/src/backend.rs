@@ -22,7 +22,7 @@
 //! are directly comparable — see `docs/OBSERVABILITY.md`.
 
 use fidr_cache::{
-    Access, BPlusTree, CacheIndex, CacheStats, HwTree, HwTreeConfig, HwTreeStats,
+    Access, BPlusTree, CacheIndex, CacheStats, HwTree, HwTreeConfig, HwTreeStats, ScrubGroup,
     ShardedTableCache, TableCache,
 };
 use fidr_hwsim::{ops, CostParams, CpuTask, Ledger, MemPath, PcieLink};
@@ -311,6 +311,143 @@ impl CacheBackend {
         Ok(out)
     }
 
+    /// Replays the resource charges of one completed slow-tier scrub
+    /// group (split from the raw cache work for the same reason as
+    /// `charge_lookup`: the parallel path replays charges serially).
+    ///
+    /// A scrub group never promotes its bucket into the DRAM tier, so the
+    /// charges differ from a lookup miss: non-resident groups pay one
+    /// bucket read (and one write-back if an entry was inserted) over the
+    /// mode-appropriate path, with no LRU or eviction work; every entry
+    /// pays the host-side content scan it took to match its fingerprint.
+    fn charge_scrub_group(hw: bool, group: &ScrubGroup, ledger: &mut Ledger, cost: &CostParams) {
+        if !group.resident {
+            if hw {
+                ledger.charge_pcie(PcieLink::CacheEngineTableSsd, BUCKET_BYTES as u64);
+                ops::dma_to_host(
+                    ledger,
+                    PcieLink::HostTableSsd,
+                    MemPath::TableCache,
+                    BUCKET_BYTES as u64,
+                );
+                ledger.table_ssd_read_bytes += BUCKET_BYTES as u64;
+            } else {
+                ops::dma_to_host(
+                    ledger,
+                    PcieLink::HostTableSsd,
+                    MemPath::TableCache,
+                    BUCKET_BYTES as u64,
+                );
+                ledger.charge_cpu(CpuTask::TableSsdStack, cost.table_ssd_io_cycles);
+                ledger.table_ssd_read_bytes += BUCKET_BYTES as u64;
+            }
+        }
+        if group.wrote_back {
+            if hw {
+                ops::dma_from_host(
+                    ledger,
+                    PcieLink::HostTableSsd,
+                    MemPath::TableCache,
+                    BUCKET_BYTES as u64,
+                );
+                ledger.charge_pcie(PcieLink::CacheEngineTableSsd, BUCKET_BYTES as u64);
+                ledger.table_ssd_write_bytes += BUCKET_BYTES as u64;
+            } else {
+                ops::dma_from_host(
+                    ledger,
+                    PcieLink::HostTableSsd,
+                    MemPath::TableCache,
+                    BUCKET_BYTES as u64,
+                );
+                ledger.charge_cpu(CpuTask::TableSsdStack, cost.table_ssd_io_cycles);
+                ledger.table_ssd_write_bytes += BUCKET_BYTES as u64;
+            }
+        }
+        for _ in &group.results {
+            ops::cpu_touch(ledger, MemPath::TableCache, BUCKET_BYTES as u64);
+            ledger.charge_cpu(CpuTask::TableContentScan, cost.bucket_scan_cycles);
+        }
+    }
+
+    /// Applies the deferred-dedup scrub `groups` (one `(bucket, entries)`
+    /// pair per table bucket, entries in deferral order) through the slow
+    /// tier, charging the mode-appropriate resources per group.
+    ///
+    /// Resident buckets are patched in place (dirty, flushed later);
+    /// non-resident buckets are read-modify-written straight against the
+    /// table SSD without being admitted into the DRAM tier.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first group whose table-SSD IO fails; earlier groups
+    /// in the batch are applied and charged, later ones are untouched
+    /// (scrubbing is idempotent, so the caller may retry the whole
+    /// batch).
+    pub fn scrub_groups(
+        &mut self,
+        groups: &[(u64, Vec<(fidr_hash::Fingerprint, fidr_chunk::Pbn)>)],
+        ssd: &mut TableSsd,
+        ledger: &mut Ledger,
+        cost: &CostParams,
+    ) -> Result<Vec<ScrubGroup>, TableSsdError> {
+        let mut out = Vec::with_capacity(groups.len());
+        for (bucket, entries) in groups {
+            let (hw, group) = match self {
+                CacheBackend::Software(c) => (false, c.scrub_group(*bucket, entries, ssd)?),
+                CacheBackend::Hw(c) => (true, c.scrub_group(*bucket, entries, ssd)?),
+            };
+            Self::charge_scrub_group(hw, &group, ledger, cost);
+            out.push(group);
+        }
+        Ok(out)
+    }
+
+    /// Parallel [`scrub_groups`](CacheBackend::scrub_groups): groups fan
+    /// out over the persistent worker `pool` with the same shard
+    /// ownership rule as
+    /// [`lookup_batch_parallel`](CacheBackend::lookup_batch_parallel)
+    /// (affinity `k` owns shards `s % workers == k`), and the ledger
+    /// charges are replayed serially here in group order — byte-identical
+    /// to the serial path for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the group-order-first table-SSD failure. As with parallel
+    /// lookups, only for fault-free runs; when a failure is reported,
+    /// groups on *other* shards may or may not have been applied, which
+    /// is safe because scrubbing is idempotent and the caller retries the
+    /// whole batch.
+    pub fn scrub_groups_parallel(
+        &mut self,
+        groups: &[(u64, Vec<(fidr_hash::Fingerprint, fidr_chunk::Pbn)>)],
+        ssd: &mut TableSsd,
+        ledger: &mut Ledger,
+        cost: &CostParams,
+        workers: usize,
+        pool: &WorkerPool,
+    ) -> Result<Vec<ScrubGroup>, TableSsdError> {
+        let (hw, slots) = match self {
+            CacheBackend::Software(c) => {
+                (false, parallel_shard_scrubs(c, groups, ssd, workers, pool))
+            }
+            CacheBackend::Hw(c) => (true, parallel_shard_scrubs(c, groups, ssd, workers, pool)),
+        };
+        let mut out = Vec::with_capacity(groups.len());
+        for slot in slots {
+            match slot {
+                Some(Ok(group)) => {
+                    Self::charge_scrub_group(hw, &group, ledger, cost);
+                    out.push(group);
+                }
+                Some(Err(e)) => return Err(e),
+                // A shard stops at its first error, which sits at an
+                // earlier group index than any of its skipped groups.
+                None => unreachable!("skipped scrub group precedes its shard's error"),
+            }
+        }
+        Ok(out)
+    }
+
     /// Like [`access`](CacheBackend::access) but for step 10's entry
     /// *update*: the bucket is (usually) already resident from the dedup
     /// lookup, so only the 38-byte entry write touches host memory — no
@@ -498,6 +635,72 @@ fn parallel_shard_lookups<I: CacheIndex + Send>(
     slots
 }
 
+/// One slot per scrub group: `None` if the group was skipped because an
+/// earlier group on the same shard failed.
+type ScrubSlots = Vec<Option<Result<ScrubGroup, TableSsdError>>>;
+
+/// Runs the raw (ledger-free) slow-tier work of a scrub batch across the
+/// persistent worker pool with the same shard-ownership discipline as
+/// [`parallel_shard_lookups`]: the job with affinity `k` owns shards
+/// `s % workers == k` and applies its groups in batch order, so each
+/// shard's resident lines evolve identically to a serial pass. Every
+/// non-resident group takes the table-SSD mutex for its read (and
+/// write-back); distinct groups touch distinct buckets, so the SSD's
+/// order-independent byte counters still sum identically.
+fn parallel_shard_scrubs<I: CacheIndex + Send>(
+    cache: &mut ShardedTableCache<I>,
+    groups: &[(u64, Vec<(fidr_hash::Fingerprint, fidr_chunk::Pbn)>)],
+    ssd: &mut TableSsd,
+    workers: usize,
+    pool: &WorkerPool,
+) -> ScrubSlots {
+    let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); cache.shard_count()];
+    for (i, &(bucket, _)) in groups.iter().enumerate() {
+        by_shard[cache.shard_of(bucket)].push(i);
+    }
+    let workers = workers.max(1).min(cache.shard_count());
+    let mut shard_groups: Vec<Vec<(usize, &mut TableCache<I>)>> =
+        (0..workers).map(|_| Vec::new()).collect();
+    for (no, shard) in cache.shards_mut().iter_mut().enumerate() {
+        shard_groups[no % workers].push((no, shard));
+    }
+    let shared_ssd = Mutex::new(ssd);
+
+    let mut slots: ScrubSlots = Vec::new();
+    slots.resize_with(groups.len(), || None);
+    let mut gathered: Vec<Vec<(usize, Result<ScrubGroup, TableSsdError>)>> =
+        (0..shard_groups.len()).map(|_| Vec::new()).collect();
+    pool.scope(|s| {
+        for ((k, owned), results) in shard_groups.drain(..).enumerate().zip(gathered.iter_mut()) {
+            let shared_ssd = &shared_ssd;
+            let by_shard = &by_shard;
+            s.spawn_on(k, move || {
+                for (shard_no, shard) in owned {
+                    for &group_idx in &by_shard[shard_no] {
+                        let (bucket, entries) = &groups[group_idx];
+                        let mut guard = shared_ssd
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner());
+                        match shard.scrub_group(*bucket, entries, &mut guard) {
+                            Ok(g) => results.push((group_idx, Ok(g))),
+                            Err(e) => {
+                                // This shard's remaining groups are
+                                // skipped; other shards go on.
+                                results.push((group_idx, Err(e)));
+                                break;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    for (group_idx, result) in gathered.into_iter().flatten() {
+        slots[group_idx] = Some(result);
+    }
+    slots
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -594,6 +797,82 @@ mod tests {
             assert_eq!(
                 serial_ledger.table_ssd_read_bytes, par_ledger.table_ssd_read_bytes,
                 "{mode:?} table reads"
+            );
+        }
+    }
+
+    /// The parallel scrub path must produce the same group outcomes,
+    /// cache counters and ledger totals as the serial path, with some
+    /// buckets resident (from prior lookups) and some not.
+    #[test]
+    fn parallel_scrub_matches_serial() {
+        use fidr_chunk::Pbn;
+        let warm: Vec<(u64, Fingerprint)> = (0..64u64)
+            .map(|i| {
+                let fp = Fingerprint::of(&i.to_le_bytes());
+                (fp.bucket_index(1 << 10), fp)
+            })
+            .collect();
+        let groups: Vec<(u64, Vec<(Fingerprint, Pbn)>)> = (0..128u64)
+            .map(|i| {
+                let fp = Fingerprint::of(&(10_000 + i).to_le_bytes());
+                (fp.bucket_index(1 << 10), vec![(fp, Pbn(10_000 + i))])
+            })
+            .collect();
+        for mode in [CacheMode::Software, CacheMode::HwEngine { update_slots: 4 }] {
+            let queue = match mode {
+                CacheMode::Software => QueueLocation::HostMemory,
+                CacheMode::HwEngine { .. } => QueueLocation::CacheEngine,
+            };
+            let cost = CostParams::default();
+
+            let mut serial = CacheBackend::new(mode, 32, None, 4);
+            let mut serial_ssd = TableSsd::new(1 << 10, queue);
+            let mut serial_ledger = Ledger::new();
+            serial
+                .lookup_batch(&warm, &mut serial_ssd, &mut serial_ledger, &cost)
+                .unwrap();
+            let serial_out = serial
+                .scrub_groups(&groups, &mut serial_ssd, &mut serial_ledger, &cost)
+                .unwrap();
+
+            let pool = WorkerPool::new(4);
+            let mut par = CacheBackend::new(mode, 32, None, 4);
+            let mut par_ssd = TableSsd::new(1 << 10, queue);
+            let mut par_ledger = Ledger::new();
+            par.lookup_batch(&warm, &mut par_ssd, &mut par_ledger, &cost)
+                .unwrap();
+            let par_out = par
+                .scrub_groups_parallel(&groups, &mut par_ssd, &mut par_ledger, &cost, 4, &pool)
+                .unwrap();
+
+            assert_eq!(serial_out, par_out, "{mode:?} scrub outcomes");
+            assert!(
+                serial_out.iter().any(|g| g.resident),
+                "{mode:?} wants a resident group in the mix"
+            );
+            assert!(
+                serial_out.iter().any(|g| !g.resident),
+                "{mode:?} wants a non-resident group in the mix"
+            );
+            assert_eq!(serial.stats(), par.stats(), "{mode:?} cache stats");
+            assert_eq!(
+                serial_ledger.cpu_total(),
+                par_ledger.cpu_total(),
+                "{mode:?} cpu"
+            );
+            assert_eq!(
+                serial_ledger.mem_total(),
+                par_ledger.mem_total(),
+                "{mode:?} mem"
+            );
+            assert_eq!(
+                serial_ledger.table_ssd_read_bytes, par_ledger.table_ssd_read_bytes,
+                "{mode:?} table reads"
+            );
+            assert_eq!(
+                serial_ledger.table_ssd_write_bytes, par_ledger.table_ssd_write_bytes,
+                "{mode:?} table writes"
             );
         }
     }

@@ -17,7 +17,10 @@
 use crate::backend::{CacheBackend, CacheMode};
 use crate::hotcache::{HotCacheStats, HotReadCache};
 use bytes::Bytes;
-use fidr_cache::{CacheStats, HwTree, HwTreeStats, ShardedTableCache};
+use fidr_cache::{
+    CacheStats, HwTree, HwTreeStats, ScrubResult, ShardedTableCache, Temperature, TieredPolicy,
+    TieredPolicyConfig,
+};
 use fidr_chunk::{Lba, Pba, Pbn};
 use fidr_compress::{CompressedChunk, Encoding};
 use fidr_faults::{FaultInjector, FaultPlan, RetryPolicy};
@@ -32,7 +35,7 @@ use fidr_tables::{
     BUCKET_BYTES,
 };
 use fidr_trace::{SpanToken, TraceConfig, Tracer};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::time::Instant;
 
@@ -80,6 +83,36 @@ pub struct FidrConfig {
     /// Independent hash-prefix shards of the table cache. Each shard has
     /// its own index engine; 1 reproduces the unsharded cache exactly.
     pub cache_shards: usize,
+    /// Temperature-tiered dedup (HPDedup/CARAM hybrid): classify streams
+    /// hot/cold by temporal locality, keep cold-stream fingerprints out
+    /// of the DRAM tier, and dedup their writes later via the background
+    /// scrubber. `None` (the default) is the flat, always-inline cache.
+    pub tiered: Option<TieredDedupConfig>,
+}
+
+/// Tunables for the hybrid prioritized dedup path
+/// ([`FidrConfig::tiered`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TieredDedupConfig {
+    /// Per-stream locality classifier settings.
+    pub policy: TieredPolicyConfig,
+    /// Stream id = `lba >> stream_shift`: writes are attributed to
+    /// coarse LBA regions, matching how the multi-stream workload
+    /// generator partitions its address space.
+    pub stream_shift: u32,
+    /// Deferred writes accumulated before an opportunistic scrub pass
+    /// runs at the end of a batch (a flush always scrubs everything).
+    pub scrub_batch: usize,
+}
+
+impl Default for TieredDedupConfig {
+    fn default() -> Self {
+        TieredDedupConfig {
+            policy: TieredPolicyConfig::default(),
+            stream_shift: 22,
+            scrub_batch: 512,
+        }
+    }
 }
 
 impl Default for FidrConfig {
@@ -102,6 +135,63 @@ impl Default for FidrConfig {
             trace: TraceConfig::default(),
             workers: 1,
             cache_shards: 1,
+            tiered: None,
+        }
+    }
+}
+
+/// One write committed without an inline table lookup, awaiting the
+/// dedup scrubber.
+#[derive(Debug, Clone, Copy)]
+struct DeferredWrite {
+    lba: Lba,
+    fp: Fingerprint,
+    /// The PBN the chunk was stored under; retired if the scrub finds a
+    /// canonical copy.
+    pbn: Pbn,
+    /// Hash-PBN bucket of `fp` (scrubs batch by bucket).
+    bucket: u64,
+    /// Deferral order, for deterministic re-queueing after an IO error.
+    seq: u64,
+}
+
+/// Counters of the tiered/deferred path, exported (when active) as
+/// `cache.tier.*` / `dedup.deferred.*` / `scrub.*`.
+#[derive(Debug, Default, Clone, Copy)]
+struct TierStats {
+    deferred_total: u64,
+    cold_resident: u64,
+    cold_fetches: u64,
+    cold_writebacks: u64,
+    scrub_runs: u64,
+    scrub_processed: u64,
+    scrub_dups: u64,
+    scrub_inserts: u64,
+    scrub_stale: u64,
+    scrub_table_full: u64,
+}
+
+/// Live state of the hybrid prioritized dedup path.
+#[derive(Debug)]
+struct TieredState {
+    policy: TieredPolicy,
+    stream_shift: u32,
+    scrub_batch: usize,
+    /// FIFO of cold-stream writes awaiting offline dedup, in seq order.
+    deferred: VecDeque<DeferredWrite>,
+    next_seq: u64,
+    stats: TierStats,
+}
+
+impl TieredState {
+    fn new(cfg: &TieredDedupConfig) -> Self {
+        TieredState {
+            policy: TieredPolicy::new(cfg.policy),
+            stream_shift: cfg.stream_shift,
+            scrub_batch: cfg.scrub_batch.max(1),
+            deferred: VecDeque::new(),
+            next_seq: 0,
+            stats: TierStats::default(),
         }
     }
 }
@@ -240,6 +330,8 @@ pub struct FidrSystem {
     /// with thread-per-shard-group affinity replace the per-batch
     /// scoped-thread spawns of earlier revisions; see `fidr-pool`.
     pool: Option<WorkerPool>,
+    /// Hybrid prioritized dedup state (None = flat, always-inline cache).
+    tiered: Option<TieredState>,
 }
 
 /// Ledger positions captured before a cache access, used to split the
@@ -316,6 +408,7 @@ impl FidrSystem {
             tracer: Tracer::new(cfg.trace),
             time: TimeModel::default(),
             pool,
+            tiered: cfg.tiered.as_ref().map(TieredState::new),
             cfg,
         }
     }
@@ -730,6 +823,12 @@ impl FidrSystem {
         while self.nic.pending_len() > 0 {
             self.process_batch()?;
         }
+        // Drain the dedup scrubber before sealing: every deferred write
+        // either gains its table entry or is remapped onto its canonical
+        // copy, so a flushed system has no pending dedup debt.
+        while self.deferred_pending() > 0 {
+            self.scrub_deferred(usize::MAX)?;
+        }
         if !self.builder.is_empty() {
             self.seal_container()?;
         }
@@ -841,7 +940,33 @@ impl FidrSystem {
             self.ledger
                 .charge_cpu(CpuTask::Other, cost.misc_cycles_per_chunk);
         }
-        self.check_engine(requests.len() as u64)?;
+        // Hybrid prioritized dedup: classify each chunk's stream by
+        // temporal locality — serially, in batch order, so the decisions
+        // are byte-identical for any worker count — and send only
+        // hot-stream chunks through the inline DRAM-tier lookup.
+        // Cold-stream chunks skip it entirely: they commit as
+        // provisional uniques and the scrubber dedups them later
+        // through the slow tier.
+        let temps: Option<Vec<Temperature>> = self.tiered.as_mut().map(|ts| {
+            batch
+                .iter()
+                .map(|c| {
+                    ts.policy
+                        .observe(c.lba.0 >> ts.stream_shift, c.fingerprint.prefix_u64())
+                })
+                .collect()
+        });
+        let (lookups, lookup_idx): (Vec<(u64, fidr_hash::Fingerprint)>, Option<Vec<usize>>) =
+            match &temps {
+                Some(t) => {
+                    let idx: Vec<usize> = (0..requests.len())
+                        .filter(|&i| t[i] == Temperature::Hot)
+                        .collect();
+                    (idx.iter().map(|&i| requests[i]).collect(), Some(idx))
+                }
+                None => (requests, None),
+            };
+        self.check_engine(lookups.len() as u64)?;
         if traced {
             host_mark = self.advance_host(host_mark);
         }
@@ -853,7 +978,7 @@ impl FidrSystem {
         };
         let results = if let (true, Some(pool)) = (workers > 1, self.pool.as_ref()) {
             self.cache.lookup_batch_parallel(
-                &requests,
+                &lookups,
                 &mut self.table_ssd,
                 &mut self.ledger,
                 &cost,
@@ -862,15 +987,15 @@ impl FidrSystem {
             )
         } else {
             self.cache
-                .lookup_batch(&requests, &mut self.table_ssd, &mut self.ledger, &cost)
+                .lookup_batch(&lookups, &mut self.table_ssd, &mut self.ledger, &cost)
         }
         .map_err(|e| FidrError::Io(e.to_string()))?;
-        let mut unique_flags = Vec::with_capacity(batch.len());
-        let mut resolved: Vec<Option<Pbn>> = Vec::with_capacity(batch.len());
-        for (pbn, _access) in results {
-            unique_flags.push(pbn.is_none());
-            resolved.push(pbn);
+        let mut resolved: Vec<Option<Pbn>> = vec![None; batch.len()];
+        for (j, (pbn, _access)) in results.into_iter().enumerate() {
+            let i = lookup_idx.as_ref().map_or(j, |idx| idx[j]);
+            resolved[i] = pbn;
         }
+        let unique_flags: Vec<bool> = resolved.iter().map(Option::is_none).collect();
         if let Some(marks) = cache_marks {
             let dup_hits = resolved.iter().filter(|p| p.is_some()).count();
             self.tracer.attr(cache_span, "dup_hits", dup_hits);
@@ -919,6 +1044,7 @@ impl FidrSystem {
         // map; uniques compress, stage in engine DRAM, and gain table
         // entries.
         for (i, (chunk, pbn)) in batch.into_iter().zip(resolved).enumerate() {
+            let cold = temps.as_ref().is_some_and(|t| t[i] == Temperature::Cold);
             match pbn {
                 Some(pbn) => {
                     let span = self.tracer.begin("dedup");
@@ -934,10 +1060,24 @@ impl FidrSystem {
                     self.nic.complete(chunk.lba);
                     self.tracer.end(span);
                 }
+                None if cold => {
+                    self.commit_deferred(chunk, precompressed[i].take())?;
+                }
                 None => {
                     self.commit_unique_with(chunk, precompressed[i].take())?;
                 }
             }
+        }
+        // Opportunistic scrub: once enough cold writes have accumulated,
+        // dedup them through the slow tier. Triggered by queue depth, not
+        // time, so it fires at the same points for any worker count.
+        while self
+            .tiered
+            .as_ref()
+            .is_some_and(|ts| ts.deferred.len() >= ts.scrub_batch)
+        {
+            let limit = self.tiered.as_ref().map_or(0, |ts| ts.scrub_batch);
+            self.scrub_deferred(limit)?;
         }
         Ok(())
     }
@@ -1053,6 +1193,259 @@ impl FidrSystem {
         self.nic.complete(chunk.lba);
         self.tracer.end(commit_span);
         Ok(())
+    }
+
+    /// Stores one cold-stream chunk as a *provisional* unique: same
+    /// compression/staging/metadata path as
+    /// [`commit_unique_with`](Self::commit_unique_with), but with no
+    /// inline table lookup or insert — the chunk is queued for the dedup
+    /// scrubber, which later either installs its Hash-PBN entry or finds
+    /// a canonical copy and retires this one.
+    fn commit_deferred(
+        &mut self,
+        chunk: HashedChunk,
+        pre: Option<(CompressedChunk, std::time::Duration)>,
+    ) -> Result<(), FidrError> {
+        let cost = self.cfg.cost;
+        let traced = self.tracer.is_enabled();
+        let commit_span = self.tracer.begin("commit");
+        self.tracer.attr(commit_span, "lba", chunk.lba.0);
+        self.tracer.attr(commit_span, "deferred", true);
+        self.stats.unique_chunks += 1;
+
+        let compressed = self.compress_chunk_with(&chunk.data, pre);
+        let host_mark = if traced {
+            self.time.host_ns(&self.ledger)
+        } else {
+            0
+        };
+        self.ledger.fpga_dram_bytes += compressed.stored_len() as u64;
+        self.stats.stored_bytes += compressed.stored_len() as u64;
+
+        let pbn = Pbn(self.next_pbn);
+        self.next_pbn += 1;
+
+        // Step 8: metadata (compressed size, LBA) to the host.
+        ops::dma_to_host(
+            &mut self.ledger,
+            PcieLink::HostCompression,
+            MemPath::FpgaStaging,
+            16,
+        );
+
+        let slot = self.builder.append(&compressed);
+        self.staging.insert(slot.offset, chunk.data.to_vec());
+        self.lba_map.record_pbn(
+            pbn,
+            PbnLocation {
+                container: self.builder.id(),
+                offset: slot.offset,
+                compressed_len: slot.compressed_len,
+            },
+        );
+        self.pbn_fp.insert(pbn, chunk.fingerprint);
+        self.container_pbns
+            .entry(self.builder.id())
+            .or_default()
+            .push(pbn);
+        self.liveness.record_append(self.builder.id());
+        self.map_lba(chunk.lba, pbn);
+        self.ledger.charge_cpu(CpuTask::LbaMap, cost.lba_map_cycles);
+        if traced {
+            self.advance_host(host_mark);
+        }
+
+        if self.builder.is_full() {
+            self.seal_container()?;
+        }
+        self.nic.complete(chunk.lba);
+        self.tracer.end(commit_span);
+
+        let bucket = chunk.fingerprint.bucket_index(self.table_ssd.num_buckets());
+        let ts = self
+            .tiered
+            .as_mut()
+            .expect("deferred commit requires tiered mode");
+        let seq = ts.next_seq;
+        ts.next_seq += 1;
+        ts.deferred.push_back(DeferredWrite {
+            lba: chunk.lba,
+            fp: chunk.fingerprint,
+            pbn,
+            bucket,
+            seq,
+        });
+        ts.stats.deferred_total += 1;
+        Ok(())
+    }
+
+    /// Runs one dedup-scrubber pass over up to `limit` deferred writes:
+    /// stale entries (overwritten before the scrub reached them) are
+    /// dropped, survivors are grouped by Hash-PBN bucket and pushed
+    /// through the slow tier ([`CacheBackend::scrub_groups`] — parallel
+    /// over the worker pool when available, with charges replayed in
+    /// group order), and any entry whose fingerprint already has a
+    /// canonical copy is remapped to it, retiring the provisional chunk
+    /// for the next GC pass. Returns the number of queue entries
+    /// consumed. A no-op without [`FidrConfig::tiered`].
+    ///
+    /// # Errors
+    ///
+    /// [`FidrError::Io`] when the slow tier fails past the retry budget;
+    /// the whole batch is re-queued in order (scrubbing is idempotent,
+    /// so entries that did apply simply re-report as existing).
+    pub fn scrub_deferred(&mut self, limit: usize) -> Result<usize, FidrError> {
+        let Some(mut ts) = self.tiered.take() else {
+            return Ok(0);
+        };
+        let out = self.scrub_deferred_inner(&mut ts, limit);
+        self.tiered = Some(ts);
+        out
+    }
+
+    fn scrub_deferred_inner(
+        &mut self,
+        ts: &mut TieredState,
+        limit: usize,
+    ) -> Result<usize, FidrError> {
+        let take = limit.min(ts.deferred.len());
+        if take == 0 {
+            return Ok(0);
+        }
+        let cost = self.cfg.cost;
+        let traced = self.tracer.is_enabled();
+        let drained: Vec<DeferredWrite> = ts.deferred.drain(..take).collect();
+        // Stale pre-filter, serial and before any cache work: an entry
+        // whose provisional chunk already died (its LBA was overwritten)
+        // must never install fp → dead-PBN in the table.
+        let mut survivors = Vec::with_capacity(drained.len());
+        for e in drained {
+            if self.lba_map.refcount(e.pbn) == 0 {
+                ts.stats.scrub_stale += 1;
+            } else {
+                survivors.push(e);
+            }
+        }
+        ts.stats.scrub_processed += take as u64;
+        if survivors.is_empty() {
+            return Ok(take);
+        }
+        // Group by bucket; the sort is stable, so entries within a bucket
+        // keep their deferral order.
+        survivors.sort_by_key(|e| e.bucket);
+        let mut groups: Vec<(u64, Vec<(Fingerprint, Pbn)>)> = Vec::new();
+        let mut group_entries: Vec<Vec<DeferredWrite>> = Vec::new();
+        for e in survivors {
+            match groups.last_mut() {
+                Some((bucket, entries)) if *bucket == e.bucket => {
+                    entries.push((e.fp, e.pbn));
+                    group_entries
+                        .last_mut()
+                        .expect("entries track groups")
+                        .push(e);
+                }
+                _ => {
+                    groups.push((e.bucket, vec![(e.fp, e.pbn)]));
+                    group_entries.push(vec![e]);
+                }
+            }
+        }
+        self.check_engine(groups.len() as u64)?;
+
+        let span = self.tracer.begin("scrub");
+        if traced {
+            self.tracer.attr(span, "groups", groups.len());
+            self.tracer.attr(
+                span,
+                "entries",
+                group_entries.iter().map(Vec::len).sum::<usize>(),
+            );
+        }
+        let host_mark = if traced {
+            self.time.host_ns(&self.ledger)
+        } else {
+            0
+        };
+        let workers = if self.cfg.faults.is_inert() {
+            self.cfg.workers.max(1)
+        } else {
+            1
+        };
+        let outcome = if let (true, Some(pool)) = (workers > 1, self.pool.as_ref()) {
+            self.cache.scrub_groups_parallel(
+                &groups,
+                &mut self.table_ssd,
+                &mut self.ledger,
+                &cost,
+                workers,
+                pool,
+            )
+        } else {
+            self.cache
+                .scrub_groups(&groups, &mut self.table_ssd, &mut self.ledger, &cost)
+        };
+        let applied = match outcome {
+            Ok(applied) => applied,
+            Err(e) => {
+                // Re-queue the whole batch in deferral order for a later
+                // retry: groups that did apply before the failure are
+                // harmless to re-scrub (idempotent).
+                self.tracer.attr(span, "error", "io");
+                self.tracer.end(span);
+                let mut back: Vec<DeferredWrite> = group_entries.into_iter().flatten().collect();
+                back.sort_by_key(|e| e.seq);
+                for e in back.into_iter().rev() {
+                    ts.deferred.push_front(e);
+                }
+                return Err(FidrError::Io(e.to_string()));
+            }
+        };
+        for (group, entries) in applied.iter().zip(&group_entries) {
+            if group.resident {
+                ts.stats.cold_resident += 1;
+            } else {
+                ts.stats.cold_fetches += 1;
+                if group.wrote_back {
+                    ts.stats.cold_writebacks += 1;
+                }
+            }
+            for (result, e) in group.results.iter().zip(entries) {
+                match result {
+                    ScrubResult::Existing(p) if *p != e.pbn => {
+                        // A canonical copy exists: deferred dedup. The
+                        // provisional chunk loses its only reference and
+                        // queues for GC.
+                        self.stats.unique_chunks -= 1;
+                        self.stats.duplicate_chunks += 1;
+                        self.map_lba(e.lba, *p);
+                        self.ledger.charge_cpu(CpuTask::LbaMap, cost.lba_map_cycles);
+                        ts.stats.scrub_dups += 1;
+                    }
+                    // `Existing(own pbn)` is a retried entry that already
+                    // applied — counts as its (idempotent) insert.
+                    ScrubResult::Existing(_) | ScrubResult::Inserted => {
+                        ts.stats.scrub_inserts += 1;
+                    }
+                    // Bucket full: the chunk simply stays stored unique;
+                    // only the dedup opportunity is lost.
+                    ScrubResult::Full => {
+                        ts.stats.scrub_table_full += 1;
+                    }
+                }
+            }
+        }
+        ts.stats.scrub_runs += 1;
+        if traced {
+            let now = self.time.host_ns(&self.ledger);
+            self.tracer.advance(now.saturating_sub(host_mark));
+        }
+        self.tracer.end(span);
+        Ok(take)
+    }
+
+    /// Cold-stream writes currently queued for the dedup scrubber.
+    pub fn deferred_pending(&self) -> usize {
+        self.tiered.as_ref().map_or(0, |ts| ts.deferred.len())
     }
 
     /// Captures all durable state for persistence. Flushes first, so the
@@ -1184,7 +1577,13 @@ impl FidrSystem {
                 .cache
                 .access_for_update(bucket_idx, &mut self.table_ssd, &mut self.ledger, &cost)
                 .map_err(|e| FidrError::Io(e.to_string()))?;
-            self.cache.bucket_mut(access.line).remove(&fp);
+            // Only delete the table entry if it still names *this* PBN: a
+            // retired provisional chunk (deferred dedup) shares its
+            // fingerprint with the live canonical copy, whose entry must
+            // survive.
+            if self.cache.bucket(access.line).lookup(&fp) == Some(pbn) {
+                self.cache.bucket_mut(access.line).remove(&fp);
+            }
             report.reclaimed_pbns += 1;
         }
 
@@ -1406,6 +1805,37 @@ impl FidrSystem {
             out.set_counter("hwtree.cycles.count", t.cycles);
             out.set_counter("hwtree.fpga_dram.bytes", t.fpga_dram_bytes);
             out.set_gauge("hwtree.crash.ratio", t.crash_rate());
+        }
+        // Tiered-dedup counters appear only once a write was actually
+        // deferred: a tiered run whose streams all stayed hot exports
+        // byte-identically to the flat cache (tested in
+        // tiered_all_hot_matches_flat).
+        if let Some(ts) = &self.tiered {
+            if ts.stats.deferred_total > 0 {
+                let ps = ts.policy.stats();
+                out.set_counter("cache.tier.observations.count", ps.observations);
+                out.set_counter("cache.tier.observations.hot", ps.hot_observations);
+                out.set_counter("cache.tier.observations.cold", ps.cold_observations);
+                out.set_counter(
+                    "cache.tier.hot_streams.count",
+                    ts.policy.hot_streams() as u64,
+                );
+                out.set_counter(
+                    "cache.tier.cold_streams.count",
+                    ts.policy.cold_streams() as u64,
+                );
+                out.set_counter("cache.tier.cold_resident.count", ts.stats.cold_resident);
+                out.set_counter("cache.tier.cold_fetches.count", ts.stats.cold_fetches);
+                out.set_counter("cache.tier.cold_writebacks.count", ts.stats.cold_writebacks);
+                out.set_counter("dedup.deferred.count", ts.stats.deferred_total);
+                out.set_counter("dedup.deferred.pending", ts.deferred.len() as u64);
+                out.set_counter("scrub.runs.count", ts.stats.scrub_runs);
+                out.set_counter("scrub.processed.count", ts.stats.scrub_processed);
+                out.set_counter("scrub.dups.count", ts.stats.scrub_dups);
+                out.set_counter("scrub.inserts.count", ts.stats.scrub_inserts);
+                out.set_counter("scrub.stale.count", ts.stats.scrub_stale);
+                out.set_counter("scrub.table_full.count", ts.stats.scrub_table_full);
+            }
         }
         let hc = self.hot_cache.stats();
         out.set_counter("hotcache.hits.count", hc.hits);
@@ -1772,5 +2202,158 @@ mod tests {
         let report = s.collect_garbage(1.1).unwrap();
         assert_eq!(report.reclaimed_pbns, 0);
         assert_eq!(s.read(Lba(1)).unwrap(), chunk(5).to_vec());
+    }
+
+    /// A tiered config whose threshold forces everything cold once the
+    /// optimism window passes — every write defers, maximally exercising
+    /// the scrubber.
+    fn all_cold_tiered() -> TieredDedupConfig {
+        TieredDedupConfig {
+            policy: TieredPolicyConfig {
+                hot_threshold: 1.1, // locality never reaches 110%
+                min_observations: 0,
+                ..TieredPolicyConfig::default()
+            },
+            stream_shift: 22,
+            scrub_batch: 16,
+        }
+    }
+
+    #[test]
+    fn deferred_dedup_converges_to_inline_reduction() {
+        // The same duplicate-heavy sequence through the flat cache and
+        // through an everything-cold tiered config: after a flush the
+        // dedup outcome (unique/duplicate split) must be identical, and
+        // every LBA must read back its content.
+        let mut flat = sys();
+        let mut tiered = FidrSystem::new(FidrConfig {
+            cache_lines: 64,
+            table_buckets: 1 << 12,
+            container_threshold: 64 << 10,
+            hash_batch: 8,
+            tiered: Some(all_cold_tiered()),
+            ..FidrConfig::default()
+        });
+        for i in 0..256u64 {
+            let c = chunk(i % 32); // 8x duplication
+            flat.write(Lba(i), c.clone()).unwrap();
+            tiered.write(Lba(i), c).unwrap();
+        }
+        flat.flush().unwrap();
+        tiered.flush().unwrap();
+        assert_eq!(tiered.deferred_pending(), 0, "flush drains the scrubber");
+        assert_eq!(
+            tiered.stats().unique_chunks,
+            flat.stats().unique_chunks,
+            "deferred dedup must find the same uniques"
+        );
+        assert_eq!(
+            tiered.stats().duplicate_chunks,
+            flat.stats().duplicate_chunks
+        );
+        for i in 0..256u64 {
+            assert_eq!(tiered.read(Lba(i)).unwrap(), chunk(i % 32).to_vec());
+        }
+        let m = tiered.metrics();
+        assert!(m.counter("dedup.deferred.count").unwrap() > 0);
+        assert!(m.counter("scrub.dups.count").unwrap() > 0);
+        assert_eq!(m.counter("dedup.deferred.pending"), Some(0));
+    }
+
+    #[test]
+    fn gc_after_deferred_dedup_keeps_canonical_entries() {
+        let mut s = FidrSystem::new(FidrConfig {
+            cache_lines: 64,
+            table_buckets: 1 << 12,
+            container_threshold: 64 << 10,
+            hash_batch: 8,
+            tiered: Some(all_cold_tiered()),
+            ..FidrConfig::default()
+        });
+        // Two LBAs with the same content, both deferred: the scrub keeps
+        // one canonical chunk and retires the other, which GC reclaims —
+        // without deleting the canonical table entry they share.
+        s.write(Lba(0), chunk(9)).unwrap();
+        s.write(Lba(1), chunk(9)).unwrap();
+        s.flush().unwrap();
+        assert_eq!(s.stats().unique_chunks, 1);
+        assert_eq!(s.pending_dead_chunks(), 1, "retired provisional chunk");
+        let report = s.collect_garbage(0.0).unwrap();
+        assert_eq!(report.reclaimed_pbns, 1);
+        // The canonical mapping survived: a new duplicate still hits.
+        s.write(Lba(2), chunk(9)).unwrap();
+        s.flush().unwrap();
+        assert_eq!(s.stats().unique_chunks, 1, "entry survived the GC");
+        for lba in 0..3 {
+            assert_eq!(s.read(Lba(lba)).unwrap(), chunk(9).to_vec());
+        }
+    }
+
+    #[test]
+    fn overwritten_deferred_write_is_dropped_as_stale() {
+        let mut s = FidrSystem::new(FidrConfig {
+            cache_lines: 64,
+            table_buckets: 1 << 12,
+            container_threshold: 64 << 10,
+            hash_batch: 4,
+            tiered: Some(TieredDedupConfig {
+                scrub_batch: 1 << 20, // never scrub opportunistically
+                ..all_cold_tiered()
+            }),
+            ..FidrConfig::default()
+        });
+        // Overwrite the same LBA with fresh content before any scrub:
+        // the first write's entry goes stale in the queue.
+        s.write(Lba(0), chunk(1)).unwrap();
+        s.write(Lba(1), chunk(99)).unwrap();
+        s.write(Lba(2), chunk(98)).unwrap();
+        s.write(Lba(3), chunk(97)).unwrap(); // full batch commits
+        s.write(Lba(0), chunk(2)).unwrap();
+        s.flush().unwrap();
+        let m = s.metrics();
+        assert!(m.counter("scrub.stale.count").unwrap() >= 1);
+        assert_eq!(s.read(Lba(0)).unwrap(), chunk(2).to_vec());
+        // The stale chunk must not have installed a table entry: writing
+        // content 1 again is a fresh unique, not a (dangling) dedup hit.
+        let uniques = s.stats().unique_chunks;
+        s.write(Lba(4), chunk(1)).unwrap();
+        s.flush().unwrap();
+        assert_eq!(s.stats().unique_chunks, uniques + 1);
+        assert_eq!(s.read(Lba(4)).unwrap(), chunk(1).to_vec());
+    }
+
+    #[test]
+    fn tiered_all_hot_matches_flat_exactly() {
+        // hot_threshold 0.0 keeps every stream hot: no write ever defers
+        // and the metrics export must be byte-identical to the flat
+        // cache (the tier counters are gated on a first deferral).
+        let mut flat = sys();
+        let mut tiered = FidrSystem::new(FidrConfig {
+            cache_lines: 64,
+            table_buckets: 1 << 12,
+            container_threshold: 64 << 10,
+            hash_batch: 8,
+            tiered: Some(TieredDedupConfig {
+                policy: TieredPolicyConfig {
+                    hot_threshold: 0.0,
+                    min_observations: 0,
+                    ..TieredPolicyConfig::default()
+                },
+                ..TieredDedupConfig::default()
+            }),
+            ..FidrConfig::default()
+        });
+        for i in 0..200u64 {
+            let c = chunk(i % 50);
+            flat.write(Lba(i % 96), c.clone()).unwrap();
+            tiered.write(Lba(i % 96), c).unwrap();
+        }
+        flat.flush().unwrap();
+        tiered.flush().unwrap();
+        assert_eq!(
+            flat.metrics().to_json(),
+            tiered.metrics().to_json(),
+            "all-hot tiered must be byte-identical to flat"
+        );
     }
 }

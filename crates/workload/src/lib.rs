@@ -24,11 +24,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod mixed;
 pub mod skeleton;
 mod spec;
 mod stream;
 mod trace_io;
 
+pub use mixed::MultiStreamWorkload;
 pub use spec::WorkloadSpec;
 pub use stream::{Request, Workload};
 pub use trace_io::{

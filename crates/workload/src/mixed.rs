@@ -1,0 +1,258 @@
+//! Multi-stream mixed-locality workload generation.
+//!
+//! HPDedup's setting (see `PAPERS.md`): several clients share one dedup
+//! appliance, and their streams differ in temporal locality. This module
+//! interleaves independent [`Workload`] streams round-robin into one
+//! request sequence, giving each stream a private LBA region (its stream
+//! id becomes the high LBA bits) and a private content-id space (via
+//! [`WorkloadSpec::content_base`]) — so duplicates only ever occur
+//! *within* a stream, and a per-stream locality estimator keyed on
+//! `lba >> stream_shift` sees exactly one stream per key.
+
+use crate::spec::WorkloadSpec;
+use crate::stream::{Request, Workload};
+use fidr_chunk::Lba;
+
+/// Round-robin interleaving of independent per-stream [`Workload`]s.
+///
+/// # Examples
+///
+/// ```
+/// use fidr_workload::{MultiStreamWorkload, Request};
+///
+/// let reqs: Vec<Request> = MultiStreamWorkload::mixed_locality(100).collect();
+/// assert_eq!(reqs.len(), 100);
+/// ```
+#[derive(Debug)]
+pub struct MultiStreamWorkload {
+    streams: Vec<Workload>,
+    stream_shift: u32,
+    /// Next stream to draw from (round-robin cursor).
+    cursor: usize,
+}
+
+impl MultiStreamWorkload {
+    /// Interleaves `specs` round-robin, placing stream `i`'s LBAs at
+    /// `(i << stream_shift) | lba`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty, if any spec's `lba_space` exceeds
+    /// `1 << stream_shift` (streams would alias each other's regions),
+    /// or if two specs share a `content_base` (their "unique" payloads
+    /// would silently dedup across streams).
+    pub fn new(specs: Vec<WorkloadSpec>, stream_shift: u32) -> Self {
+        assert!(!specs.is_empty(), "at least one stream");
+        let mut bases: Vec<u64> = specs.iter().map(|s| s.content_base).collect();
+        bases.sort_unstable();
+        bases.dedup();
+        assert_eq!(
+            bases.len(),
+            specs.len(),
+            "streams must have disjoint content_base values"
+        );
+        assert!(
+            specs.iter().all(|s| s.lba_space <= 1 << stream_shift),
+            "lba_space must fit below the stream id bits"
+        );
+        MultiStreamWorkload {
+            streams: specs.into_iter().map(Workload::new).collect(),
+            stream_shift,
+            cursor: 0,
+        }
+    }
+
+    /// The canonical mixed-locality write mix for the tiered-cache
+    /// ablation: two *hot* streams (high dedup ratio, tight reuse
+    /// window — their duplicates reward DRAM residency) interleaved with
+    /// two *cold* streams at Write-L's 43.1 % dedup ratio whose
+    /// duplicates reference uniformly old content (`dup_near_fraction`
+    /// 0) — each duplicate's previous occurrence is far outside any
+    /// bounded cache, so inline lookups mostly miss and evict. `ops` is
+    /// the total across all four streams. Stream ids live at LBA bits
+    /// ≥ 22 (the presets' `lba_space`), matching the default
+    /// `stream_shift` of the tiered system config.
+    pub fn mixed_locality(ops: usize) -> Self {
+        let per = ops / 4;
+        let hot = |name: &str, ops: usize, seed: u64, content_base: u64| WorkloadSpec {
+            name: name.to_string(),
+            dedup_ratio: 0.9,
+            dup_near_fraction: 1.0,
+            dup_window: 256,
+            seed,
+            content_base,
+            ..WorkloadSpec::write_h(ops)
+        };
+        let cold = |name: &str, ops: usize, seed: u64, content_base: u64| WorkloadSpec {
+            name: name.to_string(),
+            // Write-L's ratio, but every duplicate references uniformly
+            // old content from outside a 512-content window: no bounded
+            // cache captures these reuse distances.
+            dedup_ratio: 0.431,
+            dup_near_fraction: 0.0,
+            dup_window: 512,
+            seed,
+            content_base,
+            ..WorkloadSpec::write_l(ops)
+        };
+        MultiStreamWorkload::new(
+            vec![
+                hot("Hot-A", per, 0x5eed_1001, 1 << 40),
+                cold("Cold-A", per, 0x5eed_1002, 2 << 40),
+                hot("Hot-B", per, 0x5eed_1003, 3 << 40),
+                cold("Cold-B", ops - 3 * per, 0x5eed_1004, 4 << 40),
+            ],
+            22,
+        )
+    }
+
+    /// The per-stream specs, in stream-id order.
+    pub fn specs(&self) -> Vec<&WorkloadSpec> {
+        self.streams.iter().map(Workload::spec).collect()
+    }
+
+    /// The LBA shift that encodes the stream id.
+    pub fn stream_shift(&self) -> u32 {
+        self.stream_shift
+    }
+}
+
+impl Iterator for MultiStreamWorkload {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        // Round-robin over streams that still have requests; exhausted
+        // streams drop out and the rest keep interleaving.
+        for _ in 0..self.streams.len() {
+            let id = self.cursor;
+            self.cursor = (self.cursor + 1) % self.streams.len();
+            let Some(req) = self.streams[id].next() else {
+                continue;
+            };
+            let rebase = |lba: Lba| Lba(((id as u64) << self.stream_shift) | lba.0);
+            return Some(match req {
+                Request::Write { lba, data } => Request::Write {
+                    lba: rebase(lba),
+                    data,
+                },
+                Request::Read { lba } => Request::Read { lba: rebase(lba) },
+            });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fidr_hash::Fingerprint;
+    use std::collections::HashMap;
+
+    #[test]
+    fn emits_exactly_ops_requests() {
+        assert_eq!(MultiStreamWorkload::mixed_locality(403).count(), 403);
+    }
+
+    #[test]
+    fn streams_occupy_disjoint_lba_regions() {
+        let wl = MultiStreamWorkload::mixed_locality(400);
+        let shift = wl.stream_shift();
+        let mut seen = std::collections::HashSet::new();
+        for req in wl {
+            let Request::Write { lba, .. } = req else {
+                continue;
+            };
+            seen.insert(lba.0 >> shift);
+        }
+        assert_eq!(seen, (0..4).collect());
+    }
+
+    #[test]
+    fn no_cross_stream_duplicates() {
+        // Every duplicate payload must stay inside one stream's LBA
+        // region — content_base keeps the id spaces disjoint.
+        let wl = MultiStreamWorkload::mixed_locality(2000);
+        let shift = wl.stream_shift();
+        let mut owner: HashMap<Fingerprint, u64> = HashMap::new();
+        for req in wl {
+            let Request::Write { lba, data } = req else {
+                continue;
+            };
+            let stream = lba.0 >> shift;
+            match owner.entry(Fingerprint::of(&data)) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    assert_eq!(*e.get(), stream, "payload shared across streams");
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(stream);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hot_and_cold_streams_differ_in_reuse_distance() {
+        // Measure each stream's windowed reuse rate the same way the
+        // tiered policy does: hot streams must show high short-distance
+        // reuse, cold streams almost none. Only the second half of each
+        // stream counts — while a cold stream's content pool is still
+        // younger than its dup_window, "uniformly old" picks fall back
+        // to the whole (recent) history, so early locality is
+        // transiently inflated. The epoch-decaying policy likewise
+        // classifies on recent behaviour, not the lifetime average.
+        let total = 12_000;
+        let per = (total / 4) as u64;
+        let wl = MultiStreamWorkload::mixed_locality(total);
+        let shift = wl.stream_shift();
+        let window = 512;
+        let mut recent: HashMap<u64, Vec<u64>> = HashMap::new();
+        let mut seen: HashMap<u64, u64> = HashMap::new();
+        let mut hits: HashMap<u64, (u64, u64)> = HashMap::new();
+        for req in wl {
+            let Request::Write { lba, data } = req else {
+                continue;
+            };
+            let stream = lba.0 >> shift;
+            let key = Fingerprint::of(&data).prefix_u64();
+            let ring = recent.entry(stream).or_default();
+            let n = seen.entry(stream).or_default();
+            *n += 1;
+            if *n * 2 > per {
+                let (obs, hit) = hits.entry(stream).or_default();
+                *obs += 1;
+                if ring.contains(&key) {
+                    *hit += 1;
+                }
+            }
+            ring.push(key);
+            if ring.len() > window {
+                ring.remove(0);
+            }
+        }
+        let locality = |s: u64| {
+            let (obs, hit) = hits[&s];
+            hit as f64 / obs as f64
+        };
+        for hot in [0u64, 2] {
+            assert!(locality(hot) > 0.4, "hot stream {hot}: {}", locality(hot));
+        }
+        for cold in [1u64, 3] {
+            assert!(
+                locality(cold) < 0.2,
+                "cold stream {cold}: {}",
+                locality(cold)
+            );
+            assert!(
+                locality(cold) + 0.2 < locality(0),
+                "cold stream {cold} must be clearly separable from hot"
+            );
+        }
+    }
+
+    #[test]
+    fn same_construction_same_stream() {
+        let a: Vec<Request> = MultiStreamWorkload::mixed_locality(600).collect();
+        let b: Vec<Request> = MultiStreamWorkload::mixed_locality(600).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -21,8 +21,9 @@ pub struct WorkloadSpec {
     /// Table 3 "Dedup. ratio".
     pub dedup_ratio: f64,
     /// Among duplicate writes, the fraction that reference *recent* content
-    /// (within `dup_window`); the rest reference uniformly old content.
-    /// This is the knob that sets the table-cache hit rate.
+    /// (within `dup_window`); the rest reference uniformly old content
+    /// (strictly *outside* the window once enough distinct contents
+    /// exist). This is the knob that sets the table-cache hit rate.
     pub dup_near_fraction: f64,
     /// Recency window, in distinct chunk contents, that "near" duplicates
     /// draw from.
@@ -40,6 +41,12 @@ pub struct WorkloadSpec {
     pub lba_space: u64,
     /// RNG seed; equal seeds replay identical workloads.
     pub seed: u64,
+    /// Offset added to fresh content ids. Ids start at `content_base + 1`,
+    /// so streams given disjoint bases never produce cross-stream
+    /// duplicate payloads — required by the multi-stream generator
+    /// ([`crate::MultiStreamWorkload`]), where dedup must happen *within*
+    /// a stream or not at all.
+    pub content_base: u64,
 }
 
 impl WorkloadSpec {
@@ -57,6 +64,7 @@ impl WorkloadSpec {
             hot_set: 64,
             lba_space: 1 << 22,
             seed: 0x5eed_0001,
+            content_base: 0,
         }
     }
 
@@ -74,6 +82,7 @@ impl WorkloadSpec {
             hot_set: 64,
             lba_space: 1 << 22,
             seed: 0x5eed_0002,
+            content_base: 0,
         }
     }
 
@@ -91,6 +100,7 @@ impl WorkloadSpec {
             hot_set: 64,
             lba_space: 1 << 22,
             seed: 0x5eed_0003,
+            content_base: 0,
         }
     }
 

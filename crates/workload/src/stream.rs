@@ -64,7 +64,7 @@ impl Workload {
             rng,
             gen,
             contents: Vec::new(),
-            next_content: 1,
+            next_content: spec.content_base + 1,
             written: Vec::new(),
             emitted: 0,
             spec,
@@ -89,7 +89,17 @@ impl Workload {
                 let lo = self.contents.len().saturating_sub(self.spec.dup_window);
                 self.rng.gen_range(lo..self.contents.len())
             } else {
-                self.rng.gen_range(0..self.contents.len())
+                // "Uniformly old" (the spec's words): exclude the recent
+                // window entirely, so far duplicates carry a genuinely
+                // large reuse distance. While the content pool is still
+                // younger than the window, fall back to the whole
+                // history.
+                let hi = self.contents.len().saturating_sub(self.spec.dup_window);
+                if hi == 0 {
+                    self.rng.gen_range(0..self.contents.len())
+                } else {
+                    self.rng.gen_range(0..hi)
+                }
             };
             self.contents[idx]
         } else {

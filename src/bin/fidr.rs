@@ -12,11 +12,12 @@
 
 use fidr::chunk::{replay_chunking, Lba};
 use fidr::cli::{
-    output_flag, parse_flags, usize_flag, variant_by_name, workload_by_name, write_output,
+    allowed_flags, bool_flag, output_flag, parse_flags, reject_unknown_flags, usize_flag,
+    variant_by_name, workload_by_name, write_output,
 };
 use fidr::client::run_traffic;
 use fidr::compress::ContentGenerator;
-use fidr::core::{FidrConfig, FidrSystem, LatencyModel};
+use fidr::core::{FidrConfig, FidrSystem, LatencyModel, TieredDedupConfig};
 use fidr::cost::{CostModel, Scenario};
 use fidr::faults::FaultPlan;
 use fidr::hwsim::{report, PlatformSpec};
@@ -32,14 +33,14 @@ const USAGE: &str = "fidr — FIDR (MICRO'19) storage-system reproduction
 
 USAGE:
     fidr run     --workload <NAME> --variant <VARIANT> [--ops N] [--faults SPEC]
-                 [--workers N] [--cache-shards N]
+                 [--workers N] [--cache-shards N] [--tiered]
                  [--metrics-out FILE] [--spans-out FILE]
     fidr compare [--workload <NAME>] [--ops N]
     fidr stats   [--workload <NAME>] [--variant <VARIANT>] [--ops N] [--faults SPEC]
-                 [--workers N] [--cache-shards N]
+                 [--workers N] [--cache-shards N] [--tiered]
                  [--metrics-out FILE] [--spans-out FILE]
     fidr spans   [--workload <NAME>] [--variant <VARIANT>] [--ops N] [--faults SPEC]
-                 [--workers N] [--cache-shards N] [--spans-out FILE]
+                 [--workers N] [--cache-shards N] [--tiered] [--spans-out FILE]
     fidr latency
     fidr cost    [--capacity-tb X] [--throughput GBPS]
     fidr trace   <FILE> [--chunk-kb 4|8|16|32] [--faults SPEC]
@@ -47,7 +48,7 @@ USAGE:
                  [--metrics-out FILE] [--spans-out FILE]
     fidr report  [--ops N] [--out FILE]
     fidr serve   [--port P] [--port-file FILE] [--conns-limit N] [--queue N]
-                 [--workers N] [--cache-shards N] [--metrics-out FILE]
+                 [--workers N] [--cache-shards N] [--tiered] [--metrics-out FILE]
     fidr client  --addr HOST:PORT [--conns N] [--ops N] [--seed S]
 
 WORKLOADS:  write-h | write-m | write-l | read-mixed | vdi | database
@@ -59,6 +60,12 @@ PARALLEL:   --workers N fans each pipeline batch (hashing, dedup lookup,
             exports stay byte-identical for any --workers value. With an
             armed --faults schedule the pipeline runs serially (fault
             decisions depend on device-call order).
+TIERED:     --tiered enables the temperature-tiered table cache: per-stream
+            locality classification admits only hot-stream fingerprints to
+            DRAM; cold-stream writes defer dedup to a background scrubber
+            (cache.tier.*, dedup.deferred.* and scrub.* metrics). FIDR
+            variants only; metrics/spans stay byte-identical across
+            --workers values.
 OUTPUTS:    --metrics-out writes the metrics snapshot JSON (fidr.metrics.v1;
             `fidr stats` also accepts the legacy --out). --spans-out writes
             per-request spans as Chrome-trace-event JSON (fidr.spans.v1) —
@@ -87,6 +94,11 @@ fn export_spans(path: &str, spans: &[SpanRecord]) -> Result<usize, String> {
     Ok(events)
 }
 
+/// Parses the optional `--tiered` boolean flag into a system config.
+fn tiered_flag(flags: &HashMap<String, String>) -> Result<Option<TieredDedupConfig>, String> {
+    Ok(bool_flag(flags, "tiered")?.then(TieredDedupConfig::default))
+}
+
 /// Parses the optional `--faults` schedule flag.
 fn faults_flag(flags: &HashMap<String, String>) -> Result<FaultPlan, String> {
     match flags.get("faults") {
@@ -111,6 +123,7 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let faults = faults_flag(flags)?;
     let workers = usize_flag(flags, "workers", 1)?;
     let cache_shards = usize_flag(flags, "cache-shards", 1)?;
+    let tiered = tiered_flag(flags)?;
     let metrics_out = output_flag(flags, &["metrics-out"])?;
     let spans_out = output_flag(flags, &["spans-out"])?;
 
@@ -121,6 +134,7 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
             faults,
             workers,
             cache_shards,
+            tiered,
             trace: if spans_out.is_some() {
                 TraceConfig::enabled()
             } else {
@@ -217,6 +231,7 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
     let faults = faults_flag(flags)?;
     let workers = usize_flag(flags, "workers", 1)?;
     let cache_shards = usize_flag(flags, "cache-shards", 1)?;
+    let tiered = tiered_flag(flags)?;
     let metrics_out = output_flag(flags, &["metrics-out", "out"])?;
     let spans_out = output_flag(flags, &["spans-out"])?;
 
@@ -229,6 +244,7 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
             faults,
             workers,
             cache_shards,
+            tiered,
             trace: TraceConfig::enabled(),
             ..RunConfig::default()
         },
@@ -273,6 +289,7 @@ fn cmd_spans(flags: &HashMap<String, String>) -> Result<(), String> {
     let faults = faults_flag(flags)?;
     let workers = usize_flag(flags, "workers", 1)?;
     let cache_shards = usize_flag(flags, "cache-shards", 1)?;
+    let tiered = tiered_flag(flags)?;
 
     let r = run_workload(
         variant,
@@ -281,6 +298,7 @@ fn cmd_spans(flags: &HashMap<String, String>) -> Result<(), String> {
             faults,
             workers,
             cache_shards,
+            tiered,
             trace: TraceConfig::enabled(),
             ..RunConfig::default()
         },
@@ -546,6 +564,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         system: FidrConfig {
             workers: usize_flag(flags, "workers", 1)?,
             cache_shards: usize_flag(flags, "cache-shards", 1)?,
+            tiered: tiered_flag(flags)?,
             ..FidrConfig::default()
         },
         queue_capacity: queue,
@@ -613,25 +632,36 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let (positional, flags) = parse_flags(&args[1..]);
-    let result = match cmd.as_str() {
-        "run" => cmd_run(&flags),
-        "compare" => cmd_compare(&flags),
-        "stats" => cmd_stats(&flags),
-        "spans" => cmd_spans(&flags),
-        "latency" => {
-            cmd_latency();
-            Ok(())
-        }
-        "cost" => cmd_cost(&flags),
-        "report" => cmd_report(&flags),
-        "trace" => cmd_trace(&positional, &flags),
-        "serve" => cmd_serve(&flags),
-        "client" => cmd_client(&flags),
-        "help" | "--help" | "-h" => {
-            println!("{USAGE}");
-            Ok(())
-        }
-        other => Err(format!("unknown command `{other}`")),
+    let result = if matches!(cmd.as_str(), "help" | "--help" | "-h") {
+        println!("{USAGE}");
+        Ok(())
+    } else if allowed_flags(cmd).is_none() {
+        Err(format!("unknown command `{cmd}`"))
+    } else {
+        // Every subcommand validates its flag set up front: a typo'd or
+        // misplaced flag is a usage error naming the flag, never a
+        // silent ignore. Only `trace` takes a positional argument.
+        reject_unknown_flags(cmd, &flags)
+            .and_then(|()| match (cmd.as_str(), positional.first()) {
+                ("trace", _) | (_, None) => Ok(()),
+                (_, Some(extra)) => Err(format!("unexpected argument {extra:?} for `fidr {cmd}`")),
+            })
+            .and_then(|()| match cmd.as_str() {
+                "run" => cmd_run(&flags),
+                "compare" => cmd_compare(&flags),
+                "stats" => cmd_stats(&flags),
+                "spans" => cmd_spans(&flags),
+                "latency" => {
+                    cmd_latency();
+                    Ok(())
+                }
+                "cost" => cmd_cost(&flags),
+                "report" => cmd_report(&flags),
+                "trace" => cmd_trace(&positional, &flags),
+                "serve" => cmd_serve(&flags),
+                "client" => cmd_client(&flags),
+                _ => unreachable!("allowed_flags() gated the command list"),
+            })
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

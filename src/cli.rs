@@ -8,20 +8,120 @@ use fidr_workload::WorkloadSpec;
 use std::collections::HashMap;
 
 /// Splits raw arguments into positional values and `--flag value` pairs.
-/// A flag without a following value maps to an empty string.
+/// A flag without a following value — trailing, or directly followed by
+/// another `--flag` — maps to an empty string, so boolean flags like
+/// `--tiered` never swallow the flag after them.
 pub fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
     let mut positional = Vec::new();
     let mut flags = HashMap::new();
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
-            let value = it.next().cloned().unwrap_or_default();
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().cloned().unwrap_or_default(),
+                _ => String::new(),
+            };
             flags.insert(name.to_string(), value);
         } else {
             positional.push(a.clone());
         }
     }
     (positional, flags)
+}
+
+/// The flags each subcommand accepts (`None` = not a subcommand). The
+/// single source of truth for [`reject_unknown_flags`] and the negative-
+/// path CLI tests: a flag missing here is a usage error, not silently
+/// ignored.
+pub fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
+    Some(match cmd {
+        "run" => &[
+            "workload",
+            "variant",
+            "ops",
+            "faults",
+            "workers",
+            "cache-shards",
+            "tiered",
+            "metrics-out",
+            "spans-out",
+        ],
+        "compare" => &["workload", "ops"],
+        "stats" => &[
+            "workload",
+            "variant",
+            "ops",
+            "faults",
+            "workers",
+            "cache-shards",
+            "tiered",
+            "metrics-out",
+            "out",
+            "spans-out",
+        ],
+        "spans" => &[
+            "workload",
+            "variant",
+            "ops",
+            "faults",
+            "workers",
+            "cache-shards",
+            "tiered",
+            "spans-out",
+        ],
+        "latency" => &[],
+        "cost" => &["capacity-tb", "throughput"],
+        "report" => &["ops", "out"],
+        "trace" => &[
+            "chunk-kb",
+            "faults",
+            "workers",
+            "cache-shards",
+            "metrics-out",
+            "spans-out",
+        ],
+        "serve" => &[
+            "port",
+            "port-file",
+            "conns-limit",
+            "queue",
+            "workers",
+            "cache-shards",
+            "tiered",
+            "metrics-out",
+        ],
+        "client" => &["addr", "conns", "ops", "seed"],
+        _ => return None,
+    })
+}
+
+/// Rejects flags `cmd` does not accept, naming the first offender
+/// (alphabetically, for a deterministic message). Unknown subcommands
+/// accept nothing.
+pub fn reject_unknown_flags(cmd: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let allowed = allowed_flags(cmd).unwrap_or(&[]);
+    let mut unknown: Vec<&str> = flags
+        .keys()
+        .map(String::as_str)
+        .filter(|k| !allowed.contains(k))
+        .collect();
+    unknown.sort_unstable();
+    match unknown.first() {
+        Some(flag) => Err(format!("unknown flag --{flag} for `fidr {cmd}`")),
+        None => Ok(()),
+    }
+}
+
+/// Resolves an optional boolean flag (e.g. `--tiered`). Absent →
+/// `false`; bare or an explicit true/false spelling → that value; any
+/// other value is an error naming the flag.
+pub fn bool_flag(flags: &HashMap<String, String>, name: &str) -> Result<bool, String> {
+    match flags.get(name).map(String::as_str) {
+        None => Ok(false),
+        Some("" | "true" | "on" | "1") => Ok(true),
+        Some("false" | "off" | "0") => Ok(false),
+        Some(v) => Err(format!("--{name} is a boolean flag, got {v:?}")),
+    }
 }
 
 /// Resolves a workload name used on the command line.
@@ -117,6 +217,70 @@ mod tests {
     fn trailing_flag_gets_empty_value() {
         let (_, flags) = parse_flags(&args(&["--verbose"]));
         assert_eq!(flags["verbose"], "");
+    }
+
+    #[test]
+    fn boolean_flag_does_not_swallow_the_next_flag() {
+        let (_, flags) = parse_flags(&args(&["--tiered", "--workers", "4"]));
+        assert_eq!(flags["tiered"], "");
+        assert_eq!(flags["workers"], "4");
+    }
+
+    #[test]
+    fn bool_flag_accepts_bare_and_spelled_forms() {
+        for (argv, want) in [
+            (&["--tiered"][..], true),
+            (&["--tiered", "true"], true),
+            (&["--tiered", "on"], true),
+            (&["--tiered", "false"], false),
+            (&[][..], false),
+        ] {
+            let (_, flags) = parse_flags(&args(argv));
+            assert_eq!(bool_flag(&flags, "tiered").unwrap(), want, "{argv:?}");
+        }
+        let (_, flags) = parse_flags(&args(&["--tiered", "maybe"]));
+        let err = bool_flag(&flags, "tiered").unwrap_err();
+        assert!(err.contains("--tiered"), "{err}");
+    }
+
+    #[test]
+    fn every_subcommand_rejects_an_unknown_flag_by_name() {
+        // One negative path per subcommand: a flag another subcommand
+        // accepts (or pure junk) must produce a usage error that names
+        // the offending flag — never a silent ignore, never a panic.
+        for (cmd, bad) in [
+            ("run", "capacity-tb"),
+            ("compare", "workers"),
+            ("stats", "port"),
+            ("spans", "metrics-out"),
+            ("latency", "ops"),
+            ("cost", "workload"),
+            ("report", "variant"),
+            ("trace", "conns-limit"),
+            ("serve", "addr"),
+            ("client", "tiered"),
+        ] {
+            let (_, flags) = parse_flags(&args(&[&format!("--{bad}"), "1"]));
+            let err = reject_unknown_flags(cmd, &flags).unwrap_err();
+            assert!(err.contains(&format!("--{bad}")), "{cmd}: {err}");
+            assert!(err.contains(cmd), "{cmd}: {err}");
+        }
+    }
+
+    #[test]
+    fn allowed_flags_pass_validation() {
+        let (_, flags) = parse_flags(&args(&[
+            "--workload",
+            "write-l",
+            "--variant",
+            "full",
+            "--tiered",
+            "--workers",
+            "4",
+        ]));
+        assert!(reject_unknown_flags("run", &flags).is_ok());
+        assert!(allowed_flags("latency").unwrap().is_empty());
+        assert!(allowed_flags("bogus").is_none());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use fidr_baseline::{BaselineConfig, BaselineSystem, PredictorStats};
 use fidr_cache::{CacheStats, HwTreeStats};
-use fidr_core::{CacheMode, FidrConfig, FidrError, FidrSystem};
+use fidr_core::{CacheMode, FidrConfig, FidrError, FidrSystem, TieredDedupConfig};
 use fidr_faults::{FaultPlan, RetryPolicy};
 use fidr_hwsim::{CostParams, Ledger, PlatformSpec, Projection, TimeModel};
 use fidr_metrics::MetricsSnapshot;
@@ -75,6 +75,10 @@ pub struct RunConfig {
     pub workers: usize,
     /// Hash-prefix shards of the table cache (1 = unsharded).
     pub cache_shards: usize,
+    /// Temperature-tiered admission with deferred dedup for cold
+    /// streams (`None` = flat inline dedup for every write). FIDR
+    /// variants only; the baseline ignores it.
+    pub tiered: Option<TieredDedupConfig>,
 }
 
 impl Default for RunConfig {
@@ -90,6 +94,7 @@ impl Default for RunConfig {
             trace: TraceConfig::default(),
             workers: 1,
             cache_shards: 1,
+            tiered: None,
         }
     }
 }
@@ -405,58 +410,78 @@ pub fn run_workload(variant: SystemVariant, spec: WorkloadSpec, run: RunConfig) 
                 critical_path: sys.tracer().critical_path(),
             }
         }
-        _ => {
-            let cache_mode = match variant {
-                SystemVariant::FidrNicP2p => CacheMode::Software,
-                SystemVariant::FidrHwCacheSingleUpdate => CacheMode::HwEngine { update_slots: 1 },
-                SystemVariant::FidrFull => CacheMode::HwEngine { update_slots: 4 },
-                SystemVariant::Baseline => unreachable!("handled above"),
-            };
-            let mut sys = FidrSystem::new(FidrConfig {
-                cache_lines: run.cache_lines,
-                table_buckets: run.table_buckets,
-                container_threshold: run.container_threshold,
-                hash_batch: run.hash_batch,
-                cache_mode,
-                hwtree_levels: Some(14),
-                cost: run.cost,
-                faults: run.faults,
-                retry: run.retry,
-                trace: run.trace,
-                workers: run.workers,
-                cache_shards: run.cache_shards,
-                ..FidrConfig::default()
-            });
-            for req in Workload::new(spec) {
-                match req {
-                    Request::Write { lba, data } => {
-                        sys.write(lba, data).expect("fidr write");
-                    }
-                    Request::Read { lba } => match sys.read(lba) {
-                        Ok(_) => {}
-                        Err(FidrError::NotMapped(_)) => unreachable!("reads target written LBAs"),
-                        Err(e) => panic!("fidr read: {e}"),
-                    },
-                }
+        _ => run_requests(variant, &workload_name, Workload::new(spec), run),
+    }
+}
+
+/// Runs an arbitrary request stream through a FIDR variant — the entry
+/// point for streams that are not a single [`Workload`], such as the
+/// mixed-locality [`fidr_workload::MultiStreamWorkload`] behind the
+/// tiered-cache ablation.
+///
+/// # Panics
+///
+/// Panics on [`SystemVariant::Baseline`] (the baseline runner needs a
+/// [`WorkloadSpec`]; use [`run_workload`]), or if the pipeline errors.
+pub fn run_requests<I>(
+    variant: SystemVariant,
+    workload_name: &str,
+    requests: I,
+    run: RunConfig,
+) -> RunReport
+where
+    I: IntoIterator<Item = Request>,
+{
+    let cache_mode = match variant {
+        SystemVariant::FidrNicP2p => CacheMode::Software,
+        SystemVariant::FidrHwCacheSingleUpdate => CacheMode::HwEngine { update_slots: 1 },
+        SystemVariant::FidrFull => CacheMode::HwEngine { update_slots: 4 },
+        SystemVariant::Baseline => panic!("run_requests drives FIDR variants only"),
+    };
+    let mut sys = FidrSystem::new(FidrConfig {
+        cache_lines: run.cache_lines,
+        table_buckets: run.table_buckets,
+        container_threshold: run.container_threshold,
+        hash_batch: run.hash_batch,
+        cache_mode,
+        hwtree_levels: Some(14),
+        cost: run.cost,
+        faults: run.faults,
+        retry: run.retry,
+        trace: run.trace,
+        workers: run.workers,
+        cache_shards: run.cache_shards,
+        tiered: run.tiered,
+        ..FidrConfig::default()
+    });
+    for req in requests {
+        match req {
+            Request::Write { lba, data } => {
+                sys.write(lba, data).expect("fidr write");
             }
-            sys.flush().expect("fidr flush");
-            let platform = PlatformSpec::default();
-            let hwtree = sys.hwtree_stats();
-            let hwtree_ceiling = sys.hwtree_throughput(platform.fpga_dram_bw);
-            let metrics = sys.metrics();
-            RunReport {
-                variant,
-                workload: workload_name,
-                ledger: sys.ledger().clone(),
-                reduction: sys.stats(),
-                cache: sys.cache_stats(),
-                hwtree,
-                hwtree_ceiling,
-                predictor: None,
-                metrics,
-                spans: sys.tracer().spans(),
-                critical_path: sys.tracer().critical_path(),
-            }
+            Request::Read { lba } => match sys.read(lba) {
+                Ok(_) => {}
+                Err(FidrError::NotMapped(_)) => unreachable!("reads target written LBAs"),
+                Err(e) => panic!("fidr read: {e}"),
+            },
         }
+    }
+    sys.flush().expect("fidr flush");
+    let platform = PlatformSpec::default();
+    let hwtree = sys.hwtree_stats();
+    let hwtree_ceiling = sys.hwtree_throughput(platform.fpga_dram_bw);
+    let metrics = sys.metrics();
+    RunReport {
+        variant,
+        workload: workload_name.to_string(),
+        ledger: sys.ledger().clone(),
+        reduction: sys.stats(),
+        cache: sys.cache_stats(),
+        hwtree,
+        hwtree_ceiling,
+        predictor: None,
+        metrics,
+        spans: sys.tracer().spans(),
+        critical_path: sys.tracer().critical_path(),
     }
 }

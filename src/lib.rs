@@ -67,6 +67,6 @@ pub use fidr_trace as trace;
 pub use fidr_workload as workload;
 
 pub use experiment::{
-    run_workload, run_workload_sharded, shard_seed, RunConfig, RunReport, ShardedReport,
-    SystemVariant,
+    run_requests, run_workload, run_workload_sharded, shard_seed, RunConfig, RunReport,
+    ShardedReport, SystemVariant,
 };

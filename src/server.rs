@@ -112,6 +112,7 @@ struct ServerMetrics {
     ops_write: AtomicU64,
     ops_read: AtomicU64,
     ops_failed: AtomicU64,
+    scrub_idle: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -144,6 +145,7 @@ impl ServerMetrics {
         out.set_counter("server.ops.write.count", c(&self.ops_write));
         out.set_counter("server.ops.read.count", c(&self.ops_read));
         out.set_counter("server.ops.failed.count", c(&self.ops_failed));
+        out.set_counter("server.scrub.idle.count", c(&self.scrub_idle));
     }
 }
 
@@ -188,6 +190,26 @@ impl Shared {
 
     fn queue_depth(&self) -> u64 {
         *self.inflight.lock().expect("inflight lock") as u64
+    }
+
+    /// Opportunistic background dedup: whenever a connection read times
+    /// out or the accept loop polls with nothing to do, re-process a
+    /// bounded slice of the deferred cold-stream writes, so the queue
+    /// drains during traffic lulls instead of piling up for the final
+    /// flush. `try_lock` only — idle maintenance must never delay a live
+    /// request; a scrub error is swallowed here and resurfaces on the
+    /// next flush. A no-op unless [`FidrConfig::tiered`] is enabled.
+    fn idle_scrub(&self) {
+        const IDLE_SCRUB_LIMIT: usize = 256;
+        if let Ok(mut system) = self.system.try_lock() {
+            if system.deferred_pending() > 0 {
+                if let Ok(n) = system.scrub_deferred(IDLE_SCRUB_LIMIT) {
+                    self.metrics
+                        .scrub_idle
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                }
+            }
+        }
     }
 }
 
@@ -277,7 +299,10 @@ fn accept_loop(
                         .fetch_sub(1, Ordering::Relaxed);
                 }));
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                shared.idle_scrub();
+                std::thread::sleep(ACCEPT_POLL);
+            }
             // Transient accept errors (peer reset mid-handshake) are not
             // fatal to the server.
             Err(_) => std::thread::sleep(ACCEPT_POLL),
@@ -368,6 +393,9 @@ fn serve_connection_inner(shared: &Arc<Shared>, stream: &mut TcpStream) -> ConnE
                     // leaving; no frame is in flight at this point.
                     return ConnEnd::Clean;
                 }
+                // The peer is between requests: use the lull for
+                // deferred-dedup scrubbing.
+                shared.idle_scrub();
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(_) => return ConnEnd::Error,

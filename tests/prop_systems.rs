@@ -6,9 +6,10 @@
 
 use bytes::Bytes;
 use fidr::baseline::{BaselineConfig, BaselineSystem};
+use fidr::cache::TieredPolicyConfig;
 use fidr::chunk::Lba;
 use fidr::compress::ContentGenerator;
-use fidr::core::{CacheMode, FidrConfig, FidrSystem};
+use fidr::core::{CacheMode, FidrConfig, FidrSystem, TieredDedupConfig};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -127,6 +128,114 @@ proptest! {
                 sys.read(Lba(lba)).unwrap(),
                 payload(&gen, content).to_vec(),
                 "final read of LBA {}", lba
+            );
+        }
+    }
+
+    /// Tiered admission with every stream classified hot must be
+    /// *byte-identical* to the flat cache — same reads, same metrics
+    /// export — for any interleaving of writes, reads, flushes and GC.
+    /// (`hot_threshold` 0.0 keeps all streams hot, so no write ever
+    /// defers and the tier/scrub metrics stay unexported.)
+    #[test]
+    fn tiered_all_hot_matches_flat(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let gen = ContentGenerator::new(0.5);
+        let base = FidrConfig {
+            cache_lines: 8,
+            table_buckets: 64,
+            container_threshold: 16 << 10,
+            hash_batch: 4,
+            cache_mode: CacheMode::HwEngine { update_slots: 4 },
+            ..FidrConfig::default()
+        };
+        let mut flat = FidrSystem::new(base.clone());
+        let mut tiered = FidrSystem::new(FidrConfig {
+            tiered: Some(TieredDedupConfig {
+                policy: TieredPolicyConfig {
+                    hot_threshold: 0.0,
+                    min_observations: 0,
+                    ..TieredPolicyConfig::default()
+                },
+                ..TieredDedupConfig::default()
+            }),
+            ..base
+        });
+        for op in ops {
+            match op {
+                Op::Write { lba, content } => {
+                    flat.write(Lba(lba), payload(&gen, content)).unwrap();
+                    tiered.write(Lba(lba), payload(&gen, content)).unwrap();
+                }
+                Op::Read { lba } => {
+                    let (a, b) = (flat.read(Lba(lba)), tiered.read(Lba(lba)));
+                    prop_assert_eq!(a.is_ok(), b.is_ok(), "read of LBA {}", lba);
+                    if let (Ok(a), Ok(b)) = (a, b) {
+                        prop_assert_eq!(a, b, "read of LBA {}", lba);
+                    }
+                }
+                Op::Flush => {
+                    flat.flush().unwrap();
+                    tiered.flush().unwrap();
+                }
+                Op::Gc => {
+                    flat.flush().unwrap();
+                    flat.collect_garbage(0.6).unwrap();
+                    tiered.flush().unwrap();
+                    tiered.collect_garbage(0.6).unwrap();
+                }
+            }
+        }
+        flat.flush().unwrap();
+        tiered.flush().unwrap();
+        prop_assert_eq!(flat.metrics().to_json(), tiered.metrics().to_json());
+    }
+
+    /// The other extreme: with every stream cold, every write defers and
+    /// dedups through the scrubber — yet reads stay correct and the final
+    /// reduction converges to exactly what inline dedup produces.
+    /// Distinct LBAs keep overwrites out: an overwrite racing the
+    /// scrubber legitimately diverges (the stale pre-filter drops the
+    /// orphaned write instead of indexing it as a dedup target).
+    #[test]
+    fn tiered_all_cold_converges_to_flat_reduction(
+        contents in proptest::collection::vec(0u64..12, 1..100)
+    ) {
+        let gen = ContentGenerator::new(0.5);
+        let base = FidrConfig {
+            cache_lines: 8,
+            table_buckets: 64,
+            container_threshold: 16 << 10,
+            hash_batch: 4,
+            cache_mode: CacheMode::HwEngine { update_slots: 4 },
+            ..FidrConfig::default()
+        };
+        let mut flat = FidrSystem::new(base.clone());
+        let mut tiered = FidrSystem::new(FidrConfig {
+            tiered: Some(TieredDedupConfig {
+                policy: TieredPolicyConfig {
+                    hot_threshold: 1.1, // locality never reaches 110%
+                    min_observations: 0,
+                    ..TieredPolicyConfig::default()
+                },
+                scrub_batch: 8,
+                ..TieredDedupConfig::default()
+            }),
+            ..base
+        });
+        for (i, &content) in contents.iter().enumerate() {
+            flat.write(Lba(i as u64), payload(&gen, content)).unwrap();
+            tiered.write(Lba(i as u64), payload(&gen, content)).unwrap();
+        }
+        flat.flush().unwrap();
+        tiered.flush().unwrap();
+        prop_assert_eq!(tiered.deferred_pending(), 0, "flush must drain the scrub queue");
+        prop_assert_eq!(tiered.stats().unique_chunks, flat.stats().unique_chunks);
+        prop_assert_eq!(tiered.stats().duplicate_chunks, flat.stats().duplicate_chunks);
+        for (i, &content) in contents.iter().enumerate() {
+            prop_assert_eq!(
+                tiered.read(Lba(i as u64)).unwrap(),
+                payload(&gen, content).to_vec(),
+                "read of LBA {}", i
             );
         }
     }
