@@ -33,7 +33,11 @@
 #![warn(missing_docs)]
 
 mod histogram;
+mod prometheus;
+mod rolling;
 mod snapshot;
 
 pub use histogram::{Histogram, HistogramSnapshot};
+pub use prometheus::to_prometheus_text;
+pub use rolling::{counter_delta, rate_per_sec, ratio, WindowedHistogram, TIMESERIES_SCHEMA_ID};
 pub use snapshot::{slug, MetricValue, MetricsSnapshot, SCHEMA_ID};

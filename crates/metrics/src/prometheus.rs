@@ -1,0 +1,164 @@
+//! Prometheus text exposition (version 0.0.4) for a
+//! [`MetricsSnapshot`] — the `fidr scrape --prom` output format.
+//!
+//! Mapping, documented in `docs/OBSERVABILITY.md`:
+//!
+//! * names: `<stage>.<name>.<unit>` → `fidr_<stage>_<name>_<unit>`
+//!   (dots to underscores, `fidr_` prefix; the charset enforced by the
+//!   snapshot is already Prometheus-legal),
+//! * counters → `counter`, gauges → `gauge`,
+//! * histograms → `summary` (p50/p95/p99 as `quantile` labels plus
+//!   `_sum`/`_count`); histograms marked wall-clock export only their
+//!   `_count`, mirroring the JSON policy so converting the drain
+//!   snapshot stays deterministic.
+
+use crate::snapshot::{MetricValue, MetricsSnapshot};
+
+/// Prefix applied to every exposed metric family.
+const PREFIX: &str = "fidr_";
+
+/// Formats an `f64` the way the exposition format expects: `Display`
+/// for finite values, Go-style `NaN`/`+Inf`/`-Inf` otherwise.
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// `<stage>.<name>.<unit>` → `fidr_<stage>_<name>_<unit>`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(PREFIX.len() + name.len());
+    out.push_str(PREFIX);
+    for c in name.chars() {
+        out.push(if c == '.' { '_' } else { c });
+    }
+    out
+}
+
+/// Encodes `snap` as Prometheus text exposition, families in sorted
+/// name order so equal snapshots produce byte-identical text.
+///
+/// # Examples
+///
+/// ```
+/// use fidr_metrics::{to_prometheus_text, MetricsSnapshot};
+///
+/// let mut snap = MetricsSnapshot::new();
+/// snap.set_counter("server.ops.write.count", 42);
+/// let text = to_prometheus_text(&snap);
+/// assert!(text.contains("# TYPE fidr_server_ops_write_count counter"));
+/// assert!(text.contains("fidr_server_ops_write_count 42"));
+/// ```
+pub fn to_prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in snap.iter() {
+        let family = prom_name(name);
+        match value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("# TYPE {family} counter\n{family} {v}\n"));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!(
+                    "# TYPE {family} gauge\n{family} {}\n",
+                    prom_f64(*v)
+                ));
+            }
+            MetricValue::Histogram(h) if snap.is_wall_clock(name) => {
+                out.push_str(&format!(
+                    "# TYPE {family} summary\n{family}_count {}\n",
+                    h.count
+                ));
+            }
+            MetricValue::Histogram(h) => {
+                out.push_str(&format!(
+                    "# TYPE {family} summary\n\
+                     {family}{{quantile=\"0.5\"}} {}\n\
+                     {family}{{quantile=\"0.95\"}} {}\n\
+                     {family}{{quantile=\"0.99\"}} {}\n\
+                     {family}_sum {}\n\
+                     {family}_count {}\n",
+                    h.p50, h.p95, h.p99, h.sum, h.count
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+
+    /// Fixture: the exact exposition text for a small mixed snapshot.
+    /// If the encoder changes shape, this test fails loudly — update
+    /// docs/OBSERVABILITY.md in the same change.
+    #[test]
+    fn mixed_snapshot_matches_the_fixture() {
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(200);
+        let mut snap = MetricsSnapshot::new();
+        snap.set_counter("server.ops.write.count", 42);
+        snap.set_gauge("cache.hit.ratio", 0.75);
+        snap.set_histogram("cache.lookup.ns", &h);
+        let expected = "\
+# TYPE fidr_cache_hit_ratio gauge
+fidr_cache_hit_ratio 0.75
+# TYPE fidr_cache_lookup_ns summary
+fidr_cache_lookup_ns{quantile=\"0.5\"} 102
+fidr_cache_lookup_ns{quantile=\"0.95\"} 200
+fidr_cache_lookup_ns{quantile=\"0.99\"} 200
+fidr_cache_lookup_ns_sum 300
+fidr_cache_lookup_ns_count 2
+# TYPE fidr_server_ops_write_count counter
+fidr_server_ops_write_count 42
+";
+        assert_eq!(to_prometheus_text(&snap), expected);
+    }
+
+    #[test]
+    fn wall_clock_histograms_expose_only_their_count() {
+        let mut h = Histogram::new();
+        h.record(1234);
+        let mut snap = MetricsSnapshot::new();
+        snap.set_wall_clock_histogram("server.request.wall.ns", &h);
+        let expected = "\
+# TYPE fidr_server_request_wall_ns summary
+fidr_server_request_wall_ns_count 1
+";
+        assert_eq!(to_prometheus_text(&snap), expected);
+    }
+
+    #[test]
+    fn non_finite_gauges_use_go_spellings() {
+        let mut snap = MetricsSnapshot::new();
+        snap.set_gauge("x.nan.ratio", f64::NAN);
+        snap.set_gauge("x.pinf.ratio", f64::INFINITY);
+        snap.set_gauge("x.ninf.ratio", f64::NEG_INFINITY);
+        let text = to_prometheus_text(&snap);
+        assert!(text.contains("fidr_x_nan_ratio NaN"));
+        assert!(text.contains("fidr_x_pinf_ratio +Inf"));
+        assert!(text.contains("fidr_x_ninf_ratio -Inf"));
+    }
+
+    #[test]
+    fn equal_snapshots_encode_byte_identically() {
+        let build = || {
+            let mut s = MetricsSnapshot::new();
+            s.set_counter("a.b.count", 1);
+            s.set_gauge("c.d.ratio", 2.5);
+            s
+        };
+        assert_eq!(to_prometheus_text(&build()), to_prometheus_text(&build()));
+    }
+
+    #[test]
+    fn empty_snapshot_encodes_to_nothing() {
+        assert_eq!(to_prometheus_text(&MetricsSnapshot::new()), "");
+    }
+}

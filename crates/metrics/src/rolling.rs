@@ -1,0 +1,179 @@
+//! Rolling-window helpers for live telemetry: counter deltas between
+//! successive snapshots, windowed rates, and a rotating histogram that
+//! forgets old samples — the arithmetic behind the server's
+//! `fidr.timeseries.v1` sampler.
+//!
+//! These helpers are deliberately dumb about time: callers pass elapsed
+//! milliseconds in, so the crate stays clock-free and the same code is
+//! testable with synthetic timestamps.
+
+use crate::histogram::Histogram;
+use crate::snapshot::MetricsSnapshot;
+
+/// Identifier of the rolling time-series JSON layout produced by the
+/// server sampler (`fidr scrape`), carried in its top-level `schema`
+/// field. Distinct from [`crate::SCHEMA_ID`]: a time-series document is
+/// a ring of timestamped deltas, not a point-in-time snapshot.
+pub const TIMESERIES_SCHEMA_ID: &str = "fidr.timeseries.v1";
+
+/// Growth of counter `name` from `prev` to `cur`, saturating at zero —
+/// a counter that is absent (stage not started yet) or reset reads as
+/// no growth rather than a huge bogus delta.
+pub fn counter_delta(prev: &MetricsSnapshot, cur: &MetricsSnapshot, name: &str) -> u64 {
+    let before = prev.counter(name).unwrap_or(0);
+    let after = cur.counter(name).unwrap_or(0);
+    after.saturating_sub(before)
+}
+
+/// Converts a windowed delta into an events-per-second rate. Returns
+/// 0.0 for an empty window (`elapsed_ms == 0`) instead of infinity, so
+/// a sampler racing its first tick never exports a nonsense spike.
+pub fn rate_per_sec(delta: u64, elapsed_ms: u64) -> f64 {
+    if elapsed_ms == 0 {
+        0.0
+    } else {
+        delta as f64 * 1000.0 / elapsed_ms as f64
+    }
+}
+
+/// `num / den` as a ratio in `[0, 1]`-ish space, 0.0 when the
+/// denominator is zero (no traffic yet ⇒ neutral ratio, not NaN).
+pub fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// A histogram over the last *W* windows only: recording goes to the
+/// current window, [`WindowedHistogram::rotate`] retires the oldest
+/// window, and [`WindowedHistogram::merged`] summarises what remains —
+/// so a latency spike ages out of the live view instead of polluting
+/// the percentiles forever, while the lifetime histogram (a plain
+/// [`Histogram`]) keeps the full history for the drain export.
+///
+/// # Examples
+///
+/// ```
+/// use fidr_metrics::WindowedHistogram;
+///
+/// let mut w = WindowedHistogram::new(2);
+/// w.record(1_000_000); // spike in window 0
+/// w.rotate();
+/// w.record(100);
+/// assert_eq!(w.merged().max(), 1_000_000); // spike still in view
+/// w.rotate();
+/// w.record(100);
+/// assert_eq!(w.merged().max(), 100); // spike aged out
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram {
+    windows: Vec<Histogram>,
+    cursor: usize,
+}
+
+impl WindowedHistogram {
+    /// Creates a rolling histogram spanning `windows` rotations
+    /// (clamped to at least 1).
+    pub fn new(windows: usize) -> Self {
+        let n = windows.max(1);
+        WindowedHistogram {
+            windows: (0..n).map(|_| Histogram::new()).collect(),
+            cursor: 0,
+        }
+    }
+
+    /// Number of windows in the ring.
+    pub fn window_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Records one sample into the current window.
+    pub fn record(&mut self, value: u64) {
+        self.windows[self.cursor].record(value);
+    }
+
+    /// Advances to the next window, dropping the samples of the window
+    /// it replaces.
+    pub fn rotate(&mut self) {
+        self.cursor = (self.cursor + 1) % self.windows.len();
+        self.windows[self.cursor] = Histogram::new();
+    }
+
+    /// Merges every live window into one histogram for summarising.
+    pub fn merged(&self) -> Histogram {
+        let mut out = Histogram::new();
+        for w in &self.windows {
+            out.merge(w);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_delta_tracks_growth_and_tolerates_absence() {
+        let mut prev = MetricsSnapshot::new();
+        let mut cur = MetricsSnapshot::new();
+        prev.set_counter("x.ops.count", 10);
+        cur.set_counter("x.ops.count", 17);
+        assert_eq!(counter_delta(&prev, &cur, "x.ops.count"), 7);
+        // Absent in prev: the whole current value is the delta.
+        assert_eq!(
+            counter_delta(&MetricsSnapshot::new(), &cur, "x.ops.count"),
+            17
+        );
+        // Absent in cur (or reset backwards): saturates to zero.
+        assert_eq!(
+            counter_delta(&prev, &MetricsSnapshot::new(), "x.ops.count"),
+            0
+        );
+        prev.set_counter("x.ops.count", 100);
+        assert_eq!(counter_delta(&prev, &cur, "x.ops.count"), 0);
+    }
+
+    #[test]
+    fn rate_per_sec_scales_and_never_divides_by_zero() {
+        assert_eq!(rate_per_sec(500, 1000), 500.0);
+        assert_eq!(rate_per_sec(500, 250), 2000.0);
+        assert_eq!(rate_per_sec(500, 0), 0.0);
+    }
+
+    #[test]
+    fn ratio_is_neutral_on_empty_denominator() {
+        assert_eq!(ratio(3, 4), 0.75);
+        assert_eq!(ratio(0, 0), 0.0);
+        assert_eq!(ratio(9, 0), 0.0);
+    }
+
+    #[test]
+    fn windowed_histogram_forgets_after_a_full_rotation() {
+        let mut w = WindowedHistogram::new(3);
+        w.record(1_000_000);
+        for _ in 0..2 {
+            w.rotate();
+            w.record(50);
+        }
+        // Two rotations: the spike window is still inside the ring.
+        assert_eq!(w.merged().max(), 1_000_000);
+        assert_eq!(w.merged().count(), 3);
+        w.rotate();
+        w.record(50);
+        // Third rotation reuses the spike's slot: spike gone.
+        assert_eq!(w.merged().max(), 50);
+        assert_eq!(w.merged().count(), 3);
+    }
+
+    #[test]
+    fn windowed_histogram_clamps_to_one_window() {
+        let mut w = WindowedHistogram::new(0);
+        assert_eq!(w.window_count(), 1);
+        w.record(7);
+        w.rotate();
+        assert_eq!(w.merged().count(), 0, "single window drops on rotate");
+    }
+}

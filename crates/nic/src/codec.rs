@@ -24,7 +24,9 @@
 //! assert_eq!(codec.next_frame().unwrap(), None);
 //! ```
 
-use crate::protocol::{Decoded, Message, ProtocolError, HEADER_BYTES, MAX_PAYLOAD_BYTES};
+use crate::protocol::{
+    Decoded, Message, ProtocolError, ProtocolVersion, HEADER_BYTES, MAX_PAYLOAD_BYTES,
+};
 
 /// Consumed-prefix length past which [`FramedCodec`] compacts its buffer
 /// instead of letting decoded frames accumulate.
@@ -46,19 +48,42 @@ pub struct CodecStats {
 /// A hard [`ProtocolError`] poisons the codec — the byte stream has no
 /// frame boundary to resynchronise on, so every later call returns the
 /// same error and the caller should close the connection.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FramedCodec {
     buf: Vec<u8>,
     /// Bytes of `buf` already consumed by decoded frames.
     pos: usize,
     poisoned: Option<ProtocolError>,
     stats: CodecStats,
+    /// Which opcodes this connection accepts; shares the [`Message`]
+    /// decode logic, so the codec can never drift from the protocol's
+    /// own validation.
+    version: ProtocolVersion,
+}
+
+impl Default for FramedCodec {
+    fn default() -> Self {
+        FramedCodec::new()
+    }
 }
 
 impl FramedCodec {
-    /// Creates an empty codec.
+    /// Creates an empty codec speaking [`ProtocolVersion::LATEST`].
     pub fn new() -> Self {
-        FramedCodec::default()
+        FramedCodec::with_version(ProtocolVersion::LATEST)
+    }
+
+    /// Creates an empty codec restricted to the opcodes of `version` —
+    /// how a pre-telemetry (V1) peer's connection behaves when fed the
+    /// newer stats frames: a clean poison, not a misparse.
+    pub fn with_version(version: ProtocolVersion) -> Self {
+        FramedCodec {
+            buf: Vec::new(),
+            pos: 0,
+            poisoned: None,
+            stats: CodecStats::default(),
+            version,
+        }
     }
 
     /// Appends freshly read stream bytes to the reassembly buffer.
@@ -81,7 +106,7 @@ impl FramedCodec {
         if let Some(err) = &self.poisoned {
             return Err(err.clone());
         }
-        match Message::decode(&self.buf[self.pos..]) {
+        match Message::decode_versioned(&self.buf[self.pos..], self.version) {
             Ok(Decoded::Frame { msg, used }) => {
                 self.pos += used;
                 self.stats.frames_decoded += 1;
@@ -104,7 +129,7 @@ impl FramedCodec {
     /// (1 when the buffer is empty or poisoned — any read may help the
     /// caller notice EOF).
     pub fn needed(&self) -> usize {
-        match Message::decode(&self.buf[self.pos..]) {
+        match Message::decode_versioned(&self.buf[self.pos..], self.version) {
             Ok(Decoded::Incomplete { needed }) => needed.clamp(1, MAX_PAYLOAD_BYTES + HEADER_BYTES),
             _ => 1,
         }
@@ -213,6 +238,32 @@ mod tests {
         ));
         // The codec never asked for 4 GiB.
         assert!(codec.needed() <= MAX_PAYLOAD_BYTES + HEADER_BYTES);
+    }
+
+    #[test]
+    fn v1_codec_poisons_cleanly_on_a_stats_frame() {
+        use crate::protocol::StatsFormat;
+        // An old (pre-telemetry) peer's codec fed the new 0x05 frame
+        // closes the connection with BadOpcode — never a misparse, never
+        // a panic — while a current codec decodes it fine.
+        let frame = Message::StatsRequest {
+            format: StatsFormat::Json,
+        }
+        .encode()
+        .unwrap();
+        let mut old = FramedCodec::with_version(ProtocolVersion::V1);
+        old.feed(&frame);
+        assert_eq!(
+            old.next_frame().unwrap_err(),
+            ProtocolError::BadOpcode(0x05)
+        );
+        assert!(old.is_poisoned());
+        let mut new = FramedCodec::new();
+        new.feed(&frame);
+        assert!(matches!(
+            new.next_frame().unwrap(),
+            Some(Message::StatsRequest { .. })
+        ));
     }
 
     #[test]

@@ -11,16 +11,29 @@
 //!
 //! ```text
 //! offset  size  field
-//!      0     1  opcode: 0x01 Write, 0x02 Read, 0x03 WriteAck, 0x04 ReadReply
-//!      1     8  LBA, little-endian u64
-//!      9     4  payload length, little-endian u32 (0 for Read/WriteAck)
+//!      0     1  opcode: 0x01 Write, 0x02 Read, 0x03 WriteAck, 0x04 ReadReply,
+//!               0x05 StatsRequest, 0x06 StatsReply
+//!      1     8  LBA, little-endian u64 (for the stats opcodes this field
+//!               carries the [`StatsFormat`] code instead of an address)
+//!      9     4  payload length, little-endian u32 (0 for Read/WriteAck/
+//!               StatsRequest)
 //!     13   len  payload
 //! ```
+//!
+//! The valid opcodes live in one place — the [`Opcode`] enum — shared by
+//! [`Message::encode`], [`Message::decode`] and [`crate::FramedCodec`],
+//! so a new opcode cannot be half-wired. [`ProtocolVersion`] pins which
+//! opcodes a decoder accepts: a V1 (pre-telemetry) peer rejects the stats
+//! frames with a clean [`ProtocolError::BadOpcode`] instead of
+//! misparsing them.
 //!
 //! The declared length is bounded by [`MAX_PAYLOAD_BYTES`] in **both**
 //! directions: [`Message::encode`] refuses to build a frame it could not
 //! decode, and [`Message::decode`] rejects a hostile length field before
-//! any reader commits buffer space to it.
+//! any reader commits buffer space to it. [`Opcode::StatsRequest`] must
+//! declare a zero-length payload ([`ProtocolError::UnexpectedPayload`]
+//! otherwise); the storage opcodes keep tolerating — and discarding —
+//! unexpected payloads for wire compatibility with PR-5 peers.
 //!
 //! # Streaming contract
 //!
@@ -45,6 +58,125 @@ pub const HEADER_BYTES: usize = 1 + 8 + 4;
 /// never arrive, and an encoder can never emit a self-inconsistent frame
 /// by truncating the length to 32 bits.
 pub const MAX_PAYLOAD_BYTES: usize = 1 << 20;
+
+/// The operation codes of the wire protocol: the single source of truth
+/// for what the first header byte may say, shared by [`Message::encode`],
+/// [`Message::decode`] and [`crate::FramedCodec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Client → server write.
+    Write = 0x01,
+    /// Client → server read request.
+    Read = 0x02,
+    /// Server → client write acknowledgment.
+    WriteAck = 0x03,
+    /// Server → client read reply.
+    ReadReply = 0x04,
+    /// Client → server telemetry scrape request ([`ProtocolVersion::V2`]).
+    StatsRequest = 0x05,
+    /// Server → client telemetry snapshot ([`ProtocolVersion::V2`]).
+    StatsReply = 0x06,
+}
+
+impl Opcode {
+    /// Every defined opcode, in wire order.
+    pub const ALL: [Opcode; 6] = [
+        Opcode::Write,
+        Opcode::Read,
+        Opcode::WriteAck,
+        Opcode::ReadReply,
+        Opcode::StatsRequest,
+        Opcode::StatsReply,
+    ];
+
+    /// Parses the first header byte. `None` is a
+    /// [`ProtocolError::BadOpcode`] at the decode layer.
+    pub fn from_byte(byte: u8) -> Option<Opcode> {
+        match byte {
+            0x01 => Some(Opcode::Write),
+            0x02 => Some(Opcode::Read),
+            0x03 => Some(Opcode::WriteAck),
+            0x04 => Some(Opcode::ReadReply),
+            0x05 => Some(Opcode::StatsRequest),
+            0x06 => Some(Opcode::StatsReply),
+            _ => None,
+        }
+    }
+
+    /// The wire byte of this opcode.
+    pub fn as_byte(self) -> u8 {
+        self as u8
+    }
+
+    /// Whether frames of this opcode may carry a payload. A
+    /// [`Opcode::StatsRequest`] declaring a nonzero length is a hard
+    /// [`ProtocolError::UnexpectedPayload`]; the payload-free *storage*
+    /// opcodes (Read/WriteAck) tolerate and discard one for wire
+    /// compatibility with PR-5 encoders.
+    pub fn carries_payload(self) -> bool {
+        matches!(self, Opcode::Write | Opcode::ReadReply | Opcode::StatsReply)
+    }
+}
+
+/// The protocol revision a decoder speaks, i.e. which opcodes it
+/// accepts. Frames themselves are not versioned — the header layout
+/// never changed — so this models peer capability: a V1 decoder facing a
+/// V2-only frame fails with a clean [`ProtocolError::BadOpcode`], which
+/// is exactly what a pre-telemetry binary does on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolVersion {
+    /// The PR-5 storage protocol: opcodes `0x01..=0x04` only.
+    V1,
+    /// Adds in-band telemetry: [`Opcode::StatsRequest`] /
+    /// [`Opcode::StatsReply`].
+    V2,
+}
+
+impl ProtocolVersion {
+    /// The newest revision; what [`Message::decode`] and
+    /// [`crate::FramedCodec::new`] speak.
+    pub const LATEST: ProtocolVersion = ProtocolVersion::V2;
+
+    /// Whether this revision accepts `op`.
+    pub fn accepts(self, op: Opcode) -> bool {
+        match self {
+            ProtocolVersion::V1 => !matches!(op, Opcode::StatsRequest | Opcode::StatsReply),
+            ProtocolVersion::V2 => true,
+        }
+    }
+}
+
+/// How a [`Message::StatsReply`] body is encoded; carried in the LBA
+/// header field of the stats frames (they address no block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StatsFormat {
+    /// The `fidr.timeseries.v1` JSON telemetry document.
+    #[default]
+    Json,
+    /// Prometheus text exposition format.
+    Prometheus,
+}
+
+impl StatsFormat {
+    /// The wire code stored in the LBA header field.
+    pub fn code(self) -> u64 {
+        match self {
+            StatsFormat::Json => 0,
+            StatsFormat::Prometheus => 1,
+        }
+    }
+
+    /// Parses a wire code. `None` is a
+    /// [`ProtocolError::BadStatsFormat`] at the decode layer.
+    pub fn from_code(code: u64) -> Option<StatsFormat> {
+        match code {
+            0 => Some(StatsFormat::Json),
+            1 => Some(StatsFormat::Prometheus),
+            _ => None,
+        }
+    }
+}
 
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +204,22 @@ pub enum Message {
         lba: Lba,
         /// Payload.
         data: Bytes,
+    },
+    /// Client → server request for a live telemetry snapshot — in-band
+    /// scraping of a running server, no drain required. Carries no
+    /// payload; the LBA header field holds the requested format code.
+    StatsRequest {
+        /// Requested body encoding of the reply.
+        format: StatsFormat,
+    },
+    /// Server → client telemetry snapshot answering a
+    /// [`Message::StatsRequest`].
+    StatsReply {
+        /// Body encoding, echoing the request.
+        format: StatsFormat,
+        /// The rendered telemetry document (`fidr.timeseries.v1` JSON or
+        /// Prometheus exposition text).
+        body: Bytes,
     },
 }
 
@@ -107,6 +255,20 @@ pub enum ProtocolError {
         /// The offending length in bytes.
         len: u64,
     },
+    /// A frame whose opcode must not carry a payload declared a nonzero
+    /// length ([`Opcode::StatsRequest`]).
+    UnexpectedPayload {
+        /// The offending opcode byte.
+        opcode: u8,
+        /// The declared payload length.
+        len: u64,
+    },
+    /// A stats frame whose LBA header field holds no known
+    /// [`StatsFormat`] code.
+    BadStatsFormat {
+        /// The offending format code.
+        code: u64,
+    },
 }
 
 impl fmt::Display for ProtocolError {
@@ -116,6 +278,12 @@ impl fmt::Display for ProtocolError {
             ProtocolError::PayloadTooLarge { len } => {
                 write!(f, "payload of {len} bytes exceeds {MAX_PAYLOAD_BYTES}")
             }
+            ProtocolError::UnexpectedPayload { opcode, len } => {
+                write!(f, "opcode {opcode:#04x} forbids a payload, got {len} bytes")
+            }
+            ProtocolError::BadStatsFormat { code } => {
+                write!(f, "unknown stats format code {code}")
+            }
         }
     }
 }
@@ -123,28 +291,37 @@ impl fmt::Display for ProtocolError {
 impl std::error::Error for ProtocolError {}
 
 impl Message {
-    fn opcode(&self) -> u8 {
+    /// The message's operation code.
+    pub fn opcode(&self) -> Opcode {
         match self {
-            Message::Write { .. } => 0x01,
-            Message::Read { .. } => 0x02,
-            Message::WriteAck { .. } => 0x03,
-            Message::ReadReply { .. } => 0x04,
+            Message::Write { .. } => Opcode::Write,
+            Message::Read { .. } => Opcode::Read,
+            Message::WriteAck { .. } => Opcode::WriteAck,
+            Message::ReadReply { .. } => Opcode::ReadReply,
+            Message::StatsRequest { .. } => Opcode::StatsRequest,
+            Message::StatsReply { .. } => Opcode::StatsReply,
         }
     }
 
-    /// The message's logical block address.
+    /// The message's logical block address. The stats frames address no
+    /// block; their LBA header field carries the [`StatsFormat`] code,
+    /// which is what this returns for them.
     pub fn lba(&self) -> Lba {
         match self {
             Message::Write { lba, .. }
             | Message::Read { lba }
             | Message::WriteAck { lba }
             | Message::ReadReply { lba, .. } => *lba,
+            Message::StatsRequest { format } | Message::StatsReply { format, .. } => {
+                Lba(format.code())
+            }
         }
     }
 
     fn payload(&self) -> &[u8] {
         match self {
             Message::Write { data, .. } | Message::ReadReply { data, .. } => data,
+            Message::StatsReply { body, .. } => body,
             _ => &[],
         }
     }
@@ -163,7 +340,7 @@ impl Message {
             });
         }
         let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
-        out.push(self.opcode());
+        out.push(self.opcode().as_byte());
         out.extend_from_slice(&self.lba().0.to_le_bytes());
         out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         out.extend_from_slice(payload);
@@ -183,25 +360,57 @@ impl Message {
     ///
     /// # Errors
     ///
-    /// [`ProtocolError::BadOpcode`] for an unknown opcode and
+    /// [`ProtocolError::BadOpcode`] for an unknown opcode,
     /// [`ProtocolError::PayloadTooLarge`] for a declared length over
-    /// [`MAX_PAYLOAD_BYTES`]. Both are permanent: no further input can
+    /// [`MAX_PAYLOAD_BYTES`], [`ProtocolError::UnexpectedPayload`] for a
+    /// payload on a payload-forbidding opcode, and
+    /// [`ProtocolError::BadStatsFormat`] for a stats frame with an
+    /// unknown format code. All are permanent: no further input can
     /// repair the stream.
     pub fn decode(buf: &[u8]) -> Result<Decoded, ProtocolError> {
+        Message::decode_versioned(buf, ProtocolVersion::LATEST)
+    }
+
+    /// [`Message::decode`] restricted to the opcodes of `version` — the
+    /// decoder a peer of that protocol revision runs. A V1 decoder fed a
+    /// V2 stats frame fails with [`ProtocolError::BadOpcode`] from the
+    /// header alone, exactly like a pre-telemetry binary on the wire.
+    ///
+    /// # Errors
+    ///
+    /// As [`Message::decode`].
+    pub fn decode_versioned(
+        buf: &[u8],
+        version: ProtocolVersion,
+    ) -> Result<Decoded, ProtocolError> {
         if buf.len() < HEADER_BYTES {
             return Ok(Decoded::Incomplete {
                 needed: HEADER_BYTES - buf.len(),
             });
         }
-        let opcode = buf[0];
-        if !(0x01..=0x04).contains(&opcode) {
-            return Err(ProtocolError::BadOpcode(opcode));
-        }
-        let lba = Lba(u64::from_le_bytes(buf[1..9].try_into().expect("8 bytes")));
+        let opcode = Opcode::from_byte(buf[0])
+            .filter(|op| version.accepts(*op))
+            .ok_or(ProtocolError::BadOpcode(buf[0]))?;
+        // For the storage opcodes this is the LBA; for the stats opcodes
+        // it carries the format code (validated below, header-only).
+        let field = u64::from_le_bytes(buf[1..9].try_into().expect("8 bytes"));
         let declared = u64::from(u32::from_le_bytes(buf[9..13].try_into().expect("4 bytes")));
         if declared > MAX_PAYLOAD_BYTES as u64 {
             return Err(ProtocolError::PayloadTooLarge { len: declared });
         }
+        if opcode == Opcode::StatsRequest && declared != 0 {
+            return Err(ProtocolError::UnexpectedPayload {
+                opcode: opcode.as_byte(),
+                len: declared,
+            });
+        }
+        let format = match opcode {
+            Opcode::StatsRequest | Opcode::StatsReply => Some(
+                StatsFormat::from_code(field)
+                    .ok_or(ProtocolError::BadStatsFormat { code: field })?,
+            ),
+            _ => None,
+        };
         let len = declared as usize;
         // With the bound above this cannot overflow even on 16/32-bit
         // targets, but fold the check into the length validation anyway —
@@ -214,13 +423,20 @@ impl Message {
                 needed: end - buf.len(),
             });
         }
+        let lba = Lba(field);
         let data = Bytes::copy_from_slice(&buf[HEADER_BYTES..end]);
         let msg = match opcode {
-            0x01 => Message::Write { lba, data },
-            0x02 => Message::Read { lba },
-            0x03 => Message::WriteAck { lba },
-            0x04 => Message::ReadReply { lba, data },
-            other => return Err(ProtocolError::BadOpcode(other)),
+            Opcode::Write => Message::Write { lba, data },
+            Opcode::Read => Message::Read { lba },
+            Opcode::WriteAck => Message::WriteAck { lba },
+            Opcode::ReadReply => Message::ReadReply { lba, data },
+            Opcode::StatsRequest => Message::StatsRequest {
+                format: format.expect("validated above"),
+            },
+            Opcode::StatsReply => Message::StatsReply {
+                format: format.expect("validated above"),
+                body: data,
+            },
         };
         Ok(Decoded::Frame { msg, used: end })
     }
@@ -382,5 +598,156 @@ mod tests {
     fn decode_whole_treats_incomplete_as_an_error() {
         let frame = Message::Read { lba: Lba(1) }.encode().unwrap();
         assert!(Message::decode_whole(&frame[..5]).is_err());
+    }
+
+    #[test]
+    fn opcode_enum_is_the_single_validation_point() {
+        for op in Opcode::ALL {
+            assert_eq!(Opcode::from_byte(op.as_byte()), Some(op));
+        }
+        for byte in [0x00u8, 0x07, 0x7f, 0xff] {
+            assert_eq!(Opcode::from_byte(byte), None);
+            assert_eq!(
+                Message::decode(&encode_raw(byte, 0, 0)).unwrap_err(),
+                ProtocolError::BadOpcode(byte)
+            );
+        }
+    }
+
+    /// Hand-assembles a header for frames `encode` refuses to build.
+    fn encode_raw(opcode: u8, field: u64, declared: u32) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_BYTES);
+        out.push(opcode);
+        out.extend_from_slice(&field.to_le_bytes());
+        out.extend_from_slice(&declared.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn stats_frames_round_trip() {
+        for msg in [
+            Message::StatsRequest {
+                format: StatsFormat::Json,
+            },
+            Message::StatsRequest {
+                format: StatsFormat::Prometheus,
+            },
+            Message::StatsReply {
+                format: StatsFormat::Json,
+                body: Bytes::from_static(b"{\"schema\":\"fidr.timeseries.v1\"}"),
+            },
+            Message::StatsReply {
+                format: StatsFormat::Prometheus,
+                body: Bytes::from_static(b"fidr_server_ops_write_count 3\n"),
+            },
+        ] {
+            let frame = msg.encode().unwrap();
+            let (decoded, used) = Message::decode_whole(&frame).unwrap();
+            assert_eq!(decoded, msg);
+            assert_eq!(used, frame.len());
+        }
+    }
+
+    #[test]
+    fn stats_request_with_nonzero_payload_is_a_hard_error() {
+        // A StatsRequest must not carry a payload; a declared length is
+        // rejected from the header alone, before the body arrives.
+        let mut frame = encode_raw(0x05, StatsFormat::Json.code(), 16);
+        assert_eq!(
+            Message::decode(&frame).unwrap_err(),
+            ProtocolError::UnexpectedPayload {
+                opcode: 0x05,
+                len: 16
+            }
+        );
+        // ... and with the body present the verdict is the same.
+        frame.extend_from_slice(&[0u8; 16]);
+        assert_eq!(
+            Message::decode(&frame).unwrap_err(),
+            ProtocolError::UnexpectedPayload {
+                opcode: 0x05,
+                len: 16
+            }
+        );
+    }
+
+    #[test]
+    fn stats_reply_truncated_mid_frame_is_incomplete_not_an_error() {
+        let frame = Message::StatsReply {
+            format: StatsFormat::Json,
+            body: Bytes::from(vec![b'x'; 256]),
+        }
+        .encode()
+        .unwrap();
+        // Every strict prefix obeys the streaming contract: Incomplete,
+        // and feeding the missing tail completes the very same frame.
+        for cut in [5, HEADER_BYTES, HEADER_BYTES + 100, frame.len() - 1] {
+            match Message::decode(&frame[..cut]).unwrap() {
+                Decoded::Incomplete { needed } => {
+                    assert!(needed > 0 && cut + needed <= frame.len(), "cut={cut}");
+                }
+                Decoded::Frame { .. } => panic!("truncated frame decoded (cut={cut})"),
+            }
+        }
+        // A fixed buffer cannot grow: decode_whole makes it an error.
+        assert!(Message::decode_whole(&frame[..frame.len() - 1]).is_err());
+        assert!(matches!(
+            Message::decode_whole(&frame).unwrap().0,
+            Message::StatsReply { .. }
+        ));
+    }
+
+    #[test]
+    fn v1_decoder_rejects_stats_opcodes_cleanly() {
+        // Old-client / new-server compatibility: a pre-PR-8 (V1) decoder
+        // fed the new opcodes fails with BadOpcode from the header alone —
+        // a clean connection close, not a misparse.
+        let request = Message::StatsRequest {
+            format: StatsFormat::Json,
+        }
+        .encode()
+        .unwrap();
+        let reply = Message::StatsReply {
+            format: StatsFormat::Json,
+            body: Bytes::from_static(b"{}"),
+        }
+        .encode()
+        .unwrap();
+        for frame in [&request, &reply] {
+            assert!(matches!(
+                Message::decode_versioned(frame, ProtocolVersion::V1).unwrap_err(),
+                ProtocolError::BadOpcode(0x05 | 0x06)
+            ));
+            // The same bytes decode fine at LATEST.
+            assert!(matches!(
+                Message::decode_versioned(frame, ProtocolVersion::LATEST).unwrap(),
+                Decoded::Frame { .. }
+            ));
+        }
+        // V1 still accepts every storage opcode.
+        let write = Message::Write {
+            lba: Lba(1),
+            data: Bytes::from_static(b"abc"),
+        }
+        .encode()
+        .unwrap();
+        assert!(matches!(
+            Message::decode_versioned(&write, ProtocolVersion::V1).unwrap(),
+            Decoded::Frame { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_stats_format_code_is_rejected_from_the_header() {
+        for opcode in [0x05u8, 0x06] {
+            let frame = encode_raw(opcode, 99, 0);
+            assert_eq!(
+                Message::decode(&frame).unwrap_err(),
+                ProtocolError::BadStatsFormat { code: 99 }
+            );
+        }
+        assert_eq!(StatsFormat::from_code(0), Some(StatsFormat::Json));
+        assert_eq!(StatsFormat::from_code(1), Some(StatsFormat::Prometheus));
+        assert_eq!(StatsFormat::from_code(2), None);
     }
 }

@@ -6,9 +6,13 @@
 
 use bytes::Bytes;
 use fidr_chunk::Lba;
-use fidr_nic::protocol::{Decoded, Message, HEADER_BYTES};
+use fidr_nic::protocol::{Decoded, Message, StatsFormat, HEADER_BYTES};
 use fidr_nic::FramedCodec;
 use proptest::prelude::*;
+
+fn format_strategy() -> impl Strategy<Value = StatsFormat> {
+    prop_oneof![Just(StatsFormat::Json), Just(StatsFormat::Prometheus)]
+}
 
 fn message_strategy() -> impl Strategy<Value = Message> {
     let payload = proptest::collection::vec(any::<u8>(), 0..2048);
@@ -19,9 +23,14 @@ fn message_strategy() -> impl Strategy<Value = Message> {
         }),
         any::<u64>().prop_map(|lba| Message::Read { lba: Lba(lba) }),
         any::<u64>().prop_map(|lba| Message::WriteAck { lba: Lba(lba) }),
-        (any::<u64>(), payload).prop_map(|(lba, data)| Message::ReadReply {
+        (any::<u64>(), payload.clone()).prop_map(|(lba, data)| Message::ReadReply {
             lba: Lba(lba),
             data: Bytes::from(data),
+        }),
+        format_strategy().prop_map(|format| Message::StatsRequest { format }),
+        (format_strategy(), payload).prop_map(|(format, body)| Message::StatsReply {
+            format,
+            body: Bytes::from(body),
         }),
     ]
 }

@@ -197,6 +197,18 @@ impl SpanRing {
         out.extend_from_slice(&self.buf[..self.head]);
         out
     }
+
+    /// The newest `n` records, oldest-of-those first, without copying
+    /// the whole ring.
+    fn recent(&self, n: usize) -> Vec<SpanRecord> {
+        let n = n.min(self.buf.len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let idx = (self.head + self.buf.len() - n + i) % self.buf.len().max(1);
+            out.push(self.buf[idx].clone());
+        }
+        out
+    }
 }
 
 /// The span tracer: modelled clock + open-span stack + bounded ring +
@@ -369,6 +381,14 @@ impl Tracer {
         self.ring.in_order()
     }
 
+    /// The newest `n` completed spans (fewer if the ring holds fewer),
+    /// oldest-of-those first — what a slow-request exemplar capture
+    /// wants: the request's own subtree sits at the tail of the ring
+    /// the moment its root span closes.
+    pub fn recent(&self, n: usize) -> Vec<SpanRecord> {
+        self.ring.recent(n)
+    }
+
     /// Spans evicted from the ring (the `trace.dropped_spans` counter).
     pub fn dropped(&self) -> u64 {
         self.ring.dropped
@@ -488,6 +508,37 @@ mod tests {
         let report = t.critical_path();
         assert_eq!(report.classes.len(), 1);
         assert_eq!(report.classes[0].ops, 10);
+    }
+
+    #[test]
+    fn recent_returns_the_ring_tail_wrapped_or_not() {
+        let mut t = Tracer::new(TraceConfig::with_capacity(4));
+        let take_seqs = |t: &Tracer, n: usize| -> Vec<u64> {
+            t.recent(n)
+                .iter()
+                .map(|s| match s.attr("seq") {
+                    Some(AttrValue::U64(v)) => *v,
+                    other => panic!("seq attr missing: {other:?}"),
+                })
+                .collect()
+        };
+        for i in 0..3u64 {
+            let tok = t.begin("write");
+            t.attr(tok, "seq", i);
+            t.end(tok);
+        }
+        // Not yet wrapped.
+        assert_eq!(take_seqs(&t, 2), vec![1, 2]);
+        assert_eq!(take_seqs(&t, 10), vec![0, 1, 2]);
+        for i in 3..9u64 {
+            let tok = t.begin("write");
+            t.attr(tok, "seq", i);
+            t.end(tok);
+        }
+        // Wrapped: ring holds 5..=8, tail is the newest.
+        assert_eq!(take_seqs(&t, 2), vec![7, 8]);
+        assert_eq!(take_seqs(&t, 4), vec![5, 6, 7, 8]);
+        assert!(Tracer::disabled().recent(3).is_empty());
     }
 
     #[test]

@@ -134,6 +134,49 @@ grep -q '"server.connections.accepted.count": { "type": "counter", "value": 4 }'
 echo "    $(grep -o '"server.frames.decoded.count": { "type": "counter", "value": [0-9]*' \
   "$SERVE_DIR/metrics.json" | grep -o '[0-9]*$') frames served, 0 rejected"
 
+# Live-telemetry smoke test: serve with a fast sampler, drive verified
+# traffic, then scrape the still-running server in-band — JSON,
+# Prometheus text and one `fidr top` frame — and shape-check all three.
+# conns-limit counts the 4 traffic connections plus the 3 scrape
+# connections, so the server auto-drains only after the last scrape.
+# CI uploads the scrape files as inspectable artifacts.
+echo "==> live telemetry scrape smoke"
+TELEM_DIR="${TELEM_DIR:-target/ci-telemetry}"
+mkdir -p "$TELEM_DIR"
+rm -f "$TELEM_DIR/port" "$TELEM_DIR/scrape.json" "$TELEM_DIR/scrape.prom"
+cargo run --release -q --bin fidr -- serve \
+  --port 0 --port-file "$TELEM_DIR/port" --conns-limit 7 --sample-ms 50 \
+  --metrics-out "$TELEM_DIR/metrics.json" > "$TELEM_DIR/serve.log" &
+TELEM_PID=$!
+tries=0
+while [ ! -s "$TELEM_DIR/port" ]; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 100 ]; then
+    echo "telemetry server never wrote its port file" >&2
+    kill "$TELEM_PID" 2> /dev/null || true
+    exit 1
+  fi
+  sleep 0.1
+done
+TELEM_ADDR="127.0.0.1:$(cat "$TELEM_DIR/port")"
+cargo run --release -q --bin fidr -- client --addr "$TELEM_ADDR" --conns 4 --ops 200
+# Let a sampler tick land after the traffic so the ring is non-empty.
+sleep 0.2
+cargo run --release -q --bin fidr -- scrape --addr "$TELEM_ADDR" \
+  --out "$TELEM_DIR/scrape.json"
+cargo run --release -q --bin fidr -- scrape --addr "$TELEM_ADDR" --prom \
+  --out "$TELEM_DIR/scrape.prom"
+cargo run --release -q --bin fidr -- top --addr "$TELEM_ADDR" --iters 1 \
+  > "$TELEM_DIR/top.txt"
+wait "$TELEM_PID"
+grep -q '"schema": "fidr.timeseries.v1"' "$TELEM_DIR/scrape.json"
+grep -q '"seq": ' "$TELEM_DIR/scrape.json"
+grep -q '"streams": \[' "$TELEM_DIR/scrape.json"
+grep -q '# TYPE fidr_server_ops_write_count counter' "$TELEM_DIR/scrape.prom"
+grep -q '^fidr_server_window_ops_rate ' "$TELEM_DIR/scrape.prom"
+grep -q '^fidr top' "$TELEM_DIR/top.txt"
+echo "    $(grep -c '"seq": ' "$TELEM_DIR/scrape.json") timeseries samples scraped in-band"
+
 # Wall-speedup regression gate: the persistent worker pool + multi-lane
 # hashing must keep real wall-clock batch throughput scaling with
 # --workers. The acceptance snapshot shows >= 1.5x at 4 workers

@@ -12,15 +12,16 @@
 
 use fidr::chunk::{replay_chunking, Lba};
 use fidr::cli::{
-    allowed_flags, bool_flag, output_flag, parse_flags, reject_unknown_flags, usize_flag,
+    allowed_flags, bool_flag, output_flag, parse_flags, reject_unknown_flags, u64_flag, usize_flag,
     variant_by_name, workload_by_name, write_output,
 };
-use fidr::client::run_traffic;
+use fidr::client::{run_traffic, StorageClient};
 use fidr::compress::ContentGenerator;
 use fidr::core::{FidrConfig, FidrSystem, LatencyModel, TieredDedupConfig};
 use fidr::cost::{CostModel, Scenario};
 use fidr::faults::FaultPlan;
 use fidr::hwsim::{report, PlatformSpec};
+use fidr::nic::protocol::StatsFormat;
 use fidr::server::{Server, ServerConfig};
 use fidr::ssd::SsdSpec;
 use fidr::trace::{chrome_trace_json, validate_chrome_trace, SpanRecord, TraceConfig};
@@ -48,8 +49,11 @@ USAGE:
                  [--metrics-out FILE] [--spans-out FILE]
     fidr report  [--ops N] [--out FILE]
     fidr serve   [--port P] [--port-file FILE] [--conns-limit N] [--queue N]
-                 [--workers N] [--cache-shards N] [--tiered] [--metrics-out FILE]
+                 [--workers N] [--cache-shards N] [--tiered] [--sample-ms MS]
+                 [--metrics-out FILE]
     fidr client  --addr HOST:PORT [--conns N] [--ops N] [--seed S]
+    fidr scrape  --addr HOST:PORT [--prom] [--out FILE]
+    fidr top     --addr HOST:PORT [--interval-ms MS] [--iters N]
 
 WORKLOADS:  write-h | write-m | write-l | read-mixed | vdi | database
 VARIANTS:   baseline | nic-p2p | hw-single | full
@@ -82,7 +86,16 @@ SERVING:    `fidr serve` binds 127.0.0.1 (--port 0 = ephemeral, written to
             connections have come and gone. `fidr client` drives
             interleaved write/read/verify traffic over --conns parallel
             connections and fails on any mismatch. Serving counters are
-            exported as server.* in the fidr.metrics.v1 snapshot.";
+            exported as server.* in the fidr.metrics.v1 snapshot.
+TELEMETRY:  a running server samples its merged metrics every --sample-ms
+            (default 1000; 0 disables the sampler) into a rolling
+            fidr.timeseries.v1 ring with per-stream rollups and slow-request
+            exemplars. `fidr scrape` fetches it in-band over the wire
+            protocol (JSON, or Prometheus text with --prom); `fidr top`
+            refreshes a live terminal view (throughput, queue, dedup ratio,
+            cache hit rate, top streams, slow exemplars) every --interval-ms,
+            --iters times (0 = until interrupted). The drain-time metrics
+            export stays byte-identical whether the sampler runs or not.";
 
 /// Exports `spans` as Chrome-trace-event JSON to `path`, self-validating
 /// the shape on the way out; returns the event count.
@@ -558,6 +571,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         })
         .transpose()?;
     let queue = usize_flag(flags, "queue", 64)?;
+    let sample_ms = u64_flag(flags, "sample-ms", 1000)?;
     let metrics_out = output_flag(flags, &["metrics-out"])?;
     let cfg = ServerConfig {
         addr: std::net::SocketAddr::from(([127, 0, 0, 1], port)),
@@ -569,6 +583,8 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         },
         queue_capacity: queue,
         conns_limit,
+        sample_ms,
+        ..ServerConfig::default()
     };
     let handle = Server::spawn(cfg).map_err(|e| format!("bind: {e}"))?;
     let addr = handle.local_addr();
@@ -625,6 +641,157 @@ fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses the required `--addr HOST:PORT` flag.
+fn addr_flag(flags: &HashMap<String, String>) -> Result<std::net::SocketAddr, String> {
+    flags
+        .get("addr")
+        .ok_or("missing --addr")?
+        .parse()
+        .map_err(|_| "bad --addr (want HOST:PORT)".into())
+}
+
+fn cmd_scrape(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = addr_flag(flags)?;
+    let format = if bool_flag(flags, "prom")? {
+        StatsFormat::Prometheus
+    } else {
+        StatsFormat::Json
+    };
+    let out = output_flag(flags, &["out"])?;
+    let mut client = StorageClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let body = client.scrape(format).map_err(|e| format!("scrape: {e}"))?;
+    let text = String::from_utf8_lossy(&body).into_owned();
+    match &out {
+        Some(path) => {
+            write_output(path, &text)?;
+            println!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_top(flags: &HashMap<String, String>) -> Result<(), String> {
+    use std::io::IsTerminal;
+    use std::io::Write as _;
+    let addr = addr_flag(flags)?;
+    let interval_ms = u64_flag(flags, "interval-ms", 1000)?.max(50);
+    let iters = u64_flag(flags, "iters", 0)?;
+    let mut client = StorageClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    // Redraw-in-place only on a real terminal; piped output gets one
+    // frame after another (and is what the smoke tests read).
+    let tty = std::io::stdout().is_terminal();
+    let mut shown = 0u64;
+    loop {
+        let body = client
+            .scrape(StatsFormat::Json)
+            .map_err(|e| format!("scrape: {e}"))?;
+        let text = String::from_utf8_lossy(&body);
+        let frame = render_top(&text, &addr.to_string())?;
+        if tty {
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{frame}");
+        let _ = std::io::stdout().flush();
+        shown += 1;
+        if iters > 0 && shown >= iters {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// Renders one `fidr top` frame from a `fidr.timeseries.v1` document.
+fn render_top(json: &str, addr: &str) -> Result<String, String> {
+    use fidr::trace::Json;
+    use std::fmt::Write as _;
+    let doc = fidr::trace::parse_json(json).map_err(|e| format!("bad scrape JSON: {e}"))?;
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("?");
+    if schema != "fidr.timeseries.v1" {
+        return Err(format!("unexpected scrape schema {schema:?}"));
+    }
+    let num = |j: &Json, key: &str| j.get(key).and_then(Json::as_num).unwrap_or(0.0);
+    let window = doc.get("window").cloned().unwrap_or(Json::Null);
+    let totals = doc.get("totals").cloned().unwrap_or(Json::Null);
+    let samples = doc.get("samples").and_then(Json::as_arr).unwrap_or(&[]);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fidr top — {addr}   up {:.1}s   sample {} ms   samples {}",
+        num(&doc, "uptime_ms") / 1000.0,
+        num(&doc, "sample_ms"),
+        samples.len(),
+    );
+    let _ = writeln!(
+        out,
+        "  {:>10.1} ops/s   {:>8.4} GB/s   queue {:>3}   latency p50 {:.0} us / p99 {:.0} us",
+        num(&window, "ops_per_sec"),
+        num(&window, "gbps"),
+        num(&window, "queue_depth"),
+        num(&window, "latency_p50_us"),
+        num(&window, "latency_p99_us"),
+    );
+    let _ = writeln!(
+        out,
+        "  cache hit {:>5.1}%   dedup ratio {:.3}   writes {}   reads {}   deferred {}",
+        num(&window, "hit_ratio") * 100.0,
+        num(&totals, "dedup_ratio"),
+        num(&totals, "writes") as u64,
+        num(&totals, "reads") as u64,
+        num(&totals, "deferred") as u64,
+    );
+    let streams = doc.get("streams").and_then(Json::as_arr).unwrap_or(&[]);
+    if !streams.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n  {:<8} {:>10} {:>10} {:>14}",
+            "stream", "writes", "reads", "bytes"
+        );
+        for s in streams {
+            let _ = writeln!(
+                out,
+                "  {:<8} {:>10} {:>10} {:>14}",
+                s.get("id").and_then(Json::as_str).unwrap_or("?"),
+                num(s, "writes") as u64,
+                num(s, "reads") as u64,
+                num(s, "bytes") as u64,
+            );
+        }
+    }
+    let exemplars = doc.get("exemplars").and_then(Json::as_arr).unwrap_or(&[]);
+    if !exemplars.is_empty() {
+        let _ = writeln!(out, "\n  slow exemplars (latency over the live p99):");
+        for e in exemplars {
+            let spans = e
+                .get("spans")
+                .and_then(Json::as_arr)
+                .unwrap_or(&[])
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{}:{}ns",
+                        s.get("name").and_then(Json::as_str).unwrap_or("?"),
+                        num(s, "dur_ns") as u64
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            let _ = writeln!(
+                out,
+                "  #{} {} lba={} {:.0} us (threshold {:.0} us){}{}",
+                num(e, "seq") as u64,
+                e.get("op").and_then(Json::as_str).unwrap_or("?"),
+                num(e, "lba") as u64,
+                num(e, "latency_us"),
+                num(e, "threshold_us"),
+                if spans.is_empty() { "" } else { "  spans " },
+                spans,
+            );
+        }
+    }
+    Ok(out)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -660,6 +827,8 @@ fn main() -> ExitCode {
                 "trace" => cmd_trace(&positional, &flags),
                 "serve" => cmd_serve(&flags),
                 "client" => cmd_client(&flags),
+                "scrape" => cmd_scrape(&flags),
+                "top" => cmd_top(&flags),
                 _ => unreachable!("allowed_flags() gated the command list"),
             })
     };

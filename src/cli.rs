@@ -88,9 +88,12 @@ pub fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
             "workers",
             "cache-shards",
             "tiered",
+            "sample-ms",
             "metrics-out",
         ],
         "client" => &["addr", "conns", "ops", "seed"],
+        "scrape" => &["addr", "prom", "out"],
+        "top" => &["addr", "interval-ms", "iters"],
         _ => return None,
     })
 }
@@ -172,6 +175,19 @@ pub fn usize_flag(
             Ok(n) if n > 0 => Ok(n),
             _ => Err(format!("--{name} needs a positive integer, got {value:?}")),
         },
+    }
+}
+
+/// Resolves an optional non-negative integer flag where zero is
+/// meaningful (e.g. `--sample-ms 0` disables the sampler). Absent →
+/// `default`; present but empty or non-numeric → an error naming the
+/// flag.
+pub fn u64_flag(flags: &HashMap<String, String>, name: &str, default: u64) -> Result<u64, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(value) => value
+            .parse::<u64>()
+            .map_err(|_| format!("--{name} needs a non-negative integer, got {value:?}")),
     }
 }
 
@@ -259,6 +275,8 @@ mod tests {
             ("trace", "conns-limit"),
             ("serve", "addr"),
             ("client", "tiered"),
+            ("scrape", "sample-ms"),
+            ("top", "prom"),
         ] {
             let (_, flags) = parse_flags(&args(&[&format!("--{bad}"), "1"]));
             let err = reject_unknown_flags(cmd, &flags).unwrap_err();
@@ -307,6 +325,21 @@ mod tests {
         for bad in [&["--workers"][..], &["--workers", "0"], &["--workers", "x"]] {
             let (_, flags) = parse_flags(&args(bad));
             assert!(usize_flag(&flags, "workers", 1).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn u64_flag_allows_zero_but_rejects_junk() {
+        let (_, flags) = parse_flags(&args(&["--sample-ms", "0"]));
+        assert_eq!(u64_flag(&flags, "sample-ms", 1000).unwrap(), 0);
+        assert_eq!(u64_flag(&flags, "interval-ms", 500).unwrap(), 500);
+        for bad in [
+            &["--sample-ms"][..],
+            &["--sample-ms", "-3"],
+            &["--sample-ms", "x"],
+        ] {
+            let (_, flags) = parse_flags(&args(bad));
+            assert!(u64_flag(&flags, "sample-ms", 1000).is_err(), "{bad:?}");
         }
     }
 

@@ -11,7 +11,7 @@
 use bytes::Bytes;
 use fidr_chunk::Lba;
 use fidr_compress::ContentGenerator;
-use fidr_nic::protocol::{Message, ProtocolError};
+use fidr_nic::protocol::{Message, ProtocolError, StatsFormat};
 use fidr_nic::FramedCodec;
 use std::fmt;
 use std::io::{Read, Write};
@@ -105,6 +105,24 @@ impl StorageClient {
         self.stream.write_all(&frame)?;
         match self.recv()? {
             Message::ReadReply { lba: got, data } if got == lba => Ok(data.to_vec()),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+
+    /// Scrapes the server's live telemetry in-band: sends a
+    /// [`Message::StatsRequest`] and returns the reply body
+    /// (`fidr.timeseries.v1` JSON or Prometheus text, by `format`).
+    /// Works mid-traffic on the same connection — no drain required.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; [`ClientError::UnexpectedReply`] if the
+    /// reply's format does not echo the request's.
+    pub fn scrape(&mut self, format: StatsFormat) -> Result<Bytes, ClientError> {
+        let frame = Message::StatsRequest { format }.encode()?;
+        self.stream.write_all(&frame)?;
+        match self.recv()? {
+            Message::StatsReply { format: got, body } if got == format => Ok(body),
             other => Err(ClientError::UnexpectedReply(other)),
         }
     }

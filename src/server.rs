@@ -43,16 +43,20 @@
 
 use bytes::Bytes;
 use fidr_core::{FidrConfig, FidrError, FidrSystem};
-use fidr_metrics::MetricsSnapshot;
-use fidr_nic::protocol::Message;
+use fidr_metrics::{
+    counter_delta, rate_per_sec, ratio, to_prometheus_text, Histogram, MetricsSnapshot,
+    WindowedHistogram, TIMESERIES_SCHEMA_ID,
+};
+use fidr_nic::protocol::{Message, StatsFormat};
 use fidr_nic::FramedCodec;
 use fidr_tables::BUCKET_BYTES;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a connection thread blocks in `read` before re-checking the
 /// shutdown flag; bounds the drain latency of [`ServerHandle::shutdown`].
@@ -61,6 +65,34 @@ const READ_TIMEOUT: Duration = Duration::from_millis(25);
 /// Accept-loop poll interval (the listener runs non-blocking so the
 /// loop can notice shutdown and connection-limit drain).
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Time-series samples retained by the sampler ring (oldest dropped).
+/// At the default 1 s cadence this is four minutes of history.
+const SAMPLE_RING: usize = 240;
+
+/// Distinct stream ids tracked individually; traffic on streams beyond
+/// this spills into the `other` rollup bucket so a high-entropy LBA
+/// space cannot grow server memory without bound.
+const MAX_TRACKED_STREAMS: usize = 64;
+
+/// Slow-request exemplars retained (oldest dropped).
+const EXEMPLAR_RING: usize = 8;
+
+/// Recent tracer spans attached to each exemplar.
+const EXEMPLAR_SPANS: usize = 8;
+
+/// Sampler rotations spanned by the windowed latency histogram: the
+/// live percentiles cover the last `LATENCY_WINDOWS × sample_ms`.
+const LATENCY_WINDOWS: usize = 8;
+
+/// Requests observed before the slow-exemplar threshold arms — a p99
+/// over a handful of samples is noise, not a threshold.
+const P99_ARM_COUNT: u64 = 32;
+
+/// Once armed, the p99 threshold is recomputed every this many
+/// requests (an atomic load on the hot path, a percentile walk only
+/// here).
+const P99_REFRESH: u64 = 64;
 
 /// Configuration of the TCP front-end.
 #[derive(Debug, Clone)]
@@ -82,6 +114,34 @@ pub struct ServerConfig {
     /// [`ServerHandle::wait`] returns. `None` serves until
     /// [`ServerHandle::shutdown`].
     pub conns_limit: Option<u64>,
+    /// Telemetry sampler cadence in milliseconds; `0` disables the
+    /// sampler thread entirely (scrapes then return an empty sample
+    /// ring but live totals still work). The sampler is read-only over
+    /// the merged metrics, so the drain-time `fidr.metrics.v1` export
+    /// is byte-identical whether it runs or not.
+    pub sample_ms: u64,
+    /// Stream id = `lba >> stream_shift` for the per-stream rollups;
+    /// matches [`fidr_core::TieredDedupConfig::stream_shift`]'s default
+    /// so `fidr top` and the tiered admission policy agree on what a
+    /// stream is.
+    pub stream_shift: u32,
+    /// Streams reported individually by a scrape; the rest (and any
+    /// traffic past the 64-stream tracking cap) aggregate into `other`.
+    pub top_streams: usize,
+    /// Test hook: injected wall-clock latency on the write path, for
+    /// exercising slow-request exemplar capture deterministically.
+    pub stall: Option<StallFault>,
+}
+
+/// Injected wall-clock latency fault: every `every`-th write sleeps
+/// `millis` before entering the backend. A telemetry test hook — the
+/// modelled clock and the deterministic metrics export never see it.
+#[derive(Debug, Clone, Copy)]
+pub struct StallFault {
+    /// Stall cadence (every Nth write; 0 disables).
+    pub every: u64,
+    /// Stall duration in milliseconds.
+    pub millis: u64,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +151,10 @@ impl Default for ServerConfig {
             system: FidrConfig::default(),
             queue_capacity: 64,
             conns_limit: None,
+            sample_ms: 1000,
+            stream_shift: 22,
+            top_streams: 8,
+            stall: None,
         }
     }
 }
@@ -111,6 +175,7 @@ struct ServerMetrics {
     queue_depth_max: AtomicU64,
     ops_write: AtomicU64,
     ops_read: AtomicU64,
+    ops_stats: AtomicU64,
     ops_failed: AtomicU64,
     scrub_idle: AtomicU64,
 }
@@ -140,20 +205,154 @@ impl ServerMetrics {
         out.set_counter("server.rx.bytes", c(&self.rx_bytes));
         out.set_counter("server.tx.bytes", c(&self.tx_bytes));
         out.set_gauge("server.queue.depth.count", queue_depth as f64);
-        out.set_counter("server.queue.depth.max", c(&self.queue_depth_max));
+        // A high-watermark is a level, not an event count: gauge.
+        out.set_gauge("server.queue.depth.max", c(&self.queue_depth_max) as f64);
         out.set_counter("server.queue.waits.count", c(&self.queue_waits));
         out.set_counter("server.ops.write.count", c(&self.ops_write));
         out.set_counter("server.ops.read.count", c(&self.ops_read));
+        out.set_counter("server.ops.stats.count", c(&self.ops_stats));
         out.set_counter("server.ops.failed.count", c(&self.ops_failed));
         out.set_counter("server.scrub.idle.count", c(&self.scrub_idle));
     }
 }
 
-/// State shared between the accept loop, connection threads and the
-/// handle.
+/// Per-stream traffic rollup (stream id = `lba >> stream_shift`).
+#[derive(Debug, Clone, Copy, Default)]
+struct StreamStats {
+    writes: u64,
+    reads: u64,
+    bytes: u64,
+}
+
+impl StreamStats {
+    fn absorb(&mut self, other: StreamStats) {
+        self.writes += other.writes;
+        self.reads += other.reads;
+        self.bytes += other.bytes;
+    }
+
+    fn ops(&self) -> u64 {
+        self.writes + self.reads
+    }
+}
+
+/// One retained slow request: what `server.slow.exemplars` exports.
+#[derive(Debug, Clone)]
+struct Exemplar {
+    seq: u64,
+    op: &'static str,
+    lba: u64,
+    latency_ns: u64,
+    threshold_ns: u64,
+    /// `(stage name, modelled duration ns)` of the request's most
+    /// recent tracer spans; empty when tracing is disabled.
+    spans: Vec<(&'static str, u64)>,
+}
+
+/// One sampler tick: deltas of the merged counters over `dt_ms`, plus
+/// the windowed rates `fidr top` renders. All wall-clock derived, so
+/// this lives only in scrape output, never the drain export.
+#[derive(Debug, Clone, Copy)]
+struct TimeSample {
+    seq: u64,
+    /// Milliseconds since the server started.
+    t_ms: u64,
+    dt_ms: u64,
+    writes: u64,
+    reads: u64,
+    rx_bytes: u64,
+    tx_bytes: u64,
+    ops_per_sec: f64,
+    gbps: f64,
+    hit_ratio: f64,
+    queue_depth: u64,
+    dedup_ratio: f64,
+    deferred: u64,
+}
+
+/// Mutable telemetry state behind one mutex, separate from the system
+/// lock (lock order where both are needed: system first, telemetry
+/// second).
+struct TelemetryInner {
+    started: Instant,
+    /// Snapshot the last tick diffed against.
+    prev: Option<MetricsSnapshot>,
+    last_ms: u64,
+    seq: u64,
+    samples: VecDeque<TimeSample>,
+    streams: BTreeMap<u64, StreamStats>,
+    /// Rollup of streams past [`MAX_TRACKED_STREAMS`].
+    overflow: StreamStats,
+    /// Lifetime wall-clock request latency (arms the p99 threshold).
+    latency: Histogram,
+    /// Latency over the last [`LATENCY_WINDOWS`] sampler ticks.
+    window_latency: WindowedHistogram,
+    exemplars: VecDeque<Exemplar>,
+    exemplar_seq: u64,
+}
+
+/// The live telemetry plane: sampler ring + per-stream rollups + slow
+/// exemplars. Strictly additive — it reads the merged metrics and
+/// feeds only the scrape outputs, so the deterministic drain export
+/// never sees it.
+struct Telemetry {
+    sample_ms: u64,
+    stream_shift: u32,
+    top_streams: usize,
+    inner: Mutex<TelemetryInner>,
+    /// Cached slow-request threshold in ns; 0 until armed (see
+    /// [`P99_ARM_COUNT`]). Hot-path reads are one relaxed load.
+    p99_threshold_ns: AtomicU64,
+}
+
+impl Telemetry {
+    fn new(cfg: &ServerConfig) -> Self {
+        Telemetry {
+            sample_ms: cfg.sample_ms,
+            stream_shift: cfg.stream_shift,
+            top_streams: cfg.top_streams.max(1),
+            inner: Mutex::new(TelemetryInner {
+                started: Instant::now(),
+                prev: None,
+                last_ms: 0,
+                seq: 0,
+                samples: VecDeque::new(),
+                streams: BTreeMap::new(),
+                overflow: StreamStats::default(),
+                latency: Histogram::new(),
+                window_latency: WindowedHistogram::new(LATENCY_WINDOWS),
+                exemplars: VecDeque::new(),
+                exemplar_seq: 0,
+            }),
+            p99_threshold_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl TelemetryInner {
+    /// The `top_streams` busiest streams plus an `other` rollup of
+    /// everything else (untracked overflow included). `other` appears
+    /// only when it saw traffic.
+    fn top_streams(&self, k: usize) -> (Vec<(u64, StreamStats)>, StreamStats) {
+        let mut all: Vec<(u64, StreamStats)> = self.streams.iter().map(|(k, v)| (*k, *v)).collect();
+        all.sort_by(|a, b| b.1.ops().cmp(&a.1.ops()).then(a.0.cmp(&b.0)));
+        let mut other = self.overflow;
+        for (_, s) in all.iter().skip(k) {
+            other.absorb(*s);
+        }
+        all.truncate(k);
+        (all, other)
+    }
+}
+
+/// State shared between the accept loop, connection threads, the
+/// sampler and the handle.
 struct Shared {
     system: Mutex<FidrSystem>,
     metrics: ServerMetrics,
+    telemetry: Telemetry,
+    stall: Option<StallFault>,
+    stall_seq: AtomicU64,
     shutdown: AtomicBool,
     queue_capacity: usize,
     /// Frames admitted into the backend but not yet replied.
@@ -211,6 +410,315 @@ impl Shared {
             }
         }
     }
+
+    /// The full merged snapshot: backend pipeline metrics + `pool.*`
+    /// wall-clock counters + `server.*` counters. The one shape both
+    /// the drain export and the sampler observe.
+    fn merged_metrics(&self) -> MetricsSnapshot {
+        let system = self.system.lock().expect("system lock");
+        let mut out = system.metrics();
+        system.export_pool_metrics(&mut out);
+        drop(system);
+        self.metrics.export(&mut out, self.queue_depth());
+        out
+    }
+
+    /// Test hook: sleeps on every `every`-th write when a
+    /// [`StallFault`] is armed.
+    fn maybe_stall(&self) {
+        if let Some(stall) = self.stall {
+            if stall.every > 0 {
+                let n = self.stall_seq.fetch_add(1, Ordering::Relaxed) + 1;
+                if n.is_multiple_of(stall.every) {
+                    std::thread::sleep(Duration::from_millis(stall.millis));
+                }
+            }
+        }
+    }
+
+    /// Folds one served request into the telemetry plane: per-stream
+    /// rollup, wall-clock latency, and — past the armed p99 threshold —
+    /// a slow-request exemplar with the request's freshest tracer spans.
+    fn record_op(&self, op: &'static str, lba: u64, bytes: u64, elapsed: Duration) {
+        let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        let threshold = self.telemetry.p99_threshold_ns.load(Ordering::Relaxed);
+        let slow = threshold > 0 && ns > threshold;
+        // Span capture needs the system lock; take it *before* the
+        // telemetry lock (the fixed lock order) and only on the rare
+        // slow path.
+        let spans = if slow {
+            let system = self.system.lock().expect("system lock");
+            system
+                .tracer()
+                .recent(EXEMPLAR_SPANS)
+                .iter()
+                .map(|s| (s.name, s.duration_ns()))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let stream = lba >> self.telemetry.stream_shift;
+        let mut t = self.telemetry.inner.lock().expect("telemetry lock");
+        let slot = if t.streams.contains_key(&stream) || t.streams.len() < MAX_TRACKED_STREAMS {
+            t.streams.entry(stream).or_default()
+        } else {
+            &mut t.overflow
+        };
+        if op == "write" {
+            slot.writes += 1;
+        } else {
+            slot.reads += 1;
+        }
+        slot.bytes += bytes;
+        t.latency.record(ns);
+        t.window_latency.record(ns);
+        if slow {
+            t.exemplar_seq += 1;
+            let seq = t.exemplar_seq;
+            t.exemplars.push_back(Exemplar {
+                seq,
+                op,
+                lba,
+                latency_ns: ns,
+                threshold_ns: threshold,
+                spans,
+            });
+            while t.exemplars.len() > EXEMPLAR_RING {
+                t.exemplars.pop_front();
+            }
+        }
+        let count = t.latency.count();
+        if count >= P99_ARM_COUNT && (count == P99_ARM_COUNT || count.is_multiple_of(P99_REFRESH)) {
+            let p99 = t.latency.percentile(0.99).unwrap_or(0).max(1);
+            self.telemetry
+                .p99_threshold_ns
+                .store(p99, Ordering::Relaxed);
+        }
+    }
+
+    /// One sampler tick: snapshot the merged metrics, push the delta
+    /// sample into the ring, rotate the latency window.
+    fn sample_tick(&self) {
+        let cur = self.merged_metrics();
+        let mut t = self.telemetry.inner.lock().expect("telemetry lock");
+        let now_ms = t.started.elapsed().as_millis().min(u64::MAX as u128) as u64;
+        let dt_ms = now_ms.saturating_sub(t.last_ms);
+        let empty = MetricsSnapshot::new();
+        let prev = t.prev.as_ref().unwrap_or(&empty);
+        let writes = counter_delta(prev, &cur, "server.ops.write.count");
+        let reads = counter_delta(prev, &cur, "server.ops.read.count");
+        let rx_bytes = counter_delta(prev, &cur, "server.rx.bytes");
+        let tx_bytes = counter_delta(prev, &cur, "server.tx.bytes");
+        let hits = counter_delta(prev, &cur, "cache.hits.count");
+        let misses = counter_delta(prev, &cur, "cache.misses.count");
+        t.seq += 1;
+        let sample = TimeSample {
+            seq: t.seq,
+            t_ms: now_ms,
+            dt_ms,
+            writes,
+            reads,
+            rx_bytes,
+            tx_bytes,
+            ops_per_sec: rate_per_sec(writes + reads, dt_ms),
+            gbps: rate_per_sec(rx_bytes + tx_bytes, dt_ms) / 1e9,
+            hit_ratio: ratio(hits, hits + misses),
+            queue_depth: cur.gauge("server.queue.depth.count").unwrap_or(0.0) as u64,
+            dedup_ratio: cur.gauge("reduction.dedup.ratio").unwrap_or(0.0),
+            deferred: cur.counter("dedup.deferred.pending").unwrap_or(0),
+        };
+        t.samples.push_back(sample);
+        while t.samples.len() > SAMPLE_RING {
+            t.samples.pop_front();
+        }
+        t.prev = Some(cur);
+        t.last_ms = now_ms;
+        t.window_latency.rotate();
+    }
+
+    /// Builds the body of a [`Message::StatsReply`] for `format`.
+    fn stats_body(&self, format: StatsFormat) -> Vec<u8> {
+        match format {
+            StatsFormat::Json => self.timeseries_json().into_bytes(),
+            StatsFormat::Prometheus => self.prometheus_text().into_bytes(),
+        }
+    }
+
+    /// The `fidr.timeseries.v1` JSON document: headline window rates,
+    /// cumulative totals, the sample ring, per-stream rollups and slow
+    /// exemplars.
+    fn timeseries_json(&self) -> String {
+        let merged = self.merged_metrics();
+        let t = self.telemetry.inner.lock().expect("telemetry lock");
+        let window = t.window_latency.merged();
+        let last = t.samples.back();
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{TIMESERIES_SCHEMA_ID}\",\n"));
+        out.push_str(&format!(
+            "  \"uptime_ms\": {},\n",
+            t.started.elapsed().as_millis().min(u64::MAX as u128) as u64
+        ));
+        out.push_str(&format!("  \"sample_ms\": {},\n", self.telemetry.sample_ms));
+        out.push_str(&format!(
+            "  \"window\": {{ \"ops_per_sec\": {}, \"gbps\": {}, \"hit_ratio\": {}, \
+             \"queue_depth\": {}, \"latency_p50_us\": {}, \"latency_p99_us\": {} }},\n",
+            jf(last.map_or(0.0, |s| s.ops_per_sec)),
+            jf(last.map_or(0.0, |s| s.gbps)),
+            jf(last.map_or(0.0, |s| s.hit_ratio)),
+            last.map_or(0, |s| s.queue_depth),
+            jf(window.percentile(0.50).unwrap_or(0) as f64 / 1000.0),
+            jf(window.percentile(0.99).unwrap_or(0) as f64 / 1000.0),
+        ));
+        out.push_str(&format!(
+            "  \"totals\": {{ \"writes\": {}, \"reads\": {}, \"rx_bytes\": {}, \
+             \"tx_bytes\": {}, \"dedup_ratio\": {}, \"deferred\": {} }},\n",
+            merged.counter("server.ops.write.count").unwrap_or(0),
+            merged.counter("server.ops.read.count").unwrap_or(0),
+            merged.counter("server.rx.bytes").unwrap_or(0),
+            merged.counter("server.tx.bytes").unwrap_or(0),
+            jf(merged.gauge("reduction.dedup.ratio").unwrap_or(0.0)),
+            merged.counter("dedup.deferred.pending").unwrap_or(0),
+        ));
+        out.push_str("  \"samples\": [");
+        for (i, s) in t.samples.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{ \"seq\": {}, \"t_ms\": {}, \"dt_ms\": {}, \"writes\": {}, \
+                 \"reads\": {}, \"rx_bytes\": {}, \"tx_bytes\": {}, \"ops_per_sec\": {}, \
+                 \"gbps\": {}, \"hit_ratio\": {}, \"queue_depth\": {}, \"dedup_ratio\": {}, \
+                 \"deferred\": {} }}",
+                s.seq,
+                s.t_ms,
+                s.dt_ms,
+                s.writes,
+                s.reads,
+                s.rx_bytes,
+                s.tx_bytes,
+                jf(s.ops_per_sec),
+                jf(s.gbps),
+                jf(s.hit_ratio),
+                s.queue_depth,
+                jf(s.dedup_ratio),
+                s.deferred,
+            ));
+        }
+        if !t.samples.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        let (top, other) = t.top_streams(self.telemetry.top_streams);
+        out.push_str("  \"streams\": [");
+        let mut first = true;
+        let push_stream = |out: &mut String, id: &str, s: &StreamStats, first: &mut bool| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            out.push_str(&format!(
+                "\n    {{ \"id\": \"{id}\", \"writes\": {}, \"reads\": {}, \"bytes\": {} }}",
+                s.writes, s.reads, s.bytes
+            ));
+        };
+        for (id, s) in &top {
+            push_stream(&mut out, &id.to_string(), s, &mut first);
+        }
+        if other.ops() > 0 {
+            push_stream(&mut out, "other", &other, &mut first);
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str("  \"exemplars\": [");
+        for (i, e) in t.exemplars.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let spans = e
+                .spans
+                .iter()
+                .map(|(name, ns)| format!("{{ \"name\": \"{name}\", \"dur_ns\": {ns} }}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "\n    {{ \"seq\": {}, \"op\": \"{}\", \"lba\": {}, \"latency_us\": {}, \
+                 \"threshold_us\": {}, \"spans\": [{spans}] }}",
+                e.seq,
+                e.op,
+                e.lba,
+                jf(e.latency_ns as f64 / 1000.0),
+                jf(e.threshold_ns as f64 / 1000.0),
+            ));
+        }
+        if !t.exemplars.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Prometheus text exposition of the merged snapshot plus the
+    /// telemetry-plane extras: windowed rate gauges, the windowed
+    /// latency summary, the exemplar count, and labeled per-stream
+    /// series (labels cannot ride through [`MetricsSnapshot`], so those
+    /// lines are appended directly).
+    fn prometheus_text(&self) -> String {
+        let mut merged = self.merged_metrics();
+        let t = self.telemetry.inner.lock().expect("telemetry lock");
+        let last = t.samples.back();
+        merged.set_gauge(
+            "server.window.ops.rate",
+            last.map_or(0.0, |s| s.ops_per_sec),
+        );
+        merged.set_gauge(
+            "server.window.throughput.gbps",
+            last.map_or(0.0, |s| s.gbps),
+        );
+        merged.set_gauge("server.window.hit.ratio", last.map_or(0.0, |s| s.hit_ratio));
+        merged.set_histogram("server.window.latency.ns", &t.window_latency.merged());
+        merged.set_gauge("server.slow.exemplars", t.exemplars.len() as f64);
+        let mut out = to_prometheus_text(&merged);
+        let (top, other) = t.top_streams(self.telemetry.top_streams);
+        if !top.is_empty() || other.ops() > 0 {
+            for (family, pick) in [("writes", 0usize), ("reads", 1), ("bytes", 2)] {
+                out.push_str(&format!("# TYPE fidr_server_stream_{family} counter\n"));
+                let value = |s: &StreamStats| match pick {
+                    0 => s.writes,
+                    1 => s.reads,
+                    _ => s.bytes,
+                };
+                for (id, s) in &top {
+                    out.push_str(&format!(
+                        "fidr_server_stream_{family}{{stream=\"{id}\"}} {}\n",
+                        value(s)
+                    ));
+                }
+                if other.ops() > 0 {
+                    out.push_str(&format!(
+                        "fidr_server_stream_{family}{{stream=\"other\"}} {}\n",
+                        value(&other)
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Formats an `f64` for the timeseries JSON: finite `Display` output
+/// (never an exponent), 0.0 for non-finite values so the document
+/// always parses.
+fn jf(v: f64) -> String {
+    let v = if v.is_finite() { v } else { 0.0 };
+    let s = format!("{v}");
+    if s.contains('.') {
+        s
+    } else {
+        format!("{s}.0")
+    }
 }
 
 /// The serving front end. [`Server::spawn`] binds, starts the accept
@@ -224,10 +732,13 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+    sampler_thread: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds `cfg.addr`, spawns the accept loop and returns the handle.
+    /// Binds `cfg.addr`, spawns the accept loop (and, unless
+    /// [`ServerConfig::sample_ms`] is 0, the telemetry sampler) and
+    /// returns the handle.
     ///
     /// # Errors
     ///
@@ -239,6 +750,9 @@ impl Server {
         let shared = Arc::new(Shared {
             system: Mutex::new(FidrSystem::new(cfg.system.clone())),
             metrics: ServerMetrics::default(),
+            telemetry: Telemetry::new(&cfg),
+            stall: cfg.stall,
+            stall_seq: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             queue_capacity: cfg.queue_capacity.max(1),
             inflight: Mutex::new(0),
@@ -248,11 +762,32 @@ impl Server {
         let conns_limit = cfg.conns_limit;
         let accept_thread =
             std::thread::spawn(move || accept_loop(&accept_shared, &listener, conns_limit));
+        let sampler_thread = (cfg.sample_ms > 0).then(|| {
+            let sampler_shared = Arc::clone(&shared);
+            let sample_ms = cfg.sample_ms;
+            std::thread::spawn(move || sampler_loop(&sampler_shared, sample_ms))
+        });
         Ok(ServerHandle {
             addr,
             shared,
             accept_thread: Some(accept_thread),
+            sampler_thread,
         })
+    }
+}
+
+/// The telemetry sampler: ticks every `sample_ms` until shutdown,
+/// polling often enough that drain never waits a full sample period.
+fn sampler_loop(shared: &Arc<Shared>, sample_ms: u64) {
+    let tick = Duration::from_millis(sample_ms);
+    let poll = Duration::from_millis(sample_ms.clamp(1, 25));
+    let mut last = Instant::now();
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        std::thread::sleep(poll);
+        if last.elapsed() >= tick {
+            shared.sample_tick();
+            last = Instant::now();
+        }
     }
 }
 
@@ -409,12 +944,16 @@ fn serve_connection_inner(shared: &Arc<Shared>, stream: &mut TcpStream) -> ConnE
 fn serve_frame(shared: &Arc<Shared>, stream: &mut TcpStream, msg: Message) -> bool {
     let reply = match msg {
         Message::Write { lba, data } => {
+            let started = Instant::now();
+            let bytes = data.len() as u64;
+            shared.maybe_stall();
             shared.admit();
             let outcome = apply_write(shared, lba, data);
             shared.release();
             match outcome {
                 Ok(()) => {
                     shared.metrics.ops_write.fetch_add(1, Ordering::Relaxed);
+                    shared.record_op("write", lba.0, bytes, started.elapsed());
                     Message::WriteAck { lba }
                 }
                 Err(_) => {
@@ -424,6 +963,7 @@ fn serve_frame(shared: &Arc<Shared>, stream: &mut TcpStream, msg: Message) -> bo
             }
         }
         Message::Read { lba } => {
+            let started = Instant::now();
             shared.admit();
             let outcome = {
                 let mut system = shared.system.lock().expect("system lock");
@@ -433,6 +973,7 @@ fn serve_frame(shared: &Arc<Shared>, stream: &mut TcpStream, msg: Message) -> bo
             match outcome {
                 Ok(data) => {
                     shared.metrics.ops_read.fetch_add(1, Ordering::Relaxed);
+                    shared.record_op("read", lba.0, data.len() as u64, started.elapsed());
                     Message::ReadReply {
                         lba,
                         data: Bytes::from(data),
@@ -444,9 +985,19 @@ fn serve_frame(shared: &Arc<Shared>, stream: &mut TcpStream, msg: Message) -> bo
                 }
             }
         }
+        // In-band scrape: served outside the admission queue (telemetry
+        // must stay readable while the backend is saturated — the whole
+        // point of scraping without draining).
+        Message::StatsRequest { format } => {
+            shared.metrics.ops_stats.fetch_add(1, Ordering::Relaxed);
+            Message::StatsReply {
+                format,
+                body: Bytes::from(shared.stats_body(format)),
+            }
+        }
         // Server-only opcodes arriving *at* the server are a semantic
         // violation even though they framed correctly.
-        Message::WriteAck { .. } | Message::ReadReply { .. } => {
+        Message::WriteAck { .. } | Message::ReadReply { .. } | Message::StatsReply { .. } => {
             shared
                 .metrics
                 .frames_unexpected
@@ -493,14 +1044,14 @@ impl ServerHandle {
     /// deterministic core export does not — the `pool.*` wall-clock
     /// counters of the persistent worker pool.
     pub fn metrics(&self) -> MetricsSnapshot {
-        let system = self.shared.system.lock().expect("system lock");
-        let mut out = system.metrics();
-        system.export_pool_metrics(&mut out);
-        drop(system);
-        self.shared
-            .metrics
-            .export(&mut out, self.shared.queue_depth());
-        out
+        self.shared.merged_metrics()
+    }
+
+    /// In-process scrape: the same bytes a [`Message::StatsRequest`]
+    /// over the wire returns (`fidr.timeseries.v1` JSON or Prometheus
+    /// text).
+    pub fn scrape(&self, format: StatsFormat) -> Vec<u8> {
+        self.shared.stats_body(format)
     }
 
     /// Graceful shutdown: stop accepting, let every connection finish
@@ -534,11 +1085,14 @@ impl ServerHandle {
         if let Some(accept) = self.accept_thread.take() {
             let conn_threads = accept.join().expect("accept thread panicked");
             // The accept loop has stopped; make sure lingering
-            // connections see the flag and wind down.
+            // connections and the sampler see the flag and wind down.
             self.shared.shutdown.store(true, Ordering::Relaxed);
             for t in conn_threads {
                 t.join().expect("connection thread panicked");
             }
+        }
+        if let Some(sampler) = self.sampler_thread.take() {
+            sampler.join().expect("sampler thread panicked");
         }
         let mut system = self.shared.system.lock().expect("system lock");
         system.flush()?;
@@ -554,8 +1108,8 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        // A dropped handle must not leak the accept loop or strand
-        // connection threads blocked on reads.
+        // A dropped handle must not leak the accept loop, the sampler,
+        // or strand connection threads blocked on reads.
         self.shared.shutdown.store(true, Ordering::Relaxed);
         if let Some(accept) = self.accept_thread.take() {
             if let Ok(conn_threads) = accept.join() {
@@ -563,6 +1117,9 @@ impl Drop for ServerHandle {
                     let _ = t.join();
                 }
             }
+        }
+        if let Some(sampler) = self.sampler_thread.take() {
+            let _ = sampler.join();
         }
     }
 }
