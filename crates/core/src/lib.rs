@@ -47,4 +47,4 @@ pub use fidr_tables::{Snapshot, SnapshotError};
 pub use fidr_trace::{TraceConfig, Tracer};
 pub use hotcache::{HotCacheStats, HotReadCache};
 pub use latency::{LatencyModel, Stage};
-pub use system::{FidrConfig, FidrError, FidrSystem, TieredDedupConfig};
+pub use system::{FidrConfig, FidrError, FidrSystem, TieredDedupConfig, DEFAULT_STREAM_SHIFT};

@@ -90,6 +90,12 @@ pub struct FidrConfig {
     pub tiered: Option<TieredDedupConfig>,
 }
 
+/// Default for the `lba >> stream_shift` stream-id keying, shared by
+/// [`TieredDedupConfig`] and the server telemetry rollups so the tiered
+/// admission policy and `fidr top` can never silently disagree on what
+/// a stream (tenant) is. 22 bits of 4-KiB blocks = 16 GiB per stream.
+pub const DEFAULT_STREAM_SHIFT: u32 = 22;
+
 /// Tunables for the hybrid prioritized dedup path
 /// ([`FidrConfig::tiered`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -109,7 +115,7 @@ impl Default for TieredDedupConfig {
     fn default() -> Self {
         TieredDedupConfig {
             policy: TieredPolicyConfig::default(),
-            stream_shift: 22,
+            stream_shift: DEFAULT_STREAM_SHIFT,
             scrub_batch: 512,
         }
     }
@@ -1446,6 +1452,15 @@ impl FidrSystem {
     /// Cold-stream writes currently queued for the dedup scrubber.
     pub fn deferred_pending(&self) -> usize {
         self.tiered.as_ref().map_or(0, |ts| ts.deferred.len())
+    }
+
+    /// Every currently mapped LBA, in address order. The enumeration a
+    /// serving node walks to rehome resident blocks when the cluster's
+    /// shard map changes — each listed LBA is readable right now.
+    pub fn mapped_lbas(&self) -> Vec<Lba> {
+        let mut lbas: Vec<Lba> = self.lba_map.lba_entries().map(|(lba, _)| lba).collect();
+        lbas.sort_by_key(|l| l.0);
+        lbas
     }
 
     /// Captures all durable state for persistence. Flushes first, so the

@@ -267,6 +267,33 @@ mod tests {
     }
 
     #[test]
+    fn v2_codec_poisons_cleanly_on_a_shard_map_frame() {
+        use crate::protocol::ShardMapAction;
+        // A pre-cluster (V2) peer's codec fed the new 0x07 frame closes
+        // the connection with BadOpcode — never a misparse — while a
+        // current codec decodes it fine.
+        let frame = Message::ShardMapRequest {
+            action: ShardMapAction::Get,
+            map: Bytes::new(),
+        }
+        .encode()
+        .unwrap();
+        let mut old = FramedCodec::with_version(ProtocolVersion::V2);
+        old.feed(&frame);
+        assert_eq!(
+            old.next_frame().unwrap_err(),
+            ProtocolError::BadOpcode(0x07)
+        );
+        assert!(old.is_poisoned());
+        let mut new = FramedCodec::new();
+        new.feed(&frame);
+        assert!(matches!(
+            new.next_frame().unwrap(),
+            Some(Message::ShardMapRequest { .. })
+        ));
+    }
+
+    #[test]
     fn compaction_keeps_the_buffer_bounded() {
         let frame = Message::Write {
             lba: Lba(0),

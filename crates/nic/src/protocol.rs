@@ -12,11 +12,14 @@
 //! ```text
 //! offset  size  field
 //!      0     1  opcode: 0x01 Write, 0x02 Read, 0x03 WriteAck, 0x04 ReadReply,
-//!               0x05 StatsRequest, 0x06 StatsReply
+//!               0x05 StatsRequest, 0x06 StatsReply, 0x07 ShardMapRequest,
+//!               0x08 ShardMapReply
 //!      1     8  LBA, little-endian u64 (for the stats opcodes this field
-//!               carries the [`StatsFormat`] code instead of an address)
+//!               carries the [`StatsFormat`] code instead of an address; for
+//!               the shard-map opcodes it carries the [`ShardMapAction`]
+//!               code / map generation)
 //!      9     4  payload length, little-endian u32 (0 for Read/WriteAck/
-//!               StatsRequest)
+//!               StatsRequest/ShardMapRequest-Get)
 //!     13   len  payload
 //! ```
 //!
@@ -77,17 +80,25 @@ pub enum Opcode {
     StatsRequest = 0x05,
     /// Server → client telemetry snapshot ([`ProtocolVersion::V2`]).
     StatsReply = 0x06,
+    /// Cluster-membership request ([`ProtocolVersion::V3`]): fetch,
+    /// install, or drain against a consistent-hash shard map.
+    ShardMapRequest = 0x07,
+    /// Shard-map reply carrying the node's current encoded map
+    /// ([`ProtocolVersion::V3`]).
+    ShardMapReply = 0x08,
 }
 
 impl Opcode {
     /// Every defined opcode, in wire order.
-    pub const ALL: [Opcode; 6] = [
+    pub const ALL: [Opcode; 8] = [
         Opcode::Write,
         Opcode::Read,
         Opcode::WriteAck,
         Opcode::ReadReply,
         Opcode::StatsRequest,
         Opcode::StatsReply,
+        Opcode::ShardMapRequest,
+        Opcode::ShardMapReply,
     ];
 
     /// Parses the first header byte. `None` is a
@@ -100,6 +111,8 @@ impl Opcode {
             0x04 => Some(Opcode::ReadReply),
             0x05 => Some(Opcode::StatsRequest),
             0x06 => Some(Opcode::StatsReply),
+            0x07 => Some(Opcode::ShardMapRequest),
+            0x08 => Some(Opcode::ShardMapReply),
             _ => None,
         }
     }
@@ -111,11 +124,19 @@ impl Opcode {
 
     /// Whether frames of this opcode may carry a payload. A
     /// [`Opcode::StatsRequest`] declaring a nonzero length is a hard
-    /// [`ProtocolError::UnexpectedPayload`]; the payload-free *storage*
+    /// [`ProtocolError::UnexpectedPayload`] (so is a
+    /// [`ShardMapAction::Get`] request); the payload-free *storage*
     /// opcodes (Read/WriteAck) tolerate and discard one for wire
     /// compatibility with PR-5 encoders.
     pub fn carries_payload(self) -> bool {
-        matches!(self, Opcode::Write | Opcode::ReadReply | Opcode::StatsReply)
+        matches!(
+            self,
+            Opcode::Write
+                | Opcode::ReadReply
+                | Opcode::StatsReply
+                | Opcode::ShardMapRequest
+                | Opcode::ShardMapReply
+        )
     }
 }
 
@@ -131,18 +152,28 @@ pub enum ProtocolVersion {
     /// Adds in-band telemetry: [`Opcode::StatsRequest`] /
     /// [`Opcode::StatsReply`].
     V2,
+    /// Adds cluster membership: [`Opcode::ShardMapRequest`] /
+    /// [`Opcode::ShardMapReply`].
+    V3,
 }
 
 impl ProtocolVersion {
     /// The newest revision; what [`Message::decode`] and
     /// [`crate::FramedCodec::new`] speak.
-    pub const LATEST: ProtocolVersion = ProtocolVersion::V2;
+    pub const LATEST: ProtocolVersion = ProtocolVersion::V3;
 
     /// Whether this revision accepts `op`.
     pub fn accepts(self, op: Opcode) -> bool {
         match self {
-            ProtocolVersion::V1 => !matches!(op, Opcode::StatsRequest | Opcode::StatsReply),
-            ProtocolVersion::V2 => true,
+            ProtocolVersion::V1 => !matches!(
+                op,
+                Opcode::StatsRequest
+                    | Opcode::StatsReply
+                    | Opcode::ShardMapRequest
+                    | Opcode::ShardMapReply
+            ),
+            ProtocolVersion::V2 => !matches!(op, Opcode::ShardMapRequest | Opcode::ShardMapReply),
+            ProtocolVersion::V3 => true,
         }
     }
 }
@@ -173,6 +204,47 @@ impl StatsFormat {
         match code {
             0 => Some(StatsFormat::Json),
             1 => Some(StatsFormat::Prometheus),
+            _ => None,
+        }
+    }
+}
+
+/// What a [`Message::ShardMapRequest`] asks of a node; carried in the
+/// LBA header field of the request frame (it addresses no block), the
+/// same trick [`StatsFormat`] uses for the stats frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardMapAction {
+    /// Fetch the node's current shard map. Carries no payload — a
+    /// declared length is [`ProtocolError::UnexpectedPayload`].
+    #[default]
+    Get,
+    /// Install the encoded shard map in the payload. The node rehomes
+    /// any resident blocks it no longer owns to their new owners, then
+    /// keeps serving.
+    Set,
+    /// Install the encoded shard map in the payload — which must no
+    /// longer include this node — rehome *everything* resident, ack,
+    /// and then gracefully drain.
+    Drain,
+}
+
+impl ShardMapAction {
+    /// The wire code stored in the LBA header field.
+    pub fn code(self) -> u64 {
+        match self {
+            ShardMapAction::Get => 0,
+            ShardMapAction::Set => 1,
+            ShardMapAction::Drain => 2,
+        }
+    }
+
+    /// Parses a wire code. `None` is a
+    /// [`ProtocolError::BadShardAction`] at the decode layer.
+    pub fn from_code(code: u64) -> Option<ShardMapAction> {
+        match code {
+            0 => Some(ShardMapAction::Get),
+            1 => Some(ShardMapAction::Set),
+            2 => Some(ShardMapAction::Drain),
             _ => None,
         }
     }
@@ -220,6 +292,27 @@ pub enum Message {
         /// The rendered telemetry document (`fidr.timeseries.v1` JSON or
         /// Prometheus exposition text).
         body: Bytes,
+    },
+    /// Router → node cluster-membership request
+    /// ([`ProtocolVersion::V3`]). The LBA header field carries the
+    /// [`ShardMapAction`] code; [`ShardMapAction::Get`] carries no
+    /// payload, the install actions carry an encoded
+    /// `fidr.shardmap.v1` document.
+    ShardMapRequest {
+        /// What the node should do.
+        action: ShardMapAction,
+        /// Encoded `fidr.shardmap.v1` map to install (empty for
+        /// [`ShardMapAction::Get`]).
+        map: Bytes,
+    },
+    /// Node → router reply carrying the node's now-current map,
+    /// answering a [`Message::ShardMapRequest`]. The LBA header field
+    /// carries the map generation.
+    ShardMapReply {
+        /// Generation counter of the map in `map`.
+        generation: u64,
+        /// The node's current encoded `fidr.shardmap.v1` map.
+        map: Bytes,
     },
 }
 
@@ -269,6 +362,12 @@ pub enum ProtocolError {
         /// The offending format code.
         code: u64,
     },
+    /// A shard-map request whose LBA header field holds no known
+    /// [`ShardMapAction`] code.
+    BadShardAction {
+        /// The offending action code.
+        code: u64,
+    },
 }
 
 impl fmt::Display for ProtocolError {
@@ -283,6 +382,9 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::BadStatsFormat { code } => {
                 write!(f, "unknown stats format code {code}")
+            }
+            ProtocolError::BadShardAction { code } => {
+                write!(f, "unknown shard-map action code {code}")
             }
         }
     }
@@ -300,12 +402,15 @@ impl Message {
             Message::ReadReply { .. } => Opcode::ReadReply,
             Message::StatsRequest { .. } => Opcode::StatsRequest,
             Message::StatsReply { .. } => Opcode::StatsReply,
+            Message::ShardMapRequest { .. } => Opcode::ShardMapRequest,
+            Message::ShardMapReply { .. } => Opcode::ShardMapReply,
         }
     }
 
-    /// The message's logical block address. The stats frames address no
-    /// block; their LBA header field carries the [`StatsFormat`] code,
-    /// which is what this returns for them.
+    /// The message's logical block address. The stats and shard-map
+    /// frames address no block; their LBA header field carries the
+    /// [`StatsFormat`] / [`ShardMapAction`] code (or the map
+    /// generation), which is what this returns for them.
     pub fn lba(&self) -> Lba {
         match self {
             Message::Write { lba, .. }
@@ -315,6 +420,8 @@ impl Message {
             Message::StatsRequest { format } | Message::StatsReply { format, .. } => {
                 Lba(format.code())
             }
+            Message::ShardMapRequest { action, .. } => Lba(action.code()),
+            Message::ShardMapReply { generation, .. } => Lba(*generation),
         }
     }
 
@@ -322,6 +429,7 @@ impl Message {
         match self {
             Message::Write { data, .. } | Message::ReadReply { data, .. } => data,
             Message::StatsReply { body, .. } => body,
+            Message::ShardMapRequest { map, .. } | Message::ShardMapReply { map, .. } => map,
             _ => &[],
         }
     }
@@ -338,6 +446,20 @@ impl Message {
             return Err(ProtocolError::PayloadTooLarge {
                 len: payload.len() as u64,
             });
+        }
+        // A Get must not carry a map: the decoder rejects the frame, so
+        // refuse to build it (same symmetry as the length bound).
+        if let Message::ShardMapRequest {
+            action: ShardMapAction::Get,
+            map,
+        } = self
+        {
+            if !map.is_empty() {
+                return Err(ProtocolError::UnexpectedPayload {
+                    opcode: Opcode::ShardMapRequest.as_byte(),
+                    len: map.len() as u64,
+                });
+            }
         }
         let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
         out.push(self.opcode().as_byte());
@@ -411,6 +533,20 @@ impl Message {
             ),
             _ => None,
         };
+        let action = match opcode {
+            Opcode::ShardMapRequest => {
+                let action = ShardMapAction::from_code(field)
+                    .ok_or(ProtocolError::BadShardAction { code: field })?;
+                if action == ShardMapAction::Get && declared != 0 {
+                    return Err(ProtocolError::UnexpectedPayload {
+                        opcode: opcode.as_byte(),
+                        len: declared,
+                    });
+                }
+                Some(action)
+            }
+            _ => None,
+        };
         let len = declared as usize;
         // With the bound above this cannot overflow even on 16/32-bit
         // targets, but fold the check into the length validation anyway —
@@ -436,6 +572,14 @@ impl Message {
             Opcode::StatsReply => Message::StatsReply {
                 format: format.expect("validated above"),
                 body: data,
+            },
+            Opcode::ShardMapRequest => Message::ShardMapRequest {
+                action: action.expect("validated above"),
+                map: data,
+            },
+            Opcode::ShardMapReply => Message::ShardMapReply {
+                generation: field,
+                map: data,
             },
         };
         Ok(Decoded::Frame { msg, used: end })
@@ -605,7 +749,7 @@ mod tests {
         for op in Opcode::ALL {
             assert_eq!(Opcode::from_byte(op.as_byte()), Some(op));
         }
-        for byte in [0x00u8, 0x07, 0x7f, 0xff] {
+        for byte in [0x00u8, 0x09, 0x7f, 0xff] {
             assert_eq!(Opcode::from_byte(byte), None);
             assert_eq!(
                 Message::decode(&encode_raw(byte, 0, 0)).unwrap_err(),
@@ -733,6 +877,111 @@ mod tests {
         .unwrap();
         assert!(matches!(
             Message::decode_versioned(&write, ProtocolVersion::V1).unwrap(),
+            Decoded::Frame { .. }
+        ));
+    }
+
+    #[test]
+    fn shard_map_frames_round_trip() {
+        let map = Bytes::from_static(b"fidr.shardmap.v1\ngeneration 3\nvnodes 64\n");
+        for msg in [
+            Message::ShardMapRequest {
+                action: ShardMapAction::Get,
+                map: Bytes::new(),
+            },
+            Message::ShardMapRequest {
+                action: ShardMapAction::Set,
+                map: map.clone(),
+            },
+            Message::ShardMapRequest {
+                action: ShardMapAction::Drain,
+                map: map.clone(),
+            },
+            Message::ShardMapReply { generation: 3, map },
+        ] {
+            let frame = msg.encode().unwrap();
+            let (decoded, used) = Message::decode_whole(&frame).unwrap();
+            assert_eq!(decoded, msg);
+            assert_eq!(used, frame.len());
+        }
+    }
+
+    #[test]
+    fn shard_map_get_with_payload_is_a_hard_error_both_ways() {
+        // Encode side: refuse to build the frame the decoder rejects.
+        let msg = Message::ShardMapRequest {
+            action: ShardMapAction::Get,
+            map: Bytes::from_static(b"x"),
+        };
+        assert_eq!(
+            msg.encode().unwrap_err(),
+            ProtocolError::UnexpectedPayload {
+                opcode: 0x07,
+                len: 1
+            }
+        );
+        // Decode side: rejected from the header alone.
+        let frame = encode_raw(0x07, ShardMapAction::Get.code(), 16);
+        assert_eq!(
+            Message::decode(&frame).unwrap_err(),
+            ProtocolError::UnexpectedPayload {
+                opcode: 0x07,
+                len: 16
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_shard_action_code_is_rejected_from_the_header() {
+        let frame = encode_raw(0x07, 99, 0);
+        assert_eq!(
+            Message::decode(&frame).unwrap_err(),
+            ProtocolError::BadShardAction { code: 99 }
+        );
+        assert_eq!(ShardMapAction::from_code(0), Some(ShardMapAction::Get));
+        assert_eq!(ShardMapAction::from_code(1), Some(ShardMapAction::Set));
+        assert_eq!(ShardMapAction::from_code(2), Some(ShardMapAction::Drain));
+        assert_eq!(ShardMapAction::from_code(3), None);
+    }
+
+    #[test]
+    fn v1_and_v2_decoders_reject_shard_map_opcodes_cleanly() {
+        // Old-peer compatibility: pre-cluster decoders fed the V3
+        // opcodes fail with BadOpcode from the header alone — a clean
+        // connection close, not a misparse.
+        let request = Message::ShardMapRequest {
+            action: ShardMapAction::Get,
+            map: Bytes::new(),
+        }
+        .encode()
+        .unwrap();
+        let reply = Message::ShardMapReply {
+            generation: 1,
+            map: Bytes::from_static(b"fidr.shardmap.v1\n"),
+        }
+        .encode()
+        .unwrap();
+        for frame in [&request, &reply] {
+            for version in [ProtocolVersion::V1, ProtocolVersion::V2] {
+                assert!(matches!(
+                    Message::decode_versioned(frame, version).unwrap_err(),
+                    ProtocolError::BadOpcode(0x07 | 0x08)
+                ));
+            }
+            // The same bytes decode fine at LATEST.
+            assert!(matches!(
+                Message::decode_versioned(frame, ProtocolVersion::LATEST).unwrap(),
+                Decoded::Frame { .. }
+            ));
+        }
+        // V2 still accepts the stats opcodes it introduced.
+        let stats = Message::StatsRequest {
+            format: StatsFormat::Json,
+        }
+        .encode()
+        .unwrap();
+        assert!(matches!(
+            Message::decode_versioned(&stats, ProtocolVersion::V2).unwrap(),
             Decoded::Frame { .. }
         ));
     }

@@ -6,12 +6,18 @@
 
 use bytes::Bytes;
 use fidr_chunk::Lba;
-use fidr_nic::protocol::{Decoded, Message, StatsFormat, HEADER_BYTES};
+use fidr_nic::protocol::{Decoded, Message, ShardMapAction, StatsFormat, HEADER_BYTES};
 use fidr_nic::FramedCodec;
 use proptest::prelude::*;
 
 fn format_strategy() -> impl Strategy<Value = StatsFormat> {
     prop_oneof![Just(StatsFormat::Json), Just(StatsFormat::Prometheus)]
+}
+
+/// Only the payload-carrying install actions; a `Get` forbids a payload
+/// and is covered by its own `Just` arm in [`message_strategy`].
+fn install_action_strategy() -> impl Strategy<Value = ShardMapAction> {
+    prop_oneof![Just(ShardMapAction::Set), Just(ShardMapAction::Drain)]
 }
 
 fn message_strategy() -> impl Strategy<Value = Message> {
@@ -28,9 +34,23 @@ fn message_strategy() -> impl Strategy<Value = Message> {
             data: Bytes::from(data),
         }),
         format_strategy().prop_map(|format| Message::StatsRequest { format }),
-        (format_strategy(), payload).prop_map(|(format, body)| Message::StatsReply {
+        (format_strategy(), payload.clone()).prop_map(|(format, body)| Message::StatsReply {
             format,
             body: Bytes::from(body),
+        }),
+        Just(Message::ShardMapRequest {
+            action: ShardMapAction::Get,
+            map: Bytes::new(),
+        }),
+        (install_action_strategy(), payload.clone()).prop_map(|(action, map)| {
+            Message::ShardMapRequest {
+                action,
+                map: Bytes::from(map),
+            }
+        }),
+        (any::<u64>(), payload).prop_map(|(generation, map)| Message::ShardMapReply {
+            generation,
+            map: Bytes::from(map),
         }),
     ]
 }

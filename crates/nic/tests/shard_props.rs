@@ -1,0 +1,114 @@
+//! Property tests for the consistent-hash shard router: routing is
+//! deterministic and total, a join steals only ~K/(N+1) of the keys
+//! (and every stolen key lands on the new node), a drain moves only
+//! the departed node's keys, and the `fidr.shardmap.v1` codec
+//! round-trips to a router that routes every key identically.
+
+use fidr_nic::{ShardNode, ShardRouter};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn node(id: u64) -> ShardNode {
+    ShardNode {
+        id,
+        addr: format!("10.0.0.{}:7000", id % 250),
+    }
+}
+
+fn fleet(n: u64) -> ShardRouter {
+    ShardRouter::from_nodes((1..=n).map(node).collect()).expect("fleet map")
+}
+
+fn owners(router: &ShardRouter, keys: &[u64]) -> BTreeMap<u64, u64> {
+    keys.iter()
+        .map(|&k| (k, router.node_for(k).expect("non-empty ring").id))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn join_steals_a_bounded_fraction_and_only_for_itself(
+        n in 2u64..8,
+        keys in proptest::collection::vec(any::<u64>(), 256..512),
+    ) {
+        let before = fleet(n);
+        let owned_before = owners(&before, &keys);
+        let mut after = before.clone();
+        let newcomer = n + 1;
+        after.join(node(newcomer)).expect("join");
+        prop_assert_eq!(after.generation(), before.generation() + 1);
+
+        let mut moved = 0usize;
+        for (&key, &old_owner) in &owned_before {
+            let new_owner = after.node_for(key).expect("non-empty ring").id;
+            if new_owner != old_owner {
+                // Consistent hashing's minimal-disruption contract: a
+                // join only *steals* keys; it never shuffles a key
+                // between two pre-existing nodes.
+                prop_assert_eq!(
+                    new_owner, newcomer,
+                    "key {} moved {} -> {} instead of to the newcomer",
+                    key, old_owner, new_owner
+                );
+                moved += 1;
+            }
+        }
+        // ~K/(N+1) keys move. The expectation is keys/(n+1); with 64
+        // virtual nodes the per-run spread stays well inside 3x, and a
+        // zero-move run is astronomically unlikely at K >= 256.
+        let expected = keys.len() as f64 / (n as f64 + 1.0);
+        prop_assert!(moved > 0, "a join that stole nothing cannot balance");
+        prop_assert!(
+            (moved as f64) < 3.0 * expected,
+            "join moved {} of {} keys; expected about {:.0}",
+            moved, keys.len(), expected
+        );
+    }
+
+    #[test]
+    fn drain_moves_only_the_departed_nodes_keys(
+        n in 2u64..8,
+        victim_pick in any::<u64>(),
+        keys in proptest::collection::vec(any::<u64>(), 256..512),
+    ) {
+        let before = fleet(n);
+        let owned_before = owners(&before, &keys);
+        let victim = 1 + victim_pick % n;
+        let mut after = before.clone();
+        let departed = after.drain(victim).expect("drain");
+        prop_assert_eq!(departed.id, victim);
+        prop_assert_eq!(after.generation(), before.generation() + 1);
+
+        for (&key, &old_owner) in &owned_before {
+            let new_owner = after.node_for(key).expect("survivors remain").id;
+            prop_assert_ne!(new_owner, victim, "key {} routed to the drained node", key);
+            if old_owner != victim {
+                // Survivors keep every key they already owned.
+                prop_assert_eq!(
+                    new_owner, old_owner,
+                    "key {} moved {} -> {} though its owner never left",
+                    key, old_owner, new_owner
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn codec_round_trip_routes_every_key_identically(
+        n in 1u64..8,
+        keys in proptest::collection::vec(any::<u64>(), 64..128),
+    ) {
+        let map = fleet(n);
+        let decoded = ShardRouter::decode(&map.encode()).expect("round trip");
+        prop_assert_eq!(decoded.generation(), map.generation());
+        prop_assert_eq!(decoded.nodes(), map.nodes());
+        for &key in &keys {
+            prop_assert_eq!(
+                decoded.node_for(key).expect("non-empty").id,
+                map.node_for(key).expect("non-empty").id,
+            );
+        }
+    }
+}

@@ -25,12 +25,14 @@
 #![warn(missing_docs)]
 
 mod mixed;
+mod open_loop;
 pub mod skeleton;
 mod spec;
 mod stream;
 mod trace_io;
 
 pub use mixed::MultiStreamWorkload;
+pub use open_loop::{content_tag, OpenLoopKind, OpenLoopOp, OpenLoopSchedule, OpenLoopSpec};
 pub use spec::WorkloadSpec;
 pub use stream::{Request, Workload};
 pub use trace_io::{

@@ -1,0 +1,297 @@
+//! Open-loop, multi-tenant traffic schedules: the "millions of users"
+//! serving shape.
+//!
+//! The closed-loop drivers elsewhere in this crate issue a request,
+//! wait, and issue the next — so a slow server *slows the workload
+//! down*, hiding overload. A serving fleet sees the opposite: arrivals
+//! are open-loop (users do not coordinate), inter-arrival times are
+//! approximately Poisson, and tenant popularity is heavily skewed
+//! (Zipf) — a few hot tenants dominate while a long tail trickles.
+//!
+//! [`OpenLoopSchedule::generate`] materialises that shape as a
+//! deterministic schedule: a seeded sequence of per-tenant write/read
+//! operations with exponential inter-arrival delays. Determinism is the
+//! point — the *same* spec re-generates the *same* schedule, so a
+//! verification pass can re-derive exactly which (tenant, offset)
+//! blocks a traffic run wrote and what content each must hold, without
+//! any side channel from the run itself.
+//!
+//! Tenant `t`'s blocks live at `Lba((t << stream_shift) | offset)`,
+//! matching the server's per-stream telemetry keying
+//! (`stream id = lba >> stream_shift`) — so "per-stream" rollups *are*
+//! per-tenant metrics. Offsets are append-only per tenant (write `n`
+//! lands at offset `n`): no overwrites, so the final content of every
+//! written block is a pure function of the spec.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Parameters of one open-loop schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpenLoopSpec {
+    /// Distinct tenants (users) issuing traffic.
+    pub tenants: u64,
+    /// Total operations across all tenants.
+    pub ops: u64,
+    /// Target aggregate arrival rate in ops/sec; `0.0` generates an
+    /// unpaced schedule (every delay 0) for tests and saturation runs.
+    pub rate: f64,
+    /// Zipf skew exponent for tenant popularity: `0.0` is uniform,
+    /// `~1.0` is the classic heavy skew where the hottest tenants
+    /// dominate.
+    pub zipf_s: f64,
+    /// Seed for the whole schedule (arrivals, tenant picks, read
+    /// offsets).
+    pub seed: u64,
+}
+
+impl Default for OpenLoopSpec {
+    fn default() -> Self {
+        OpenLoopSpec {
+            tenants: 8,
+            ops: 1024,
+            rate: 0.0,
+            zipf_s: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+/// What one scheduled operation does within its tenant's LBA region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenLoopKind {
+    /// Append a block at the tenant's next offset.
+    Write {
+        /// Tenant-relative block offset (the tenant's write counter).
+        offset: u64,
+    },
+    /// Read back — and verify — a previously written offset.
+    Read {
+        /// Tenant-relative block offset, always below the tenant's
+        /// write counter at this point in the schedule.
+        offset: u64,
+    },
+}
+
+/// One scheduled operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenLoopOp {
+    /// Nanoseconds to wait after the *previous* arrival (open-loop: the
+    /// delay does not depend on when the previous op completed).
+    pub delay_ns: u64,
+    /// The tenant issuing this op.
+    pub tenant: u64,
+    /// What the op does.
+    pub kind: OpenLoopKind,
+}
+
+/// A uniform draw in `[0, 1)` built from 53 random bits (the vendored
+/// `rand` samples integers only).
+fn unit_f64(rng: &mut StdRng) -> f64 {
+    const BITS: u64 = 1 << 53;
+    rng.gen_range(0..BITS) as f64 / BITS as f64
+}
+
+/// The deterministic content tag of tenant `tenant`'s block at
+/// `offset` under `seed`. Both the traffic driver and the verification
+/// pass derive payloads from this, so a read can verify byte-exactly
+/// with no record of the original write. The tag space is deliberately
+/// small (`% 40`) and *shared across tenants*, so the server sees
+/// plenty of cross-tenant duplicates to eliminate.
+pub fn content_tag(seed: u64, tenant: u64, offset: u64) -> u64 {
+    seed.wrapping_mul(31)
+        .wrapping_add(tenant.wrapping_mul(7).wrapping_add(offset) % 40)
+}
+
+/// A fully materialised open-loop schedule.
+#[derive(Debug, Clone)]
+pub struct OpenLoopSchedule {
+    spec: OpenLoopSpec,
+    ops: Vec<OpenLoopOp>,
+}
+
+impl OpenLoopSchedule {
+    /// Generates the schedule for `spec`. Same spec, same schedule —
+    /// byte for byte.
+    pub fn generate(spec: OpenLoopSpec) -> OpenLoopSchedule {
+        let tenants = spec.tenants.max(1);
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        // Zipf CDF over tenant ranks: tenant k gets weight 1/(k+1)^s.
+        let mut cdf = Vec::with_capacity(tenants as usize);
+        let mut total = 0.0f64;
+        for k in 0..tenants {
+            total += 1.0 / ((k + 1) as f64).powf(spec.zipf_s);
+            cdf.push(total);
+        }
+        let mean_gap_ns = if spec.rate > 0.0 {
+            1e9 / spec.rate
+        } else {
+            0.0
+        };
+        let mut written: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut per_tenant_ops: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut ops = Vec::with_capacity(spec.ops as usize);
+        for _ in 0..spec.ops {
+            // Poisson arrivals = exponential inter-arrival gaps.
+            let delay_ns = if mean_gap_ns > 0.0 {
+                let u = (1.0 - unit_f64(&mut rng)).max(f64::EPSILON);
+                (-u.ln() * mean_gap_ns) as u64
+            } else {
+                0
+            };
+            // Zipf-skewed tenant pick: binary search the CDF.
+            let u = unit_f64(&mut rng) * total;
+            let tenant = (cdf.partition_point(|&c| c <= u) as u64).min(tenants - 1);
+            let seq = per_tenant_ops.entry(tenant).or_insert(0);
+            *seq += 1;
+            let done = written.entry(tenant).or_insert(0);
+            // Every third op of a tenant (once it wrote something)
+            // reads back a previously written offset; the rest append.
+            let kind = if seq.is_multiple_of(3) && *done > 0 {
+                let offset = rng.gen_range(0..*done);
+                OpenLoopKind::Read { offset }
+            } else {
+                let offset = *done;
+                *done += 1;
+                OpenLoopKind::Write { offset }
+            };
+            ops.push(OpenLoopOp {
+                delay_ns,
+                tenant,
+                kind,
+            });
+        }
+        OpenLoopSchedule { spec, ops }
+    }
+
+    /// The spec this schedule was generated from.
+    pub fn spec(&self) -> &OpenLoopSpec {
+        &self.spec
+    }
+
+    /// The operations, in arrival order.
+    pub fn ops(&self) -> &[OpenLoopOp] {
+        &self.ops
+    }
+
+    /// Blocks written per tenant: `tenant → write count` (tenant `t`
+    /// wrote offsets `0..count`). The verification pass walks exactly
+    /// this set.
+    pub fn writes_per_tenant(&self) -> BTreeMap<u64, u64> {
+        let mut out = BTreeMap::new();
+        for op in &self.ops {
+            if let OpenLoopKind::Write { offset } = op.kind {
+                let e = out.entry(op.tenant).or_insert(0u64);
+                *e = (*e).max(offset + 1);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> OpenLoopSpec {
+        OpenLoopSpec {
+            tenants: 16,
+            ops: 3000,
+            rate: 0.0,
+            zipf_s: 1.0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn same_spec_same_schedule() {
+        let a = OpenLoopSchedule::generate(spec());
+        let b = OpenLoopSchedule::generate(spec());
+        assert_eq!(a.ops(), b.ops());
+        assert_eq!(a.writes_per_tenant(), b.writes_per_tenant());
+    }
+
+    #[test]
+    fn reads_only_touch_written_offsets() {
+        let schedule = OpenLoopSchedule::generate(spec());
+        let mut written: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in schedule.ops() {
+            match op.kind {
+                OpenLoopKind::Write { offset } => {
+                    let done = written.entry(op.tenant).or_insert(0);
+                    assert_eq!(offset, *done, "writes append in offset order");
+                    *done += 1;
+                }
+                OpenLoopKind::Read { offset } => {
+                    assert!(
+                        offset < written.get(&op.tenant).copied().unwrap_or(0),
+                        "read of a never-written offset"
+                    );
+                }
+            }
+        }
+        assert_eq!(schedule.writes_per_tenant(), written);
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_traffic_on_low_ranks() {
+        let schedule = OpenLoopSchedule::generate(OpenLoopSpec {
+            zipf_s: 1.2,
+            ..spec()
+        });
+        let mut per_tenant = vec![0u64; 16];
+        for op in schedule.ops() {
+            per_tenant[op.tenant as usize] += 1;
+        }
+        let hot: u64 = per_tenant[..4].iter().sum();
+        let cold: u64 = per_tenant[12..].iter().sum();
+        assert!(
+            hot > cold * 3,
+            "rank 0-3 tenants ({hot} ops) should dwarf rank 12-15 ({cold} ops)"
+        );
+        // ... but the tail still sees traffic.
+        assert!(per_tenant.iter().all(|&c| c > 0), "{per_tenant:?}");
+    }
+
+    #[test]
+    fn uniform_skew_spreads_traffic_evenly() {
+        let schedule = OpenLoopSchedule::generate(OpenLoopSpec {
+            zipf_s: 0.0,
+            ..spec()
+        });
+        let mut per_tenant = vec![0u64; 16];
+        for op in schedule.ops() {
+            per_tenant[op.tenant as usize] += 1;
+        }
+        let max = *per_tenant.iter().max().unwrap();
+        let min = *per_tenant.iter().min().unwrap();
+        assert!(max < min * 3, "uniform split too uneven: {per_tenant:?}");
+    }
+
+    #[test]
+    fn poisson_pacing_hits_the_target_rate_roughly() {
+        let schedule = OpenLoopSchedule::generate(OpenLoopSpec {
+            rate: 10_000.0,
+            ops: 10_000,
+            ..spec()
+        });
+        let total_ns: u64 = schedule.ops().iter().map(|o| o.delay_ns).sum();
+        let secs = total_ns as f64 / 1e9;
+        // 10k ops at 10k ops/s should span ~1 s of scheduled arrivals.
+        assert!((0.8..1.2).contains(&secs), "scheduled span {secs} s");
+        // Unpaced schedules carry no delays at all.
+        let unpaced = OpenLoopSchedule::generate(spec());
+        assert!(unpaced.ops().iter().all(|o| o.delay_ns == 0));
+    }
+
+    #[test]
+    fn content_tags_are_deterministic_and_shared_across_tenants() {
+        assert_eq!(content_tag(9, 3, 5), content_tag(9, 3, 5));
+        // The tag space wraps (mod 40), so distinct (tenant, offset)
+        // pairs collide — the cross-tenant duplicates dedup feeds on.
+        let a = content_tag(9, 0, 0);
+        let b = content_tag(9, 1, 33); // 7*1 + 33 = 40 ≡ 0 (mod 40)
+        assert_eq!(a, b);
+    }
+}

@@ -124,8 +124,9 @@ while [ ! -s "$SERVE_DIR/port" ]; do
   fi
   sleep 0.1
 done
+# The port file holds a full HOST:PORT address (published atomically).
 cargo run --release -q --bin fidr -- client \
-  --addr "127.0.0.1:$(cat "$SERVE_DIR/port")" --conns 4 --ops 200
+  --addr "$(cat "$SERVE_DIR/port")" --conns 4 --ops 200
 wait "$SERVE_PID"
 grep -q '"server.frames.rejected.count": { "type": "counter", "value": 0 }' \
   "$SERVE_DIR/metrics.json"
@@ -158,7 +159,7 @@ while [ ! -s "$TELEM_DIR/port" ]; do
   fi
   sleep 0.1
 done
-TELEM_ADDR="127.0.0.1:$(cat "$TELEM_DIR/port")"
+TELEM_ADDR="$(cat "$TELEM_DIR/port")"
 cargo run --release -q --bin fidr -- client --addr "$TELEM_ADDR" --conns 4 --ops 200
 # Let a sampler tick land after the traffic so the ring is non-empty.
 sleep 0.2
@@ -176,6 +177,75 @@ grep -q '# TYPE fidr_server_ops_write_count counter' "$TELEM_DIR/scrape.prom"
 grep -q '^fidr_server_window_ops_rate ' "$TELEM_DIR/scrape.prom"
 grep -q '^fidr top' "$TELEM_DIR/top.txt"
 echo "    $(grep -c '"seq": ' "$TELEM_DIR/scrape.json") timeseries samples scraped in-band"
+
+# 2-node cluster loopback smoke: stand two serving nodes up, install
+# the consistent-hash bootstrap map, drive multi-tenant open-loop
+# traffic through the fan-out client (inline read verification), drain
+# node 2 — its blocks rehome to the survivor and the process exits on
+# its own — then prove zero acked-write loss by re-reading every block
+# the schedule wrote through the survivor. CI uploads both nodes'
+# drain-time metrics as inspectable artifacts.
+echo "==> 2-node cluster loopback smoke"
+CLUSTER_DIR="${CLUSTER_DIR:-target/ci-cluster}"
+mkdir -p "$CLUSTER_DIR"
+rm -f "$CLUSTER_DIR/port1" "$CLUSTER_DIR/port2" \
+  "$CLUSTER_DIR/node1-metrics.json" "$CLUSTER_DIR/node2-metrics.json"
+# Node 1 accepts exactly 10 connections across the scripted sequence:
+# bootstrap reshard (map fetch + install = 2), open-loop client
+# (map fetch + 2 fan-out workers = 3), drain reshard (map fetch +
+# node 2's rehome push + survivor install = 3), verify client
+# (map fetch + 1 device = 2) — then auto-drains and writes its
+# metrics. Node 2 exits via the drain handoff, so it needs no
+# connection budget.
+cargo run --release -q --bin fidr -- serve \
+  --port 0 --node-id 1 --port-file "$CLUSTER_DIR/port1" --conns-limit 10 \
+  --metrics-out "$CLUSTER_DIR/node1-metrics.json" > "$CLUSTER_DIR/node1.log" &
+NODE1_PID=$!
+cargo run --release -q --bin fidr -- serve \
+  --port 0 --node-id 2 --port-file "$CLUSTER_DIR/port2" \
+  --metrics-out "$CLUSTER_DIR/node2-metrics.json" > "$CLUSTER_DIR/node2.log" &
+NODE2_PID=$!
+for f in port1 port2; do
+  tries=0
+  while [ ! -s "$CLUSTER_DIR/$f" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+      echo "cluster node never wrote $f" >&2
+      kill "$NODE1_PID" "$NODE2_PID" 2> /dev/null || true
+      exit 1
+    fi
+    sleep 0.1
+  done
+done
+NODE1_ADDR="$(cat "$CLUSTER_DIR/port1")"
+NODE2_ADDR="$(cat "$CLUSTER_DIR/port2")"
+cargo run --release -q --bin fidr -- reshard --nodes "$NODE1_ADDR,$NODE2_ADDR"
+cargo run --release -q --bin fidr -- client --nodes "$NODE1_ADDR,$NODE2_ADDR" \
+  --mode open --conns 2 --ops 300 --tenants 8
+cargo run --release -q --bin fidr -- reshard --nodes "$NODE1_ADDR,$NODE2_ADDR" \
+  --drain 2
+wait "$NODE2_PID"
+# Same spec as the traffic run: the verify pass re-derives every
+# written block from it and must find all of them on the survivor.
+cargo run --release -q --bin fidr -- client --nodes "$NODE1_ADDR" \
+  --mode verify --ops 300 --tenants 8
+wait "$NODE1_PID"
+for m in node1-metrics.json node2-metrics.json; do
+  grep -q '"schema": "fidr.metrics.v1"' "$CLUSTER_DIR/$m"
+  grep -q '"server.frames.rejected.count": { "type": "counter", "value": 0 }' \
+    "$CLUSTER_DIR/$m"
+done
+writes_on() {
+  grep -o '"server.ops.write.count": { "type": "counter", "value": [0-9]*' \
+    "$CLUSTER_DIR/$1" | grep -o '[0-9]*$'
+}
+W1="$(writes_on node1-metrics.json)"
+W2="$(writes_on node2-metrics.json)"
+if [ "$W1" -eq 0 ] || [ "$W2" -eq 0 ]; then
+  echo "consistent-hash routing did not spread writes: node1=$W1 node2=$W2" >&2
+  exit 1
+fi
+echo "    writes spread node1=$W1 node2=$W2, drain handed off, survivor verified"
 
 # Wall-speedup regression gate: the persistent worker pool + multi-lane
 # hashing must keep real wall-clock batch throughput scaling with

@@ -12,16 +12,20 @@
 
 use fidr::chunk::{replay_chunking, Lba};
 use fidr::cli::{
-    allowed_flags, bool_flag, output_flag, parse_flags, reject_unknown_flags, u64_flag, usize_flag,
-    variant_by_name, workload_by_name, write_output,
+    allowed_flags, bool_flag, f64_flag, list_flag, opt_positive_u64_flag, output_flag, parse_flags,
+    reject_unknown_flags, u16_flag, u64_flag, usize_flag, variant_by_name, workload_by_name,
+    write_output,
 };
-use fidr::client::{run_traffic, StorageClient};
+use fidr::client::{
+    run_cluster_traffic, run_open_loop, run_traffic, run_verify, ClusterClient, StorageClient,
+};
 use fidr::compress::ContentGenerator;
 use fidr::core::{FidrConfig, FidrSystem, LatencyModel, TieredDedupConfig};
 use fidr::cost::{CostModel, Scenario};
 use fidr::faults::FaultPlan;
 use fidr::hwsim::{report, PlatformSpec};
 use fidr::nic::protocol::StatsFormat;
+use fidr::router::{drain_node, join_node, map_from_addrs, push_map, Router, RouterConfig};
 use fidr::server::{Server, ServerConfig};
 use fidr::ssd::SsdSpec;
 use fidr::trace::{chrome_trace_json, validate_chrome_trace, SpanRecord, TraceConfig};
@@ -50,10 +54,14 @@ USAGE:
     fidr report  [--ops N] [--out FILE]
     fidr serve   [--port P] [--port-file FILE] [--conns-limit N] [--queue N]
                  [--workers N] [--cache-shards N] [--tiered] [--sample-ms MS]
-                 [--metrics-out FILE]
-    fidr client  --addr HOST:PORT [--conns N] [--ops N] [--seed S]
+                 [--metrics-out FILE] [--node-id ID]
+    fidr client  (--addr HOST:PORT | --nodes A,B,...) [--conns N] [--ops N]
+                 [--seed S] [--mode traffic|open|verify]
+                 [--tenants N] [--zipf S] [--rate OPS_PER_SEC]
     fidr scrape  --addr HOST:PORT [--prom] [--out FILE]
     fidr top     --addr HOST:PORT [--interval-ms MS] [--iters N]
+    fidr route   --nodes A,B,... [--port P] [--port-file FILE] [--conns-limit N]
+    fidr reshard --nodes A,B,... [--join HOST:PORT | --drain ID]
 
 WORKLOADS:  write-h | write-m | write-l | read-mixed | vdi | database
 VARIANTS:   baseline | nic-p2p | hw-single | full
@@ -95,7 +103,19 @@ TELEMETRY:  a running server samples its merged metrics every --sample-ms
             refreshes a live terminal view (throughput, queue, dedup ratio,
             cache hit rate, top streams, slow exemplars) every --interval-ms,
             --iters times (0 = until interrupted). The drain-time metrics
-            export stays byte-identical whether the sampler runs or not.";
+            export stays byte-identical whether the sampler runs or not.
+CLUSTER:    --nodes A,B,... names a serving fleet; node ids are 1-based
+            positions in the list, so every command passing the same list
+            derives the same fidr.shardmap.v1 map. `fidr client --nodes`
+            fans traffic out over the fleet by consistent-hash routing;
+            --mode open drives open-loop Poisson arrivals over --tenants
+            Zipf(--zipf)-popular tenants at --rate ops/s, and --mode verify
+            re-reads everything the same-seed open run wrote (exit 1 on any
+            mismatch). `fidr route` runs a stateless front tier speaking the
+            single-node wire protocol over the fleet. `fidr reshard --join`
+            adds a node (survivors rehome its keys before acking);
+            --drain ID removes one, after it rehomes every block it holds —
+            zero acked-write loss either way.";
 
 /// Exports `spans` as Chrome-trace-event JSON to `path`, self-validating
 /// the shape on the way out; returns the event count.
@@ -124,11 +144,7 @@ fn faults_flag(flags: &HashMap<String, String>) -> Result<FaultPlan, String> {
 }
 
 fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
-    let ops: usize = flags
-        .get("ops")
-        .map(|s| s.parse().map_err(|_| "bad --ops"))
-        .transpose()?
-        .unwrap_or(15_000);
+    let ops = usize_flag(flags, "ops", 15_000)?;
     let wl = flags.get("workload").ok_or("missing --workload")?;
     let spec = workload_by_name(wl, ops).ok_or("unknown workload")?;
     let var = flags.get("variant").ok_or("missing --variant")?;
@@ -194,11 +210,7 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
-    let ops: usize = flags
-        .get("ops")
-        .map(|s| s.parse().map_err(|_| "bad --ops"))
-        .transpose()?
-        .unwrap_or(15_000);
+    let ops = usize_flag(flags, "ops", 15_000)?;
     let platform = PlatformSpec::default();
     let specs = match flags.get("workload") {
         Some(name) => vec![workload_by_name(name, ops).ok_or("unknown workload")?],
@@ -229,11 +241,7 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
-    let ops: usize = flags
-        .get("ops")
-        .map(|s| s.parse().map_err(|_| "bad --ops"))
-        .transpose()?
-        .unwrap_or(15_000);
+    let ops = usize_flag(flags, "ops", 15_000)?;
     let wl = flags
         .get("workload")
         .map(String::as_str)
@@ -287,11 +295,7 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_spans(flags: &HashMap<String, String>) -> Result<(), String> {
-    let ops: usize = flags
-        .get("ops")
-        .map(|s| s.parse().map_err(|_| "bad --ops"))
-        .transpose()?
-        .unwrap_or(2_000);
+    let ops = usize_flag(flags, "ops", 2_000)?;
     let wl = flags
         .get("workload")
         .map(String::as_str)
@@ -340,11 +344,7 @@ fn cmd_spans(flags: &HashMap<String, String>) -> Result<(), String> {
 
 fn cmd_report(flags: &HashMap<String, String>) -> Result<(), String> {
     use std::fmt::Write as _;
-    let ops: usize = flags
-        .get("ops")
-        .map(|s| s.parse().map_err(|_| "bad --ops"))
-        .transpose()?
-        .unwrap_or(15_000);
+    let ops = usize_flag(flags, "ops", 15_000)?;
     let platform = PlatformSpec::default();
     let mut md = String::new();
     let _ = writeln!(md, "# FIDR measured results ({ops} requests per run)\n");
@@ -417,16 +417,8 @@ fn cmd_latency() {
 }
 
 fn cmd_cost(flags: &HashMap<String, String>) -> Result<(), String> {
-    let capacity_tb: f64 = flags
-        .get("capacity-tb")
-        .map(|s| s.parse().map_err(|_| "bad --capacity-tb"))
-        .transpose()?
-        .unwrap_or(500.0);
-    let throughput: f64 = flags
-        .get("throughput")
-        .map(|s| s.parse().map_err(|_| "bad --throughput"))
-        .transpose()?
-        .unwrap_or(75.0);
+    let capacity_tb = f64_flag(flags, "capacity-tb", 500.0)?;
+    let throughput = f64_flag(flags, "throughput", 75.0)?;
     let effective_gb = capacity_tb * 1000.0;
     let model = CostModel::default();
     let fidr = model.fidr(Scenario {
@@ -452,11 +444,7 @@ fn cmd_cost(flags: &HashMap<String, String>) -> Result<(), String> {
 
 fn cmd_trace(positional: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
     let path = positional.first().ok_or("missing trace file")?;
-    let chunk_kb: usize = flags
-        .get("chunk-kb")
-        .map(|s| s.parse().map_err(|_| "bad --chunk-kb"))
-        .transpose()?
-        .unwrap_or(32);
+    let chunk_kb = usize_flag(flags, "chunk-kb", 32)?;
     if !chunk_kb.is_multiple_of(4) || chunk_kb == 0 {
         return Err("--chunk-kb must be a positive multiple of 4".into());
     }
@@ -558,18 +546,8 @@ fn cmd_trace(positional: &[String], flags: &HashMap<String, String>) -> Result<(
 }
 
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
-    let port: u16 = flags
-        .get("port")
-        .map(|s| s.parse().map_err(|_| "bad --port"))
-        .transpose()?
-        .unwrap_or(0);
-    let conns_limit: Option<u64> = flags
-        .get("conns-limit")
-        .map(|s| match s.parse::<u64>() {
-            Ok(n) if n > 0 => Ok(n),
-            _ => Err(format!("--conns-limit needs a positive integer, got {s:?}")),
-        })
-        .transpose()?;
+    let port = u16_flag(flags, "port", 0)?;
+    let conns_limit = opt_positive_u64_flag(flags, "conns-limit")?;
     let queue = usize_flag(flags, "queue", 64)?;
     let sample_ms = u64_flag(flags, "sample-ms", 1000)?;
     let metrics_out = output_flag(flags, &["metrics-out"])?;
@@ -584,13 +562,17 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         queue_capacity: queue,
         conns_limit,
         sample_ms,
+        node_id: u64_flag(flags, "node-id", 0)?,
         ..ServerConfig::default()
     };
     let handle = Server::spawn(cfg).map_err(|e| format!("bind: {e}"))?;
     let addr = handle.local_addr();
     println!("listening on {addr}");
     if let Some(path) = flags.get("port-file").filter(|p| !p.is_empty()) {
-        write_output(path, &format!("{}\n", addr.port()))?;
+        // Atomic publish (temp file + rename): readers either see no
+        // file yet or a whole `host:port` line, never a torn write.
+        fidr::server::write_port_file(std::path::Path::new(path), addr)
+            .map_err(|e| format!("write {path}: {e}"))?;
     }
     if conns_limit.is_none() {
         println!("serving until killed (pass --conns-limit N for a self-draining run)");
@@ -615,29 +597,171 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
-    let addr: std::net::SocketAddr = flags
-        .get("addr")
-        .ok_or("missing --addr")?
-        .parse()
-        .map_err(|_| "bad --addr (want HOST:PORT)")?;
+    let nodes = list_flag(flags, "nodes")?;
     let conns = usize_flag(flags, "conns", 4)?;
     let ops = usize_flag(flags, "ops", 200)?;
-    let seed: u64 = flags
-        .get("seed")
-        .map(|s| s.parse().map_err(|_| "bad --seed"))
-        .transpose()?
-        .unwrap_or(42);
-    let report = run_traffic(addr, conns, ops, seed).map_err(|e| format!("client traffic: {e}"))?;
-    println!(
-        "{} connections x {} ops: {} writes acked, {} reads verified, {} mismatches",
-        conns, ops, report.writes, report.reads, report.verify_failures
-    );
-    if report.verify_failures > 0 {
-        return Err(format!(
-            "{} read(s) returned data that does not match what was written",
-            report.verify_failures
-        ));
+    let seed = u64_flag(flags, "seed", 42)?;
+    let mode = flags.get("mode").map(String::as_str).unwrap_or("traffic");
+    let open_spec = fidr::workload::OpenLoopSpec {
+        tenants: u64_flag(flags, "tenants", 8)?.max(1),
+        ops: ops as u64,
+        rate: f64_flag(flags, "rate", 0.0)?,
+        zipf_s: f64_flag(flags, "zipf", 1.0)?,
+        seed,
+    };
+    let shift = fidr::core::DEFAULT_STREAM_SHIFT;
+    // One device factory covering both topologies: a single node behind
+    // --addr, or a consistent-hash fleet behind --nodes. Prefer the
+    // fleet's installed map (its ids survive reshards); fall back to
+    // the list-derived bootstrap map for an uninstalled fleet.
+    let cluster_map = if nodes.is_empty() {
+        None
+    } else {
+        Some(fetch_current_map(&nodes).map_or_else(
+            || map_from_addrs(&nodes).map_err(|e| format!("bad --nodes: {e}")),
+            Ok,
+        )?)
+    };
+    let report = match mode {
+        "traffic" => match &cluster_map {
+            Some(map) => run_cluster_traffic(map, conns, ops, seed),
+            None => run_traffic(addr_flag(flags)?, conns, ops, seed),
+        },
+        "open" => match &cluster_map {
+            Some(map) => run_open_loop(
+                || ClusterClient::connect(map.clone()),
+                conns,
+                open_spec,
+                shift,
+            ),
+            None => {
+                let addr = addr_flag(flags)?;
+                run_open_loop(|| StorageClient::connect(addr), conns, open_spec, shift)
+            }
+        },
+        "verify" => match &cluster_map {
+            Some(map) => ClusterClient::connect(map.clone())
+                .and_then(|mut dev| run_verify(&mut dev, open_spec, shift)),
+            None => {
+                let addr = addr_flag(flags)?;
+                StorageClient::connect(addr)
+                    .and_then(|mut dev| run_verify(&mut dev, open_spec, shift))
+            }
+        },
+        other => return Err(format!("unknown --mode {other:?} (traffic|open|verify)")),
     }
+    .map_err(|e| format!("client {mode}: {e}"))?;
+    println!(
+        "{} connections, mode {}: {} writes acked, {} reads verified, {} mismatches",
+        conns, mode, report.writes, report.reads, report.verify_failures
+    );
+    // A verify failure is a hard, loud, non-zero exit — never a counter
+    // a pipeline could scroll past.
+    report
+        .ensure_verified()
+        .map_err(|e| e.to_string())
+        .map(|_| ())
+}
+
+fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
+    let nodes = list_flag(flags, "nodes")?;
+    // Same map-resolution rule as `fidr client --nodes`: the fleet's
+    // installed map wins; the list-derived map bootstraps.
+    let map = fetch_current_map(&nodes).map_or_else(
+        || map_from_addrs(&nodes).map_err(|e| format!("bad --nodes: {e}")),
+        Ok,
+    )?;
+    let cfg = RouterConfig {
+        addr: std::net::SocketAddr::from(([127, 0, 0, 1], u16_flag(flags, "port", 0)?)),
+        router: map,
+        conns_limit: opt_positive_u64_flag(flags, "conns-limit")?,
+    };
+    let conns_limit = cfg.conns_limit;
+    let handle = Router::spawn(cfg).map_err(|e| format!("bind: {e}"))?;
+    let addr = handle.local_addr();
+    println!("routing on {addr} over {} nodes", nodes.len());
+    if let Some(path) = flags.get("port-file").filter(|p| !p.is_empty()) {
+        fidr::server::write_port_file(std::path::Path::new(path), addr)
+            .map_err(|e| format!("write {path}: {e}"))?;
+    }
+    if conns_limit.is_none() {
+        println!("routing until killed (pass --conns-limit N for a self-draining run)");
+    }
+    let report = handle.wait();
+    println!(
+        "front tier drained: {} connections, {} writes / {} reads routed, \
+         {} map requests, {} connection errors",
+        report.connections,
+        report.writes_routed,
+        report.reads_routed,
+        report.map_gets,
+        report.conn_errors,
+    );
+    Ok(())
+}
+
+/// Asks each node in `addrs` for its installed shard map, returning the
+/// first non-empty (generation > 0) one.
+fn fetch_current_map(addrs: &[String]) -> Option<fidr::nic::ShardRouter> {
+    for addr in addrs {
+        let Ok(sock) = addr.parse::<std::net::SocketAddr>() else {
+            continue;
+        };
+        let Ok(mut conn) = StorageClient::connect(sock) else {
+            continue;
+        };
+        if let Ok((generation, doc)) = conn.shard_map(fidr::nic::protocol::ShardMapAction::Get, "")
+        {
+            if generation > 0 {
+                if let Ok(map) = fidr::nic::ShardRouter::decode(&doc) {
+                    return Some(map);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn cmd_reshard(flags: &HashMap<String, String>) -> Result<(), String> {
+    let nodes = list_flag(flags, "nodes")?;
+    let derived = map_from_addrs(&nodes).map_err(|e| format!("bad --nodes: {e}"))?;
+    // Prefer the fleet's authoritative map (survives earlier reshards,
+    // whose generations the derived bootstrap map knows nothing about);
+    // fall back to the derived map for a fleet that has none yet.
+    let current = fetch_current_map(&nodes).unwrap_or(derived);
+    let join = flags.get("join").filter(|a| !a.is_empty());
+    let drain = opt_positive_u64_flag(flags, "drain")?;
+    let next = match (join, drain) {
+        (Some(addr), None) => {
+            let node = fidr::nic::ShardNode {
+                id: current.nodes().iter().map(|n| n.id).max().unwrap_or(0) + 1,
+                addr: addr.clone(),
+            };
+            let id = node.id;
+            let next = join_node(&current, node).map_err(|e| format!("join: {e}"))?;
+            println!("node {id} ({addr}) joined");
+            next
+        }
+        (None, Some(id)) => {
+            let next = drain_node(&current, id).map_err(|e| format!("drain: {e}"))?;
+            println!("node {id} drained; its blocks rehomed to the survivors");
+            next
+        }
+        (None, None) => {
+            // Bare reshard: bootstrap-install the derived map on every
+            // node, which also rebalances any keys written before the
+            // fleet first agreed on a map.
+            push_map(&current).map_err(|e| format!("install: {e}"))?;
+            println!("installed the bootstrap map on {} nodes", nodes.len());
+            current
+        }
+        (Some(_), Some(_)) => return Err("--join and --drain are mutually exclusive".into()),
+    };
+    println!(
+        "shard map now at generation {} over {} nodes",
+        next.generation(),
+        next.nodes().len()
+    );
     Ok(())
 }
 
@@ -829,6 +953,8 @@ fn main() -> ExitCode {
                 "client" => cmd_client(&flags),
                 "scrape" => cmd_scrape(&flags),
                 "top" => cmd_top(&flags),
+                "route" => cmd_route(&flags),
+                "reshard" => cmd_reshard(&flags),
                 _ => unreachable!("allowed_flags() gated the command list"),
             })
     };

@@ -90,10 +90,15 @@ pub fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
             "tiered",
             "sample-ms",
             "metrics-out",
+            "node-id",
         ],
-        "client" => &["addr", "conns", "ops", "seed"],
+        "client" => &[
+            "addr", "conns", "ops", "seed", "nodes", "mode", "tenants", "zipf", "rate",
+        ],
         "scrape" => &["addr", "prom", "out"],
         "top" => &["addr", "interval-ms", "iters"],
+        "route" => &["nodes", "port", "port-file", "conns-limit"],
+        "reshard" => &["nodes", "join", "drain"],
         _ => return None,
     })
 }
@@ -191,6 +196,69 @@ pub fn u64_flag(flags: &HashMap<String, String>, name: &str, default: u64) -> Re
     }
 }
 
+/// Resolves an optional port-sized flag where zero is meaningful
+/// (`--port 0` binds an ephemeral port). Absent → `default`; present
+/// but empty, non-numeric or over 65535 → an error naming the flag.
+pub fn u16_flag(flags: &HashMap<String, String>, name: &str, default: u16) -> Result<u16, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(value) => value
+            .parse::<u16>()
+            .map_err(|_| format!("--{name} needs an integer in 0..=65535, got {value:?}")),
+    }
+}
+
+/// Resolves a truly optional positive-integer flag (e.g.
+/// `--conns-limit N`, `--drain ID`): absent → `None`; present but
+/// empty, non-numeric or zero → an error naming the flag.
+pub fn opt_positive_u64_flag(
+    flags: &HashMap<String, String>,
+    name: &str,
+) -> Result<Option<u64>, String> {
+    match flags.get(name) {
+        None => Ok(None),
+        Some(value) => match value.parse::<u64>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            _ => Err(format!("--{name} needs a positive integer, got {value:?}")),
+        },
+    }
+}
+
+/// Resolves an optional non-negative float flag (e.g. `--rate 50000`,
+/// `--zipf 1.0`). Absent → `default`; present but empty, non-numeric
+/// or negative → an error naming the flag.
+pub fn f64_flag(flags: &HashMap<String, String>, name: &str, default: f64) -> Result<f64, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(value) => match value.parse::<f64>() {
+            Ok(x) if x >= 0.0 && x.is_finite() => Ok(x),
+            _ => Err(format!(
+                "--{name} needs a non-negative number, got {value:?}"
+            )),
+        },
+    }
+}
+
+/// Resolves a comma-separated list flag (e.g.
+/// `--nodes 127.0.0.1:7001,127.0.0.1:7002`) — one flag occurrence, many
+/// values, because [`parse_flags`] keeps only the last occurrence of a
+/// repeated flag. Absent → empty; present but empty, or with an empty
+/// element → an error naming the flag.
+pub fn list_flag(flags: &HashMap<String, String>, name: &str) -> Result<Vec<String>, String> {
+    match flags.get(name) {
+        None => Ok(Vec::new()),
+        Some(value) => {
+            let items: Vec<String> = value.split(',').map(|s| s.trim().to_string()).collect();
+            if items.iter().any(String::is_empty) {
+                return Err(format!(
+                    "--{name} needs a comma-separated list with no empty entries, got {value:?}"
+                ));
+            }
+            Ok(items)
+        }
+    }
+}
+
 /// Writes `contents` to `path` with a uniform error message.
 pub fn write_output(path: &str, contents: &str) -> Result<(), String> {
     std::fs::write(path, contents).map_err(|e| format!("write {path}: {e}"))
@@ -277,6 +345,8 @@ mod tests {
             ("client", "tiered"),
             ("scrape", "sample-ms"),
             ("top", "prom"),
+            ("route", "workers"),
+            ("reshard", "addr"),
         ] {
             let (_, flags) = parse_flags(&args(&[&format!("--{bad}"), "1"]));
             let err = reject_unknown_flags(cmd, &flags).unwrap_err();
@@ -340,6 +410,66 @@ mod tests {
         ] {
             let (_, flags) = parse_flags(&args(bad));
             assert!(u64_flag(&flags, "sample-ms", 1000).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn u16_flag_bounds_the_port_range() {
+        let (_, flags) = parse_flags(&args(&["--port", "0"]));
+        assert_eq!(u16_flag(&flags, "port", 7000).unwrap(), 0);
+        assert_eq!(u16_flag(&flags, "other", 7000).unwrap(), 7000);
+        for bad in [&["--port", "65536"][..], &["--port", "x"], &["--port"]] {
+            let (_, flags) = parse_flags(&args(bad));
+            assert!(u16_flag(&flags, "port", 0).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn opt_positive_u64_flag_distinguishes_absent_from_junk() {
+        let (_, flags) = parse_flags(&args(&["--conns-limit", "4"]));
+        assert_eq!(
+            opt_positive_u64_flag(&flags, "conns-limit").unwrap(),
+            Some(4)
+        );
+        assert_eq!(opt_positive_u64_flag(&flags, "drain").unwrap(), None);
+        for bad in [
+            &["--conns-limit", "0"][..],
+            &["--conns-limit", "x"],
+            &["--conns-limit"],
+        ] {
+            let (_, flags) = parse_flags(&args(bad));
+            let err = opt_positive_u64_flag(&flags, "conns-limit").unwrap_err();
+            assert!(err.contains("--conns-limit"), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn f64_flag_rejects_negatives_and_junk() {
+        let (_, flags) = parse_flags(&args(&["--rate", "50000.5"]));
+        assert_eq!(f64_flag(&flags, "rate", 0.0).unwrap(), 50000.5);
+        assert_eq!(f64_flag(&flags, "zipf", 1.0).unwrap(), 1.0);
+        for bad in [
+            &["--rate", "-1"][..],
+            &["--rate", "x"],
+            &["--rate", "inf"],
+            &["--rate"],
+        ] {
+            let (_, flags) = parse_flags(&args(bad));
+            assert!(f64_flag(&flags, "rate", 0.0).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn list_flag_splits_on_commas_and_rejects_empties() {
+        let (_, flags) = parse_flags(&args(&["--nodes", "127.0.0.1:1,127.0.0.1:2"]));
+        assert_eq!(
+            list_flag(&flags, "nodes").unwrap(),
+            vec!["127.0.0.1:1", "127.0.0.1:2"]
+        );
+        assert!(list_flag(&flags, "absent").unwrap().is_empty());
+        for bad in [&["--nodes", "a,,b"][..], &["--nodes", "a,"], &["--nodes"]] {
+            let (_, flags) = parse_flags(&args(bad));
+            assert!(list_flag(&flags, "nodes").is_err(), "{bad:?}");
         }
     }
 

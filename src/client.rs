@@ -4,18 +4,28 @@
 //! [`StorageClient`] speaks the write-wait-ack / read-wait-reply flow of
 //! [`fidr_nic::protocol`] over one TCP connection, reassembling server
 //! replies through its own [`fidr_nic::FramedCodec`].
+//! [`ClusterClient`] fans the same API out across a sharded serving
+//! fleet, routing every block through a [`ShardRouter`].
 //! [`run_traffic`] drives N concurrent connections of interleaved
 //! write/read/verify traffic against a server — the harness both the
-//! `fidr client` subcommand and the loopback CI smoke test use.
+//! `fidr client` subcommand and the loopback CI smoke test use —
+//! [`run_open_loop`] drives the multi-tenant Poisson/Zipf serving shape
+//! of [`fidr_workload::OpenLoopSchedule`], and [`run_verify`] re-reads
+//! everything such a schedule wrote, proving zero acked-write loss
+//! across topology changes.
 
 use bytes::Bytes;
 use fidr_chunk::Lba;
 use fidr_compress::ContentGenerator;
-use fidr_nic::protocol::{Message, ProtocolError, StatsFormat};
-use fidr_nic::FramedCodec;
+use fidr_nic::protocol::{Message, ProtocolError, ShardMapAction, StatsFormat};
+use fidr_nic::{FramedCodec, ShardRouter};
+use fidr_workload::{content_tag, OpenLoopKind, OpenLoopSchedule, OpenLoopSpec};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+use std::time::{Duration, Instant};
 
 /// Errors a client session can hit.
 #[derive(Debug)]
@@ -28,6 +38,17 @@ pub enum ClientError {
     Disconnected,
     /// A well-formed reply that does not answer the pending request.
     UnexpectedReply(Message),
+    /// A shard-map document that does not decode, or a ring with no
+    /// nodes to route to.
+    NoRoute(String),
+    /// Reads came back with contents that do not match what was
+    /// written ([`TrafficReport::ensure_verified`]).
+    VerifyFailed {
+        /// Reads whose payload was wrong.
+        failures: u64,
+        /// Total reads performed.
+        reads: u64,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -37,6 +58,12 @@ impl fmt::Display for ClientError {
             ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
             ClientError::Disconnected => write!(f, "server closed the connection"),
             ClientError::UnexpectedReply(m) => write!(f, "unexpected reply {m:?}"),
+            ClientError::NoRoute(why) => write!(f, "no route: {why}"),
+            ClientError::VerifyFailed { failures, reads } => write!(
+                f,
+                "VERIFY FAILED: {failures} of {reads} reads returned data that does not \
+                 match what was written"
+            ),
         }
     }
 }
@@ -127,6 +154,35 @@ impl StorageClient {
         }
     }
 
+    /// Sends a [`Message::ShardMapRequest`] and returns the node's
+    /// reply: its current map generation and encoded `fidr.shardmap.v1`
+    /// document. `map` must be empty for [`ShardMapAction::Get`] and an
+    /// encoded map for the install actions.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; a node refuses a bad or stale install by
+    /// closing the connection, which surfaces as
+    /// [`ClientError::Disconnected`].
+    pub fn shard_map(
+        &mut self,
+        action: ShardMapAction,
+        map: &str,
+    ) -> Result<(u64, String), ClientError> {
+        let frame = Message::ShardMapRequest {
+            action,
+            map: Bytes::from(map.to_string()),
+        }
+        .encode()?;
+        self.stream.write_all(&frame)?;
+        match self.recv()? {
+            Message::ShardMapReply { generation, map } => {
+                Ok((generation, String::from_utf8_lossy(&map).into_owned()))
+            }
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+
     /// Blocks until the next whole reply frame arrives.
     fn recv(&mut self) -> Result<Message, ClientError> {
         loop {
@@ -142,7 +198,162 @@ impl StorageClient {
     }
 }
 
-/// Outcome of one [`run_traffic`] drive.
+/// Reads a server's `--port-file`, retrying with backoff until the file
+/// exists *and* parses as a socket address, up to `timeout`.
+///
+/// The server side publishes the file atomically
+/// ([`crate::server::write_port_file`]), but a reader may still start
+/// before the file exists at all — and port files written by older
+/// servers can transiently be empty or partial — so the client side
+/// retries on *any* unreadable or unparsable contents rather than
+/// trusting its first glimpse.
+///
+/// # Errors
+///
+/// `TimedOut` when no parsable address appeared within `timeout`.
+pub fn read_port_file(path: &Path, timeout: Duration) -> std::io::Result<SocketAddr> {
+    let deadline = Instant::now() + timeout;
+    let mut backoff = Duration::from_millis(2);
+    loop {
+        if let Ok(contents) = std::fs::read_to_string(path) {
+            if let Ok(addr) = contents.trim().parse::<SocketAddr>() {
+                return Ok(addr);
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                format!(
+                    "no parsable address at {} within {timeout:?}",
+                    path.display()
+                ),
+            ));
+        }
+        std::thread::sleep(backoff);
+        backoff = (backoff * 2).min(Duration::from_millis(100));
+    }
+}
+
+/// The block-device face shared by [`StorageClient`] (one node) and
+/// [`ClusterClient`] (a sharded fleet): the traffic and verification
+/// harnesses drive either through this, which is how "fan-out vs
+/// single-node produce identical contents" gets tested with one code
+/// path.
+pub trait BlockDevice {
+    /// Writes `data` at `lba`, waiting for the acknowledgment.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    fn write_block(&mut self, lba: Lba, data: Bytes) -> Result<(), ClientError>;
+
+    /// Reads the block at `lba`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    fn read_block(&mut self, lba: Lba) -> Result<Vec<u8>, ClientError>;
+}
+
+impl BlockDevice for StorageClient {
+    fn write_block(&mut self, lba: Lba, data: Bytes) -> Result<(), ClientError> {
+        self.write(lba, data)
+    }
+
+    fn read_block(&mut self, lba: Lba) -> Result<Vec<u8>, ClientError> {
+        self.read(lba)
+    }
+}
+
+/// A sharded-fleet client: one connection per serving node, every
+/// block routed to its owner by a [`ShardRouter`]. The same
+/// write-wait-ack semantics as [`StorageClient`], fanned out.
+pub struct ClusterClient {
+    router: ShardRouter,
+    conns: BTreeMap<u64, StorageClient>,
+}
+
+impl ClusterClient {
+    /// Connects to every node in `router`'s map.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::NoRoute`] on an empty map; otherwise the first
+    /// connect failure.
+    pub fn connect(router: ShardRouter) -> Result<Self, ClientError> {
+        if router.nodes().is_empty() {
+            return Err(ClientError::NoRoute("shard map has no nodes".into()));
+        }
+        let mut conns = BTreeMap::new();
+        for node in router.nodes() {
+            let addr: SocketAddr = node
+                .addr
+                .parse()
+                .map_err(|_| ClientError::NoRoute(format!("bad node addr {}", node.addr)))?;
+            conns.insert(node.id, StorageClient::connect(addr)?);
+        }
+        Ok(ClusterClient { router, conns })
+    }
+
+    /// The routing map this client fans out over.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    fn conn_for(&mut self, lba: Lba) -> Result<&mut StorageClient, ClientError> {
+        let id = self
+            .router
+            .node_for_lba(lba)
+            .ok_or_else(|| ClientError::NoRoute("empty ring".into()))?
+            .id;
+        self.conns
+            .get_mut(&id)
+            .ok_or_else(|| ClientError::NoRoute(format!("no connection to node {id}")))
+    }
+
+    /// Writes `data` at `lba` on the owning node (write-wait-ack).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn write(&mut self, lba: Lba, data: Bytes) -> Result<(), ClientError> {
+        self.conn_for(lba)?.write(lba, data)
+    }
+
+    /// Reads the block at `lba` from the owning node.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn read(&mut self, lba: Lba) -> Result<Vec<u8>, ClientError> {
+        self.conn_for(lba)?.read(lba)
+    }
+
+    /// Scrapes every node's live telemetry, keyed by node id.
+    ///
+    /// # Errors
+    ///
+    /// The first scrape failure.
+    pub fn scrape_all(&mut self, format: StatsFormat) -> Result<BTreeMap<u64, Bytes>, ClientError> {
+        let mut out = BTreeMap::new();
+        for (id, conn) in &mut self.conns {
+            out.insert(*id, conn.scrape(format)?);
+        }
+        Ok(out)
+    }
+}
+
+impl BlockDevice for ClusterClient {
+    fn write_block(&mut self, lba: Lba, data: Bytes) -> Result<(), ClientError> {
+        self.write(lba, data)
+    }
+
+    fn read_block(&mut self, lba: Lba) -> Result<Vec<u8>, ClientError> {
+        self.read(lba)
+    }
+}
+
+/// Outcome of one traffic or verification drive.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TrafficReport {
     /// Write ops acknowledged.
@@ -151,6 +362,35 @@ pub struct TrafficReport {
     pub reads: u64,
     /// Reads whose payload did not match what this client wrote there.
     pub verify_failures: u64,
+}
+
+impl TrafficReport {
+    /// Folds another report (a worker's, or another node's) into this
+    /// one.
+    pub fn merge(&mut self, other: TrafficReport) {
+        self.writes += other.writes;
+        self.reads += other.reads;
+        self.verify_failures += other.verify_failures;
+    }
+
+    /// Promotes verify failures from a counter to a hard error: returns
+    /// the report unchanged when every read verified, and
+    /// [`ClientError::VerifyFailed`] otherwise. Callers that exit on
+    /// `Err` — the `fidr client` subcommand does — therefore cannot
+    /// silently swallow corruption.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::VerifyFailed`] when `verify_failures > 0`.
+    pub fn ensure_verified(self) -> Result<TrafficReport, ClientError> {
+        if self.verify_failures > 0 {
+            return Err(ClientError::VerifyFailed {
+                failures: self.verify_failures,
+                reads: self.reads,
+            });
+        }
+        Ok(self)
+    }
 }
 
 /// Drives `conns` concurrent connections of interleaved write/read
@@ -176,7 +416,10 @@ pub fn run_traffic(
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for conn_id in 0..conns as u64 {
-            handles.push(scope.spawn(move || drive_connection(addr, conn_id, ops, seed)));
+            handles.push(scope.spawn(move || {
+                let mut client = StorageClient::connect(addr)?;
+                drive_device(&mut client, conn_id, ops, seed)
+            }));
         }
         for h in handles {
             joined.push(h.join().expect("client thread panicked"));
@@ -184,23 +427,57 @@ pub fn run_traffic(
     });
     let mut total = TrafficReport::default();
     for outcome in joined {
-        let report = outcome?;
-        total.writes += report.writes;
-        total.reads += report.reads;
-        total.verify_failures += report.verify_failures;
+        total.merge(outcome?);
     }
     Ok(total)
 }
 
-/// One connection's deterministic write/read/verify loop.
-fn drive_connection(
-    addr: SocketAddr,
+/// [`run_traffic`], fanned out across a sharded fleet: every worker
+/// routes each block through its own [`ClusterClient`] over `router`.
+/// The traffic shape (LBA ranges, contents, read-verify cadence) is
+/// *identical* to the single-node drive — only the routing differs — so
+/// reports and read-back contents are directly comparable.
+///
+/// # Errors
+///
+/// The first [`ClientError`] of any worker, after all workers finish or
+/// fail.
+pub fn run_cluster_traffic(
+    router: &ShardRouter,
+    conns: usize,
+    ops: usize,
+    seed: u64,
+) -> Result<TrafficReport, ClientError> {
+    let mut joined = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for conn_id in 0..conns as u64 {
+            let router = router.clone();
+            handles.push(scope.spawn(move || {
+                let mut client = ClusterClient::connect(router)?;
+                drive_device(&mut client, conn_id, ops, seed)
+            }));
+        }
+        for h in handles {
+            joined.push(h.join().expect("client thread panicked"));
+        }
+    });
+    let mut total = TrafficReport::default();
+    for outcome in joined {
+        total.merge(outcome?);
+    }
+    Ok(total)
+}
+
+/// One worker's deterministic write/read/verify loop, over any
+/// [`BlockDevice`] (a single node or a routed fleet).
+fn drive_device<D: BlockDevice>(
+    dev: &mut D,
     conn_id: u64,
     ops: usize,
     seed: u64,
 ) -> Result<TrafficReport, ClientError> {
     let gen = ContentGenerator::new(0.5);
-    let mut client = StorageClient::connect(addr)?;
     let mut report = TrafficReport::default();
     let base = conn_id * 1_000_000;
     // content_of keeps the tag space shared across connections so the
@@ -212,16 +489,147 @@ fn drive_connection(
         // verifies a previously written LBA; the rest write.
         if i % 3 == 2 && written > 0 {
             let j = (i.wrapping_mul(seed | 1)) % written;
-            let got = client.read(Lba(base + j))?;
+            let got = dev.read_block(Lba(base + j))?;
             report.reads += 1;
             if got != gen.chunk(content_of(j), 4096) {
                 report.verify_failures += 1;
             }
         } else {
             let data = Bytes::from(gen.chunk(content_of(written), 4096));
-            client.write(Lba(base + written), data)?;
+            dev.write_block(Lba(base + written), data)?;
             report.writes += 1;
             written += 1;
+        }
+    }
+    Ok(report)
+}
+
+/// The LBA of tenant `tenant`'s block at `offset` under the serving
+/// layout: tenant id in the high bits, matching the server's per-stream
+/// telemetry keying so per-stream rollups are per-tenant metrics.
+fn tenant_lba(tenant: u64, offset: u64, stream_shift: u32) -> Lba {
+    Lba((tenant << stream_shift) | offset)
+}
+
+/// Drives the open-loop, multi-tenant serving shape of
+/// [`OpenLoopSchedule`] across `conns` workers, each built by
+/// `factory` (a [`StorageClient`] for one node, a [`ClusterClient`]
+/// for a fleet).
+///
+/// Workers are **tenant-sticky** (`tenant % conns`), so each tenant's
+/// write→read order is preserved, and pace against a **global arrival
+/// clock**: op `i` is issued no earlier than the schedule's `i`-th
+/// arrival time regardless of when earlier ops completed — the
+/// open-loop property that keeps a slow server from slowing the
+/// offered load.
+///
+/// # Errors
+///
+/// The first [`ClientError`] of any worker (including device
+/// construction), after all workers finish or fail.
+pub fn run_open_loop<D, F>(
+    mut factory: F,
+    conns: usize,
+    spec: OpenLoopSpec,
+    stream_shift: u32,
+) -> Result<TrafficReport, ClientError>
+where
+    D: BlockDevice + Send,
+    F: FnMut() -> Result<D, ClientError>,
+{
+    let conns = conns.max(1);
+    let schedule = OpenLoopSchedule::generate(spec);
+    // Absolute arrival times (prefix sums of the inter-arrival gaps):
+    // the open-loop clock every worker paces against.
+    let mut arrivals = Vec::with_capacity(schedule.ops().len());
+    let mut t = 0u64;
+    for op in schedule.ops() {
+        t += op.delay_ns;
+        arrivals.push(t);
+    }
+    let mut devices = Vec::with_capacity(conns);
+    for _ in 0..conns {
+        devices.push(factory()?);
+    }
+    let seed = spec.seed;
+    let ops = schedule.ops();
+    let arrivals = &arrivals;
+    let mut joined: Vec<Result<TrafficReport, ClientError>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (worker, mut dev) in devices.into_iter().enumerate() {
+            handles.push(scope.spawn(move || {
+                let gen = ContentGenerator::new(0.5);
+                let start = Instant::now();
+                let mut report = TrafficReport::default();
+                for (i, op) in ops.iter().enumerate() {
+                    if op.tenant as usize % conns != worker {
+                        continue;
+                    }
+                    let due = Duration::from_nanos(arrivals[i]);
+                    let elapsed = start.elapsed();
+                    if due > elapsed {
+                        std::thread::sleep(due - elapsed);
+                    }
+                    match op.kind {
+                        OpenLoopKind::Write { offset } => {
+                            let tag = content_tag(seed, op.tenant, offset);
+                            let data = Bytes::from(gen.chunk(tag, 4096));
+                            dev.write_block(tenant_lba(op.tenant, offset, stream_shift), data)?;
+                            report.writes += 1;
+                        }
+                        OpenLoopKind::Read { offset } => {
+                            let got =
+                                dev.read_block(tenant_lba(op.tenant, offset, stream_shift))?;
+                            report.reads += 1;
+                            let tag = content_tag(seed, op.tenant, offset);
+                            if got != gen.chunk(tag, 4096) {
+                                report.verify_failures += 1;
+                            }
+                        }
+                    }
+                }
+                Ok(report)
+            }));
+        }
+        for h in handles {
+            joined.push(h.join().expect("open-loop worker panicked"));
+        }
+    });
+    let mut total = TrafficReport::default();
+    for outcome in joined {
+        total.merge(outcome?);
+    }
+    Ok(total)
+}
+
+/// Re-reads **every** block an [`OpenLoopSchedule`] run of `spec` wrote
+/// and verifies each byte-exactly, through any [`BlockDevice`]. Because
+/// the schedule is a pure function of the spec (offsets are append-only
+/// per tenant), this needs no record from the traffic run itself — it
+/// is the zero-acked-write-loss check the drain/handoff e2e leans on:
+/// run traffic, reshard, then `run_verify` through the *new* topology.
+///
+/// # Errors
+///
+/// The first [`ClientError`]; verification mismatches are counted in
+/// the report, not raised (callers chain
+/// [`TrafficReport::ensure_verified`]).
+pub fn run_verify<D: BlockDevice>(
+    dev: &mut D,
+    spec: OpenLoopSpec,
+    stream_shift: u32,
+) -> Result<TrafficReport, ClientError> {
+    let schedule = OpenLoopSchedule::generate(spec);
+    let gen = ContentGenerator::new(0.5);
+    let mut report = TrafficReport::default();
+    for (tenant, count) in schedule.writes_per_tenant() {
+        for offset in 0..count {
+            let got = dev.read_block(tenant_lba(tenant, offset, stream_shift))?;
+            report.reads += 1;
+            if got != gen.chunk(content_tag(spec.seed, tenant, offset), 4096) {
+                report.verify_failures += 1;
+            }
         }
     }
     Ok(report)

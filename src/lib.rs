@@ -33,6 +33,7 @@
 pub mod cli;
 pub mod client;
 pub mod experiment;
+pub mod router;
 pub mod server;
 
 /// The CIDR-extended baseline system (paper §2.3).

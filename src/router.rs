@@ -1,0 +1,364 @@
+//! The stateless `fidr route` front tier and the reshard orchestration
+//! behind `fidr reshard`.
+//!
+//! A [`Router`] is a thin proxy: it terminates client connections
+//! speaking the §6.2 wire protocol, routes every write/read to the
+//! owning node of its [`ShardRouter`] map (one backend
+//! [`ClusterClient`] per accepted connection, so backend ordering
+//! matches each client's issue order), and answers
+//! [`ShardMapAction::Get`] from its own map so clients can discover the
+//! topology. It holds **no storage state** — any number of front tiers
+//! can run side by side over the same map.
+//!
+//! Reshard is an orchestration op, not a proxy op: [`join_node`] /
+//! [`drain_node`] compute the next map generation and push it to the
+//! member nodes, whose own rehome-before-ack handling (see
+//! [`crate::server`]) guarantees zero acked-write loss. The front tier
+//! refuses Set/Drain frames by closing the connection — traffic must be
+//! quiesced (or pointed at a front tier holding the *new* map) before a
+//! reshard, and letting any client reshape the cluster mid-flight would
+//! break that.
+
+use crate::client::{ClientError, ClusterClient, StorageClient};
+use fidr_nic::protocol::{Message, ShardMapAction};
+use fidr_nic::{FramedCodec, ShardNode, ShardRouter};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Accept-loop poll cadence while idle (the listener is non-blocking so
+/// shutdown and conns-limit drain stay responsive).
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Configuration of one front-tier instance.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address; port 0 picks an ephemeral port (read it back with
+    /// [`RouterHandle::local_addr`]).
+    pub addr: SocketAddr,
+    /// The shard map to route by, fixed for this instance's lifetime —
+    /// after a reshard, start a front tier holding the new map.
+    pub router: ShardRouter,
+    /// Auto-drain: once this many connections have been accepted and
+    /// all of them closed, [`RouterHandle::wait`] returns. `None`
+    /// routes until [`RouterHandle::shutdown`].
+    pub conns_limit: Option<u64>,
+}
+
+/// What one front-tier instance did, returned by
+/// [`RouterHandle::wait`] / [`RouterHandle::shutdown`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterReport {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Writes routed to a backend node.
+    pub writes_routed: u64,
+    /// Reads routed to a backend node.
+    pub reads_routed: u64,
+    /// Shard-map Get requests answered from the local map.
+    pub map_gets: u64,
+    /// Connections closed on a protocol violation or backend failure.
+    pub conn_errors: u64,
+}
+
+/// Counters and the shutdown flag shared by the accept loop and every
+/// connection thread.
+struct RouterShared {
+    router: ShardRouter,
+    shutdown: AtomicBool,
+    connections: AtomicU64,
+    active: AtomicU64,
+    writes_routed: AtomicU64,
+    reads_routed: AtomicU64,
+    map_gets: AtomicU64,
+    conn_errors: AtomicU64,
+}
+
+/// The front tier. [`Router::spawn`] binds, starts the accept loop and
+/// returns a [`RouterHandle`].
+pub struct Router;
+
+/// Handle to a running [`Router`].
+pub struct RouterHandle {
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    accept_thread: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+}
+
+impl Router {
+    /// Binds `cfg.addr` and starts routing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure; `InvalidInput` on an empty map
+    /// (a front tier with nowhere to route is a misconfiguration, not
+    /// a server).
+    pub fn spawn(cfg: RouterConfig) -> std::io::Result<RouterHandle> {
+        if cfg.router.nodes().is_empty() {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                "shard map has no nodes to route to",
+            ));
+        }
+        let listener = TcpListener::bind(cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(RouterShared {
+            router: cfg.router,
+            shutdown: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            active: AtomicU64::new(0),
+            writes_routed: AtomicU64::new(0),
+            reads_routed: AtomicU64::new(0),
+            map_gets: AtomicU64::new(0),
+            conn_errors: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let conns_limit = cfg.conns_limit;
+        let accept_thread =
+            std::thread::spawn(move || accept_loop(&accept_shared, &listener, conns_limit));
+        Ok(RouterHandle {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+impl RouterHandle {
+    /// The bound address (the real port when spawned with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, waits for in-flight connections and returns the
+    /// final report.
+    pub fn shutdown(mut self) -> RouterReport {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.join()
+    }
+
+    /// Waits for the conns-limit drain (or a shutdown from another
+    /// handle path) and returns the final report.
+    pub fn wait(mut self) -> RouterReport {
+        self.join()
+    }
+
+    fn join(&mut self) -> RouterReport {
+        if let Some(t) = self.accept_thread.take() {
+            let conn_threads = t.join().expect("router accept thread panicked");
+            for c in conn_threads {
+                let _ = c.join();
+            }
+        }
+        let m = &self.shared;
+        RouterReport {
+            connections: m.connections.load(Ordering::Relaxed),
+            writes_routed: m.writes_routed.load(Ordering::Relaxed),
+            reads_routed: m.reads_routed.load(Ordering::Relaxed),
+            map_gets: m.map_gets.load(Ordering::Relaxed),
+            conn_errors: m.conn_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.join();
+    }
+}
+
+/// Accepts connections until shutdown (or until `conns_limit`
+/// connections were accepted *and* all of them finished). Mirrors the
+/// storage server's accept loop.
+fn accept_loop(
+    shared: &Arc<RouterShared>,
+    listener: &TcpListener,
+    conns_limit: Option<u64>,
+) -> Vec<JoinHandle<()>> {
+    let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        if let Some(limit) = conns_limit {
+            if shared.connections.load(Ordering::Relaxed) >= limit {
+                if shared.active.load(Ordering::Relaxed) == 0 {
+                    break;
+                }
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.connections.fetch_add(1, Ordering::Relaxed);
+                shared.active.fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(shared);
+                conn_threads.push(std::thread::spawn(move || {
+                    if serve_route_conn(&conn_shared, stream).is_err() {
+                        conn_shared.conn_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    conn_shared.active.fetch_sub(1, Ordering::Relaxed);
+                }));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    conn_threads
+}
+
+/// Serves one fronted connection: decode a frame, route it, relay the
+/// reply. Returns `Err` on anything that forced a non-clean close.
+fn serve_route_conn(shared: &Arc<RouterShared>, mut stream: TcpStream) -> Result<(), ClientError> {
+    stream.set_nodelay(true)?;
+    // One backend fan-out per fronted connection: replies come back on
+    // the connection that asked, in issue order.
+    let mut backend = ClusterClient::connect(shared.router.clone())?;
+    let mut codec = FramedCodec::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        let msg = loop {
+            match codec.next_frame() {
+                Ok(Some(msg)) => break msg,
+                Ok(None) => {}
+                Err(e) => return Err(e.into()),
+            }
+            let n = stream.read(&mut buf)?;
+            if n == 0 {
+                // Clean close only at a frame boundary.
+                return if codec.pending_bytes() == 0 {
+                    Ok(())
+                } else {
+                    Err(ClientError::Disconnected)
+                };
+            }
+            codec.feed(&buf[..n]);
+        };
+        let reply = match msg {
+            Message::Write { lba, data } => {
+                backend.write(lba, data)?;
+                shared.writes_routed.fetch_add(1, Ordering::Relaxed);
+                Message::WriteAck { lba }
+            }
+            Message::Read { lba } => {
+                let data = backend.read(lba)?;
+                shared.reads_routed.fetch_add(1, Ordering::Relaxed);
+                Message::ReadReply {
+                    lba,
+                    data: bytes::Bytes::from(data),
+                }
+            }
+            Message::ShardMapRequest {
+                action: ShardMapAction::Get,
+                ..
+            } => {
+                shared.map_gets.fetch_add(1, Ordering::Relaxed);
+                Message::ShardMapReply {
+                    generation: shared.router.generation(),
+                    map: bytes::Bytes::from(shared.router.encode()),
+                }
+            }
+            // Set/Drain reshape the cluster; the front tier refuses them
+            // (reshard is the orchestrator's job) by closing, exactly as
+            // a storage node refuses a stale install.
+            other => return Err(ClientError::UnexpectedReply(other)),
+        };
+        stream.write_all(&reply.encode()?)?;
+    }
+}
+
+/// Installs `map` on every one of its member nodes
+/// ([`ShardMapAction::Set`]), in id order. Each node rehomes any block
+/// the new map assigns elsewhere *before* acking, so when this returns
+/// every acked write lives on its new owner.
+///
+/// # Errors
+///
+/// The first connect or install failure; a node refusing the install
+/// (stale generation) surfaces as [`ClientError::Disconnected`].
+pub fn push_map(map: &ShardRouter) -> Result<(), ClientError> {
+    let doc = map.encode();
+    for node in map.nodes() {
+        let addr: SocketAddr = node
+            .addr
+            .parse()
+            .map_err(|_| ClientError::NoRoute(format!("bad node addr {}", node.addr)))?;
+        let mut conn = StorageClient::connect(addr)?;
+        conn.shard_map(ShardMapAction::Set, &doc)?;
+    }
+    Ok(())
+}
+
+/// Orchestrates a join: adds `node` to `current` (bumping the
+/// generation) and pushes the new map to **every** member, newcomer
+/// included. The old members rehome the keys the newcomer now owns as
+/// part of acking the install.
+///
+/// # Errors
+///
+/// [`ClientError::NoRoute`] on a duplicate id; otherwise the first
+/// push failure.
+pub fn join_node(current: &ShardRouter, node: ShardNode) -> Result<ShardRouter, ClientError> {
+    let mut next = current.clone();
+    next.join(node)
+        .map_err(|e| ClientError::NoRoute(e.to_string()))?;
+    push_map(&next)?;
+    Ok(next)
+}
+
+/// Orchestrates a departure with zero acked-write loss: computes the
+/// survivors' map, sends [`ShardMapAction::Drain`] to the departing
+/// node — which rehomes **all** its blocks to their new owners, acks,
+/// and then exits through the storage server's graceful-drain path —
+/// and finally pushes the new map to the survivors. Traffic must be
+/// quiesced (or already pointed at a front tier holding the new map)
+/// while this runs.
+///
+/// # Errors
+///
+/// [`ClientError::NoRoute`] on an unknown id; otherwise the first
+/// connect or install failure.
+pub fn drain_node(current: &ShardRouter, id: u64) -> Result<ShardRouter, ClientError> {
+    let mut next = current.clone();
+    let gone = next
+        .drain(id)
+        .map_err(|e| ClientError::NoRoute(e.to_string()))?;
+    let addr: SocketAddr = gone
+        .addr
+        .parse()
+        .map_err(|_| ClientError::NoRoute(format!("bad node addr {}", gone.addr)))?;
+    let mut departing = StorageClient::connect(addr)?;
+    departing.shard_map(ShardMapAction::Drain, &next.encode())?;
+    push_map(&next)?;
+    Ok(next)
+}
+
+/// Builds the deterministic bootstrap map over `addrs`: node ids are
+/// 1-based positions in the list, so the same `--nodes` list always
+/// derives the same map — which is what lets `fidr route`,
+/// `fidr client --nodes` and `fidr reshard` agree on a topology with
+/// no coordination service.
+///
+/// # Errors
+///
+/// [`ClientError::NoRoute`] on an empty list.
+pub fn map_from_addrs(addrs: &[String]) -> Result<ShardRouter, ClientError> {
+    if addrs.is_empty() {
+        return Err(ClientError::NoRoute("--nodes list is empty".into()));
+    }
+    let nodes = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| ShardNode {
+            id: i as u64 + 1,
+            addr: addr.clone(),
+        })
+        .collect();
+    ShardRouter::from_nodes(nodes).map_err(|e| ClientError::NoRoute(e.to_string()))
+}

@@ -42,17 +42,18 @@
 //! ```
 
 use bytes::Bytes;
-use fidr_core::{FidrConfig, FidrError, FidrSystem};
+use fidr_core::{FidrConfig, FidrError, FidrSystem, DEFAULT_STREAM_SHIFT};
 use fidr_metrics::{
     counter_delta, rate_per_sec, ratio, to_prometheus_text, Histogram, MetricsSnapshot,
     WindowedHistogram, TIMESERIES_SCHEMA_ID,
 };
-use fidr_nic::protocol::{Message, StatsFormat};
-use fidr_nic::FramedCodec;
+use fidr_nic::protocol::{Message, ShardMapAction, StatsFormat};
+use fidr_nic::{FramedCodec, ShardRouter};
 use fidr_tables::BUCKET_BYTES;
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -121,16 +122,24 @@ pub struct ServerConfig {
     /// is byte-identical whether it runs or not.
     pub sample_ms: u64,
     /// Stream id = `lba >> stream_shift` for the per-stream rollups;
-    /// matches [`fidr_core::TieredDedupConfig::stream_shift`]'s default
-    /// so `fidr top` and the tiered admission policy agree on what a
-    /// stream is.
+    /// [`fidr_core::DEFAULT_STREAM_SHIFT`] keeps it in lockstep with
+    /// [`fidr_core::TieredDedupConfig::stream_shift`] so `fidr top` and
+    /// the tiered admission policy agree on what a stream is.
     pub stream_shift: u32,
     /// Streams reported individually by a scrape; the rest (and any
     /// traffic past the 64-stream tracking cap) aggregate into `other`.
     pub top_streams: usize,
+    /// This node's stable identity in a cluster shard map; a
+    /// standalone server can leave the 0 default. Used to tell "mine"
+    /// from "must rehome" when a [`Message::ShardMapRequest`] installs
+    /// a new map.
+    pub node_id: u64,
     /// Test hook: injected wall-clock latency on the write path, for
     /// exercising slow-request exemplar capture deterministically.
     pub stall: Option<StallFault>,
+    /// Test hook: injected read-path corruption, for exercising the
+    /// client's verification (and its non-zero exit) deterministically.
+    pub corrupt: Option<CorruptFault>,
 }
 
 /// Injected wall-clock latency fault: every `every`-th write sleeps
@@ -144,6 +153,17 @@ pub struct StallFault {
     pub millis: u64,
 }
 
+/// Injected read-path corruption fault: every `every`-th read reply has
+/// its first payload byte flipped *after* the backend served it, as a
+/// bit-rotted wire or device would. The backend's own state stays
+/// intact; only the reply bytes lie. A test hook for proving client
+/// verification fails loudly.
+#[derive(Debug, Clone, Copy)]
+pub struct CorruptFault {
+    /// Corruption cadence (every Nth read; 0 disables).
+    pub every: u64,
+}
+
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
@@ -152,9 +172,11 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             conns_limit: None,
             sample_ms: 1000,
-            stream_shift: 22,
+            stream_shift: DEFAULT_STREAM_SHIFT,
             top_streams: 8,
+            node_id: 0,
             stall: None,
+            corrupt: None,
         }
     }
 }
@@ -176,8 +198,10 @@ struct ServerMetrics {
     ops_write: AtomicU64,
     ops_read: AtomicU64,
     ops_stats: AtomicU64,
+    ops_shardmap: AtomicU64,
     ops_failed: AtomicU64,
     scrub_idle: AtomicU64,
+    shard_rehome: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -211,8 +235,10 @@ impl ServerMetrics {
         out.set_counter("server.ops.write.count", c(&self.ops_write));
         out.set_counter("server.ops.read.count", c(&self.ops_read));
         out.set_counter("server.ops.stats.count", c(&self.ops_stats));
+        out.set_counter("server.ops.shardmap.count", c(&self.ops_shardmap));
         out.set_counter("server.ops.failed.count", c(&self.ops_failed));
         out.set_counter("server.scrub.idle.count", c(&self.scrub_idle));
+        out.set_counter("server.shard.rehome.count", c(&self.shard_rehome));
     }
 }
 
@@ -353,8 +379,16 @@ struct Shared {
     telemetry: Telemetry,
     stall: Option<StallFault>,
     stall_seq: AtomicU64,
+    corrupt: Option<CorruptFault>,
+    corrupt_seq: AtomicU64,
     shutdown: AtomicBool,
     queue_capacity: usize,
+    /// This node's id in the cluster map (0 for a standalone server).
+    node_id: u64,
+    /// The cluster shard map this node last installed; `None` until a
+    /// router pushes one (standalone servers never hold one). Lock order
+    /// where the system lock is also needed: system first, map second.
+    shard_map: Mutex<Option<ShardRouter>>,
     /// Frames admitted into the backend but not yet replied.
     inflight: Mutex<usize>,
     inflight_cv: Condvar,
@@ -412,15 +446,35 @@ impl Shared {
     }
 
     /// The full merged snapshot: backend pipeline metrics + `pool.*`
-    /// wall-clock counters + `server.*` counters. The one shape both
-    /// the drain export and the sampler observe.
+    /// wall-clock counters + `server.*` counters + per-stream rollups.
+    /// The one shape both the drain export and the sampler observe.
     fn merged_metrics(&self) -> MetricsSnapshot {
         let system = self.system.lock().expect("system lock");
         let mut out = system.metrics();
         system.export_pool_metrics(&mut out);
         drop(system);
         self.metrics.export(&mut out, self.queue_depth());
+        self.export_streams(&mut out);
         out
+    }
+
+    /// Per-stream (per-tenant) `server.stream.<id>.*` counters. Pure
+    /// event counts keyed by a BTreeMap, so the export is deterministic
+    /// — byte-stable across worker counts — as long as at most
+    /// [`MAX_TRACKED_STREAMS`] streams appear (beyond that, which
+    /// streams land in `other` depends on arrival order).
+    fn export_streams(&self, out: &mut MetricsSnapshot) {
+        let t = self.telemetry.inner.lock().expect("telemetry lock");
+        for (id, s) in &t.streams {
+            out.set_counter(&format!("server.stream.{id}.writes.count"), s.writes);
+            out.set_counter(&format!("server.stream.{id}.reads.count"), s.reads);
+            out.set_counter(&format!("server.stream.{id}.bytes"), s.bytes);
+        }
+        if t.overflow.ops() > 0 {
+            out.set_counter("server.stream.other.writes.count", t.overflow.writes);
+            out.set_counter("server.stream.other.reads.count", t.overflow.reads);
+            out.set_counter("server.stream.other.bytes", t.overflow.bytes);
+        }
     }
 
     /// Test hook: sleeps on every `every`-th write when a
@@ -431,6 +485,19 @@ impl Shared {
                 let n = self.stall_seq.fetch_add(1, Ordering::Relaxed) + 1;
                 if n.is_multiple_of(stall.every) {
                     std::thread::sleep(Duration::from_millis(stall.millis));
+                }
+            }
+        }
+    }
+
+    /// Test hook: flips the first byte of every `every`-th read reply
+    /// when a [`CorruptFault`] is armed.
+    fn maybe_corrupt(&self, data: &mut [u8]) {
+        if let Some(corrupt) = self.corrupt {
+            if corrupt.every > 0 && !data.is_empty() {
+                let n = self.corrupt_seq.fetch_add(1, Ordering::Relaxed) + 1;
+                if n.is_multiple_of(corrupt.every) {
+                    data[0] ^= 0xff;
                 }
             }
         }
@@ -502,31 +569,11 @@ impl Shared {
         let cur = self.merged_metrics();
         let mut t = self.telemetry.inner.lock().expect("telemetry lock");
         let now_ms = t.started.elapsed().as_millis().min(u64::MAX as u128) as u64;
-        let dt_ms = now_ms.saturating_sub(t.last_ms);
+        t.seq += 1;
+        let seq = t.seq;
         let empty = MetricsSnapshot::new();
         let prev = t.prev.as_ref().unwrap_or(&empty);
-        let writes = counter_delta(prev, &cur, "server.ops.write.count");
-        let reads = counter_delta(prev, &cur, "server.ops.read.count");
-        let rx_bytes = counter_delta(prev, &cur, "server.rx.bytes");
-        let tx_bytes = counter_delta(prev, &cur, "server.tx.bytes");
-        let hits = counter_delta(prev, &cur, "cache.hits.count");
-        let misses = counter_delta(prev, &cur, "cache.misses.count");
-        t.seq += 1;
-        let sample = TimeSample {
-            seq: t.seq,
-            t_ms: now_ms,
-            dt_ms,
-            writes,
-            reads,
-            rx_bytes,
-            tx_bytes,
-            ops_per_sec: rate_per_sec(writes + reads, dt_ms),
-            gbps: rate_per_sec(rx_bytes + tx_bytes, dt_ms) / 1e9,
-            hit_ratio: ratio(hits, hits + misses),
-            queue_depth: cur.gauge("server.queue.depth.count").unwrap_or(0.0) as u64,
-            dedup_ratio: cur.gauge("reduction.dedup.ratio").unwrap_or(0.0),
-            deferred: cur.counter("dedup.deferred.pending").unwrap_or(0),
-        };
+        let sample = build_sample(prev, &cur, seq, now_ms, t.last_ms);
         t.samples.push_back(sample);
         while t.samples.len() > SAMPLE_RING {
             t.samples.pop_front();
@@ -708,6 +755,45 @@ impl Shared {
     }
 }
 
+/// Builds one sampler ring entry from consecutive merged snapshots.
+///
+/// A pure function of its inputs so the degenerate cases are unit
+/// testable: coarse clocks can deliver `now_ms == last_ms` (two ticks
+/// inside one millisecond tick of the OS clock), and a zero-width
+/// window would zero every rate the sample carries. The window is
+/// therefore clamped to the clock's 1 ms resolution — the delta really
+/// did take *at most* that long.
+fn build_sample(
+    prev: &MetricsSnapshot,
+    cur: &MetricsSnapshot,
+    seq: u64,
+    now_ms: u64,
+    last_ms: u64,
+) -> TimeSample {
+    let dt_ms = now_ms.saturating_sub(last_ms).max(1);
+    let writes = counter_delta(prev, cur, "server.ops.write.count");
+    let reads = counter_delta(prev, cur, "server.ops.read.count");
+    let rx_bytes = counter_delta(prev, cur, "server.rx.bytes");
+    let tx_bytes = counter_delta(prev, cur, "server.tx.bytes");
+    let hits = counter_delta(prev, cur, "cache.hits.count");
+    let misses = counter_delta(prev, cur, "cache.misses.count");
+    TimeSample {
+        seq,
+        t_ms: now_ms,
+        dt_ms,
+        writes,
+        reads,
+        rx_bytes,
+        tx_bytes,
+        ops_per_sec: rate_per_sec(writes + reads, dt_ms),
+        gbps: rate_per_sec(rx_bytes + tx_bytes, dt_ms) / 1e9,
+        hit_ratio: ratio(hits, hits + misses),
+        queue_depth: cur.gauge("server.queue.depth.count").unwrap_or(0.0) as u64,
+        dedup_ratio: cur.gauge("reduction.dedup.ratio").unwrap_or(0.0),
+        deferred: cur.counter("dedup.deferred.pending").unwrap_or(0),
+    }
+}
+
 /// Formats an `f64` for the timeseries JSON: finite `Display` output
 /// (never an exponent), 0.0 for non-finite values so the document
 /// always parses.
@@ -719,6 +805,25 @@ fn jf(v: f64) -> String {
     } else {
         format!("{s}.0")
     }
+}
+
+/// Atomically publishes a server's bound address to `path`.
+///
+/// The bytes land in a same-directory temp file first and reach `path`
+/// only via `rename(2)`, so a reader polling the path can never observe
+/// a partially written or empty file — it either does not exist yet or
+/// holds the whole `host:port\n` line. (The client side still retries
+/// on unparsable contents, for port files written by older servers.)
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem errors.
+pub fn write_port_file(path: &Path, addr: SocketAddr) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(format!(".{}.tmp", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, format!("{addr}\n"))?;
+    std::fs::rename(&tmp, path)
 }
 
 /// The serving front end. [`Server::spawn`] binds, starts the accept
@@ -753,8 +858,12 @@ impl Server {
             telemetry: Telemetry::new(&cfg),
             stall: cfg.stall,
             stall_seq: AtomicU64::new(0),
+            corrupt: cfg.corrupt,
+            corrupt_seq: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             queue_capacity: cfg.queue_capacity.max(1),
+            node_id: cfg.node_id,
+            shard_map: Mutex::new(None),
             inflight: Mutex::new(0),
             inflight_cv: Condvar::new(),
         });
@@ -942,6 +1051,7 @@ fn serve_connection_inner(shared: &Arc<Shared>, stream: &mut TcpStream) -> ConnE
 /// shared system and writes the reply. Returns `false` when the
 /// connection must close (semantic violation, backend error, dead peer).
 fn serve_frame(shared: &Arc<Shared>, stream: &mut TcpStream, msg: Message) -> bool {
+    let mut drain_after = false;
     let reply = match msg {
         Message::Write { lba, data } => {
             let started = Instant::now();
@@ -971,9 +1081,10 @@ fn serve_frame(shared: &Arc<Shared>, stream: &mut TcpStream, msg: Message) -> bo
             };
             shared.release();
             match outcome {
-                Ok(data) => {
+                Ok(mut data) => {
                     shared.metrics.ops_read.fetch_add(1, Ordering::Relaxed);
                     shared.record_op("read", lba.0, data.len() as u64, started.elapsed());
+                    shared.maybe_corrupt(&mut data);
                     Message::ReadReply {
                         lba,
                         data: Bytes::from(data),
@@ -995,9 +1106,28 @@ fn serve_frame(shared: &Arc<Shared>, stream: &mut TcpStream, msg: Message) -> bo
                 body: Bytes::from(shared.stats_body(format)),
             }
         }
+        // Cluster membership: fetch / install / drain-with-handoff
+        // against this node's shard map. Served outside the admission
+        // queue like a stats scrape, but an *install* takes the system
+        // lock while it rehomes blocks.
+        Message::ShardMapRequest { action, map } => {
+            shared.metrics.ops_shardmap.fetch_add(1, Ordering::Relaxed);
+            match serve_shard_map(shared, action, &map) {
+                Some(reply) => {
+                    drain_after = action == ShardMapAction::Drain;
+                    reply
+                }
+                // Undecodable / stale / inconsistent map: refuse by
+                // closing; the router treats no-ack as failure.
+                None => return false,
+            }
+        }
         // Server-only opcodes arriving *at* the server are a semantic
         // violation even though they framed correctly.
-        Message::WriteAck { .. } | Message::ReadReply { .. } | Message::StatsReply { .. } => {
+        Message::WriteAck { .. }
+        | Message::ReadReply { .. }
+        | Message::StatsReply { .. }
+        | Message::ShardMapReply { .. } => {
             shared
                 .metrics
                 .frames_unexpected
@@ -1018,7 +1148,119 @@ fn serve_frame(shared: &Arc<Shared>, stream: &mut TcpStream, msg: Message) -> bo
         .metrics
         .tx_bytes
         .fetch_add(frame.len() as u64, Ordering::Relaxed);
+    if drain_after {
+        // The handoff is acked; ride the existing graceful-drain path
+        // (accept loop stops, connections wind down, handle.wait()
+        // flushes and exports).
+        shared.shutdown.store(true, Ordering::Relaxed);
+    }
     true
+}
+
+/// Serves one [`Message::ShardMapRequest`]. Returns the reply to send,
+/// or `None` when the request must be refused (bad document, stale
+/// generation, or a drain map that still lists this node).
+fn serve_shard_map(shared: &Arc<Shared>, action: ShardMapAction, map: &[u8]) -> Option<Message> {
+    let current_reply = |held: &Option<ShardRouter>| {
+        let (generation, doc) = match held {
+            Some(m) => (m.generation(), m.encode()),
+            // No map installed: answer with an empty generation-0
+            // document so a Get against a standalone node is well-formed.
+            None => {
+                let empty = ShardRouter::new(fidr_nic::shard::DEFAULT_VNODES)
+                    .expect("default vnodes is nonzero");
+                (0, empty.encode())
+            }
+        };
+        Message::ShardMapReply {
+            generation,
+            map: Bytes::from(doc),
+        }
+    };
+    if action == ShardMapAction::Get {
+        let held = shared.shard_map.lock().expect("shard map lock");
+        return Some(current_reply(&held));
+    }
+    let text = std::str::from_utf8(map).ok()?;
+    let incoming = ShardRouter::decode(text).ok()?;
+    {
+        let held = shared.shard_map.lock().expect("shard map lock");
+        if let Some(cur) = held.as_ref() {
+            // Never step a node's view of the cluster backwards.
+            if incoming.generation() < cur.generation() {
+                return None;
+            }
+        }
+    }
+    // A drain means "you are out": the new map must not list us.
+    if action == ShardMapAction::Drain && incoming.node(shared.node_id).is_some() {
+        return None;
+    }
+    // Rehome before installing or acking: when the ack reaches the
+    // router every block this node must give up is already durable —
+    // and acked — at its new owner. Zero acked-write loss.
+    if rehome_blocks(shared, &incoming).is_err() {
+        return None;
+    }
+    let mut held = shared.shard_map.lock().expect("shard map lock");
+    *held = Some(incoming);
+    Some(current_reply(&held))
+}
+
+/// Pushes every resident block this node no longer owns under `map` to
+/// its new owner, as ordinary acked writes over the wire. Blocks whose
+/// owner is still this node stay put; the local copies of moved blocks
+/// also stay (the protocol has no delete — they are simply no longer
+/// routed here). Returns the number of blocks moved.
+///
+/// Traffic to this node is assumed quiesced by the router (it removes
+/// the node from the routing map before issuing the install), so the
+/// enumerate-read-forward sequence cannot race new writes.
+fn rehome_blocks(shared: &Arc<Shared>, map: &ShardRouter) -> Result<u64, FidrError> {
+    // Collect the moved blocks under the system lock...
+    let mut outbound: Vec<(fidr_chunk::Lba, String, Vec<u8>)> = Vec::new();
+    {
+        let mut system = shared.system.lock().expect("system lock");
+        // Writes batched in the NIC buffer (and deferred-dedup debt)
+        // have not reached the LBA map yet; flush first so the
+        // enumeration below sees *every* acked write.
+        system.flush()?;
+        for lba in system.mapped_lbas() {
+            let owner = match map.node_for_lba(lba) {
+                Some(node) => node,
+                // Empty map (last node leaving): nowhere to hand off.
+                None => continue,
+            };
+            if owner.id == shared.node_id {
+                continue;
+            }
+            let addr = owner.addr.clone();
+            let data = system.read(lba)?;
+            outbound.push((lba, addr, data));
+        }
+    }
+    // ...then forward them with the lock dropped, one connection per
+    // destination, in LBA order (mapped_lbas is sorted), waiting for
+    // each ack.
+    let mut conns: BTreeMap<String, crate::client::StorageClient> = BTreeMap::new();
+    let moved = outbound.len() as u64;
+    for (lba, addr, data) in outbound {
+        let io = |e: crate::client::ClientError| FidrError::Io(format!("rehome to {addr}: {e}"));
+        if !conns.contains_key(&addr) {
+            let sock: SocketAddr = addr
+                .parse()
+                .map_err(|_| FidrError::Io(format!("rehome: bad node addr {addr}")))?;
+            let client = crate::client::StorageClient::connect(sock).map_err(io)?;
+            conns.insert(addr.clone(), client);
+        }
+        let conn = conns.get_mut(&addr).expect("just inserted");
+        conn.write(lba, Bytes::from(data)).map_err(io)?;
+    }
+    shared
+        .metrics
+        .shard_rehome
+        .fetch_add(moved, Ordering::Relaxed);
+    Ok(moved)
 }
 
 /// Applies one write frame: a single 4-KiB chunk goes through
@@ -1102,6 +1344,7 @@ impl ServerHandle {
         self.shared
             .metrics
             .export(&mut out, self.shared.queue_depth());
+        self.shared.export_streams(&mut out);
         Ok(out)
     }
 }
@@ -1121,5 +1364,68 @@ impl Drop for ServerHandle {
         if let Some(sampler) = self.sampler_thread.take() {
             let _ = sampler.join();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression test for the zero-width sampler window: under a
+    /// coarse clock two ticks can land in the same millisecond
+    /// (`now_ms == last_ms`), and the pre-fix
+    /// `now_ms.saturating_sub(last_ms)` then zeroed `dt_ms`, which
+    /// zeroed every rate in the sample. The window must clamp to the
+    /// clock's 1 ms resolution instead.
+    #[test]
+    fn degenerate_sampler_tick_clamps_to_one_millisecond() {
+        let prev = MetricsSnapshot::new();
+        let mut cur = MetricsSnapshot::new();
+        cur.set_counter("server.ops.write.count", 500);
+        cur.set_counter("server.rx.bytes", 1_000_000);
+        let s = build_sample(&prev, &cur, 1, 1234, 1234);
+        assert_eq!(s.dt_ms, 1, "zero-width window must clamp to 1 ms");
+        assert_eq!(s.writes, 500);
+        // 500 ops in (at most) 1 ms is 500k ops/s — not zero, not NaN.
+        assert_eq!(s.ops_per_sec, 500_000.0);
+        assert!(s.gbps > 0.0);
+        // A clock running backwards (suspend/resume) degenerates the
+        // same way.
+        assert_eq!(build_sample(&prev, &cur, 2, 100, 200).dt_ms, 1);
+        // An ordinary tick is untouched.
+        assert_eq!(build_sample(&prev, &cur, 3, 2000, 1000).dt_ms, 1000);
+    }
+
+    /// Regression test for the port-file handoff race: the address must
+    /// appear at the final path atomically (write + rename), so a
+    /// polling reader can never see a partial or empty file.
+    #[test]
+    fn port_file_appears_atomically_and_parses() {
+        let dir = std::env::temp_dir().join(format!("fidr-portfile-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("server.port");
+        let addr: SocketAddr = "127.0.0.1:4567".parse().unwrap();
+        write_port_file(&path, addr).unwrap();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents, "127.0.0.1:4567\n");
+        assert_eq!(contents.trim().parse::<SocketAddr>().unwrap(), addr);
+        // Republishing (a restarted server reusing the path) replaces
+        // the file whole, and leaves no temp droppings behind.
+        let addr2: SocketAddr = "127.0.0.1:8901".parse().unwrap();
+        write_port_file(&path, addr2).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap().trim(),
+            "127.0.0.1:8901"
+        );
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n != "server.port")
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
