@@ -21,8 +21,8 @@ use fidr_metrics::{Histogram, MetricsSnapshot};
 use fidr_pool::WorkerPool;
 use fidr_ssd::{DataSsdArray, QueueLocation, TableSsd};
 use fidr_tables::{
-    ContainerBuilder, ContainerLiveness, GcReport, HashPbnStore, LbaPbaTable, PbnLocation,
-    ReductionStats, Snapshot, BUCKET_BYTES,
+    BucketInsertError, ContainerBuilder, ContainerLiveness, GcReport, HashPbnStore, LbaPbaTable,
+    PbnLocation, ReductionStats, Snapshot, BUCKET_BYTES,
 };
 use fidr_trace::{SpanToken, TraceConfig, Tracer};
 use std::collections::HashMap;
@@ -169,12 +169,22 @@ pub struct BaselineSystem {
     write_ns: Histogram,
     /// End-to-end wall-clock time per client read (all outcomes).
     read_ns: Histogram,
+    /// End-to-end wall-clock time per client delete (all outcomes).
+    delete_ns: Histogram,
+    /// Client deletes acknowledged (the LBA was mapped; it no longer is).
+    deletes_acked: u64,
+    /// Garbage-collection passes run over this system's lifetime.
+    gc_runs: u64,
+    /// Cumulative outcome of every collection pass (for `gc.*` metrics).
+    gc_total: GcReport,
     /// Shared fault injector armed into the device models.
     faults: FaultInjector,
     /// Client-write failures by [`SystemError::kind`].
     write_errors: HashMap<&'static str, u64>,
     /// Client-read failures by [`SystemError::kind`].
     read_errors: HashMap<&'static str, u64>,
+    /// Client-delete failures by [`SystemError::kind`].
+    delete_errors: HashMap<&'static str, u64>,
     /// Modelled (not slept) backoff spent re-reading mismatched chunks.
     recovery_backoff_ns: Histogram,
     /// Checksum mismatches detected on the read path.
@@ -235,9 +245,14 @@ impl BaselineSystem {
             compress_raw_chunks: 0,
             write_ns: Histogram::new(),
             read_ns: Histogram::new(),
+            delete_ns: Histogram::new(),
+            deletes_acked: 0,
+            gc_runs: 0,
+            gc_total: GcReport::default(),
             faults,
             write_errors: HashMap::new(),
             read_errors: HashMap::new(),
+            delete_errors: HashMap::new(),
             recovery_backoff_ns: Histogram::new(),
             read_repair_detected: 0,
             read_repair_rereads: 0,
@@ -524,7 +539,13 @@ impl BaselineSystem {
             self.cache
                 .bucket_mut(line)
                 .insert(fingerprint, pbn)
-                .map_err(|_| SystemError::TableFull)?;
+                .map_err(|e| match e {
+                    BucketInsertError::Full => SystemError::TableFull,
+                    // Duplicates are screened by the lookup above and PBNs
+                    // are allocated sequentially far below the 6-byte
+                    // ceiling, so anything else is state corruption.
+                    other => SystemError::Corrupt(other.to_string()),
+                })?;
             self.ledger
                 .charge_cpu(CpuTask::TreeIndexing, self.cfg.cost.tree_update_cycles);
 
@@ -580,6 +601,47 @@ impl BaselineSystem {
             }
             self.dead.push(dead);
         }
+    }
+
+    /// Deletes one 4-KB client block: unmaps the LBA, releases its
+    /// reference on the shared chunk, and — when that was the last
+    /// reference — queues the chunk for the next
+    /// [`collect_garbage`](BaselineSystem::collect_garbage) pass. The
+    /// chunk stays readable through other LBAs that still reference it.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::NotMapped`] if the LBA holds no current mapping.
+    pub fn delete(&mut self, lba: Lba) -> Result<(), SystemError> {
+        let started = Instant::now();
+        let op = self.tracer.begin("delete");
+        self.tracer.attr(op, "lba", lba.0);
+        let out = self.delete_inner(lba);
+        if let Err(e) = &out {
+            self.tracer.attr(op, "error", e.kind());
+        }
+        self.tracer.end(op);
+        self.delete_ns.record_duration(started.elapsed());
+        if let Err(e) = &out {
+            *self.delete_errors.entry(e.kind()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    fn delete_inner(&mut self, lba: Lba) -> Result<(), SystemError> {
+        let cost = self.cfg.cost;
+        self.ledger
+            .charge_cpu(CpuTask::NicDriver, cost.nic_driver_cycles_per_chunk);
+        self.ledger.charge_cpu(CpuTask::LbaMap, cost.lba_map_cycles);
+        let pbn = self.lba_map.unmap(lba).ok_or(SystemError::NotMapped(lba))?;
+        if self.lba_map.refcount(pbn) == 0 {
+            if let Some(loc) = self.lba_map.location(pbn) {
+                self.liveness.record_dead(loc.container);
+            }
+            self.dead.push(pbn);
+        }
+        self.deletes_acked += 1;
+        Ok(())
     }
 
     /// Garbage collection for the baseline: the same two phases as FIDR's
@@ -655,6 +717,7 @@ impl BaselineSystem {
                     MemPath::FpgaStaging,
                     compressed.stored_len() as u64,
                 );
+                report.copied_bytes += compressed.stored_len() as u64;
 
                 let slot = self.builder.append(&compressed);
                 self.staging.insert(slot.offset, data);
@@ -682,12 +745,24 @@ impl BaselineSystem {
             self.liveness.remove(container);
             report.compacted_containers += 1;
         }
+        self.gc_runs += 1;
+        self.gc_total.absorb(report);
         Ok(report)
     }
 
     /// Dead chunks queued for the next collection pass.
     pub fn pending_dead_chunks(&self) -> usize {
         self.dead.len()
+    }
+
+    /// Client deletes acknowledged over this system's lifetime.
+    pub fn deletes_acked(&self) -> u64 {
+        self.deletes_acked
+    }
+
+    /// Cumulative outcome of every garbage-collection pass so far.
+    pub fn gc_totals(&self) -> GcReport {
+        self.gc_total
     }
 
     /// Splits a multi-chunk client write into 4-KB chunks and writes
@@ -1063,6 +1138,26 @@ impl BaselineSystem {
         for (kind, n) in &self.read_errors {
             out.set_counter(&format!("system.read.errors.{kind}"), *n);
         }
+        for (kind, n) in &self.delete_errors {
+            out.set_counter(&format!("system.delete.errors.{kind}"), *n);
+        }
+        // Lifecycle counters appear only once a delete or a GC pass has
+        // actually happened, so stores that never delete export
+        // byte-identically to pre-lifecycle revisions.
+        if self.deletes_acked > 0 || self.gc_runs > 0 {
+            out.set_wall_clock_histogram("system.delete.ns", &self.delete_ns);
+            out.set_counter("delete.acked.count", self.deletes_acked);
+            out.set_counter("delete.pending_dead.count", self.dead.len() as u64);
+            out.set_counter("gc.runs.count", self.gc_runs);
+            out.set_counter("gc.reclaimed_pbns.count", self.gc_total.reclaimed_pbns);
+            out.set_counter(
+                "gc.compacted_containers.count",
+                self.gc_total.compacted_containers,
+            );
+            out.set_counter("gc.moved_chunks.count", self.gc_total.moved_chunks);
+            out.set_counter("gc.copied_bytes", self.gc_total.copied_bytes);
+            out.set_counter("gc.reclaimed_bytes", self.gc_total.freed_bytes);
+        }
         let p = self.predictor.stats();
         out.set_counter("predictor.predictions.count", p.predictions);
         out.set_counter("predictor.predicted_unique.count", p.predicted_unique);
@@ -1318,6 +1413,50 @@ mod tests {
     fn read_of_unwritten_errors() {
         let mut s = sys();
         assert!(matches!(s.read(Lba(77)), Err(SystemError::NotMapped(_))));
+    }
+
+    #[test]
+    fn delete_unmaps_and_gc_reclaims_the_space() {
+        let mut s = sys();
+        for i in 0..64u64 {
+            s.write(Lba(i), chunk(i)).unwrap();
+        }
+        s.flush().unwrap();
+        for i in 0..56u64 {
+            s.delete(Lba(i)).unwrap();
+        }
+        assert_eq!(s.deletes_acked(), 56);
+        assert_eq!(s.pending_dead_chunks(), 56);
+        assert!(matches!(s.read(Lba(0)), Err(SystemError::NotMapped(_))));
+        assert!(matches!(s.delete(Lba(0)), Err(SystemError::NotMapped(_))));
+
+        let report = s.collect_garbage(0.5).unwrap();
+        assert_eq!(report.reclaimed_pbns, 56);
+        assert!(report.freed_bytes > 0, "{report:?}");
+        assert_eq!(s.gc_totals().freed_bytes, report.freed_bytes);
+        for i in 56..64u64 {
+            assert_eq!(s.read(Lba(i)).unwrap(), chunk(i).to_vec(), "LBA {i}");
+        }
+        // Lifecycle metrics appear only after activity (they did).
+        let json = s.metrics().to_json();
+        assert!(json.contains("\"delete.acked.count\""));
+        assert!(json.contains("\"gc.reclaimed_bytes\""));
+        assert!(!sys().metrics().to_json().contains("gc."), "fresh system");
+    }
+
+    #[test]
+    fn delete_of_shared_chunk_keeps_other_references_readable() {
+        let mut s = sys();
+        let data = chunk(9);
+        s.write(Lba(1), data.clone()).unwrap();
+        s.write(Lba(2), data.clone()).unwrap();
+        s.delete(Lba(1)).unwrap();
+        assert_eq!(s.pending_dead_chunks(), 0);
+        assert_eq!(s.collect_garbage(1.1).unwrap().reclaimed_pbns, 0);
+        assert_eq!(s.read(Lba(2)).unwrap(), data.to_vec());
+        s.delete(Lba(2)).unwrap();
+        assert_eq!(s.pending_dead_chunks(), 1);
+        assert_eq!(s.collect_garbage(1.1).unwrap().reclaimed_pbns, 1);
     }
 
     #[test]

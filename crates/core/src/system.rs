@@ -31,8 +31,8 @@ use fidr_nic::{FidrNic, HashedChunk, NicStats};
 use fidr_pool::{PoolStats, WorkerPool};
 use fidr_ssd::{DataSsdArray, QueueLocation, TableSsd};
 use fidr_tables::{
-    ContainerBuilder, ContainerLiveness, GcReport, LbaPbaTable, PbnLocation, ReductionStats,
-    BUCKET_BYTES,
+    BucketInsertError, ContainerBuilder, ContainerLiveness, GcReport, LbaPbaTable, PbnLocation,
+    ReductionStats, BUCKET_BYTES,
 };
 use fidr_trace::{SpanToken, TraceConfig, Tracer};
 use std::collections::{HashMap, VecDeque};
@@ -301,6 +301,14 @@ pub struct FidrSystem {
     write_ns: Histogram,
     /// End-to-end wall-clock time per client read (all outcomes).
     read_ns: Histogram,
+    /// End-to-end wall-clock time per client delete (all outcomes).
+    delete_ns: Histogram,
+    /// Client deletes acknowledged (the LBA was mapped; it no longer is).
+    deletes_acked: u64,
+    /// Garbage-collection passes run over this system's lifetime.
+    gc_runs: u64,
+    /// Cumulative outcome of every collection pass (for `gc.*` metrics).
+    gc_total: GcReport,
     /// Shared fault injector armed into every device model.
     faults: FaultInjector,
     /// Cache counters carried over from a retired (degraded) HW backend.
@@ -312,6 +320,8 @@ pub struct FidrSystem {
     write_errors: HashMap<&'static str, u64>,
     /// Client-read failures by [`FidrError::kind`].
     read_errors: HashMap<&'static str, u64>,
+    /// Client-delete failures by [`FidrError::kind`].
+    delete_errors: HashMap<&'static str, u64>,
     /// Backlog-drain rounds forced by NIC buffer pressure.
     nic_drain_rounds: u64,
     /// Modelled (not slept) backoff spent on system-level recovery:
@@ -399,11 +409,16 @@ impl FidrSystem {
             compress_raw_chunks: 0,
             write_ns: Histogram::new(),
             read_ns: Histogram::new(),
+            delete_ns: Histogram::new(),
+            deletes_acked: 0,
+            gc_runs: 0,
+            gc_total: GcReport::default(),
             faults,
             carry_cache_stats: CacheStats::default(),
             retired_hw: None,
             write_errors: HashMap::new(),
             read_errors: HashMap::new(),
+            delete_errors: HashMap::new(),
             nic_drain_rounds: 0,
             recovery_backoff_ns: Histogram::new(),
             read_repair_detected: 0,
@@ -655,6 +670,61 @@ impl FidrSystem {
             self.write(chunk.lba, chunk.data)?;
         }
         Ok(n)
+    }
+
+    /// Deletes one 4-KB client block: unmaps the LBA, releases its
+    /// reference on the shared chunk, and — when that was the last
+    /// reference — queues the chunk for the next
+    /// [`collect_garbage`](FidrSystem::collect_garbage) pass. The chunk's
+    /// bytes stay readable through other LBAs that still reference it.
+    ///
+    /// # Errors
+    ///
+    /// [`FidrError::NotMapped`] if the LBA holds no current mapping, or a
+    /// propagated backend error if draining a NIC-buffered write of the
+    /// same LBA fails.
+    pub fn delete(&mut self, lba: Lba) -> Result<(), FidrError> {
+        let started = Instant::now();
+        let op = self.tracer.begin("delete");
+        self.tracer.attr(op, "lba", lba.0);
+        let out = self.delete_inner(lba);
+        if let Err(e) = &out {
+            self.tracer.attr(op, "error", e.kind());
+        }
+        self.tracer.end(op);
+        self.delete_ns.record_duration(started.elapsed());
+        if let Err(e) = &out {
+            *self.delete_errors.entry(e.kind()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    fn delete_inner(&mut self, lba: Lba) -> Result<(), FidrError> {
+        // A delete must order behind any acked-but-unprocessed write of
+        // the same LBA sitting in the NIC buffer: drain the backlog so
+        // the mapping exists before we tear it down. (Deferred cold-tier
+        // writes need no special handling — unmapping drops the
+        // provisional PBN's refcount to zero, which the scrubber's stale
+        // filter already discards.)
+        if self.nic.lookup_read(lba).is_some() {
+            while self.nic.pending_len() > 0 {
+                self.process_batch()?;
+            }
+        }
+        let cost = self.cfg.cost;
+        self.ledger
+            .charge_cpu(CpuTask::NicDriver, cost.nic_driver_cycles_per_chunk);
+        self.ledger.charge_cpu(CpuTask::LbaMap, cost.lba_map_cycles);
+        self.hot_cache.invalidate(lba);
+        let pbn = self.lba_map.unmap(lba).ok_or(FidrError::NotMapped(lba))?;
+        if self.lba_map.refcount(pbn) == 0 {
+            if let Some(loc) = self.lba_map.location(pbn) {
+                self.liveness.record_dead(loc.container);
+            }
+            self.dead.push(pbn);
+        }
+        self.deletes_acked += 1;
+        Ok(())
     }
 
     /// Reads `chunks` consecutive blocks starting at `start` and returns
@@ -1158,7 +1228,13 @@ impl FidrSystem {
         self.cache
             .bucket_mut(access.line)
             .insert(chunk.fingerprint, pbn)
-            .map_err(|_| FidrError::TableFull)?;
+            .map_err(|e| match e {
+                BucketInsertError::Full => FidrError::TableFull,
+                // Duplicate fingerprints are screened by the lookup above
+                // and PBNs are allocated sequentially well below the
+                // 6-byte ceiling, so anything else is state corruption.
+                other => FidrError::Corrupt(other.to_string()),
+            })?;
 
         // Step 8: metadata (compressed size, LBA) to the host.
         ops::dma_to_host(
@@ -1576,22 +1652,34 @@ impl FidrSystem {
         let cost = self.cfg.cost;
         let mut report = GcReport::default();
 
-        // Phase 1: metadata reclamation for dead chunks.
-        for pbn in std::mem::take(&mut self.dead) {
+        // Phase 1: metadata reclamation for dead chunks. The dead list is
+        // only consumed entry-by-entry as each reclaim commits: an error
+        // mid-pass requeues the current chunk and every later one, so an
+        // interrupted pass never leaks dead metadata.
+        let dead = std::mem::take(&mut self.dead);
+        for (idx, &pbn) in dead.iter().enumerate() {
             if self.lba_map.refcount(pbn) > 0 {
                 continue; // resurrected after being queued
             }
-            let fp = self
+            let fp = *self
                 .pbn_fp
-                .remove(&pbn)
+                .get(&pbn)
                 .expect("dead PBN has a fingerprint on record");
-            self.lba_map.reclaim(pbn);
             let bucket_idx = fp.bucket_index(self.table_ssd.num_buckets());
-            self.check_engine(1)?;
-            let access = self
-                .cache
-                .access_for_update(bucket_idx, &mut self.table_ssd, &mut self.ledger, &cost)
-                .map_err(|e| FidrError::Io(e.to_string()))?;
+            let access = self.check_engine(1).and_then(|()| {
+                self.cache
+                    .access_for_update(bucket_idx, &mut self.table_ssd, &mut self.ledger, &cost)
+                    .map_err(|e| FidrError::Io(e.to_string()))
+            });
+            let access = match access {
+                Ok(access) => access,
+                Err(e) => {
+                    self.dead.extend(dead[idx..].iter().copied());
+                    return Err(e);
+                }
+            };
+            self.pbn_fp.remove(&pbn);
+            self.lba_map.reclaim(pbn);
             // Only delete the table entry if it still names *this* PBN: a
             // retired provisional chunk (deferred dedup) shares its
             // fingerprint with the live canonical copy, whose entry must
@@ -1607,7 +1695,17 @@ impl FidrSystem {
             if container == self.builder.id() {
                 continue; // never compact the still-open container
             }
-            let pbns = self.container_pbns.remove(&container).unwrap_or_default();
+            // Clone rather than remove: an error mid-compaction (a failed
+            // seal, an unreadable survivor) must leave the survivor list
+            // intact so a later pass can finish the move — otherwise the
+            // next pass would see an "empty" container and drop it while
+            // live chunks still point there. The entry is only discarded
+            // once every survivor is safely relocated.
+            let pbns = self
+                .container_pbns
+                .get(&container)
+                .cloned()
+                .unwrap_or_default();
             for pbn in pbns {
                 if self.lba_map.refcount(pbn) == 0 {
                     continue;
@@ -1640,6 +1738,7 @@ impl FidrSystem {
 
                 let compressed = self.compress_chunk(&data);
                 self.ledger.fpga_dram_bytes += compressed.stored_len() as u64;
+                report.copied_bytes += compressed.stored_len() as u64;
                 let slot = self.builder.append(&compressed);
                 self.staging.insert(slot.offset, data);
                 self.lba_map.relocate(
@@ -1660,18 +1759,31 @@ impl FidrSystem {
                     self.seal_container()?;
                 }
             }
+            self.container_pbns.remove(&container);
             if let Some(freed) = self.data_ssd.remove_container(container) {
                 report.freed_bytes += freed;
             }
             self.liveness.remove(container);
             report.compacted_containers += 1;
         }
+        self.gc_runs += 1;
+        self.gc_total.absorb(report);
         Ok(report)
     }
 
     /// Dead chunks currently queued for the next collection pass.
     pub fn pending_dead_chunks(&self) -> usize {
         self.dead.len()
+    }
+
+    /// Client deletes acknowledged over this system's lifetime.
+    pub fn deletes_acked(&self) -> u64 {
+        self.deletes_acked
+    }
+
+    /// Cumulative outcome of every garbage-collection pass so far.
+    pub fn gc_totals(&self) -> GcReport {
+        self.gc_total
     }
 
     /// Fault injection for tests and demos: flips one stored bit on the
@@ -1802,6 +1914,27 @@ impl FidrSystem {
         }
         for (kind, n) in &self.read_errors {
             out.set_counter(&format!("system.read.errors.{kind}"), *n);
+        }
+        for (kind, n) in &self.delete_errors {
+            out.set_counter(&format!("system.delete.errors.{kind}"), *n);
+        }
+        // Lifecycle counters appear only once a delete or a GC pass has
+        // actually happened: a store that never deletes exports
+        // byte-identically to pre-lifecycle revisions (and the flat/tiered
+        // and cross-worker byte-identity tests stay intact).
+        if self.deletes_acked > 0 || self.gc_runs > 0 {
+            out.set_wall_clock_histogram("system.delete.ns", &self.delete_ns);
+            out.set_counter("delete.acked.count", self.deletes_acked);
+            out.set_counter("delete.pending_dead.count", self.dead.len() as u64);
+            out.set_counter("gc.runs.count", self.gc_runs);
+            out.set_counter("gc.reclaimed_pbns.count", self.gc_total.reclaimed_pbns);
+            out.set_counter(
+                "gc.compacted_containers.count",
+                self.gc_total.compacted_containers,
+            );
+            out.set_counter("gc.moved_chunks.count", self.gc_total.moved_chunks);
+            out.set_counter("gc.copied_bytes", self.gc_total.copied_bytes);
+            out.set_counter("gc.reclaimed_bytes", self.gc_total.freed_bytes);
         }
         // After a degradation the live backend is software-mode: overwrite
         // the cache.* counters with the merged (HW + software) totals and
@@ -2217,6 +2350,102 @@ mod tests {
         let report = s.collect_garbage(1.1).unwrap();
         assert_eq!(report.reclaimed_pbns, 0);
         assert_eq!(s.read(Lba(1)).unwrap(), chunk(5).to_vec());
+    }
+
+    #[test]
+    fn delete_unmaps_and_gc_reclaims_the_space() {
+        let mut s = sys();
+        for i in 0..64u64 {
+            s.write(Lba(i), chunk(i)).unwrap();
+        }
+        s.flush().unwrap();
+        let stored_before = s.stored_bytes();
+        for i in 0..56u64 {
+            s.delete(Lba(i)).unwrap();
+        }
+        assert_eq!(s.deletes_acked(), 56);
+        assert_eq!(s.pending_dead_chunks(), 56);
+        // Deleted LBAs are gone; survivors still read.
+        assert_eq!(s.read(Lba(0)).unwrap_err(), FidrError::NotMapped(Lba(0)));
+        assert_eq!(s.read(Lba(60)).unwrap(), chunk(60).to_vec());
+        // Double delete is a clean NotMapped error, not a panic.
+        assert_eq!(s.delete(Lba(0)).unwrap_err(), FidrError::NotMapped(Lba(0)));
+
+        let report = s.collect_garbage(0.5).unwrap();
+        assert_eq!(report.reclaimed_pbns, 56);
+        assert!(report.freed_bytes > 0, "{report:?}");
+        s.flush().unwrap();
+        assert!(s.stored_bytes() < stored_before, "space must come back");
+        assert_eq!(s.gc_totals().freed_bytes, report.freed_bytes);
+        for i in 56..64u64 {
+            assert_eq!(s.read(Lba(i)).unwrap(), chunk(i).to_vec(), "LBA {i}");
+        }
+    }
+
+    #[test]
+    fn delete_of_shared_chunk_keeps_other_references_readable() {
+        let mut s = sys();
+        let data = chunk(9);
+        s.write(Lba(1), data.clone()).unwrap();
+        s.write(Lba(2), data.clone()).unwrap();
+        s.flush().unwrap();
+        s.delete(Lba(1)).unwrap();
+        // The chunk is still referenced: nothing queues for collection
+        // and GC must not touch it.
+        assert_eq!(s.pending_dead_chunks(), 0);
+        let report = s.collect_garbage(1.1).unwrap();
+        assert_eq!(report.reclaimed_pbns, 0);
+        assert_eq!(s.read(Lba(2)).unwrap(), data.to_vec());
+        // Dropping the last reference finally frees it.
+        s.delete(Lba(2)).unwrap();
+        assert_eq!(s.pending_dead_chunks(), 1);
+        let report = s.collect_garbage(1.1).unwrap();
+        assert_eq!(report.reclaimed_pbns, 1);
+    }
+
+    #[test]
+    fn delete_of_nic_buffered_write_drains_the_backlog_first() {
+        let mut s = sys();
+        let data = chunk(3);
+        // hash_batch is 8, so this write stays buffered in the NIC.
+        s.write(Lba(4), data.clone()).unwrap();
+        assert!(s.nic.pending_len() > 0);
+        s.delete(Lba(4)).unwrap();
+        // The acked write was processed, then unmapped — not lost, not
+        // readable, and its chunk is queued for collection.
+        assert_eq!(s.read(Lba(4)).unwrap_err(), FidrError::NotMapped(Lba(4)));
+        assert_eq!(s.pending_dead_chunks(), 1);
+    }
+
+    #[test]
+    fn delete_then_rewrite_of_same_content_resurrects_the_chunk() {
+        let mut s = sys();
+        s.write(Lba(0), chunk(5)).unwrap();
+        s.flush().unwrap();
+        s.delete(Lba(0)).unwrap();
+        assert_eq!(s.pending_dead_chunks(), 1);
+        // A dedup hit on the dead-but-uncollected chunk revives it.
+        s.write(Lba(1), chunk(5)).unwrap();
+        s.flush().unwrap();
+        assert_eq!(s.pending_dead_chunks(), 0);
+        assert_eq!(s.collect_garbage(1.1).unwrap().reclaimed_pbns, 0);
+        assert_eq!(s.read(Lba(1)).unwrap(), chunk(5).to_vec());
+    }
+
+    #[test]
+    fn lifecycle_metrics_export_only_after_activity() {
+        let mut s = sys();
+        s.write(Lba(0), chunk(0)).unwrap();
+        s.flush().unwrap();
+        let json = s.metrics().to_json();
+        assert!(!json.contains("gc."), "no gc.* before any delete/GC");
+        assert!(!json.contains("delete."), "no delete.* before any delete");
+        s.delete(Lba(0)).unwrap();
+        s.collect_garbage(1.1).unwrap();
+        let json = s.metrics().to_json();
+        assert!(json.contains("\"delete.acked.count\""));
+        assert!(json.contains("\"gc.runs.count\""));
+        assert!(json.contains("\"gc.reclaimed_bytes\""));
     }
 
     /// A tiered config whose threshold forces everything cold once the

@@ -294,6 +294,27 @@ mod tests {
     }
 
     #[test]
+    fn v3_codec_poisons_cleanly_on_a_delete_frame() {
+        // A pre-delete (V3) peer's codec fed the new 0x09 frame closes
+        // the connection with BadOpcode — never a misparse — while a
+        // current codec decodes it fine.
+        let frame = Message::Delete { lba: Lba(4) }.encode().unwrap();
+        let mut old = FramedCodec::with_version(ProtocolVersion::V3);
+        old.feed(&frame);
+        assert_eq!(
+            old.next_frame().unwrap_err(),
+            ProtocolError::BadOpcode(0x09)
+        );
+        assert!(old.is_poisoned());
+        let mut new = FramedCodec::new();
+        new.feed(&frame);
+        assert!(matches!(
+            new.next_frame().unwrap(),
+            Some(Message::Delete { lba: Lba(4) })
+        ));
+    }
+
+    #[test]
     fn compaction_keeps_the_buffer_bounded() {
         let frame = Message::Write {
             lba: Lba(0),

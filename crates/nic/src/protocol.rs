@@ -13,13 +13,13 @@
 //! offset  size  field
 //!      0     1  opcode: 0x01 Write, 0x02 Read, 0x03 WriteAck, 0x04 ReadReply,
 //!               0x05 StatsRequest, 0x06 StatsReply, 0x07 ShardMapRequest,
-//!               0x08 ShardMapReply
+//!               0x08 ShardMapReply, 0x09 Delete, 0x0A DeleteAck
 //!      1     8  LBA, little-endian u64 (for the stats opcodes this field
 //!               carries the [`StatsFormat`] code instead of an address; for
 //!               the shard-map opcodes it carries the [`ShardMapAction`]
 //!               code / map generation)
 //!      9     4  payload length, little-endian u32 (0 for Read/WriteAck/
-//!               StatsRequest/ShardMapRequest-Get)
+//!               StatsRequest/ShardMapRequest-Get/Delete/DeleteAck)
 //!     13   len  payload
 //! ```
 //!
@@ -86,11 +86,16 @@ pub enum Opcode {
     /// Shard-map reply carrying the node's current encoded map
     /// ([`ProtocolVersion::V3`]).
     ShardMapReply = 0x08,
+    /// Client → server delete request ([`ProtocolVersion::V4`]): unmap
+    /// the LBA and release its chunk reference.
+    Delete = 0x09,
+    /// Server → client delete acknowledgment ([`ProtocolVersion::V4`]).
+    DeleteAck = 0x0A,
 }
 
 impl Opcode {
     /// Every defined opcode, in wire order.
-    pub const ALL: [Opcode; 8] = [
+    pub const ALL: [Opcode; 10] = [
         Opcode::Write,
         Opcode::Read,
         Opcode::WriteAck,
@@ -99,6 +104,8 @@ impl Opcode {
         Opcode::StatsReply,
         Opcode::ShardMapRequest,
         Opcode::ShardMapReply,
+        Opcode::Delete,
+        Opcode::DeleteAck,
     ];
 
     /// Parses the first header byte. `None` is a
@@ -113,6 +120,8 @@ impl Opcode {
             0x06 => Some(Opcode::StatsReply),
             0x07 => Some(Opcode::ShardMapRequest),
             0x08 => Some(Opcode::ShardMapReply),
+            0x09 => Some(Opcode::Delete),
+            0x0A => Some(Opcode::DeleteAck),
             _ => None,
         }
     }
@@ -125,8 +134,10 @@ impl Opcode {
     /// Whether frames of this opcode may carry a payload. A
     /// [`Opcode::StatsRequest`] declaring a nonzero length is a hard
     /// [`ProtocolError::UnexpectedPayload`] (so is a
-    /// [`ShardMapAction::Get`] request); the payload-free *storage*
-    /// opcodes (Read/WriteAck) tolerate and discard one for wire
+    /// [`ShardMapAction::Get`] request, and so are the V4
+    /// [`Opcode::Delete`] / [`Opcode::DeleteAck`] frames — they were
+    /// born strict); the payload-free *storage* opcodes of the original
+    /// protocol (Read/WriteAck) tolerate and discard one for wire
     /// compatibility with PR-5 encoders.
     pub fn carries_payload(self) -> bool {
         matches!(
@@ -155,12 +166,15 @@ pub enum ProtocolVersion {
     /// Adds cluster membership: [`Opcode::ShardMapRequest`] /
     /// [`Opcode::ShardMapReply`].
     V3,
+    /// Adds the delete lifecycle: [`Opcode::Delete`] /
+    /// [`Opcode::DeleteAck`].
+    V4,
 }
 
 impl ProtocolVersion {
     /// The newest revision; what [`Message::decode`] and
     /// [`crate::FramedCodec::new`] speak.
-    pub const LATEST: ProtocolVersion = ProtocolVersion::V3;
+    pub const LATEST: ProtocolVersion = ProtocolVersion::V4;
 
     /// Whether this revision accepts `op`.
     pub fn accepts(self, op: Opcode) -> bool {
@@ -171,9 +185,18 @@ impl ProtocolVersion {
                     | Opcode::StatsReply
                     | Opcode::ShardMapRequest
                     | Opcode::ShardMapReply
+                    | Opcode::Delete
+                    | Opcode::DeleteAck
             ),
-            ProtocolVersion::V2 => !matches!(op, Opcode::ShardMapRequest | Opcode::ShardMapReply),
-            ProtocolVersion::V3 => true,
+            ProtocolVersion::V2 => !matches!(
+                op,
+                Opcode::ShardMapRequest
+                    | Opcode::ShardMapReply
+                    | Opcode::Delete
+                    | Opcode::DeleteAck
+            ),
+            ProtocolVersion::V3 => !matches!(op, Opcode::Delete | Opcode::DeleteAck),
+            ProtocolVersion::V4 => true,
         }
     }
 }
@@ -314,6 +337,20 @@ pub enum Message {
         /// The node's current encoded `fidr.shardmap.v1` map.
         map: Bytes,
     },
+    /// Client → server delete request ([`ProtocolVersion::V4`]): unmap
+    /// `lba` and release its chunk reference. Carries no payload — a
+    /// declared length is [`ProtocolError::UnexpectedPayload`].
+    Delete {
+        /// Block to delete.
+        lba: Lba,
+    },
+    /// Server → client delete acknowledgment: the unmap is durable in
+    /// the server's metadata (it survives a crash + restore). Carries no
+    /// payload.
+    DeleteAck {
+        /// Block acknowledged.
+        lba: Lba,
+    },
 }
 
 /// Outcome of decoding the front of a streaming buffer.
@@ -404,6 +441,8 @@ impl Message {
             Message::StatsReply { .. } => Opcode::StatsReply,
             Message::ShardMapRequest { .. } => Opcode::ShardMapRequest,
             Message::ShardMapReply { .. } => Opcode::ShardMapReply,
+            Message::Delete { .. } => Opcode::Delete,
+            Message::DeleteAck { .. } => Opcode::DeleteAck,
         }
     }
 
@@ -416,7 +455,9 @@ impl Message {
             Message::Write { lba, .. }
             | Message::Read { lba }
             | Message::WriteAck { lba }
-            | Message::ReadReply { lba, .. } => *lba,
+            | Message::ReadReply { lba, .. }
+            | Message::Delete { lba }
+            | Message::DeleteAck { lba } => *lba,
             Message::StatsRequest { format } | Message::StatsReply { format, .. } => {
                 Lba(format.code())
             }
@@ -520,7 +561,11 @@ impl Message {
         if declared > MAX_PAYLOAD_BYTES as u64 {
             return Err(ProtocolError::PayloadTooLarge { len: declared });
         }
-        if opcode == Opcode::StatsRequest && declared != 0 {
+        if matches!(
+            opcode,
+            Opcode::StatsRequest | Opcode::Delete | Opcode::DeleteAck
+        ) && declared != 0
+        {
             return Err(ProtocolError::UnexpectedPayload {
                 opcode: opcode.as_byte(),
                 len: declared,
@@ -581,6 +626,8 @@ impl Message {
                 generation: field,
                 map: data,
             },
+            Opcode::Delete => Message::Delete { lba },
+            Opcode::DeleteAck => Message::DeleteAck { lba },
         };
         Ok(Decoded::Frame { msg, used: end })
     }
@@ -749,7 +796,7 @@ mod tests {
         for op in Opcode::ALL {
             assert_eq!(Opcode::from_byte(op.as_byte()), Some(op));
         }
-        for byte in [0x00u8, 0x09, 0x7f, 0xff] {
+        for byte in [0x00u8, 0x0B, 0x7f, 0xff] {
             assert_eq!(Opcode::from_byte(byte), None);
             assert_eq!(
                 Message::decode(&encode_raw(byte, 0, 0)).unwrap_err(),
@@ -984,6 +1031,77 @@ mod tests {
             Message::decode_versioned(&stats, ProtocolVersion::V2).unwrap(),
             Decoded::Frame { .. }
         ));
+    }
+
+    #[test]
+    fn delete_frames_round_trip() {
+        for msg in [
+            Message::Delete { lba: Lba(42) },
+            Message::DeleteAck { lba: Lba(42) },
+            Message::Delete { lba: Lba(u64::MAX) },
+        ] {
+            let frame = msg.encode().unwrap();
+            assert_eq!(frame.len(), HEADER_BYTES, "deletes are header-only");
+            let (decoded, used) = Message::decode_whole(&frame).unwrap();
+            assert_eq!(decoded, msg);
+            assert_eq!(used, frame.len());
+        }
+    }
+
+    #[test]
+    fn delete_with_nonzero_payload_is_a_hard_error() {
+        // Delete/DeleteAck were born strict: a declared length is
+        // rejected from the header alone, before the body arrives.
+        for opcode in [0x09u8, 0x0A] {
+            let frame = encode_raw(opcode, 7, 16);
+            assert_eq!(
+                Message::decode(&frame).unwrap_err(),
+                ProtocolError::UnexpectedPayload { opcode, len: 16 }
+            );
+        }
+    }
+
+    #[test]
+    fn v1_through_v3_decoders_reject_delete_opcodes_cleanly() {
+        // Old-peer compatibility, following the V2/V3 pattern: every
+        // pre-delete decoder fed a V4 frame fails with BadOpcode from
+        // the header alone — a clean connection close, not a misparse.
+        let delete = Message::Delete { lba: Lba(5) }.encode().unwrap();
+        let ack = Message::DeleteAck { lba: Lba(5) }.encode().unwrap();
+        for frame in [&delete, &ack] {
+            for version in [
+                ProtocolVersion::V1,
+                ProtocolVersion::V2,
+                ProtocolVersion::V3,
+            ] {
+                assert!(matches!(
+                    Message::decode_versioned(frame, version).unwrap_err(),
+                    ProtocolError::BadOpcode(0x09 | 0x0A)
+                ));
+            }
+            // The same bytes decode fine at LATEST.
+            assert!(matches!(
+                Message::decode_versioned(frame, ProtocolVersion::LATEST).unwrap(),
+                Decoded::Frame { .. }
+            ));
+        }
+        // V3 still accepts everything it spoke before V4 existed.
+        for msg in [
+            Message::Read { lba: Lba(1) },
+            Message::StatsRequest {
+                format: StatsFormat::Json,
+            },
+            Message::ShardMapRequest {
+                action: ShardMapAction::Get,
+                map: Bytes::new(),
+            },
+        ] {
+            let frame = msg.encode().unwrap();
+            assert!(matches!(
+                Message::decode_versioned(&frame, ProtocolVersion::V3).unwrap(),
+                Decoded::Frame { .. }
+            ));
+        }
     }
 
     #[test]

@@ -17,20 +17,43 @@ pub const ENTRY_BYTES: usize = 38;
 /// Entries per bucket (107 at 38 bytes, leaving 30 bytes for the count).
 pub const ENTRIES_PER_BUCKET: usize = (BUCKET_BYTES - 2) / ENTRY_BYTES;
 
-/// Error returned when inserting into a full bucket.
+/// Error returned by [`Bucket::insert`].
 ///
-/// Real deployments size the table so overflow is vanishingly rare; the
-/// store surfaces it so callers can grow or chain buckets.
+/// Every variant is a hard error even in release builds: a silently
+/// shadowed duplicate can be resurrected by [`Bucket::remove`] after GC,
+/// and a PBN past the 6-byte encoding would be truncated on the SSD,
+/// corrupting the on-disk mapping. Real deployments size the table so
+/// [`Full`](BucketInsertError::Full) is vanishingly rare; the store
+/// surfaces it so callers can grow or chain buckets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct BucketFullError;
+pub enum BucketInsertError {
+    /// The bucket already holds [`ENTRIES_PER_BUCKET`] entries.
+    Full,
+    /// The fingerprint is already present; a second entry would shadow
+    /// the first and outlive its removal.
+    DuplicateFingerprint,
+    /// The PBN exceeds [`Pbn::MAX_ENCODABLE`] and cannot survive the
+    /// 6-byte on-SSD encoding.
+    PbnUnencodable(u64),
+}
 
-impl fmt::Display for BucketFullError {
+impl fmt::Display for BucketInsertError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "hash-PBN bucket is full ({ENTRIES_PER_BUCKET} entries)")
+        match self {
+            BucketInsertError::Full => {
+                write!(f, "hash-PBN bucket is full ({ENTRIES_PER_BUCKET} entries)")
+            }
+            BucketInsertError::DuplicateFingerprint => {
+                write!(f, "fingerprint already present in bucket")
+            }
+            BucketInsertError::PbnUnencodable(pbn) => {
+                write!(f, "PBN {pbn} exceeds the 6-byte encoding")
+            }
+        }
     }
 }
 
-impl std::error::Error for BucketFullError {}
+impl std::error::Error for BucketInsertError {}
 
 /// One Hash-PBN bucket: an append-ordered set of (fingerprint, PBN) pairs.
 ///
@@ -45,7 +68,7 @@ impl std::error::Error for BucketFullError {}
 /// let fp = Fingerprint::of(b"chunk");
 /// bucket.insert(fp, Pbn(9))?;
 /// assert_eq!(bucket.lookup(&fp), Some(Pbn(9)));
-/// # Ok::<(), fidr_tables::BucketFullError>(())
+/// # Ok::<(), fidr_tables::BucketInsertError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Bucket {
@@ -88,17 +111,21 @@ impl Bucket {
     ///
     /// # Errors
     ///
-    /// Returns [`BucketFullError`] when the bucket already holds
-    /// [`ENTRIES_PER_BUCKET`] entries.
-    ///
-    /// # Panics
-    ///
-    /// Panics (debug assertion) if `fp` is already present; callers look up
-    /// before inserting.
-    pub fn insert(&mut self, fp: Fingerprint, pbn: Pbn) -> Result<(), BucketFullError> {
-        debug_assert!(self.lookup(&fp).is_none(), "duplicate fingerprint insert");
+    /// [`BucketInsertError::Full`] when the bucket already holds
+    /// [`ENTRIES_PER_BUCKET`] entries,
+    /// [`BucketInsertError::DuplicateFingerprint`] if `fp` is already
+    /// present (callers look up before inserting), and
+    /// [`BucketInsertError::PbnUnencodable`] if `pbn` would not survive
+    /// the 6-byte on-SSD encoding.
+    pub fn insert(&mut self, fp: Fingerprint, pbn: Pbn) -> Result<(), BucketInsertError> {
+        if pbn.0 > Pbn::MAX_ENCODABLE {
+            return Err(BucketInsertError::PbnUnencodable(pbn.0));
+        }
+        if self.lookup(&fp).is_some() {
+            return Err(BucketInsertError::DuplicateFingerprint);
+        }
         if self.is_full() {
-            return Err(BucketFullError);
+            return Err(BucketInsertError::Full);
         }
         self.entries.push((fp, pbn));
         Ok(())
@@ -124,6 +151,8 @@ impl Bucket {
         for (i, (fp, pbn)) in self.entries.iter().enumerate() {
             let off = 2 + i * ENTRY_BYTES;
             out[off..off + 32].copy_from_slice(fp.as_bytes());
+            // Guaranteed by insert-time validation; from_bytes can only
+            // produce 6-byte PBNs too.
             debug_assert!(pbn.0 <= Pbn::MAX_ENCODABLE, "PBN exceeds 6-byte encoding");
             out[off + 32..off + 38].copy_from_slice(&pbn.0.to_le_bytes()[..6]);
         }
@@ -188,7 +217,38 @@ mod tests {
             b.insert(fp(i), Pbn(i)).unwrap();
         }
         assert!(b.is_full());
-        assert_eq!(b.insert(fp(9999), Pbn(0)), Err(BucketFullError));
+        assert_eq!(b.insert(fp(9999), Pbn(0)), Err(BucketInsertError::Full));
+    }
+
+    #[test]
+    fn duplicate_fingerprint_is_a_hard_error() {
+        let mut b = Bucket::new();
+        b.insert(fp(1), Pbn(10)).unwrap();
+        assert_eq!(
+            b.insert(fp(1), Pbn(99)),
+            Err(BucketInsertError::DuplicateFingerprint)
+        );
+        // The original mapping survives untouched — no shadowed entry
+        // for remove() to resurrect.
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.lookup(&fp(1)), Some(Pbn(10)));
+        assert_eq!(b.remove(&fp(1)), Some(Pbn(10)));
+        assert_eq!(b.lookup(&fp(1)), None);
+    }
+
+    #[test]
+    fn pbn_past_six_byte_encoding_is_rejected_at_insert() {
+        let mut b = Bucket::new();
+        // Boundary: MAX_ENCODABLE itself is valid…
+        b.insert(fp(1), Pbn(Pbn::MAX_ENCODABLE)).unwrap();
+        // …one past it is a typed error, not a silent truncation.
+        assert_eq!(
+            b.insert(fp(2), Pbn(Pbn::MAX_ENCODABLE + 1)),
+            Err(BucketInsertError::PbnUnencodable(Pbn::MAX_ENCODABLE + 1))
+        );
+        assert_eq!(b.len(), 1);
+        let parsed = Bucket::from_bytes(&b.to_bytes());
+        assert_eq!(parsed.lookup(&fp(1)), Some(Pbn(Pbn::MAX_ENCODABLE)));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! cache and `ssd.table.*` counters plus the modelled `ssd.table.io.ns`
 //! histogram on the table-SSD model (see `docs/OBSERVABILITY.md`).
 
-use crate::bucket::{Bucket, BucketFullError, BUCKET_BYTES};
+use crate::bucket::{Bucket, BucketInsertError, BUCKET_BYTES};
 use fidr_chunk::Pbn;
 use fidr_hash::Fingerprint;
 
@@ -29,7 +29,7 @@ use fidr_hash::Fingerprint;
 /// assert_eq!(store.lookup(&fp), None);
 /// store.insert(fp, Pbn(1))?;
 /// assert_eq!(store.lookup(&fp), Some(Pbn(1)));
-/// # Ok::<(), fidr_tables::BucketFullError>(())
+/// # Ok::<(), fidr_tables::BucketInsertError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct HashPbnStore {
@@ -114,8 +114,9 @@ impl HashPbnStore {
     ///
     /// # Errors
     ///
-    /// Returns [`BucketFullError`] if the target bucket is full.
-    pub fn insert(&mut self, fp: Fingerprint, pbn: Pbn) -> Result<(), BucketFullError> {
+    /// Returns [`BucketInsertError`] if the target bucket is full, the
+    /// fingerprint is already present, or the PBN is unencodable.
+    pub fn insert(&mut self, fp: Fingerprint, pbn: Pbn) -> Result<(), BucketInsertError> {
         let idx = self.bucket_of(&fp);
         self.buckets[idx as usize].insert(fp, pbn)?;
         self.entries += 1;

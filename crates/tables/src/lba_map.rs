@@ -66,7 +66,10 @@ impl LbaPbaTable {
 
     /// Points `lba` at `pbn` (a duplicate hit or a fresh unique write),
     /// maintaining reference counts. Returns a PBN whose reference count
-    /// dropped to zero, if the overwrite orphaned one.
+    /// dropped to zero, if the overwrite orphaned one. Zero-count entries
+    /// are removed from the refcount map immediately, so its size stays
+    /// bounded by the live PBN population under overwrite/delete churn
+    /// ([`refcount`](Self::refcount) reads absent entries as 0).
     pub fn map_write(&mut self, lba: Lba, pbn: Pbn) -> Option<Pbn> {
         *self.refcount.entry(pbn).or_insert(0) += 1;
         let old = self.lba_to_pbn.insert(lba, pbn);
@@ -78,6 +81,7 @@ impl LbaPbaTable {
                     .expect("mapped PBN has a refcount");
                 *rc -= 1;
                 if *rc == 0 {
+                    self.refcount.remove(&old_pbn);
                     return Some(old_pbn);
                 }
             } else {
@@ -86,6 +90,24 @@ impl LbaPbaTable {
             }
         }
         None
+    }
+
+    /// Removes `lba`'s mapping (a client delete), decrementing its PBN's
+    /// reference count and dropping the counter entry when it reaches
+    /// zero. Returns the PBN the LBA pointed at, or `None` if the LBA was
+    /// never mapped; check [`refcount`](Self::refcount) afterwards to see
+    /// whether the delete orphaned the chunk.
+    pub fn unmap(&mut self, lba: Lba) -> Option<Pbn> {
+        let pbn = self.lba_to_pbn.remove(&lba)?;
+        let rc = self
+            .refcount
+            .get_mut(&pbn)
+            .expect("mapped PBN has a refcount");
+        *rc -= 1;
+        if *rc == 0 {
+            self.refcount.remove(&pbn);
+        }
+        Some(pbn)
     }
 
     /// Resolves an LBA to its physical address (the read path, §2.2).
@@ -112,6 +134,13 @@ impl LbaPbaTable {
     /// Number of mapped LBAs.
     pub fn mapped_lbas(&self) -> usize {
         self.lba_to_pbn.len()
+    }
+
+    /// Number of PBNs with a live (non-zero) reference count — the
+    /// refcount map's actual size, for asserting it stays bounded under
+    /// churn.
+    pub fn tracked_refcounts(&self) -> usize {
+        self.refcount.len()
     }
 
     /// Number of located unique chunks.
@@ -168,7 +197,6 @@ impl LbaPbaTable {
         let mut map = LbaPbaTable::new();
         for (pbn, loc) in pbns {
             map.pbn_to_loc.insert(pbn, loc);
-            map.refcount.insert(pbn, 0);
         }
         for (lba, pbn) in lbas {
             map.lba_to_pbn.insert(lba, pbn);
@@ -232,6 +260,45 @@ mod tests {
         let dead = m.map_write(Lba(10), Pbn(1));
         assert_eq!(dead, None);
         assert_eq!(m.refcount(Pbn(1)), 1);
+    }
+
+    #[test]
+    fn unmap_releases_refs_and_reports_orphans() {
+        let mut m = LbaPbaTable::new();
+        m.record_pbn(Pbn(1), loc(1));
+        m.map_write(Lba(10), Pbn(1));
+        m.map_write(Lba(20), Pbn(1));
+        // First unmap: PBN still shared.
+        assert_eq!(m.unmap(Lba(10)), Some(Pbn(1)));
+        assert_eq!(m.refcount(Pbn(1)), 1);
+        // Last unmap orphans the chunk and drops its counter entry.
+        assert_eq!(m.unmap(Lba(20)), Some(Pbn(1)));
+        assert_eq!(m.refcount(Pbn(1)), 0);
+        assert_eq!(m.tracked_refcounts(), 0);
+        assert_eq!(m.mapped_lbas(), 0);
+        // Never-mapped LBAs report None.
+        assert_eq!(m.unmap(Lba(99)), None);
+        // The orphan is now reclaimable without tripping the assertion.
+        assert_eq!(m.reclaim(Pbn(1)), Some(loc(1)));
+    }
+
+    #[test]
+    fn churn_keeps_refcount_map_bounded() {
+        let mut m = LbaPbaTable::new();
+        // 1000 overwrites of one LBA: every overwrite orphans the prior
+        // PBN, whose zero-count entry must not linger.
+        for i in 0..1000u64 {
+            m.record_pbn(Pbn(i), loc(i));
+            m.map_write(Lba(0), Pbn(i));
+        }
+        assert_eq!(m.tracked_refcounts(), 1, "only the live PBN is tracked");
+        // Delete churn too: map then unmap fresh LBAs.
+        for i in 1000..2000u64 {
+            m.record_pbn(Pbn(i), loc(i));
+            m.map_write(Lba(i), Pbn(i));
+            m.unmap(Lba(i));
+        }
+        assert_eq!(m.tracked_refcounts(), 1);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! lba_map.record_pbn(Pbn(0), PbnLocation { container: 0, offset: 0, compressed_len: 512 });
 //! lba_map.map_write(Lba(1), Pbn(0));
 //! assert!(lba_map.lookup(Lba(1)).is_some());
-//! # Ok::<(), fidr_tables::BucketFullError>(())
+//! # Ok::<(), fidr_tables::BucketInsertError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -34,7 +34,7 @@ mod liveness;
 mod reduction;
 mod snapshot;
 
-pub use bucket::{Bucket, BucketFullError, BUCKET_BYTES, ENTRIES_PER_BUCKET, ENTRY_BYTES};
+pub use bucket::{Bucket, BucketInsertError, BUCKET_BYTES, ENTRIES_PER_BUCKET, ENTRY_BYTES};
 pub use container::{
     AppendSlot, Container, ContainerBuilder, ContainerReadError, CHUNK_HEADER_BYTES,
     CONTAINER_THRESHOLD,

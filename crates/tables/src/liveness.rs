@@ -17,8 +17,22 @@ pub struct GcReport {
     pub compacted_containers: u64,
     /// Live chunks rewritten into fresh containers.
     pub moved_chunks: u64,
+    /// Compressed bytes of the rewritten survivors (the copy cost the
+    /// compaction paid to earn `freed_bytes`).
+    pub copied_bytes: u64,
     /// Data-SSD bytes freed.
     pub freed_bytes: u64,
+}
+
+impl GcReport {
+    /// Folds another pass's outcome into this one (cumulative totals).
+    pub fn absorb(&mut self, other: GcReport) {
+        self.reclaimed_pbns += other.reclaimed_pbns;
+        self.compacted_containers += other.compacted_containers;
+        self.moved_chunks += other.moved_chunks;
+        self.copied_bytes += other.copied_bytes;
+        self.freed_bytes += other.freed_bytes;
+    }
 }
 
 /// Per-container live-chunk census.

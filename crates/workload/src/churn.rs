@@ -1,0 +1,272 @@
+//! Churn/retention schedules: deterministic write→overwrite→delete
+//! aging for the delete→refcount→GC lifecycle.
+//!
+//! The open-loop schedules in this crate are append-only — the final
+//! content of every block is a pure function of the spec because no
+//! block is ever overwritten or removed. A store under real retention
+//! policy ages differently: blocks get overwritten with new
+//! generations, others are deleted outright, and dead chunks strand
+//! capacity inside sealed containers until the collector runs. That is
+//! the shape benches need to make `gc.reclaimed_bytes` move.
+//!
+//! [`ChurnSchedule::generate`] materialises that shape
+//! deterministically. Round 0 writes every `(tenant, offset)` block;
+//! each later round revisits every block and — by a pure hash of
+//! `(seed, tenant, offset, round)` — either deletes it (if currently
+//! live) or rewrites it with that round's content generation (reviving
+//! it if dead). Deletes are only ever emitted for live blocks, matching
+//! the wire contract that deleting an unmapped LBA is a protocol
+//! violation. Because liveness is replayed inside the generator, the
+//! survivor set — which blocks remain mapped, and which content
+//! generation each must hold — is itself a pure function of the spec:
+//! a post-GC verification pass re-derives it with no record from the
+//! traffic run.
+
+use std::collections::BTreeMap;
+
+/// Parameters of one churn schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnSpec {
+    /// Distinct tenants issuing traffic.
+    pub tenants: u64,
+    /// Blocks per tenant (offsets `0..blocks_per_tenant`).
+    pub blocks_per_tenant: u64,
+    /// Aging rounds after the initial full write (round 0). Each round
+    /// revisits every block.
+    pub rounds: u64,
+    /// Percent (`0..=100`) of block visits that delete rather than
+    /// rewrite.
+    pub delete_pct: u8,
+    /// Seed for the whole schedule (decisions and content tags).
+    pub seed: u64,
+}
+
+impl Default for ChurnSpec {
+    fn default() -> Self {
+        ChurnSpec {
+            tenants: 4,
+            blocks_per_tenant: 64,
+            rounds: 3,
+            delete_pct: 40,
+            seed: 42,
+        }
+    }
+}
+
+/// What one churn operation does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnKind {
+    /// Write (or rewrite) the block with round `round`'s content.
+    Write {
+        /// Content generation: the round that produced this write.
+        round: u64,
+    },
+    /// Delete the block (always live at this point in the schedule).
+    Delete,
+}
+
+/// One churn operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnOp {
+    /// The tenant owning the block.
+    pub tenant: u64,
+    /// Tenant-relative block offset.
+    pub offset: u64,
+    /// What the op does.
+    pub kind: ChurnKind,
+}
+
+/// The deterministic content tag of tenant `tenant`'s block at
+/// `offset` as written in round `round` under `seed`. Tags are shared
+/// across blocks *within* a round (the `% 40` wrap feeds dedup) but
+/// differ *across* rounds, so every rewrite ages the previous
+/// generation's chunk toward death.
+pub fn churn_tag(seed: u64, tenant: u64, offset: u64, round: u64) -> u64 {
+    seed.wrapping_mul(131)
+        .wrapping_add(round.wrapping_mul(1009))
+        .wrapping_add(tenant.wrapping_mul(7).wrapping_add(offset) % 40)
+}
+
+/// A pure decision hash (splitmix64-style finalizer) for whether round
+/// `round`'s visit to `(tenant, offset)` deletes or rewrites.
+fn decision(seed: u64, tenant: u64, offset: u64, round: u64) -> u64 {
+    let mut x = seed
+        ^ tenant.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ offset.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ round.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// A fully materialised churn schedule.
+#[derive(Debug, Clone)]
+pub struct ChurnSchedule {
+    spec: ChurnSpec,
+    ops: Vec<ChurnOp>,
+    /// `(tenant, offset) → content round` for every block still mapped
+    /// after the whole schedule ran.
+    survivors: BTreeMap<(u64, u64), u64>,
+    deletes: u64,
+}
+
+impl ChurnSchedule {
+    /// Generates the schedule for `spec`. Same spec, same schedule —
+    /// and the same survivor set — byte for byte.
+    pub fn generate(spec: ChurnSpec) -> ChurnSchedule {
+        let tenants = spec.tenants.max(1);
+        let blocks = spec.blocks_per_tenant.max(1);
+        let delete_pct = u64::from(spec.delete_pct.min(100));
+        let mut ops = Vec::new();
+        // Live blocks and their current content round; round 0 writes
+        // everything.
+        let mut survivors: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        for tenant in 0..tenants {
+            for offset in 0..blocks {
+                ops.push(ChurnOp {
+                    tenant,
+                    offset,
+                    kind: ChurnKind::Write { round: 0 },
+                });
+                survivors.insert((tenant, offset), 0);
+            }
+        }
+        let mut deletes = 0u64;
+        for round in 1..=spec.rounds {
+            for tenant in 0..tenants {
+                for offset in 0..blocks {
+                    let wants_delete =
+                        decision(spec.seed, tenant, offset, round) % 100 < delete_pct;
+                    if wants_delete {
+                        // Deleting an unmapped LBA is a wire violation;
+                        // a dead block's delete visit is a no-op.
+                        if survivors.remove(&(tenant, offset)).is_some() {
+                            ops.push(ChurnOp {
+                                tenant,
+                                offset,
+                                kind: ChurnKind::Delete,
+                            });
+                            deletes += 1;
+                        }
+                    } else {
+                        ops.push(ChurnOp {
+                            tenant,
+                            offset,
+                            kind: ChurnKind::Write { round },
+                        });
+                        survivors.insert((tenant, offset), round);
+                    }
+                }
+            }
+        }
+        ChurnSchedule {
+            spec,
+            ops,
+            survivors,
+            deletes,
+        }
+    }
+
+    /// The spec this schedule was generated from.
+    pub fn spec(&self) -> &ChurnSpec {
+        &self.spec
+    }
+
+    /// The operations, in issue order.
+    pub fn ops(&self) -> &[ChurnOp] {
+        &self.ops
+    }
+
+    /// `(tenant, offset) → content round` for every block still mapped
+    /// after the schedule: the set — and the exact bytes — a post-churn
+    /// (or post-GC) verification pass must find.
+    pub fn survivors(&self) -> &BTreeMap<(u64, u64), u64> {
+        &self.survivors
+    }
+
+    /// Delete operations in the schedule.
+    pub fn deletes(&self) -> u64 {
+        self.deletes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ChurnSpec {
+        ChurnSpec {
+            tenants: 3,
+            blocks_per_tenant: 32,
+            rounds: 4,
+            delete_pct: 40,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn same_spec_same_schedule_and_survivors() {
+        let a = ChurnSchedule::generate(spec());
+        let b = ChurnSchedule::generate(spec());
+        assert_eq!(a.ops(), b.ops());
+        assert_eq!(a.survivors(), b.survivors());
+        assert_eq!(a.deletes(), b.deletes());
+    }
+
+    #[test]
+    fn deletes_only_target_live_blocks_and_survivors_match_replay() {
+        let schedule = ChurnSchedule::generate(spec());
+        let mut live: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        for op in schedule.ops() {
+            match op.kind {
+                ChurnKind::Write { round } => {
+                    live.insert((op.tenant, op.offset), round);
+                }
+                ChurnKind::Delete => {
+                    assert!(
+                        live.remove(&(op.tenant, op.offset)).is_some(),
+                        "delete of a dead block ({}, {})",
+                        op.tenant,
+                        op.offset
+                    );
+                }
+            }
+        }
+        assert_eq!(&live, schedule.survivors());
+    }
+
+    #[test]
+    fn churn_actually_churns() {
+        let schedule = ChurnSchedule::generate(spec());
+        assert!(schedule.deletes() > 0, "no deletes at 40%");
+        // Some blocks died and stayed dead; some survived.
+        let total = (spec().tenants * spec().blocks_per_tenant) as usize;
+        assert!(schedule.survivors().len() < total);
+        assert!(!schedule.survivors().is_empty());
+        // Rewrites advance content generations past round 0.
+        assert!(schedule.survivors().values().any(|&r| r > 0));
+    }
+
+    #[test]
+    fn delete_pct_zero_is_pure_overwrite_aging() {
+        let schedule = ChurnSchedule::generate(ChurnSpec {
+            delete_pct: 0,
+            ..spec()
+        });
+        assert_eq!(schedule.deletes(), 0);
+        let total = (spec().tenants * spec().blocks_per_tenant) as usize;
+        assert_eq!(schedule.survivors().len(), total);
+        // Every block ends at the last round's generation.
+        assert!(schedule.survivors().values().all(|&r| r == spec().rounds));
+    }
+
+    #[test]
+    fn churn_tags_differ_across_rounds_but_dedup_within_one() {
+        assert_ne!(churn_tag(7, 0, 0, 0), churn_tag(7, 0, 0, 1));
+        // 7*1 + 33 = 40 ≡ 0 (mod 40): cross-block duplicates in-round.
+        assert_eq!(churn_tag(7, 0, 0, 2), churn_tag(7, 1, 33, 2));
+    }
+}

@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod churn;
 mod mixed;
 mod open_loop;
 pub mod skeleton;
@@ -31,6 +32,7 @@ mod spec;
 mod stream;
 mod trace_io;
 
+pub use churn::{churn_tag, ChurnKind, ChurnOp, ChurnSchedule, ChurnSpec};
 pub use mixed::MultiStreamWorkload;
 pub use open_loop::{content_tag, OpenLoopKind, OpenLoopOp, OpenLoopSchedule, OpenLoopSpec};
 pub use spec::WorkloadSpec;

@@ -135,6 +135,36 @@ grep -q '"server.connections.accepted.count": { "type": "counter", "value": 4 }'
 echo "    $(grep -o '"server.frames.decoded.count": { "type": "counter", "value": [0-9]*' \
   "$SERVE_DIR/metrics.json" | grep -o '[0-9]*$') frames served, 0 rejected"
 
+# Churn-then-GC lifecycle smoke: seeded write/overwrite/delete churn,
+# a full garbage-collection pass, then every surviving block re-read
+# byte-exact. The subcommand itself exits non-zero on any survivor
+# mismatch or when GC frees no space; the greps hold the exported
+# metrics to the same claims (real deletes acked, real bytes
+# reclaimed). CI uploads the metrics file as an inspectable artifact.
+echo "==> churn-then-gc lifecycle smoke"
+GC_DIR="${GC_DIR:-target/ci-gc}"
+mkdir -p "$GC_DIR"
+rm -f "$GC_DIR/metrics.json"
+cargo run --release -q --bin fidr -- gc \
+  --tenants 4 --blocks 64 --rounds 3 --delete-pct 40 \
+  --metrics-out "$GC_DIR/metrics.json"
+grep -q '"schema": "fidr.metrics.v1"' "$GC_DIR/metrics.json"
+counter_of() {
+  grep -o "\"$1\": { \"type\": \"counter\", \"value\": [0-9]*" \
+    "$GC_DIR/metrics.json" | grep -o '[0-9]*$'
+}
+GC_DELETES="$(counter_of 'delete.acked.count')"
+GC_FREED="$(counter_of 'gc.reclaimed_bytes')"
+if [ -z "$GC_DELETES" ] || [ "$GC_DELETES" -eq 0 ]; then
+  echo "churn acked no deletes (delete.acked.count=${GC_DELETES:-missing})" >&2
+  exit 1
+fi
+if [ -z "$GC_FREED" ] || [ "$GC_FREED" -eq 0 ]; then
+  echo "gc freed no space (gc.reclaimed_bytes=${GC_FREED:-missing})" >&2
+  exit 1
+fi
+echo "    $GC_DELETES deletes acked, $GC_FREED bytes reclaimed, survivors verified"
+
 # Live-telemetry smoke test: serve with a fast sampler, drive verified
 # traffic, then scrape the still-running server in-band — JSON,
 # Prometheus text and one `fidr top` frame — and shape-check all three.

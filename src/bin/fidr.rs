@@ -17,7 +17,8 @@ use fidr::cli::{
     write_output,
 };
 use fidr::client::{
-    run_cluster_traffic, run_open_loop, run_traffic, run_verify, ClusterClient, StorageClient,
+    run_churn, run_churn_verify, run_cluster_traffic, run_open_loop, run_traffic, run_verify,
+    ClusterClient, StorageClient,
 };
 use fidr::compress::ContentGenerator;
 use fidr::core::{FidrConfig, FidrSystem, LatencyModel, TieredDedupConfig};
@@ -55,9 +56,13 @@ USAGE:
     fidr serve   [--port P] [--port-file FILE] [--conns-limit N] [--queue N]
                  [--workers N] [--cache-shards N] [--tiered] [--sample-ms MS]
                  [--metrics-out FILE] [--node-id ID]
+                 [--gc-every N] [--gc-threshold F]
     fidr client  (--addr HOST:PORT | --nodes A,B,...) [--conns N] [--ops N]
-                 [--seed S] [--mode traffic|open|verify]
+                 [--seed S] [--mode traffic|open|verify|churn|churn-verify]
                  [--tenants N] [--zipf S] [--rate OPS_PER_SEC]
+                 [--blocks N] [--rounds N] [--delete-pct P]
+    fidr gc      [--tenants N] [--blocks N] [--rounds N] [--delete-pct P]
+                 [--seed S] [--threshold F] [--workers N] [--metrics-out FILE]
     fidr scrape  --addr HOST:PORT [--prom] [--out FILE]
     fidr top     --addr HOST:PORT [--interval-ms MS] [--iters N]
     fidr route   --nodes A,B,... [--port P] [--port-file FILE] [--conns-limit N]
@@ -104,6 +109,20 @@ TELEMETRY:  a running server samples its merged metrics every --sample-ms
             cache hit rate, top streams, slow exemplars) every --interval-ms,
             --iters times (0 = until interrupted). The drain-time metrics
             export stays byte-identical whether the sampler runs or not.
+LIFECYCLE:  `fidr client --mode churn` drives a deterministic
+            write→overwrite→delete aging schedule (protocol v4 Delete
+            frames) over --tenants x --blocks blocks for --rounds rounds,
+            deleting --delete-pct percent of visits; --mode churn-verify
+            re-reads every surviving block of the same-seed schedule and
+            fails on any mismatch — run it after a GC pass to prove the
+            collector never reclaims referenced chunks. A server started
+            with --gc-every N runs a GC pass after every N acked deletes
+            (and opportunistically when idle); --gc-threshold F compacts
+            containers whose live fraction fell below F (default 0.5).
+            `fidr gc` runs the whole lifecycle in-process — churn, collect
+            garbage, verify survivors — and fails if churn deletes freed
+            no space or any survivor read back wrong (gc.* metrics in the
+            --metrics-out snapshot).
 CLUSTER:    --nodes A,B,... names a serving fleet; node ids are 1-based
             positions in the list, so every command passing the same list
             derives the same fidr.shardmap.v1 map. `fidr client --nodes`
@@ -563,6 +582,8 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         conns_limit,
         sample_ms,
         node_id: u64_flag(flags, "node-id", 0)?,
+        gc_every: u64_flag(flags, "gc-every", 0)?,
+        gc_threshold: f64_flag(flags, "gc-threshold", 0.5)?,
         ..ServerConfig::default()
     };
     let handle = Server::spawn(cfg).map_err(|e| format!("bind: {e}"))?;
@@ -581,13 +602,15 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let count = |name: &str| metrics.counter(name).unwrap_or(0);
     println!(
         "drained: {} connections, {} frames decoded, {} rejected, \
-         {} writes / {} reads served, {} op failures",
+         {} writes / {} reads / {} deletes served, {} op failures, {} gc passes",
         count("server.connections.accepted.count"),
         count("server.frames.decoded.count"),
         count("server.frames.rejected.count"),
         count("server.ops.write.count"),
         count("server.ops.read.count"),
+        count("server.ops.delete.count"),
         count("server.ops.failed.count"),
+        count("server.gc.passes.count"),
     );
     if let Some(path) = &metrics_out {
         write_output(path, &metrics.to_json())?;
@@ -609,6 +632,7 @@ fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
         zipf_s: f64_flag(flags, "zipf", 1.0)?,
         seed,
     };
+    let churn_spec = churn_spec_from_flags(flags, 8, seed)?;
     let shift = fidr::core::DEFAULT_STREAM_SHIFT;
     // One device factory covering both topologies: a single node behind
     // --addr, or a consistent-hash fleet behind --nodes. Prefer the
@@ -648,12 +672,35 @@ fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
                     .and_then(|mut dev| run_verify(&mut dev, open_spec, shift))
             }
         },
-        other => return Err(format!("unknown --mode {other:?} (traffic|open|verify)")),
+        "churn" => match &cluster_map {
+            Some(map) => ClusterClient::connect(map.clone())
+                .and_then(|mut dev| run_churn(&mut dev, churn_spec, shift)),
+            None => {
+                let addr = addr_flag(flags)?;
+                StorageClient::connect(addr)
+                    .and_then(|mut dev| run_churn(&mut dev, churn_spec, shift))
+            }
+        },
+        "churn-verify" => match &cluster_map {
+            Some(map) => ClusterClient::connect(map.clone())
+                .and_then(|mut dev| run_churn_verify(&mut dev, churn_spec, shift)),
+            None => {
+                let addr = addr_flag(flags)?;
+                StorageClient::connect(addr)
+                    .and_then(|mut dev| run_churn_verify(&mut dev, churn_spec, shift))
+            }
+        },
+        other => {
+            return Err(format!(
+                "unknown --mode {other:?} (traffic|open|verify|churn|churn-verify)"
+            ))
+        }
     }
     .map_err(|e| format!("client {mode}: {e}"))?;
     println!(
-        "{} connections, mode {}: {} writes acked, {} reads verified, {} mismatches",
-        conns, mode, report.writes, report.reads, report.verify_failures
+        "{} connections, mode {}: {} writes acked, {} deletes acked, {} reads verified, \
+         {} mismatches",
+        conns, mode, report.writes, report.deletes, report.reads, report.verify_failures
     );
     // A verify failure is a hard, loud, non-zero exit — never a counter
     // a pipeline could scroll past.
@@ -661,6 +708,102 @@ fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
         .ensure_verified()
         .map_err(|e| e.to_string())
         .map(|_| ())
+}
+
+/// Parses the churn-schedule flags shared by `fidr client --mode churn`
+/// and `fidr gc`.
+fn churn_spec_from_flags(
+    flags: &HashMap<String, String>,
+    default_tenants: u64,
+    seed: u64,
+) -> Result<fidr::workload::ChurnSpec, String> {
+    let delete_pct = u64_flag(flags, "delete-pct", 40)?;
+    if delete_pct > 100 {
+        return Err(format!(
+            "--delete-pct is a percent (0..=100), got {delete_pct}"
+        ));
+    }
+    Ok(fidr::workload::ChurnSpec {
+        tenants: u64_flag(flags, "tenants", default_tenants)?.max(1),
+        blocks_per_tenant: u64_flag(flags, "blocks", 64)?.max(1),
+        rounds: u64_flag(flags, "rounds", 3)?,
+        delete_pct: delete_pct as u8,
+        seed,
+    })
+}
+
+fn cmd_gc(flags: &HashMap<String, String>) -> Result<(), String> {
+    use fidr::workload::{churn_tag, ChurnKind, ChurnSchedule};
+    let seed = u64_flag(flags, "seed", 42)?;
+    let spec = churn_spec_from_flags(flags, 4, seed)?;
+    let threshold = f64_flag(flags, "threshold", 0.5)?;
+    let metrics_out = output_flag(flags, &["metrics-out"])?;
+    let shift = fidr::core::DEFAULT_STREAM_SHIFT;
+    let gen = ContentGenerator::new(0.5);
+    let mut sys = FidrSystem::new(FidrConfig {
+        workers: usize_flag(flags, "workers", 1)?,
+        ..FidrConfig::default()
+    });
+    // Age the store in-process: write, overwrite, delete.
+    let schedule = ChurnSchedule::generate(spec);
+    for op in schedule.ops() {
+        let lba = Lba((op.tenant << shift) | op.offset);
+        match op.kind {
+            ChurnKind::Write { round } => {
+                let tag = churn_tag(spec.seed, op.tenant, op.offset, round);
+                sys.write(lba, bytes::Bytes::from(gen.chunk(tag, 4096)))
+                    .map_err(|e| format!("churn write: {e}"))?;
+            }
+            ChurnKind::Delete => sys.delete(lba).map_err(|e| format!("churn delete: {e}"))?,
+        }
+    }
+    sys.flush().map_err(|e| format!("flush: {e}"))?;
+    let report = sys
+        .collect_garbage(threshold)
+        .map_err(|e| format!("gc: {e}"))?;
+    println!(
+        "churn: {} writes, {} deletes over {} tenants x {} blocks ({} rounds)",
+        schedule.ops().len() as u64 - schedule.deletes(),
+        schedule.deletes(),
+        spec.tenants,
+        spec.blocks_per_tenant,
+        spec.rounds,
+    );
+    println!(
+        "gc: reclaimed {} dead chunks, compacted {} containers ({} survivors moved), \
+         freed {} bytes at a copy cost of {} bytes",
+        report.reclaimed_pbns,
+        report.compacted_containers,
+        report.moved_chunks,
+        report.freed_bytes,
+        report.copied_bytes,
+    );
+    // Post-GC safety: every survivor must still read back byte-exact.
+    let mut mismatches = 0u64;
+    for (&(tenant, offset), &round) in schedule.survivors() {
+        let got = sys
+            .read(Lba((tenant << shift) | offset))
+            .map_err(|e| format!("post-gc read: {e}"))?;
+        if got != gen.chunk(churn_tag(spec.seed, tenant, offset, round), 4096) {
+            mismatches += 1;
+        }
+    }
+    println!(
+        "verify: {} survivors read back, {} mismatches",
+        schedule.survivors().len(),
+        mismatches,
+    );
+    if let Some(path) = &metrics_out {
+        write_output(path, &sys.metrics().to_json())?;
+        println!("wrote {path}");
+    }
+    if mismatches > 0 {
+        return Err(format!("{mismatches} survivors read back wrong after gc"));
+    }
+    if schedule.deletes() > 0 && report.freed_bytes == 0 {
+        return Err("churn deleted chunks but gc freed no space".into());
+    }
+    Ok(())
 }
 
 fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -951,6 +1094,7 @@ fn main() -> ExitCode {
                 "trace" => cmd_trace(&positional, &flags),
                 "serve" => cmd_serve(&flags),
                 "client" => cmd_client(&flags),
+                "gc" => cmd_gc(&flags),
                 "scrape" => cmd_scrape(&flags),
                 "top" => cmd_top(&flags),
                 "route" => cmd_route(&flags),

@@ -91,9 +91,32 @@ pub fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
             "sample-ms",
             "metrics-out",
             "node-id",
+            "gc-every",
+            "gc-threshold",
         ],
         "client" => &[
-            "addr", "conns", "ops", "seed", "nodes", "mode", "tenants", "zipf", "rate",
+            "addr",
+            "conns",
+            "ops",
+            "seed",
+            "nodes",
+            "mode",
+            "tenants",
+            "zipf",
+            "rate",
+            "blocks",
+            "rounds",
+            "delete-pct",
+        ],
+        "gc" => &[
+            "tenants",
+            "blocks",
+            "rounds",
+            "delete-pct",
+            "seed",
+            "threshold",
+            "workers",
+            "metrics-out",
         ],
         "scrape" => &["addr", "prom", "out"],
         "top" => &["addr", "interval-ms", "iters"],
@@ -343,6 +366,7 @@ mod tests {
             ("trace", "conns-limit"),
             ("serve", "addr"),
             ("client", "tiered"),
+            ("gc", "addr"),
             ("scrape", "sample-ms"),
             ("top", "prom"),
             ("route", "workers"),

@@ -19,7 +19,10 @@ use fidr_chunk::Lba;
 use fidr_compress::ContentGenerator;
 use fidr_nic::protocol::{Message, ProtocolError, ShardMapAction, StatsFormat};
 use fidr_nic::{FramedCodec, ShardRouter};
-use fidr_workload::{content_tag, OpenLoopKind, OpenLoopSchedule, OpenLoopSpec};
+use fidr_workload::{
+    churn_tag, content_tag, ChurnKind, ChurnSchedule, ChurnSpec, OpenLoopKind, OpenLoopSchedule,
+    OpenLoopSpec,
+};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{Read, Write};
@@ -132,6 +135,24 @@ impl StorageClient {
         self.stream.write_all(&frame)?;
         match self.recv()? {
             Message::ReadReply { lba: got, data } if got == lba => Ok(data.to_vec()),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+
+    /// Deletes the block at `lba` and waits for the acknowledgment
+    /// (delete-wait-ack; protocol v4).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; [`ClientError::UnexpectedReply`] if the ack
+    /// names a different LBA. Deleting an unmapped LBA is refused by
+    /// the server closing the connection, which surfaces as
+    /// [`ClientError::Disconnected`].
+    pub fn delete(&mut self, lba: Lba) -> Result<(), ClientError> {
+        let frame = Message::Delete { lba }.encode()?;
+        self.stream.write_all(&frame)?;
+        match self.recv()? {
+            Message::DeleteAck { lba: acked } if acked == lba => Ok(()),
             other => Err(ClientError::UnexpectedReply(other)),
         }
     }
@@ -253,6 +274,13 @@ pub trait BlockDevice {
     ///
     /// Any [`ClientError`].
     fn read_block(&mut self, lba: Lba) -> Result<Vec<u8>, ClientError>;
+
+    /// Deletes the block at `lba`, waiting for the acknowledgment.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    fn delete_block(&mut self, lba: Lba) -> Result<(), ClientError>;
 }
 
 impl BlockDevice for StorageClient {
@@ -262,6 +290,10 @@ impl BlockDevice for StorageClient {
 
     fn read_block(&mut self, lba: Lba) -> Result<Vec<u8>, ClientError> {
         self.read(lba)
+    }
+
+    fn delete_block(&mut self, lba: Lba) -> Result<(), ClientError> {
+        self.delete(lba)
     }
 }
 
@@ -329,6 +361,17 @@ impl ClusterClient {
         self.conn_for(lba)?.read(lba)
     }
 
+    /// Deletes the block at `lba` on the owning node (delete-wait-ack):
+    /// the shard map routes deletes exactly as it routes the writes
+    /// that created the block.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn delete(&mut self, lba: Lba) -> Result<(), ClientError> {
+        self.conn_for(lba)?.delete(lba)
+    }
+
     /// Scrapes every node's live telemetry, keyed by node id.
     ///
     /// # Errors
@@ -351,6 +394,10 @@ impl BlockDevice for ClusterClient {
     fn read_block(&mut self, lba: Lba) -> Result<Vec<u8>, ClientError> {
         self.read(lba)
     }
+
+    fn delete_block(&mut self, lba: Lba) -> Result<(), ClientError> {
+        self.delete(lba)
+    }
 }
 
 /// Outcome of one traffic or verification drive.
@@ -360,6 +407,8 @@ pub struct TrafficReport {
     pub writes: u64,
     /// Read ops answered.
     pub reads: u64,
+    /// Delete ops acknowledged.
+    pub deletes: u64,
     /// Reads whose payload did not match what this client wrote there.
     pub verify_failures: u64,
 }
@@ -370,6 +419,7 @@ impl TrafficReport {
     pub fn merge(&mut self, other: TrafficReport) {
         self.writes += other.writes;
         self.reads += other.reads;
+        self.deletes += other.deletes;
         self.verify_failures += other.verify_failures;
     }
 
@@ -630,6 +680,72 @@ pub fn run_verify<D: BlockDevice>(
             if got != gen.chunk(content_tag(spec.seed, tenant, offset), 4096) {
                 report.verify_failures += 1;
             }
+        }
+    }
+    Ok(report)
+}
+
+/// Drives a [`ChurnSchedule`] — write, overwrite, delete — through any
+/// [`BlockDevice`], in the schedule's deterministic issue order. This
+/// is the aging workload of the delete→refcount→GC lifecycle: rewrites
+/// strand old content generations dead inside sealed containers, and
+/// deletes unmap blocks outright, so a subsequent GC pass has real
+/// garbage to reclaim.
+///
+/// # Errors
+///
+/// The first [`ClientError`].
+pub fn run_churn<D: BlockDevice>(
+    dev: &mut D,
+    spec: ChurnSpec,
+    stream_shift: u32,
+) -> Result<TrafficReport, ClientError> {
+    let schedule = ChurnSchedule::generate(spec);
+    let gen = ContentGenerator::new(0.5);
+    let mut report = TrafficReport::default();
+    for op in schedule.ops() {
+        let lba = tenant_lba(op.tenant, op.offset, stream_shift);
+        match op.kind {
+            ChurnKind::Write { round } => {
+                let tag = churn_tag(spec.seed, op.tenant, op.offset, round);
+                dev.write_block(lba, Bytes::from(gen.chunk(tag, 4096)))?;
+                report.writes += 1;
+            }
+            ChurnKind::Delete => {
+                dev.delete_block(lba)?;
+                report.deletes += 1;
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Re-reads every **survivor** of a [`ChurnSchedule`] run of `spec` and
+/// verifies each byte-exactly against its last-written content
+/// generation. The survivor set is a pure function of the spec
+/// ([`ChurnSchedule::survivors`]), so this needs no record from the
+/// churn run — it is the post-GC safety check: age the store, collect
+/// garbage, then prove every block that should still exist reads back
+/// byte-identical.
+///
+/// # Errors
+///
+/// The first [`ClientError`]; verification mismatches are counted in
+/// the report, not raised (callers chain
+/// [`TrafficReport::ensure_verified`]).
+pub fn run_churn_verify<D: BlockDevice>(
+    dev: &mut D,
+    spec: ChurnSpec,
+    stream_shift: u32,
+) -> Result<TrafficReport, ClientError> {
+    let schedule = ChurnSchedule::generate(spec);
+    let gen = ContentGenerator::new(0.5);
+    let mut report = TrafficReport::default();
+    for (&(tenant, offset), &round) in schedule.survivors() {
+        let got = dev.read_block(tenant_lba(tenant, offset, stream_shift))?;
+        report.reads += 1;
+        if got != gen.chunk(churn_tag(spec.seed, tenant, offset, round), 4096) {
+            report.verify_failures += 1;
         }
     }
     Ok(report)

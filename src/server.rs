@@ -134,6 +134,16 @@ pub struct ServerConfig {
     /// from "must rehome" when a [`Message::ShardMapRequest`] installs
     /// a new map.
     pub node_id: u64,
+    /// Garbage collection cadence: run a collection pass after every
+    /// this many acked deletes, and opportunistically during traffic
+    /// lulls whenever dead chunks are pending (the same idle hook the
+    /// deferred-dedup scrubber uses). `0` disables server-driven GC —
+    /// deletes still unmap, but space comes back only via an explicit
+    /// [`fidr_core::FidrSystem::collect_garbage`] call.
+    pub gc_every: u64,
+    /// Live-fraction threshold below which a GC pass compacts a
+    /// container (see [`fidr_core::FidrSystem::collect_garbage`]).
+    pub gc_threshold: f64,
     /// Test hook: injected wall-clock latency on the write path, for
     /// exercising slow-request exemplar capture deterministically.
     pub stall: Option<StallFault>,
@@ -175,6 +185,8 @@ impl Default for ServerConfig {
             stream_shift: DEFAULT_STREAM_SHIFT,
             top_streams: 8,
             node_id: 0,
+            gc_every: 0,
+            gc_threshold: 0.5,
             stall: None,
             corrupt: None,
         }
@@ -197,11 +209,14 @@ struct ServerMetrics {
     queue_depth_max: AtomicU64,
     ops_write: AtomicU64,
     ops_read: AtomicU64,
+    ops_delete: AtomicU64,
     ops_stats: AtomicU64,
     ops_shardmap: AtomicU64,
     ops_failed: AtomicU64,
     scrub_idle: AtomicU64,
+    gc_passes: AtomicU64,
     shard_rehome: AtomicU64,
+    shard_reclaimed: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -234,11 +249,14 @@ impl ServerMetrics {
         out.set_counter("server.queue.waits.count", c(&self.queue_waits));
         out.set_counter("server.ops.write.count", c(&self.ops_write));
         out.set_counter("server.ops.read.count", c(&self.ops_read));
+        out.set_counter("server.ops.delete.count", c(&self.ops_delete));
         out.set_counter("server.ops.stats.count", c(&self.ops_stats));
         out.set_counter("server.ops.shardmap.count", c(&self.ops_shardmap));
         out.set_counter("server.ops.failed.count", c(&self.ops_failed));
         out.set_counter("server.scrub.idle.count", c(&self.scrub_idle));
+        out.set_counter("server.gc.passes.count", c(&self.gc_passes));
         out.set_counter("server.shard.rehome.count", c(&self.shard_rehome));
+        out.set_counter("server.shard.reclaimed.count", c(&self.shard_reclaimed));
     }
 }
 
@@ -247,6 +265,7 @@ impl ServerMetrics {
 struct StreamStats {
     writes: u64,
     reads: u64,
+    deletes: u64,
     bytes: u64,
 }
 
@@ -254,11 +273,12 @@ impl StreamStats {
     fn absorb(&mut self, other: StreamStats) {
         self.writes += other.writes;
         self.reads += other.reads;
+        self.deletes += other.deletes;
         self.bytes += other.bytes;
     }
 
     fn ops(&self) -> u64 {
-        self.writes + self.reads
+        self.writes + self.reads + self.deletes
     }
 }
 
@@ -383,6 +403,12 @@ struct Shared {
     corrupt_seq: AtomicU64,
     shutdown: AtomicBool,
     queue_capacity: usize,
+    /// GC cadence in acked deletes (0 = server-driven GC disabled).
+    gc_every: u64,
+    /// Live-fraction threshold handed to `collect_garbage`.
+    gc_threshold: f64,
+    /// Acked deletes since the last cadence-triggered GC pass.
+    deletes_since_gc: AtomicU64,
     /// This node's id in the cluster map (0 for a standalone server).
     node_id: u64,
     /// The cluster shard map this node last installed; `None` until a
@@ -442,6 +468,34 @@ impl Shared {
                         .fetch_add(n as u64, Ordering::Relaxed);
                 }
             }
+            // Same lull, same rules, for garbage collection: reclaim
+            // dead chunks while nobody is waiting. Errors are swallowed
+            // here (a failed pass leaves the queue intact) and resurface
+            // on the next explicit collection or read.
+            if self.gc_every > 0 && system.pending_dead_chunks() > 0 {
+                self.deletes_since_gc.store(0, Ordering::Relaxed);
+                if system.collect_garbage(self.gc_threshold).is_ok() {
+                    self.metrics.gc_passes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Cadence-triggered GC: after every [`ServerConfig::gc_every`]
+    /// acked deletes, run a collection pass inline (the delete that
+    /// tripped the cadence pays for the pass — deterministic pressure
+    /// relief even when the server is never idle).
+    fn maybe_gc(&self) {
+        if self.gc_every == 0 {
+            return;
+        }
+        let n = self.deletes_since_gc.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= self.gc_every {
+            self.deletes_since_gc.store(0, Ordering::Relaxed);
+            let mut system = self.system.lock().expect("system lock");
+            if system.collect_garbage(self.gc_threshold).is_ok() {
+                self.metrics.gc_passes.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -468,11 +522,19 @@ impl Shared {
         for (id, s) in &t.streams {
             out.set_counter(&format!("server.stream.{id}.writes.count"), s.writes);
             out.set_counter(&format!("server.stream.{id}.reads.count"), s.reads);
+            // Gated so delete-free workloads export byte-identically to
+            // pre-lifecycle revisions.
+            if s.deletes > 0 {
+                out.set_counter(&format!("server.stream.{id}.deletes.count"), s.deletes);
+            }
             out.set_counter(&format!("server.stream.{id}.bytes"), s.bytes);
         }
         if t.overflow.ops() > 0 {
             out.set_counter("server.stream.other.writes.count", t.overflow.writes);
             out.set_counter("server.stream.other.reads.count", t.overflow.reads);
+            if t.overflow.deletes > 0 {
+                out.set_counter("server.stream.other.deletes.count", t.overflow.deletes);
+            }
             out.set_counter("server.stream.other.bytes", t.overflow.bytes);
         }
     }
@@ -531,10 +593,10 @@ impl Shared {
         } else {
             &mut t.overflow
         };
-        if op == "write" {
-            slot.writes += 1;
-        } else {
-            slot.reads += 1;
+        match op {
+            "write" => slot.writes += 1,
+            "delete" => slot.deletes += 1,
+            _ => slot.reads += 1,
         }
         slot.bytes += bytes;
         t.latency.record(ns);
@@ -862,6 +924,9 @@ impl Server {
             corrupt_seq: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             queue_capacity: cfg.queue_capacity.max(1),
+            gc_every: cfg.gc_every,
+            gc_threshold: cfg.gc_threshold,
+            deletes_since_gc: AtomicU64::new(0),
             node_id: cfg.node_id,
             shard_map: Mutex::new(None),
             inflight: Mutex::new(0),
@@ -1096,6 +1161,33 @@ fn serve_frame(shared: &Arc<Shared>, stream: &mut TcpStream, msg: Message) -> bo
                 }
             }
         }
+        Message::Delete { lba } => {
+            let started = Instant::now();
+            shared.admit();
+            let outcome = {
+                let mut system = shared.system.lock().expect("system lock");
+                system.delete(lba)
+            };
+            shared.release();
+            match outcome {
+                Ok(()) => {
+                    shared.metrics.ops_delete.fetch_add(1, Ordering::Relaxed);
+                    shared.record_op("delete", lba.0, 0, started.elapsed());
+                    // Cadence-triggered collection happens after the ack
+                    // path is decided but before the reply is written, so
+                    // an acked delete's space is reclaimable by the time
+                    // the client sees the ack.
+                    shared.maybe_gc();
+                    Message::DeleteAck { lba }
+                }
+                // Deleting an unmapped LBA is a protocol-level failure,
+                // same contract as reading one: close the connection.
+                Err(_) => {
+                    shared.metrics.ops_failed.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+            }
+        }
         // In-band scrape: served outside the admission queue (telemetry
         // must stay readable while the backend is saturated — the whole
         // point of scraping without draining).
@@ -1126,6 +1218,7 @@ fn serve_frame(shared: &Arc<Shared>, stream: &mut TcpStream, msg: Message) -> bo
         // violation even though they framed correctly.
         Message::WriteAck { .. }
         | Message::ReadReply { .. }
+        | Message::DeleteAck { .. }
         | Message::StatsReply { .. }
         | Message::ShardMapReply { .. } => {
             shared
@@ -1208,14 +1301,15 @@ fn serve_shard_map(shared: &Arc<Shared>, action: ShardMapAction, map: &[u8]) -> 
 }
 
 /// Pushes every resident block this node no longer owns under `map` to
-/// its new owner, as ordinary acked writes over the wire. Blocks whose
-/// owner is still this node stay put; the local copies of moved blocks
-/// also stay (the protocol has no delete — they are simply no longer
-/// routed here). Returns the number of blocks moved.
+/// its new owner, as ordinary acked writes over the wire, then deletes
+/// the source copy — only *after* the destination acked, so every block
+/// is durable at its new owner before the old copy goes away and the
+/// dead chunks' space is reclaimable by the next GC pass. Returns the
+/// number of blocks moved.
 ///
 /// Traffic to this node is assumed quiesced by the router (it removes
 /// the node from the routing map before issuing the install), so the
-/// enumerate-read-forward sequence cannot race new writes.
+/// enumerate-read-forward-delete sequence cannot race new writes.
 fn rehome_blocks(shared: &Arc<Shared>, map: &ShardRouter) -> Result<u64, FidrError> {
     // Collect the moved blocks under the system lock...
     let mut outbound: Vec<(fidr_chunk::Lba, String, Vec<u8>)> = Vec::new();
@@ -1244,6 +1338,7 @@ fn rehome_blocks(shared: &Arc<Shared>, map: &ShardRouter) -> Result<u64, FidrErr
     // each ack.
     let mut conns: BTreeMap<String, crate::client::StorageClient> = BTreeMap::new();
     let moved = outbound.len() as u64;
+    let mut acked: Vec<fidr_chunk::Lba> = Vec::with_capacity(outbound.len());
     for (lba, addr, data) in outbound {
         let io = |e: crate::client::ClientError| FidrError::Io(format!("rehome to {addr}: {e}"));
         if !conns.contains_key(&addr) {
@@ -1255,11 +1350,27 @@ fn rehome_blocks(shared: &Arc<Shared>, map: &ShardRouter) -> Result<u64, FidrErr
         }
         let conn = conns.get_mut(&addr).expect("just inserted");
         conn.write(lba, Bytes::from(data)).map_err(io)?;
+        acked.push(lba);
+    }
+    // Reclamation: every block in `acked` is durable at its new owner,
+    // so the local copy is garbage. Unmap them all; the dead chunks
+    // queue for the next GC pass. A failed forward above leaves every
+    // local copy in place (the map is then not installed either).
+    let reclaimed = acked.len() as u64;
+    if !acked.is_empty() {
+        let mut system = shared.system.lock().expect("system lock");
+        for lba in acked {
+            system.delete(lba)?;
+        }
     }
     shared
         .metrics
         .shard_rehome
         .fetch_add(moved, Ordering::Relaxed);
+    shared
+        .metrics
+        .shard_reclaimed
+        .fetch_add(reclaimed, Ordering::Relaxed);
     Ok(moved)
 }
 

@@ -9,15 +9,15 @@
 use bytes::Bytes;
 use fidr::chunk::Lba;
 use fidr::client::{
-    read_port_file, run_cluster_traffic, run_open_loop, run_traffic, run_verify, ClientError,
-    ClusterClient, StorageClient,
+    read_port_file, run_churn, run_churn_verify, run_cluster_traffic, run_open_loop, run_traffic,
+    run_verify, ClientError, ClusterClient, StorageClient,
 };
 use fidr::core::{FidrConfig, DEFAULT_STREAM_SHIFT};
 use fidr::metrics::MetricsSnapshot;
 use fidr::nic::{ShardNode, ShardRouter};
 use fidr::router::{drain_node, push_map, Router, RouterConfig};
 use fidr::server::{CorruptFault, Server, ServerConfig, ServerHandle};
-use fidr::workload::{OpenLoopSchedule, OpenLoopSpec};
+use fidr::workload::{ChurnSchedule, ChurnSpec, OpenLoopSchedule, OpenLoopSpec};
 use std::time::Duration;
 
 /// A small, fast backend so batches and container seals actually happen
@@ -122,6 +122,81 @@ fn traffic_spreads_across_nodes_and_drain_hands_off_every_acked_write() {
         "the verify pass re-read every acked write"
     );
     drop(fleet);
+    n1.shutdown().expect("drain survivor");
+}
+
+#[test]
+fn churn_deletes_route_by_shard_map_and_drain_reclaims_source_copies() {
+    let n1 = spawn_node(1, 1);
+    let n2 = spawn_node(2, 1);
+    let map = fleet_map(&[&n1, &n2]);
+    push_map(&map).expect("install bootstrap map");
+
+    // Age the fleet: write, overwrite, delete — every delete routed to
+    // the owning node by the shard map, exactly like the write that
+    // created the block.
+    let spec = ChurnSpec {
+        tenants: 2,
+        blocks_per_tenant: 40,
+        rounds: 3,
+        delete_pct: 40,
+        seed: 21,
+    };
+    let schedule = ChurnSchedule::generate(spec);
+    assert!(schedule.deletes() > 0, "spec must actually churn");
+    let mut fleet = ClusterClient::connect(map.clone()).expect("connect fleet");
+    let report = run_churn(&mut fleet, spec, DEFAULT_STREAM_SHIFT).expect("churn completes");
+    assert_eq!(report.deletes, schedule.deletes(), "every delete acked");
+
+    // Consistent-hash routing partitioned the deletes across BOTH
+    // nodes, and nothing was double-deleted.
+    let deletes_on = |h: &ServerHandle| h.metrics().counter("server.ops.delete.count").unwrap_or(0);
+    let (d1, d2) = (deletes_on(&n1), deletes_on(&n2));
+    assert!(d1 > 0, "node 1 served no deletes");
+    assert!(d2 > 0, "node 2 served no deletes");
+    assert_eq!(
+        d1 + d2,
+        schedule.deletes(),
+        "deletes partition across nodes"
+    );
+
+    // Survivors verify byte-exactly through the fleet.
+    run_churn_verify(&mut fleet, spec, DEFAULT_STREAM_SHIFT)
+        .expect("fleet verify")
+        .ensure_verified()
+        .expect("survivors intact after churn");
+    drop(fleet);
+
+    // Drain node 2: it rehomes its shard to the survivor and — only
+    // after every forward was acked — deletes each source copy, so the
+    // handoff reclaims the departing node's space instead of stranding
+    // a dead replica.
+    let survivors = drain_node(&map, 2).expect("drain node 2");
+    let n2_metrics = n2.wait().expect("departing node drains itself");
+    let count = |name: &str| n2_metrics.counter(name).unwrap_or(0);
+    assert!(
+        count("server.shard.rehome.count") > 0,
+        "node 2 had blocks to hand off"
+    );
+    assert_eq!(
+        count("server.shard.reclaimed.count"),
+        count("server.shard.rehome.count"),
+        "every rehomed block's source copy was deleted after the ack"
+    );
+    assert!(
+        count("delete.acked.count") >= count("server.shard.reclaimed.count"),
+        "source-copy reclamation went through the delete path"
+    );
+
+    // Zero acked-write loss across the handoff: the survivor set —
+    // derived purely from the spec — reads back byte-exactly through
+    // the new topology.
+    let mut solo = ClusterClient::connect(survivors).expect("connect survivors");
+    run_churn_verify(&mut solo, spec, DEFAULT_STREAM_SHIFT)
+        .expect("post-drain verify")
+        .ensure_verified()
+        .expect("zero acked-write loss across the reclaiming handoff");
+    drop(solo);
     n1.shutdown().expect("drain survivor");
 }
 

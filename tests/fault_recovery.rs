@@ -336,6 +336,144 @@ fn baseline_recovers_from_transient_faults() {
         .expect("baseline post-fault scrub must be clean");
 }
 
+/// Ages a store with churn: 64 blocks written, the first 40 overwritten
+/// (stranding dead generations), 24 of those then deleted outright.
+/// Returns the expected live contents.
+fn age_store(sys: &mut FidrSystem, gen: &ContentGenerator) -> HashMap<u64, u64> {
+    let mut live = HashMap::new();
+    for i in 0..64u64 {
+        sys.write(Lba(i), chunk(gen, i)).unwrap();
+        live.insert(i, i);
+    }
+    sys.flush().unwrap();
+    for i in 0..40u64 {
+        sys.write(Lba(i), chunk(gen, 500 + i)).unwrap();
+        live.insert(i, 500 + i);
+    }
+    for i in 0..24u64 {
+        sys.delete(Lba(i)).unwrap();
+        live.remove(&i);
+    }
+    sys.flush().unwrap();
+    live
+}
+
+#[test]
+fn crash_mid_gc_never_reclaims_a_referenced_chunk() {
+    // A GC pass that dies partway — device faults on the survivor
+    // copy-out or the table update — must never cost a referenced
+    // chunk: not in the still-running process, and not after a crash
+    // that recovers from the last durable checkpoint.
+    let gen = ContentGenerator::new(0.5);
+    let mut sys = FidrSystem::new(faulty_cfg(FaultPlan::default()));
+    let live = age_store(&mut sys, &gen);
+    assert!(sys.pending_dead_chunks() > 0, "churn left garbage behind");
+
+    // The durable image a crash recovers from, taken before GC starts.
+    let image = sys.checkpoint().unwrap().encode();
+    drop(sys);
+
+    // Restore into a config with an aggressive device-fault plan and
+    // run GC until a pass fails mid-flight.
+    let plan = FaultPlan::parse("seed=5,data_write=0.9,table_write=0.9,data_read=0.2").unwrap();
+    let snapshot = fidr::core::Snapshot::decode(&image).unwrap();
+    let mut faulty = FidrSystem::restore(faulty_cfg(plan), snapshot);
+    let mut failed_passes = 0u32;
+    for _ in 0..12 {
+        if faulty.collect_garbage(1.1).is_err() {
+            failed_passes += 1;
+        }
+    }
+    assert!(
+        failed_passes > 0,
+        "the fault plan must actually kill at least one GC pass mid-flight"
+    );
+    // The interrupted collector left every referenced chunk readable in
+    // the still-running process (bounded retries ride out the injected
+    // read faults).
+    for (&lba, &tag) in &live {
+        let mut got = None;
+        for _ in 0..32 {
+            if let Ok(data) = faulty.read(Lba(lba)) {
+                got = Some(data);
+                break;
+            }
+        }
+        assert_eq!(
+            got.expect("read must succeed within the retry budget"),
+            gen.chunk(tag, 4096),
+            "lba {lba} after interrupted GC"
+        );
+    }
+    drop(faulty); // the crash: in-memory GC progress is gone
+
+    // Recovery: restore the durable checkpoint, collect cleanly, and
+    // prove byte-exact survivors, dead deletes, and a clean scrub.
+    let snapshot = fidr::core::Snapshot::decode(&image).unwrap();
+    let mut recovered = FidrSystem::restore(faulty_cfg(FaultPlan::default()), snapshot);
+    let report = recovered.collect_garbage(0.9).unwrap();
+    assert!(
+        report.reclaimed_pbns > 0,
+        "recovered GC reclaims the garbage"
+    );
+    assert!(report.freed_bytes > 0, "recovered GC frees real space");
+    for (&lba, &tag) in &live {
+        assert_eq!(
+            recovered.read(Lba(lba)).unwrap(),
+            gen.chunk(tag, 4096),
+            "lba {lba} after crash-recovery GC"
+        );
+    }
+    for i in 0..24u64 {
+        assert!(
+            recovered.read(Lba(i)).is_err(),
+            "deleted lba {i} must stay deleted through crash recovery"
+        );
+    }
+    recovered
+        .verify_integrity()
+        .expect("post-recovery scrub must be clean");
+}
+
+#[test]
+fn acked_deletes_survive_recovery() {
+    // An acked delete is a durability promise in both directions: the
+    // unmap must survive a restart (the LBA stays gone), and so must
+    // the pending-garbage bookkeeping that lets the post-restart
+    // collector reclaim the dead chunks.
+    let gen = ContentGenerator::new(0.5);
+    let mut sys = FidrSystem::new(faulty_cfg(FaultPlan::default()));
+    let live = age_store(&mut sys, &gen);
+    let pending = sys.pending_dead_chunks();
+    assert!(pending > 0);
+
+    let image = sys.checkpoint().unwrap().encode();
+    drop(sys); // the crash
+
+    let snapshot = fidr::core::Snapshot::decode(&image).unwrap();
+    let mut restored = FidrSystem::restore(faulty_cfg(FaultPlan::default()), snapshot);
+    assert_eq!(
+        restored.pending_dead_chunks(),
+        pending,
+        "the garbage queue survives the restart"
+    );
+    for i in 0..24u64 {
+        assert!(
+            restored.read(Lba(i)).is_err(),
+            "acked delete of lba {i} lost across restart"
+        );
+    }
+    for (&lba, &tag) in &live {
+        assert_eq!(restored.read(Lba(lba)).unwrap(), gen.chunk(tag, 4096));
+    }
+    // Deleting an already-deleted LBA is still refused after restart.
+    assert!(restored.delete(Lba(0)).is_err());
+    // And the post-restart collector turns the queue into real space.
+    let report = restored.collect_garbage(0.9).unwrap();
+    assert!(report.freed_bytes > 0);
+    restored.verify_integrity().expect("clean scrub");
+}
+
 #[test]
 fn container_id_reuse_is_a_hard_error() {
     // Regression for the debug_assert!-only guard: the check must hold

@@ -1,6 +1,6 @@
 //! Model-based property tests: arbitrary interleavings of writes,
-//! overwrites, reads, flushes and GC passes against a plain `HashMap`
-//! model. If either architecture ever returns anything but the newest
+//! overwrites, reads, deletes, flushes and GC passes against a plain
+//! `HashMap` model. If either architecture ever returns anything but the newest
 //! content — across batching, container sealing, cache eviction, NIC
 //! coalescing, compaction — these shrink to a minimal counterexample.
 
@@ -23,6 +23,10 @@ enum Op {
     Read {
         lba: u64,
     },
+    /// Unmap an LBA (succeeds iff mapped; the model mirrors the unmap).
+    Delete {
+        lba: u64,
+    },
     Flush,
     Gc,
 }
@@ -31,6 +35,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         4 => (0u64..24, 0u64..12).prop_map(|(lba, content)| Op::Write { lba, content }),
         2 => (0u64..24).prop_map(|lba| Op::Read { lba }),
+        2 => (0u64..24).prop_map(|lba| Op::Delete { lba }),
         1 => Just(Op::Flush),
         1 => Just(Op::Gc),
     ]
@@ -71,6 +76,10 @@ proptest! {
                         );
                     }
                     None => prop_assert!(sys.read(Lba(lba)).is_err()),
+                },
+                Op::Delete { lba } => match model.remove(&lba) {
+                    Some(_) => sys.delete(Lba(lba)).unwrap(),
+                    None => prop_assert!(sys.delete(Lba(lba)).is_err()),
                 },
                 Op::Flush => sys.flush().unwrap(),
                 Op::Gc => {
@@ -114,6 +123,10 @@ proptest! {
                         );
                     }
                     None => prop_assert!(sys.read(Lba(lba)).is_err()),
+                },
+                Op::Delete { lba } => match model.remove(&lba) {
+                    Some(_) => sys.delete(Lba(lba)).unwrap(),
+                    None => prop_assert!(sys.delete(Lba(lba)).is_err()),
                 },
                 Op::Flush => sys.flush().unwrap(),
                 Op::Gc => {
@@ -172,6 +185,10 @@ proptest! {
                     if let (Ok(a), Ok(b)) = (a, b) {
                         prop_assert_eq!(a, b, "read of LBA {}", lba);
                     }
+                }
+                Op::Delete { lba } => {
+                    let (a, b) = (flat.delete(Lba(lba)), tiered.delete(Lba(lba)));
+                    prop_assert_eq!(a.is_ok(), b.is_ok(), "delete of LBA {}", lba);
                 }
                 Op::Flush => {
                     flat.flush().unwrap();
